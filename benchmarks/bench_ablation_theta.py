@@ -1,0 +1,90 @@
+"""Ablation: constructions of Θ (Section 3 of the paper).
+
+The definition permits Θ to be a point estimate, a set of posterior
+samples, or a credible region. This bench compares the resulting epsilon
+on the synthetic Adult data at two sample sizes: the sup over sampled Θ is
+conservative, and the gap closes as the data grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bayesian import epsilon_over_sampled_theta, posterior_epsilon
+from repro.core.empirical import dataset_edf
+from repro.data.synthetic_adult import OUTCOME, PROTECTED
+from repro.tabular.crosstab import crosstab
+from repro.utils.formatting import render_table
+
+
+@pytest.fixture(scope="module")
+def contingencies(adult_bare_train):
+    full = crosstab(adult_bare_train, list(PROTECTED), OUTCOME)
+    rng = np.random.default_rng(0)
+    small_table = adult_bare_train.take(
+        rng.choice(adult_bare_train.n_rows, size=2000, replace=False)
+    )
+    small = crosstab(small_table, list(PROTECTED), OUTCOME)
+    return {"N=2,000": small, "N=32,561": full}
+
+
+def test_theta_constructions(benchmark, record_table, contingencies):
+    def run():
+        rows = []
+        for name, contingency in contingencies.items():
+            point = dataset_edf(contingency, estimator=1.0).epsilon
+            posterior = posterior_epsilon(
+                contingency, alpha=1.0, n_samples=300, seed=0,
+                quantile_levels=(0.05, 0.5, 0.95),
+            )
+            sup = epsilon_over_sampled_theta(
+                contingency, alpha=1.0, n_samples=100, seed=1
+            )
+            rows.append(
+                [
+                    name,
+                    point,
+                    posterior.median,
+                    posterior.quantiles[0.95],
+                    sup,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(
+        "ablation_theta",
+        render_table(
+            [
+                "data size",
+                "point Θ={θ̂}",
+                "posterior median",
+                "posterior q95",
+                "sup over 100 sampled θ",
+            ],
+            rows,
+            digits=4,
+            title="Ablation: Θ as point estimate vs posterior samples "
+            "(alpha = 1)",
+        ),
+    )
+    for name, point, median, q95, sup in rows:
+        # The sup over sampled Θ is conservative relative to the point.
+        assert sup >= point - 0.05
+        assert q95 >= median
+    # Uncertainty shrinks with data: the q95-median gap narrows.
+    small_gap = rows[0][3] - rows[0][2]
+    large_gap = rows[1][3] - rows[1][2]
+    assert large_gap < small_gap
+
+
+def test_posterior_sampling_cost(benchmark, contingencies):
+    """Cost of 100 posterior draws of epsilon on the full data."""
+    contingency = contingencies["N=32,561"]
+    result = benchmark.pedantic(
+        epsilon_over_sampled_theta,
+        args=(contingency,),
+        kwargs={"alpha": 1.0, "n_samples": 100, "seed": 0},
+        rounds=3,
+        iterations=1,
+    )
+    assert result > 0

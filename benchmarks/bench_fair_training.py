@@ -1,0 +1,167 @@
+"""Extension bench: the paper's future-work proposal (Section 8) — use
+differential fairness as a regulariser "to automatically balance the
+trade-off between fairness and accuracy".
+
+Sweeps the fairness weight of :class:`FairLogisticRegression` on a
+subsample of the synthetic Adult data and reports the epsilon/accuracy
+frontier, plus the post-processing alternative (per-group mixing toward
+the base rate).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.empirical import dataset_edf
+from repro.core.estimators import DirichletEstimator
+from repro.data.synthetic_adult import OUTCOME, POSITIVE, PROTECTED
+from repro.learn.fair_logistic import FairLogisticRegression
+from repro.learn.metrics import error_rate
+from repro.learn.postprocess import GroupMixingPostprocessor
+from repro.learn.preprocessing import TableVectorizer
+from repro.tabular.column import Column
+from repro.utils.formatting import render_table
+
+WEIGHTS = (0.0, 0.05, 0.2, 1.0, 5.0)
+
+
+@pytest.fixture(scope="module")
+def subsampled(adult_full):
+    train, test = adult_full
+    rng = np.random.default_rng(0)
+    train_small = train.take(rng.choice(train.n_rows, 8000, replace=False))
+    test_small = test.take(rng.choice(test.n_rows, 6000, replace=False))
+    return train_small, test_small
+
+
+def _prediction_epsilon(test, predictions):
+    audit = test.select(list(PROTECTED)).with_column(
+        Column.categorical(
+            "pred", list(predictions), levels=["<=50K", ">50K"]
+        )
+    )
+    return dataset_edf(
+        audit, list(PROTECTED), "pred", DirichletEstimator(1.0)
+    ).epsilon
+
+
+def test_fairness_weight_sweep(benchmark, record_table, subsampled):
+    train, test = subsampled
+    vectorizer = TableVectorizer(exclude=[OUTCOME, *PROTECTED]).fit(train)
+    X_train = vectorizer.transform(train)
+    X_test = vectorizer.transform(test)
+    y_train = train.column(OUTCOME).to_list()
+    y_test = test.column(OUTCOME).to_list()
+    groups = list(
+        zip(*(train.column(name).to_list() for name in PROTECTED))
+    )
+
+    def sweep():
+        rows = []
+        for weight in WEIGHTS:
+            model = FairLogisticRegression(
+                fairness_weight=weight, l2=1e-4, max_iter=200
+            ).fit(X_train, y_train, groups=groups)
+            predictions = model.predict(X_test)
+            rows.append(
+                [
+                    weight,
+                    _prediction_epsilon(test, predictions),
+                    error_rate(y_test, predictions, percent=True),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_table(
+        "fair_training_tradeoff",
+        render_table(
+            ["fairness weight λ", "epsilon (test)", "error %"],
+            rows,
+            digits=3,
+            title="DF-regularised logistic regression: fairness/accuracy "
+            "frontier (Section 8 future work)",
+        ),
+    )
+    # The frontier: heavy regularisation clearly reduces epsilon...
+    assert rows[-1][1] < rows[0][1] - 0.3
+    # ...and costs some accuracy.
+    assert rows[-1][2] >= rows[0][2] - 0.2
+
+
+def test_group_threshold_mitigation(benchmark, record_table, subsampled):
+    """Third mitigation: per-group thresholds on the classifier's scores
+    (the differential-fairness answer to Sec 7.1's 'threshold tests')."""
+    from repro.learn.group_thresholds import GroupThresholdPostprocessor
+
+    train, test = subsampled
+    vectorizer = TableVectorizer(exclude=[OUTCOME, *PROTECTED]).fit(train)
+    model = FairLogisticRegression(fairness_weight=0.0, l2=1e-4).fit(
+        vectorizer.transform(train),
+        train.column(OUTCOME).to_list(),
+        groups=list(zip(*(train.column(n).to_list() for n in PROTECTED))),
+    )
+    scores = model.predict_proba(vectorizer.transform(test))[:, 1]
+    y_test = [
+        1 if label == POSITIVE else 0
+        for label in test.column(OUTCOME).to_list()
+    ]
+    groups = list(zip(*(test.column(n).to_list() for n in PROTECTED)))
+    post = GroupThresholdPostprocessor(positive=1).fit(scores, y_test, groups)
+
+    def solve_budgets():
+        rows = []
+        for budget in (2.0, 1.0, 0.5):
+            solution = post.solve(budget)
+            rows.append([budget, solution.epsilon, solution.accuracy * 100])
+        return rows
+
+    rows = benchmark.pedantic(solve_budgets, rounds=1, iterations=1)
+    for budget, achieved, accuracy in rows:
+        assert achieved <= budget + 1e-9
+    accuracies = [row[2] for row in rows]
+    assert accuracies == sorted(accuracies, reverse=True)  # tighter = costlier
+    record_table(
+        "fair_group_thresholds",
+        render_table(
+            ["epsilon budget", "achieved epsilon", "accuracy %"],
+            rows,
+            digits=3,
+            title="Per-group threshold mitigation (accuracy-optimal under "
+            "an epsilon budget)",
+        ),
+    )
+
+
+def test_postprocessing_alternative(benchmark, record_table, subsampled):
+    """Mixing toward the base rate reaches any epsilon target exactly."""
+    train, test = subsampled
+    vectorizer = TableVectorizer(exclude=[OUTCOME, *PROTECTED]).fit(train)
+    model = FairLogisticRegression(fairness_weight=0.0, l2=1e-4).fit(
+        vectorizer.transform(train),
+        train.column(OUTCOME).to_list(),
+        groups=list(zip(*(train.column(n).to_list() for n in PROTECTED))),
+    )
+    predictions = list(model.predict(vectorizer.transform(test)))
+    groups = list(zip(*(test.column(n).to_list() for n in PROTECTED)))
+    post = GroupMixingPostprocessor(positive=POSITIVE).fit(predictions, groups)
+
+    def solve_targets():
+        rows = []
+        for target in (1.5, 1.0, 0.5):
+            t = post.solve_mixing(target)
+            rows.append([target, t, post.epsilon_at(t)])
+        return rows
+
+    rows = benchmark(solve_targets)
+    for target, t, achieved in rows:
+        assert achieved <= target + 1e-6
+        assert 0.0 <= t <= 1.0
+    record_table(
+        "fair_postprocessing",
+        render_table(
+            ["target epsilon", "mixing weight t", "achieved epsilon"],
+            rows,
+            digits=4,
+            title="Post-processing: per-group mixing toward the base rate",
+        ),
+    )

@@ -1,0 +1,76 @@
+"""Figure 2: the Gaussian-threshold worked example.
+
+Paper values: P(yes | group) = (0.3085, 0.9332), log-ratio table
+(±1.107 for yes, ±2.337 for no), epsilon = 2.337, probability ratios
+bounded within (0.0966, 10.35).
+"""
+
+import math
+
+import pytest
+
+from repro.core.analytic import gaussian_threshold_epsilon, paper_worked_example
+from repro.core.mechanism import mechanism_epsilon
+from repro.distributions.gaussian import GroupGaussianScores
+from repro.mechanisms.threshold import ScoreThresholdMechanism
+
+PAPER_EPSILON = 2.337
+
+
+def test_figure2_analytic(benchmark, record_table):
+    """Closed-form reproduction; benchmarks the analytic epsilon."""
+    scores = GroupGaussianScores.paper_worked_example()
+    mechanism = ScoreThresholdMechanism.paper_worked_example()
+
+    result = benchmark(gaussian_threshold_epsilon, scores, mechanism)
+
+    assert result.epsilon == pytest.approx(PAPER_EPSILON, abs=5e-4)
+    assert result.probability((1,), "yes") == pytest.approx(0.3085, abs=5e-5)
+    assert result.probability((2,), "yes") == pytest.approx(0.9332, abs=5e-5)
+
+    example = paper_worked_example()
+    lines = [
+        example.to_text(),
+        "",
+        f"paper epsilon:    {PAPER_EPSILON}",
+        f"measured epsilon: {example.epsilon:.4f}",
+    ]
+    record_table("figure2_worked_example", "\n".join(lines))
+
+
+def test_figure2_monte_carlo(benchmark, record_table):
+    """Monte-Carlo cross-check of the closed form (Definition 3.1 path)."""
+    scores = GroupGaussianScores.paper_worked_example()
+    mechanism = ScoreThresholdMechanism.paper_worked_example()
+
+    result = benchmark.pedantic(
+        mechanism_epsilon,
+        args=(mechanism, scores),
+        kwargs={"n_samples": 100_000, "seed": 0, "exact": False},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.epsilon == pytest.approx(PAPER_EPSILON, abs=0.05)
+    record_table(
+        "figure2_monte_carlo",
+        "\n".join(
+            [
+                "Monte-Carlo estimate of the Figure 2 epsilon",
+                f"n_samples = 100000 per group",
+                f"paper (analytic): {PAPER_EPSILON}",
+                f"measured (MC):    {result.epsilon:.4f}",
+            ]
+        ),
+    )
+
+
+def test_figure2_epsilon_ratio_bounds(benchmark):
+    """The (0.0966, 10.35) bound pair printed in the figure."""
+    example = paper_worked_example()
+
+    def bounds():
+        return math.exp(-example.epsilon), math.exp(example.epsilon)
+
+    low, high = benchmark(bounds)
+    assert low == pytest.approx(0.0966, abs=5e-5)
+    assert high == pytest.approx(10.35, abs=5e-3)

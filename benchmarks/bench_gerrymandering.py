@@ -1,0 +1,150 @@
+"""Ablation: what each fairness definition detects.
+
+The motivating comparison of the paper's Sections 1 and 7: marginal
+demographic parity can be satisfied while the intersections are targeted
+("fairness gerrymandering"); equalized odds can be satisfied while the
+outcome distribution is arbitrarily inequitable. Differential fairness at
+the intersection catches both.
+"""
+
+import math
+
+import pytest
+
+from repro.core.conditional import conditional_edf
+from repro.core.empirical import dataset_edf
+from repro.core.subsets import subset_sweep
+from repro.data.generators import expand_cells_to_table
+from repro.metrics.demographic_parity import demographic_parity_difference
+from repro.tabular.table import Table
+from repro.utils.formatting import render_table
+
+
+def gerrymandered_table() -> Table:
+    """Marginal approval rates equal (0.4 everywhere); intersections 3x apart."""
+    cells = {
+        ("F", "X"): [40, 60],
+        ("F", "Y"): [80, 20],
+        ("M", "X"): [80, 20],
+        ("M", "Y"): [40, 60],
+    }
+    return expand_cells_to_table(
+        cells,
+        attribute_names=["gender", "race"],
+        outcome_name="approved",
+        outcome_levels=["no", "yes"],
+    )
+
+
+def oracle_table() -> Table:
+    """Perfect predictions over a 9:1 base-rate disparity."""
+    rows = (
+        [("a", "1", "1")] * 90 + [("a", "0", "0")] * 10
+        + [("b", "1", "1")] * 10 + [("b", "0", "0")] * 90
+    )
+    return Table.from_rows(["group", "label", "pred"], rows)
+
+
+def test_detection_matrix(benchmark, record_table):
+    """One table: which definition flags which failure mode."""
+    gerrymandered = gerrymandered_table()
+    oracle = oracle_table()
+
+    def measure():
+        # Gerrymandering scenario.
+        approvals = gerrymandered.column("approved").to_list()
+        marginal_dp = max(
+            demographic_parity_difference(
+                approvals, gerrymandered.column(attr).to_list(), "yes"
+            )
+            for attr in ("gender", "race")
+        )
+        intersectional = dataset_edf(
+            gerrymandered, protected=["gender", "race"], outcome="approved"
+        ).epsilon
+        # Oracle scenario.
+        oracle_conditional = conditional_edf(
+            oracle, "group", "pred", given="label"
+        ).epsilon
+        oracle_unconditional = dataset_edf(
+            oracle, protected="group", outcome="pred"
+        ).epsilon
+        return (
+            marginal_dp,
+            intersectional,
+            oracle_conditional,
+            oracle_unconditional,
+        )
+
+    marginal_dp, intersectional, oracle_cond, oracle_uncond = benchmark(measure)
+
+    # Gerrymandering: marginal parity is blind, intersectional DF is not.
+    assert marginal_dp == pytest.approx(0.0, abs=1e-12)
+    assert intersectional == pytest.approx(math.log(3))
+    # Oracle: equalized-odds-style conditional DF is blind to base-rate
+    # disparity, unconditional DF is not.
+    assert oracle_cond == pytest.approx(0.0)
+    assert oracle_uncond > 2.0
+
+    record_table(
+        "gerrymandering_detection",
+        render_table(
+            ["scenario", "definition", "measurement", "flags it?"],
+            [
+                [
+                    "subset targeting",
+                    "marginal demographic parity",
+                    marginal_dp,
+                    "no",
+                ],
+                [
+                    "subset targeting",
+                    "intersectional DF epsilon",
+                    intersectional,
+                    "yes",
+                ],
+                [
+                    "base-rate disparity",
+                    "conditional DF (equalized odds)",
+                    oracle_cond,
+                    "no",
+                ],
+                [
+                    "base-rate disparity",
+                    "unconditional DF epsilon",
+                    oracle_uncond,
+                    "yes",
+                ],
+            ],
+            digits=4,
+            title="What each definition detects (Sections 1 and 7)",
+        ),
+    )
+
+
+def test_three_way_gerrymander_sweep_cost(benchmark):
+    """Cost of the full sweep that exposes a depth-3 gerrymander."""
+    cells = {}
+    for g in ("F", "M"):
+        for r in ("X", "Y"):
+            for n in ("U", "V"):
+                parity = (g == "M") ^ (r == "Y") ^ (n == "V")
+                rate = 0.6 if parity else 0.2
+                cells[(g, r, n)] = [int(100 * (1 - rate)), int(100 * rate)]
+    table = expand_cells_to_table(
+        cells,
+        attribute_names=["gender", "race", "nation"],
+        outcome_name="approved",
+        outcome_levels=["no", "yes"],
+    )
+    sweep = benchmark(
+        subset_sweep, table, ["gender", "race", "nation"], "approved"
+    )
+    assert sweep.full_epsilon == pytest.approx(math.log(3))
+    assert all(
+        sweep.epsilon(subset) == pytest.approx(0.0, abs=1e-12)
+        for subset in (
+            ("gender",), ("race",), ("nation",),
+            ("gender", "race"), ("gender", "nation"), ("race", "nation"),
+        )
+    )

@@ -1,0 +1,85 @@
+"""Section 3.2/3.3: the privacy interpretation and epsilon calibration.
+
+In-text numbers: randomized response with fair coins is ln(3)-DP (~1.0986);
+an eps-DF mechanism admits at most an exp(eps) disparity in expected
+utility; the high-privacy regime is eps < 1.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.epsilon import epsilon_from_probabilities
+from repro.core.interpretation import (
+    RANDOMIZED_RESPONSE_EPSILON,
+    interpret_epsilon,
+)
+from repro.core.privacy import posterior_odds_interval, privacy_violations
+from repro.mechanisms.randomized_response import RandomizedResponse
+from repro.utils.formatting import render_table
+
+
+def test_randomized_response_epsilon(benchmark, record_table):
+    rr = RandomizedResponse()
+    epsilon = benchmark(rr.epsilon)
+    assert epsilon == pytest.approx(math.log(3))
+    assert epsilon == pytest.approx(RANDOMIZED_RESPONSE_EPSILON)
+
+    rows = []
+    for truth_probability in (0.0, 0.25, 0.5, 0.75, 0.9):
+        mechanism = RandomizedResponse(truth_probability)
+        interp = interpret_epsilon(mechanism.epsilon())
+        rows.append(
+            [
+                truth_probability,
+                mechanism.epsilon(),
+                interp.regime.value,
+                interp.utility_factor,
+            ]
+        )
+    record_table(
+        "privacy_randomized_response",
+        render_table(
+            ["P(truthful)", "epsilon", "regime", "exp(eps)"],
+            rows,
+            digits=4,
+            title="Randomized response calibration (Section 3.3); fair coin "
+            "= ln(3) ≈ 1.0986",
+        ),
+    )
+
+
+def test_privacy_guarantee_verification(benchmark, record_table):
+    """Mechanically verify Equation 4 on a large random instance."""
+    rng = np.random.default_rng(0)
+    raw = rng.uniform(0.05, 1.0, size=(64, 4))
+    probs = raw / raw.sum(axis=1, keepdims=True)
+    prior = rng.dirichlet(np.ones(64))
+    result = epsilon_from_probabilities(probs, validate=False)
+
+    violations = benchmark(privacy_violations, result, prior)
+    assert violations == []
+
+    low, high = posterior_odds_interval(result.epsilon, prior_odds=1.0)
+    record_table(
+        "privacy_equation4",
+        "\n".join(
+            [
+                "Equation 4 verification (64 groups x 4 outcomes, random θ)",
+                f"measured epsilon: {result.epsilon:.4f}",
+                f"posterior/prior odds interval at prior odds 1: "
+                f"({low:.4f}, {high:.4f})",
+                f"violations: {len(violations)} (expected 0)",
+            ]
+        ),
+    )
+
+
+def test_epsilon_computation_scaling_width(benchmark):
+    """Raw epsilon computation on a wide probability matrix."""
+    rng = np.random.default_rng(1)
+    raw = rng.uniform(0.01, 1.0, size=(4096, 8))
+    probs = raw / raw.sum(axis=1, keepdims=True)
+    result = benchmark(epsilon_from_probabilities, probs, validate=False)
+    assert result.epsilon > 0

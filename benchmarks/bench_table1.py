@@ -1,0 +1,86 @@
+"""Table 1 / Section 5.1: the Simpson's paradox admissions example.
+
+Paper values: epsilon = 1.511 for Gender x Race; marginal epsilons 0.2329
+(Gender) and 0.8667 (Race); Theorem 3.1 bound 2 * 1.511 = 3.022.
+"""
+
+import pytest
+
+from repro.core.empirical import edf_from_contingency
+from repro.core.subsets import subset_sweep
+from repro.data.kidney import (
+    PAPER_TABLE1_BOUND,
+    PAPER_TABLE1_EPSILONS,
+    admissions_contingency,
+    admissions_table,
+)
+from repro.utils.formatting import render_table
+
+
+def test_table1_intersectional_epsilon(benchmark, record_table):
+    contingency = admissions_contingency()
+    result = benchmark(edf_from_contingency, contingency)
+    assert result.epsilon == pytest.approx(1.511, abs=5e-4)
+
+    matrix, labels = contingency.group_outcome_matrix()
+    rows = []
+    for label, row in zip(labels, matrix):
+        total = row.sum()
+        rows.append([*label, int(row[0]), int(total), row[0] / total])
+    table_text = render_table(
+        ["gender", "race", "admitted", "total", "P(admit)"],
+        rows,
+        digits=4,
+        title="Probability of Being Admitted to University X (Table 1)",
+    )
+    record_table(
+        "table1_simpsons_paradox",
+        "\n".join(
+            [
+                table_text,
+                "",
+                f"paper epsilon (Gender x Race): 1.511",
+                f"measured:                      {result.epsilon:.4f}",
+                f"witness: {result.witness.describe(('gender', 'race'))}",
+            ]
+        ),
+    )
+
+
+def test_table1_subset_sweep(benchmark, record_table):
+    """The marginal epsilons and the Theorem 3.1 bound."""
+    contingency = admissions_contingency()
+    sweep = benchmark(subset_sweep, contingency)
+
+    for subset, target in PAPER_TABLE1_EPSILONS.items():
+        assert sweep.epsilon(subset) == pytest.approx(target, abs=5e-4)
+    assert sweep.theorem_bound() == pytest.approx(PAPER_TABLE1_BOUND, abs=1e-3)
+    assert sweep.theorem_violations() == []
+
+    rows = [
+        [", ".join(subset), target, sweep.epsilon(subset)]
+        for subset, target in PAPER_TABLE1_EPSILONS.items()
+    ]
+    record_table(
+        "table1_epsilons",
+        render_table(
+            ["protected attributes", "paper", "measured"],
+            rows,
+            digits=4,
+            title=(
+                "Simpson's paradox epsilons "
+                f"(Theorem 3.1 bound = {sweep.theorem_bound():.3f})"
+            ),
+        ),
+    )
+
+
+def test_table1_row_level_pipeline(benchmark):
+    """End-to-end from a 700-row table instead of pre-aggregated counts."""
+    from repro.core.empirical import dataset_edf
+
+    table = admissions_table()
+    result = benchmark(
+        dataset_edf, table, ["gender", "race"], "admitted"
+    )
+    assert result.epsilon == pytest.approx(1.511, abs=5e-4)

@@ -1,0 +1,49 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures, asserts the
+reproduction tolerance, records the rendered table under ``results/``, and
+times the core computation with pytest-benchmark. Run with ``-s`` to see
+the tables inline; they are always written to ``results/`` regardless.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.data.synthetic_adult import SyntheticAdult
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Callable fixture: write a rendered table to results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n--- {name} (saved to {path}) ---")
+        print(text)
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def adult_bare_train():
+    """Synthetic Adult training split, protected attributes + income only."""
+    return SyntheticAdult(seed=0, features=False).train()
+
+
+@pytest.fixture(scope="session")
+def adult_bare_test():
+    return SyntheticAdult(seed=0, features=False).test()
+
+
+@pytest.fixture(scope="session")
+def adult_full():
+    """Full-featured synthetic Adult train/test pair (Table 3)."""
+    generator = SyntheticAdult(seed=0, features=True)
+    return generator.train(), generator.test()

@@ -1,0 +1,51 @@
+"""The paper's Figure 2 worked example: a test-score threshold mechanism.
+
+Two groups draw test scores from N(10, 1) and N(12, 1); applicants are
+hired when the score reaches 10.5. The mechanism is deterministic, yet it
+has a well-defined differential fairness because the randomness of the
+*data* enters the definition — epsilon = 2.337, meaning one group is about
+ten times as likely as the other to be rejected.
+
+Run:  python examples/hiring_threshold.py
+"""
+
+from repro import gaussian_threshold_epsilon, interpret_epsilon, mechanism_epsilon
+from repro.core.analytic import paper_worked_example
+from repro.distributions import GroupGaussianScores
+from repro.mechanisms import ScoreThresholdMechanism
+
+# --- The exact configuration from the paper ------------------------------
+example = paper_worked_example()
+print(example.to_text())
+print()
+print(interpret_epsilon(example.epsilon).to_text())
+print()
+
+# --- The same measurement by Monte Carlo (Definition 3.1 directly) -------
+scores = GroupGaussianScores.paper_worked_example()
+mechanism = ScoreThresholdMechanism.paper_worked_example()
+sampled = mechanism_epsilon(mechanism, scores, n_samples=200_000, seed=0, exact=False)
+print(f"Monte-Carlo epsilon ({200_000:,} samples/group): {sampled.epsilon:.4f}")
+print(f"analytic epsilon:                            {example.epsilon:.4f}")
+print()
+
+# --- What would fix it? Sweep the threshold ------------------------------
+print("threshold sweep (fairness/selectivity trade-off):")
+print(f"{'threshold':>10} {'P(hire|1)':>10} {'P(hire|2)':>10} {'epsilon':>8}")
+for threshold in (9.0, 10.0, 10.5, 11.0, 12.0):
+    swept = gaussian_threshold_epsilon(
+        scores, ScoreThresholdMechanism(threshold)
+    )
+    print(
+        f"{threshold:>10.1f} "
+        f"{swept.probability((1,), 'yes'):>10.4f} "
+        f"{swept.probability((2,), 'yes'):>10.4f} "
+        f"{swept.epsilon:>8.4f}"
+    )
+print()
+print(
+    "No threshold is fair here: with unequal score distributions, a shared\n"
+    "cut-off always treats the groups differently. The paper's position is\n"
+    "that when the score gap itself reflects structural oppression, the\n"
+    "mechanism — not the threshold — should change."
+)

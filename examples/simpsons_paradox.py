@@ -1,0 +1,64 @@
+"""Section 5.1 of the paper: Simpson's paradox and why the 2x subset
+guarantee matters.
+
+University X admits Gender A at a higher rate than Gender B *within each
+race*, yet Gender B at a higher rate *overall* — a Simpson's reversal (the
+data are the classic kidney-stone treatment counts, relabelled exactly as
+the paper does). Differential fairness measured at the intersection bounds
+the marginal unfairness even through the reversal: Theorem 3.1 guarantees
+the gender-only epsilon is at most 2 x 1.511 = 3.022, and it is in fact
+just 0.2329.
+
+Run:  python examples/simpsons_paradox.py
+"""
+
+from repro import dataset_edf, subset_sweep
+from repro.data import admissions_contingency, admissions_table
+from repro.utils.formatting import render_table
+
+contingency = admissions_contingency()
+
+# --- Show the reversal ----------------------------------------------------
+rows = []
+for gender in ("A", "B"):
+    cells = []
+    for race in ("1", "2"):
+        admitted = contingency.cell((gender, race), "yes")
+        total = admitted + contingency.cell((gender, race), "no")
+        cells.append(f"{admitted:.0f}/{total:.0f} = {admitted / total:.3f}")
+    overall = contingency.marginalize(["gender"])
+    admitted = overall.cell((gender,), "yes")
+    cells.append(f"{admitted:.0f}/350 = {admitted / 350:.3f}")
+    rows.append([f"Gender {gender}", *cells])
+print(
+    render_table(
+        ["", "Race 1", "Race 2", "Overall"],
+        rows,
+        title="Probability of being admitted to University X (Table 1)",
+    )
+)
+print()
+print(
+    "Gender A wins within each race but loses overall: the direction of\n"
+    "'unfairness' depends on the measurement granularity.\n"
+)
+
+# --- Epsilon at every granularity ------------------------------------------
+sweep = subset_sweep(contingency)
+print(sweep.to_text())
+print()
+full = sweep.full_epsilon
+print(f"intersectional epsilon (Gender x Race): {full:.4f}  (paper: 1.511)")
+print(f"Theorem 3.1 bound for the marginals:    {2 * full:.4f}  (paper: 3.022)")
+print(f"actual Gender-only epsilon:             {sweep.epsilon('gender'):.4f}")
+print(f"actual Race-only epsilon:               {sweep.epsilon('race'):.4f}")
+print()
+
+# --- The witness: who is the comparison actually between? ------------------
+result = dataset_edf(contingency)
+print("the binding comparison:", result.witness.describe(("gender", "race")))
+print(
+    "\nEven under a Simpson's reversal, protecting the intersection\n"
+    "automatically protects every marginal to within a factor of two in\n"
+    "log-probability-ratio — the motivating property of the definition."
+)

@@ -1,0 +1,119 @@
+"""Advanced features: uncertainty sets, model-based estimation, and the
+conditional (equalized-odds-style) extension.
+
+Three things the paper describes but does not evaluate, all implemented
+here:
+
+1. Θ as a *range* of Gaussian models (Section 3's example of a non-trivial
+   uncertainty class) with an exact worst-case epsilon;
+2. Definition 4.1 with a pooled logistic model of P(y | s) for sparse,
+   high-dimensional protected attributes (Section 4's closing remark);
+3. conditional differential fairness, the equalized-odds analogue the
+   paper leaves as future work (Section 7.1).
+
+Run:  python examples/uncertainty_and_extensions.py
+"""
+
+import numpy as np
+
+from repro.core.conditional import conditional_edf
+from repro.core.empirical import dataset_edf, edf_from_contingency
+from repro.core.estimators import DirichletEstimator
+from repro.core.model_based import model_based_edf
+from repro.data import SyntheticAdult
+from repro.data.synthetic_adult import OUTCOME, PROTECTED
+from repro.distributions import GaussianScoreBand
+from repro.mechanisms import ScoreThresholdMechanism
+from repro.tabular import Column, crosstab
+from repro.utils.formatting import render_table
+
+# ---------------------------------------------------------------------
+# 1. Worst-case epsilon over a band of plausible score models
+# ---------------------------------------------------------------------
+print("=" * 70)
+print("1. Gaussian uncertainty band (Section 3's Θ example)")
+print("=" * 70)
+mechanism = ScoreThresholdMechanism(10.5)
+point = GaussianScoreBand([10.0, 12.0], [1.0, 1.0])
+band = GaussianScoreBand(
+    mean_intervals=[(9.7, 10.3), (11.7, 12.3)],
+    std_intervals=[(0.9, 1.1), (0.9, 1.1)],
+)
+print(f"point estimate Θ = {{θ̂}}: epsilon = "
+      f"{point.worst_case_epsilon(mechanism).epsilon:.4f} (Figure 2's 2.337)")
+worst = band.worst_case_epsilon(mechanism)
+print(f"band Θ (μ ± 0.3, σ ± 0.1):")
+print(worst.to_text())
+print(
+    "\nDefinition 3.1 takes the sup over Θ: uncertainty about the data\n"
+    "distribution can only increase the certified epsilon.\n"
+)
+
+# ---------------------------------------------------------------------
+# 2. Model-based P(y | s) under sparsity
+# ---------------------------------------------------------------------
+print("=" * 70)
+print("2. Pooled-model estimation for sparse intersections (Section 4)")
+print("=" * 70)
+train = SyntheticAdult(seed=0, features=False).train()
+population = dataset_edf(train, list(PROTECTED), OUTCOME).epsilon
+rng = np.random.default_rng(7)
+rows = []
+for size in (32561, 1000, 300):
+    table = (
+        train
+        if size >= train.n_rows
+        else train.take(rng.choice(train.n_rows, size=size, replace=False))
+    )
+    contingency = crosstab(table, list(PROTECTED), OUTCOME)
+    rows.append(
+        [
+            f"{size:,}",
+            edf_from_contingency(contingency).epsilon,
+            edf_from_contingency(contingency, DirichletEstimator(1.0)).epsilon,
+            model_based_edf(contingency).epsilon,
+        ]
+    )
+print(
+    render_table(
+        ["rows", "Eq. 6", "Eq. 7 (alpha=1)", "pooled logistic"],
+        rows,
+        digits=4,
+        title=f"population epsilon = {population:.4f}",
+    )
+)
+print(
+    "\nWith 16 intersectional cells and 300 rows, the plug-in estimator\n"
+    "degenerates (empty cells -> infinite epsilon); the pooled model\n"
+    "borrows strength from the attribute margins and stays close to the\n"
+    "population value.\n"
+)
+
+# ---------------------------------------------------------------------
+# 3. Conditional differential fairness (the equalized-odds analogue)
+# ---------------------------------------------------------------------
+print("=" * 70)
+print("3. Conditional DF: the Section 7.1 future-work extension")
+print("=" * 70)
+# An oracle classifier on data with a 9:1 base-rate disparity.
+oracle_rows = (
+    [("a", "1", "1")] * 90 + [("a", "0", "0")] * 10
+    + [("b", "1", "1")] * 10 + [("b", "0", "0")] * 90
+)
+from repro.tabular import Table
+
+oracle = Table.from_rows(["group", "label", "pred"], oracle_rows)
+unconditional = dataset_edf(oracle, protected="group", outcome="pred")
+conditional = conditional_edf(oracle, "group", "pred", given="label")
+print(f"oracle classifier, 9:1 base-rate disparity:")
+print(f"  unconditional epsilon (differential fairness): "
+      f"{unconditional.epsilon:.4f}")
+print(f"  conditional epsilon (equalized-odds analogue): "
+      f"{conditional.epsilon:.4f}")
+print(
+    "\nPerfect prediction satisfies the conditional definition exactly\n"
+    "while reproducing every disparity in the data — which is why the\n"
+    "paper calls equalized odds 'a relatively weak notion of fairness\n"
+    "from a civil rights perspective' and differential fairness\n"
+    "constrains the outcomes themselves."
+)

@@ -1,0 +1,86 @@
+"""repro: a full reproduction of *An Intersectional Definition of Fairness*
+(Foulds & Pan), the differential fairness framework.
+
+Quickstart::
+
+    from repro import Table, dataset_edf, subset_sweep
+
+    table = Table.from_dict({
+        "gender": [...], "race": [...], "outcome": [...],
+    })
+    result = dataset_edf(table, protected=["gender", "race"], outcome="outcome")
+    print(result.epsilon, result.witness)
+
+    sweep = subset_sweep(table, protected=["gender", "race"], outcome="outcome")
+    print(sweep.to_text())
+
+The top-level namespace re-exports the most common entry points; the full
+API lives in the subpackages:
+
+* :mod:`repro.core` — differential fairness measurements and theory
+* :mod:`repro.tabular` — the column-store table engine
+* :mod:`repro.distributions` / :mod:`repro.mechanisms` — the (A, Θ) and M(x)
+  abstractions
+* :mod:`repro.metrics` — baseline fairness definitions for comparison
+* :mod:`repro.learn` — from-scratch ML, including DF-regularised training
+* :mod:`repro.data` — the paper's datasets (Table 1 data, synthetic Adult)
+* :mod:`repro.audit` — high-level auditing pipelines (Tables 2 and 3)
+"""
+
+from repro.core import (
+    BiasAmplification,
+    DirichletEstimator,
+    EpsilonResult,
+    FairnessRegime,
+    MLEEstimator,
+    SubsetSweep,
+    Witness,
+    bias_amplification,
+    dataset_edf,
+    epsilon_from_probabilities,
+    gaussian_threshold_epsilon,
+    interpret_epsilon,
+    mechanism_epsilon,
+    paper_worked_example,
+    subset_sweep,
+)
+from repro.tabular import (
+    Column,
+    ContingencyTable,
+    Field,
+    Schema,
+    Table,
+    crosstab,
+    group_by,
+    read_csv,
+    write_csv,
+)
+from repro.version import __version__
+
+__all__ = [
+    "BiasAmplification",
+    "Column",
+    "ContingencyTable",
+    "DirichletEstimator",
+    "EpsilonResult",
+    "FairnessRegime",
+    "Field",
+    "MLEEstimator",
+    "Schema",
+    "SubsetSweep",
+    "Table",
+    "Witness",
+    "__version__",
+    "bias_amplification",
+    "crosstab",
+    "dataset_edf",
+    "epsilon_from_probabilities",
+    "gaussian_threshold_epsilon",
+    "group_by",
+    "interpret_epsilon",
+    "mechanism_epsilon",
+    "paper_worked_example",
+    "read_csv",
+    "subset_sweep",
+    "write_csv",
+]

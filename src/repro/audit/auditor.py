@@ -1,0 +1,203 @@
+"""One-call fairness audits for datasets and classifiers."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.amplification import BiasAmplification, bias_amplification
+from repro.core.bayesian import PosteriorEpsilon, posterior_epsilon
+from repro.core.empirical import dataset_edf
+from repro.core.estimators import ProbabilityEstimator, as_estimator
+from repro.core.interpretation import Interpretation, interpret_epsilon
+from repro.core.result import EpsilonResult
+from repro.core.subsets import SubsetSweep, subset_sweep
+from repro.exceptions import ValidationError
+from repro.learn.metrics import error_rate
+from repro.learn.preprocessing import TableVectorizer
+from repro.metrics.demographic_parity import demographic_parity_difference
+from repro.metrics.equalized_odds import equalized_odds_difference
+from repro.tabular.column import Column
+from repro.tabular.crosstab import ContingencyTable
+from repro.tabular.table import Table
+
+__all__ = ["DatasetAudit", "ClassifierAudit", "FairnessAuditor"]
+
+
+@dataclass(frozen=True)
+class DatasetAudit:
+    """Differential fairness audit of a labelled dataset."""
+
+    sweep: SubsetSweep
+    interpretation: Interpretation
+    posterior: PosteriorEpsilon | None
+
+    @property
+    def epsilon(self) -> float:
+        """Epsilon over the full intersection of protected attributes."""
+        return self.sweep.full_epsilon
+
+    def to_text(self) -> str:
+        lines = [self.sweep.to_text(), "", self.interpretation.to_text()]
+        lines.append(
+            f"Theorem 3.2 bound for any attribute subset: "
+            f"{self.sweep.theorem_bound():.4f}"
+        )
+        violations = self.sweep.theorem_violations()
+        lines.append(
+            "Theorem 3.2 check: "
+            + ("no violations" if not violations else f"VIOLATED by {violations}")
+        )
+        if self.posterior is not None:
+            lines.append(self.posterior.to_text())
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ClassifierAudit:
+    """Differential fairness audit of a classifier's predictions."""
+
+    result: EpsilonResult
+    amplification: BiasAmplification
+    interpretation: Interpretation
+    error_percent: float
+    demographic_parity: float
+    equalized_odds: float
+
+    @property
+    def epsilon(self) -> float:
+        return self.result.epsilon
+
+    def to_text(self) -> str:
+        return "\n".join(
+            [
+                f"classifier epsilon = {self.epsilon:.4f} "
+                f"({self.result.estimator})",
+                self.amplification.to_text(),
+                self.interpretation.to_text(),
+                f"error rate = {self.error_percent:.2f}%",
+                f"demographic parity difference = {self.demographic_parity:.4f}",
+                f"equalized odds difference = {self.equalized_odds:.4f}",
+            ]
+        )
+
+
+class FairnessAuditor:
+    """Audits datasets and classifiers for differential fairness.
+
+    Parameters
+    ----------
+    protected:
+        The protected attribute columns.
+    outcome:
+        The label column.
+    estimator:
+        ``None`` (Equation 6), a smoothing alpha, or an estimator object.
+    posterior_samples:
+        When positive, dataset audits include the posterior distribution of
+        epsilon (:mod:`repro.core.bayesian`) with this many draws.
+    """
+
+    def __init__(
+        self,
+        protected: Sequence[str],
+        outcome: str,
+        estimator: ProbabilityEstimator | float | None = None,
+        posterior_samples: int = 0,
+        seed=0,
+    ):
+        if not protected:
+            raise ValidationError("protected must name at least one column")
+        self.protected = tuple(protected)
+        self.outcome = outcome
+        self._estimator = as_estimator(estimator)
+        self._posterior_samples = int(posterior_samples)
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    def audit_dataset(self, table: Table) -> DatasetAudit:
+        """Subset sweep + interpretation (+ posterior uncertainty)."""
+        sweep = subset_sweep(
+            table,
+            protected=list(self.protected),
+            outcome=self.outcome,
+            estimator=self._estimator,
+        )
+        posterior = None
+        if self._posterior_samples > 0:
+            contingency = ContingencyTable.from_table(
+                table, list(self.protected), self.outcome
+            )
+            posterior = posterior_epsilon(
+                contingency,
+                alpha=getattr(self._estimator, "alpha", 1.0),
+                n_samples=self._posterior_samples,
+                seed=self._seed,
+            )
+        return DatasetAudit(
+            sweep=sweep,
+            interpretation=interpret_epsilon(sweep.full_epsilon),
+            posterior=posterior,
+        )
+
+    def audit_classifier(
+        self,
+        model,
+        test: Table,
+        vectorizer: TableVectorizer | None = None,
+        transform: Callable[[Table], np.ndarray] | None = None,
+        positive=None,
+    ) -> ClassifierAudit:
+        """Audit a fitted classifier on a labelled test table.
+
+        Features are produced by ``vectorizer.transform`` (or a custom
+        ``transform``); predictions are compared against the test labels
+        for bias amplification, accuracy, and the baseline parity metrics.
+        ``positive`` names the favourable outcome for demographic parity /
+        equalized odds; it defaults to the last outcome level.
+        """
+        if (vectorizer is None) == (transform is None):
+            raise ValidationError("pass exactly one of vectorizer or transform")
+        features = (
+            vectorizer.transform(test) if vectorizer is not None else transform(test)
+        )
+        predictions = list(model.predict(features))
+        outcome_levels = list(test.column(self.outcome).levels)
+        if positive is None:
+            positive = outcome_levels[-1]
+
+        audit_table = test.select(list(self.protected)).with_column(
+            Column.categorical(
+                "__prediction__", predictions, levels=outcome_levels
+            )
+        )
+        result = dataset_edf(
+            audit_table,
+            protected=list(self.protected),
+            outcome="__prediction__",
+            estimator=self._estimator,
+        )
+        data_result = dataset_edf(
+            test,
+            protected=list(self.protected),
+            outcome=self.outcome,
+            estimator=self._estimator,
+        )
+        labels = test.column(self.outcome).to_list()
+        groups = list(
+            zip(*(test.column(name).to_list() for name in self.protected))
+        )
+        return ClassifierAudit(
+            result=result,
+            amplification=bias_amplification(data_result, result),
+            interpretation=interpret_epsilon(result.epsilon),
+            error_percent=error_rate(labels, predictions, percent=True),
+            demographic_parity=demographic_parity_difference(
+                predictions, groups, positive
+            ),
+            equalized_odds=equalized_odds_difference(
+                labels, predictions, groups, positive
+            ),
+        )

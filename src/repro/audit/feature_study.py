@@ -1,0 +1,190 @@
+"""The feature-selection study of the paper's Table 3.
+
+For each subset of the sensitive attributes, a classifier is trained using
+that subset (plus all non-sensitive features), its test predictions are
+audited for differential fairness over the *full* set of protected
+attributes (Equation 7 smoothing, alpha = 1), and the bias amplification
+relative to the test labels' own epsilon is reported alongside the error
+rate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.empirical import dataset_edf
+from repro.core.estimators import DirichletEstimator
+from repro.exceptions import ValidationError
+from repro.learn.logistic_regression import LogisticRegression
+from repro.learn.metrics import error_rate
+from repro.learn.preprocessing import TableVectorizer
+from repro.tabular.column import Column
+from repro.tabular.table import Table
+
+__all__ = ["FeatureStudyRow", "FeatureStudyResult", "FeatureSelectionStudy"]
+
+
+@dataclass(frozen=True)
+class FeatureStudyRow:
+    """One Table 3 row: a feature configuration and its measurements."""
+
+    sensitive_used: tuple[str, ...]
+    epsilon: float
+    data_epsilon: float
+    error_percent: float
+    n_features: int
+
+    @property
+    def amplification(self) -> float:
+        """Algorithm epsilon minus data epsilon (Section 4.1); negative
+        values mean the classifier attenuates the data's bias."""
+        return self.epsilon - self.data_epsilon
+
+    def label(self) -> str:
+        return ", ".join(self.sensitive_used) if self.sensitive_used else "none"
+
+
+@dataclass(frozen=True)
+class FeatureStudyResult:
+    """All rows of the study plus the shared test-data epsilon."""
+
+    rows: tuple[FeatureStudyRow, ...]
+    data_epsilon: float
+    alpha: float
+
+    def row(self, sensitive_used: Sequence[str]) -> FeatureStudyRow:
+        """Look up a configuration (order-insensitive)."""
+        wanted = frozenset(sensitive_used)
+        for row in self.rows:
+            if frozenset(row.sensitive_used) == wanted:
+                return row
+        raise ValidationError(f"no study row for {tuple(sensitive_used)}")
+
+    def to_text(self, digits: int = 3) -> str:
+        from repro.utils.formatting import render_table
+
+        body = [
+            [row.label(), row.epsilon, row.amplification, row.error_percent]
+            for row in self.rows
+        ]
+        table = render_table(
+            [
+                "Sensitive attributes used",
+                "eps-DF",
+                "algorithm-DF minus data-DF",
+                "Error rate (%)",
+            ],
+            body,
+            digits=digits,
+            title=(
+                "Differential fairness of the classifier "
+                f"(alpha={self.alpha:g}; test data eps={self.data_epsilon:.3f})"
+            ),
+        )
+        return table
+
+
+class FeatureSelectionStudy:
+    """Run the Table 3 experiment on a train/test pair of tables.
+
+    Parameters
+    ----------
+    train, test:
+        Labelled tables sharing a schema.
+    protected:
+        The protected attributes (the audit always uses all of them).
+    outcome:
+        The label column.
+    alpha:
+        Dirichlet smoothing for the epsilon measurements (the paper uses 1).
+    model_factory:
+        Zero-argument factory producing a fresh classifier per
+        configuration; defaults to the paper's logistic regression.
+    """
+
+    def __init__(
+        self,
+        train: Table,
+        test: Table,
+        protected: Sequence[str],
+        outcome: str,
+        alpha: float = 1.0,
+        model_factory: Callable[[], object] | None = None,
+    ):
+        if not protected:
+            raise ValidationError("protected must name at least one column")
+        self._train = train
+        self._test = test
+        self._protected = tuple(protected)
+        self._outcome = outcome
+        self._estimator = DirichletEstimator(alpha)
+        self._alpha = float(alpha)
+        self._model_factory = model_factory or (lambda: LogisticRegression(l2=1e-4))
+        self._y_train = train.column(outcome).to_list()
+        self._y_test = test.column(outcome).to_list()
+        self._outcome_levels = list(train.column(outcome).levels)
+
+    # ------------------------------------------------------------------
+    def default_feature_sets(self) -> list[tuple[str, ...]]:
+        """Every subset of the protected attributes, smallest first."""
+        subsets: list[tuple[str, ...]] = [()]
+        for size in range(1, len(self._protected) + 1):
+            subsets.extend(itertools.combinations(self._protected, size))
+        return subsets
+
+    def data_epsilon(self) -> float:
+        """Smoothed epsilon of the test labels (the amplification baseline)."""
+        return dataset_edf(
+            self._test,
+            protected=list(self._protected),
+            outcome=self._outcome,
+            estimator=self._estimator,
+        ).epsilon
+
+    def run_configuration(self, sensitive_used: Sequence[str]) -> FeatureStudyRow:
+        """Train and audit a single feature configuration."""
+        sensitive_used = tuple(sensitive_used)
+        unknown = set(sensitive_used) - set(self._protected)
+        if unknown:
+            raise ValidationError(f"unknown sensitive attributes: {sorted(unknown)}")
+        withheld = [
+            name for name in self._protected if name not in sensitive_used
+        ]
+        vectorizer = TableVectorizer(exclude=[self._outcome, *withheld])
+        X_train = vectorizer.fit_transform(self._train)
+        X_test = vectorizer.transform(self._test)
+        model = self._model_factory()
+        model.fit(X_train, self._y_train)
+        predictions = model.predict(X_test)
+
+        audit_table = self._test.select(list(self._protected)).with_column(
+            Column.categorical(
+                "__prediction__", list(predictions), levels=self._outcome_levels
+            )
+        )
+        epsilon = dataset_edf(
+            audit_table,
+            protected=list(self._protected),
+            outcome="__prediction__",
+            estimator=self._estimator,
+        ).epsilon
+        return FeatureStudyRow(
+            sensitive_used=sensitive_used,
+            epsilon=epsilon,
+            data_epsilon=self.data_epsilon(),
+            error_percent=error_rate(self._y_test, predictions, percent=True),
+            n_features=vectorizer.n_features_,
+        )
+
+    def run(
+        self, feature_sets: Sequence[Sequence[str]] | None = None
+    ) -> FeatureStudyResult:
+        """Run every configuration (default: all subsets, as in Table 3)."""
+        if feature_sets is None:
+            feature_sets = self.default_feature_sets()
+        rows = tuple(self.run_configuration(subset) for subset in feature_sets)
+        return FeatureStudyResult(
+            rows=rows, data_epsilon=self.data_epsilon(), alpha=self._alpha
+        )

@@ -1,0 +1,163 @@
+"""Fairness/accuracy trade-off curves.
+
+Section 6 of the paper: when fairness and accuracy cannot be improved
+together, "a compromise must be determined by the analyst, weighing ε
+against accuracy". This module produces the curve the analyst weighs:
+sweep a knob (the DF-regularisation weight, a mixing rate, a threshold),
+measure (ε, error) at each setting, and extract the Pareto front.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.empirical import dataset_edf
+from repro.core.estimators import DirichletEstimator
+from repro.exceptions import ValidationError
+from repro.learn.fair_logistic import FairLogisticRegression
+from repro.learn.metrics import error_rate
+from repro.learn.preprocessing import TableVectorizer
+from repro.tabular.column import Column
+from repro.tabular.table import Table
+
+__all__ = ["TradeoffPoint", "TradeoffCurve", "fairness_weight_sweep"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One measured setting of the knob."""
+
+    parameter: float
+    epsilon: float
+    error_percent: float
+
+    def dominates(self, other: "TradeoffPoint") -> bool:
+        """Weakly better on both axes, strictly better on at least one."""
+        not_worse = (
+            self.epsilon <= other.epsilon
+            and self.error_percent <= other.error_percent
+        )
+        strictly_better = (
+            self.epsilon < other.epsilon
+            or self.error_percent < other.error_percent
+        )
+        return not_worse and strictly_better
+
+
+@dataclass(frozen=True)
+class TradeoffCurve:
+    """All measured points of a sweep, in parameter order."""
+
+    points: tuple[TradeoffPoint, ...]
+    parameter_name: str = "parameter"
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValidationError("a trade-off curve needs at least one point")
+
+    def pareto_front(self) -> list[TradeoffPoint]:
+        """Non-dominated points, sorted by ascending epsilon."""
+        front = [
+            point
+            for point in self.points
+            if not any(other.dominates(point) for other in self.points)
+        ]
+        return sorted(front, key=lambda point: (point.epsilon, point.error_percent))
+
+    def best_under_budget(self, epsilon_budget: float) -> TradeoffPoint:
+        """Most accurate point satisfying an ε budget."""
+        eligible = [
+            point for point in self.points if point.epsilon <= epsilon_budget
+        ]
+        if not eligible:
+            raise ValidationError(
+                f"no swept setting satisfies epsilon <= {epsilon_budget}"
+            )
+        return min(eligible, key=lambda point: point.error_percent)
+
+    def to_text(self, digits: int = 3) -> str:
+        from repro.utils.formatting import render_table
+
+        front = set(
+            (point.parameter, point.epsilon) for point in self.pareto_front()
+        )
+        rows = [
+            [
+                point.parameter,
+                point.epsilon,
+                point.error_percent,
+                "*" if (point.parameter, point.epsilon) in front else "",
+            ]
+            for point in self.points
+        ]
+        return render_table(
+            [self.parameter_name, "epsilon", "error %", "Pareto"],
+            rows,
+            digits=digits,
+            title="Fairness/accuracy trade-off (* = Pareto-optimal)",
+        )
+
+
+def fairness_weight_sweep(
+    train: Table,
+    test: Table,
+    protected: Sequence[str],
+    outcome: str,
+    weights: Sequence[float] = (0.0, 0.05, 0.2, 1.0, 5.0),
+    alpha: float = 1.0,
+    l2: float = 1e-4,
+    max_iter: int = 200,
+    model_factory: Callable[[float], Any] | None = None,
+) -> TradeoffCurve:
+    """Sweep the DF-regularisation weight of a fair logistic regression.
+
+    For each weight λ a :class:`FairLogisticRegression` is trained on the
+    non-protected features of ``train`` and evaluated on ``test``: the
+    smoothed ε of its hard predictions over the full intersection of
+    ``protected``, and the percentage error. ``model_factory`` may replace
+    the model per weight (it receives λ and must return a fitted-API
+    compatible object with ``fit(X, y, groups=...)`` and ``predict``).
+    """
+    if not weights:
+        raise ValidationError("weights must not be empty")
+    protected = list(protected)
+    vectorizer = TableVectorizer(exclude=[outcome, *protected]).fit(train)
+    X_train = vectorizer.transform(train)
+    X_test = vectorizer.transform(test)
+    y_train = train.column(outcome).to_list()
+    y_test = test.column(outcome).to_list()
+    outcome_levels = list(train.column(outcome).levels)
+    groups_train = list(zip(*(train.column(c).to_list() for c in protected)))
+    estimator = DirichletEstimator(alpha)
+
+    if model_factory is None:
+        model_factory = lambda weight: FairLogisticRegression(  # noqa: E731
+            fairness_weight=weight, l2=l2, max_iter=max_iter
+        )
+
+    points = []
+    for weight in weights:
+        model = model_factory(float(weight))
+        model.fit(X_train, y_train, groups=groups_train)
+        predictions = model.predict(X_test)
+        audit_table = test.select(protected).with_column(
+            Column.categorical(
+                "__prediction__", list(predictions), levels=outcome_levels
+            )
+        )
+        epsilon = dataset_edf(
+            audit_table,
+            protected=protected,
+            outcome="__prediction__",
+            estimator=estimator,
+        ).epsilon
+        points.append(
+            TradeoffPoint(
+                parameter=float(weight),
+                epsilon=epsilon,
+                error_percent=error_rate(y_test, predictions, percent=True),
+            )
+        )
+    return TradeoffCurve(points=tuple(points), parameter_name="fairness weight λ")

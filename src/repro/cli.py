@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``audit``
+    Measure the differential fairness of a labelled CSV file and print a
+    plain-text or markdown report (the practitioner workflow of Section 1:
+    "measuring and critiquing the fairness properties of real-world AI and
+    ML systems").
+``worked-example``
+    Print the paper's Figure 2 Gaussian-threshold example.
+``simpsons``
+    Print the paper's Table 1 Simpson's-paradox example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Differential fairness measurements (Foulds & Pan).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    audit = commands.add_parser(
+        "audit", help="audit a labelled CSV file for differential fairness"
+    )
+    audit.add_argument("csv_path", help="path to a CSV file with a header row")
+    audit.add_argument(
+        "--protected",
+        required=True,
+        help="comma-separated protected attribute columns",
+    )
+    audit.add_argument("--outcome", required=True, help="the outcome column")
+    audit.add_argument(
+        "--alpha",
+        type=float,
+        default=None,
+        help="Dirichlet smoothing concentration (Eq. 7); omit for Eq. 6",
+    )
+    audit.add_argument(
+        "--posterior-samples",
+        type=int,
+        default=0,
+        help="add a posterior credible summary of epsilon with N draws",
+    )
+    audit.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a markdown report instead of plain text",
+    )
+
+    commands.add_parser(
+        "worked-example", help="print the paper's Figure 2 worked example"
+    )
+    commands.add_parser(
+        "simpsons", help="print the paper's Table 1 Simpson's paradox example"
+    )
+    return parser
+
+
+def _run_audit(args: argparse.Namespace, out) -> int:
+    from repro.audit.auditor import FairnessAuditor
+    from repro.audit.report import markdown_report
+    from repro.tabular.csv_io import read_csv
+
+    protected = [name.strip() for name in args.protected.split(",") if name.strip()]
+    if not protected:
+        print("error: --protected must name at least one column", file=sys.stderr)
+        return 2
+    table = read_csv(args.csv_path)
+    if args.markdown:
+        out.write(
+            markdown_report(
+                table,
+                protected=protected,
+                outcome=args.outcome,
+                estimator=args.alpha,
+                posterior_samples=args.posterior_samples,
+                dataset_name=args.csv_path,
+            )
+        )
+        out.write("\n")
+        return 0
+    auditor = FairnessAuditor(
+        protected=protected,
+        outcome=args.outcome,
+        estimator=args.alpha,
+        posterior_samples=args.posterior_samples,
+    )
+    audit = auditor.audit_dataset(table)
+    out.write(audit.to_text())
+    out.write("\n")
+    return 0
+
+
+def _run_worked_example(out) -> int:
+    from repro.core.analytic import paper_worked_example
+
+    out.write(paper_worked_example().to_text())
+    out.write("\n")
+    return 0
+
+
+def _run_simpsons(out) -> int:
+    from repro.core.subsets import subset_sweep
+    from repro.data.kidney import admissions_contingency
+
+    contingency = admissions_contingency()
+    sweep = subset_sweep(contingency)
+    out.write(contingency.to_text())
+    out.write("\n\n")
+    out.write(sweep.to_text())
+    out.write(
+        f"\n\nTheorem 3.1 bound for the marginals: {sweep.theorem_bound():.4f}\n"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "audit":
+            return _run_audit(args, out)
+        if args.command == "worked-example":
+            return _run_worked_example(out)
+        if args.command == "simpsons":
+            return _run_simpsons(out)
+    except (ReproError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Bias amplification: comparing the epsilon of two mechanisms (Section 4.1).
+
+For a fixed framework (A, Θ) and tightly computed epsilons, the difference
+``ε2 - ε1`` is meaningful: mechanism M2 admits at most an
+``exp(ε2 - ε1)`` multiplicative increase in group utility disparity over
+M1. When ε1 measures a training dataset and ε2 a classifier trained on it,
+the difference quantifies how much the learning algorithm amplifies the
+data's bias (Zhao et al.'s "bias amplification").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.result import EpsilonResult
+
+__all__ = ["BiasAmplification", "bias_amplification"]
+
+
+@dataclass(frozen=True)
+class BiasAmplification:
+    """The fairness cost of using one mechanism instead of another."""
+
+    epsilon_baseline: float
+    epsilon_mechanism: float
+
+    @property
+    def difference(self) -> float:
+        """``ε2 - ε1``; positive means the mechanism amplifies the bias,
+        negative means it attenuates it (the paper's "reverse
+        discrimination" observation for the nationality feature)."""
+        return self.epsilon_mechanism - self.epsilon_baseline
+
+    @property
+    def disparity_factor(self) -> float:
+        """``exp(ε2 - ε1)``: multiplicative increase in the worst-case
+        utility disparity (≈ ``1 + (ε2 - ε1)`` for small differences)."""
+        return math.exp(self.difference)
+
+    @property
+    def amplifies(self) -> bool:
+        return self.difference > 0
+
+    def to_text(self) -> str:
+        direction = "amplifies" if self.amplifies else "attenuates"
+        return (
+            f"mechanism epsilon {self.epsilon_mechanism:.4f} vs baseline "
+            f"{self.epsilon_baseline:.4f}: {direction} bias by "
+            f"{abs(self.difference):.4f} (disparity factor "
+            f"{self.disparity_factor:.4f})"
+        )
+
+
+def bias_amplification(
+    baseline: EpsilonResult | float, mechanism: EpsilonResult | float
+) -> BiasAmplification:
+    """Measure the amplification of ``mechanism`` over ``baseline``.
+
+    Accepts raw epsilons or :class:`EpsilonResult` objects. Typical use,
+    following Table 3 of the paper: ``baseline`` is the smoothed EDF of the
+    test labels, ``mechanism`` the smoothed EDF of a classifier's test
+    predictions.
+    """
+    eps1 = baseline.epsilon if isinstance(baseline, EpsilonResult) else float(baseline)
+    eps2 = (
+        mechanism.epsilon if isinstance(mechanism, EpsilonResult) else float(mechanism)
+    )
+    if eps1 < 0 or eps2 < 0:
+        raise ValueError("epsilons must be non-negative")
+    return BiasAmplification(epsilon_baseline=eps1, epsilon_mechanism=eps2)

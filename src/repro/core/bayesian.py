@@ -1,0 +1,142 @@
+"""Bayesian uncertainty over epsilon.
+
+Section 3 of the paper allows Θ to be "a MAP estimate, a set of burned-in
+MCMC samples, the posterior predictive distribution, or a credible region".
+With the Dirichlet-multinomial outcome model of Section 4 the posterior is
+conjugate, so posterior samples of the group-conditional outcome
+probabilities — and hence of epsilon — are exact draws, no MCMC needed.
+
+Two summaries are provided:
+
+* the *posterior distribution of epsilon* (mean/quantiles), quantifying the
+  sampling uncertainty of a measured epsilon;
+* the *sup over a sampled Θ* (Definition 3.1 takes a maximum over Θ, so a
+  set of posterior draws yields the max of their epsilons).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.epsilon import epsilon_from_probabilities
+from repro.distributions.dirichlet import GroupOutcomePosterior
+from repro.exceptions import ValidationError
+from repro.tabular.crosstab import ContingencyTable
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "PosteriorEpsilon",
+    "posterior_epsilon_samples",
+    "posterior_epsilon",
+    "epsilon_over_sampled_theta",
+]
+
+
+def _sample_epsilons(
+    counts: np.ndarray,
+    alpha: float,
+    n_samples: int,
+    seed,
+) -> np.ndarray:
+    if n_samples < 1:
+        raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
+    posterior = GroupOutcomePosterior(counts, prior_concentration=alpha)
+    rng = as_generator(seed)
+    epsilons = np.empty(n_samples)
+    for index in range(n_samples):
+        matrix = posterior.sample_matrix(rng)
+        epsilons[index] = epsilon_from_probabilities(
+            matrix, estimator="posterior sample", validate=False
+        ).epsilon
+    return epsilons
+
+
+def posterior_epsilon_samples(
+    data: ContingencyTable | np.ndarray,
+    alpha: float = 1.0,
+    n_samples: int = 1000,
+    seed=None,
+) -> np.ndarray:
+    """Posterior draws of epsilon under the Dirichlet-multinomial model.
+
+    ``data`` is a contingency table (or raw group x outcome count matrix);
+    each draw samples every group's outcome distribution from its conjugate
+    posterior and measures the epsilon of the sampled matrix.
+    """
+    counts = (
+        data.group_outcome_matrix()[0]
+        if isinstance(data, ContingencyTable)
+        else np.asarray(data, dtype=float)
+    )
+    return _sample_epsilons(counts, alpha, n_samples, seed)
+
+
+@dataclass(frozen=True)
+class PosteriorEpsilon:
+    """Summary of the posterior distribution of epsilon."""
+
+    mean: float
+    median: float
+    quantiles: dict[float, float]
+    n_samples: int
+    alpha: float
+
+    def credible_upper(self, level: float = 0.95) -> float:
+        """Upper credible bound at ``level`` (must be a computed quantile)."""
+        try:
+            return self.quantiles[level]
+        except KeyError:
+            raise ValidationError(
+                f"quantile {level} was not computed; have "
+                f"{sorted(self.quantiles)}"
+            ) from None
+
+    def to_text(self) -> str:
+        quantile_text = ", ".join(
+            f"q{int(level * 100)}={value:.4f}"
+            for level, value in sorted(self.quantiles.items())
+        )
+        return (
+            f"posterior epsilon (alpha={self.alpha:g}, {self.n_samples} draws): "
+            f"mean={self.mean:.4f}, median={self.median:.4f}, {quantile_text}"
+        )
+
+
+def posterior_epsilon(
+    data: ContingencyTable | np.ndarray,
+    alpha: float = 1.0,
+    n_samples: int = 1000,
+    quantile_levels: Sequence[float] = (0.05, 0.5, 0.95),
+    seed=None,
+) -> PosteriorEpsilon:
+    """Posterior mean and credible quantiles of epsilon."""
+    samples = posterior_epsilon_samples(data, alpha, n_samples, seed)
+    quantiles = {
+        float(level): float(np.quantile(samples, level))
+        for level in quantile_levels
+    }
+    return PosteriorEpsilon(
+        mean=float(samples.mean()),
+        median=float(np.median(samples)),
+        quantiles=quantiles,
+        n_samples=n_samples,
+        alpha=float(alpha),
+    )
+
+
+def epsilon_over_sampled_theta(
+    data: ContingencyTable | np.ndarray,
+    alpha: float = 1.0,
+    n_samples: int = 100,
+    seed=None,
+) -> float:
+    """Definition 3.1 with Θ = a set of posterior draws: max of the epsilons.
+
+    This is a conservative (larger) measurement than the point-estimate
+    epsilon; it grows with ``n_samples`` and shrinks as the data grows.
+    """
+    samples = posterior_epsilon_samples(data, alpha, n_samples, seed)
+    return float(samples.max())

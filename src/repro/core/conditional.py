@@ -1,0 +1,140 @@
+"""Conditional differential fairness — the equalized-odds-style extension.
+
+Section 7.1 of the paper: "It is straightforward to extend differential
+fairness to a definition analogous to equalized odds while porting an
+analogous privacy guarantee of Equation 4, although we leave the
+exploration of this for future work." This module is that extension.
+
+A mechanism is ε-conditionally differentially fair given a conditioning
+variable C (typically the true label) if for every value c of C, every
+outcome y, and every pair of groups,
+
+    exp(-ε) <= P(M(x) = y | si, C = c) / P(M(x) = y | sj, C = c) <= exp(ε).
+
+With C = the true label and M a classifier, this requires the group-
+conditional *error profiles* to match (Hardt et al.'s equalized odds), but
+measured multiplicatively and intersectionally like differential fairness.
+The Equation 4 privacy guarantee ports verbatim, conditioned on C: an
+adversary who knows an individual's true label and observes the prediction
+still moves their posterior odds over the protected attributes by at most
+exp(±ε).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.empirical import dataset_edf
+from repro.core.estimators import ProbabilityEstimator, as_estimator
+from repro.core.result import EpsilonResult
+from repro.exceptions import ValidationError
+from repro.tabular.table import Table
+
+__all__ = ["ConditionalEpsilon", "conditional_edf"]
+
+
+@dataclass(frozen=True)
+class ConditionalEpsilon:
+    """Per-condition epsilon measurements and their maximum.
+
+    ``epsilon`` is the smallest ε for which the conditional definition
+    holds: the max of the per-slice epsilons.
+    """
+
+    given: str
+    per_condition: dict[Any, EpsilonResult]
+    estimator: str
+
+    @property
+    def epsilon(self) -> float:
+        return max(result.epsilon for result in self.per_condition.values())
+
+    def result(self, condition: Any) -> EpsilonResult:
+        """The epsilon measurement within one conditioning slice."""
+        try:
+            return self.per_condition[condition]
+        except KeyError:
+            raise ValidationError(
+                f"no slice for {self.given}={condition!r}; have "
+                f"{sorted(self.per_condition, key=str)}"
+            ) from None
+
+    def binding_condition(self) -> Any:
+        """The conditioning value whose slice achieves the overall epsilon."""
+        return max(
+            self.per_condition, key=lambda c: self.per_condition[c].epsilon
+        )
+
+    def to_text(self, digits: int = 4) -> str:
+        from repro.utils.formatting import render_table
+
+        rows = [
+            [str(condition), result.epsilon]
+            for condition, result in sorted(
+                self.per_condition.items(), key=lambda item: str(item[0])
+            )
+        ]
+        rows.append(["max (conditional epsilon)", self.epsilon])
+        return render_table(
+            [f"{self.given} =", "epsilon"],
+            rows,
+            digits=digits,
+            title=f"Conditional differential fairness ({self.estimator})",
+        )
+
+
+def conditional_edf(
+    table: Table,
+    protected: Sequence[str] | str,
+    outcome: str,
+    given: str,
+    estimator: ProbabilityEstimator | float | None = None,
+) -> ConditionalEpsilon:
+    """Empirical conditional differential fairness.
+
+    Parameters
+    ----------
+    table:
+        Data containing the protected attributes, the (predicted) outcome,
+        and the conditioning column.
+    outcome:
+        The mechanism's output column (e.g. a classifier's predictions).
+    given:
+        The conditioning column C. With the true label here and predictions
+        as ``outcome``, the measurement is the differential-fairness
+        analogue of equalized odds.
+
+    Notes
+    -----
+    Groups with no rows in a slice are excluded from that slice (their
+    ``P(s | C = c) = 0``), mirroring Definition 3.1's positivity condition.
+    Conditioning values with no rows at all cannot occur (they simply do
+    not appear among the slices).
+    """
+    if isinstance(protected, str):
+        protected = [protected]
+    if given == outcome:
+        raise ValidationError("the conditioning column must differ from outcome")
+    if given in protected:
+        raise ValidationError(
+            f"the conditioning column {given!r} is itself protected; "
+            "condition on a non-protected variable (typically the true label)"
+        )
+    estimator_obj = as_estimator(estimator)
+    condition_column = table.column(given)
+    per_condition: dict[Any, EpsilonResult] = {}
+    for value in condition_column.unique():
+        slice_table = table.where(given, value)
+        per_condition[value] = dataset_edf(
+            slice_table,
+            protected=list(protected),
+            outcome=outcome,
+            estimator=estimator_obj,
+        )
+    if not per_condition:
+        raise ValidationError(f"column {given!r} has no observed values")
+    return ConditionalEpsilon(
+        given=given, per_condition=per_condition, estimator=estimator_obj.name
+    )

@@ -1,0 +1,83 @@
+"""Empirical differential fairness of labelled datasets.
+
+Implements Definition 4.2 (Equation 6) and the smoothed Definition 4.1
+(Equation 7) of the paper: the dataset's intrinsic bias is the differential
+fairness of the mechanism ``y ~ P(y | s)`` estimated from the data's
+protected-attribute / outcome contingency table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.epsilon import epsilon_from_probabilities
+from repro.core.estimators import ProbabilityEstimator, as_estimator
+from repro.core.result import EpsilonResult
+from repro.exceptions import ValidationError
+from repro.tabular.crosstab import ContingencyTable
+from repro.tabular.table import Table
+
+__all__ = ["dataset_edf", "edf_from_contingency"]
+
+
+def edf_from_contingency(
+    contingency: ContingencyTable,
+    estimator: ProbabilityEstimator | float | None = None,
+) -> EpsilonResult:
+    """Differential fairness of a protected-attributes x outcome count tensor.
+
+    Parameters
+    ----------
+    estimator:
+        ``None`` for the plug-in estimator of Equation 6, a float ``alpha``
+        (or a :class:`DirichletEstimator`) for Equation 7.
+    """
+    estimator = as_estimator(estimator)
+    counts, labels = contingency.group_outcome_matrix()
+    probabilities = estimator.probabilities(counts)
+    return epsilon_from_probabilities(
+        probabilities,
+        group_labels=labels,
+        outcome_levels=contingency.outcome_levels,
+        attribute_names=tuple(contingency.factor_names),
+        group_mass=contingency.group_sizes(),
+        estimator=estimator.name,
+    )
+
+
+def dataset_edf(
+    data: Table | ContingencyTable,
+    protected: Sequence[str] | str | None = None,
+    outcome: str | None = None,
+    estimator: ProbabilityEstimator | float | None = None,
+) -> EpsilonResult:
+    """Empirical differential fairness of a labelled dataset.
+
+    This is the main measurement entry point of the library. For a table,
+    counts the ``protected x outcome`` contingency tensor and applies the
+    chosen estimator; a pre-computed :class:`ContingencyTable` can be passed
+    directly (in which case ``protected``/``outcome`` must be omitted).
+
+    Examples
+    --------
+    >>> from repro.tabular import Table
+    >>> table = Table.from_dict({
+    ...     "gender": ["A", "A", "B", "B", "B"],
+    ...     "hired": ["yes", "no", "yes", "yes", "no"],
+    ... })
+    >>> result = dataset_edf(table, protected="gender", outcome="hired")
+    >>> round(result.epsilon, 4)  # log(0.5 / (1/3)) on the "no" outcome
+    0.4055
+    """
+    if isinstance(data, ContingencyTable):
+        if protected is not None or outcome is not None:
+            raise ValidationError(
+                "protected/outcome are implied by a ContingencyTable; omit them"
+            )
+        return edf_from_contingency(data, estimator)
+    if protected is None or outcome is None:
+        raise ValidationError("protected and outcome column names are required")
+    if isinstance(protected, str):
+        protected = [protected]
+    contingency = ContingencyTable.from_table(data, list(protected), outcome)
+    return edf_from_contingency(contingency, estimator)

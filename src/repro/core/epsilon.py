@@ -1,0 +1,184 @@
+"""The differential fairness parameter from group-outcome probabilities.
+
+This module implements the measurement at the heart of Definition 3.1: given
+the matrix of group-conditional outcome probabilities P(M(x) = y | s, θ), the
+tight fairness parameter is
+
+    epsilon = max over outcomes y, group pairs (si, sj) of
+              log( P(y | si) / P(y | sj) )
+
+Everything else in :mod:`repro.core` reduces to producing such a matrix
+(empirically, analytically, by Monte Carlo, or from a posterior) and calling
+:func:`epsilon_from_probabilities`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.core.result import EpsilonResult, Witness
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_2d
+
+__all__ = [
+    "epsilon_from_probabilities",
+    "pairwise_log_ratio_matrix",
+]
+
+
+def _default_labels(count: int) -> list[tuple[Any, ...]]:
+    return [(index,) for index in range(count)]
+
+
+def epsilon_from_probabilities(
+    probabilities: np.ndarray,
+    *,
+    group_labels: Sequence[tuple[Any, ...]] | None = None,
+    outcome_levels: Sequence[Any] | None = None,
+    attribute_names: Sequence[str] | None = None,
+    group_mass: Sequence[float] | None = None,
+    estimator: str = "direct",
+    validate: bool = True,
+) -> EpsilonResult:
+    """Tight differential fairness parameter of a probability matrix.
+
+    Parameters
+    ----------
+    probabilities:
+        Shape ``(n_groups, n_outcomes)``. Rows must sum to one; a row of
+        NaN marks a group with ``P(s) = 0`` which the definition excludes.
+    group_mass:
+        Optional group weights; groups with zero mass are excluded even if
+        their probability row is finite.
+    estimator:
+        Name recorded on the result for reporting.
+
+    Returns
+    -------
+    EpsilonResult
+        With ``epsilon = 0`` (and no witness) when fewer than two groups
+        are populated: the definition's constraint set is then empty.
+        ``epsilon = inf`` when some outcome has zero probability for one
+        populated group but positive probability for another.
+
+    Notes
+    -----
+    An outcome with zero probability for *every* populated group lies
+    outside ``Range(M)`` and does not constrain epsilon.
+    """
+    matrix = check_2d(probabilities, "probabilities")
+    n_groups, n_outcomes = matrix.shape
+    if n_outcomes < 2:
+        raise ValidationError("at least two outcomes are required")
+
+    labels = list(group_labels) if group_labels is not None else _default_labels(n_groups)
+    if len(labels) != n_groups:
+        raise ValidationError("group_labels must align with probability rows")
+    labels = [tuple(label) if isinstance(label, tuple) else (label,) for label in labels]
+
+    outcomes = (
+        list(outcome_levels) if outcome_levels is not None else list(range(n_outcomes))
+    )
+    if len(outcomes) != n_outcomes:
+        raise ValidationError("outcome_levels must align with probability columns")
+
+    if attribute_names is None:
+        arity = len(labels[0]) if labels else 1
+        attribute_names = tuple(f"attribute_{index}" for index in range(arity))
+    attribute_names = tuple(attribute_names)
+
+    mass = None
+    if group_mass is not None:
+        mass = np.asarray(group_mass, dtype=float)
+        if mass.shape != (n_groups,):
+            raise ValidationError("group_mass must align with probability rows")
+        if np.any(mass < 0):
+            raise ValidationError("group_mass must be non-negative")
+
+    populated = ~np.isnan(matrix).any(axis=1)
+    if mass is not None:
+        populated &= mass > 0
+
+    if validate:
+        finite = matrix[populated]
+        if finite.size:
+            if np.any(finite < -1e-9) or np.any(finite > 1 + 1e-9):
+                raise ValidationError("probabilities must lie in [0, 1]")
+            sums = finite.sum(axis=1)
+            if not np.allclose(sums, 1.0, atol=1e-6):
+                raise ValidationError(
+                    "probability rows must sum to 1 "
+                    f"(row sums in [{sums.min():.6f}, {sums.max():.6f}])"
+                )
+
+    populated_indices = np.flatnonzero(populated)
+    per_outcome: dict[Any, float] = {}
+    best_epsilon = 0.0
+    best_witness: Witness | None = None
+
+    if populated_indices.size >= 2:
+        sub = matrix[populated_indices]
+        for column, outcome in enumerate(outcomes):
+            values = sub[:, column]
+            positive = values > 0
+            if not positive.any():
+                per_outcome[outcome] = math.nan  # outcome outside Range(M)
+                continue
+            high_local = int(np.argmax(values))
+            low_local = int(np.argmin(values))
+            p_high = float(values[high_local])
+            p_low = float(values[low_local])
+            if p_low == 0.0:
+                eps_y = math.inf
+            else:
+                eps_y = math.log(p_high) - math.log(p_low)
+            per_outcome[outcome] = eps_y
+            if best_witness is None or eps_y > best_epsilon:
+                best_epsilon = eps_y
+                best_witness = Witness(
+                    outcome=outcome,
+                    group_high=labels[populated_indices[high_local]],
+                    group_low=labels[populated_indices[low_local]],
+                    prob_high=p_high,
+                    prob_low=p_low,
+                )
+        if best_witness is None:
+            # Every outcome was outside Range(M) for the populated groups,
+            # which cannot happen for valid probability rows.
+            raise ValidationError("no outcome had positive probability")
+    else:
+        per_outcome = {outcome: math.nan for outcome in outcomes}
+
+    return EpsilonResult(
+        epsilon=float(best_epsilon),
+        attribute_names=attribute_names,
+        group_labels=tuple(labels),
+        outcome_levels=tuple(outcomes),
+        probabilities=matrix.copy(),
+        group_mass=None if mass is None else mass.copy(),
+        per_outcome=per_outcome,
+        witness=best_witness,
+        estimator=estimator,
+    )
+
+
+def pairwise_log_ratio_matrix(
+    probabilities: np.ndarray, outcome_column: int
+) -> np.ndarray:
+    """All pairwise log ratios for one outcome: ``L[i, j] = log(p_i / p_j)``.
+
+    NaN rows (excluded groups) propagate NaN; zero probabilities produce
+    ±inf following the paper's convention. This reproduces the "log ratios
+    of probabilities" table in Figure 2 of the paper.
+    """
+    matrix = check_2d(probabilities, "probabilities")
+    column = matrix[:, outcome_column]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        logs = np.log(column)
+        result = logs[:, None] - logs[None, :]
+        # log(0) - log(0) is NaN via -inf - -inf, which matches 0/0 undefined.
+    return result

@@ -1,0 +1,100 @@
+"""Outcome-probability estimators: Equation 6 (plug-in) and Equation 7
+(Dirichlet-smoothed).
+
+An estimator converts a ``(groups x outcomes)`` count matrix into the
+probability matrix consumed by :func:`repro.core.epsilon_from_probabilities`.
+Groups with zero total count get NaN rows: the paper's definitions only
+constrain groups with ``P(s) > 0``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["ProbabilityEstimator", "MLEEstimator", "DirichletEstimator", "as_estimator"]
+
+
+class ProbabilityEstimator(ABC):
+    """Turns group-outcome counts into group-conditional probabilities."""
+
+    #: Human-readable name recorded on results.
+    name: str = "abstract"
+
+    @abstractmethod
+    def probabilities(self, counts: np.ndarray) -> np.ndarray:
+        """Estimate ``P(y | s)`` from a ``(groups x outcomes)`` count matrix."""
+
+    def _validated(self, counts: np.ndarray) -> np.ndarray:
+        counts = np.asarray(counts, dtype=float)
+        if counts.ndim != 2:
+            raise ValidationError("counts must be a (groups x outcomes) matrix")
+        if np.any(counts < 0) or np.any(~np.isfinite(counts)):
+            raise ValidationError("counts must be finite and non-negative")
+        return counts
+
+
+class MLEEstimator(ProbabilityEstimator):
+    """The plug-in (empirical) estimator of Equation 6: ``N_{y,s} / N_s``."""
+
+    name = "empirical (Eq. 6)"
+
+    def probabilities(self, counts: np.ndarray) -> np.ndarray:
+        counts = self._validated(counts)
+        totals = counts.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            probabilities = counts / totals
+        probabilities[totals[:, 0] <= 0] = np.nan
+        return probabilities
+
+    def __repr__(self) -> str:
+        return "MLEEstimator()"
+
+
+class DirichletEstimator(ProbabilityEstimator):
+    """The smoothed estimator of Equation 7.
+
+    With a symmetric Dirichlet prior of per-entry concentration ``alpha``,
+    the posterior-predictive probability is
+
+        (N_{y,s} + alpha) / (N_s + |Y| * alpha).
+
+    The paper's Table 3 uses ``alpha = 1``.
+    """
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha <= 0:
+            raise ValidationError(f"alpha must be > 0, got {alpha}")
+        self.alpha = float(alpha)
+        self.name = f"Dirichlet-smoothed alpha={self.alpha:g} (Eq. 7)"
+
+    def probabilities(self, counts: np.ndarray) -> np.ndarray:
+        counts = self._validated(counts)
+        totals = counts.sum(axis=1, keepdims=True)
+        k = counts.shape[1]
+        probabilities = (counts + self.alpha) / (totals + k * self.alpha)
+        # Unobserved groups stay excluded: smoothing estimates P(y | s), not P(s).
+        probabilities[totals[:, 0] <= 0] = np.nan
+        return probabilities
+
+    def __repr__(self) -> str:
+        return f"DirichletEstimator(alpha={self.alpha:g})"
+
+
+def as_estimator(
+    estimator: ProbabilityEstimator | float | None,
+) -> ProbabilityEstimator:
+    """Coerce an estimator spec: None -> MLE, a number -> Dirichlet(alpha)."""
+    if estimator is None:
+        return MLEEstimator()
+    if isinstance(estimator, ProbabilityEstimator):
+        return estimator
+    if isinstance(estimator, (int, float)) and not isinstance(estimator, bool):
+        return DirichletEstimator(float(estimator))
+    raise ValidationError(
+        f"estimator must be None, a number (alpha), or a ProbabilityEstimator; "
+        f"got {type(estimator).__name__}"
+    )

@@ -1,0 +1,105 @@
+"""Interpreting the magnitude of epsilon (Section 3.3 of the paper).
+
+The paper calibrates epsilon against differential privacy: guarantees with
+ε < 1 are conventionally "high privacy"; randomized response with fair
+coins sits at ln(3) ≈ 1.0986, just above that cut-off; and values like
+ε = 20 are "almost meaningless". These helpers turn a measured epsilon
+into that qualitative story plus the quantitative exp(ε) utility factor.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_nonnegative
+
+__all__ = [
+    "FairnessRegime",
+    "Interpretation",
+    "interpret_epsilon",
+    "utility_factor",
+    "HIGH_FAIRNESS_THRESHOLD",
+    "RANDOMIZED_RESPONSE_EPSILON",
+]
+
+#: The conventional "high privacy/fairness" cut-off from the privacy
+#: literature, as cited in Section 3.3.
+HIGH_FAIRNESS_THRESHOLD = 1.0
+
+#: Epsilon of fair-coin randomized response: ln(3), the paper's calibration
+#: point "slightly above the high-privacy cut-off".
+RANDOMIZED_RESPONSE_EPSILON = math.log(3.0)
+
+
+class FairnessRegime(enum.Enum):
+    """Qualitative bands for epsilon values.
+
+    The PERFECT/HIGH boundary (ε = 0) and the HIGH boundary (ε = 1) come
+    from the paper; the coarser upper bands are library conventions chosen
+    so that the Figure 2 example (ε = 2.337, "clearly unsatisfactory") and
+    the paper's "ε = 20 is almost meaningless" remark land in distinct
+    bands.
+    """
+
+    PERFECT = "perfect"          # ε = 0: identical outcome distributions
+    HIGH = "high"                # ε < 1: strong guarantee
+    MODERATE = "moderate"        # 1 <= ε < ln(10): at most a 10x disparity
+    WEAK = "weak"                # ln(10) <= ε < 5
+    NEGLIGIBLE = "negligible"    # ε >= 5: effectively no guarantee
+
+
+_MODERATE_UPPER = math.log(10.0)
+_WEAK_UPPER = 5.0
+
+
+def utility_factor(epsilon: float) -> float:
+    """``exp(ε)``: the worst-case multiplicative disparity in expected
+    utility between two protected groups (Equation 5)."""
+    check_nonnegative(epsilon, "epsilon")
+    return math.exp(epsilon) if math.isfinite(epsilon) else math.inf
+
+
+@dataclass(frozen=True)
+class Interpretation:
+    """A measured epsilon with its qualitative and economic reading."""
+
+    epsilon: float
+    regime: FairnessRegime
+    utility_factor: float
+
+    def to_text(self) -> str:
+        if self.regime is FairnessRegime.PERFECT:
+            return "epsilon = 0: all groups receive identical outcome distributions."
+        comparison = (
+            "stronger than"
+            if self.epsilon < RANDOMIZED_RESPONSE_EPSILON
+            else "weaker than"
+        )
+        return (
+            f"epsilon = {self.epsilon:.4f} ({self.regime.value} fairness): one "
+            f"group may receive up to {self.utility_factor:.2f}x the expected "
+            f"utility of another; {comparison} the ln(3) ≈ 1.0986 guarantee of "
+            f"fair-coin randomized response."
+        )
+
+
+def interpret_epsilon(epsilon: float) -> Interpretation:
+    """Classify a measured epsilon into a :class:`FairnessRegime`."""
+    check_nonnegative(epsilon, "epsilon")
+    if epsilon == 0.0:
+        regime = FairnessRegime.PERFECT
+    elif epsilon < HIGH_FAIRNESS_THRESHOLD:
+        regime = FairnessRegime.HIGH
+    elif epsilon < _MODERATE_UPPER:
+        regime = FairnessRegime.MODERATE
+    elif epsilon < _WEAK_UPPER:
+        regime = FairnessRegime.WEAK
+    else:
+        regime = FairnessRegime.NEGLIGIBLE
+    return Interpretation(
+        epsilon=float(epsilon),
+        regime=regime,
+        utility_factor=utility_factor(epsilon),
+    )

@@ -1,0 +1,130 @@
+"""Differential fairness of mechanisms (Definition 3.1).
+
+Given a mechanism M and a framework (A, Θ), the fairness parameter is the
+supremum over θ ∈ Θ of the epsilon of the matrix P(M(x) = y | s, θ). The
+group-conditional probabilities are obtained by integrating the mechanism's
+conditional outcome law over P(x | s, θ):
+
+* exactly, for finite feature spaces (:class:`JointCategorical`) or when the
+  empirical distribution's support is enumerable;
+* by Monte Carlo otherwise (Rao-Blackwellised: we average the mechanism's
+  outcome *probabilities*, not sampled outcomes, so deterministic mechanisms
+  incur only the x-sampling noise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.epsilon import epsilon_from_probabilities
+from repro.core.result import EpsilonResult
+from repro.distributions.base import GroupDistribution, UncertaintySet
+from repro.distributions.categorical import JointCategorical
+from repro.distributions.empirical import EmpiricalGroupDistribution
+from repro.exceptions import ValidationError
+from repro.mechanisms.base import Mechanism
+from repro.utils.rng import as_generator, spawn_generators
+
+__all__ = [
+    "group_outcome_probabilities",
+    "mechanism_epsilon",
+]
+
+
+def group_outcome_probabilities(
+    mechanism: Mechanism,
+    distribution: GroupDistribution,
+    n_samples: int = 10_000,
+    seed=None,
+    exact: bool | None = None,
+) -> np.ndarray:
+    """Estimate ``P(M(x) = y | s)`` for every group of ``distribution``.
+
+    Returns a ``(n_groups, n_outcomes)`` matrix aligned with
+    ``distribution.group_labels()`` and ``mechanism.outcome_levels``; rows
+    for zero-probability groups are NaN.
+
+    Parameters
+    ----------
+    exact:
+        Force exact integration (raises if unsupported) or Monte Carlo.
+        ``None`` picks exact when the distribution supports it.
+    """
+    if exact is None:
+        exact = isinstance(
+            distribution, (JointCategorical, EmpiricalGroupDistribution)
+        )
+    labels = distribution.group_labels()
+    mass = distribution.group_probabilities()
+    matrix = np.full((len(labels), mechanism.n_outcomes), np.nan)
+
+    if exact:
+        if isinstance(distribution, JointCategorical):
+            features = np.asarray(distribution.feature_values(), dtype=object)
+            conditional = mechanism.outcome_probabilities(features)
+            return distribution.exact_outcome_probabilities(conditional)
+        if isinstance(distribution, EmpiricalGroupDistribution):
+            for index, label in enumerate(labels):
+                if mass[index] <= 0:
+                    continue
+                X = distribution.all_group_features(label)
+                matrix[index] = mechanism.outcome_probabilities(X).mean(axis=0)
+            return matrix
+        raise ValidationError(
+            f"exact integration is not supported for "
+            f"{type(distribution).__name__}; use Monte Carlo"
+        )
+
+    if n_samples < 1:
+        raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
+    rngs = spawn_generators(seed, len(labels))
+    for index, label in enumerate(labels):
+        if mass[index] <= 0:
+            continue
+        X = distribution.sample_features(label, n_samples, rngs[index])
+        matrix[index] = mechanism.outcome_probabilities(X).mean(axis=0)
+    return matrix
+
+
+def mechanism_epsilon(
+    mechanism: Mechanism,
+    theta: GroupDistribution | UncertaintySet,
+    n_samples: int = 10_000,
+    seed=None,
+    exact: bool | None = None,
+) -> EpsilonResult:
+    """Differential fairness of ``mechanism`` in the framework (A, Θ).
+
+    ``theta`` may be a single distribution (the point-estimate Θ = {θ̂}) or
+    an :class:`UncertaintySet`; the returned epsilon is the maximum over Θ,
+    as required by Definition 3.1, and the result carries the probability
+    matrix of the worst-case θ.
+    """
+    if isinstance(theta, GroupDistribution):
+        theta = UncertaintySet.point(theta)
+
+    rng = as_generator(seed)
+    worst: EpsilonResult | None = None
+    for distribution in theta:
+        matrix = group_outcome_probabilities(
+            mechanism, distribution, n_samples=n_samples, seed=rng, exact=exact
+        )
+        result = epsilon_from_probabilities(
+            matrix,
+            group_labels=distribution.group_labels(),
+            outcome_levels=mechanism.outcome_levels,
+            attribute_names=distribution.attribute_names,
+            group_mass=distribution.group_probabilities(),
+            estimator=(
+                "exact integration"
+                if exact or exact is None
+                and isinstance(
+                    distribution, (JointCategorical, EmpiricalGroupDistribution)
+                )
+                else f"Monte Carlo (n={n_samples})"
+            ),
+        )
+        if worst is None or result.epsilon > worst.epsilon:
+            worst = result
+    assert worst is not None  # UncertaintySet guarantees at least one θ
+    return worst

@@ -1,0 +1,187 @@
+"""The Bayesian privacy interpretation of differential fairness.
+
+Section 3.2 of the paper shows that an ε-DF mechanism bounds how much an
+adversary's posterior odds over the protected attributes can move after
+observing the outcome (Equation 4), and Section 3.3 derives the economic
+guarantee: expected utilities of any two protected groups differ by at most
+a factor of exp(ε) for *any* non-negative utility function (Equation 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.result import EpsilonResult
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_1d, check_nonnegative
+
+__all__ = [
+    "posterior_odds_interval",
+    "posterior_group_probabilities",
+    "privacy_violations",
+    "utility_disparity_bound",
+    "expected_group_utilities",
+    "UtilityDisparity",
+    "utility_disparity",
+]
+
+
+def posterior_odds_interval(
+    epsilon: float, prior_odds: float
+) -> tuple[float, float]:
+    """Equation 4: the range the posterior odds P(si|y)/P(sj|y) can occupy.
+
+    Given prior odds ``P(si)/P(sj)`` and an ε-DF mechanism, the posterior
+    odds after observing any outcome lie in
+    ``[exp(-ε) * prior, exp(ε) * prior]``.
+    """
+    check_nonnegative(epsilon, "epsilon")
+    check_nonnegative(prior_odds, "prior_odds")
+    if math.isinf(epsilon):
+        return (0.0, math.inf)
+    return (math.exp(-epsilon) * prior_odds, math.exp(epsilon) * prior_odds)
+
+
+def posterior_group_probabilities(
+    outcome_probabilities: np.ndarray, prior: np.ndarray
+) -> np.ndarray:
+    """Bayes: ``P(s | y) ∝ P(y | s) P(s)`` for every outcome column.
+
+    Parameters
+    ----------
+    outcome_probabilities:
+        ``(n_groups, n_outcomes)`` matrix of P(y | s).
+    prior:
+        Group prior P(s), length ``n_groups``.
+
+    Returns
+    -------
+    ``(n_groups, n_outcomes)`` matrix whose column y is the posterior over
+    groups given outcome y. Columns for impossible outcomes are NaN.
+    """
+    matrix = np.asarray(outcome_probabilities, dtype=float)
+    prior = check_1d(prior, "prior")
+    if matrix.ndim != 2 or matrix.shape[0] != prior.shape[0]:
+        raise ValidationError("outcome_probabilities rows must align with prior")
+    if np.any(prior < 0) or not np.isclose(prior.sum(), 1.0, atol=1e-8):
+        raise ValidationError("prior must be a probability vector")
+    joint = matrix * prior[:, None]
+    marginals = joint.sum(axis=0, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        posterior = joint / marginals
+    posterior[:, marginals[0] <= 0] = np.nan
+    return posterior
+
+
+def privacy_violations(
+    result: EpsilonResult,
+    prior: np.ndarray,
+    tolerance: float = 1e-9,
+) -> list[tuple[Any, tuple[Any, ...], tuple[Any, ...]]]:
+    """Check Equation 4 on a measured result; returns violating triples.
+
+    For an epsilon computed tightly from the same probability matrix the
+    list is empty — this function exists so tests (and sceptical users) can
+    verify the guarantee mechanically.
+    """
+    prior = check_1d(prior, "prior")
+    posterior = posterior_group_probabilities(result.probabilities, prior)
+    populated = [
+        index
+        for index in range(len(result.group_labels))
+        if prior[index] > 0 and not np.isnan(result.probabilities[index]).any()
+    ]
+    violations = []
+    bound = result.epsilon + tolerance
+    for column, outcome in enumerate(result.outcome_levels):
+        if np.isnan(posterior[:, column]).all():
+            continue
+        for i in populated:
+            for j in populated:
+                if i == j:
+                    continue
+                prior_odds = prior[i] / prior[j]
+                post_i = posterior[i, column]
+                post_j = posterior[j, column]
+                if post_i == 0.0 and post_j == 0.0:
+                    continue
+                if post_j == 0.0 or prior_odds == 0.0:
+                    continue
+                shift = math.log(post_i / post_j) - math.log(prior_odds)
+                if abs(shift) > bound:
+                    violations.append(
+                        (outcome, result.group_labels[i], result.group_labels[j])
+                    )
+    return violations
+
+
+def utility_disparity_bound(epsilon: float) -> float:
+    """Equation 5: ``exp(ε)`` bounds the expected-utility ratio between
+    any two protected groups, for any non-negative utility function."""
+    check_nonnegative(epsilon, "epsilon")
+    return math.exp(epsilon) if math.isfinite(epsilon) else math.inf
+
+
+def expected_group_utilities(
+    outcome_probabilities: np.ndarray, utilities: np.ndarray
+) -> np.ndarray:
+    """Per-group expected utility ``E[u(y) | s]`` for a utility vector."""
+    matrix = np.asarray(outcome_probabilities, dtype=float)
+    utilities = check_1d(utilities, "utilities")
+    if np.any(utilities < 0):
+        raise ValidationError(
+            "Equation 5 requires a non-negative utility function"
+        )
+    if matrix.shape[1] != utilities.shape[0]:
+        raise ValidationError("utilities must align with outcome columns")
+    return matrix @ utilities
+
+
+@dataclass(frozen=True)
+class UtilityDisparity:
+    """Worst-case expected-utility comparison across groups."""
+
+    best_group: tuple[Any, ...]
+    worst_group: tuple[Any, ...]
+    best_utility: float
+    worst_utility: float
+    bound: float
+
+    @property
+    def ratio(self) -> float:
+        """Achieved ratio of expected utilities (``inf`` if the worst is 0)."""
+        if self.worst_utility == 0.0:
+            return math.inf if self.best_utility > 0 else 1.0
+        return self.best_utility / self.worst_utility
+
+    def satisfies_bound(self, tolerance: float = 1e-9) -> bool:
+        return self.ratio <= self.bound * (1.0 + tolerance) + tolerance
+
+
+def utility_disparity(
+    result: EpsilonResult, utilities: np.ndarray
+) -> UtilityDisparity:
+    """Evaluate the Equation 5 guarantee on a measured result.
+
+    Example: with utility 1 for a loan and 0 for a denial, a ln(3)-DF
+    approval process can award one group at most three times the expected
+    utility of another — the paper's worked interpretation.
+    """
+    expected = expected_group_utilities(result.probabilities, utilities)
+    populated = ~np.isnan(expected)
+    if populated.sum() < 2:
+        raise ValidationError("need at least two populated groups")
+    indices = np.flatnonzero(populated)
+    best = indices[np.argmax(expected[indices])]
+    worst = indices[np.argmin(expected[indices])]
+    return UtilityDisparity(
+        best_group=result.group_labels[best],
+        worst_group=result.group_labels[worst],
+        best_utility=float(expected[best]),
+        worst_utility=float(expected[worst]),
+        bound=utility_disparity_bound(result.epsilon),
+    )

@@ -1,0 +1,154 @@
+"""Result containers for differential fairness measurements."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Witness", "EpsilonResult"]
+
+
+@dataclass(frozen=True)
+class Witness:
+    """The outcome and pair of groups achieving the maximal probability ratio.
+
+    ``epsilon = log(prob_high / prob_low)`` for this witness (or infinity
+    when ``prob_low`` is zero while ``prob_high`` is positive).
+    """
+
+    outcome: Any
+    group_high: tuple[Any, ...]
+    group_low: tuple[Any, ...]
+    prob_high: float
+    prob_low: float
+
+    @property
+    def log_ratio(self) -> float:
+        """The achieved log probability ratio."""
+        if self.prob_low == 0.0:
+            return math.inf
+        return math.log(self.prob_high / self.prob_low)
+
+    def describe(self, attribute_names: tuple[str, ...] | None = None) -> str:
+        """Human-readable description of the witnessing comparison."""
+        if attribute_names:
+            high = ", ".join(
+                f"{name}={value}"
+                for name, value in zip(attribute_names, self.group_high)
+            )
+            low = ", ".join(
+                f"{name}={value}"
+                for name, value in zip(attribute_names, self.group_low)
+            )
+        else:
+            high, low = str(self.group_high), str(self.group_low)
+        return (
+            f"P({self.outcome!r} | {high}) = {self.prob_high:.4f} vs "
+            f"P({self.outcome!r} | {low}) = {self.prob_low:.4f}"
+        )
+
+
+@dataclass(frozen=True)
+class EpsilonResult:
+    """A differential fairness measurement.
+
+    Attributes
+    ----------
+    epsilon:
+        The (tightly computed) fairness parameter: the smallest ε for which
+        Definition 3.1 holds. Zero means perfectly matched outcome
+        distributions; infinity means an outcome is possible for one group
+        and impossible for another.
+    attribute_names:
+        The protected attributes defining the groups.
+    group_labels:
+        All group tuples, aligned with the rows of ``probabilities``.
+    outcome_levels:
+        The outcome alphabet, aligned with the columns.
+    probabilities:
+        Group-conditional outcome probabilities ``P(y | s)``; rows of NaN
+        mark groups excluded because ``P(s) = 0``.
+    group_mass:
+        Group weights (probabilities or counts), when known.
+    per_outcome:
+        The per-outcome epsilons (max |log ratio| restricted to one y).
+    witness:
+        The comparison achieving ``epsilon`` (None when fewer than two
+        groups are populated, in which case epsilon is 0 vacuously).
+    estimator:
+        Name of the probability estimator used.
+    """
+
+    epsilon: float
+    attribute_names: tuple[str, ...]
+    group_labels: tuple[tuple[Any, ...], ...]
+    outcome_levels: tuple[Any, ...]
+    probabilities: np.ndarray
+    group_mass: np.ndarray | None = None
+    per_outcome: dict[Any, float] = field(default_factory=dict)
+    witness: Witness | None = None
+    estimator: str = "direct"
+
+    def __post_init__(self) -> None:
+        self.probabilities.setflags(write=False)
+        if self.group_mass is not None:
+            self.group_mass.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def ratio_bound(self) -> float:
+        """``exp(epsilon)``: the worst-case outcome-probability ratio, which
+        by Equation 5 also bounds the disparity in expected utility."""
+        return math.exp(self.epsilon) if math.isfinite(self.epsilon) else math.inf
+
+    def subset_bound(self) -> float:
+        """Theorem 3.2's guarantee for any attribute subset: ``2 * epsilon``."""
+        return 2.0 * self.epsilon
+
+    def is_fair(self, budget: float) -> bool:
+        """Whether the measurement satisfies an ε-budget."""
+        return self.epsilon <= budget
+
+    def populated_groups(self) -> list[tuple[Any, ...]]:
+        """Groups that entered the computation (P(s) > 0)."""
+        mask = ~np.isnan(self.probabilities).all(axis=1)
+        return [label for label, keep in zip(self.group_labels, mask) if keep]
+
+    def probability(self, group: tuple[Any, ...], outcome: Any) -> float:
+        """Look up ``P(outcome | group)``."""
+        row = self.group_labels.index(tuple(group))
+        column = self.outcome_levels.index(outcome)
+        return float(self.probabilities[row, column])
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_text(self, digits: int = 4) -> str:
+        """Multi-line summary including the probability table and witness."""
+        from repro.utils.formatting import format_float, render_table
+
+        headers = [*self.attribute_names] + [str(level) for level in self.outcome_levels]
+        rows = []
+        for label, row in zip(self.group_labels, self.probabilities):
+            rows.append([*label, *[float(p) for p in row]])
+        lines = [
+            f"epsilon = {format_float(float(self.epsilon), digits)}"
+            f"  (estimator: {self.estimator})",
+            f"exp(epsilon) = {format_float(self.ratio_bound, digits)}",
+        ]
+        if self.witness is not None:
+            lines.append("witness: " + self.witness.describe(self.attribute_names))
+        lines.append(render_table(headers, rows, digits=digits))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __repr__(self) -> str:
+        attrs = ",".join(self.attribute_names)
+        return f"EpsilonResult(epsilon={self.epsilon:.4f}, attributes=({attrs}))"

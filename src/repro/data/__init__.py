@@ -1,0 +1,50 @@
+"""Datasets for the paper's experiments.
+
+* :mod:`repro.data.kidney` — the Table 1 Simpson's-paradox admissions data
+  (the kidney-stone treatment counts relabelled, exactly as the paper does);
+* :mod:`repro.data.adult` — schema, loader, and paper-faithful preprocessing
+  for the real UCI Adult files (used automatically when present);
+* :mod:`repro.data.synthetic_adult` — the calibrated synthetic census data
+  used when the real files are unavailable (this offline environment);
+* :mod:`repro.data.calibration` — the optimiser that produced the frozen
+  synthetic cell counts from the paper's reported epsilons and the Adult
+  marginal statistics;
+* :mod:`repro.data.generators` — generic synthetic-population helpers.
+"""
+
+from repro.data.adult import (
+    ADULT_COLUMNS,
+    AdultPreprocessing,
+    load_adult,
+    preprocess_adult,
+)
+from repro.data.generators import expand_cells_to_table, sample_outcome_table
+from repro.data.kidney import (
+    PAPER_TABLE1_EPSILONS,
+    admissions_contingency,
+    admissions_table,
+    kidney_treatment_contingency,
+)
+from repro.data.synthetic_adult import (
+    OUTCOME,
+    POSITIVE,
+    PROTECTED,
+    SyntheticAdult,
+)
+
+__all__ = [
+    "ADULT_COLUMNS",
+    "AdultPreprocessing",
+    "OUTCOME",
+    "PAPER_TABLE1_EPSILONS",
+    "POSITIVE",
+    "PROTECTED",
+    "SyntheticAdult",
+    "admissions_contingency",
+    "admissions_table",
+    "expand_cells_to_table",
+    "kidney_treatment_contingency",
+    "load_adult",
+    "preprocess_adult",
+    "sample_outcome_table",
+]

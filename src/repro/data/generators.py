@@ -1,0 +1,104 @@
+"""Generic synthetic-population generators.
+
+These helpers materialise row-level tables from group-level specifications:
+either exact per-cell outcome counts (deterministic, used by the calibrated
+synthetic Adult data so Table 2 reproduces to the digit) or per-cell rates
+(stochastic, used in tests and examples).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.tabular.column import Column
+from repro.tabular.table import Table
+from repro.utils.rng import as_generator
+
+__all__ = ["expand_cells_to_table", "sample_outcome_table"]
+
+
+def expand_cells_to_table(
+    cells: Mapping[tuple[Any, ...], Sequence[int]],
+    attribute_names: Sequence[str],
+    outcome_name: str,
+    outcome_levels: Sequence[Any],
+    shuffle_seed=None,
+) -> Table:
+    """One row per individual from exact per-cell outcome counts.
+
+    ``cells[group] = [count of outcome_levels[0], count of outcome_levels[1],
+    ...]``. Deterministic up to the optional shuffle.
+    """
+    attribute_names = list(attribute_names)
+    if not cells:
+        raise ValidationError("cells must not be empty")
+    columns_data: dict[str, list[Any]] = {name: [] for name in attribute_names}
+    outcomes: list[Any] = []
+    for group, counts in cells.items():
+        if len(group) != len(attribute_names):
+            raise ValidationError(
+                f"group {group!r} does not match attributes {attribute_names}"
+            )
+        if len(counts) != len(outcome_levels):
+            raise ValidationError(
+                f"cell {group!r} must have one count per outcome level"
+            )
+        for level, count in zip(outcome_levels, counts):
+            count = int(count)
+            if count < 0:
+                raise ValidationError("counts must be non-negative")
+            for name, value in zip(attribute_names, group):
+                columns_data[name].extend([value] * count)
+            outcomes.extend([level] * count)
+    if not outcomes:
+        raise ValidationError("cells contain no individuals")
+    columns = [
+        Column.categorical(name, values) for name, values in columns_data.items()
+    ]
+    columns.append(
+        Column.categorical(outcome_name, outcomes, levels=list(outcome_levels))
+    )
+    table = Table(columns)
+    if shuffle_seed is not None:
+        table = table.shuffle(as_generator(shuffle_seed))
+    return table
+
+
+def sample_outcome_table(
+    cell_sizes: Mapping[tuple[Any, ...], int],
+    positive_rates: Mapping[tuple[Any, ...], float],
+    attribute_names: Sequence[str],
+    outcome_name: str = "outcome",
+    outcome_levels: tuple[Any, Any] = ("negative", "positive"),
+    seed=None,
+) -> Table:
+    """Stochastic binary-outcome population: y ~ Bernoulli(rate[cell]).
+
+    Useful for examples and for property tests that need realistic sampling
+    noise on top of known ground-truth rates.
+    """
+    rng = as_generator(seed)
+    cells: dict[tuple[Any, ...], list[int]] = {}
+    for group, size in cell_sizes.items():
+        size = int(size)
+        if size < 0:
+            raise ValidationError("cell sizes must be non-negative")
+        try:
+            rate = float(positive_rates[group])
+        except KeyError:
+            raise ValidationError(f"no positive rate for cell {group!r}") from None
+        if not 0.0 <= rate <= 1.0:
+            raise ValidationError(f"rate for {group!r} must be in [0, 1]")
+        positives = int(rng.binomial(size, rate)) if size else 0
+        cells[group] = [size - positives, positives]
+    return expand_cells_to_table(
+        cells,
+        attribute_names,
+        outcome_name,
+        outcome_levels,
+        shuffle_seed=rng,
+    )

@@ -1,0 +1,98 @@
+"""The Simpson's paradox data of Table 1 / Section 5.1.
+
+The paper adapts the classic kidney-stone treatment study (Charig et al.)
+to an admissions scenario: treatment becomes Gender, stone size becomes
+Race, and treatment success becomes admission to University X. The counts
+are identical in both framings:
+
+==================  ==========  ==========
+cell                admitted    total
+==================  ==========  ==========
+Gender A, Race 1    81          87
+Gender B, Race 1    234         270
+Gender A, Race 2    192         263
+Gender B, Race 2    55          80
+==================  ==========  ==========
+
+Gender A is admitted at a higher rate than Gender B within *each* race, yet
+Gender B is admitted at a higher rate overall — a Simpson's reversal. The
+paper computes ε = 1.511 for Gender x Race, and marginal ε = 0.2329
+(Gender) and 0.8667 (Race).
+"""
+
+from __future__ import annotations
+
+from repro.tabular.crosstab import ContingencyTable
+from repro.tabular.table import Table
+
+__all__ = [
+    "ADMISSIONS_CELLS",
+    "PAPER_TABLE1_EPSILONS",
+    "admissions_contingency",
+    "admissions_table",
+    "kidney_treatment_contingency",
+]
+
+#: (gender, race) -> (admitted, rejected), exactly the paper's Table 1.
+ADMISSIONS_CELLS: dict[tuple[str, str], tuple[int, int]] = {
+    ("A", "1"): (81, 87 - 81),
+    ("B", "1"): (234, 270 - 234),
+    ("A", "2"): (192, 263 - 192),
+    ("B", "2"): (55, 80 - 55),
+}
+
+#: The epsilons the paper reports for this data (Section 5.1).
+PAPER_TABLE1_EPSILONS: dict[tuple[str, ...], float] = {
+    ("gender", "race"): 1.511,
+    ("gender",): 0.2329,
+    ("race",): 0.8667,
+}
+
+#: Theorem 3.1's bound for the marginals: 2 * 1.511.
+PAPER_TABLE1_BOUND = 3.022
+
+
+def admissions_contingency() -> ContingencyTable:
+    """The Table 1 counts as a gender x race x admitted contingency table."""
+    return ContingencyTable.from_group_counts(
+        {cell: list(counts) for cell, counts in ADMISSIONS_CELLS.items()},
+        factor_names=["gender", "race"],
+        outcome_name="admitted",
+        outcome_levels=["yes", "no"],
+    )
+
+
+def admissions_table() -> Table:
+    """The same data expanded to one row per applicant (700 rows)."""
+    genders: list[str] = []
+    races: list[str] = []
+    outcomes: list[str] = []
+    for (gender, race), (admitted, rejected) in ADMISSIONS_CELLS.items():
+        genders.extend([gender] * (admitted + rejected))
+        races.extend([race] * (admitted + rejected))
+        outcomes.extend(["yes"] * admitted + ["no"] * rejected)
+    return Table.from_dict(
+        {"gender": genders, "race": races, "admitted": outcomes}
+    )
+
+
+def kidney_treatment_contingency() -> ContingencyTable:
+    """The original medical framing: treatment x stone size x success.
+
+    Same counts; treatment A/B plays gender, small/large stones play race.
+    Included because the paper explicitly notes the example "is based on
+    real data, but for kidney stone treatment rather than college
+    admissions".
+    """
+    relabelled = {
+        ("A", "small"): list(ADMISSIONS_CELLS[("A", "1")]),
+        ("B", "small"): list(ADMISSIONS_CELLS[("B", "1")]),
+        ("A", "large"): list(ADMISSIONS_CELLS[("A", "2")]),
+        ("B", "large"): list(ADMISSIONS_CELLS[("B", "2")]),
+    }
+    return ContingencyTable.from_group_counts(
+        relabelled,
+        factor_names=["treatment", "stone_size"],
+        outcome_name="success",
+        outcome_levels=["yes", "no"],
+    )

@@ -1,0 +1,219 @@
+"""The calibrated synthetic Adult census dataset.
+
+This stands in for the real UCI Adult files in offline environments. The
+protected-attribute x income contingency tables of both splits are frozen
+integer constants produced by :mod:`repro.data.calibration`:
+
+* the training cells reproduce all seven epsilon values of the paper's
+  Table 2 to the printed precision, with exactly the real Adult margins
+  (32,561 rows, 7,841 positives, the documented gender/race/nationality
+  break-downs);
+* the test cells reproduce the paper's smoothed test-data epsilon of 2.06
+  (alpha = 1) on 16,281 rows.
+
+Feature columns are drawn by :class:`repro.data.census_features.
+CensusFeatureModel` conditionally on (cell, label), deterministically for a
+given seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.census_features import CensusFeatureModel
+from repro.data.generators import expand_cells_to_table
+from repro.tabular.column import Column
+from repro.tabular.table import Table
+from repro.utils.rng import as_generator, spawn_generators
+
+__all__ = [
+    "PROTECTED",
+    "OUTCOME",
+    "POSITIVE",
+    "NEGATIVE",
+    "FROZEN_TRAIN_CELLS",
+    "FROZEN_TEST_CELLS",
+    "PAPER_TABLE2",
+    "PAPER_TEST_SMOOTHED_EPSILON",
+    "PAPER_TABLE3",
+    "SyntheticAdult",
+]
+
+#: Protected attribute columns, in the order used throughout the case study.
+PROTECTED = ("gender", "race", "nationality")
+OUTCOME = "income"
+POSITIVE = ">50K"
+NEGATIVE = "<=50K"
+
+GENDER_LEVELS = ("Female", "Male")
+RACE_LEVELS = ("White", "Black", "Asian-Pac-Islander", "Other")
+NATIONALITY_LEVELS = ("United-States", "Other")
+
+#: (gender, race, nationality) -> (members, positives); training split.
+FROZEN_TRAIN_CELLS: dict[tuple[str, str, str], tuple[int, int]] = {
+    ("Female", "Asian-Pac-Islander", "Other"): (275, 33),
+    ("Female", "Asian-Pac-Islander", "United-States"): (99, 10),
+    ("Female", "Black", "Other"): (90, 6),
+    ("Female", "Black", "United-States"): (1403, 84),
+    ("Female", "Other", "Other"): (110, 6),
+    ("Female", "Other", "United-States"): (116, 8),
+    ("Female", "White", "Other"): (754, 75),
+    ("Female", "White", "United-States"): (7924, 957),
+    ("Male", "Asian-Pac-Islander", "Other"): (555, 182),
+    ("Male", "Asian-Pac-Islander", "United-States"): (110, 51),
+    ("Male", "Black", "Other"): (110, 15),
+    ("Male", "Black", "United-States"): (1521, 282),
+    ("Male", "Other", "Other"): (166, 18),
+    ("Male", "Other", "United-States"): (190, 29),
+    ("Male", "White", "Other"): (1331, 335),
+    ("Male", "White", "United-States"): (17807, 5750),
+}
+
+#: (gender, race, nationality) -> (members, positives); test split.
+FROZEN_TEST_CELLS: dict[tuple[str, str, str], tuple[int, int]] = {
+    ("Female", "Asian-Pac-Islander", "Other"): (137, 16),
+    ("Female", "Asian-Pac-Islander", "United-States"): (49, 5),
+    ("Female", "Black", "Other"): (45, 3),
+    ("Female", "Black", "United-States"): (698, 39),
+    ("Female", "Other", "Other"): (55, 3),
+    ("Female", "Other", "United-States"): (58, 4),
+    ("Female", "White", "Other"): (377, 37),
+    ("Female", "White", "United-States"): (3962, 478),
+    ("Male", "Asian-Pac-Islander", "Other"): (277, 91),
+    ("Male", "Asian-Pac-Islander", "United-States"): (56, 25),
+    ("Male", "Black", "Other"): (55, 7),
+    ("Male", "Black", "United-States"): (760, 141),
+    ("Male", "Other", "Other"): (83, 9),
+    ("Male", "Other", "United-States"): (95, 14),
+    ("Male", "White", "Other"): (665, 167),
+    ("Male", "White", "United-States"): (8909, 2875),
+}
+
+#: Table 2 of the paper, as printed.
+PAPER_TABLE2: dict[tuple[str, ...], float] = {
+    ("nationality",): 0.219,
+    ("race",): 0.930,
+    ("gender",): 1.03,
+    ("gender", "nationality"): 1.16,
+    ("race", "nationality"): 1.21,
+    ("race", "gender"): 1.76,
+    ("race", "gender", "nationality"): 2.14,
+}
+
+PAPER_TEST_SMOOTHED_EPSILON = 2.06
+
+#: Table 3 of the paper: sensitive features used -> (epsilon, epsilon minus
+#: the test-data epsilon, error rate %).
+PAPER_TABLE3: dict[tuple[str, ...], tuple[float, float, float]] = {
+    (): (2.14, 0.074, 14.90),
+    ("nationality",): (1.95, -0.12, 14.92),
+    ("race",): (2.65, 0.59, 15.18),
+    ("gender",): (2.14, 0.074, 14.99),
+    ("gender", "nationality"): (2.59, 0.53, 15.09),
+    ("race", "nationality"): (2.58, 0.52, 15.17),
+    ("race", "gender"): (2.71, 0.64, 15.01),
+    ("race", "gender", "nationality"): (2.65, 0.59, 15.21),
+}
+
+
+class SyntheticAdult:
+    """Deterministic factory for the synthetic Adult tables.
+
+    Parameters
+    ----------
+    seed:
+        Controls feature generation and row shuffling (the protected
+        attribute/outcome counts are frozen and do not depend on it).
+    features:
+        When false, tables contain only the protected attributes and the
+        income column — sufficient (and fast) for Table 2.
+    feature_model:
+        Override the generative model for the non-protected features.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        features: bool = True,
+        feature_model: CensusFeatureModel | None = None,
+    ):
+        self.seed = seed
+        self.features = bool(features)
+        self._model = feature_model or CensusFeatureModel()
+
+    # ------------------------------------------------------------------
+    def train(self) -> Table:
+        """The 32,561-row training split."""
+        return self._build(FROZEN_TRAIN_CELLS, stream=0)
+
+    def test(self) -> Table:
+        """The 16,281-row test split."""
+        return self._build(FROZEN_TEST_CELLS, stream=1)
+
+    # ------------------------------------------------------------------
+    def _build(
+        self, cells: dict[tuple[str, str, str], tuple[int, int]], stream: int
+    ) -> Table:
+        rng_features, rng_shuffle = spawn_generators((self.seed, stream), 2)
+        outcome_cells = {
+            key: (members - positives, positives)
+            for key, (members, positives) in cells.items()
+        }
+        base = expand_cells_to_table(
+            outcome_cells,
+            attribute_names=list(PROTECTED),
+            outcome_name=OUTCOME,
+            outcome_levels=[NEGATIVE, POSITIVE],
+        )
+        base = self._with_fixed_levels(base)
+        if not self.features:
+            return base.shuffle(rng_shuffle)
+
+        feature_blocks: dict[str, list[np.ndarray]] = {}
+        for key, (members, positives) in cells.items():
+            gender, race, nationality = key
+            for positive, count in ((False, members - positives), (True, positives)):
+                block = self._model.generate(
+                    gender, race, nationality, positive, count, rng_features
+                )
+                for name, values in block.items():
+                    feature_blocks.setdefault(name, []).append(values)
+
+        table = base
+        for name, blocks in feature_blocks.items():
+            values = np.concatenate(blocks)
+            if values.dtype == object:
+                table = table.with_column(Column.categorical(name, values.tolist()))
+            else:
+                table = table.with_column(Column.numeric(name, values))
+        # Match the real Adult column order (protected attrs in their
+        # original positions, income last).
+        order = [
+            "age",
+            "workclass",
+            "fnlwgt",
+            "education",
+            "education_num",
+            "marital_status",
+            "occupation",
+            "relationship",
+            "race",
+            "gender",
+            "capital_gain",
+            "capital_loss",
+            "hours_per_week",
+            "nationality",
+            "income",
+        ]
+        return table.select(order).shuffle(rng_shuffle)
+
+    def _with_fixed_levels(self, table: Table) -> Table:
+        """Pin categorical level orders so splits are schema-compatible."""
+        table = table.with_column(
+            table.column("gender").with_levels(GENDER_LEVELS)
+        )
+        table = table.with_column(table.column("race").with_levels(RACE_LEVELS))
+        table = table.with_column(
+            table.column("nationality").with_levels(NATIONALITY_LEVELS)
+        )
+        return table

@@ -1,0 +1,38 @@
+"""Data distributions: the Θ in the differential fairness framework (A, Θ).
+
+Definition 3.1 of the paper evaluates a mechanism against a *set* of
+plausible data distributions Θ. This subpackage provides:
+
+* group-aware distributions over features (:class:`GroupDistribution`),
+  including per-group Gaussians (the Section 5 worked example), categorical
+  joints, and empirical (bootstrap) distributions over observed tables;
+* Dirichlet / Dirichlet-multinomial models for outcome probabilities, which
+  back the smoothed estimator of Equation 7 and the posterior-sampling
+  construction of Θ ("a set of burned-in MCMC samples, the posterior
+  predictive distribution, or a credible region");
+* :class:`UncertaintySet`, a finite Θ.
+"""
+
+from repro.distributions.base import GroupDistribution, UncertaintySet
+from repro.distributions.categorical import JointCategorical
+from repro.distributions.dirichlet import (
+    Dirichlet,
+    DirichletMultinomial,
+    GroupOutcomePosterior,
+)
+from repro.distributions.empirical import EmpiricalGroupDistribution
+from repro.distributions.gaussian import GroupGaussianScores
+from repro.distributions.gaussian_band import BandEpsilon, GaussianScoreBand
+
+__all__ = [
+    "BandEpsilon",
+    "Dirichlet",
+    "DirichletMultinomial",
+    "EmpiricalGroupDistribution",
+    "GaussianScoreBand",
+    "GroupDistribution",
+    "GroupGaussianScores",
+    "GroupOutcomePosterior",
+    "JointCategorical",
+    "UncertaintySet",
+]

@@ -1,0 +1,122 @@
+"""Protocols for data distributions and uncertainty sets."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import EmptyGroupError, ValidationError
+
+__all__ = ["GroupDistribution", "UncertaintySet"]
+
+
+class GroupDistribution(ABC):
+    """A distribution over (protected group, features).
+
+    Concrete subclasses describe how individuals' feature vectors ``x`` are
+    generated conditionally on their intersectional protected group ``s``.
+    Groups are identified by tuples of protected-attribute values; the
+    attribute names are exposed so fairness results can be labelled.
+    """
+
+    @property
+    @abstractmethod
+    def attribute_names(self) -> tuple[str, ...]:
+        """Names of the protected attributes defining the groups."""
+
+    @abstractmethod
+    def group_labels(self) -> list[tuple[Any, ...]]:
+        """All group tuples, in a stable order."""
+
+    @abstractmethod
+    def group_probabilities(self) -> np.ndarray:
+        """Marginal probability of each group, aligned with group_labels."""
+
+    @abstractmethod
+    def sample_features(
+        self, group: tuple[Any, ...], n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``n`` feature samples for individuals in ``group``.
+
+        The returned array has ``n`` rows; the remaining shape is
+        distribution-specific (scalar scores return shape ``(n,)``).
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def positive_groups(self) -> list[tuple[Any, ...]]:
+        """Groups with strictly positive probability (the only groups the
+        differential fairness definition constrains)."""
+        labels = self.group_labels()
+        probabilities = self.group_probabilities()
+        return [
+            label
+            for label, probability in zip(labels, probabilities)
+            if probability > 0
+        ]
+
+    def require_group(self, group: tuple[Any, ...]) -> int:
+        """Index of ``group``, raising if it has zero probability."""
+        labels = self.group_labels()
+        try:
+            index = labels.index(tuple(group))
+        except ValueError:
+            raise EmptyGroupError(f"unknown group {group!r}") from None
+        if self.group_probabilities()[index] <= 0:
+            raise EmptyGroupError(f"group {group!r} has zero probability")
+        return index
+
+
+class UncertaintySet:
+    """A finite set Θ of plausible data distributions.
+
+    Definition 3.1 takes the supremum of the unfairness over Θ; passing a
+    single distribution models the point-estimate case Θ = {θ̂}.
+    """
+
+    def __init__(self, distributions: Iterable[GroupDistribution]):
+        self._distributions = list(distributions)
+        if not self._distributions:
+            raise ValidationError("an uncertainty set needs at least one θ")
+        names = {d.attribute_names for d in self._distributions}
+        if len(names) != 1:
+            raise ValidationError(
+                f"all distributions in Θ must share attribute names, got {names}"
+            )
+
+    @classmethod
+    def point(cls, distribution: GroupDistribution) -> "UncertaintySet":
+        """The singleton Θ = {θ̂}."""
+        return cls([distribution])
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self._distributions[0].attribute_names
+
+    def __len__(self) -> int:
+        return len(self._distributions)
+
+    def __iter__(self) -> Iterator[GroupDistribution]:
+        return iter(self._distributions)
+
+    def __getitem__(self, index: int) -> GroupDistribution:
+        return self._distributions[index]
+
+    def __repr__(self) -> str:
+        return f"UncertaintySet(|Θ|={len(self)})"
+
+
+def validate_probability_vector(probabilities: Sequence[float], name: str) -> np.ndarray:
+    """Shared check for group-probability vectors (sums to one, in [0,1])."""
+    array = np.asarray(probabilities, dtype=float)
+    if array.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional")
+    if np.any(array < 0) or np.any(array > 1):
+        raise ValidationError(f"{name} entries must lie in [0, 1]")
+    if not np.isclose(array.sum(), 1.0, atol=1e-8):
+        raise ValidationError(f"{name} must sum to 1, got {array.sum():.6f}")
+    return array

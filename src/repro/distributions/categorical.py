@@ -1,0 +1,155 @@
+"""Joint categorical distributions over protected attributes and features.
+
+Used for synthetic test fixtures and for exact (enumeration-based)
+mechanism-fairness computations over finite feature spaces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.distributions.base import GroupDistribution
+from repro.exceptions import ValidationError
+
+__all__ = ["JointCategorical"]
+
+
+class JointCategorical(GroupDistribution):
+    """A finite joint distribution P(s, x) over groups and feature values.
+
+    Parameters
+    ----------
+    joint:
+        Array of shape ``(n_groups, n_feature_values)`` with non-negative
+        entries summing to one: ``joint[g, v] = P(s_g, x_v)``.
+    group_labels / feature_values:
+        Identifiers for the rows and columns. Group labels may be tuples
+        (for intersectional groups) or scalars (wrapped into 1-tuples).
+    attribute_names:
+        Names of the protected attributes; its length must match the group
+        tuple arity.
+    """
+
+    def __init__(
+        self,
+        joint: np.ndarray,
+        group_labels: Sequence[Any],
+        feature_values: Sequence[Any],
+        attribute_names: Sequence[str] = ("group",),
+    ):
+        joint = np.asarray(joint, dtype=float)
+        if joint.ndim != 2:
+            raise ValidationError("joint must be a 2-D array (groups x features)")
+        if np.any(joint < 0):
+            raise ValidationError("joint probabilities must be non-negative")
+        if not np.isclose(joint.sum(), 1.0, atol=1e-8):
+            raise ValidationError(f"joint must sum to 1, got {joint.sum():.6f}")
+        if joint.shape[0] != len(group_labels):
+            raise ValidationError("group_labels must align with joint rows")
+        if joint.shape[1] != len(feature_values):
+            raise ValidationError("feature_values must align with joint columns")
+        self._joint = joint
+        self._labels = [
+            label if isinstance(label, tuple) else (label,) for label in group_labels
+        ]
+        arities = {len(label) for label in self._labels}
+        if len(arities) != 1:
+            raise ValidationError("all group labels must have the same arity")
+        if arities.pop() != len(attribute_names):
+            raise ValidationError(
+                "attribute_names length must match group tuple arity"
+            )
+        self._feature_values = list(feature_values)
+        self._attribute_names = tuple(attribute_names)
+
+    # ------------------------------------------------------------------
+    # GroupDistribution interface
+    # ------------------------------------------------------------------
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self._attribute_names
+
+    def group_labels(self) -> list[tuple[Any, ...]]:
+        return list(self._labels)
+
+    def group_probabilities(self) -> np.ndarray:
+        return self._joint.sum(axis=1)
+
+    def feature_values(self) -> list[Any]:
+        """The finite feature alphabet."""
+        return list(self._feature_values)
+
+    def conditional_feature_probabilities(self, group: tuple[Any, ...]) -> np.ndarray:
+        """P(x | s) for ``group``, aligned with :meth:`feature_values`."""
+        index = self.require_group(group)
+        row = self._joint[index]
+        return row / row.sum()
+
+    def sample_features(
+        self, group: tuple[Any, ...], n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        probabilities = self.conditional_feature_probabilities(group)
+        indices = rng.choice(len(self._feature_values), size=n, p=probabilities)
+        return np.asarray(self._feature_values, dtype=object)[indices]
+
+    # ------------------------------------------------------------------
+    # Exact computations
+    # ------------------------------------------------------------------
+    def exact_outcome_probabilities(
+        self, outcome_given_feature: np.ndarray
+    ) -> np.ndarray:
+        """P(y | s) for every group, by exact enumeration over x.
+
+        ``outcome_given_feature`` has shape ``(n_feature_values, n_outcomes)``
+        with rows summing to one (the mechanism's conditional outcome law).
+        Returns an array of shape ``(n_groups, n_outcomes)``; rows for
+        zero-probability groups are NaN.
+        """
+        conditional = np.asarray(outcome_given_feature, dtype=float)
+        if conditional.shape[0] != len(self._feature_values):
+            raise ValidationError(
+                "outcome_given_feature rows must align with feature_values"
+            )
+        mass = self.group_probabilities()
+        result = np.full((len(self._labels), conditional.shape[1]), np.nan)
+        for index in range(len(self._labels)):
+            if mass[index] <= 0:
+                continue
+            weights = self._joint[index] / self._joint[index].sum()
+            result[index] = weights @ conditional
+        return result
+
+    def marginalize_groups(
+        self, keep_axes: Sequence[int]
+    ) -> "JointCategorical":
+        """Collapse group tuples onto a subset of attribute positions.
+
+        ``keep_axes`` are indices into the group tuple / attribute names.
+        Probabilities of groups mapping to the same reduced tuple are summed,
+        which is exactly the aggregation in Theorem 3.2.
+        """
+        keep_axes = list(keep_axes)
+        if not keep_axes:
+            raise ValidationError("keep_axes must not be empty")
+        if any(axis < 0 or axis >= len(self._attribute_names) for axis in keep_axes):
+            raise ValidationError("keep_axes out of range")
+        reduced_labels: list[tuple[Any, ...]] = []
+        rows: dict[tuple[Any, ...], np.ndarray] = {}
+        for label, row in zip(self._labels, self._joint):
+            reduced = tuple(label[axis] for axis in keep_axes)
+            if reduced not in rows:
+                rows[reduced] = np.zeros(self._joint.shape[1])
+                reduced_labels.append(reduced)
+            rows[reduced] = rows[reduced] + row
+        joint = np.stack([rows[label] for label in reduced_labels])
+        names = tuple(self._attribute_names[axis] for axis in keep_axes)
+        return JointCategorical(joint, reduced_labels, self._feature_values, names)
+
+    def __repr__(self) -> str:
+        return (
+            f"JointCategorical({len(self._labels)} groups x "
+            f"{len(self._feature_values)} feature values)"
+        )

@@ -1,0 +1,156 @@
+"""Dirichlet and Dirichlet-multinomial models.
+
+Equation 7 of the paper smooths the empirical outcome probabilities with a
+symmetric Dirichlet prior; Section 3 further allows Θ to be a set of
+posterior samples or a credible region. Both uses are implemented here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator
+
+__all__ = ["Dirichlet", "DirichletMultinomial", "GroupOutcomePosterior"]
+
+
+class Dirichlet:
+    """A Dirichlet distribution with concentration vector ``alpha``."""
+
+    def __init__(self, alpha: Sequence[float]):
+        self.alpha = np.asarray(alpha, dtype=float)
+        if self.alpha.ndim != 1 or self.alpha.size < 2:
+            raise ValidationError("alpha must be a 1-D vector of length >= 2")
+        if np.any(self.alpha <= 0):
+            raise ValidationError("alpha entries must be strictly positive")
+
+    @classmethod
+    def symmetric(cls, concentration: float, size: int) -> "Dirichlet":
+        """Symmetric Dirichlet with every entry equal to ``concentration``."""
+        if concentration <= 0:
+            raise ValidationError("concentration must be > 0")
+        return cls(np.full(size, float(concentration)))
+
+    def mean(self) -> np.ndarray:
+        """Expected probability vector."""
+        return self.alpha / self.alpha.sum()
+
+    def sample(self, n: int = 1, seed=None) -> np.ndarray:
+        """Draw ``n`` probability vectors, shape ``(n, k)``."""
+        rng = as_generator(seed)
+        return rng.dirichlet(self.alpha, size=n)
+
+    def __repr__(self) -> str:
+        return f"Dirichlet(alpha={np.array2string(self.alpha, precision=3)})"
+
+
+class DirichletMultinomial:
+    """Conjugate Dirichlet-multinomial model for one outcome distribution.
+
+    ``posterior_mean`` realises the estimator of Equation 7:
+    ``(N_y + alpha) / (N + |Y| * alpha)`` for a symmetric prior.
+    """
+
+    def __init__(self, counts: Sequence[float], prior_concentration: float = 1.0):
+        self.counts = np.asarray(counts, dtype=float)
+        if self.counts.ndim != 1 or self.counts.size < 2:
+            raise ValidationError("counts must be a 1-D vector of length >= 2")
+        if np.any(self.counts < 0):
+            raise ValidationError("counts must be non-negative")
+        if prior_concentration <= 0:
+            raise ValidationError("prior_concentration must be > 0")
+        self.prior_concentration = float(prior_concentration)
+
+    @property
+    def posterior(self) -> Dirichlet:
+        """The conjugate posterior Dirichlet(counts + alpha)."""
+        return Dirichlet(self.counts + self.prior_concentration)
+
+    def posterior_mean(self) -> np.ndarray:
+        """Posterior-predictive outcome probabilities (Equation 7)."""
+        k = self.counts.size
+        total = self.counts.sum() + k * self.prior_concentration
+        return (self.counts + self.prior_concentration) / total
+
+    def sample_probabilities(self, n: int = 1, seed=None) -> np.ndarray:
+        """Posterior samples of the outcome probability vector."""
+        return self.posterior.sample(n, seed=seed)
+
+    def __repr__(self) -> str:
+        return (
+            f"DirichletMultinomial(counts={self.counts.tolist()}, "
+            f"alpha={self.prior_concentration})"
+        )
+
+
+class GroupOutcomePosterior:
+    """Independent Dirichlet-multinomial posteriors, one per group.
+
+    This is the probabilistic model behind Definition 4.1 with a
+    Dirichlet-multinomial P_Model(y | s): groups are rows of a counts
+    matrix, and the posterior over each row's outcome probabilities is
+    conjugate. Groups with zero observations are excluded (their
+    ``P(s | θ) = 0`` under the empirical group distribution).
+    """
+
+    def __init__(self, counts: np.ndarray, prior_concentration: float = 1.0):
+        counts = np.asarray(counts, dtype=float)
+        if counts.ndim != 2:
+            raise ValidationError("counts must be a (groups x outcomes) matrix")
+        if np.any(counts < 0):
+            raise ValidationError("counts must be non-negative")
+        if prior_concentration <= 0:
+            raise ValidationError("prior_concentration must be > 0")
+        self.counts = counts
+        self.prior_concentration = float(prior_concentration)
+
+    @property
+    def n_groups(self) -> int:
+        return self.counts.shape[0]
+
+    @property
+    def n_outcomes(self) -> int:
+        return self.counts.shape[1]
+
+    def observed_mask(self) -> np.ndarray:
+        """Boolean mask of groups with at least one observation."""
+        return self.counts.sum(axis=1) > 0
+
+    def posterior_mean_matrix(self) -> np.ndarray:
+        """Equation 7 estimates, shape (groups, outcomes); NaN for empty groups."""
+        totals = self.counts.sum(axis=1, keepdims=True)
+        k = self.n_outcomes
+        smoothed = (self.counts + self.prior_concentration) / (
+            totals + k * self.prior_concentration
+        )
+        smoothed[~self.observed_mask()] = np.nan
+        return smoothed
+
+    def sample_matrix(self, seed=None) -> np.ndarray:
+        """One posterior draw of all group outcome distributions.
+
+        Empty groups are NaN. Each call with a fresh seed yields one θ for
+        the posterior-sample construction of Θ.
+        """
+        rng = as_generator(seed)
+        sample = np.full(self.counts.shape, np.nan)
+        for index in range(self.n_groups):
+            row = self.counts[index]
+            if row.sum() <= 0:
+                continue
+            sample[index] = rng.dirichlet(row + self.prior_concentration)
+        return sample
+
+    def sample_matrices(self, n: int, seed=None) -> np.ndarray:
+        """``n`` posterior draws, shape (n, groups, outcomes)."""
+        rng = as_generator(seed)
+        return np.stack([self.sample_matrix(rng) for _ in range(n)])
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupOutcomePosterior({self.n_groups} groups x "
+            f"{self.n_outcomes} outcomes, alpha={self.prior_concentration})"
+        )

@@ -1,0 +1,118 @@
+"""Empirical (plug-in) data distributions over observed tables.
+
+Definition 3.2 of the paper evaluates differential fairness against the
+empirical data distribution P_Data(x) = (1/N) Σ δ(x_i). This class realises
+that θ for tables: sampling features for a group bootstraps the rows of
+that group.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.distributions.base import GroupDistribution
+from repro.exceptions import ValidationError
+from repro.tabular.groupby import group_by
+from repro.tabular.table import Table
+
+__all__ = ["EmpiricalGroupDistribution"]
+
+
+class EmpiricalGroupDistribution(GroupDistribution):
+    """The empirical distribution of a table, grouped by protected columns.
+
+    Parameters
+    ----------
+    table:
+        The observed dataset D.
+    protected:
+        Names of the protected-attribute columns (all categorical).
+    feature_columns:
+        Columns returned by :meth:`sample_features`. Defaults to every
+        non-protected column. Numeric columns are returned as a float
+        matrix; if any selected column is categorical an object matrix is
+        returned instead.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        protected: Sequence[str],
+        feature_columns: Sequence[str] | None = None,
+    ):
+        if not protected:
+            raise ValidationError("at least one protected column is required")
+        self._table = table
+        self._protected = tuple(protected)
+        if feature_columns is None:
+            feature_columns = [
+                name for name in table.column_names if name not in self._protected
+            ]
+        self._feature_columns = list(feature_columns)
+        self._grouped = group_by(table, list(self._protected))
+        sizes = self._grouped.sizes()
+        self._labels = list(sizes)
+        total = table.n_rows
+        self._probabilities = np.asarray(
+            [sizes[label] / total for label in self._labels], dtype=float
+        )
+        self._feature_matrix = self._build_feature_matrix()
+
+    def _build_feature_matrix(self) -> np.ndarray:
+        columns = [self._table.column(name) for name in self._feature_columns]
+        if not columns:
+            return np.zeros((self._table.n_rows, 0))
+        if all(column.kind == "numeric" for column in columns):
+            return np.column_stack([column.values for column in columns])
+        stacked = np.empty((self._table.n_rows, len(columns)), dtype=object)
+        for index, column in enumerate(columns):
+            stacked[:, index] = column.values
+        return stacked
+
+    # ------------------------------------------------------------------
+    # GroupDistribution interface
+    # ------------------------------------------------------------------
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self._protected
+
+    @property
+    def feature_columns(self) -> list[str]:
+        return list(self._feature_columns)
+
+    def group_labels(self) -> list[tuple[Any, ...]]:
+        return list(self._labels)
+
+    def group_probabilities(self) -> np.ndarray:
+        return self._probabilities.copy()
+
+    def group_rows(self, group: tuple[Any, ...]) -> np.ndarray:
+        """Row indices of the table belonging to ``group``."""
+        self.require_group(group)
+        return self._grouped.indices(group)
+
+    def sample_features(
+        self, group: tuple[Any, ...], n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        rows = self.group_rows(group)
+        chosen = rng.choice(rows, size=n, replace=True)
+        return self._feature_matrix[chosen]
+
+    def all_group_features(self, group: tuple[Any, ...]) -> np.ndarray:
+        """Every observed feature row for ``group`` (no resampling).
+
+        With a deterministic mechanism, averaging outcome probabilities over
+        these rows gives the *exact* empirical P(M(x) = y | s) — no Monte
+        Carlo error — so this is the preferred path for Definition 3.2.
+        """
+        rows = self.group_rows(group)
+        return self._feature_matrix[rows]
+
+    def __repr__(self) -> str:
+        return (
+            f"EmpiricalGroupDistribution({self._table.n_rows} rows, "
+            f"protected={list(self._protected)})"
+        )

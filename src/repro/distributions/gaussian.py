@@ -1,0 +1,110 @@
+"""Per-group Gaussian score distributions.
+
+This models the Section 5 worked example of the paper: each protected group
+draws a scalar test score from its own Normal distribution, and a threshold
+mechanism converts scores into hiring outcomes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.distributions.base import GroupDistribution, validate_probability_vector
+from repro.exceptions import ValidationError
+from repro.utils.stats import normal_cdf, normal_tail
+
+__all__ = ["GroupGaussianScores"]
+
+
+class GroupGaussianScores(GroupDistribution):
+    """Scalar scores distributed Normal(mean_g, std_g^2) per group.
+
+    Parameters
+    ----------
+    means, stds:
+        Per-group parameters, aligned with ``labels``.
+    probabilities:
+        Marginal group probabilities; uniform by default.
+    labels:
+        Group identifiers; defaults to ``1..G`` as in the paper's figure.
+    attribute_name:
+        Name of the single protected attribute (default ``"group"``).
+    """
+
+    def __init__(
+        self,
+        means: Sequence[float],
+        stds: Sequence[float],
+        probabilities: Sequence[float] | None = None,
+        labels: Sequence[Any] | None = None,
+        attribute_name: str = "group",
+    ):
+        self.means = np.asarray(means, dtype=float)
+        self.stds = np.asarray(stds, dtype=float)
+        if self.means.ndim != 1 or self.means.shape != self.stds.shape:
+            raise ValidationError("means and stds must be 1-D and equal length")
+        if np.any(self.stds <= 0):
+            raise ValidationError("stds must be strictly positive")
+        count = self.means.shape[0]
+        if count < 1:
+            raise ValidationError("at least one group is required")
+        if probabilities is None:
+            probabilities = np.full(count, 1.0 / count)
+        self._probabilities = validate_probability_vector(
+            probabilities, "probabilities"
+        )
+        if self._probabilities.shape[0] != count:
+            raise ValidationError("probabilities must align with means")
+        if labels is None:
+            labels = list(range(1, count + 1))
+        if len(labels) != count:
+            raise ValidationError("labels must align with means")
+        self._labels = [(label,) for label in labels]
+        self._attribute_name = attribute_name
+
+    @classmethod
+    def paper_worked_example(cls) -> "GroupGaussianScores":
+        """The exact Figure 2 configuration: N(10, 1) and N(12, 1), p=1/2."""
+        return cls(means=[10.0, 12.0], stds=[1.0, 1.0])
+
+    # ------------------------------------------------------------------
+    # GroupDistribution interface
+    # ------------------------------------------------------------------
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return (self._attribute_name,)
+
+    def group_labels(self) -> list[tuple[Any, ...]]:
+        return list(self._labels)
+
+    def group_probabilities(self) -> np.ndarray:
+        return self._probabilities.copy()
+
+    def sample_features(
+        self, group: tuple[Any, ...], n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        index = self.require_group(group)
+        return rng.normal(self.means[index], self.stds[index], size=n)
+
+    # ------------------------------------------------------------------
+    # Closed forms used by the analytic epsilon computation
+    # ------------------------------------------------------------------
+    def tail_probability(self, group: tuple[Any, ...], threshold: float) -> float:
+        """P(score >= threshold | group) in closed form."""
+        index = self.require_group(group)
+        return normal_tail(threshold, self.means[index], self.stds[index])
+
+    def cdf(self, group: tuple[Any, ...], value: float) -> float:
+        """P(score <= value | group) in closed form."""
+        index = self.require_group(group)
+        return normal_cdf(value, self.means[index], self.stds[index])
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{label[0]}~N({mean:g},{std:g}²)"
+            for label, mean, std in zip(self._labels, self.means, self.stds)
+        )
+        return f"GroupGaussianScores({params})"

@@ -1,0 +1,231 @@
+"""Gaussian uncertainty bands: the paper's worked example of a non-trivial Θ.
+
+Section 3 of the paper: "Θ could be the set of Gaussian distributions over
+credit scores per value of the protected attributes, with mean and standard
+deviation within a certain range." This module realises that Θ for
+threshold mechanisms, with an *exact* worst-case epsilon:
+
+For ``M(x) = 1[x >= t]``, each group's acceptance probability
+``p_g = Φ((μ_g - t) / σ_g)`` is monotone in μ_g and piecewise monotone in
+σ_g, so its extrema over a box ``[μ_lo, μ_hi] x [σ_lo, σ_hi]`` are attained
+at the box corners. Because groups vary independently within Θ,
+
+    sup_{θ ∈ Θ} ε(θ) = max over outcomes y and ordered group pairs (i, j)
+                        of log( p_y^max(i) / p_y^min(j) ),
+
+which is computed from the per-group corner probabilities — no sampling.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.distributions.base import UncertaintySet, validate_probability_vector
+from repro.distributions.gaussian import GroupGaussianScores
+from repro.exceptions import ValidationError
+from repro.mechanisms.threshold import ScoreThresholdMechanism
+from repro.utils.stats import normal_tail
+
+__all__ = ["GaussianScoreBand", "BandEpsilon"]
+
+
+@dataclass(frozen=True)
+class BandEpsilon:
+    """Worst-case differential fairness over a Gaussian uncertainty band."""
+
+    epsilon: float
+    outcome: Any
+    group_high: tuple[Any, ...]
+    group_low: tuple[Any, ...]
+    #: per-group (min, max) acceptance probability over the band
+    acceptance_intervals: dict[tuple[Any, ...], tuple[float, float]]
+
+    @property
+    def ratio_bound(self) -> float:
+        return math.exp(self.epsilon) if math.isfinite(self.epsilon) else math.inf
+
+    def to_text(self) -> str:
+        lines = [
+            f"worst-case epsilon over the band: {self.epsilon:.4f} "
+            f"(exp = {self.ratio_bound:.4f})",
+            f"achieved by outcome {self.outcome!r}: group {self.group_high} "
+            f"vs {self.group_low}",
+            "per-group acceptance probability intervals:",
+        ]
+        for label, (low, high) in self.acceptance_intervals.items():
+            lines.append(f"  {label}: [{low:.4f}, {high:.4f}]")
+        return "\n".join(lines)
+
+
+class GaussianScoreBand:
+    """Θ: per-group Gaussian score models with interval-valued parameters.
+
+    Parameters
+    ----------
+    mean_intervals, std_intervals:
+        Per-group ``(low, high)`` bounds; a point value may be given as a
+        scalar. Standard deviations must be strictly positive.
+    labels, probabilities, attribute_name:
+        As in :class:`GroupGaussianScores`.
+    """
+
+    def __init__(
+        self,
+        mean_intervals: Sequence[tuple[float, float] | float],
+        std_intervals: Sequence[tuple[float, float] | float],
+        probabilities: Sequence[float] | None = None,
+        labels: Sequence[Any] | None = None,
+        attribute_name: str = "group",
+    ):
+        self._means = [self._as_interval(value, "mean") for value in mean_intervals]
+        self._stds = [self._as_interval(value, "std") for value in std_intervals]
+        if len(self._means) != len(self._stds):
+            raise ValidationError("mean and std intervals must align")
+        if not self._means:
+            raise ValidationError("at least one group is required")
+        for low, high in self._stds:
+            if low <= 0:
+                raise ValidationError("std intervals must be strictly positive")
+        count = len(self._means)
+        if probabilities is None:
+            probabilities = np.full(count, 1.0 / count)
+        self._probabilities = validate_probability_vector(
+            probabilities, "probabilities"
+        )
+        if self._probabilities.shape[0] != count:
+            raise ValidationError("probabilities must align with groups")
+        if labels is None:
+            labels = list(range(1, count + 1))
+        if len(labels) != count:
+            raise ValidationError("labels must align with groups")
+        self._labels = [(label,) for label in labels]
+        self._attribute_name = attribute_name
+
+    @staticmethod
+    def _as_interval(value, name: str) -> tuple[float, float]:
+        if isinstance(value, (int, float)):
+            return (float(value), float(value))
+        low, high = float(value[0]), float(value[1])
+        if low > high:
+            raise ValidationError(f"{name} interval must have low <= high")
+        return (low, high)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return (self._attribute_name,)
+
+    def group_labels(self) -> list[tuple[Any, ...]]:
+        return list(self._labels)
+
+    # ------------------------------------------------------------------
+    # Exact worst case
+    # ------------------------------------------------------------------
+    def acceptance_interval(
+        self, group_index: int, threshold: float
+    ) -> tuple[float, float]:
+        """Range of P(score >= threshold) over the group's parameter box.
+
+        The tail probability is monotone in each parameter separately, so
+        the extremes are attained at the four box corners.
+        """
+        mean_low, mean_high = self._means[group_index]
+        std_low, std_high = self._stds[group_index]
+        corners = [
+            normal_tail(threshold, mean, std)
+            for mean, std in itertools.product(
+                (mean_low, mean_high), (std_low, std_high)
+            )
+        ]
+        return (min(corners), max(corners))
+
+    def worst_case_epsilon(
+        self, mechanism: ScoreThresholdMechanism
+    ) -> BandEpsilon:
+        """Exact sup of epsilon over the band for a threshold mechanism."""
+        threshold = mechanism.threshold
+        intervals = {
+            label: self.acceptance_interval(index, threshold)
+            for index, label in enumerate(self._labels)
+            if self._probabilities[index] > 0
+        }
+        if len(intervals) < 2:
+            return BandEpsilon(
+                epsilon=0.0,
+                outcome=None,
+                group_high=(),
+                group_low=(),
+                acceptance_intervals=intervals,
+            )
+        no_label, yes_label = mechanism.outcome_levels
+        best = None
+        for (label_i, (low_i, high_i)), (label_j, (low_j, high_j)) in (
+            itertools.permutations(intervals.items(), 2)
+        ):
+            candidates = []
+            if low_j > 0:
+                candidates.append((math.log(high_i / low_j), yes_label))
+            elif high_i > 0:
+                candidates.append((math.inf, yes_label))
+            no_high_i = 1.0 - low_i
+            no_low_j = 1.0 - high_j
+            if no_low_j > 0:
+                candidates.append((math.log(no_high_i / no_low_j), no_label))
+            elif no_high_i > 0:
+                candidates.append((math.inf, no_label))
+            for value, outcome in candidates:
+                if best is None or value > best[0]:
+                    best = (value, outcome, label_i, label_j)
+        assert best is not None
+        epsilon, outcome, group_high, group_low = best
+        return BandEpsilon(
+            epsilon=max(epsilon, 0.0),
+            outcome=outcome,
+            group_high=group_high,
+            group_low=group_low,
+            acceptance_intervals=intervals,
+        )
+
+    # ------------------------------------------------------------------
+    # Sampling-based verification path
+    # ------------------------------------------------------------------
+    def grid(self, resolution: int = 3) -> UncertaintySet:
+        """A finite Θ of Gaussian models on a parameter grid.
+
+        Used to cross-check :meth:`worst_case_epsilon` by Monte Carlo or
+        exact integration over each grid point; the grid epsilon converges
+        to the band supremum from below as the resolution grows.
+        """
+        if resolution < 1:
+            raise ValidationError("resolution must be >= 1")
+        axes: list[list[tuple[float, float]]] = []
+        for (mean_low, mean_high), (std_low, std_high) in zip(
+            self._means, self._stds
+        ):
+            means = np.linspace(mean_low, mean_high, resolution)
+            stds = np.linspace(std_low, std_high, resolution)
+            axes.append(list(itertools.product(means, stds)))
+        members = []
+        for combo in itertools.product(*axes):
+            members.append(
+                GroupGaussianScores(
+                    means=[params[0] for params in combo],
+                    stds=[params[1] for params in combo],
+                    probabilities=self._probabilities,
+                    labels=[label[0] for label in self._labels],
+                    attribute_name=self._attribute_name,
+                )
+            )
+        return UncertaintySet(members)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{label[0]}: mu in {means}, sigma in {stds}"
+            for label, means, stds in zip(self._labels, self._means, self._stds)
+        )
+        return f"GaussianScoreBand({parts})"

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError` raised by NumPy.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, range, or type)."""
+
+
+class SchemaError(ReproError):
+    """A table operation referenced a column or type that does not exist."""
+
+
+class CsvParseError(ReproError):
+    """A CSV file could not be parsed against the expected schema."""
+
+
+class EmptyGroupError(ReproError):
+    """A fairness computation required a group that has no probability mass.
+
+    Definition 3.1 of the paper only constrains groups with ``P(s | theta) > 0``;
+    this error is raised when a caller explicitly asks for an excluded group.
+    """
+
+
+class EstimationError(ReproError):
+    """A probability estimate could not be formed (e.g. no samples drawn)."""
+
+
+class CalibrationError(ReproError):
+    """The synthetic-data calibration optimiser failed to meet its targets."""
+
+
+class NotFittedError(ReproError):
+    """A model was used for prediction before :meth:`fit` was called."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative optimiser stopped before reaching its tolerance."""

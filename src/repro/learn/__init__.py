@@ -1,0 +1,55 @@
+"""From-scratch machine learning substrate (the scikit-learn stand-in).
+
+The paper's case study trains a regularised logistic regression on census
+data and audits its predictions; this subpackage implements that model plus
+supporting classifiers, preprocessing, metrics, and model selection — all
+NumPy. It also contains the paper's "future work" extension: logistic
+regression trained with a differential fairness regulariser, and a
+post-processing mitigation that clamps a classifier's epsilon.
+"""
+
+from repro.learn.base import BaseClassifier
+from repro.learn.decision_tree import DecisionTreeClassifier
+from repro.learn.fair_logistic import FairLogisticRegression
+from repro.learn.group_thresholds import (
+    GroupThresholdPostprocessor,
+    ThresholdSolution,
+)
+from repro.learn.logistic_regression import LogisticRegression
+from repro.learn.metrics import (
+    accuracy,
+    confusion_matrix,
+    error_rate,
+    f1_score,
+    log_loss,
+    precision,
+    recall,
+)
+from repro.learn.model_selection import KFold, train_test_split
+from repro.learn.naive_bayes import CategoricalNB
+from repro.learn.pipeline import Pipeline
+from repro.learn.postprocess import GroupMixingPostprocessor
+from repro.learn.preprocessing import StandardScaler, TableVectorizer
+
+__all__ = [
+    "BaseClassifier",
+    "CategoricalNB",
+    "DecisionTreeClassifier",
+    "FairLogisticRegression",
+    "GroupMixingPostprocessor",
+    "GroupThresholdPostprocessor",
+    "KFold",
+    "LogisticRegression",
+    "Pipeline",
+    "ThresholdSolution",
+    "StandardScaler",
+    "TableVectorizer",
+    "accuracy",
+    "confusion_matrix",
+    "error_rate",
+    "f1_score",
+    "log_loss",
+    "precision",
+    "recall",
+    "train_test_split",
+]

@@ -1,0 +1,73 @@
+"""Shared classifier interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_same_length
+
+__all__ = ["BaseClassifier", "encode_labels"]
+
+
+def encode_labels(y: Any) -> tuple[np.ndarray, tuple[Any, ...]]:
+    """Map labels to integer codes plus the sorted class alphabet."""
+    labels = list(y)
+    if not labels:
+        raise ValidationError("y must not be empty")
+    classes = tuple(sorted(set(labels), key=lambda item: (str(type(item)), str(item))))
+    index = {label: code for code, label in enumerate(classes)}
+    codes = np.fromiter((index[label] for label in labels), dtype=np.int64)
+    return codes, classes
+
+
+class BaseClassifier(ABC):
+    """Minimal fit/predict contract shared by all classifiers here.
+
+    Subclasses set ``classes_`` during :meth:`fit` and implement
+    :meth:`predict_proba`; ``predict`` is derived.
+    """
+
+    classes_: tuple[Any, ...]
+
+    @abstractmethod
+    def fit(self, X: np.ndarray, y: Any) -> "BaseClassifier":
+        """Train on a design matrix and labels; returns self."""
+
+    @abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities, shape ``(n, n_classes)``, columns aligned
+        with :attr:`classes_`."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class per row, as an object array of labels."""
+        probabilities = self.predict_proba(X)
+        indices = probabilities.argmax(axis=1)
+        return np.asarray(self.classes_, dtype=object)[indices]
+
+    def score(self, X: np.ndarray, y: Any) -> float:
+        """Accuracy on ``(X, y)``."""
+        predictions = self.predict(X)
+        labels = np.asarray(list(y), dtype=object)
+        check_same_length(predictions, labels, "predictions and y")
+        return float((predictions == labels).mean())
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "classes_"):
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before prediction"
+            )
+
+    @staticmethod
+    def _check_matrix(X: np.ndarray, name: str = "X") -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[:, None]
+        if X.ndim != 2:
+            raise ValidationError(f"{name} must be a 2-D design matrix")
+        if not np.all(np.isfinite(X)):
+            raise ValidationError(f"{name} contains NaN or infinite entries")
+        return X

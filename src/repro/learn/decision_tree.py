@@ -1,0 +1,172 @@
+"""CART-style decision tree classifier (Gini impurity, axis-aligned splits)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.learn.base import BaseClassifier, encode_labels
+from repro.utils.validation import check_same_length
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    """One tree node: either a leaf (probabilities) or an internal split."""
+
+    probabilities: np.ndarray
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    fractions = counts / total
+    return float(1.0 - np.sum(fractions * fractions))
+
+
+class DecisionTreeClassifier(BaseClassifier):
+    """Binary-split decision tree on numeric features.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root has depth 0). ``None`` grows until pure.
+    min_samples_split:
+        Minimum rows required to attempt a split.
+    min_samples_leaf:
+        Minimum rows in each child of an accepted split.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+    ):
+        if max_depth is not None and max_depth < 0:
+            raise ValidationError("max_depth must be >= 0 or None")
+        if min_samples_split < 2:
+            raise ValidationError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValidationError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: Any) -> "DecisionTreeClassifier":
+        X = self._check_matrix(X)
+        codes, classes = encode_labels(y)
+        check_same_length(X, codes, "X and y")
+        self.classes_ = classes
+        self._n_classes = len(classes)
+        self._root = self._grow(X, codes, depth=0)
+        self.n_features_ = X.shape[1]
+        return self
+
+    def _leaf(self, codes: np.ndarray) -> _Node:
+        counts = np.bincount(codes, minlength=self._n_classes).astype(float)
+        return _Node(probabilities=counts / counts.sum())
+
+    def _grow(self, X: np.ndarray, codes: np.ndarray, depth: int) -> _Node:
+        n = codes.shape[0]
+        if (
+            n < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.unique(codes).size == 1
+        ):
+            return self._leaf(codes)
+        split = self._best_split(X, codes)
+        if split is None:
+            return self._leaf(codes)
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node = self._leaf(codes)
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], codes[mask], depth + 1)
+        node.right = self._grow(X[~mask], codes[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, codes: np.ndarray
+    ) -> tuple[int, float] | None:
+        n, d = X.shape
+        parent_counts = np.bincount(codes, minlength=self._n_classes).astype(float)
+        # Zero-gain splits are accepted (as in standard CART): an impure
+        # node may need a gainless first split to enable gainful children
+        # (e.g. XOR). Pure nodes never reach this method.
+        best_gain = -1.0
+        best: tuple[int, float] | None = None
+        for feature in range(d):
+            order = np.argsort(X[:, feature], kind="stable")
+            values = X[order, feature]
+            ordered_codes = codes[order]
+            left_counts = np.zeros(self._n_classes)
+            right_counts = parent_counts.copy()
+            for position in range(n - 1):
+                code = ordered_codes[position]
+                left_counts[code] += 1
+                right_counts[code] -= 1
+                if values[position] == values[position + 1]:
+                    continue  # cannot split between equal values
+                n_left = position + 1
+                n_right = n - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                weighted = (
+                    n_left * _gini(left_counts) + n_right * _gini(right_counts)
+                ) / n
+                gain = _gini(parent_counts) - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    midpoint = 0.5 * (values[position] + values[position + 1])
+                    best = (feature, float(midpoint))
+        return best
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = self._check_matrix(X)
+        if X.shape[1] != self.n_features_:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, model was trained with "
+                f"{self.n_features_}"
+            )
+        out = np.empty((X.shape[0], self._n_classes))
+        for index, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[index] = node.probabilities
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        self._check_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecisionTreeClassifier(max_depth={self.max_depth}, "
+            f"min_samples_leaf={self.min_samples_leaf})"
+        )

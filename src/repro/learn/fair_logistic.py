@@ -1,0 +1,203 @@
+"""Differential-fairness-regularised logistic regression.
+
+The paper's conclusion proposes "learning algorithms which use our criterion
+as a regularizer to automatically balance the trade-off between fairness and
+accuracy, following [Berk et al.]". This module implements that extension:
+
+    J(w) = NLL(w)/n + (l2/2)||w||^2 + fairness_weight * R(w)
+
+where R is a smooth surrogate of the (squared) empirical differential
+fairness of the model's *soft* predictions: for per-group mean predicted
+positive probabilities p̄_g,
+
+    R(w) = Σ_{i<j} [ (log p̄_i - log p̄_j)^2 + (log(1-p̄_i) - log(1-p̄_j))^2 ].
+
+Driving every pairwise log-ratio toward zero drives epsilon toward zero;
+squaring makes R differentiable, so L-BFGS applies. The hard epsilon of the
+thresholded classifier is reported separately by the audit tools.
+"""
+
+from __future__ import annotations
+
+import itertools
+import warnings
+from typing import Any
+
+import numpy as np
+from scipy import optimize
+
+from repro.exceptions import ConvergenceWarning, ValidationError
+from repro.learn.base import BaseClassifier, encode_labels
+from repro.learn.logistic_regression import log_sigmoid, sigmoid
+from repro.utils.validation import check_nonnegative, check_same_length
+
+__all__ = ["FairLogisticRegression", "soft_edf_penalty"]
+
+
+def soft_edf_penalty(group_rates: np.ndarray) -> float:
+    """The surrogate penalty R evaluated at per-group positive rates."""
+    rates = np.asarray(group_rates, dtype=float)
+    if rates.ndim != 1 or rates.size < 2:
+        raise ValidationError("group_rates must be a vector of length >= 2")
+    if np.any(rates <= 0) or np.any(rates >= 1):
+        raise ValidationError("rates must lie strictly inside (0, 1)")
+    total = 0.0
+    logs = np.log(rates)
+    logs_neg = np.log1p(-rates)
+    for i, j in itertools.combinations(range(rates.size), 2):
+        total += (logs[i] - logs[j]) ** 2 + (logs_neg[i] - logs_neg[j]) ** 2
+    return float(total)
+
+
+class FairLogisticRegression(BaseClassifier):
+    """Logistic regression with a differential fairness penalty.
+
+    Parameters
+    ----------
+    fairness_weight:
+        λ ≥ 0; zero recovers plain logistic regression, larger values trade
+        accuracy for a smaller epsilon across the protected groups.
+    l2, max_iter, tol, fit_intercept:
+        As in :class:`repro.learn.LogisticRegression`.
+
+    :meth:`fit` takes an extra ``groups`` argument: one hashable group
+    identifier per row (typically the tuple of protected-attribute values).
+    """
+
+    def __init__(
+        self,
+        fairness_weight: float = 1.0,
+        l2: float = 1e-4,
+        max_iter: int = 500,
+        tol: float = 1e-8,
+        fit_intercept: bool = True,
+    ):
+        self.fairness_weight = check_nonnegative(fairness_weight, "fairness_weight")
+        self.l2 = check_nonnegative(l2, "l2")
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.fit_intercept = bool(fit_intercept)
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: Any, groups: Any = None) -> "FairLogisticRegression":
+        X = self._check_matrix(X)
+        codes, classes = encode_labels(y)
+        check_same_length(X, codes, "X and y")
+        if len(classes) != 2:
+            raise ValidationError("FairLogisticRegression is binary")
+        if groups is None:
+            raise ValidationError("fit requires per-row protected groups")
+        group_ids = list(groups)
+        check_same_length(X, group_ids, "X and groups")
+        distinct = sorted(set(group_ids), key=str)
+        if len(distinct) < 2:
+            raise ValidationError("need at least two protected groups")
+        masks = [
+            np.asarray([g == target for g in group_ids], dtype=bool)
+            for target in distinct
+        ]
+        self.group_labels_ = distinct
+
+        targets = codes.astype(float)
+        design = (
+            np.column_stack([np.ones(X.shape[0]), X]) if self.fit_intercept else X
+        )
+        n, d = design.shape
+        penalty_mask = np.ones(d)
+        if self.fit_intercept:
+            penalty_mask[0] = 0.0
+        pairs = list(itertools.combinations(range(len(distinct)), 2))
+        floor = 1e-9  # keeps log rates finite while a group's rate collapses
+
+        def objective(w: np.ndarray) -> tuple[float, np.ndarray]:
+            z = design @ w
+            probs = sigmoid(z)
+            nll = -np.sum(
+                targets * log_sigmoid(z) + (1.0 - targets) * log_sigmoid(-z)
+            ) / n
+            gradient = design.T @ (probs - targets) / n
+            # Same per-sample L2 scaling as LogisticRegression, so that
+            # fairness_weight = 0 recovers it exactly.
+            nll += 0.5 * self.l2 * np.sum((w * penalty_mask) ** 2) / n
+            gradient = gradient + self.l2 * w * penalty_mask / n
+
+            if self.fairness_weight > 0:
+                deriv = probs * (1.0 - probs)
+                rates = np.empty(len(masks))
+                rate_grads = []
+                for index, mask in enumerate(masks):
+                    size = mask.sum()
+                    rates[index] = probs[mask].mean()
+                    rate_grads.append(design[mask].T @ deriv[mask] / size)
+                rates = np.clip(rates, floor, 1.0 - floor)
+                penalty = 0.0
+                penalty_grad = np.zeros(d)
+                for i, j in pairs:
+                    gap_pos = np.log(rates[i]) - np.log(rates[j])
+                    gap_neg = np.log1p(-rates[i]) - np.log1p(-rates[j])
+                    penalty += gap_pos**2 + gap_neg**2
+                    penalty_grad += 2.0 * gap_pos * (
+                        rate_grads[i] / rates[i] - rate_grads[j] / rates[j]
+                    )
+                    penalty_grad += 2.0 * gap_neg * (
+                        -rate_grads[i] / (1.0 - rates[i])
+                        + rate_grads[j] / (1.0 - rates[j])
+                    )
+                nll += self.fairness_weight * penalty
+                gradient = gradient + self.fairness_weight * penalty_grad
+            return nll, gradient
+
+        result = optimize.minimize(
+            objective,
+            x0=np.zeros(d),
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iter, "gtol": self.tol},
+        )
+        if not result.success and result.status != 1:
+            warnings.warn(
+                f"L-BFGS did not converge: {result.message}", ConvergenceWarning,
+                stacklevel=2,
+            )
+        self.classes_ = classes
+        if self.fit_intercept:
+            self.intercept_ = float(result.x[0])
+            self.coef_ = result.x[1:].copy()
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = result.x.copy()
+        self.n_iter_ = int(result.nit)
+        return self
+
+    # ------------------------------------------------------------------
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = self._check_matrix(X)
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, model was trained with "
+                f"{self.coef_.shape[0]}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        p1 = sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p1, p1])
+
+    def group_rates(self, X: np.ndarray, groups: Any) -> dict[Any, float]:
+        """Per-group mean predicted positive probability (the p̄_g)."""
+        probs = self.predict_proba(X)[:, 1]
+        group_ids = list(groups)
+        check_same_length(probs, group_ids, "X and groups")
+        return {
+            target: float(
+                probs[[g == target for g in group_ids]].mean()
+            )
+            for target in sorted(set(group_ids), key=str)
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FairLogisticRegression(fairness_weight={self.fairness_weight:g}, "
+            f"l2={self.l2:g})"
+        )

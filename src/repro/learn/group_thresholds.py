@@ -1,0 +1,250 @@
+"""Per-group decision thresholds tuned to an epsilon budget.
+
+Section 7.1 of the paper contrasts differential fairness with threshold
+tests (Simoiu et al.), which require *equal* risk thresholds across groups.
+The paper's position is the opposite: when risk scores themselves absorb
+structural oppression, equalising the thresholds codifies the bias, and the
+outcome *rates* are what should be constrained. This post-processor
+realises that: given classifier scores, it chooses one threshold per
+intersectional group so that the resulting acceptance rates satisfy a
+differential fairness budget, at the smallest possible accuracy cost.
+
+The search is exact over the achievable-rate grid: a group with n_g scores
+can realise only rates k / n_g, so the optimiser enumerates rate windows
+``[r_lo, r_hi]`` that satisfy the two-sided epsilon constraint
+
+    r_hi / r_lo <= exp(eps)   and   (1 - r_lo) / (1 - r_hi) <= exp(eps),
+
+and for each window lets every group pick its most accurate feasible
+threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_nonnegative, check_same_length
+
+__all__ = ["GroupThresholdPostprocessor", "ThresholdSolution"]
+
+
+@dataclass(frozen=True)
+class ThresholdSolution:
+    """A feasible per-group thresholding with its measurements."""
+
+    thresholds: dict[Any, float]
+    rates: dict[Any, float]
+    accuracy: float
+    epsilon: float
+
+    def to_text(self) -> str:
+        from repro.utils.formatting import render_table
+
+        rows = [
+            [str(group), self.thresholds[group], self.rates[group]]
+            for group in self.thresholds
+        ]
+        header = (
+            f"per-group thresholds: accuracy {self.accuracy:.4f}, "
+            f"epsilon {self.epsilon:.4f}"
+        )
+        return header + "\n" + render_table(
+            ["group", "threshold", "positive rate"], rows, digits=4
+        )
+
+
+def _epsilon_of_rates(rates: np.ndarray) -> float:
+    high, low = rates.max(), rates.min()
+    candidates = []
+    if low > 0:
+        candidates.append(math.log(high / low))
+    elif high > 0:
+        return math.inf
+    neg_high, neg_low = 1.0 - low, 1.0 - high
+    if neg_low > 0:
+        candidates.append(math.log(neg_high / neg_low))
+    elif neg_high > 0:
+        return math.inf
+    return max(candidates) if candidates else 0.0
+
+
+class _GroupProfile:
+    """Achievable (threshold, rate, accuracy) triples for one group."""
+
+    def __init__(self, scores: np.ndarray, positives: np.ndarray):
+        order = np.argsort(-scores, kind="stable")  # descending scores
+        sorted_scores = scores[order]
+        sorted_positives = positives[order].astype(float)
+        n = scores.shape[0]
+        # Threshold candidates: above the top score (accept none), then
+        # just at each score (accept the top k). Duplicate scores must
+        # accept all ties, so only positions where the score changes.
+        take_counts = [0]
+        thresholds = [math.inf]
+        for position in range(n):
+            is_last = position == n - 1
+            if is_last or sorted_scores[position + 1] != sorted_scores[position]:
+                take_counts.append(position + 1)
+                thresholds.append(float(sorted_scores[position]))
+        cumulative_positives = np.concatenate(
+            ([0.0], np.cumsum(sorted_positives))
+        )
+        total_positives = float(sorted_positives.sum())
+        self.n = n
+        self.thresholds = np.asarray(thresholds)
+        self.rates = np.asarray(take_counts, dtype=float) / n
+        # accuracy = (true positives above t + true negatives below t) / n
+        taken = np.asarray(take_counts)
+        true_positives = cumulative_positives[taken]
+        false_positives = taken - true_positives
+        true_negatives = (n - total_positives) - false_positives
+        self.accuracies = (true_positives + true_negatives) / n
+
+    def best_in_window(
+        self, low: float, high: float
+    ) -> tuple[float, float, float] | None:
+        """Most accurate (threshold, rate, accuracy) with rate in [low, high]."""
+        feasible = (self.rates >= low - 1e-12) & (self.rates <= high + 1e-12)
+        if not feasible.any():
+            return None
+        indices = np.flatnonzero(feasible)
+        best = indices[np.argmax(self.accuracies[indices])]
+        return (
+            float(self.thresholds[best]),
+            float(self.rates[best]),
+            float(self.accuracies[best]),
+        )
+
+
+class GroupThresholdPostprocessor:
+    """Choose per-group thresholds meeting an epsilon budget.
+
+    Parameters
+    ----------
+    positive:
+        The label counted as the favourable outcome in ``y_true``.
+    """
+
+    def __init__(self, positive: Any = 1):
+        self.positive = positive
+
+    def fit(
+        self, scores: np.ndarray, y_true: Any, groups: Any
+    ) -> "GroupThresholdPostprocessor":
+        """Build per-group achievable-rate profiles from held-out scores."""
+        scores = np.asarray(scores, dtype=float)
+        labels = list(y_true)
+        group_ids = list(groups)
+        check_same_length(scores, labels, "scores and y_true")
+        check_same_length(scores, group_ids, "scores and groups")
+        if scores.ndim != 1 or scores.size == 0:
+            raise ValidationError("scores must be a non-empty vector")
+        positives = np.asarray(
+            [label == self.positive for label in labels], dtype=bool
+        )
+        self.group_labels_ = sorted(set(group_ids), key=str)
+        if len(self.group_labels_) < 2:
+            raise ValidationError("need at least two groups")
+        self._profiles: dict[Any, _GroupProfile] = {}
+        self._sizes: dict[Any, int] = {}
+        for group in self.group_labels_:
+            mask = np.asarray([g == group for g in group_ids], dtype=bool)
+            if not mask.any():
+                continue
+            self._profiles[group] = _GroupProfile(
+                scores[mask], positives[mask]
+            )
+            self._sizes[group] = int(mask.sum())
+        return self
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "_profiles"):
+            raise NotFittedError("GroupThresholdPostprocessor must be fitted")
+
+    # ------------------------------------------------------------------
+    def solve(self, epsilon_budget: float) -> ThresholdSolution:
+        """Accuracy-optimal per-group thresholds with epsilon <= budget.
+
+        Exact search over rate windows anchored at every achievable rate.
+        Raises if no assignment meets the budget (possible only for very
+        small groups whose rate grids are too coarse).
+        """
+        check_nonnegative(epsilon_budget, "epsilon_budget")
+        self._check_fitted()
+        factor = math.exp(epsilon_budget)
+        anchor_rates = sorted(
+            {
+                float(rate)
+                for profile in self._profiles.values()
+                for rate in profile.rates
+            }
+        )
+        total = sum(self._sizes.values())
+        best: ThresholdSolution | None = None
+        for low in anchor_rates:
+            if low >= 1.0:
+                high = 1.0
+            else:
+                high = min(
+                    low * factor if low > 0 else (1.0 if factor == math.inf else 0.0),
+                    1.0 - (1.0 - low) / factor,
+                )
+                high = max(high, low)
+            choices = {}
+            weighted_accuracy = 0.0
+            feasible = True
+            for group, profile in self._profiles.items():
+                choice = profile.best_in_window(low, high)
+                if choice is None:
+                    feasible = False
+                    break
+                choices[group] = choice
+                weighted_accuracy += choice[2] * self._sizes[group]
+            if not feasible:
+                continue
+            weighted_accuracy /= total
+            rates = np.asarray([choice[1] for choice in choices.values()])
+            achieved = _epsilon_of_rates(rates)
+            if achieved > epsilon_budget + 1e-9:
+                continue
+            if best is None or weighted_accuracy > best.accuracy:
+                best = ThresholdSolution(
+                    thresholds={g: c[0] for g, c in choices.items()},
+                    rates={g: c[1] for g, c in choices.items()},
+                    accuracy=weighted_accuracy,
+                    epsilon=achieved,
+                )
+        if best is None:
+            raise ValidationError(
+                f"no per-group thresholding achieves epsilon <= "
+                f"{epsilon_budget}; group rate grids are too coarse"
+            )
+        return best
+
+    def apply(
+        self, scores: np.ndarray, groups: Any, solution: ThresholdSolution,
+        negative: Any = 0,
+    ) -> list[Any]:
+        """Threshold new scores with a solved per-group assignment."""
+        self._check_fitted()
+        scores = np.asarray(scores, dtype=float)
+        group_ids = list(groups)
+        check_same_length(scores, group_ids, "scores and groups")
+        output = []
+        for score, group in zip(scores, group_ids):
+            try:
+                threshold = solution.thresholds[group]
+            except KeyError:
+                raise ValidationError(f"no threshold solved for group {group!r}")
+            output.append(self.positive if score >= threshold else negative)
+        return output
+
+    def __repr__(self) -> str:
+        if hasattr(self, "_profiles"):
+            return f"GroupThresholdPostprocessor({len(self._profiles)} groups)"
+        return "GroupThresholdPostprocessor(unfitted)"

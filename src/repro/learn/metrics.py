@@ -1,0 +1,107 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_same_length
+
+__all__ = [
+    "accuracy",
+    "error_rate",
+    "confusion_matrix",
+    "precision",
+    "recall",
+    "f1_score",
+    "log_loss",
+]
+
+
+def _as_label_arrays(y_true: Any, y_pred: Any) -> tuple[np.ndarray, np.ndarray]:
+    true = np.asarray(list(y_true), dtype=object)
+    pred = np.asarray(list(y_pred), dtype=object)
+    check_same_length(true, pred, "y_true and y_pred")
+    if true.size == 0:
+        raise ValidationError("metrics need at least one sample")
+    return true, pred
+
+
+def accuracy(y_true: Any, y_pred: Any) -> float:
+    """Fraction of correct predictions."""
+    true, pred = _as_label_arrays(y_true, y_pred)
+    return float((true == pred).mean())
+
+
+def error_rate(y_true: Any, y_pred: Any, *, percent: bool = False) -> float:
+    """Fraction (or percentage) of incorrect predictions.
+
+    The paper's Table 3 reports percentages (e.g. 14.90).
+    """
+    rate = 1.0 - accuracy(y_true, y_pred)
+    return rate * 100.0 if percent else rate
+
+
+def confusion_matrix(
+    y_true: Any, y_pred: Any, labels: list[Any] | None = None
+) -> tuple[np.ndarray, list[Any]]:
+    """Counts ``C[i, j]`` of true label i predicted as label j."""
+    true, pred = _as_label_arrays(y_true, y_pred)
+    if labels is None:
+        labels = sorted(set(true.tolist()) | set(pred.tolist()), key=str)
+    index = {label: position for position, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(true, pred):
+        if t not in index or p not in index:
+            raise ValidationError(f"label {t!r} or {p!r} missing from labels list")
+        matrix[index[t], index[p]] += 1
+    return matrix, list(labels)
+
+
+def _binary_counts(y_true: Any, y_pred: Any, positive: Any) -> tuple[int, int, int]:
+    true, pred = _as_label_arrays(y_true, y_pred)
+    tp = int(((true == positive) & (pred == positive)).sum())
+    fp = int(((true != positive) & (pred == positive)).sum())
+    fn = int(((true == positive) & (pred != positive)).sum())
+    return tp, fp, fn
+
+
+def precision(y_true: Any, y_pred: Any, positive: Any) -> float:
+    """TP / (TP + FP); zero when nothing was predicted positive."""
+    tp, fp, _ = _binary_counts(y_true, y_pred, positive)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall(y_true: Any, y_pred: Any, positive: Any) -> float:
+    """TP / (TP + FN); zero when no positives exist."""
+    tp, _, fn = _binary_counts(y_true, y_pred, positive)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def f1_score(y_true: Any, y_pred: Any, positive: Any) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(y_true, y_pred, positive)
+    r = recall(y_true, y_pred, positive)
+    return 2 * p * r / (p + r) if p + r else 0.0
+
+
+def log_loss(y_true: Any, probabilities: np.ndarray, classes: list[Any]) -> float:
+    """Mean negative log-likelihood of the true labels.
+
+    ``probabilities`` columns align with ``classes``; probabilities are
+    clipped away from 0 to keep the loss finite.
+    """
+    true = np.asarray(list(y_true), dtype=object)
+    matrix = np.asarray(probabilities, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[1] != len(classes):
+        raise ValidationError("probabilities must be (n, n_classes)")
+    check_same_length(true, matrix, "y_true and probabilities")
+    index = {label: position for position, label in enumerate(classes)}
+    try:
+        columns = np.fromiter((index[t] for t in true), dtype=np.int64)
+    except KeyError as error:
+        raise ValidationError(f"label {error.args[0]!r} not in classes") from error
+    chosen = matrix[np.arange(true.size), columns]
+    return float(-np.log(np.clip(chosen, 1e-15, 1.0)).mean())

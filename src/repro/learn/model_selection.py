@@ -1,0 +1,101 @@
+"""Train/test splitting and cross-validation."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.tabular.table import Table
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction
+
+__all__ = ["train_test_split", "KFold"]
+
+
+def train_test_split(
+    data: Table,
+    test_size: float = 0.25,
+    seed=None,
+    stratify: str | None = None,
+) -> tuple[Table, Table]:
+    """Randomly split a table into train and test parts.
+
+    ``stratify`` names a categorical column whose level proportions are
+    preserved in both parts (to the rounding of each stratum).
+    """
+    check_fraction(test_size, "test_size", inclusive=False)
+    rng = as_generator(seed)
+    n = data.n_rows
+    if stratify is None:
+        permutation = rng.permutation(n)
+        n_test = int(round(n * test_size))
+        n_test = min(max(n_test, 1), n - 1)
+        test_rows = permutation[:n_test]
+        train_rows = permutation[n_test:]
+    else:
+        column = data.column(stratify)
+        test_parts: list[np.ndarray] = []
+        train_parts: list[np.ndarray] = []
+        for level in column.unique():
+            rows = np.flatnonzero(column.equals_mask(level))
+            rows = rng.permutation(rows)
+            n_test = int(round(rows.size * test_size))
+            test_parts.append(rows[:n_test])
+            train_parts.append(rows[n_test:])
+        test_rows = np.concatenate(test_parts)
+        train_rows = np.concatenate(train_parts)
+        if test_rows.size == 0 or train_rows.size == 0:
+            raise ValidationError("stratified split left one part empty")
+        test_rows = rng.permutation(test_rows)
+        train_rows = rng.permutation(train_rows)
+    return data.take(train_rows), data.take(test_rows)
+
+
+class KFold:
+    """K-fold cross-validation over row indices."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed=None):
+        if n_splits < 2:
+            raise ValidationError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = int(n_splits)
+        self.shuffle = bool(shuffle)
+        self._seed = seed
+
+    def split(self, n_rows: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_indices, test_indices) pairs."""
+        if n_rows < self.n_splits:
+            raise ValidationError(
+                f"cannot make {self.n_splits} folds from {n_rows} rows"
+            )
+        indices = np.arange(n_rows)
+        if self.shuffle:
+            indices = as_generator(self._seed).permutation(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for held_out in range(self.n_splits):
+            test = folds[held_out]
+            train = np.concatenate(
+                [fold for index, fold in enumerate(folds) if index != held_out]
+            )
+            yield train, test
+
+    def cross_validate(
+        self,
+        make_model,
+        X: np.ndarray,
+        y: Sequence[Any],
+    ) -> list[float]:
+        """Fit a fresh model per fold; returns held-out accuracies.
+
+        ``make_model`` is a zero-argument factory (models are stateful).
+        """
+        X = np.asarray(X, dtype=float)
+        labels = np.asarray(list(y), dtype=object)
+        scores = []
+        for train, test in self.split(X.shape[0]):
+            model = make_model()
+            model.fit(X[train], labels[train])
+            scores.append(model.score(X[test], labels[test]))
+        return scores

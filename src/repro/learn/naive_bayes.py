@@ -1,0 +1,105 @@
+"""Categorical naive Bayes with Laplace smoothing.
+
+Included as a second classifier for the audit pipelines (the paper notes
+differential fairness "allows different algorithms to be compared") and as
+an exactly-computable model for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.learn.base import BaseClassifier, encode_labels
+from repro.utils.validation import check_nonnegative, check_same_length
+
+__all__ = ["CategoricalNB"]
+
+
+class CategoricalNB(BaseClassifier):
+    """Naive Bayes over integer-coded categorical features.
+
+    ``X`` entries are non-negative integer codes per feature (use
+    :class:`repro.tabular.Column.codes`); feature cardinalities are learned
+    from the training data, and unseen test codes fall back to the
+    smoothing mass.
+
+    Parameters
+    ----------
+    alpha:
+        Laplace smoothing added to every (class, feature, value) count.
+    """
+
+    def __init__(self, alpha: float = 1.0):
+        self.alpha = check_nonnegative(alpha, "alpha")
+
+    def fit(self, X: np.ndarray, y: Any) -> "CategoricalNB":
+        X = np.asarray(X)
+        if X.ndim != 2:
+            raise ValidationError("X must be 2-D (rows x categorical features)")
+        if not np.issubdtype(X.dtype, np.integer):
+            as_int = X.astype(np.int64)
+            if not np.array_equal(as_int, X):
+                raise ValidationError("X must contain integer category codes")
+            X = as_int
+        if X.size and X.min() < 0:
+            raise ValidationError("category codes must be non-negative")
+        codes, classes = encode_labels(y)
+        check_same_length(X, codes, "X and y")
+        self.classes_ = classes
+        n_classes = len(classes)
+        n_features = X.shape[1]
+        self.cardinalities_ = [
+            int(X[:, feature].max()) + 1 if X.shape[0] else 1
+            for feature in range(n_features)
+        ]
+        class_counts = np.bincount(codes, minlength=n_classes).astype(float)
+        self.class_log_prior_ = np.log(class_counts + self.alpha) - np.log(
+            class_counts.sum() + self.alpha * n_classes
+        )
+        self.feature_log_prob_: list[np.ndarray] = []
+        self.feature_log_floor_: list[np.ndarray] = []
+        with np.errstate(divide="ignore"):
+            for feature in range(n_features):
+                cardinality = self.cardinalities_[feature]
+                counts = np.zeros((n_classes, cardinality))
+                np.add.at(counts, (codes, X[:, feature]), 1.0)
+                smoothed = counts + self.alpha
+                totals = smoothed.sum(axis=1, keepdims=True)
+                self.feature_log_prob_.append(np.log(smoothed) - np.log(totals))
+                # Probability mass for a code never seen in training.
+                self.feature_log_floor_.append(
+                    np.log(self.alpha) - np.log(totals[:, 0])
+                )
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X)
+        if X.ndim != 2 or X.shape[1] != len(self.cardinalities_):
+            raise ValidationError(
+                f"X must have {len(self.cardinalities_)} feature columns"
+            )
+        X = X.astype(np.int64)
+        n = X.shape[0]
+        joint = np.tile(self.class_log_prior_, (n, 1))
+        for feature, table in enumerate(self.feature_log_prob_):
+            cardinality = table.shape[1]
+            column = X[:, feature]
+            seen = column < cardinality
+            joint[seen] += table[:, column[seen]].T
+            if (~seen).any():
+                # Codes never seen in training get the smoothing floor.
+                joint[~seen] += self.feature_log_floor_[feature]
+        return joint
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        joint = self._joint_log_likelihood(X)
+        peak = joint.max(axis=1, keepdims=True)
+        unnormalised = np.exp(joint - peak)
+        return unnormalised / unnormalised.sum(axis=1, keepdims=True)
+
+    def __repr__(self) -> str:
+        return f"CategoricalNB(alpha={self.alpha:g})"

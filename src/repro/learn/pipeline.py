@@ -1,0 +1,118 @@
+"""Pipelines: chain table vectorisation/transforms with a classifier.
+
+The audit workflows repeatedly pair a fitted :class:`TableVectorizer` with
+a model and must apply both consistently to train and test splits; a
+pipeline packages that pairing as a single estimator that also plugs
+directly into :class:`repro.mechanisms.ClassifierMechanism`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+
+__all__ = ["Pipeline"]
+
+
+class Pipeline:
+    """Transforms followed by a final classifier.
+
+    Parameters
+    ----------
+    steps:
+        ``(name, component)`` pairs. Every component except the last must
+        expose ``fit(X)``/``transform(X)`` (or ``fit_transform``); the last
+        must expose ``fit(X, y)`` and ``predict`` (and optionally
+        ``predict_proba``). The first transform may accept a
+        :class:`repro.tabular.Table` (e.g. ``TableVectorizer``); everything
+        downstream sees arrays.
+    """
+
+    def __init__(self, steps: Sequence[tuple[str, Any]]):
+        self._steps = list(steps)
+        if len(self._steps) < 1:
+            raise ValidationError("a pipeline needs at least a final estimator")
+        names = [name for name, _ in self._steps]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate step names: {names}")
+        for name, component in self._steps[:-1]:
+            if not hasattr(component, "transform"):
+                raise ValidationError(
+                    f"step {name!r} has no transform method"
+                )
+        final_name, final = self._steps[-1]
+        if not hasattr(final, "fit") or not hasattr(final, "predict"):
+            raise ValidationError(
+                f"final step {final_name!r} must be a classifier"
+            )
+
+    @property
+    def named_steps(self) -> dict[str, Any]:
+        return dict(self._steps)
+
+    @property
+    def final_estimator(self) -> Any:
+        return self._steps[-1][1]
+
+    @property
+    def classes_(self):
+        return self.final_estimator.classes_
+
+    # ------------------------------------------------------------------
+    def fit(self, X: Any, y: Any, **fit_params: Any) -> "Pipeline":
+        """Fit each transform in order, then the final classifier.
+
+        ``fit_params`` are forwarded to the final estimator's ``fit`` (e.g.
+        ``groups=...`` for :class:`FairLogisticRegression`).
+        """
+        data = X
+        for _, transform in self._steps[:-1]:
+            if hasattr(transform, "fit_transform"):
+                data = transform.fit_transform(data)
+            else:
+                transform.fit(data)
+                data = transform.transform(data)
+        self.final_estimator.fit(data, y, **fit_params)
+        self._fitted = True
+        return self
+
+    def _check_fitted(self) -> None:
+        if not getattr(self, "_fitted", False):
+            raise NotFittedError("Pipeline must be fitted before prediction")
+
+    def transform(self, X: Any) -> np.ndarray:
+        """Apply the fitted transforms only."""
+        self._check_fitted()
+        data = X
+        for _, transform in self._steps[:-1]:
+            data = transform.transform(data)
+        return data
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._check_fitted()
+        return self.final_estimator.predict(self.transform(X))
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        self._check_fitted()
+        final = self.final_estimator
+        if not hasattr(final, "predict_proba"):
+            raise ValidationError(
+                f"{type(final).__name__} does not expose predict_proba"
+            )
+        return final.predict_proba(self.transform(X))
+
+    def score(self, X: Any, y: Any) -> float:
+        """Accuracy of the full pipeline."""
+        predictions = self.predict(X)
+        labels = np.asarray(list(y), dtype=object)
+        if len(labels) != len(predictions):
+            raise ValidationError("X and y lengths differ")
+        return float((predictions == labels).mean())
+
+    def __repr__(self) -> str:
+        names = " -> ".join(name for name, _ in self._steps)
+        return f"Pipeline({names})"

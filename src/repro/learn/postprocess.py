@@ -1,0 +1,161 @@
+"""Post-processing mitigation: clamp a classifier's epsilon.
+
+Section 3.2 of the paper argues that to *enforce* differential fairness one
+should "alter the mechanism" rather than add noise to its output. The
+mildest such alteration is per-group randomisation toward the population
+base rate: with mixing weight t, an individual's prediction is kept with
+probability 1 - t and replaced by a draw from the overall positive rate
+with probability t. Group g's positive rate becomes
+
+    r_g(t) = (1 - t) p_g + t p̄,
+
+which interpolates every group toward the common rate p̄, so the epsilon of
+the post-processed mechanism decreases monotonically to 0 at t = 1. The
+smallest t achieving a target epsilon is found by bisection.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.epsilon import epsilon_from_probabilities
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_nonnegative, check_same_length
+
+__all__ = ["GroupMixingPostprocessor"]
+
+
+class GroupMixingPostprocessor:
+    """Randomised per-group mixing toward the base rate.
+
+    Parameters
+    ----------
+    positive:
+        The label counted as the favourable outcome.
+    """
+
+    def __init__(self, positive: Any = 1):
+        self.positive = positive
+
+    # ------------------------------------------------------------------
+    def fit(self, predictions: Any, groups: Any) -> "GroupMixingPostprocessor":
+        """Estimate per-group positive rates from held-out predictions."""
+        labels = list(predictions)
+        group_ids = list(groups)
+        check_same_length(labels, group_ids, "predictions and groups")
+        if not labels:
+            raise ValidationError("predictions must not be empty")
+        distinct = sorted(set(group_ids), key=str)
+        if len(distinct) < 2:
+            raise ValidationError("need at least two groups")
+        flags = np.asarray([label == self.positive for label in labels], dtype=float)
+        rates = []
+        sizes = []
+        for target in distinct:
+            mask = np.asarray([g == target for g in group_ids], dtype=bool)
+            rates.append(float(flags[mask].mean()))
+            sizes.append(int(mask.sum()))
+        self.group_labels_ = distinct
+        self.group_rates_ = np.asarray(rates)
+        self.group_sizes_ = np.asarray(sizes, dtype=float)
+        self.base_rate_ = float(flags.mean())
+        return self
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "group_rates_"):
+            raise NotFittedError("GroupMixingPostprocessor must be fitted first")
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def mixed_rates(self, t: float) -> np.ndarray:
+        """Per-group positive rates after mixing with weight ``t``."""
+        self._check_fitted()
+        check_fraction(t, "t")
+        return (1.0 - t) * self.group_rates_ + t * self.base_rate_
+
+    def epsilon_at(self, t: float) -> float:
+        """Epsilon of the post-processed mechanism at mixing weight ``t``."""
+        rates = self.mixed_rates(t)
+        matrix = np.column_stack([1.0 - rates, rates])
+        return epsilon_from_probabilities(
+            matrix,
+            group_labels=[(label,) for label in self.group_labels_],
+            outcome_levels=("negative", "positive"),
+            estimator=f"mixing t={t:g}",
+        ).epsilon
+
+    def solve_mixing(self, target_epsilon: float, tol: float = 1e-6) -> float:
+        """Smallest mixing weight whose epsilon is at most the target.
+
+        Returns 0 when the unmixed mechanism already satisfies the target.
+        Raises when even full mixing cannot reach it (possible only for a
+        negative target).
+        """
+        check_nonnegative(target_epsilon, "target_epsilon")
+        self._check_fitted()
+        if self.epsilon_at(0.0) <= target_epsilon:
+            return 0.0
+        if self.epsilon_at(1.0) > target_epsilon:
+            raise ValidationError(
+                "even full mixing cannot reach the target epsilon"
+            )
+        low, high = 0.0, 1.0
+        while high - low > tol:
+            middle = 0.5 * (low + high)
+            if self.epsilon_at(middle) <= target_epsilon:
+                high = middle
+            else:
+                low = middle
+        return high
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def transform(
+        self,
+        predictions: Any,
+        groups: Any,
+        t: float,
+        negative: Any = None,
+        seed=None,
+    ) -> list[Any]:
+        """Apply the randomisation to a batch of predictions.
+
+        Each prediction is kept with probability ``1 - t``; otherwise it is
+        replaced by a Bernoulli(base rate) draw, making the group's expected
+        positive rate exactly ``mixed_rates(t)``.
+        """
+        self._check_fitted()
+        check_fraction(t, "t")
+        labels = list(predictions)
+        group_ids = list(groups)
+        check_same_length(labels, group_ids, "predictions and groups")
+        if negative is None:
+            negatives = [label for label in labels if label != self.positive]
+            if not negatives:
+                raise ValidationError(
+                    "cannot infer the negative label; pass negative="
+                )
+            negative = negatives[0]
+        rng = as_generator(seed)
+        replace = rng.random(len(labels)) < t
+        redraw = rng.random(len(labels)) < self.base_rate_
+        output = []
+        for index, label in enumerate(labels):
+            if replace[index]:
+                output.append(self.positive if redraw[index] else negative)
+            else:
+                output.append(label)
+        return output
+
+    def __repr__(self) -> str:
+        if hasattr(self, "group_rates_"):
+            return (
+                f"GroupMixingPostprocessor({len(self.group_labels_)} groups, "
+                f"base rate {self.base_rate_:.3f})"
+            )
+        return "GroupMixingPostprocessor(unfitted)"

@@ -1,0 +1,167 @@
+"""Feature preprocessing: standardisation and table vectorisation."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, SchemaError, ValidationError
+from repro.tabular.column import CATEGORICAL, NUMERIC
+from repro.tabular.table import Table
+
+__all__ = ["StandardScaler", "TableVectorizer"]
+
+
+class StandardScaler:
+    """Column-wise standardisation to zero mean and unit variance.
+
+    Constant columns are centred but left unscaled (divide-by-zero guard).
+    """
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValidationError("X must be 2-D")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise NotFittedError("StandardScaler must be fitted first")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.mean_.shape[0]:
+            raise ValidationError(
+                f"X must have {self.mean_.shape[0]} columns, got shape {X.shape}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class TableVectorizer:
+    """Turn a :class:`Table` into a dense design matrix.
+
+    Numeric columns are (optionally) standardised; categorical columns are
+    one-hot encoded using their full level lists, optionally dropping the
+    first level to avoid redundant encodings. The fitted vectorizer can be
+    applied to new tables (e.g. the test split) as long as their
+    categorical levels are a subset of the training levels.
+
+    Parameters
+    ----------
+    numeric, categorical:
+        Column names to include. ``None`` selects all columns of that kind
+        except those in ``exclude``.
+    exclude:
+        Columns never used as features (e.g. the outcome, or the sensitive
+        attributes being withheld in Table 3's feature-selection study).
+    """
+
+    def __init__(
+        self,
+        numeric: Sequence[str] | None = None,
+        categorical: Sequence[str] | None = None,
+        exclude: Sequence[str] = (),
+        standardize: bool = True,
+        drop_first: bool = True,
+    ):
+        self._numeric_spec = list(numeric) if numeric is not None else None
+        self._categorical_spec = (
+            list(categorical) if categorical is not None else None
+        )
+        self._exclude = set(exclude)
+        self.standardize = bool(standardize)
+        self.drop_first = bool(drop_first)
+
+    # ------------------------------------------------------------------
+    def fit(self, table: Table) -> "TableVectorizer":
+        numeric = self._numeric_spec
+        categorical = self._categorical_spec
+        if numeric is None:
+            numeric = [
+                column.name
+                for column in table.columns
+                if column.kind == NUMERIC and column.name not in self._exclude
+            ]
+        if categorical is None:
+            categorical = [
+                column.name
+                for column in table.columns
+                if column.kind == CATEGORICAL and column.name not in self._exclude
+            ]
+        overlap = set(numeric) & set(categorical)
+        if overlap:
+            raise ValidationError(f"columns listed as both kinds: {sorted(overlap)}")
+        for name in (*numeric, *categorical):
+            if name in self._exclude:
+                raise ValidationError(f"column {name!r} is both selected and excluded")
+        self.numeric_columns_ = list(numeric)
+        self.categorical_columns_ = list(categorical)
+        self.category_levels_: dict[str, tuple[Any, ...]] = {}
+        feature_names: list[str] = list(self.numeric_columns_)
+        for name in self.categorical_columns_:
+            column = table.column(name)
+            if column.kind != CATEGORICAL:
+                raise SchemaError(f"column {name!r} is not categorical")
+            levels = column.levels
+            self.category_levels_[name] = levels
+            start = 1 if self.drop_first and len(levels) > 1 else 0
+            feature_names.extend(f"{name}={level}" for level in levels[start:])
+        self.feature_names_ = feature_names
+        if self.standardize and self.numeric_columns_:
+            numeric_matrix = self._numeric_matrix(table)
+            self._scaler = StandardScaler().fit(numeric_matrix)
+        else:
+            self._scaler = None
+        return self
+
+    def _numeric_matrix(self, table: Table) -> np.ndarray:
+        if not self.numeric_columns_:
+            return np.zeros((table.n_rows, 0))
+        return np.column_stack(
+            [table.column(name).values for name in self.numeric_columns_]
+        )
+
+    def transform(self, table: Table) -> np.ndarray:
+        if not hasattr(self, "feature_names_"):
+            raise NotFittedError("TableVectorizer must be fitted first")
+        blocks: list[np.ndarray] = []
+        numeric = self._numeric_matrix(table)
+        if self._scaler is not None:
+            numeric = self._scaler.transform(numeric)
+        if numeric.shape[1]:
+            blocks.append(numeric)
+        for name in self.categorical_columns_:
+            column = table.column(name)
+            levels = self.category_levels_[name]
+            aligned = column.with_levels(levels) if column.levels != levels else column
+            one_hot = np.zeros((table.n_rows, len(levels)))
+            one_hot[np.arange(table.n_rows), aligned.codes] = 1.0
+            start = 1 if self.drop_first and len(levels) > 1 else 0
+            blocks.append(one_hot[:, start:])
+        if not blocks:
+            raise ValidationError("vectorizer selected no feature columns")
+        return np.hstack(blocks)
+
+    def fit_transform(self, table: Table) -> np.ndarray:
+        return self.fit(table).transform(table)
+
+    @property
+    def n_features_(self) -> int:
+        if not hasattr(self, "feature_names_"):
+            raise NotFittedError("TableVectorizer must be fitted first")
+        return len(self.feature_names_)
+
+    def __repr__(self) -> str:
+        if hasattr(self, "feature_names_"):
+            return (
+                f"TableVectorizer({len(self.numeric_columns_)} numeric + "
+                f"{len(self.categorical_columns_)} categorical -> "
+                f"{self.n_features_} features)"
+            )
+        return "TableVectorizer(unfitted)"

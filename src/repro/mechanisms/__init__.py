@@ -1,0 +1,32 @@
+"""Mechanisms: the M(x) of the differential fairness framework.
+
+A mechanism maps an individual's feature vector to a distribution over
+outcomes. Deterministic classifiers are the common case (the paper
+emphasises that differential fairness can be satisfied by deterministic
+mechanisms because the randomness of the data is part of the definition),
+but randomized mechanisms such as randomized response are also supported.
+"""
+
+from repro.mechanisms.base import (
+    ConstantMechanism,
+    DeterministicMechanism,
+    FunctionMechanism,
+    Mechanism,
+    MixtureMechanism,
+)
+from repro.mechanisms.classifier import ClassifierMechanism
+from repro.mechanisms.empirical import EmpiricalDataMechanism
+from repro.mechanisms.randomized_response import RandomizedResponse
+from repro.mechanisms.threshold import ScoreThresholdMechanism
+
+__all__ = [
+    "ClassifierMechanism",
+    "ConstantMechanism",
+    "DeterministicMechanism",
+    "EmpiricalDataMechanism",
+    "FunctionMechanism",
+    "Mechanism",
+    "MixtureMechanism",
+    "RandomizedResponse",
+    "ScoreThresholdMechanism",
+]

@@ -1,0 +1,169 @@
+"""Mechanism protocol and generic combinators."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "Mechanism",
+    "DeterministicMechanism",
+    "FunctionMechanism",
+    "ConstantMechanism",
+    "MixtureMechanism",
+]
+
+
+class Mechanism(ABC):
+    """A (possibly randomized) map from feature rows to outcome distributions.
+
+    ``X`` is an array whose first axis indexes individuals; the remaining
+    shape is whatever the paired data distribution produces.
+    """
+
+    @property
+    @abstractmethod
+    def outcome_levels(self) -> tuple[Any, ...]:
+        """The outcome alphabet ``Range(M)``, in a stable order."""
+
+    @abstractmethod
+    def outcome_probabilities(self, X: np.ndarray) -> np.ndarray:
+        """Per-row conditional outcome distributions, shape (n, n_outcomes)."""
+
+    def sample_outcomes(self, X: np.ndarray, seed=None) -> np.ndarray:
+        """Draw one outcome per row, as an object array of outcome levels."""
+        rng = as_generator(seed)
+        probabilities = self.outcome_probabilities(X)
+        cumulative = np.cumsum(probabilities, axis=1)
+        draws = rng.random(probabilities.shape[0])[:, None]
+        indices = (draws > cumulative).sum(axis=1)
+        levels = np.asarray(self.outcome_levels, dtype=object)
+        return levels[indices]
+
+    @property
+    def n_outcomes(self) -> int:
+        return len(self.outcome_levels)
+
+    def outcome_index(self, outcome: Any) -> int:
+        """Index of ``outcome`` within the outcome alphabet."""
+        try:
+            return self.outcome_levels.index(outcome)
+        except ValueError:
+            raise ValidationError(
+                f"{outcome!r} is not an outcome of this mechanism; "
+                f"outcomes are {self.outcome_levels}"
+            ) from None
+
+
+class DeterministicMechanism(Mechanism):
+    """A mechanism defined by a deterministic decision function.
+
+    Subclasses implement :meth:`decide`; outcome probabilities are the
+    one-hot encoding of the decisions.
+    """
+
+    @abstractmethod
+    def decide(self, X: np.ndarray) -> np.ndarray:
+        """Per-row outcome *indices* into :attr:`outcome_levels`."""
+
+    def outcome_probabilities(self, X: np.ndarray) -> np.ndarray:
+        indices = np.asarray(self.decide(X), dtype=np.int64)
+        if indices.ndim != 1:
+            raise ValidationError("decide must return a 1-D index array")
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n_outcomes):
+            raise ValidationError("decide returned an out-of-range outcome index")
+        probabilities = np.zeros((indices.shape[0], self.n_outcomes))
+        probabilities[np.arange(indices.shape[0]), indices] = 1.0
+        return probabilities
+
+
+class FunctionMechanism(DeterministicMechanism):
+    """Wrap an arbitrary vectorised decision function as a mechanism."""
+
+    def __init__(
+        self,
+        decide: Callable[[np.ndarray], np.ndarray],
+        outcome_levels: Sequence[Any],
+    ):
+        self._decide = decide
+        self._outcome_levels = tuple(outcome_levels)
+        if len(self._outcome_levels) < 2:
+            raise ValidationError("a mechanism needs at least two outcomes")
+
+    @property
+    def outcome_levels(self) -> tuple[Any, ...]:
+        return self._outcome_levels
+
+    def decide(self, X: np.ndarray) -> np.ndarray:
+        return np.asarray(self._decide(X), dtype=np.int64)
+
+
+class ConstantMechanism(Mechanism):
+    """Ignores the input and always returns the same outcome distribution.
+
+    The unique mechanism that is 0-differentially fair for every Θ.
+    """
+
+    def __init__(self, probabilities: Sequence[float], outcome_levels: Sequence[Any]):
+        self._probabilities = np.asarray(probabilities, dtype=float)
+        self._outcome_levels = tuple(outcome_levels)
+        if len(self._outcome_levels) < 2:
+            raise ValidationError("a mechanism needs at least two outcomes")
+        if self._probabilities.ndim != 1:
+            raise ValidationError("probabilities must be a vector")
+        if self._probabilities.size != len(self._outcome_levels):
+            raise ValidationError("probabilities must align with outcome_levels")
+        if np.any(self._probabilities < 0) or not np.isclose(
+            self._probabilities.sum(), 1.0, atol=1e-8
+        ):
+            raise ValidationError("probabilities must be a distribution")
+
+    @property
+    def outcome_levels(self) -> tuple[Any, ...]:
+        return self._outcome_levels
+
+    def outcome_probabilities(self, X: np.ndarray) -> np.ndarray:
+        n = np.asarray(X).shape[0]
+        return np.tile(self._probabilities, (n, 1))
+
+
+class MixtureMechanism(Mechanism):
+    """Randomly routes each individual to one of several mechanisms.
+
+    Outcome probabilities are the mixture ``Σ w_k P_k(y | x)``. Useful for
+    post-processing de-biasing: mixing a classifier with a constant
+    mechanism shrinks all group disparities toward zero.
+    """
+
+    def __init__(self, mechanisms: Sequence[Mechanism], weights: Sequence[float]):
+        self._mechanisms = list(mechanisms)
+        self._weights = np.asarray(weights, dtype=float)
+        if not self._mechanisms:
+            raise ValidationError("at least one component mechanism is required")
+        if self._weights.shape != (len(self._mechanisms),):
+            raise ValidationError("weights must align with mechanisms")
+        if np.any(self._weights < 0) or not np.isclose(
+            self._weights.sum(), 1.0, atol=1e-8
+        ):
+            raise ValidationError("weights must be a distribution")
+        levels = {mechanism.outcome_levels for mechanism in self._mechanisms}
+        if len(levels) != 1:
+            raise ValidationError(
+                f"component mechanisms must share outcome levels, got {levels}"
+            )
+
+    @property
+    def outcome_levels(self) -> tuple[Any, ...]:
+        return self._mechanisms[0].outcome_levels
+
+    def outcome_probabilities(self, X: np.ndarray) -> np.ndarray:
+        stacked = np.stack(
+            [mechanism.outcome_probabilities(X) for mechanism in self._mechanisms]
+        )
+        return np.einsum("k,knj->nj", self._weights, stacked)

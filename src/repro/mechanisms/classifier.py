@@ -1,0 +1,94 @@
+"""Wrap trained classifiers as mechanisms."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.mechanisms.base import Mechanism
+
+__all__ = ["ClassifierMechanism"]
+
+
+class ClassifierMechanism(Mechanism):
+    """Expose a fitted classifier (e.g. from :mod:`repro.learn`) as M(x).
+
+    Parameters
+    ----------
+    model:
+        Any object with ``predict(X)`` (labels) and optionally
+        ``predict_proba(X)`` (row-stochastic matrix aligned with
+        ``model.classes_``).
+    outcome_levels:
+        Outcome alphabet; defaults to ``model.classes_``.
+    transform:
+        Optional feature transform applied to ``X`` before the model (for
+        example a fitted preprocessing pipeline).
+    hard:
+        When true (default), use hard ``predict`` decisions even if the
+        model exposes probabilities. The paper's Table 3 audits hard
+        classifications, not scores.
+    """
+
+    def __init__(
+        self,
+        model: Any,
+        outcome_levels: Sequence[Any] | None = None,
+        transform: Callable[[np.ndarray], np.ndarray] | None = None,
+        hard: bool = True,
+    ):
+        self._model = model
+        if outcome_levels is None:
+            outcome_levels = getattr(model, "classes_", None)
+            if outcome_levels is None:
+                raise ValidationError(
+                    "outcome_levels not given and model has no classes_ attribute"
+                )
+        self._outcome_levels = tuple(outcome_levels)
+        if len(self._outcome_levels) < 2:
+            raise ValidationError("a classifier mechanism needs >= 2 outcomes")
+        self._transform = transform
+        self._hard = bool(hard)
+        self._level_index = {
+            level: index for index, level in enumerate(self._outcome_levels)
+        }
+
+    @property
+    def outcome_levels(self) -> tuple[Any, ...]:
+        return self._outcome_levels
+
+    @property
+    def model(self) -> Any:
+        return self._model
+
+    def _prepare(self, X: np.ndarray) -> np.ndarray:
+        if self._transform is not None:
+            return self._transform(X)
+        return X
+
+    def outcome_probabilities(self, X: np.ndarray) -> np.ndarray:
+        features = self._prepare(X)
+        if not self._hard and hasattr(self._model, "predict_proba"):
+            probabilities = np.asarray(self._model.predict_proba(features), dtype=float)
+            if probabilities.shape[1] != self.n_outcomes:
+                raise ValidationError(
+                    f"model emitted {probabilities.shape[1]} classes, "
+                    f"expected {self.n_outcomes}"
+                )
+            return probabilities
+        labels = self._model.predict(features)
+        indices = np.fromiter(
+            (self._level_index[label] for label in labels),
+            dtype=np.int64,
+            count=len(labels),
+        )
+        one_hot = np.zeros((indices.shape[0], self.n_outcomes))
+        one_hot[np.arange(indices.shape[0]), indices] = 1.0
+        return one_hot
+
+    def __repr__(self) -> str:
+        mode = "hard" if self._hard else "probabilistic"
+        return f"ClassifierMechanism({type(self._model).__name__}, {mode})"

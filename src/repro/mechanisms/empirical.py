@@ -1,0 +1,103 @@
+"""The empirical data mechanism: y ~ P_Data(y | x).
+
+Section 4 of the paper measures the intrinsic bias of a labelled dataset by
+deconstructing P(x, y) = P(x) P(y | x) and treating the conditional as a
+(randomized) mechanism. This class realises that mechanism for tables whose
+relevant features are categorical: it is a frequency lookup table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import EstimationError, ValidationError
+from repro.mechanisms.base import Mechanism
+from repro.tabular.crosstab import ContingencyTable
+from repro.tabular.table import Table
+
+__all__ = ["EmpiricalDataMechanism"]
+
+
+class EmpiricalDataMechanism(Mechanism):
+    """Outcome frequencies conditioned on a key of categorical columns.
+
+    Parameters
+    ----------
+    table:
+        The labelled dataset.
+    key_columns:
+        The columns that identify a conditioning cell (typically the
+        protected attributes). ``X`` rows passed to the mechanism must be
+        tuples/arrays of values for these columns, in the same order.
+    outcome:
+        The label column.
+    smoothing:
+        Optional symmetric-Dirichlet concentration added to every outcome
+        count (Equation 7); default 0 (the plug-in estimator, Equation 6).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        key_columns: Sequence[str],
+        outcome: str,
+        smoothing: float = 0.0,
+    ):
+        if smoothing < 0:
+            raise ValidationError("smoothing must be >= 0")
+        self._key_columns = list(key_columns)
+        contingency = ContingencyTable.from_table(table, self._key_columns, outcome)
+        matrix, labels = contingency.group_outcome_matrix()
+        self._outcome_levels = contingency.outcome_levels
+        totals = matrix.sum(axis=1)
+        k = matrix.shape[1]
+        self._conditionals: dict[tuple[Any, ...], np.ndarray] = {}
+        for label, row, total in zip(labels, matrix, totals):
+            if total <= 0:
+                continue  # cell unseen: P(s) = 0, outside the definition
+            self._conditionals[label] = (row + smoothing) / (total + k * smoothing)
+        if not self._conditionals:
+            raise EstimationError("no populated cells found in the table")
+
+    @property
+    def outcome_levels(self) -> tuple[Any, ...]:
+        return self._outcome_levels
+
+    @property
+    def key_columns(self) -> list[str]:
+        return list(self._key_columns)
+
+    def known_cells(self) -> list[tuple[Any, ...]]:
+        """Conditioning cells observed in the data."""
+        return list(self._conditionals)
+
+    def conditional(self, cell: tuple[Any, ...]) -> np.ndarray:
+        """P(y | cell) for one conditioning cell."""
+        try:
+            return self._conditionals[tuple(cell)].copy()
+        except KeyError:
+            raise EstimationError(
+                f"cell {cell!r} was never observed; P(s) = 0 under P_Data"
+            ) from None
+
+    def outcome_probabilities(self, X: np.ndarray) -> np.ndarray:
+        rows = np.asarray(X, dtype=object)
+        if rows.ndim == 1:
+            rows = rows[:, None]
+        if rows.shape[1] != len(self._key_columns):
+            raise ValidationError(
+                f"rows must have {len(self._key_columns)} key values, "
+                f"got {rows.shape[1]}"
+            )
+        return np.stack(
+            [self.conditional(tuple(row)) for row in rows]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EmpiricalDataMechanism(keys={self._key_columns}, "
+            f"{len(self._conditionals)} cells)"
+        )

@@ -1,0 +1,61 @@
+"""Score-threshold mechanisms (the Section 5 worked example)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.mechanisms.base import DeterministicMechanism
+
+__all__ = ["ScoreThresholdMechanism"]
+
+
+class ScoreThresholdMechanism(DeterministicMechanism):
+    """``M(x) = 1[x >= threshold]`` on scalar scores.
+
+    This is the hiring mechanism of the paper's Figure 2: approve when the
+    standardized test score reaches the threshold. Outcomes are labelled
+    ``("no", "yes")`` by default to match the paper's table.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        outcome_levels: tuple[Any, Any] = ("no", "yes"),
+    ):
+        self.threshold = float(threshold)
+        if len(outcome_levels) != 2:
+            raise ValidationError("a threshold mechanism has exactly two outcomes")
+        self._outcome_levels = tuple(outcome_levels)
+
+    @classmethod
+    def paper_worked_example(cls) -> "ScoreThresholdMechanism":
+        """The Figure 2 configuration: hire when score >= 10.5."""
+        return cls(threshold=10.5)
+
+    @property
+    def outcome_levels(self) -> tuple[Any, ...]:
+        return self._outcome_levels
+
+    @property
+    def positive_outcome(self) -> Any:
+        """The outcome assigned when the score clears the threshold."""
+        return self._outcome_levels[1]
+
+    def decide(self, X: np.ndarray) -> np.ndarray:
+        scores = np.asarray(X, dtype=float)
+        if scores.ndim == 2 and scores.shape[1] == 1:
+            scores = scores[:, 0]
+        if scores.ndim != 1:
+            raise ValidationError(
+                f"threshold mechanism expects scalar scores, got shape {scores.shape}"
+            )
+        return (scores >= self.threshold).astype(np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScoreThresholdMechanism(threshold={self.threshold}, "
+            f"outcomes={self._outcome_levels})"
+        )

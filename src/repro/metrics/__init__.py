@@ -1,0 +1,43 @@
+"""Baseline fairness definitions from the paper's related-work section.
+
+Implemented for comparison with differential fairness (Section 7):
+
+* demographic parity (Dwork et al.) — in difference and ratio forms;
+* equalized odds / equality of opportunity (Hardt et al.);
+* statistical-parity subgroup fairness (Kearns et al.'s response to
+  "fairness gerrymandering");
+* per-group calibration checks (in the spirit of multicalibration,
+  Hébert-Johnson et al.).
+
+All functions take plain label/group sequences so they can audit any
+classifier, including the mechanisms in :mod:`repro.mechanisms`.
+"""
+
+from repro.metrics.calibration import CalibrationReport, groupwise_calibration
+from repro.metrics.demographic_parity import (
+    demographic_parity_difference,
+    demographic_parity_ratio,
+    group_positive_rates,
+)
+from repro.metrics.equalized_odds import (
+    equal_opportunity_difference,
+    equalized_odds_difference,
+    group_conditional_rates,
+)
+from repro.metrics.subgroup_fairness import (
+    SubgroupViolation,
+    statistical_parity_subgroup_fairness,
+)
+
+__all__ = [
+    "CalibrationReport",
+    "SubgroupViolation",
+    "demographic_parity_difference",
+    "demographic_parity_ratio",
+    "equal_opportunity_difference",
+    "equalized_odds_difference",
+    "group_conditional_rates",
+    "group_positive_rates",
+    "groupwise_calibration",
+    "statistical_parity_subgroup_fairness",
+]

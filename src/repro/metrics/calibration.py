@@ -1,0 +1,130 @@
+"""Per-group calibration checks (multicalibration-style).
+
+Hébert-Johnson et al.'s multicalibration asks a score to be calibrated
+simultaneously on every subgroup of a rich collection. This module measures
+the binned calibration error per group: within each score bin and group,
+the gap between the mean predicted score and the empirical positive rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_same_length
+
+__all__ = ["CalibrationCell", "CalibrationReport", "groupwise_calibration"]
+
+
+@dataclass(frozen=True)
+class CalibrationCell:
+    """One (group, score-bin) cell of the calibration audit."""
+
+    group: Any
+    bin_low: float
+    bin_high: float
+    count: int
+    mean_score: float
+    positive_rate: float
+
+    @property
+    def gap(self) -> float:
+        """``|E[y | bin, group] - E[score | bin, group]``|."""
+        return abs(self.positive_rate - self.mean_score)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """All audited cells plus the worst-case (multicalibration) violation."""
+
+    cells: tuple[CalibrationCell, ...]
+    min_count: int
+
+    def max_gap(self) -> float:
+        """The multicalibration violation over sufficiently large cells."""
+        eligible = [cell.gap for cell in self.cells if cell.count >= self.min_count]
+        return max(eligible) if eligible else 0.0
+
+    def worst_cell(self) -> CalibrationCell | None:
+        eligible = [cell for cell in self.cells if cell.count >= self.min_count]
+        if not eligible:
+            return None
+        return max(eligible, key=lambda cell: cell.gap)
+
+    def to_text(self) -> str:
+        from repro.utils.formatting import render_table
+
+        rows = [
+            [
+                str(cell.group),
+                f"[{cell.bin_low:.2f}, {cell.bin_high:.2f})",
+                cell.count,
+                cell.mean_score,
+                cell.positive_rate,
+                cell.gap,
+            ]
+            for cell in self.cells
+        ]
+        return render_table(
+            ["group", "bin", "n", "mean score", "positive rate", "gap"],
+            rows,
+            digits=3,
+        )
+
+
+def groupwise_calibration(
+    scores: np.ndarray,
+    y_true: Any,
+    groups: Any,
+    positive: Any,
+    n_bins: int = 10,
+    min_count: int = 10,
+) -> CalibrationReport:
+    """Binned calibration audit per group.
+
+    Parameters
+    ----------
+    scores:
+        Predicted probabilities of the positive class, in [0, 1].
+    min_count:
+        Cells with fewer samples are reported but excluded from
+        :meth:`CalibrationReport.max_gap` (tiny cells are pure noise, the
+        same reason Kearns et al. weight by subgroup mass).
+    """
+    scores = np.asarray(scores, dtype=float)
+    true = list(y_true)
+    group_ids = list(groups)
+    check_same_length(scores, true, "scores and y_true")
+    check_same_length(scores, group_ids, "scores and groups")
+    if scores.ndim != 1 or scores.size == 0:
+        raise ValidationError("scores must be a non-empty vector")
+    if np.any(scores < 0) or np.any(scores > 1):
+        raise ValidationError("scores must lie in [0, 1]")
+    if n_bins < 1:
+        raise ValidationError("n_bins must be >= 1")
+
+    flags = np.asarray([label == positive for label in true], dtype=float)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bin_index = np.clip(np.digitize(scores, edges[1:-1]), 0, n_bins - 1)
+    cells = []
+    for target in sorted(set(group_ids), key=str):
+        group_mask = np.asarray([g == target for g in group_ids], dtype=bool)
+        for b in range(n_bins):
+            mask = group_mask & (bin_index == b)
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            cells.append(
+                CalibrationCell(
+                    group=target,
+                    bin_low=float(edges[b]),
+                    bin_high=float(edges[b + 1]),
+                    count=count,
+                    mean_score=float(scores[mask].mean()),
+                    positive_rate=float(flags[mask].mean()),
+                )
+            )
+    return CalibrationReport(cells=tuple(cells), min_count=min_count)

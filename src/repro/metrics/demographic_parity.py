@@ -1,0 +1,83 @@
+"""Demographic (statistical) parity.
+
+Dwork et al.'s definition requires P(ŷ = y | s_i) = P(ŷ = y | s_j) for all
+groups. The relaxed measurements here are the standard difference and ratio
+forms; differential fairness's epsilon is the log of the worst-case ratio
+over *both* outcomes, so these metrics are strictly coarser summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_same_length
+
+__all__ = [
+    "group_positive_rates",
+    "demographic_parity_difference",
+    "demographic_parity_ratio",
+]
+
+
+def group_positive_rates(
+    predictions: Any, groups: Any, positive: Any
+) -> dict[Any, float]:
+    """P(ŷ = positive | group) for every group present."""
+    labels = list(predictions)
+    group_ids = list(groups)
+    check_same_length(labels, group_ids, "predictions and groups")
+    if not labels:
+        raise ValidationError("predictions must not be empty")
+    flags = np.asarray([label == positive for label in labels], dtype=float)
+    rates: dict[Any, float] = {}
+    for target in sorted(set(group_ids), key=str):
+        mask = np.asarray([g == target for g in group_ids], dtype=bool)
+        rates[target] = float(flags[mask].mean())
+    if len(rates) < 2:
+        raise ValidationError("need at least two groups")
+    return rates
+
+
+def demographic_parity_difference(
+    predictions: Any, groups: Any, positive: Any
+) -> float:
+    """Max absolute gap in positive rates across group pairs (0 = parity)."""
+    rates = list(group_positive_rates(predictions, groups, positive).values())
+    return float(max(rates) - min(rates))
+
+
+def demographic_parity_ratio(
+    predictions: Any, groups: Any, positive: Any
+) -> float:
+    """Min-over-max positive-rate ratio (1 = parity; the EEOC "80% rule"
+    flags values below 0.8). Zero positive rate in any group gives 0; all
+    groups at zero gives 1 by convention (perfectly equal)."""
+    rates = list(group_positive_rates(predictions, groups, positive).values())
+    high = max(rates)
+    low = min(rates)
+    if high == 0.0:
+        return 1.0
+    return float(low / high)
+
+
+def demographic_parity_epsilon(
+    predictions: Any, groups: Any, positive: Any
+) -> float:
+    """The differential-fairness view of the same rates: max |log ratio|
+    over both outcomes. Infinite when one group never (or always) receives
+    the positive outcome while another sometimes does (or does not)."""
+    rates = np.asarray(
+        list(group_positive_rates(predictions, groups, positive).values())
+    )
+    epsilons = []
+    for values in (rates, 1.0 - rates):
+        high = values.max()
+        low = values.min()
+        if high == 0.0:
+            continue
+        epsilons.append(math.inf if low == 0.0 else math.log(high / low))
+    return max(epsilons) if epsilons else 0.0

@@ -1,0 +1,87 @@
+"""Equalized odds and equality of opportunity (Hardt et al.).
+
+Equalized odds requires equal group-conditional *error profiles*:
+P(ŷ = 1 | y, s) must match across groups for every true label y. Equality
+of opportunity relaxes this to the deserving outcome only. The paper
+discusses both as related work: they reward accuracy but do not constrain
+how outcomes themselves are distributed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_same_length
+
+__all__ = [
+    "group_conditional_rates",
+    "equalized_odds_difference",
+    "equal_opportunity_difference",
+]
+
+
+def group_conditional_rates(
+    y_true: Any, y_pred: Any, groups: Any, positive: Any
+) -> dict[Any, dict[Any, float]]:
+    """``rates[group][true_label] = P(ŷ = positive | y = true_label, group)``.
+
+    Cells with no observations are omitted.
+    """
+    true = list(y_true)
+    pred = list(y_pred)
+    group_ids = list(groups)
+    check_same_length(true, pred, "y_true and y_pred")
+    check_same_length(true, group_ids, "y_true and groups")
+    if not true:
+        raise ValidationError("need at least one sample")
+    pred_flags = np.asarray([label == positive for label in pred], dtype=float)
+    true_array = np.asarray(true, dtype=object)
+    rates: dict[Any, dict[Any, float]] = {}
+    for target in sorted(set(group_ids), key=str):
+        group_mask = np.asarray([g == target for g in group_ids], dtype=bool)
+        rates[target] = {}
+        for label in sorted(set(true), key=str):
+            cell = group_mask & (true_array == label)
+            if cell.any():
+                rates[target][label] = float(pred_flags[cell].mean())
+    return rates
+
+
+def equalized_odds_difference(
+    y_true: Any, y_pred: Any, groups: Any, positive: Any
+) -> float:
+    """Max over true labels of the max pairwise gap in positive rates.
+
+    Zero means the classifier's true/false positive rates are identical
+    across groups.
+    """
+    rates = group_conditional_rates(y_true, y_pred, groups, positive)
+    labels = sorted({label for per_group in rates.values() for label in per_group}, key=str)
+    worst = 0.0
+    for label in labels:
+        values = [
+            per_group[label] for per_group in rates.values() if label in per_group
+        ]
+        if len(values) >= 2:
+            worst = max(worst, max(values) - min(values))
+    return worst
+
+
+def equal_opportunity_difference(
+    y_true: Any, y_pred: Any, groups: Any, positive: Any, deserving: Any
+) -> float:
+    """Max pairwise gap in true positive rates P(ŷ=positive | y=deserving, s)."""
+    rates = group_conditional_rates(y_true, y_pred, groups, positive)
+    values = [
+        per_group[deserving]
+        for per_group in rates.values()
+        if deserving in per_group
+    ]
+    if len(values) < 2:
+        raise ValidationError(
+            f"fewer than two groups observed the deserving label {deserving!r}"
+        )
+    return float(max(values) - min(values))

@@ -1,0 +1,95 @@
+"""Statistical-parity subgroup fairness (Kearns et al.).
+
+Kearns et al. address "fairness gerrymandering" by requiring statistical
+parity to hold for every subgroup in a rich collection simultaneously,
+weighting each violation by the subgroup's mass so vanishingly small
+subgroups cannot dominate. For subgroup g with mass α_g = P(g):
+
+    violation(g) = α_g * | P(ŷ = 1 | g) - P(ŷ = 1) |
+
+The paper positions differential fairness as protecting the *intersections*
+of the protected attributes instead of an abstract subgroup collection; the
+natural collection to audit here is exactly those intersections, which is
+the default below.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_same_length
+
+__all__ = ["SubgroupViolation", "statistical_parity_subgroup_fairness"]
+
+
+@dataclass(frozen=True)
+class SubgroupViolation:
+    """One audited subgroup with its mass, rate, and weighted violation."""
+
+    subgroup: Any
+    mass: float
+    positive_rate: float
+    base_rate: float
+
+    @property
+    def violation(self) -> float:
+        """``α_g * |P(ŷ=1|g) - P(ŷ=1)|``."""
+        return self.mass * abs(self.positive_rate - self.base_rate)
+
+
+def statistical_parity_subgroup_fairness(
+    predictions: Any,
+    groups: Any,
+    positive: Any,
+    subgroups: Sequence[Any] | None = None,
+    membership: Callable[[Any, Any], bool] | None = None,
+) -> list[SubgroupViolation]:
+    """Audit a collection of subgroups; returns violations sorted worst-first.
+
+    Parameters
+    ----------
+    groups:
+        Per-row group identifiers (e.g. intersectional tuples).
+    subgroups:
+        The collection to audit. Defaults to every distinct value of
+        ``groups`` (the intersectional cells).
+    membership:
+        Optional predicate ``membership(row_group, subgroup) -> bool`` for
+        overlapping subgroup collections (e.g. "all rows with gender=F"
+        when groups are (gender, race) tuples). Defaults to equality.
+    """
+    labels = list(predictions)
+    group_ids = list(groups)
+    check_same_length(labels, group_ids, "predictions and groups")
+    if not labels:
+        raise ValidationError("predictions must not be empty")
+    flags = np.asarray([label == positive for label in labels], dtype=float)
+    base_rate = float(flags.mean())
+    if subgroups is None:
+        subgroups = sorted(set(group_ids), key=str)
+    if membership is None:
+        membership = lambda row_group, subgroup: row_group == subgroup  # noqa: E731
+
+    results = []
+    n = len(labels)
+    for subgroup in subgroups:
+        mask = np.asarray(
+            [membership(row_group, subgroup) for row_group in group_ids], dtype=bool
+        )
+        size = int(mask.sum())
+        if size == 0:
+            continue
+        results.append(
+            SubgroupViolation(
+                subgroup=subgroup,
+                mass=size / n,
+                positive_rate=float(flags[mask].mean()),
+                base_rate=base_rate,
+            )
+        )
+    return sorted(results, key=lambda item: item.violation, reverse=True)

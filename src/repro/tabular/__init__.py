@@ -1,0 +1,38 @@
+"""A small column-oriented table engine.
+
+This subpackage is the relational substrate for the reproduction: the
+paper's measurements are all group-by counts over categorical attributes
+(Equations 6 and 7), and its case study reads the UCI Adult CSV format.
+The engine provides typed columns, schema validation, filtering, group-by,
+N-dimensional contingency tables, and a CSV codec — the subset of a
+dataframe library this project actually needs, implemented on NumPy.
+"""
+
+from repro.tabular.column import Column
+from repro.tabular.crosstab import ContingencyTable, crosstab
+from repro.tabular.csv_io import read_csv, write_csv
+from repro.tabular.describe import ColumnSummary, describe_column, describe_table
+from repro.tabular.expressions import ColumnRef, Expression, col
+from repro.tabular.groupby import GroupBy, group_by
+from repro.tabular.schema import Field, Schema
+from repro.tabular.table import Table, concat_tables
+
+__all__ = [
+    "Column",
+    "ColumnRef",
+    "ColumnSummary",
+    "ContingencyTable",
+    "Expression",
+    "describe_column",
+    "describe_table",
+    "Field",
+    "GroupBy",
+    "Schema",
+    "Table",
+    "col",
+    "concat_tables",
+    "crosstab",
+    "group_by",
+    "read_csv",
+    "write_csv",
+]

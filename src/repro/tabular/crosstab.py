@@ -1,0 +1,282 @@
+"""N-dimensional contingency tables.
+
+A :class:`ContingencyTable` holds the joint counts of one or more categorical
+*factor* columns against a categorical *outcome* column. It is the bridge
+between the tabular engine and the differential fairness estimators: the
+empirical criterion of the paper (Definition 4.2 / Equation 6) is computed
+entirely from these counts, and Theorem 3.2's subset sweep is a sequence of
+marginalisations of one tensor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import SchemaError, ValidationError
+from repro.tabular.column import CATEGORICAL
+from repro.tabular.table import Table
+
+__all__ = ["ContingencyTable", "crosstab"]
+
+
+class ContingencyTable:
+    """Joint counts of factors x outcome, stored as an integer tensor.
+
+    The tensor has one axis per factor (in declaration order) plus a final
+    axis for the outcome, so ``counts[s1, ..., sp, y]`` is ``N_{y, s}`` in
+    the paper's notation.
+    """
+
+    def __init__(
+        self,
+        counts: np.ndarray,
+        factor_names: Sequence[str],
+        factor_levels: Sequence[Sequence[Any]],
+        outcome_name: str,
+        outcome_levels: Sequence[Any],
+    ):
+        counts = np.asarray(counts, dtype=np.float64)
+        if counts.ndim != len(factor_names) + 1:
+            raise ValidationError(
+                f"counts tensor must have {len(factor_names) + 1} axes, "
+                f"got {counts.ndim}"
+            )
+        if len(factor_names) != len(factor_levels):
+            raise ValidationError("factor_names and factor_levels lengths differ")
+        expected_shape = tuple(len(levels) for levels in factor_levels) + (
+            len(outcome_levels),
+        )
+        if counts.shape != expected_shape:
+            raise ValidationError(
+                f"counts shape {counts.shape} does not match levels {expected_shape}"
+            )
+        if np.any(counts < 0) or np.any(~np.isfinite(counts)):
+            raise ValidationError("counts must be finite and non-negative")
+        if len(set(factor_names)) != len(factor_names):
+            raise ValidationError(f"duplicate factor names: {list(factor_names)}")
+        self.counts = counts
+        self.counts.setflags(write=False)
+        self.factor_names = list(factor_names)
+        self.factor_levels = [tuple(levels) for levels in factor_levels]
+        self.outcome_name = outcome_name
+        self.outcome_levels = tuple(outcome_levels)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(
+        cls, table: Table, factors: Sequence[str], outcome: str
+    ) -> "ContingencyTable":
+        """Count a table's rows into a factors x outcome tensor."""
+        if not factors:
+            raise ValidationError("at least one factor column is required")
+        if outcome in factors:
+            raise ValidationError(f"outcome {outcome!r} cannot also be a factor")
+        factor_columns = [table.column(name) for name in factors]
+        outcome_column = table.column(outcome)
+        for column in (*factor_columns, outcome_column):
+            if column.kind != CATEGORICAL:
+                raise SchemaError(
+                    f"column {column.name!r} must be categorical for crosstab"
+                )
+        shape = tuple(len(column.levels) for column in factor_columns) + (
+            len(outcome_column.levels),
+        )
+        flat_index = np.zeros(table.n_rows, dtype=np.int64)
+        for column, size in zip(
+            (*factor_columns, outcome_column),
+            shape,
+        ):
+            flat_index = flat_index * size + column.codes
+        total_cells = int(np.prod(shape))
+        counts = np.bincount(flat_index, minlength=total_cells).reshape(shape)
+        return cls(
+            counts,
+            [column.name for column in factor_columns],
+            [column.levels for column in factor_columns],
+            outcome_column.name,
+            outcome_column.levels,
+        )
+
+    @classmethod
+    def from_group_counts(
+        cls,
+        counts_by_group: dict[tuple[Any, ...], Sequence[float]],
+        factor_names: Sequence[str],
+        outcome_name: str,
+        outcome_levels: Sequence[Any],
+    ) -> "ContingencyTable":
+        """Build from a ``group tuple -> per-outcome counts`` mapping.
+
+        Factor levels are collected from the group keys in first-seen order.
+        Missing cells are zero-filled.
+        """
+        factor_names = list(factor_names)
+        levels: list[list[Any]] = [[] for _ in factor_names]
+        for key in counts_by_group:
+            if len(key) != len(factor_names):
+                raise ValidationError(
+                    f"group key {key!r} does not match factors {factor_names}"
+                )
+            for axis, value in enumerate(key):
+                if value not in levels[axis]:
+                    levels[axis].append(value)
+        shape = tuple(len(axis_levels) for axis_levels in levels) + (
+            len(outcome_levels),
+        )
+        counts = np.zeros(shape, dtype=np.float64)
+        for key, outcome_counts in counts_by_group.items():
+            if len(outcome_counts) != len(outcome_levels):
+                raise ValidationError(
+                    f"group {key!r} has {len(outcome_counts)} outcome counts, "
+                    f"expected {len(outcome_levels)}"
+                )
+            index = tuple(levels[axis].index(value) for axis, value in enumerate(key))
+            counts[index] = np.asarray(outcome_counts, dtype=np.float64)
+        return cls(counts, factor_names, levels, outcome_name, outcome_levels)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_factors(self) -> int:
+        return len(self.factor_names)
+
+    @property
+    def n_outcomes(self) -> int:
+        return len(self.outcome_levels)
+
+    def total(self) -> float:
+        """Total count over all cells."""
+        return float(self.counts.sum())
+
+    def group_labels(self) -> list[tuple[Any, ...]]:
+        """All factor-level combinations, in tensor (row-major) order."""
+        labels: list[tuple[Any, ...]] = [()]
+        for axis_levels in self.factor_levels:
+            labels = [label + (level,) for label in labels for level in axis_levels]
+        return labels
+
+    def group_outcome_matrix(self) -> tuple[np.ndarray, list[tuple[Any, ...]]]:
+        """Counts flattened to ``(n_groups, n_outcomes)`` plus group labels."""
+        matrix = self.counts.reshape(-1, self.n_outcomes)
+        return matrix, self.group_labels()
+
+    def group_sizes(self) -> np.ndarray:
+        """Total count per flattened group (summing over outcomes)."""
+        return self.counts.reshape(-1, self.n_outcomes).sum(axis=1)
+
+    def outcome_totals(self) -> np.ndarray:
+        """Total count per outcome (summing over all groups)."""
+        return self.counts.reshape(-1, self.n_outcomes).sum(axis=0)
+
+    def cell(self, group: tuple[Any, ...], outcome: Any) -> float:
+        """Count ``N_{y, s}`` for a specific group tuple and outcome."""
+        index = self._group_index(group) + (self._outcome_index(outcome),)
+        return float(self.counts[index])
+
+    def _group_index(self, group: tuple[Any, ...]) -> tuple[int, ...]:
+        if len(group) != self.n_factors:
+            raise ValidationError(
+                f"group {group!r} does not match factors {self.factor_names}"
+            )
+        index = []
+        for axis, value in enumerate(group):
+            try:
+                index.append(self.factor_levels[axis].index(value))
+            except ValueError:
+                raise KeyError(
+                    f"{value!r} is not a level of factor "
+                    f"{self.factor_names[axis]!r}"
+                ) from None
+        return tuple(index)
+
+    def _outcome_index(self, outcome: Any) -> int:
+        try:
+            return self.outcome_levels.index(outcome)
+        except ValueError:
+            raise KeyError(
+                f"{outcome!r} is not an outcome level of {self.outcome_name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def marginalize(self, keep: Sequence[str]) -> "ContingencyTable":
+        """Sum out every factor not named in ``keep`` (the outcome stays).
+
+        This implements the aggregation in Theorems 3.1/3.2: the counts for
+        the protected-attribute subset ``D`` are the full intersectional
+        counts summed over the attributes in ``A \\ D``.
+        """
+        keep = list(keep)
+        if not keep:
+            raise ValidationError("keep must name at least one factor")
+        missing = [name for name in keep if name not in self.factor_names]
+        if missing:
+            raise SchemaError(f"unknown factors {missing}; have {self.factor_names}")
+        if len(set(keep)) != len(keep):
+            raise ValidationError(f"duplicate names in keep: {keep}")
+        drop_axes = tuple(
+            axis
+            for axis, name in enumerate(self.factor_names)
+            if name not in keep
+        )
+        reduced = self.counts.sum(axis=drop_axes) if drop_axes else self.counts
+        kept_in_order = [name for name in self.factor_names if name in keep]
+        kept_levels = [
+            self.factor_levels[self.factor_names.index(name)]
+            for name in kept_in_order
+        ]
+        # Re-order the axes to match the order the caller asked for.
+        permutation = [kept_in_order.index(name) for name in keep]
+        reduced = np.transpose(reduced, axes=permutation + [len(kept_in_order)])
+        return ContingencyTable(
+            reduced,
+            keep,
+            [kept_levels[kept_in_order.index(name)] for name in keep],
+            self.outcome_name,
+            self.outcome_levels,
+        )
+
+    def scale(self, factor: float) -> "ContingencyTable":
+        """Multiply every count by ``factor`` (useful for invariance tests)."""
+        if factor <= 0:
+            raise ValidationError(f"scale factor must be > 0, got {factor}")
+        return ContingencyTable(
+            self.counts * factor,
+            self.factor_names,
+            self.factor_levels,
+            self.outcome_name,
+            self.outcome_levels,
+        )
+
+    def to_text(self, digits: int = 0) -> str:
+        """Plain-text rendering: one row per group, one column per outcome."""
+        from repro.utils.formatting import render_table
+
+        matrix, labels = self.group_outcome_matrix()
+        headers = [*self.factor_names, *[str(level) for level in self.outcome_levels]]
+        rows = []
+        for label, row in zip(labels, matrix):
+            cells = [*label, *[float(value) for value in row]]
+            rows.append(cells)
+        return render_table(headers, rows, digits=digits)
+
+    def __repr__(self) -> str:
+        factors = " x ".join(self.factor_names)
+        return (
+            f"ContingencyTable({factors} x {self.outcome_name}, "
+            f"shape={self.counts.shape}, total={self.total():.0f})"
+        )
+
+
+def crosstab(table: Table, factors: Sequence[str] | str, outcome: str) -> ContingencyTable:
+    """Convenience wrapper over :meth:`ContingencyTable.from_table`."""
+    if isinstance(factors, str):
+        factors = [factors]
+    return ContingencyTable.from_table(table, factors, outcome)

@@ -1,0 +1,152 @@
+"""CSV reading and writing.
+
+The reader understands the UCI Adult file conventions: comma separation
+with optional surrounding whitespace, ``?`` for missing values, trailing
+``.`` on labels in the test split, and a possible junk first line
+(``|1x3 Cross validator``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import CsvParseError
+from repro.tabular.column import CATEGORICAL, Column
+from repro.tabular.schema import Schema
+from repro.tabular.table import Table
+
+__all__ = ["read_csv", "write_csv", "read_csv_text"]
+
+
+def read_csv(
+    path: str | Path,
+    *,
+    schema: Schema | None = None,
+    header: bool = True,
+    column_names: Sequence[str] | None = None,
+    delimiter: str = ",",
+    missing_token: str = "?",
+    missing_replacement: str | None = None,
+    skip_comment_prefix: str | None = None,
+) -> Table:
+    """Read a CSV file into a :class:`Table`.
+
+    Parameters
+    ----------
+    schema:
+        When provided, columns are parsed to the declared kinds; otherwise
+        kinds are inferred (numeric-looking columns become numeric).
+    header:
+        Whether the first (non-comment) line holds column names. When
+        false, ``column_names`` must be given (or a schema supplies names).
+    missing_token / missing_replacement:
+        Cells equal to ``missing_token`` (after stripping) are replaced by
+        ``missing_replacement``. The default ``None`` replacement keeps the
+        token itself, which matches how the paper's case study treats the
+        Adult dataset (``?`` is just another category).
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    return read_csv_text(
+        text,
+        schema=schema,
+        header=header,
+        column_names=column_names,
+        delimiter=delimiter,
+        missing_token=missing_token,
+        missing_replacement=missing_replacement,
+        skip_comment_prefix=skip_comment_prefix,
+    )
+
+
+def read_csv_text(
+    text: str,
+    *,
+    schema: Schema | None = None,
+    header: bool = True,
+    column_names: Sequence[str] | None = None,
+    delimiter: str = ",",
+    missing_token: str = "?",
+    missing_replacement: str | None = None,
+    skip_comment_prefix: str | None = None,
+) -> Table:
+    """Parse CSV content from a string; see :func:`read_csv`."""
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows: list[list[str]] = []
+    for raw_row in reader:
+        if not raw_row or all(not cell.strip() for cell in raw_row):
+            continue
+        first = raw_row[0].strip()
+        if skip_comment_prefix and first.startswith(skip_comment_prefix):
+            continue
+        rows.append([cell.strip() for cell in raw_row])
+    if not rows:
+        raise CsvParseError("no data rows found")
+
+    if header:
+        names = rows[0]
+        body = rows[1:]
+    else:
+        if column_names is not None:
+            names = list(column_names)
+        elif schema is not None:
+            names = schema.names
+        else:
+            raise CsvParseError(
+                "header=False requires column_names or a schema to supply names"
+            )
+        body = rows
+    if not body:
+        raise CsvParseError("CSV contains a header but no data rows")
+    width = len(names)
+    for line_number, row in enumerate(body, start=1):
+        if len(row) != width:
+            raise CsvParseError(
+                f"row {line_number} has {len(row)} cells, expected {width}"
+            )
+
+    if missing_replacement is not None:
+        body = [
+            [missing_replacement if cell == missing_token else cell for cell in row]
+            for row in body
+        ]
+
+    columns: list[Column] = []
+    for index, name in enumerate(names):
+        raw_values = [row[index] for row in body]
+        if schema is not None and name in schema:
+            columns.append(schema.field(name).build_column(raw_values))
+        else:
+            columns.append(_infer_column(name, raw_values))
+    return Table(columns)
+
+
+def _infer_column(name: str, raw_values: list[str]) -> Column:
+    """Infer numeric vs categorical from raw string cells."""
+    try:
+        numbers = [float(value) for value in raw_values]
+    except ValueError:
+        return Column.categorical(name, raw_values)
+    return Column.numeric(name, numbers)
+
+
+def write_csv(table: Table, path: str | Path, *, delimiter: str = ",") -> None:
+    """Write a table to CSV with a header row."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.column_names)
+        decoded = [column.to_list() for column in table.columns]
+        for row_index in range(table.n_rows):
+            writer.writerow(
+                [_format_cell(values[row_index]) for values in decoded]
+            )
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,104 @@
+"""Column summaries for tables.
+
+Reports render alongside fairness measurements; these helpers produce the
+dataset overview (counts, ranges, level frequencies) an audit leads with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.tabular.column import BOOLEAN, CATEGORICAL, NUMERIC, Column
+from repro.tabular.table import Table
+
+__all__ = ["ColumnSummary", "describe_column", "describe_table"]
+
+
+@dataclass(frozen=True)
+class ColumnSummary:
+    """Per-column descriptive statistics."""
+
+    name: str
+    kind: str
+    count: int
+    #: numeric columns: (min, mean, max); categorical: None
+    numeric_range: tuple[float, float, float] | None
+    #: categorical columns: level -> count, most frequent first
+    level_counts: dict[Any, int] | None
+
+    def to_row(self) -> list[Any]:
+        if self.kind == NUMERIC:
+            low, mean, high = self.numeric_range
+            detail = f"min {low:g}, mean {mean:.2f}, max {high:g}"
+        elif self.level_counts:
+            top = next(iter(self.level_counts))
+            detail = (
+                f"{len(self.level_counts)} levels, mode {top!r} "
+                f"({self.level_counts[top]})"
+            )
+        else:
+            detail = "empty"
+        return [self.name, self.kind, self.count, detail]
+
+
+def describe_column(column: Column) -> ColumnSummary:
+    """Summarise one column."""
+    if column.kind == NUMERIC:
+        values = column.values
+        numeric_range = (
+            (float(values.min()), float(values.mean()), float(values.max()))
+            if values.size
+            else (float("nan"),) * 3
+        )
+        return ColumnSummary(
+            name=column.name,
+            kind=NUMERIC,
+            count=len(column),
+            numeric_range=numeric_range,
+            level_counts=None,
+        )
+    if column.kind == BOOLEAN:
+        values = column.values
+        counts = {
+            True: int(values.sum()),
+            False: int((~values).sum()),
+        }
+        ordered = dict(
+            sorted(counts.items(), key=lambda item: item[1], reverse=True)
+        )
+        return ColumnSummary(
+            name=column.name,
+            kind=BOOLEAN,
+            count=len(column),
+            numeric_range=None,
+            level_counts=ordered,
+        )
+    codes = np.bincount(column.codes, minlength=len(column.levels))
+    pairs = [
+        (level, int(count))
+        for level, count in zip(column.levels, codes)
+        if count > 0
+    ]
+    pairs.sort(key=lambda item: item[1], reverse=True)
+    return ColumnSummary(
+        name=column.name,
+        kind=CATEGORICAL,
+        count=len(column),
+        numeric_range=None,
+        level_counts=dict(pairs),
+    )
+
+
+def describe_table(table: Table) -> str:
+    """Plain-text overview: one row per column."""
+    from repro.utils.formatting import render_table
+
+    rows = [describe_column(column).to_row() for column in table.columns]
+    return render_table(
+        ["column", "kind", "n", "summary"],
+        rows,
+        title=f"{table.n_rows:,} rows x {table.n_columns} columns",
+    )

@@ -1,0 +1,155 @@
+"""A small predicate DSL for filtering tables.
+
+Audit code frequently slices data by demographic conditions; writing the
+masks by hand obscures intent. The DSL composes vectorised predicates::
+
+    from repro.tabular import Table, col
+
+    adults = table.query((col("age") >= 18) & (col("race") == "Black"))
+    seniors_or_kids = table.query((col("age") >= 65) | ~(col("age") >= 18))
+
+Expressions evaluate to boolean masks against a table; equality and
+membership work for any column kind, ordering comparisons require numeric
+or boolean columns.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.tabular.column import CATEGORICAL
+from repro.tabular.table import Table
+
+__all__ = ["col", "ColumnRef", "Expression"]
+
+
+class Expression(ABC):
+    """A composable boolean predicate over table rows."""
+
+    @abstractmethod
+    def mask(self, table: Table) -> np.ndarray:
+        """Evaluate to a boolean row mask against ``table``."""
+
+    def __and__(self, other: "Expression") -> "Expression":
+        return _BooleanOp(self, other, np.logical_and, "&")
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return _BooleanOp(self, other, np.logical_or, "|")
+
+    def __invert__(self) -> "Expression":
+        return _Negation(self)
+
+
+class _BooleanOp(Expression):
+    def __init__(self, left: Expression, right: Expression, op, symbol: str):
+        if not isinstance(right, Expression):
+            raise TypeError(
+                f"cannot combine an expression with {type(right).__name__}"
+            )
+        self._left = left
+        self._right = right
+        self._op = op
+        self._symbol = symbol
+
+    def mask(self, table: Table) -> np.ndarray:
+        return self._op(self._left.mask(table), self._right.mask(table))
+
+    def __repr__(self) -> str:
+        return f"({self._left!r} {self._symbol} {self._right!r})"
+
+
+class _Negation(Expression):
+    def __init__(self, inner: Expression):
+        self._inner = inner
+
+    def mask(self, table: Table) -> np.ndarray:
+        return ~self._inner.mask(table)
+
+    def __repr__(self) -> str:
+        return f"~{self._inner!r}"
+
+
+class _Comparison(Expression):
+    _ORDERING = {"<", "<=", ">", ">="}
+
+    def __init__(self, name: str, op: str, value: Any):
+        self._name = name
+        self._op = op
+        self._value = value
+
+    def mask(self, table: Table) -> np.ndarray:
+        column = table.column(self._name)
+        if self._op == "==":
+            return column.equals_mask(self._value)
+        if self._op == "!=":
+            return ~column.equals_mask(self._value)
+        if self._op == "isin":
+            return column.isin_mask(self._value)
+        if self._op in self._ORDERING:
+            if column.kind == CATEGORICAL:
+                raise SchemaError(
+                    f"ordering comparison {self._op!r} needs a numeric "
+                    f"column; {self._name!r} is categorical"
+                )
+            values = column.values
+            if self._op == "<":
+                return values < self._value
+            if self._op == "<=":
+                return values <= self._value
+            if self._op == ">":
+                return values > self._value
+            return values >= self._value
+        raise AssertionError(f"unknown operator {self._op!r}")  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return f"col({self._name!r}) {self._op} {self._value!r}"
+
+
+class ColumnRef:
+    """A named column awaiting a comparison. Produced by :func:`col`."""
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __eq__(self, value: Any) -> Expression:  # type: ignore[override]
+        return _Comparison(self._name, "==", value)
+
+    def __ne__(self, value: Any) -> Expression:  # type: ignore[override]
+        return _Comparison(self._name, "!=", value)
+
+    def __lt__(self, value: Any) -> Expression:
+        return _Comparison(self._name, "<", value)
+
+    def __le__(self, value: Any) -> Expression:
+        return _Comparison(self._name, "<=", value)
+
+    def __gt__(self, value: Any) -> Expression:
+        return _Comparison(self._name, ">", value)
+
+    def __ge__(self, value: Any) -> Expression:
+        return _Comparison(self._name, ">=", value)
+
+    def isin(self, values: Iterable[Any]) -> Expression:
+        """Membership test: ``col("race").isin(["Black", "Other"])``."""
+        return _Comparison(self._name, "isin", list(values))
+
+    def __hash__(self) -> int:  # __eq__ is overloaded; keep refs hashable
+        return hash(self._name)
+
+    def __repr__(self) -> str:
+        return f"col({self._name!r})"
+
+
+def col(name: str) -> ColumnRef:
+    """Reference a column by name inside a query expression."""
+    return ColumnRef(name)
+
+
+def query(table: Table, expression: Expression) -> Table:
+    """Filter ``table`` by an expression (also available as Table.query)."""
+    return table.filter(expression.mask(table))

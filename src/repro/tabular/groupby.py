@@ -1,0 +1,131 @@
+"""Group-by aggregation over categorical key columns."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import SchemaError, ValidationError
+from repro.tabular.column import CATEGORICAL
+from repro.tabular.table import Table
+
+__all__ = ["GroupBy", "group_by"]
+
+
+class GroupBy:
+    """Result of grouping a table by one or more categorical columns.
+
+    Groups are keyed by tuples of level values, ordered lexicographically by
+    level code. Only groups that actually occur in the data are present.
+    """
+
+    def __init__(self, table: Table, keys: Sequence[str]):
+        if not keys:
+            raise ValidationError("group_by needs at least one key column")
+        self._table = table
+        self._keys = list(keys)
+        columns = [table.column(name) for name in self._keys]
+        for column in columns:
+            if column.kind != CATEGORICAL:
+                raise SchemaError(
+                    f"group_by key {column.name!r} must be categorical, "
+                    f"got {column.kind}"
+                )
+        # Combine codes into a single ravelled index for an O(n) pass.
+        shape = tuple(len(column.levels) for column in columns)
+        flat = np.zeros(table.n_rows, dtype=np.int64)
+        for column, size in zip(columns, shape):
+            flat = flat * size + column.codes
+        order = np.argsort(flat, kind="stable")
+        sorted_flat = flat[order]
+        boundaries = np.flatnonzero(np.diff(sorted_flat)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [table.n_rows]))
+        self._groups: dict[tuple[Any, ...], np.ndarray] = {}
+        level_lists = [column.levels for column in columns]
+        for start, end in zip(starts, ends):
+            if start == end:
+                continue
+            code = int(sorted_flat[start])
+            key_codes = []
+            remainder = code
+            for size in reversed(shape):
+                key_codes.append(remainder % size)
+                remainder //= size
+            key_codes.reverse()
+            key = tuple(
+                level_lists[axis][key_code]
+                for axis, key_code in enumerate(key_codes)
+            )
+            self._groups[key] = order[start:end]
+        if table.n_rows == 0:
+            self._groups = {}
+
+    @property
+    def keys(self) -> list[str]:
+        return list(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self):
+        return iter(self._groups.items())
+
+    def group_keys(self) -> list[tuple[Any, ...]]:
+        """The distinct key tuples, in level-code order."""
+        return list(self._groups)
+
+    def indices(self, key: tuple[Any, ...]) -> np.ndarray:
+        """Row indices belonging to ``key``."""
+        try:
+            return self._groups[key]
+        except KeyError:
+            raise KeyError(f"no group {key!r}; groups are {list(self._groups)}") from None
+
+    def group(self, key: tuple[Any, ...]) -> Table:
+        """The sub-table for ``key``."""
+        return self._table.take(self.indices(key))
+
+    def sizes(self) -> dict[tuple[Any, ...], int]:
+        """Row count per group."""
+        return {key: int(indices.size) for key, indices in self._groups.items()}
+
+    def aggregate(
+        self, column: str, func: Callable[[np.ndarray], Any]
+    ) -> dict[tuple[Any, ...], Any]:
+        """Apply ``func`` to the values of ``column`` within each group."""
+        values = self._table.column(column).values
+        return {
+            key: func(values[indices]) for key, indices in self._groups.items()
+        }
+
+    def mean(self, column: str) -> dict[tuple[Any, ...], float]:
+        """Group means of a numeric or boolean column."""
+        target = self._table.column(column)
+        if target.kind == CATEGORICAL:
+            raise SchemaError(f"cannot take the mean of categorical {column!r}")
+        return {
+            key: float(value)
+            for key, value in self.aggregate(column, np.mean).items()
+        }
+
+    def rate(self, column: str, value: Any) -> dict[tuple[Any, ...], float]:
+        """Per-group fraction of rows where ``column == value``.
+
+        This is exactly ``P_Data(y | s)`` from Definition 4.2 when the keys
+        are the protected attributes and ``column`` is the outcome.
+        """
+        mask = self._table.column(column).equals_mask(value)
+        return {
+            key: float(mask[indices].mean())
+            for key, indices in self._groups.items()
+        }
+
+
+def group_by(table: Table, keys: Sequence[str] | str) -> GroupBy:
+    """Group ``table`` by one column name or a sequence of column names."""
+    if isinstance(keys, str):
+        keys = [keys]
+    return GroupBy(table, keys)

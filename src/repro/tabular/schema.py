@@ -1,0 +1,123 @@
+"""Schema objects: declared structure for tables and CSV parsing."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import SchemaError, ValidationError
+from repro.tabular.column import BOOLEAN, CATEGORICAL, NUMERIC, Column
+
+__all__ = ["Field", "Schema"]
+
+_KINDS = (CATEGORICAL, NUMERIC, BOOLEAN)
+
+
+@dataclass(frozen=True)
+class Field:
+    """One column declaration: name, kind, and optional fixed level list."""
+
+    name: str
+    kind: str
+    levels: tuple[Any, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValidationError(f"field {self.name!r}: unknown kind {self.kind!r}")
+        if self.levels is not None:
+            if self.kind != CATEGORICAL:
+                raise ValidationError(
+                    f"field {self.name!r}: only categorical fields take levels"
+                )
+            object.__setattr__(self, "levels", tuple(self.levels))
+
+    def build_column(self, raw_values: Sequence[str]) -> Column:
+        """Construct a column of this field's kind from raw CSV strings."""
+        if self.kind == NUMERIC:
+            try:
+                return Column.numeric(self.name, [float(value) for value in raw_values])
+            except ValueError as error:
+                raise SchemaError(
+                    f"field {self.name!r}: non-numeric value ({error})"
+                ) from error
+        if self.kind == BOOLEAN:
+            parsed = []
+            for value in raw_values:
+                lowered = str(value).strip().lower()
+                if lowered in ("1", "true", "yes", "t"):
+                    parsed.append(True)
+                elif lowered in ("0", "false", "no", "f"):
+                    parsed.append(False)
+                else:
+                    raise SchemaError(
+                        f"field {self.name!r}: cannot parse boolean {value!r}"
+                    )
+            return Column.boolean(self.name, parsed)
+        return Column.categorical(self.name, list(raw_values), levels=self.levels)
+
+
+class Schema:
+    """An ordered collection of :class:`Field` declarations."""
+
+    def __init__(self, fields: Iterable[Field]):
+        self._fields = list(fields)
+        names = [field.name for field in self._fields]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate field names in schema: {names}")
+        self._index = {field.name: field for field in self._fields}
+
+    @property
+    def fields(self) -> list[Field]:
+        return list(self._fields)
+
+    @property
+    def names(self) -> list[str]:
+        return [field.name for field in self._fields]
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __iter__(self):
+        return iter(self._fields)
+
+    def field(self, name: str) -> Field:
+        """Look up a field by name."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"schema has no field {name!r}") from None
+
+    def subset(self, names: Sequence[str]) -> "Schema":
+        """New schema containing only ``names``, in the given order."""
+        return Schema(self.field(name) for name in names)
+
+    def validate_table(self, table: "Table") -> None:  # noqa: F821
+        """Check that ``table`` matches this schema (names, order, kinds)."""
+        from repro.tabular.table import Table  # local import to avoid a cycle
+
+        if not isinstance(table, Table):
+            raise SchemaError("validate_table expects a Table")
+        if table.column_names != self.names:
+            raise SchemaError(
+                f"column names {table.column_names} do not match schema {self.names}"
+            )
+        for field in self._fields:
+            column = table.column(field.name)
+            if column.kind != field.kind:
+                raise SchemaError(
+                    f"column {field.name!r} has kind {column.kind!r}, "
+                    f"schema expects {field.kind!r}"
+                )
+            if field.levels is not None and column.levels != field.levels:
+                raise SchemaError(
+                    f"column {field.name!r} levels {column.levels} do not match "
+                    f"schema levels {field.levels}"
+                )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{field.name}:{field.kind}" for field in self._fields)
+        return f"Schema({parts})"

@@ -1,0 +1,303 @@
+"""The Table: an immutable, column-oriented relation."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import SchemaError, ValidationError
+from repro.tabular.column import CATEGORICAL, Column
+
+__all__ = ["Table", "concat_tables"]
+
+
+class Table:
+    """An ordered collection of equal-length :class:`Column` objects.
+
+    Tables are immutable: every operation returns a new table that shares
+    column storage where possible.
+    """
+
+    def __init__(self, columns: Iterable[Column]):
+        self._columns = list(columns)
+        if not self._columns:
+            raise ValidationError("a table needs at least one column")
+        names = [column.name for column in self._columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names: {names}")
+        lengths = {len(column) for column in self._columns}
+        if len(lengths) != 1:
+            raise ValidationError(f"columns have unequal lengths: {sorted(lengths)}")
+        self._index = {column.name: column for column in self._columns}
+        self._n_rows = lengths.pop()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Iterable[Any]],
+        *,
+        categorical: Sequence[str] = (),
+    ) -> "Table":
+        """Build a table from a name -> values mapping.
+
+        Column kinds are inferred from values; names listed in
+        ``categorical`` are forced to categorical even if numeric.
+        """
+        columns = []
+        for name, values in data.items():
+            if name in categorical:
+                columns.append(Column.categorical(name, values))
+            else:
+                columns.append(Column.infer(name, values))
+        return cls(columns)
+
+    @classmethod
+    def from_rows(
+        cls, names: Sequence[str], rows: Iterable[Sequence[Any]]
+    ) -> "Table":
+        """Build a table from row tuples (kinds inferred per column)."""
+        rows = list(rows)
+        if rows and any(len(row) != len(names) for row in rows):
+            raise ValidationError("all rows must have one cell per column name")
+        data = {
+            name: [row[index] for row in rows] for index, name in enumerate(names)
+        }
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self._columns]
+
+    @property
+    def columns(self) -> list[Column]:
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"table has no column {name!r}; columns are {self.column_names}"
+            ) from None
+
+    def __getitem__(self, name: str) -> Column:
+        return self.column(name)
+
+    def row(self, index: int) -> dict[str, Any]:
+        """One row as a name -> value dict."""
+        if not -self._n_rows <= index < self._n_rows:
+            raise IndexError(f"row {index} out of range for {self._n_rows} rows")
+        return {column.name: column.values[index] for column in self._columns}
+
+    def iter_rows(self) -> Iterable[dict[str, Any]]:
+        """Iterate over rows as dicts (use sparingly; columnar ops are faster)."""
+        decoded = [(column.name, column.values) for column in self._columns]
+        for index in range(self._n_rows):
+            yield {name: values[index] for name, values in decoded}
+
+    def to_dict(self) -> dict[str, list[Any]]:
+        """Materialise the table as a name -> list-of-values dict."""
+        return {column.name: column.to_list() for column in self._columns}
+
+    def __repr__(self) -> str:
+        return f"Table({self._n_rows} rows x {self.n_columns} columns)"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self._columns == other._columns
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "Table":
+        """Project onto ``names`` in the given order."""
+        return Table(self.column(name) for name in names)
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        """Project away ``names`` (each must exist)."""
+        for name in names:
+            self.column(name)  # raises SchemaError on unknown names
+        remaining = [column for column in self._columns if column.name not in names]
+        if not remaining:
+            raise ValidationError("cannot drop every column of a table")
+        return Table(remaining)
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Keep rows where the boolean ``mask`` is true."""
+        mask = np.asarray(mask)
+        if mask.dtype != bool or mask.shape != (self._n_rows,):
+            raise ValidationError(
+                f"mask must be a boolean array of length {self._n_rows}"
+            )
+        return Table(column.take(mask) for column in self._columns)
+
+    def where(self, name: str, value: Any) -> "Table":
+        """Keep rows where column ``name`` equals ``value``."""
+        return self.filter(self.column(name).equals_mask(value))
+
+    def where_in(self, name: str, values: Iterable[Any]) -> "Table":
+        """Keep rows where column ``name`` is one of ``values``."""
+        return self.filter(self.column(name).isin_mask(values))
+
+    def query(self, expression) -> "Table":
+        """Filter rows with a :mod:`repro.tabular.expressions` predicate.
+
+        Example::
+
+            table.query((col("age") >= 18) & (col("race") == "Black"))
+        """
+        return self.filter(expression.mask(self))
+
+    def filter_rows(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
+        """Row-wise filtering with a Python predicate (slow path)."""
+        mask = np.fromiter(
+            (bool(predicate(row)) for row in self.iter_rows()),
+            dtype=bool,
+            count=self._n_rows,
+        )
+        return self.filter(mask)
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Table":
+        """Keep rows at integer ``indices``, in the given order."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (
+            indices.min() < -self._n_rows or indices.max() >= self._n_rows
+        ):
+            raise ValidationError("row index out of range")
+        return Table(column.take(indices) for column in self._columns)
+
+    def head(self, n: int = 5) -> "Table":
+        """First ``n`` rows."""
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def with_column(self, column: Column) -> "Table":
+        """Add a column (or replace one with the same name)."""
+        if len(column) != self._n_rows:
+            raise ValidationError(
+                f"column {column.name!r} has {len(column)} rows, table has "
+                f"{self._n_rows}"
+            )
+        replaced = False
+        columns = []
+        for existing in self._columns:
+            if existing.name == column.name:
+                columns.append(column)
+                replaced = True
+            else:
+                columns.append(existing)
+        if not replaced:
+            columns.append(column)
+        return Table(columns)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Rename columns via ``old -> new`` mapping."""
+        for name in mapping:
+            self.column(name)
+        return Table(
+            column.rename(mapping.get(column.name, column.name))
+            for column in self._columns
+        )
+
+    def shuffle(self, rng: np.random.Generator) -> "Table":
+        """Random permutation of rows."""
+        return self.take(rng.permutation(self._n_rows))
+
+    def split_at(self, index: int) -> tuple["Table", "Table"]:
+        """Split the table into the first ``index`` rows and the rest."""
+        if not 0 <= index <= self._n_rows:
+            raise ValidationError(f"split index {index} out of range")
+        all_rows = np.arange(self._n_rows)
+        return self.take(all_rows[:index]), self.take(all_rows[index:])
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def value_counts(self, name: str) -> dict[Any, int]:
+        """Counts of each distinct value in column ``name``."""
+        column = self.column(name)
+        if column.kind == CATEGORICAL:
+            counts = np.bincount(column.codes, minlength=len(column.levels))
+            return {
+                level: int(count)
+                for level, count in zip(column.levels, counts)
+                if count > 0
+            }
+        uniques, counts = np.unique(column.values, return_counts=True)
+        return {value: int(count) for value, count in zip(uniques.tolist(), counts)}
+
+    def to_text(self, max_rows: int = 10) -> str:
+        """Plain-text preview of the table."""
+        from repro.utils.formatting import render_table
+
+        preview = self.head(max_rows)
+        rows = [
+            [row[name] for name in self.column_names] for row in preview.iter_rows()
+        ]
+        text = render_table(self.column_names, rows)
+        if self._n_rows > max_rows:
+            text += f"\n... ({self._n_rows - max_rows} more rows)"
+        return text
+
+
+def concat_tables(tables: Sequence[Table]) -> Table:
+    """Stack tables vertically; schemas (names, kinds) must match.
+
+    Categorical level lists are unioned in first-seen order so that tables
+    built from different subsets of the data can still be concatenated.
+    """
+    if not tables:
+        raise ValidationError("concat_tables needs at least one table")
+    names = tables[0].column_names
+    for table in tables[1:]:
+        if table.column_names != names:
+            raise SchemaError(
+                f"cannot concat: column names differ ({names} vs {table.column_names})"
+            )
+    columns = []
+    for name in names:
+        parts = [table.column(name) for table in tables]
+        kinds = {part.kind for part in parts}
+        if len(kinds) != 1:
+            raise SchemaError(f"cannot concat column {name!r}: mixed kinds {kinds}")
+        kind = kinds.pop()
+        if kind == CATEGORICAL:
+            union: list[Any] = []
+            for part in parts:
+                for level in part.levels:
+                    if level not in union:
+                        union.append(level)
+            recoded = [part.with_levels(union) for part in parts]
+            codes = np.concatenate([part.codes for part in recoded])
+            columns.append(Column.from_codes(name, codes, union))
+        else:
+            values = np.concatenate([part.values for part in parts])
+            columns.append(
+                Column.numeric(name, values)
+                if kind == "numeric"
+                else Column.boolean(name, values)
+            )
+    return Table(columns)

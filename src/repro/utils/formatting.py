@@ -1,0 +1,94 @@
+"""Plain-text and markdown table rendering.
+
+The benchmark harness prints every reproduced table in the same row/column
+layout as the paper; these renderers keep that output consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+__all__ = ["format_float", "render_table", "render_markdown_table"]
+
+
+def format_float(value: Any, digits: int = 4) -> str:
+    """Format a scalar for table display.
+
+    Floats are rounded to ``digits`` significant decimals; infinities render
+    as the conventional ``inf`` strings; other values use ``str``.
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _stringify_rows(
+    rows: Iterable[Sequence[Any]], digits: int
+) -> list[list[str]]:
+    return [[format_float(cell, digits) for cell in row] for row in rows]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    digits: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with aligned columns.
+
+    Example::
+
+        >>> print(render_table(["a", "b"], [[1, 2.5]]))
+        a  b
+        -  ------
+        1  2.5000
+    """
+    header_cells = [str(header) for header in headers]
+    body = _stringify_rows(rows, digits)
+    for row in body:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(header_cells)} columns"
+            )
+    widths = [len(cell) for cell in header_cells]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(header_cells))
+    lines.append(fmt_line(["-" * width for width in widths]))
+    lines.extend(fmt_line(row) for row in body)
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    digits: int = 4,
+) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    header_cells = [str(header) for header in headers]
+    body = _stringify_rows(rows, digits)
+    lines = ["| " + " | ".join(header_cells) + " |"]
+    lines.append("| " + " | ".join("---" for _ in header_cells) + " |")
+    for row in body:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(header_cells)} columns"
+            )
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Log-space arithmetic helpers used by the fairness estimators.
+
+The differential fairness parameter is a max over absolute log probability
+ratios, so zero probabilities map to infinite epsilon. These helpers make
+that convention explicit and keep it in one place.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["safe_log", "log_ratio", "logsumexp"]
+
+
+def safe_log(values: np.ndarray | float) -> np.ndarray | float:
+    """Natural log mapping 0 to ``-inf`` without emitting warnings."""
+    array = np.asarray(values, dtype=float)
+    with np.errstate(divide="ignore"):
+        result = np.log(array)
+    if np.ndim(values) == 0:
+        return float(result)
+    return result
+
+
+def log_ratio(numerator: float, denominator: float) -> float:
+    """``log(numerator / denominator)`` with explicit zero handling.
+
+    Follows the paper's convention for Definition 3.1: a ratio of a positive
+    probability to a zero probability is unboundedly unfair (``+inf``); the
+    reverse is ``-inf``; ``0/0`` is undefined and returns NaN (the outcome is
+    outside ``Range(M)`` for both groups, so it does not constrain epsilon).
+    """
+    if numerator < 0 or denominator < 0:
+        raise ValueError("probabilities must be non-negative")
+    if numerator == 0.0 and denominator == 0.0:
+        return math.nan
+    if denominator == 0.0:
+        return math.inf
+    if numerator == 0.0:
+        return -math.inf
+    return math.log(numerator) - math.log(denominator)
+
+
+def logsumexp(values: np.ndarray, axis: int | None = None) -> np.ndarray | float:
+    """Numerically stable ``log(sum(exp(values)))``."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return -math.inf
+    peak = np.max(array, axis=axis, keepdims=True)
+    peak = np.where(np.isfinite(peak), peak, 0.0)
+    with np.errstate(over="ignore"):
+        summed = np.sum(np.exp(array - peak), axis=axis, keepdims=True)
+    with np.errstate(divide="ignore"):
+        out = np.log(summed) + peak
+    if axis is None:
+        return float(out.reshape(()))
+    return np.squeeze(out, axis=axis)

@@ -1,0 +1,43 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts a ``seed`` argument that
+may be ``None``, an integer, or an existing :class:`numpy.random.Generator`.
+These helpers normalise that convention in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators"]
+
+SeedLike = int | None | np.random.Generator | np.random.SeedSequence
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged so that callers can
+    share a stream across several components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent generators derived from ``seed``.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so the streams are
+    statistically independent regardless of ``count``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.SeedSequence):
+        sequence = seed
+    elif isinstance(seed, np.random.Generator):
+        # Derive a fresh sequence from the generator's bit stream.
+        sequence = np.random.SeedSequence(seed.integers(0, 2**63 - 1, size=4))
+    else:
+        sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

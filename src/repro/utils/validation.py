@@ -1,0 +1,122 @@
+"""Argument-validation helpers.
+
+All validators raise :class:`repro.exceptions.ValidationError` with a message
+that names the offending argument, following the guide's advice to fail as
+early as the incorrect context is detected.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "require",
+    "check_1d",
+    "check_2d",
+    "check_fraction",
+    "check_in",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability_matrix",
+    "check_same_length",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_1d(values: Any, name: str) -> np.ndarray:
+    """Coerce ``values`` to a 1-D float array, validating dimensionality."""
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got shape {array.shape}")
+    return array
+
+
+def check_2d(values: Any, name: str) -> np.ndarray:
+    """Coerce ``values`` to a 2-D float array, validating dimensionality."""
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got shape {array.shape}")
+    return array
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that a scalar is strictly positive."""
+    value = float(value)
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Validate that a scalar is >= 0."""
+    value = float(value)
+    if value < 0 or np.isnan(value):
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str, *, inclusive: bool = True) -> float:
+    """Validate that a scalar lies in [0, 1] (or (0, 1) when not inclusive)."""
+    value = float(value)
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValidationError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValidationError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_in(value: Any, options: Collection[Any], name: str) -> Any:
+    """Validate that ``value`` is one of ``options``."""
+    if value not in options:
+        choices = ", ".join(repr(option) for option in sorted(options, key=repr))
+        raise ValidationError(f"{name} must be one of {choices}; got {value!r}")
+    return value
+
+
+def check_same_length(first: Any, second: Any, names: str) -> None:
+    """Validate that two sized arguments have equal length.
+
+    ``names`` should describe both arguments, e.g. ``"X and y"``.
+    """
+    if len(first) != len(second):
+        raise ValidationError(
+            f"{names} must have the same length, got {len(first)} and {len(second)}"
+        )
+
+
+def check_probability_matrix(
+    probs: Any, name: str, *, axis: int = -1, atol: float = 1e-8
+) -> np.ndarray:
+    """Validate a matrix of probabilities whose rows sum to one.
+
+    Rows containing NaN are allowed (they represent excluded groups) but
+    mixed NaN/finite rows are rejected.
+    """
+    array = check_2d(probs, name)
+    finite_rows = ~np.isnan(array).any(axis=axis)
+    nan_rows = np.isnan(array).all(axis=axis)
+    if not np.all(finite_rows | nan_rows):
+        raise ValidationError(f"{name} mixes NaN and finite values within a row")
+    finite = array[finite_rows]
+    if finite.size:
+        if np.any(finite < -atol) or np.any(finite > 1 + atol):
+            raise ValidationError(f"{name} contains values outside [0, 1]")
+        sums = finite.sum(axis=axis)
+        if not np.allclose(sums, 1.0, atol=max(atol, 1e-6)):
+            raise ValidationError(
+                f"{name} rows must sum to 1; row sums ranged over "
+                f"[{sums.min():.6f}, {sums.max():.6f}]"
+            )
+    return array

@@ -1,0 +1,6 @@
+"""Version information for the repro package."""
+
+__version__ = "1.0.0"
+
+#: Short identifier of the reproduced paper.
+PAPER = "Foulds & Pan, An Intersectional Definition of Fairness (ICDE 2020)"

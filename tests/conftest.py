@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tabular.table import Table
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def hiring_table() -> Table:
+    """A small two-attribute hiring dataset with known counts.
+
+    Counts (gender, race) -> (hired yes, no):
+      (A, X): (3, 1)   (A, Y): (1, 3)
+      (B, X): (2, 2)   (B, Y): (2, 2)
+    """
+    rows = (
+        [("A", "X", "yes")] * 3
+        + [("A", "X", "no")] * 1
+        + [("A", "Y", "yes")] * 1
+        + [("A", "Y", "no")] * 3
+        + [("B", "X", "yes")] * 2
+        + [("B", "X", "no")] * 2
+        + [("B", "Y", "yes")] * 2
+        + [("B", "Y", "no")] * 2
+    )
+    return Table.from_rows(["gender", "race", "hired"], rows)
+
+
+@pytest.fixture
+def numeric_table() -> Table:
+    return Table.from_dict(
+        {
+            "x": [1.0, 2.0, 3.0, 4.0, 5.0],
+            "y": [2.0, 4.0, 6.0, 8.0, 10.0],
+            "group": ["a", "a", "b", "b", "b"],
+        }
+    )

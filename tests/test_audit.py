@@ -1,0 +1,154 @@
+"""Tests for repro.audit (auditor and the Table 3 feature study)."""
+
+import numpy as np
+import pytest
+
+from repro.audit.auditor import FairnessAuditor
+from repro.audit.feature_study import FeatureSelectionStudy
+from repro.data.generators import sample_outcome_table
+from repro.exceptions import ValidationError
+from repro.learn.logistic_regression import LogisticRegression
+from repro.learn.preprocessing import TableVectorizer
+from repro.tabular.column import Column
+from repro.tabular.table import Table
+
+
+def make_study_tables(seed=0, n_per_cell=400):
+    """Small two-attribute synthetic population with features."""
+    rng = np.random.default_rng(seed)
+    cells = {
+        ("F", "X"): 0.15,
+        ("F", "Y"): 0.30,
+        ("M", "X"): 0.35,
+        ("M", "Y"): 0.55,
+    }
+    tables = []
+    for _ in range(2):
+        base = sample_outcome_table(
+            cell_sizes={key: n_per_cell for key in cells},
+            positive_rates=cells,
+            attribute_names=["gender", "race"],
+            outcome_name="label",
+            outcome_levels=("neg", "pos"),
+            seed=rng,
+        )
+        positive = base.column("label").equals_mask("pos")
+        score = positive * 1.6 + rng.normal(size=base.n_rows)
+        tables.append(base.with_column(Column.numeric("score", score)))
+    return tables[0], tables[1]
+
+
+class TestFairnessAuditorDataset:
+    def test_audit_dataset(self):
+        train, _ = make_study_tables()
+        auditor = FairnessAuditor(protected=["gender", "race"], outcome="label")
+        audit = auditor.audit_dataset(train)
+        assert audit.epsilon > 0
+        assert audit.sweep.theorem_violations() == []
+        assert audit.posterior is None
+        assert "epsilon" in audit.to_text().lower()
+
+    def test_audit_with_posterior(self):
+        train, _ = make_study_tables()
+        auditor = FairnessAuditor(
+            protected=["gender", "race"],
+            outcome="label",
+            posterior_samples=50,
+            seed=0,
+        )
+        audit = auditor.audit_dataset(train)
+        assert audit.posterior is not None
+        assert audit.posterior.n_samples == 50
+
+    def test_empty_protected_rejected(self):
+        with pytest.raises(ValidationError):
+            FairnessAuditor(protected=[], outcome="label")
+
+
+class TestFairnessAuditorClassifier:
+    def test_audit_classifier(self):
+        train, test = make_study_tables()
+        vectorizer = TableVectorizer(
+            numeric=["score"], categorical=[], exclude=["label"]
+        ).fit(train)
+        model = LogisticRegression().fit(
+            vectorizer.transform(train), train.column("label").to_list()
+        )
+        auditor = FairnessAuditor(
+            protected=["gender", "race"], outcome="label", estimator=1.0
+        )
+        audit = auditor.audit_classifier(model, test, vectorizer=vectorizer)
+        assert audit.epsilon > 0
+        assert 0 <= audit.error_percent <= 100
+        assert 0 <= audit.demographic_parity <= 1
+        assert audit.amplification.epsilon_mechanism == pytest.approx(
+            audit.epsilon
+        )
+        assert "error rate" in audit.to_text()
+
+    def test_transform_callable(self):
+        train, test = make_study_tables()
+        transform = lambda t: t.column("score").values[:, None]  # noqa: E731
+        model = LogisticRegression().fit(
+            transform(train), train.column("label").to_list()
+        )
+        auditor = FairnessAuditor(protected=["gender"], outcome="label")
+        audit = auditor.audit_classifier(model, test, transform=transform)
+        assert audit.epsilon >= 0
+
+    def test_exactly_one_feature_source(self):
+        train, test = make_study_tables()
+        model = LogisticRegression().fit(
+            train.column("score").values[:, None],
+            train.column("label").to_list(),
+        )
+        auditor = FairnessAuditor(protected=["gender"], outcome="label")
+        with pytest.raises(ValidationError):
+            auditor.audit_classifier(model, test)
+
+
+class TestFeatureSelectionStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        train, test = make_study_tables()
+        return FeatureSelectionStudy(
+            train, test, protected=["gender", "race"], outcome="label"
+        )
+
+    def test_default_feature_sets(self, study):
+        subsets = study.default_feature_sets()
+        assert subsets[0] == ()
+        assert ("gender", "race") in subsets
+        assert len(subsets) == 4
+
+    def test_run_configuration(self, study):
+        row = study.run_configuration(())
+        assert row.sensitive_used == ()
+        assert row.epsilon > 0
+        assert row.n_features == 1  # score only
+        assert row.amplification == pytest.approx(
+            row.epsilon - row.data_epsilon
+        )
+
+    def test_sensitive_features_add_columns(self, study):
+        bare = study.run_configuration(())
+        full = study.run_configuration(("gender", "race"))
+        assert full.n_features == bare.n_features + 2
+
+    def test_unknown_attribute_rejected(self, study):
+        with pytest.raises(ValidationError):
+            study.run_configuration(("height",))
+
+    def test_run_and_lookup(self, study):
+        result = study.run([(), ("gender",)])
+        assert len(result.rows) == 2
+        assert result.row(["gender"]).sensitive_used == ("gender",)
+        with pytest.raises(ValidationError):
+            result.row(["race"])
+        text = result.to_text()
+        assert "none" in text
+        assert "Error rate" in text
+
+    def test_labels(self, study):
+        result = study.run([()])
+        assert result.rows[0].label() == "none"

@@ -1,0 +1,116 @@
+"""Tests for the fairness/accuracy trade-off module."""
+
+import numpy as np
+import pytest
+
+from repro.audit.tradeoff import (
+    TradeoffCurve,
+    TradeoffPoint,
+    fairness_weight_sweep,
+)
+from repro.data.generators import sample_outcome_table
+from repro.exceptions import ValidationError
+from repro.tabular.column import Column
+
+
+class TestTradeoffPoint:
+    def test_domination(self):
+        better = TradeoffPoint(0.0, epsilon=1.0, error_percent=10.0)
+        worse = TradeoffPoint(1.0, epsilon=2.0, error_percent=12.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_incomparable_points(self):
+        fair = TradeoffPoint(0.0, epsilon=0.5, error_percent=20.0)
+        accurate = TradeoffPoint(1.0, epsilon=2.0, error_percent=10.0)
+        assert not fair.dominates(accurate)
+        assert not accurate.dominates(fair)
+
+    def test_equal_points_do_not_dominate(self):
+        a = TradeoffPoint(0.0, epsilon=1.0, error_percent=10.0)
+        b = TradeoffPoint(1.0, epsilon=1.0, error_percent=10.0)
+        assert not a.dominates(b)
+
+
+class TestTradeoffCurve:
+    @pytest.fixture
+    def curve(self) -> TradeoffCurve:
+        return TradeoffCurve(
+            points=(
+                TradeoffPoint(0.0, epsilon=2.0, error_percent=10.0),
+                TradeoffPoint(0.5, epsilon=1.0, error_percent=12.0),
+                TradeoffPoint(1.0, epsilon=1.5, error_percent=15.0),  # dominated
+                TradeoffPoint(2.0, epsilon=0.5, error_percent=20.0),
+            )
+        )
+
+    def test_pareto_front(self, curve):
+        front = curve.pareto_front()
+        assert [point.parameter for point in front] == [2.0, 0.5, 0.0]
+
+    def test_best_under_budget(self, curve):
+        assert curve.best_under_budget(1.2).parameter == 0.5
+        assert curve.best_under_budget(10.0).parameter == 0.0
+
+    def test_budget_unsatisfiable(self, curve):
+        with pytest.raises(ValidationError):
+            curve.best_under_budget(0.1)
+
+    def test_to_text_marks_front(self, curve):
+        text = curve.to_text()
+        assert "Pareto" in text
+        assert "*" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            TradeoffCurve(points=())
+
+
+class TestFairnessWeightSweep:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        rng = np.random.default_rng(0)
+        cells = {("F",): 0.15, ("M",): 0.45}
+        out = []
+        for _ in range(2):
+            base = sample_outcome_table(
+                {key: 1500 for key in cells},
+                cells,
+                attribute_names=["gender"],
+                outcome_name="label",
+                outcome_levels=("neg", "pos"),
+                seed=rng,
+            )
+            score = (
+                base.column("label").equals_mask("pos") * 1.5
+                + rng.normal(size=base.n_rows)
+            )
+            out.append(base.with_column(Column.numeric("score", score)))
+        return out
+
+    def test_sweep_produces_frontier(self, tables):
+        train, test = tables
+        curve = fairness_weight_sweep(
+            train,
+            test,
+            protected=["gender"],
+            outcome="label",
+            weights=(0.0, 1.0, 10.0),
+            max_iter=100,
+        )
+        assert len(curve.points) == 3
+        # Heavier regularisation yields lower epsilon than none.
+        assert curve.points[-1].epsilon < curve.points[0].epsilon
+        # The unregularised model is Pareto-optimal on accuracy.
+        front_parameters = {p.parameter for p in curve.pareto_front()}
+        assert 0.0 in front_parameters or any(
+            p.error_percent <= curve.points[0].error_percent
+            for p in curve.pareto_front()
+        )
+
+    def test_empty_weights_rejected(self, tables):
+        train, test = tables
+        with pytest.raises(ValidationError):
+            fairness_weight_sweep(
+                train, test, protected=["gender"], outcome="label", weights=()
+            )

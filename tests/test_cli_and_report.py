@@ -1,0 +1,162 @@
+"""Tests for the CLI and the markdown report renderer."""
+
+import io
+
+import pytest
+
+from repro.audit.auditor import FairnessAuditor
+from repro.audit.report import (
+    markdown_report,
+    render_classifier_report,
+    render_dataset_report,
+)
+from repro.cli import main
+from repro.tabular.csv_io import write_csv
+from repro.tabular.table import Table
+
+
+@pytest.fixture
+def csv_file(tmp_path, hiring_table):
+    path = tmp_path / "hiring.csv"
+    write_csv(hiring_table, path)
+    return str(path)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCliAudit:
+    def test_plain_audit(self, csv_file):
+        code, output = run_cli(
+            ["audit", csv_file, "--protected", "gender,race", "--outcome", "hired"]
+        )
+        assert code == 0
+        assert "epsilon" in output.lower()
+        assert "gender, race" in output
+
+    def test_smoothed_audit(self, csv_file):
+        code, output = run_cli(
+            [
+                "audit", csv_file,
+                "--protected", "gender,race",
+                "--outcome", "hired",
+                "--alpha", "1.0",
+            ]
+        )
+        assert code == 0
+        assert "Dirichlet" in output
+
+    def test_markdown_audit(self, csv_file):
+        code, output = run_cli(
+            [
+                "audit", csv_file,
+                "--protected", "gender,race",
+                "--outcome", "hired",
+                "--markdown",
+            ]
+        )
+        assert code == 0
+        assert output.startswith("# Differential fairness report")
+        assert "| protected attributes |" in output
+        assert "Related-work baselines" in output
+
+    def test_posterior_samples(self, csv_file):
+        code, output = run_cli(
+            [
+                "audit", csv_file,
+                "--protected", "gender",
+                "--outcome", "hired",
+                "--posterior-samples", "25",
+            ]
+        )
+        assert code == 0
+        assert "posterior epsilon" in output
+
+    def test_missing_file(self):
+        code, _ = run_cli(
+            ["audit", "/nonexistent.csv", "--protected", "a", "--outcome", "b"]
+        )
+        assert code == 1
+
+    def test_unknown_column(self, csv_file):
+        code, _ = run_cli(
+            ["audit", csv_file, "--protected", "ghost", "--outcome", "hired"]
+        )
+        assert code == 1
+
+    def test_empty_protected(self, csv_file):
+        code, _ = run_cli(
+            ["audit", csv_file, "--protected", " , ", "--outcome", "hired"]
+        )
+        assert code == 2
+
+
+class TestCliExamples:
+    def test_worked_example(self):
+        code, output = run_cli(["worked-example"])
+        assert code == 0
+        assert "2.337" in output
+
+    def test_simpsons(self):
+        code, output = run_cli(["simpsons"])
+        assert code == 0
+        assert "3.0220" in output
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReports:
+    def test_dataset_report_structure(self, hiring_table):
+        auditor = FairnessAuditor(["gender", "race"], "hired")
+        audit = auditor.audit_dataset(hiring_table)
+        report = render_dataset_report(
+            audit, dataset_name="hiring", n_rows=hiring_table.n_rows
+        )
+        assert "# Differential fairness report" in report
+        assert "hiring" in report
+        assert "Theorem 3.2" in report
+        assert "Equation 4" in report
+        assert "binding comparison" in report
+
+    def test_dataset_report_with_posterior(self, hiring_table):
+        auditor = FairnessAuditor(
+            ["gender", "race"], "hired", posterior_samples=20, seed=0
+        )
+        report = render_dataset_report(auditor.audit_dataset(hiring_table))
+        assert "posterior epsilon" in report
+
+    def test_classifier_report(self, hiring_table):
+        import numpy as np
+
+        from repro.learn.logistic_regression import LogisticRegression
+        from repro.learn.preprocessing import TableVectorizer
+
+        vectorizer = TableVectorizer(
+            categorical=["gender", "race"], numeric=[]
+        ).fit(hiring_table)
+        model = LogisticRegression().fit(
+            vectorizer.transform(hiring_table),
+            hiring_table.column("hired").to_list(),
+        )
+        auditor = FairnessAuditor(["gender", "race"], "hired", estimator=1.0)
+        audit = auditor.audit_classifier(
+            model, hiring_table, vectorizer=vectorizer
+        )
+        report = render_classifier_report(audit)
+        assert "bias amplification" in report
+        assert "error rate" in report
+
+    def test_markdown_report_one_call(self, hiring_table):
+        report = markdown_report(
+            hiring_table,
+            protected=["gender", "race"],
+            outcome="hired",
+            dataset_name="hiring",
+        )
+        assert "demographic parity" in report
+        assert "80% rule" in report

@@ -1,0 +1,83 @@
+"""Tests for repro.core.analytic — the Figure 2 worked example."""
+
+import math
+
+import pytest
+
+from repro.core.analytic import gaussian_threshold_epsilon, paper_worked_example
+from repro.core.mechanism import mechanism_epsilon
+from repro.distributions.gaussian import GroupGaussianScores
+from repro.mechanisms.threshold import ScoreThresholdMechanism
+
+
+class TestPaperWorkedExample:
+    """Figure 2 of the paper, reproduced to its printed precision."""
+
+    def test_epsilon(self):
+        assert paper_worked_example().epsilon == pytest.approx(2.337, abs=5e-4)
+
+    def test_outcome_probabilities(self):
+        result = paper_worked_example().result
+        assert result.probability((1,), "yes") == pytest.approx(0.3085, abs=5e-5)
+        assert result.probability((2,), "yes") == pytest.approx(0.9332, abs=5e-5)
+        assert result.probability((1,), "no") == pytest.approx(0.6915, abs=5e-5)
+        assert result.probability((2,), "no") == pytest.approx(0.0668, abs=5e-5)
+
+    def test_witness_is_no_outcome(self):
+        witness = paper_worked_example().result.witness
+        assert witness.outcome == "no"
+        assert witness.group_high == (1,)
+
+    def test_yes_outcome_log_ratio(self):
+        # The paper's table lists -1.107 for (yes, 1, 2).
+        result = paper_worked_example().result
+        ratio = math.log(
+            result.probability((1,), "yes") / result.probability((2,), "yes")
+        )
+        assert ratio == pytest.approx(-1.107, abs=5e-4)
+
+    def test_ratio_bounds(self):
+        # exp(±2.337) = (0.0966, 10.35) as printed in the paper.
+        example = paper_worked_example()
+        assert math.exp(-example.epsilon) == pytest.approx(0.0966, abs=5e-5)
+        assert math.exp(example.epsilon) == pytest.approx(10.35, abs=5e-3)
+
+    def test_tables_render(self):
+        example = paper_worked_example()
+        assert "Probability of Hiring Outcome" in example.probability_table()
+        assert "Log Ratios" in example.log_ratio_table()
+        assert "2.337" in example.to_text()
+
+
+class TestGaussianThresholdGeneral:
+    def test_identical_groups_are_fair(self):
+        scores = GroupGaussianScores([5.0, 5.0], [2.0, 2.0])
+        mechanism = ScoreThresholdMechanism(6.0)
+        assert gaussian_threshold_epsilon(scores, mechanism).epsilon == 0.0
+
+    def test_epsilon_grows_with_separation(self):
+        mechanism = ScoreThresholdMechanism(10.0)
+        small = gaussian_threshold_epsilon(
+            GroupGaussianScores([9.5, 10.5], [1.0, 1.0]), mechanism
+        )
+        large = gaussian_threshold_epsilon(
+            GroupGaussianScores([9.0, 11.0], [1.0, 1.0]), mechanism
+        )
+        assert large.epsilon > small.epsilon
+
+    def test_three_groups(self):
+        scores = GroupGaussianScores([9.0, 10.0, 11.0], [1.0, 1.0, 1.0])
+        result = gaussian_threshold_epsilon(scores, ScoreThresholdMechanism(10.0))
+        # Extremes drive epsilon; middle group is interior.
+        assert result.witness.group_high in [(1,), (3,)]
+        assert result.witness.group_low in [(1,), (3,)]
+
+    def test_monte_carlo_agrees_with_analytic(self):
+        """The sampling path converges to the closed form."""
+        scores = GroupGaussianScores.paper_worked_example()
+        mechanism = ScoreThresholdMechanism.paper_worked_example()
+        analytic = gaussian_threshold_epsilon(scores, mechanism)
+        sampled = mechanism_epsilon(
+            mechanism, scores, n_samples=200_000, seed=7, exact=False
+        )
+        assert sampled.epsilon == pytest.approx(analytic.epsilon, abs=0.03)

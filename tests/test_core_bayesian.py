@@ -1,0 +1,89 @@
+"""Tests for repro.core.bayesian (posterior uncertainty over epsilon)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bayesian import (
+    epsilon_over_sampled_theta,
+    posterior_epsilon,
+    posterior_epsilon_samples,
+)
+from repro.core.empirical import dataset_edf
+from repro.exceptions import ValidationError
+from repro.tabular.crosstab import ContingencyTable
+
+
+def small_contingency() -> ContingencyTable:
+    return ContingencyTable.from_group_counts(
+        {("a",): [30, 10], ("b",): [20, 20]},
+        factor_names=["g"],
+        outcome_name="y",
+        outcome_levels=["no", "yes"],
+    )
+
+
+class TestPosteriorSamples:
+    def test_shape_and_positivity(self):
+        samples = posterior_epsilon_samples(small_contingency(), n_samples=50, seed=0)
+        assert samples.shape == (50,)
+        assert (samples >= 0).all()
+        assert np.isfinite(samples).all()
+
+    def test_deterministic_given_seed(self):
+        first = posterior_epsilon_samples(small_contingency(), n_samples=20, seed=3)
+        second = posterior_epsilon_samples(small_contingency(), n_samples=20, seed=3)
+        assert np.array_equal(first, second)
+
+    def test_accepts_raw_counts(self):
+        samples = posterior_epsilon_samples(
+            np.array([[30.0, 10.0], [20.0, 20.0]]), n_samples=10, seed=0
+        )
+        assert samples.shape == (10,)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValidationError):
+            posterior_epsilon_samples(small_contingency(), n_samples=0)
+
+    def test_concentrates_with_data(self):
+        """More data -> posterior epsilon concentrates near the MLE value."""
+        small = small_contingency()
+        big = small.scale(100.0)
+        point = dataset_edf(small).epsilon
+        spread_small = posterior_epsilon_samples(small, n_samples=300, seed=0).std()
+        big_samples = posterior_epsilon_samples(big, n_samples=300, seed=0)
+        assert big_samples.std() < spread_small
+        assert abs(big_samples.mean() - point) < 0.1
+
+
+class TestPosteriorSummary:
+    def test_quantiles_ordered(self):
+        summary = posterior_epsilon(
+            small_contingency(), n_samples=200, seed=1,
+            quantile_levels=(0.05, 0.5, 0.95),
+        )
+        assert summary.quantiles[0.05] <= summary.median <= summary.quantiles[0.95]
+        assert summary.credible_upper(0.95) == summary.quantiles[0.95]
+
+    def test_unknown_quantile_rejected(self):
+        summary = posterior_epsilon(small_contingency(), n_samples=20, seed=1)
+        with pytest.raises(ValidationError):
+            summary.credible_upper(0.99)
+
+    def test_to_text(self):
+        summary = posterior_epsilon(small_contingency(), n_samples=20, seed=1)
+        assert "posterior epsilon" in summary.to_text()
+
+
+class TestSampledTheta:
+    def test_max_exceeds_point_estimate_typically(self):
+        """Definition 3.1's sup over a sampled Theta is conservative."""
+        contingency = small_contingency()
+        point = dataset_edf(contingency).epsilon
+        sup = epsilon_over_sampled_theta(contingency, n_samples=100, seed=0)
+        assert sup >= point - 1e-9
+
+    def test_grows_with_more_samples(self):
+        contingency = small_contingency()
+        few = epsilon_over_sampled_theta(contingency, n_samples=5, seed=0)
+        many = epsilon_over_sampled_theta(contingency, n_samples=200, seed=0)
+        assert many >= few

@@ -1,0 +1,124 @@
+"""Tests for conditional differential fairness (the equalized-odds-style
+extension of Section 7.1)."""
+
+import math
+
+import pytest
+
+from repro.core.conditional import conditional_edf
+from repro.core.estimators import DirichletEstimator
+from repro.exceptions import ValidationError
+from repro.tabular.table import Table
+
+
+@pytest.fixture
+def predictions_table() -> Table:
+    """True labels, predictions, and one protected attribute.
+
+    Group a: among y=1, predicted 1 at 3/4; among y=0, predicted 1 at 1/4.
+    Group b: among y=1, predicted 1 at 1/2; among y=0, predicted 1 at 1/2.
+    """
+    rows = (
+        [("a", "1", "1")] * 3 + [("a", "1", "0")] * 1
+        + [("a", "0", "1")] * 1 + [("a", "0", "0")] * 3
+        + [("b", "1", "1")] * 2 + [("b", "1", "0")] * 2
+        + [("b", "0", "1")] * 2 + [("b", "0", "0")] * 2
+    )
+    return Table.from_rows(["group", "label", "pred"], rows)
+
+
+class TestConditionalEdf:
+    def test_per_condition_epsilons(self, predictions_table):
+        result = conditional_edf(
+            predictions_table, protected="group", outcome="pred", given="label"
+        )
+        # Within y=1: rates 0.75 vs 0.5 -> eps = log(0.5/0.25) = log 2.
+        assert result.result("1").epsilon == pytest.approx(math.log(2))
+        # Within y=0: rates 0.25 vs 0.5 -> eps = log 2 as well.
+        assert result.result("0").epsilon == pytest.approx(math.log(2))
+        assert result.epsilon == pytest.approx(math.log(2))
+
+    def test_perfect_classifier_conditionally_fair(self):
+        """Predicting the true label exactly has conditional epsilon 0
+        even when the base rates differ wildly across groups."""
+        rows = (
+            [("a", "1", "1")] * 9 + [("a", "0", "0")] * 1
+            + [("b", "1", "1")] * 1 + [("b", "0", "0")] * 9
+        )
+        table = Table.from_rows(["group", "label", "pred"], rows)
+        result = conditional_edf(table, "group", "pred", given="label")
+        assert result.epsilon == 0.0
+        # ... while the unconditional epsilon is large (demographic
+        # disparity): this is exactly the equalized-odds vs parity split.
+        from repro.core.empirical import dataset_edf
+
+        unconditional = dataset_edf(table, protected="group", outcome="pred")
+        assert unconditional.epsilon > 2.0
+
+    def test_binding_condition(self, predictions_table):
+        result = conditional_edf(
+            predictions_table, "group", "pred", given="label"
+        )
+        assert result.binding_condition() in ("0", "1")
+
+    def test_missing_group_in_slice_excluded(self):
+        rows = (
+            [("a", "1", "1")] * 2 + [("a", "0", "0")] * 2
+            + [("b", "1", "1")] * 2  # group b never has label 0
+        )
+        table = Table.from_rows(["group", "label", "pred"], rows)
+        result = conditional_edf(table, "group", "pred", given="label")
+        slice_zero = result.result("0")
+        assert slice_zero.epsilon == 0.0  # single populated group: vacuous
+        assert len(slice_zero.populated_groups()) == 1
+
+    def test_smoothed_variant(self, predictions_table):
+        raw = conditional_edf(
+            predictions_table, "group", "pred", given="label"
+        )
+        smoothed = conditional_edf(
+            predictions_table,
+            "group",
+            "pred",
+            given="label",
+            estimator=DirichletEstimator(1.0),
+        )
+        assert smoothed.epsilon < raw.epsilon
+
+    def test_conditioning_column_validation(self, predictions_table):
+        with pytest.raises(ValidationError):
+            conditional_edf(predictions_table, "group", "pred", given="pred")
+        with pytest.raises(ValidationError):
+            conditional_edf(predictions_table, "group", "pred", given="group")
+
+    def test_unknown_condition_lookup(self, predictions_table):
+        result = conditional_edf(
+            predictions_table, "group", "pred", given="label"
+        )
+        with pytest.raises(ValidationError):
+            result.result("zzz")
+
+    def test_to_text(self, predictions_table):
+        result = conditional_edf(
+            predictions_table, "group", "pred", given="label"
+        )
+        text = result.to_text()
+        assert "Conditional differential fairness" in text
+        assert "max" in text
+
+    def test_intersectional_conditioning(self):
+        """Two protected attributes, conditioned on the label."""
+        rows = []
+        for group, label, pred, count in [
+            (("a", "x"), "1", "1", 3), (("a", "x"), "1", "0", 1),
+            (("a", "y"), "1", "1", 2), (("a", "y"), "1", "0", 2),
+            (("b", "x"), "1", "1", 1), (("b", "x"), "1", "0", 3),
+            (("b", "y"), "1", "1", 2), (("b", "y"), "1", "0", 2),
+        ]:
+            rows.extend([(group[0], group[1], label, pred)] * count)
+        table = Table.from_rows(["g1", "g2", "label", "pred"], rows)
+        result = conditional_edf(
+            table, ["g1", "g2"], "pred", given="label"
+        )
+        # Rates 0.75 vs 0.25 within y=1 -> log 3.
+        assert result.epsilon == pytest.approx(math.log(3))

@@ -1,0 +1,109 @@
+"""Tests for repro.core.empirical (dataset EDF, Definitions 4.1/4.2)."""
+
+import math
+
+import pytest
+
+from repro.core.empirical import dataset_edf, edf_from_contingency
+from repro.core.estimators import DirichletEstimator
+from repro.exceptions import ValidationError
+from repro.tabular.crosstab import ContingencyTable, crosstab
+from repro.tabular.table import Table
+
+
+class TestDatasetEdf:
+    def test_known_value(self, hiring_table):
+        result = dataset_edf(
+            hiring_table, protected=["gender", "race"], outcome="hired"
+        )
+        # Rates: 0.75, 0.25, 0.5, 0.5 -> eps = log(0.75/0.25) = log 3.
+        assert result.epsilon == pytest.approx(math.log(3))
+
+    def test_single_protected_string(self, hiring_table):
+        result = dataset_edf(hiring_table, protected="gender", outcome="hired")
+        # Gender A: 4/8, B: 4/8 -> perfectly fair marginally.
+        assert result.epsilon == 0.0
+
+    def test_accepts_contingency_directly(self, hiring_table):
+        contingency = crosstab(hiring_table, ["gender", "race"], "hired")
+        assert dataset_edf(contingency).epsilon == pytest.approx(math.log(3))
+
+    def test_contingency_with_names_rejected(self, hiring_table):
+        contingency = crosstab(hiring_table, ["gender"], "hired")
+        with pytest.raises(ValidationError):
+            dataset_edf(contingency, protected=["gender"], outcome="hired")
+
+    def test_table_requires_names(self, hiring_table):
+        with pytest.raises(ValidationError):
+            dataset_edf(hiring_table)
+
+    def test_smoothed_differs_from_mle(self, hiring_table):
+        raw = dataset_edf(
+            hiring_table, protected=["gender", "race"], outcome="hired"
+        )
+        smoothed = dataset_edf(
+            hiring_table,
+            protected=["gender", "race"],
+            outcome="hired",
+            estimator=DirichletEstimator(1.0),
+        )
+        assert smoothed.epsilon < raw.epsilon  # shrinkage toward uniform
+
+    def test_alpha_shorthand(self, hiring_table):
+        explicit = dataset_edf(
+            hiring_table,
+            protected=["gender", "race"],
+            outcome="hired",
+            estimator=DirichletEstimator(1.0),
+        )
+        shorthand = dataset_edf(
+            hiring_table,
+            protected=["gender", "race"],
+            outcome="hired",
+            estimator=1.0,
+        )
+        assert shorthand.epsilon == explicit.epsilon
+
+    def test_result_metadata(self, hiring_table):
+        result = dataset_edf(
+            hiring_table, protected=["gender", "race"], outcome="hired"
+        )
+        assert result.attribute_names == ("gender", "race")
+        assert result.outcome_levels == ("no", "yes")
+        assert result.group_mass.sum() == 16
+
+    def test_zero_count_outcome_gives_inf(self):
+        table = Table.from_dict(
+            {"g": ["a", "a", "b", "b"], "y": ["no", "no", "yes", "no"]}
+        )
+        result = dataset_edf(table, protected="g", outcome="y")
+        assert result.epsilon == math.inf
+
+    def test_smoothing_rescues_zero_counts(self):
+        table = Table.from_dict(
+            {"g": ["a", "a", "b", "b"], "y": ["no", "no", "yes", "no"]}
+        )
+        result = dataset_edf(table, protected="g", outcome="y", estimator=1.0)
+        assert math.isfinite(result.epsilon)
+
+
+class TestEdfFromContingency:
+    def test_counts_scale_invariance(self, hiring_table):
+        """Epsilon depends only on the rates, not the sample size."""
+        contingency = crosstab(hiring_table, ["gender", "race"], "hired")
+        scaled = contingency.scale(1000.0)
+        assert edf_from_contingency(scaled).epsilon == pytest.approx(
+            edf_from_contingency(contingency).epsilon
+        )
+
+    def test_empty_groups_excluded(self):
+        contingency = ContingencyTable.from_group_counts(
+            {("a",): [5, 5], ("b",): [0, 0], ("c",): [2, 8]},
+            factor_names=["g"],
+            outcome_name="y",
+            outcome_levels=["no", "yes"],
+        )
+        result = edf_from_contingency(contingency)
+        # The "no" outcome dominates: log(0.5 / 0.2).
+        assert result.epsilon == pytest.approx(math.log(0.5 / 0.2))
+        assert ("b",) not in result.populated_groups()

@@ -1,0 +1,174 @@
+"""Tests for repro.core.epsilon — the heart of the measurement."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.epsilon import epsilon_from_probabilities, pairwise_log_ratio_matrix
+from repro.exceptions import ValidationError
+
+
+class TestBasicEpsilon:
+    def test_equal_distributions_give_zero(self):
+        result = epsilon_from_probabilities([[0.3, 0.7], [0.3, 0.7]])
+        assert result.epsilon == 0.0
+
+    def test_known_two_group_value(self):
+        # log(0.9/0.3) = log 3 on the second outcome.
+        result = epsilon_from_probabilities([[0.7, 0.3], [0.1, 0.9]])
+        assert result.epsilon == pytest.approx(math.log(7))
+
+    def test_witness_identifies_extremes(self):
+        result = epsilon_from_probabilities(
+            [[0.7, 0.3], [0.1, 0.9]],
+            group_labels=[("g1",), ("g2",)],
+            outcome_levels=["no", "yes"],
+        )
+        assert result.witness.outcome == "no"
+        assert result.witness.group_high == ("g1",)
+        assert result.witness.group_low == ("g2",)
+        assert result.witness.prob_high == pytest.approx(0.7)
+        assert result.witness.log_ratio == pytest.approx(result.epsilon)
+
+    def test_per_outcome_epsilons(self):
+        result = epsilon_from_probabilities(
+            [[0.5, 0.5], [0.25, 0.75]], outcome_levels=["a", "b"]
+        )
+        assert result.per_outcome["a"] == pytest.approx(math.log(2))
+        assert result.per_outcome["b"] == pytest.approx(math.log(1.5))
+
+    def test_three_groups(self):
+        result = epsilon_from_probabilities(
+            [[0.2, 0.8], [0.4, 0.6], [0.8, 0.2]]
+        )
+        assert result.epsilon == pytest.approx(math.log(0.8 / 0.2))
+
+    def test_multiclass_outcomes(self):
+        result = epsilon_from_probabilities(
+            [[0.2, 0.3, 0.5], [0.4, 0.3, 0.3]]
+        )
+        assert result.epsilon == pytest.approx(math.log(2))
+
+
+class TestZeroHandling:
+    def test_zero_probability_gives_infinite_epsilon(self):
+        result = epsilon_from_probabilities([[1.0, 0.0], [0.5, 0.5]])
+        assert result.epsilon == math.inf
+        assert result.witness.prob_low == 0.0
+
+    def test_outcome_impossible_for_all_groups_ignored(self):
+        result = epsilon_from_probabilities([[1.0, 0.0], [1.0, 0.0]])
+        assert result.epsilon == 0.0
+        assert math.isnan(result.per_outcome[1])
+
+
+class TestGroupExclusion:
+    def test_nan_rows_excluded(self):
+        result = epsilon_from_probabilities(
+            [[0.5, 0.5], [np.nan, np.nan], [0.25, 0.75]]
+        )
+        assert result.epsilon == pytest.approx(math.log(2))
+        assert len(result.populated_groups()) == 2
+
+    def test_zero_mass_excluded(self):
+        result = epsilon_from_probabilities(
+            [[0.5, 0.5], [0.01, 0.99], [0.25, 0.75]],
+            group_mass=[2.0, 0.0, 1.0],
+        )
+        # The extreme middle group does not count: P(s) = 0.
+        assert result.epsilon == pytest.approx(math.log(2))
+
+    def test_single_populated_group_is_vacuous(self):
+        result = epsilon_from_probabilities(
+            [[0.5, 0.5], [np.nan, np.nan]]
+        )
+        assert result.epsilon == 0.0
+        assert result.witness is None
+
+
+class TestValidation:
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            epsilon_from_probabilities([[0.5, 0.2], [0.5, 0.5]])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            epsilon_from_probabilities([[-0.5, 1.5], [0.5, 0.5]])
+
+    def test_validate_false_skips_checks(self):
+        result = epsilon_from_probabilities(
+            [[0.5, 0.2], [0.5, 0.5]], validate=False
+        )
+        assert result.epsilon == pytest.approx(math.log(0.5 / 0.2))
+
+    def test_single_outcome_rejected(self):
+        with pytest.raises(ValidationError):
+            epsilon_from_probabilities([[1.0], [1.0]])
+
+    def test_label_alignment_checked(self):
+        with pytest.raises(ValidationError):
+            epsilon_from_probabilities([[0.5, 0.5]], group_labels=[("a",), ("b",)])
+
+    def test_mass_alignment_checked(self):
+        with pytest.raises(ValidationError):
+            epsilon_from_probabilities(
+                [[0.5, 0.5], [0.5, 0.5]], group_mass=[1.0]
+            )
+
+
+class TestResultApi:
+    def test_ratio_bound(self):
+        result = epsilon_from_probabilities([[0.5, 0.5], [0.25, 0.75]])
+        assert result.ratio_bound == pytest.approx(2.0)
+
+    def test_subset_bound_doubles(self):
+        result = epsilon_from_probabilities([[0.5, 0.5], [0.25, 0.75]])
+        assert result.subset_bound() == pytest.approx(2 * result.epsilon)
+
+    def test_is_fair(self):
+        result = epsilon_from_probabilities([[0.5, 0.5], [0.25, 0.75]])
+        assert result.is_fair(1.0)
+        assert not result.is_fair(0.1)
+
+    def test_probability_lookup(self):
+        result = epsilon_from_probabilities(
+            [[0.5, 0.5], [0.25, 0.75]],
+            group_labels=[("a",), ("b",)],
+            outcome_levels=["no", "yes"],
+        )
+        assert result.probability(("b",), "yes") == pytest.approx(0.75)
+
+    def test_to_text_mentions_epsilon_and_witness(self):
+        result = epsilon_from_probabilities(
+            [[0.5, 0.5], [0.25, 0.75]],
+            group_labels=[("a",), ("b",)],
+            outcome_levels=["no", "yes"],
+            attribute_names=["group"],
+        )
+        text = result.to_text()
+        assert "epsilon" in text
+        assert "witness" in text
+
+    def test_probabilities_read_only(self):
+        result = epsilon_from_probabilities([[0.5, 0.5], [0.25, 0.75]])
+        with pytest.raises(ValueError):
+            result.probabilities[0, 0] = 0.9
+
+
+class TestPairwiseLogRatios:
+    def test_antisymmetric(self):
+        matrix = np.array([[0.5, 0.5], [0.25, 0.75]])
+        ratios = pairwise_log_ratio_matrix(matrix, 1)
+        assert ratios[0, 1] == pytest.approx(-ratios[1, 0])
+        assert ratios[0, 0] == 0.0
+
+    def test_values(self):
+        matrix = np.array([[0.5, 0.5], [0.25, 0.75]])
+        ratios = pairwise_log_ratio_matrix(matrix, 0)
+        assert ratios[0, 1] == pytest.approx(math.log(2))
+
+    def test_zero_gives_inf(self):
+        matrix = np.array([[0.0, 1.0], [0.25, 0.75]])
+        ratios = pairwise_log_ratio_matrix(matrix, 0)
+        assert ratios[1, 0] == math.inf

@@ -1,0 +1,85 @@
+"""Tests for repro.core.estimators (Equations 6 and 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import DirichletEstimator, MLEEstimator, as_estimator
+from repro.exceptions import ValidationError
+
+
+class TestMLE:
+    def test_plain_frequencies(self):
+        probs = MLEEstimator().probabilities(np.array([[3.0, 1.0], [2.0, 2.0]]))
+        assert probs[0].tolist() == [0.75, 0.25]
+        assert probs[1].tolist() == [0.5, 0.5]
+
+    def test_empty_group_is_nan(self):
+        probs = MLEEstimator().probabilities(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert np.isnan(probs[0]).all()
+        assert probs[1].tolist() == [0.5, 0.5]
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValidationError):
+            MLEEstimator().probabilities(np.array([[-1.0, 2.0]]))
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValidationError):
+            MLEEstimator().probabilities(np.array([1.0, 2.0]))
+
+
+class TestDirichlet:
+    def test_equation_seven(self):
+        # (N_y + alpha) / (N + |Y| alpha) with alpha = 1.
+        probs = DirichletEstimator(1.0).probabilities(np.array([[3.0, 1.0]]))
+        assert probs[0, 0] == pytest.approx(4.0 / 6.0)
+        assert probs[0, 1] == pytest.approx(2.0 / 6.0)
+
+    def test_rows_sum_to_one(self):
+        probs = DirichletEstimator(2.5).probabilities(
+            np.array([[5.0, 0.0, 2.0], [1.0, 1.0, 1.0]])
+        )
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_no_zero_probabilities(self):
+        probs = DirichletEstimator(1.0).probabilities(np.array([[10.0, 0.0]]))
+        assert (probs > 0).all()
+
+    def test_unobserved_group_still_excluded(self):
+        """Smoothing estimates P(y|s); a group with P(s)=0 stays excluded."""
+        probs = DirichletEstimator(1.0).probabilities(
+            np.array([[0.0, 0.0], [1.0, 3.0]])
+        )
+        assert np.isnan(probs[0]).all()
+
+    def test_large_alpha_approaches_uniform(self):
+        probs = DirichletEstimator(1e9).probabilities(np.array([[100.0, 0.0]]))
+        assert probs[0, 0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_alpha_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            DirichletEstimator(0.0)
+
+    def test_name_mentions_alpha(self):
+        assert "0.5" in DirichletEstimator(0.5).name
+
+
+class TestAsEstimator:
+    def test_none_gives_mle(self):
+        assert isinstance(as_estimator(None), MLEEstimator)
+
+    def test_number_gives_dirichlet(self):
+        estimator = as_estimator(2.0)
+        assert isinstance(estimator, DirichletEstimator)
+        assert estimator.alpha == 2.0
+
+    def test_passthrough(self):
+        estimator = MLEEstimator()
+        assert as_estimator(estimator) is estimator
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValidationError):
+            as_estimator(True)
+
+    def test_string_rejected(self):
+        with pytest.raises(ValidationError):
+            as_estimator("mle")

@@ -1,0 +1,89 @@
+"""Tests for repro.core.interpretation and amplification."""
+
+import math
+
+import pytest
+
+from repro.core.amplification import bias_amplification
+from repro.core.epsilon import epsilon_from_probabilities
+from repro.core.interpretation import (
+    HIGH_FAIRNESS_THRESHOLD,
+    RANDOMIZED_RESPONSE_EPSILON,
+    FairnessRegime,
+    interpret_epsilon,
+    utility_factor,
+)
+
+
+class TestInterpretEpsilon:
+    def test_perfect(self):
+        assert interpret_epsilon(0.0).regime is FairnessRegime.PERFECT
+
+    def test_high(self):
+        assert interpret_epsilon(0.5).regime is FairnessRegime.HIGH
+
+    def test_boundary_at_one(self):
+        assert interpret_epsilon(0.999).regime is FairnessRegime.HIGH
+        assert interpret_epsilon(1.0).regime is FairnessRegime.MODERATE
+
+    def test_randomized_response_is_moderate(self):
+        """ln(3) sits 'slightly above the high-privacy cut-off' (Sec 3.3)."""
+        regime = interpret_epsilon(RANDOMIZED_RESPONSE_EPSILON).regime
+        assert regime is FairnessRegime.MODERATE
+
+    def test_figure2_epsilon_is_weak(self):
+        # The paper calls 2.337 'clearly unsatisfactory'.
+        assert interpret_epsilon(2.337).regime is FairnessRegime.WEAK
+
+    def test_twenty_is_negligible(self):
+        # The paper: "eps = 20 ... almost meaningless".
+        assert interpret_epsilon(20.0).regime is FairnessRegime.NEGLIGIBLE
+
+    def test_utility_factor(self):
+        assert interpret_epsilon(math.log(3)).utility_factor == pytest.approx(3.0)
+        assert utility_factor(0.0) == 1.0
+        assert utility_factor(math.inf) == math.inf
+
+    def test_text_mentions_regime(self):
+        text = interpret_epsilon(0.5).to_text()
+        assert "high" in text
+        assert interpret_epsilon(0.0).to_text().startswith("epsilon = 0")
+
+    def test_negative_rejected(self):
+        with pytest.raises(Exception):
+            interpret_epsilon(-0.1)
+
+    def test_constants(self):
+        assert HIGH_FAIRNESS_THRESHOLD == 1.0
+        assert RANDOMIZED_RESPONSE_EPSILON == pytest.approx(math.log(3))
+
+
+class TestBiasAmplification:
+    def test_difference(self):
+        amp = bias_amplification(2.06, 2.14)
+        assert amp.difference == pytest.approx(0.08)
+        assert amp.amplifies
+
+    def test_attenuation(self):
+        amp = bias_amplification(2.06, 1.95)
+        assert amp.difference == pytest.approx(-0.11)
+        assert not amp.amplifies
+
+    def test_disparity_factor(self):
+        amp = bias_amplification(1.0, 1.0 + math.log(2))
+        assert amp.disparity_factor == pytest.approx(2.0)
+
+    def test_accepts_results(self):
+        baseline = epsilon_from_probabilities([[0.5, 0.5], [0.25, 0.75]])
+        mechanism = epsilon_from_probabilities([[0.5, 0.5], [0.125, 0.875]])
+        amp = bias_amplification(baseline, mechanism)
+        assert amp.epsilon_baseline == pytest.approx(baseline.epsilon)
+        assert amp.epsilon_mechanism == pytest.approx(mechanism.epsilon)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            bias_amplification(-1.0, 0.0)
+
+    def test_text(self):
+        assert "amplifies" in bias_amplification(1.0, 2.0).to_text()
+        assert "attenuates" in bias_amplification(2.0, 1.0).to_text()

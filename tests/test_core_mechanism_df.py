@@ -1,0 +1,128 @@
+"""Tests for repro.core.mechanism (Definition 3.1 over mechanisms and Θ)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import group_outcome_probabilities, mechanism_epsilon
+from repro.distributions.base import UncertaintySet
+from repro.distributions.categorical import JointCategorical
+from repro.distributions.empirical import EmpiricalGroupDistribution
+from repro.distributions.gaussian import GroupGaussianScores
+from repro.exceptions import ValidationError
+from repro.mechanisms.base import ConstantMechanism, FunctionMechanism
+from repro.mechanisms.threshold import ScoreThresholdMechanism
+
+
+def two_group_joint() -> JointCategorical:
+    """P(x | g1) = (0.75, 0.25); P(x | g2) = (0.25, 0.75)."""
+    joint = np.array([[0.375, 0.125], [0.125, 0.375]])
+    return JointCategorical(joint, ["g1", "g2"], [0.0, 1.0])
+
+
+def indicator_mechanism() -> FunctionMechanism:
+    return FunctionMechanism(
+        lambda X: np.asarray(X, dtype=float).astype(int), ["no", "yes"]
+    )
+
+
+class TestExactIntegration:
+    def test_joint_categorical_exact(self):
+        result = mechanism_epsilon(indicator_mechanism(), two_group_joint())
+        # P(yes | g1) = 0.25, P(yes | g2) = 0.75 -> eps = log 3 on either side.
+        assert result.epsilon == pytest.approx(math.log(3))
+
+    def test_empirical_distribution_exact(self, numeric_table):
+        distribution = EmpiricalGroupDistribution(
+            numeric_table, ["group"], feature_columns=["x"]
+        )
+        mechanism = FunctionMechanism(
+            lambda X: (np.asarray(X, dtype=float)[:, 0] > 2.5).astype(int),
+            ["no", "yes"],
+        )
+        result = mechanism_epsilon(mechanism, distribution)
+        # group a: x in {1,2} -> rate 0; group b: {3,4,5} -> rate 1.
+        assert result.epsilon == math.inf
+
+    def test_exact_flag_rejected_for_gaussian(self):
+        scores = GroupGaussianScores([0.0, 1.0], [1.0, 1.0])
+        with pytest.raises(ValidationError):
+            group_outcome_probabilities(
+                ScoreThresholdMechanism(0.5), scores, exact=True
+            )
+
+
+class TestMonteCarlo:
+    def test_constant_mechanism_is_perfectly_fair(self):
+        scores = GroupGaussianScores([0.0, 5.0], [1.0, 1.0])
+        mechanism = ConstantMechanism([0.3, 0.7], ["no", "yes"])
+        result = mechanism_epsilon(mechanism, scores, n_samples=100, seed=0)
+        assert result.epsilon == 0.0
+
+    def test_seed_reproducibility(self):
+        scores = GroupGaussianScores([0.0, 1.0], [1.0, 1.0])
+        mechanism = ScoreThresholdMechanism(0.5)
+        first = mechanism_epsilon(mechanism, scores, n_samples=2000, seed=11)
+        second = mechanism_epsilon(mechanism, scores, n_samples=2000, seed=11)
+        assert first.epsilon == second.epsilon
+
+    def test_zero_probability_group_skipped(self):
+        scores = GroupGaussianScores(
+            [0.0, 99.0], [1.0, 1.0], probabilities=[1.0, 0.0]
+        )
+        mechanism = ScoreThresholdMechanism(0.5)
+        matrix = group_outcome_probabilities(mechanism, scores, n_samples=100, seed=0)
+        assert np.isnan(matrix[1]).all()
+
+    def test_invalid_sample_count(self):
+        scores = GroupGaussianScores([0.0], [1.0])
+        with pytest.raises(ValidationError):
+            group_outcome_probabilities(
+                ScoreThresholdMechanism(0.0), scores, n_samples=0
+            )
+
+
+class TestUncertaintySets:
+    def test_sup_over_theta(self):
+        """Definition 3.1 takes the maximum over θ in Θ."""
+        mechanism = ScoreThresholdMechanism(0.5)
+        near = GroupGaussianScores([0.0, 0.5], [1.0, 1.0])
+        far = GroupGaussianScores([0.0, 2.0], [1.0, 1.0])
+        eps_near = mechanism_epsilon(mechanism, near, n_samples=20_000, seed=1)
+        eps_far = mechanism_epsilon(mechanism, far, n_samples=20_000, seed=1)
+        both = mechanism_epsilon(
+            mechanism, UncertaintySet([near, far]), n_samples=20_000, seed=1
+        )
+        assert both.epsilon >= max(eps_near.epsilon, eps_far.epsilon) - 0.05
+
+    def test_singleton_equivalent_to_distribution(self):
+        mechanism = indicator_mechanism()
+        direct = mechanism_epsilon(mechanism, two_group_joint())
+        wrapped = mechanism_epsilon(
+            mechanism, UncertaintySet.point(two_group_joint())
+        )
+        assert direct.epsilon == wrapped.epsilon
+
+
+class TestSubsetTheoremForMechanisms:
+    def test_marginal_groups_within_bound(self):
+        """Theorem 3.2 on an exact mechanism computation: collapsing the
+        group structure cannot more than double epsilon."""
+        joint = np.array(
+            [[0.10, 0.10], [0.05, 0.25], [0.20, 0.05], [0.15, 0.10]]
+        )
+        full = JointCategorical(
+            joint,
+            [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")],
+            [0.0, 1.0],
+            attribute_names=("first", "second"),
+        )
+        mechanism = indicator_mechanism()
+        eps_full = mechanism_epsilon(mechanism, full).epsilon
+        for axes in ([0], [1]):
+            reduced = full.marginalize_groups(axes)
+            eps_sub = mechanism_epsilon(mechanism, reduced).epsilon
+            assert eps_sub <= 2 * eps_full + 1e-9
+            # The sharper mixture bound also holds (see DESIGN.md).
+            assert eps_sub <= eps_full + 1e-9

@@ -1,0 +1,152 @@
+"""Tests for the model-based estimator (Definition 4.1 with pooling)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.empirical import edf_from_contingency
+from repro.core.model_based import group_design_matrix, model_based_edf
+from repro.exceptions import ValidationError
+from repro.tabular.crosstab import ContingencyTable, crosstab
+
+
+def make_contingency(cells):
+    return ContingencyTable.from_group_counts(
+        cells,
+        factor_names=["a", "b"],
+        outcome_name="y",
+        outcome_levels=["no", "yes"],
+    )
+
+
+class TestDesignMatrix:
+    def test_main_effects_shape(self, hiring_table):
+        contingency = crosstab(hiring_table, ["gender", "race"], "hired")
+        design = group_design_matrix(contingency)
+        # Two binary factors -> 1 + 1 indicator columns, 4 rows.
+        assert design.shape == (4, 2)
+
+    def test_interactions_shape(self, hiring_table):
+        contingency = crosstab(hiring_table, ["gender", "race"], "hired")
+        design = group_design_matrix(contingency, interactions=True)
+        assert design.shape == (4, 3)
+
+    def test_baseline_row_is_zero(self, hiring_table):
+        contingency = crosstab(hiring_table, ["gender", "race"], "hired")
+        design = group_design_matrix(contingency)
+        assert design[0].tolist() == [0.0, 0.0]  # first levels of both
+
+    def test_three_level_factor(self):
+        contingency = ContingencyTable.from_group_counts(
+            {("x",): [1, 1], ("y",): [1, 1], ("z",): [1, 1]},
+            factor_names=["g"],
+            outcome_name="o",
+            outcome_levels=["n", "p"],
+        )
+        assert group_design_matrix(contingency).shape == (3, 2)
+
+
+class TestModelBasedEdf:
+    def test_saturated_model_recovers_plugin(self, hiring_table):
+        """With pairwise interactions a 2x2 table is saturated, so the
+        fitted probabilities equal the empirical rates."""
+        contingency = crosstab(hiring_table, ["gender", "race"], "hired")
+        plugin = edf_from_contingency(contingency)
+        saturated = model_based_edf(contingency, interactions=True, l2=1e-9)
+        assert saturated.epsilon == pytest.approx(plugin.epsilon, abs=1e-3)
+
+    def test_main_effects_pool_toward_additivity(self):
+        """A cell wildly off its margins is pulled in by the pooling."""
+        cells = {
+            ("a1", "b1"): [50, 50],
+            ("a1", "b2"): [50, 50],
+            ("a2", "b1"): [50, 50],
+            ("a2", "b2"): [2, 8],  # tiny, extreme cell
+        }
+        contingency = make_contingency(cells)
+        plugin = edf_from_contingency(contingency).epsilon
+        pooled = model_based_edf(contingency).epsilon
+        assert pooled < plugin
+
+    def test_finite_under_sparsity(self):
+        """Zero counts break Eq. 6; the model stays finite."""
+        cells = {
+            ("a1", "b1"): [30, 10],
+            ("a1", "b2"): [3, 0],     # no positives observed
+            ("a2", "b1"): [20, 20],
+            ("a2", "b2"): [10, 10],
+        }
+        contingency = make_contingency(cells)
+        assert edf_from_contingency(contingency).epsilon == math.inf
+        assert math.isfinite(model_based_edf(contingency).epsilon)
+
+    def test_unseen_cell_excluded_by_default(self):
+        cells = {
+            ("a1", "b1"): [30, 10],
+            ("a1", "b2"): [20, 20],
+            ("a2", "b1"): [25, 15],
+            ("a2", "b2"): [0, 0],  # never observed
+        }
+        contingency = make_contingency(cells)
+        result = model_based_edf(contingency)
+        assert ("a2", "b2") not in result.populated_groups()
+
+    def test_include_unseen_extrapolates(self):
+        cells = {
+            ("a1", "b1"): [30, 10],
+            ("a1", "b2"): [20, 20],
+            ("a2", "b1"): [25, 15],
+            ("a2", "b2"): [0, 0],
+        }
+        contingency = make_contingency(cells)
+        result = model_based_edf(contingency, include_unseen=True)
+        assert ("a2", "b2") in result.populated_groups()
+        assert math.isfinite(
+            result.probability(("a2", "b2"), "yes")
+        )
+
+    def test_multiclass_outcome_rejected(self):
+        contingency = ContingencyTable.from_group_counts(
+            {("g",): [1, 2, 3], ("h",): [3, 2, 1]},
+            factor_names=["a"],
+            outcome_name="y",
+            outcome_levels=["u", "v", "w"],
+        )
+        with pytest.raises(ValidationError, match="binary"):
+            model_based_edf(contingency)
+
+    def test_single_populated_cell_rejected(self):
+        cells = {
+            ("a1", "b1"): [10, 10],
+            ("a1", "b2"): [0, 0],
+            ("a2", "b1"): [0, 0],
+            ("a2", "b2"): [0, 0],
+        }
+        with pytest.raises(ValidationError):
+            model_based_edf(make_contingency(cells))
+
+    def test_sparse_subsample_tracks_full_epsilon(self):
+        """On a tiny subsample of additive data, the main-effects model is
+        a much better estimate of the population epsilon than smoothing."""
+        rng = np.random.default_rng(0)
+        # Population: additive log-odds, big cells.
+        from repro.learn.logistic_regression import sigmoid
+
+        population_cells = {}
+        for i, a in enumerate(["a1", "a2"]):
+            for j, b in enumerate(["b1", "b2", "b3"]):
+                rate = float(sigmoid(np.array([-1.5 + 0.9 * i + 0.5 * j]))[0])
+                n = 40000
+                k = int(round(n * rate))
+                population_cells[(a, b)] = [n - k, k]
+        population = make_contingency(population_cells)
+        population_epsilon = edf_from_contingency(population).epsilon
+
+        subsample_cells = {
+            key: list(rng.multinomial(25, np.asarray(value) / sum(value)))
+            for key, value in population_cells.items()
+        }
+        subsample = make_contingency(subsample_cells)
+        pooled = model_based_edf(subsample).epsilon
+        assert pooled == pytest.approx(population_epsilon, abs=0.45)

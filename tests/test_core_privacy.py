@@ -1,0 +1,115 @@
+"""Tests for repro.core.privacy (Equations 4 and 5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.epsilon import epsilon_from_probabilities
+from repro.core.privacy import (
+    expected_group_utilities,
+    posterior_group_probabilities,
+    posterior_odds_interval,
+    privacy_violations,
+    utility_disparity,
+    utility_disparity_bound,
+)
+from repro.exceptions import ValidationError
+
+
+class TestPosteriorOddsInterval:
+    def test_basic(self):
+        low, high = posterior_odds_interval(math.log(2), prior_odds=1.0)
+        assert low == pytest.approx(0.5)
+        assert high == pytest.approx(2.0)
+
+    def test_scales_with_prior(self):
+        low, high = posterior_odds_interval(0.0, prior_odds=3.0)
+        assert low == high == 3.0
+
+    def test_infinite_epsilon(self):
+        low, high = posterior_odds_interval(math.inf, prior_odds=1.0)
+        assert low == 0.0
+        assert high == math.inf
+
+
+class TestPosteriorGroupProbabilities:
+    def test_bayes_rule(self):
+        outcome_probs = np.array([[0.8, 0.2], [0.4, 0.6]])
+        prior = np.array([0.5, 0.5])
+        posterior = posterior_group_probabilities(outcome_probs, prior)
+        # P(s1 | y0) = 0.8*0.5 / (0.8*0.5 + 0.4*0.5) = 2/3.
+        assert posterior[0, 0] == pytest.approx(2.0 / 3.0)
+        assert np.allclose(posterior.sum(axis=0), 1.0)
+
+    def test_impossible_outcome_is_nan(self):
+        posterior = posterior_group_probabilities(
+            np.array([[1.0, 0.0], [1.0, 0.0]]), np.array([0.5, 0.5])
+        )
+        assert np.isnan(posterior[:, 1]).all()
+
+    def test_prior_validated(self):
+        with pytest.raises(ValidationError):
+            posterior_group_probabilities(
+                np.array([[0.5, 0.5]]), np.array([0.7])
+            )
+
+
+class TestPrivacyGuarantee:
+    def test_equation_four_holds_for_measured_epsilon(self):
+        """The posterior odds shift is bounded by the measured epsilon."""
+        probs = np.array([[0.7, 0.3], [0.2, 0.8], [0.5, 0.5]])
+        result = epsilon_from_probabilities(probs)
+        prior = np.array([0.2, 0.5, 0.3])
+        assert privacy_violations(result, prior) == []
+
+    def test_violations_detected_for_understated_epsilon(self):
+        probs = np.array([[0.7, 0.3], [0.2, 0.8]])
+        result = epsilon_from_probabilities(probs)
+        # Forge a result that claims a much smaller epsilon.
+        forged = epsilon_from_probabilities(probs)
+        object.__setattr__(forged, "epsilon", 0.01)
+        assert privacy_violations(forged, np.array([0.5, 0.5]))
+
+
+class TestUtilityBound:
+    def test_bound_value(self):
+        assert utility_disparity_bound(math.log(3)) == pytest.approx(3.0)
+        assert utility_disparity_bound(math.inf) == math.inf
+
+    def test_expected_utilities(self):
+        probs = np.array([[0.7, 0.3], [0.4, 0.6]])
+        utilities = np.array([0.0, 1.0])
+        expected = expected_group_utilities(probs, utilities)
+        assert expected.tolist() == [0.3, 0.6]
+
+    def test_negative_utility_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            expected_group_utilities(
+                np.array([[0.5, 0.5]]), np.array([-1.0, 1.0])
+            )
+
+    def test_loan_example_from_paper(self):
+        """A ln(3)-DF approval process can award at most 3x the expected
+        utility (Section 3.3's randomized-response calibration)."""
+        probs = np.array([[0.75, 0.25], [0.25, 0.75]])  # exactly ln(3)-DF
+        result = epsilon_from_probabilities(probs)
+        assert result.epsilon == pytest.approx(math.log(3))
+        disparity = utility_disparity(result, np.array([0.0, 1.0]))
+        assert disparity.ratio == pytest.approx(3.0)
+        assert disparity.satisfies_bound()
+
+    def test_disparity_holds_for_any_nonnegative_utility(self, rng):
+        probs = np.array([[0.6, 0.1, 0.3], [0.3, 0.3, 0.4], [0.25, 0.25, 0.5]])
+        result = epsilon_from_probabilities(probs)
+        for _ in range(50):
+            utilities = rng.random(3) * 10
+            disparity = utility_disparity(result, utilities)
+            assert disparity.satisfies_bound(tolerance=1e-9)
+
+    def test_single_group_rejected(self):
+        result = epsilon_from_probabilities(
+            [[0.5, 0.5], [np.nan, np.nan]]
+        )
+        with pytest.raises(ValidationError):
+            utility_disparity(result, np.array([0.0, 1.0]))

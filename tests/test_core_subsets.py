@@ -1,0 +1,129 @@
+"""Tests for repro.core.subsets (Theorem 3.1/3.2 machinery, Table 2)."""
+
+import math
+
+import pytest
+
+from repro.core.subsets import (
+    all_nonempty_subsets,
+    subset_sweep,
+    theorem_subset_bound,
+)
+from repro.exceptions import ValidationError
+from repro.tabular.crosstab import crosstab
+from repro.tabular.table import Table
+
+
+class TestAllNonemptySubsets:
+    def test_counts(self):
+        assert len(all_nonempty_subsets(["a", "b", "c"])) == 7
+
+    def test_order_smallest_first(self):
+        subsets = all_nonempty_subsets(["a", "b"])
+        assert subsets == [("a",), ("b",), ("a", "b")]
+
+    def test_empty_input(self):
+        assert all_nonempty_subsets([]) == []
+
+
+class TestSubsetSweep:
+    def test_sweep_covers_all_subsets(self, hiring_table):
+        sweep = subset_sweep(
+            hiring_table, protected=["gender", "race"], outcome="hired"
+        )
+        assert set(sweep.results) == {("gender",), ("race",), ("gender", "race")}
+
+    def test_full_epsilon(self, hiring_table):
+        sweep = subset_sweep(
+            hiring_table, protected=["gender", "race"], outcome="hired"
+        )
+        assert sweep.full_epsilon == pytest.approx(math.log(3))
+
+    def test_marginal_epsilons(self, hiring_table):
+        sweep = subset_sweep(
+            hiring_table, protected=["gender", "race"], outcome="hired"
+        )
+        assert sweep.epsilon("gender") == 0.0
+        # Race X: 5/8 hired, Y: 3/8 -> log(5/3) on yes.
+        assert sweep.epsilon(["race"]) == pytest.approx(math.log(5.0 / 3.0))
+
+    def test_order_insensitive_lookup(self, hiring_table):
+        sweep = subset_sweep(
+            hiring_table, protected=["gender", "race"], outcome="hired"
+        )
+        assert sweep.epsilon(["race", "gender"]) == sweep.full_epsilon
+
+    def test_unknown_attribute_rejected(self, hiring_table):
+        sweep = subset_sweep(
+            hiring_table, protected=["gender", "race"], outcome="hired"
+        )
+        with pytest.raises(ValidationError):
+            sweep.epsilon(["height"])
+
+    def test_theorem_bound(self, hiring_table):
+        sweep = subset_sweep(
+            hiring_table, protected=["gender", "race"], outcome="hired"
+        )
+        assert sweep.theorem_bound() == pytest.approx(2 * math.log(3))
+        assert theorem_subset_bound(1.5) == 3.0
+
+    def test_no_theorem_violations(self, hiring_table):
+        sweep = subset_sweep(
+            hiring_table, protected=["gender", "race"], outcome="hired"
+        )
+        assert sweep.theorem_violations() == []
+
+    def test_no_monotonicity_violations_for_mle(self, hiring_table):
+        sweep = subset_sweep(
+            hiring_table, protected=["gender", "race"], outcome="hired"
+        )
+        assert sweep.monotonicity_violations() == []
+
+    def test_accepts_contingency(self, hiring_table):
+        contingency = crosstab(hiring_table, ["gender", "race"], "hired")
+        sweep = subset_sweep(contingency)
+        assert sweep.full_epsilon == pytest.approx(math.log(3))
+
+    def test_contingency_plus_names_rejected(self, hiring_table):
+        contingency = crosstab(hiring_table, ["gender"], "hired")
+        with pytest.raises(ValidationError):
+            subset_sweep(contingency, protected=["gender"], outcome="hired")
+
+    def test_rows_sorted_by_epsilon(self, hiring_table):
+        sweep = subset_sweep(
+            hiring_table, protected=["gender", "race"], outcome="hired"
+        )
+        epsilons = [row[1] for row in sweep.to_rows()]
+        assert epsilons == sorted(epsilons)
+
+    def test_to_text(self, hiring_table):
+        sweep = subset_sweep(
+            hiring_table, protected=["gender", "race"], outcome="hired"
+        )
+        text = sweep.to_text()
+        assert "gender, race" in text
+        assert "epsilon" in text.lower()
+
+
+class TestSimpsonsReversalSafety:
+    """A Simpson's reversal cannot push a marginal epsilon past 2x the
+    intersectional epsilon (the motivating property of Theorem 3.1)."""
+
+    def test_reversal_table(self):
+        # Admissions reverse between genders when aggregating over race.
+        table = Table.from_dict(
+            {
+                "gender": ["A"] * 20 + ["B"] * 20,
+                "race": ["1"] * 16 + ["2"] * 4 + ["1"] * 4 + ["2"] * 16,
+                "admit": (
+                    ["yes"] * 15 + ["no"] * 1      # A,1: 15/16
+                    + ["yes"] * 1 + ["no"] * 3     # A,2: 1/4
+                    + ["yes"] * 3 + ["no"] * 1     # B,1: 3/4
+                    + ["yes"] * 2 + ["no"] * 14    # B,2: 2/16
+                ),
+            }
+        )
+        sweep = subset_sweep(table, protected=["gender", "race"], outcome="admit")
+        assert sweep.theorem_violations() == []
+        assert sweep.epsilon("gender") <= 2 * sweep.full_epsilon
+        assert sweep.epsilon("race") <= 2 * sweep.full_epsilon

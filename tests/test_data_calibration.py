@@ -1,0 +1,129 @@
+"""Tests for repro.data.calibration (the frozen-cell regeneration)."""
+
+import math
+
+import pytest
+
+from repro.core.empirical import edf_from_contingency
+from repro.data.calibration import (
+    REAL_TRAIN_MARGINS,
+    TEST_SMOOTHED_TARGET,
+    TRAIN_EPSILON_TARGETS,
+    IntegerCellSearch,
+    calibrate_test_cells,
+    calibrate_train_cells,
+    cells_epsilon,
+    marginalize_cells,
+    verify_margins,
+)
+from repro.data.synthetic_adult import FROZEN_TRAIN_CELLS
+from repro.exceptions import CalibrationError
+from repro.tabular.crosstab import ContingencyTable
+
+
+class TestCellsEpsilon:
+    def test_agrees_with_core_implementation(self):
+        """The calibration's self-contained epsilon matches repro.core."""
+        cells = {("a",): (100, 30), ("b",): (50, 5), ("c",): (70, 35)}
+        contingency = ContingencyTable.from_group_counts(
+            {key: [n - k, k] for key, (n, k) in cells.items()},
+            factor_names=["g"],
+            outcome_name="y",
+            outcome_levels=["no", "yes"],
+        )
+        assert cells_epsilon(cells) == pytest.approx(
+            edf_from_contingency(contingency).epsilon
+        )
+
+    def test_smoothed_agrees_with_core(self):
+        from repro.core.estimators import DirichletEstimator
+
+        cells = {("a",): (10, 3), ("b",): (5, 0)}
+        contingency = ContingencyTable.from_group_counts(
+            {key: [n - k, k] for key, (n, k) in cells.items()},
+            factor_names=["g"],
+            outcome_name="y",
+            outcome_levels=["no", "yes"],
+        )
+        assert cells_epsilon(cells, alpha=1.0) == pytest.approx(
+            edf_from_contingency(contingency, DirichletEstimator(1.0)).epsilon
+        )
+
+    def test_zero_positive_gives_inf(self):
+        assert cells_epsilon({("a",): (10, 0), ("b",): (10, 5)}) == math.inf
+
+    def test_single_group_is_zero(self):
+        assert cells_epsilon({("a",): (10, 5)}) == 0.0
+
+    def test_empty_cells_skipped(self):
+        assert cells_epsilon({("a",): (0, 0), ("b",): (10, 5)}) == 0.0
+
+
+class TestMarginalize:
+    def test_sums(self):
+        cells = {("a", "x"): (10, 1), ("a", "y"): (20, 2), ("b", "x"): (5, 5)}
+        reduced = marginalize_cells(cells, [0])
+        assert reduced[("a",)] == (30, 3)
+        assert reduced[("b",)] == (5, 5)
+
+    def test_verify_margins_detects_mismatch(self):
+        bad = dict(FROZEN_TRAIN_CELLS)
+        key = ("Male", "White", "United-States")
+        members, positives = bad[key]
+        bad[key] = (members + 1, positives)
+        with pytest.raises(CalibrationError):
+            verify_margins(bad, REAL_TRAIN_MARGINS)
+
+
+class TestIntegerCellSearch:
+    def test_descends(self):
+        target = 40
+
+        def build(params):
+            value = params["x"]
+            if value < 0:
+                return None
+            return {("only",): (100, value)}
+
+        def loss(cells):
+            return (cells[("only",)][1] - target) ** 2
+
+        search = IntegerCellSearch(
+            build, loss, moves=[("x", d) for d in (-8, -4, -1, 1, 4, 8)],
+            seed=0, iterations=500,
+        )
+        params, cells, final_loss = search.run({"x": 0})
+        assert final_loss == 0.0
+        assert cells[("only",)][1] == target
+
+    def test_infeasible_start_rejected(self):
+        search = IntegerCellSearch(
+            lambda params: None, lambda cells: 0.0, moves=[("x", 1)]
+        )
+        with pytest.raises(CalibrationError):
+            search.run({"x": 0})
+
+
+class TestRegeneration:
+    def test_train_calibration_hits_all_targets(self):
+        cells = calibrate_train_cells(iterations=20_000, seed=0)
+        verify_margins(cells, REAL_TRAIN_MARGINS)
+        axes = {"gender": 0, "race": 1, "nationality": 2}
+        for subset, target in TRAIN_EPSILON_TARGETS.items():
+            achieved = cells_epsilon(
+                marginalize_cells(cells, [axes[a] for a in subset])
+            )
+            assert achieved == pytest.approx(target, abs=0.005), subset
+
+    def test_test_calibration_hits_smoothed_target(self):
+        test_cells = calibrate_test_cells(
+            FROZEN_TRAIN_CELLS, iterations=10_000, seed=1
+        )
+        assert sum(n for n, _ in test_cells.values()) == 16281
+        assert cells_epsilon(test_cells, alpha=1.0) == pytest.approx(
+            TEST_SMOOTHED_TARGET, abs=0.005
+        )
+
+    def test_impossible_tolerance_raises(self):
+        with pytest.raises(CalibrationError):
+            calibrate_train_cells(iterations=10, seed=0, tolerance=1e-9)

@@ -1,0 +1,119 @@
+"""Direct tests of the census feature model (repro.data.census_features)."""
+
+import numpy as np
+import pytest
+
+from repro.data.census_features import (
+    EDUCATION_LEVELS,
+    MARITAL_STATUSES,
+    OCCUPATIONS,
+    RELATIONSHIPS,
+    WORKCLASSES,
+    CensusFeatureModel,
+    _choice_rows,
+)
+
+
+@pytest.fixture
+def model() -> CensusFeatureModel:
+    return CensusFeatureModel()
+
+
+def draw(model, rng, positive, n=4000, cell=("Male", "White", "United-States")):
+    return model.generate(cell[0], cell[1], cell[2], positive, n, rng)
+
+
+class TestChoiceRows:
+    def test_respects_probabilities(self, rng):
+        probs = np.tile(np.array([0.2, 0.8]), (20_000, 1))
+        draws = _choice_rows(rng, ("a", "b"), probs)
+        assert (draws == "b").mean() == pytest.approx(0.8, abs=0.01)
+
+    def test_per_row_probabilities(self, rng):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        draws = _choice_rows(rng, ("a", "b"), probs)
+        assert draws.tolist() == ["a", "b"]
+
+
+class TestGenerate:
+    def test_empty_block(self, model, rng):
+        assert draw(model, rng, True, n=0) == {}
+
+    def test_all_columns_present(self, model, rng):
+        block = draw(model, rng, False, n=10)
+        assert set(block) == {
+            "age", "workclass", "fnlwgt", "education", "education_num",
+            "marital_status", "occupation", "relationship", "capital_gain",
+            "capital_loss", "hours_per_week",
+        }
+        assert all(len(values) == 10 for values in block.values())
+
+    def test_categorical_values_in_vocabulary(self, model, rng):
+        block = draw(model, rng, True, n=2000)
+        assert set(block["education"]) <= set(EDUCATION_LEVELS)
+        assert set(block["workclass"]) <= set(WORKCLASSES)
+        assert set(block["marital_status"]) <= set(MARITAL_STATUSES)
+        assert set(block["occupation"]) <= set(OCCUPATIONS)
+        assert set(block["relationship"]) <= set(RELATIONSHIPS)
+
+    def test_label_shifts_education(self, model, rng):
+        rich = draw(model, rng, True)["education_num"].mean()
+        poor = draw(model, rng, False)["education_num"].mean()
+        assert rich - poor > 1.0
+
+    def test_label_shifts_hours_and_age(self, model, rng):
+        rich = draw(model, rng, True)
+        poor = draw(model, rng, False)
+        assert rich["hours_per_week"].mean() > poor["hours_per_week"].mean()
+        assert rich["age"].mean() > poor["age"].mean()
+
+    def test_structural_bias_leaks_into_features(self, model, rng):
+        """Same label, different cell: the proxies differ — the mechanism
+        behind Table 3's 'withholding the attribute is not enough'."""
+        advantaged = model.generate(
+            "Male", "White", "United-States", False, 6000, rng
+        )
+        disadvantaged = model.generate(
+            "Female", "Other", "Other", False, 6000, rng
+        )
+        assert (
+            advantaged["education_num"].mean()
+            > disadvantaged["education_num"].mean() + 0.5
+        )
+
+    def test_wives_only_in_female_blocks(self, model, rng):
+        male_block = model.generate(
+            "Male", "White", "United-States", True, 3000, rng
+        )
+        assert "Wife" not in set(male_block["relationship"])
+        female_block = model.generate(
+            "Female", "White", "United-States", True, 3000, rng
+        )
+        assert "Husband" not in set(female_block["relationship"])
+
+    def test_capital_gain_zero_inflated(self, model, rng):
+        block = draw(model, rng, False)
+        gains = block["capital_gain"]
+        assert (gains == 0).mean() > 0.9
+        positive_gains = gains[gains > 0]
+        if positive_gains.size:
+            assert positive_gains.min() >= 114
+
+    def test_label_pull_controls_separation(self, rng):
+        weak = CensusFeatureModel(label_pull=0.2)
+        strong = CensusFeatureModel(label_pull=3.0)
+        weak_gap = (
+            draw(weak, rng, True)["education_num"].mean()
+            - draw(weak, rng, False)["education_num"].mean()
+        )
+        strong_gap = (
+            draw(strong, rng, True)["education_num"].mean()
+            - draw(strong, rng, False)["education_num"].mean()
+        )
+        assert strong_gap > weak_gap
+
+    def test_deterministic_given_rng_state(self, model):
+        first = draw(model, np.random.default_rng(5), True, n=50)
+        second = draw(model, np.random.default_rng(5), True, n=50)
+        for name in first:
+            assert np.array_equal(first[name], second[name]), name

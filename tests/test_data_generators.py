@@ -1,0 +1,156 @@
+"""Tests for repro.data.generators and repro.data.adult."""
+
+import pytest
+
+from repro.data.adult import (
+    ADULT_COLUMNS,
+    AdultPreprocessing,
+    load_adult,
+    preprocess_adult,
+)
+from repro.data.generators import expand_cells_to_table, sample_outcome_table
+from repro.exceptions import ValidationError
+
+
+class TestExpandCells:
+    def test_exact_counts(self):
+        table = expand_cells_to_table(
+            {("a",): [2, 3], ("b",): [1, 0]},
+            attribute_names=["g"],
+            outcome_name="y",
+            outcome_levels=["no", "yes"],
+        )
+        assert table.n_rows == 6
+        counts = table.value_counts("y")
+        assert counts == {"no": 3, "yes": 3}
+
+    def test_crosstab_roundtrip(self):
+        from repro.tabular.crosstab import crosstab
+
+        cells = {("a", "x"): [5, 2], ("b", "y"): [0, 7]}
+        table = expand_cells_to_table(
+            cells, ["g", "h"], "y", ["neg", "pos"], shuffle_seed=3
+        )
+        contingency = crosstab(table, ["g", "h"], "y")
+        assert contingency.cell(("a", "x"), "pos") == 2
+        assert contingency.cell(("b", "y"), "pos") == 7
+
+    def test_shuffle_preserves_counts(self):
+        cells = {("a",): [10, 10]}
+        plain = expand_cells_to_table(cells, ["g"], "y", ["n", "p"])
+        shuffled = expand_cells_to_table(cells, ["g"], "y", ["n", "p"], shuffle_seed=1)
+        assert plain.value_counts("y") == shuffled.value_counts("y")
+
+    def test_arity_checked(self):
+        with pytest.raises(ValidationError):
+            expand_cells_to_table({("a", "b"): [1, 1]}, ["g"], "y", ["n", "p"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            expand_cells_to_table({}, ["g"], "y", ["n", "p"])
+        with pytest.raises(ValidationError):
+            expand_cells_to_table({("a",): [0, 0]}, ["g"], "y", ["n", "p"])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            expand_cells_to_table({("a",): [-1, 2]}, ["g"], "y", ["n", "p"])
+
+
+class TestSampleOutcomeTable:
+    def test_rates_approximate(self):
+        table = sample_outcome_table(
+            cell_sizes={("a",): 5000, ("b",): 5000},
+            positive_rates={("a",): 0.2, ("b",): 0.6},
+            attribute_names=["g"],
+            seed=0,
+        )
+        from repro.tabular.groupby import group_by
+
+        rates = group_by(table, "g").rate("outcome", "positive")
+        assert rates[("a",)] == pytest.approx(0.2, abs=0.02)
+        assert rates[("b",)] == pytest.approx(0.6, abs=0.02)
+
+    def test_missing_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            sample_outcome_table(
+                {("a",): 10}, {}, attribute_names=["g"], seed=0
+            )
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            sample_outcome_table(
+                {("a",): 10}, {("a",): 1.5}, attribute_names=["g"], seed=0
+            )
+
+    def test_deterministic(self):
+        kwargs = dict(
+            cell_sizes={("a",): 100},
+            positive_rates={("a",): 0.5},
+            attribute_names=["g"],
+        )
+        first = sample_outcome_table(seed=9, **kwargs)
+        second = sample_outcome_table(seed=9, **kwargs)
+        assert first.to_dict() == second.to_dict()
+
+
+ADULT_SAMPLE = (
+    "39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical,"
+    " Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K\n"
+    "50, Self-emp-not-inc, 83311, Bachelors, 13, Married-civ-spouse,"
+    " Exec-managerial, Husband, Amer-Indian-Eskimo, Male, 0, 0, 13,"
+    " Cuba, >50K\n"
+    "28, Private, 338409, Bachelors, 13, Married-civ-spouse, Prof-specialty,"
+    " Wife, Black, Female, 0, 0, 40, ?, <=50K\n"
+)
+
+ADULT_TEST_SAMPLE = (
+    "|1x3 Cross validator\n"
+    "25, Private, 226802, 11th, 7, Never-married, Machine-op-inspct,"
+    " Own-child, Other, Male, 0, 0, 40, United-States, <=50K.\n"
+)
+
+
+class TestAdultLoader:
+    def test_load_train_style(self, tmp_path):
+        path = tmp_path / "adult.data"
+        path.write_text(ADULT_SAMPLE)
+        table = load_adult(path)
+        assert table.n_rows == 3
+        assert table.column_names == ADULT_COLUMNS
+        assert table.column("income").to_list() == ["<=50K", ">50K", "<=50K"]
+
+    def test_load_test_style_strips_periods_and_header(self, tmp_path):
+        path = tmp_path / "adult.test"
+        path.write_text(ADULT_TEST_SAMPLE)
+        table = load_adult(path)
+        assert table.n_rows == 1
+        assert table.column("income").to_list() == ["<=50K"]
+
+    def test_preprocess_binarizes_nationality(self, tmp_path):
+        path = tmp_path / "adult.data"
+        path.write_text(ADULT_SAMPLE)
+        table = preprocess_adult(load_adult(path))
+        assert table.column("nationality").to_list() == [
+            "United-States",
+            "Other",
+            "Other",
+        ]
+
+    def test_preprocess_merges_races(self, tmp_path):
+        path = tmp_path / "adult.data"
+        path.write_text(ADULT_SAMPLE)
+        table = preprocess_adult(load_adult(path))
+        races = table.column("race").to_list()
+        assert races[1] == "Other"  # Amer-Indian-Eskimo merged
+        assert "sex" not in table
+        assert "gender" in table
+
+    def test_preprocess_options(self, tmp_path):
+        path = tmp_path / "adult.data"
+        path.write_text(ADULT_SAMPLE)
+        options = AdultPreprocessing(
+            merge_small_races=False, binarize_nationality=False
+        )
+        table = preprocess_adult(load_adult(path), options)
+        assert "Amer-Indian-Eskimo" in table.column("race").to_list()
+        assert "Cuba" in table.column("nationality").to_list()

@@ -1,0 +1,112 @@
+"""Tests for the Table 1 (Simpson's paradox) data — exact paper numbers."""
+
+import math
+
+import pytest
+
+from repro.core.empirical import dataset_edf, edf_from_contingency
+from repro.core.subsets import subset_sweep
+from repro.data.kidney import (
+    ADMISSIONS_CELLS,
+    PAPER_TABLE1_BOUND,
+    PAPER_TABLE1_EPSILONS,
+    admissions_contingency,
+    admissions_table,
+    kidney_treatment_contingency,
+)
+
+
+class TestData:
+    def test_cell_totals_match_paper(self):
+        totals = {
+            cell: sum(counts) for cell, counts in ADMISSIONS_CELLS.items()
+        }
+        assert totals == {
+            ("A", "1"): 87,
+            ("B", "1"): 270,
+            ("A", "2"): 263,
+            ("B", "2"): 80,
+        }
+        assert sum(totals.values()) == 700
+
+    def test_overall_admission_probabilities(self):
+        """273/350 for Gender A and 289/350 for Gender B (Table 1)."""
+        contingency = admissions_contingency().marginalize(["gender"])
+        assert contingency.cell(("A",), "yes") == 273
+        assert contingency.cell(("B",), "yes") == 289
+        assert contingency.group_sizes().tolist() == [350.0, 350.0]
+
+    def test_race_margins(self):
+        contingency = admissions_contingency().marginalize(["race"])
+        assert contingency.cell(("1",), "yes") == 315
+        assert contingency.cell(("2",), "yes") == 247
+
+    def test_table_expansion_consistent(self):
+        table = admissions_table()
+        assert table.n_rows == 700
+        from repro.tabular.crosstab import crosstab
+
+        rebuilt = crosstab(table, ["gender", "race"], "admitted")
+        assert rebuilt.cell(("A", "1"), "yes") == 81
+
+    def test_simpsons_reversal_present(self):
+        """Gender A wins within each race but loses overall."""
+        contingency = admissions_contingency()
+        rate = lambda g, r: contingency.cell((g, r), "yes") / (
+            contingency.cell((g, r), "yes") + contingency.cell((g, r), "no")
+        )
+        assert rate("A", "1") > rate("B", "1")
+        assert rate("A", "2") > rate("B", "2")
+        marginal = contingency.marginalize(["gender"])
+        overall = lambda g: marginal.cell((g,), "yes") / 350
+        assert overall("A") < overall("B")
+
+
+class TestPaperEpsilons:
+    def test_intersectional_epsilon(self):
+        result = edf_from_contingency(admissions_contingency())
+        assert result.epsilon == pytest.approx(
+            PAPER_TABLE1_EPSILONS[("gender", "race")], abs=5e-4
+        )
+
+    def test_marginal_epsilons(self):
+        sweep = subset_sweep(admissions_contingency())
+        assert sweep.epsilon("gender") == pytest.approx(
+            PAPER_TABLE1_EPSILONS[("gender",)], abs=5e-5
+        )
+        assert sweep.epsilon("race") == pytest.approx(
+            PAPER_TABLE1_EPSILONS[("race",)], abs=5e-5
+        )
+
+    def test_theorem_bound_value(self):
+        sweep = subset_sweep(admissions_contingency())
+        assert sweep.theorem_bound() == pytest.approx(PAPER_TABLE1_BOUND, abs=1e-3)
+        assert sweep.theorem_violations() == []
+
+    def test_witness_is_rejection_of_a1(self):
+        """The binding ratio is the 'no' outcome: (B,2) vs (A,1)."""
+        result = edf_from_contingency(admissions_contingency())
+        assert result.witness.outcome == "no"
+        assert result.witness.group_high == ("B", "2")
+        assert result.witness.group_low == ("A", "1")
+
+    def test_row_level_table_gives_same_epsilon(self):
+        result = dataset_edf(
+            admissions_table(), protected=["gender", "race"], outcome="admitted"
+        )
+        assert result.epsilon == pytest.approx(1.511, abs=5e-4)
+
+
+class TestKidneyFraming:
+    def test_same_counts_different_labels(self):
+        kidney = kidney_treatment_contingency()
+        assert kidney.factor_names == ["treatment", "stone_size"]
+        assert kidney.cell(("A", "small"), "yes") == 81
+
+    def test_same_epsilon_as_admissions(self):
+        """Relabelling cannot change epsilon."""
+        assert edf_from_contingency(
+            kidney_treatment_contingency()
+        ).epsilon == pytest.approx(
+            edf_from_contingency(admissions_contingency()).epsilon
+        )

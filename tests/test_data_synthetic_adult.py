@@ -1,0 +1,165 @@
+"""Tests for the calibrated synthetic Adult data — the Table 2 numbers."""
+
+import numpy as np
+import pytest
+
+from repro.core.empirical import dataset_edf
+from repro.core.estimators import DirichletEstimator
+from repro.core.subsets import subset_sweep
+from repro.data.calibration import (
+    REAL_TRAIN_MARGINS,
+    cells_epsilon,
+    marginalize_cells,
+    verify_margins,
+)
+from repro.data.synthetic_adult import (
+    FROZEN_TEST_CELLS,
+    FROZEN_TRAIN_CELLS,
+    OUTCOME,
+    PAPER_TABLE2,
+    PAPER_TEST_SMOOTHED_EPSILON,
+    PROTECTED,
+    SyntheticAdult,
+)
+from repro.tabular.crosstab import crosstab
+
+
+class TestFrozenCells:
+    def test_train_margins_are_real_adult(self):
+        """The frozen training cells reproduce every documented margin of
+        the real Adult training split exactly."""
+        verify_margins(FROZEN_TRAIN_CELLS, REAL_TRAIN_MARGINS)
+
+    def test_train_total(self):
+        assert sum(n for n, _ in FROZEN_TRAIN_CELLS.values()) == 32561
+        assert sum(k for _, k in FROZEN_TRAIN_CELLS.values()) == 7841
+
+    def test_test_total(self):
+        assert sum(n for n, _ in FROZEN_TEST_CELLS.values()) == 16281
+
+    def test_all_sixteen_cells_present(self):
+        assert len(FROZEN_TRAIN_CELLS) == 16
+        assert len(FROZEN_TEST_CELLS) == 16
+
+    def test_positives_bounded_by_members(self):
+        for cells in (FROZEN_TRAIN_CELLS, FROZEN_TEST_CELLS):
+            for key, (members, positives) in cells.items():
+                assert 0 <= positives <= members, key
+
+    @pytest.mark.parametrize("subset,target", list(PAPER_TABLE2.items()))
+    def test_table2_epsilons(self, subset, target):
+        axes = {"gender": 0, "race": 1, "nationality": 2}
+        keep = [axes[name] for name in subset]
+        epsilon = cells_epsilon(marginalize_cells(FROZEN_TRAIN_CELLS, keep))
+        assert epsilon == pytest.approx(target, abs=0.005)
+
+    def test_test_smoothed_epsilon(self):
+        epsilon = cells_epsilon(FROZEN_TEST_CELLS, alpha=1.0)
+        assert epsilon == pytest.approx(PAPER_TEST_SMOOTHED_EPSILON, abs=0.005)
+
+
+class TestGeneratedTables:
+    @pytest.fixture(scope="class")
+    def bare(self) -> SyntheticAdult:
+        return SyntheticAdult(seed=0, features=False)
+
+    def test_row_counts(self, bare):
+        assert bare.train().n_rows == 32561
+        assert bare.test().n_rows == 16281
+
+    def test_contingency_matches_frozen(self, bare):
+        contingency = crosstab(bare.train(), list(PROTECTED), OUTCOME)
+        for key, (members, positives) in FROZEN_TRAIN_CELLS.items():
+            assert contingency.cell(key, ">50K") == positives
+            assert contingency.cell(key, "<=50K") == members - positives
+
+    def test_sweep_matches_paper_table2(self, bare):
+        sweep = subset_sweep(
+            bare.train(), protected=list(PROTECTED), outcome=OUTCOME
+        )
+        for subset, target in PAPER_TABLE2.items():
+            assert sweep.epsilon(subset) == pytest.approx(target, abs=0.005)
+
+    def test_test_split_smoothed_epsilon(self, bare):
+        result = dataset_edf(
+            bare.test(),
+            protected=list(PROTECTED),
+            outcome=OUTCOME,
+            estimator=DirichletEstimator(1.0),
+        )
+        assert result.epsilon == pytest.approx(2.06, abs=0.005)
+
+    def test_deterministic_given_seed(self):
+        first = SyntheticAdult(seed=3, features=False).train()
+        second = SyntheticAdult(seed=3, features=False).train()
+        assert first.to_dict() == second.to_dict()
+
+    def test_seed_changes_shuffle_not_counts(self, bare):
+        other = SyntheticAdult(seed=99, features=False).train()
+        contingency = crosstab(other, list(PROTECTED), OUTCOME)
+        for key, (members, positives) in FROZEN_TRAIN_CELLS.items():
+            assert contingency.cell(key, ">50K") == positives
+
+
+class TestFeatureGeneration:
+    @pytest.fixture(scope="class")
+    def train(self):
+        return SyntheticAdult(seed=0, features=True).train()
+
+    def test_has_adult_schema(self, train):
+        assert train.column_names == [
+            "age", "workclass", "fnlwgt", "education", "education_num",
+            "marital_status", "occupation", "relationship", "race", "gender",
+            "capital_gain", "capital_loss", "hours_per_week", "nationality",
+            "income",
+        ]
+
+    def test_numeric_ranges(self, train):
+        age = train.column("age").values
+        assert age.min() >= 17 and age.max() <= 90
+        hours = train.column("hours_per_week").values
+        assert hours.min() >= 1 and hours.max() <= 99
+        edu = train.column("education_num").values
+        assert edu.min() >= 1 and edu.max() <= 16
+
+    def test_education_label_consistent_with_num(self, train):
+        from repro.data.census_features import EDUCATION_LEVELS
+
+        nums = train.column("education_num").values.astype(int)
+        labels = train.column("education").to_list()
+        for num, label in list(zip(nums, labels))[:500]:
+            assert EDUCATION_LEVELS[num - 1] == label
+
+    def test_features_correlate_with_income(self, train):
+        """The label signal exists: positives have more education."""
+        positives = train.where("income", ">50K")
+        negatives = train.where("income", "<=50K")
+        gap = (
+            positives.column("education_num").values.mean()
+            - negatives.column("education_num").values.mean()
+        )
+        assert gap > 1.0
+
+    def test_married_rate_higher_for_positives(self, train):
+        positives = train.where("income", ">50K")
+        negatives = train.where("income", "<=50K")
+        married = lambda t: np.mean(
+            t.column("marital_status").equals_mask("Married-civ-spouse")
+        )
+        assert married(positives) > married(negatives) + 0.2
+
+    def test_capital_gain_mostly_zero(self, train):
+        gains = train.column("capital_gain").values
+        assert (gains == 0).mean() > 0.8
+        assert gains.max() <= 99999
+
+    def test_relationship_consistent_with_gender(self, train):
+        husbands = train.where("relationship", "Husband")
+        assert set(husbands.column("gender").to_list()) == {"Male"}
+        wives = train.where("relationship", "Wife")
+        assert set(wives.column("gender").to_list()) == {"Female"}
+
+    def test_protected_counts_unaffected_by_features(self, train):
+        contingency = crosstab(train, list(PROTECTED), OUTCOME)
+        key = ("Male", "White", "United-States")
+        assert contingency.cell(key, ">50K") == FROZEN_TRAIN_CELLS[key][1]

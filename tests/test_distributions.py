@@ -1,0 +1,161 @@
+"""Tests for repro.distributions (base, gaussian, categorical, empirical)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.base import UncertaintySet
+from repro.distributions.categorical import JointCategorical
+from repro.distributions.empirical import EmpiricalGroupDistribution
+from repro.distributions.gaussian import GroupGaussianScores
+from repro.exceptions import EmptyGroupError, ValidationError
+
+
+class TestGroupGaussianScores:
+    def test_paper_configuration(self):
+        scores = GroupGaussianScores.paper_worked_example()
+        assert scores.means.tolist() == [10.0, 12.0]
+        assert scores.group_labels() == [(1,), (2,)]
+        assert scores.group_probabilities().tolist() == [0.5, 0.5]
+
+    def test_tail_probability(self):
+        scores = GroupGaussianScores([0.0], [1.0])
+        assert scores.tail_probability((1,), 0.0) == pytest.approx(0.5)
+
+    def test_cdf_tail_complement(self):
+        scores = GroupGaussianScores([3.0], [2.0])
+        assert scores.cdf((1,), 4.0) + scores.tail_probability(
+            (1,), 4.0
+        ) == pytest.approx(1.0)
+
+    def test_sampling_moments(self, rng):
+        scores = GroupGaussianScores([10.0, 12.0], [1.0, 2.0])
+        draws = scores.sample_features((2,), 50_000, rng)
+        assert draws.mean() == pytest.approx(12.0, abs=0.05)
+        assert draws.std() == pytest.approx(2.0, abs=0.05)
+
+    def test_unknown_group(self, rng):
+        scores = GroupGaussianScores([0.0], [1.0])
+        with pytest.raises(EmptyGroupError):
+            scores.sample_features((9,), 10, rng)
+
+    def test_zero_probability_group_excluded(self, rng):
+        scores = GroupGaussianScores([0.0, 1.0], [1.0, 1.0], probabilities=[1.0, 0.0])
+        assert scores.positive_groups() == [(1,)]
+        with pytest.raises(EmptyGroupError):
+            scores.require_group((2,))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            GroupGaussianScores([0.0], [0.0])  # zero std
+        with pytest.raises(ValidationError):
+            GroupGaussianScores([0.0, 1.0], [1.0])  # shape mismatch
+        with pytest.raises(ValidationError):
+            GroupGaussianScores([0.0], [1.0], probabilities=[0.4])  # not 1
+
+
+class TestJointCategorical:
+    @pytest.fixture
+    def joint(self) -> JointCategorical:
+        table = np.array([[0.2, 0.2], [0.1, 0.5]])
+        return JointCategorical(
+            table, ["g1", "g2"], ["x1", "x2"], attribute_names=("group",)
+        )
+
+    def test_group_probabilities(self, joint):
+        assert joint.group_probabilities().tolist() == [0.4, 0.6]
+
+    def test_conditional(self, joint):
+        assert joint.conditional_feature_probabilities(("g1",)).tolist() == [
+            0.5,
+            0.5,
+        ]
+
+    def test_sampling_distribution(self, joint, rng):
+        draws = joint.sample_features(("g2",), 60_000, rng)
+        fraction_x2 = (draws == "x2").mean()
+        assert fraction_x2 == pytest.approx(0.5 / 0.6, abs=0.01)
+
+    def test_exact_outcome_probabilities(self, joint):
+        conditional = np.array([[1.0, 0.0], [0.0, 1.0]])
+        result = joint.exact_outcome_probabilities(conditional)
+        assert result[0].tolist() == [0.5, 0.5]
+        assert result[1, 1] == pytest.approx(5.0 / 6.0)
+
+    def test_marginalize_groups(self):
+        table = np.array([[0.1, 0.1], [0.2, 0.2], [0.15, 0.05], [0.1, 0.1]])
+        joint = JointCategorical(
+            table,
+            [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")],
+            ["f1", "f2"],
+            attribute_names=("first", "second"),
+        )
+        reduced = joint.marginalize_groups([0])
+        assert reduced.attribute_names == ("first",)
+        assert reduced.group_probabilities().tolist() == pytest.approx([0.6, 0.4])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            JointCategorical(np.array([[0.5, 0.6]]), ["g"], ["a", "b"])  # sum > 1
+        with pytest.raises(ValidationError):
+            JointCategorical(
+                np.array([[0.5, 0.5]]), ["g"], ["a", "b"],
+                attribute_names=("p", "q"),  # arity mismatch
+            )
+
+
+class TestEmpiricalGroupDistribution:
+    def test_groups_and_probabilities(self, hiring_table):
+        dist = EmpiricalGroupDistribution(hiring_table, ["gender", "race"])
+        assert len(dist.group_labels()) == 4
+        assert dist.group_probabilities().tolist() == [0.25] * 4
+
+    def test_feature_columns_default(self, hiring_table):
+        dist = EmpiricalGroupDistribution(hiring_table, ["gender"])
+        assert dist.feature_columns == ["race", "hired"]
+
+    def test_all_group_features(self, numeric_table):
+        dist = EmpiricalGroupDistribution(
+            numeric_table, ["group"], feature_columns=["x"]
+        )
+        features = dist.all_group_features(("b",))
+        assert features[:, 0].tolist() == [3.0, 4.0, 5.0]
+
+    def test_bootstrap_stays_within_group(self, numeric_table, rng):
+        dist = EmpiricalGroupDistribution(
+            numeric_table, ["group"], feature_columns=["x"]
+        )
+        draws = dist.sample_features(("a",), 500, rng)
+        assert set(draws[:, 0].tolist()) <= {1.0, 2.0}
+
+    def test_unknown_group(self, numeric_table, rng):
+        dist = EmpiricalGroupDistribution(numeric_table, ["group"])
+        with pytest.raises(EmptyGroupError):
+            dist.sample_features(("zzz",), 5, rng)
+
+
+class TestUncertaintySet:
+    def test_point(self):
+        theta = UncertaintySet.point(GroupGaussianScores([0.0], [1.0]))
+        assert len(theta) == 1
+
+    def test_iteration_and_indexing(self):
+        members = [
+            GroupGaussianScores([0.0], [1.0]),
+            GroupGaussianScores([1.0], [1.0]),
+        ]
+        theta = UncertaintySet(members)
+        assert list(theta) == members
+        assert theta[1] is members[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            UncertaintySet([])
+
+    def test_mismatched_attributes_rejected(self):
+        with pytest.raises(ValidationError):
+            UncertaintySet(
+                [
+                    GroupGaussianScores([0.0], [1.0], attribute_name="a"),
+                    GroupGaussianScores([0.0], [1.0], attribute_name="b"),
+                ]
+            )

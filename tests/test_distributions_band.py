@@ -1,0 +1,134 @@
+"""Tests for the Gaussian uncertainty band (the paper's Θ example)."""
+
+import math
+
+import pytest
+
+from repro.core.analytic import gaussian_threshold_epsilon
+from repro.core.mechanism import mechanism_epsilon
+from repro.distributions.gaussian import GroupGaussianScores
+from repro.distributions.gaussian_band import GaussianScoreBand
+from repro.exceptions import ValidationError
+from repro.mechanisms.threshold import ScoreThresholdMechanism
+
+
+class TestConstruction:
+    def test_point_band_from_scalars(self):
+        band = GaussianScoreBand([10.0, 12.0], [1.0, 1.0])
+        assert band.group_labels() == [(1,), (2,)]
+
+    def test_interval_validation(self):
+        with pytest.raises(ValidationError):
+            GaussianScoreBand([(5.0, 4.0)], [1.0])  # low > high
+        with pytest.raises(ValidationError):
+            GaussianScoreBand([(0.0, 1.0)], [(0.0, 1.0)])  # sigma touches 0
+        with pytest.raises(ValidationError):
+            GaussianScoreBand([1.0, 2.0], [1.0])  # misaligned
+
+
+class TestAcceptanceIntervals:
+    def test_point_band_degenerate_interval(self):
+        band = GaussianScoreBand([10.0], [1.0])
+        low, high = band.acceptance_interval(0, 10.5)
+        assert low == pytest.approx(high)
+        assert low == pytest.approx(0.3085, abs=5e-5)
+
+    def test_mean_interval_widens(self):
+        band = GaussianScoreBand([(9.5, 10.5)], [1.0])
+        low, high = band.acceptance_interval(0, 10.5)
+        assert low == pytest.approx(0.1587, abs=5e-5)  # mu = 9.5
+        assert high == pytest.approx(0.5)              # mu = 10.5
+
+    def test_sigma_interval_direction_depends_on_side(self):
+        # Below the threshold, larger sigma increases the tail.
+        below = GaussianScoreBand([9.0], [(0.5, 2.0)])
+        low, high = below.acceptance_interval(0, 10.0)
+        assert high == pytest.approx(1 - 0.3085, abs=5e-4) or high > low
+        # Above the threshold, larger sigma decreases the tail.
+        above = GaussianScoreBand([11.0], [(0.5, 2.0)])
+        low2, high2 = above.acceptance_interval(0, 10.0)
+        assert high2 > low2
+
+
+class TestWorstCaseEpsilon:
+    def test_point_band_matches_analytic(self):
+        """A degenerate band reproduces the plain Figure 2 epsilon."""
+        band = GaussianScoreBand([10.0, 12.0], [1.0, 1.0])
+        mechanism = ScoreThresholdMechanism.paper_worked_example()
+        worst = band.worst_case_epsilon(mechanism)
+        exact = gaussian_threshold_epsilon(
+            GroupGaussianScores.paper_worked_example(), mechanism
+        )
+        assert worst.epsilon == pytest.approx(exact.epsilon, abs=1e-9)
+        assert worst.outcome == "no"
+
+    def test_uncertainty_never_decreases_epsilon(self):
+        mechanism = ScoreThresholdMechanism(10.5)
+        point = GaussianScoreBand([10.0, 12.0], [1.0, 1.0])
+        wide = GaussianScoreBand(
+            [(9.5, 10.5), (11.5, 12.5)], [(0.8, 1.2), (0.8, 1.2)]
+        )
+        assert (
+            wide.worst_case_epsilon(mechanism).epsilon
+            > point.worst_case_epsilon(mechanism).epsilon
+        )
+
+    def test_sup_dominates_every_grid_member(self):
+        """The closed-form sup bounds epsilon at every grid θ (and the
+        max over a fine grid approaches it)."""
+        band = GaussianScoreBand(
+            [(9.8, 10.2), (11.8, 12.2)], [(0.9, 1.1), (0.9, 1.1)]
+        )
+        mechanism = ScoreThresholdMechanism(10.5)
+        sup = band.worst_case_epsilon(mechanism).epsilon
+        grid_epsilons = [
+            gaussian_threshold_epsilon(theta, mechanism).epsilon
+            for theta in band.grid(resolution=3)
+        ]
+        assert max(grid_epsilons) <= sup + 1e-9
+        # Corners are in the grid, so the max is attained exactly.
+        assert max(grid_epsilons) == pytest.approx(sup, abs=1e-9)
+
+    def test_monte_carlo_over_grid_theta(self):
+        """mechanism_epsilon over the grid Θ stays below the band sup."""
+        band = GaussianScoreBand([(9.9, 10.1), 12.0], [1.0, 1.0])
+        mechanism = ScoreThresholdMechanism(10.5)
+        sup = band.worst_case_epsilon(mechanism).epsilon
+        sampled = mechanism_epsilon(
+            mechanism, band.grid(resolution=2), n_samples=30_000, seed=0,
+            exact=False,
+        )
+        assert sampled.epsilon <= sup + 0.05
+
+    def test_single_group_vacuous(self):
+        band = GaussianScoreBand([(9.0, 11.0)], [(0.5, 1.5)])
+        worst = band.worst_case_epsilon(ScoreThresholdMechanism(10.0))
+        assert worst.epsilon == 0.0
+
+    def test_zero_probability_group_excluded(self):
+        band = GaussianScoreBand(
+            [10.0, 99.0], [1.0, 1.0], probabilities=[1.0, 0.0]
+        )
+        worst = band.worst_case_epsilon(ScoreThresholdMechanism(10.5))
+        assert worst.epsilon == 0.0
+
+    def test_to_text(self):
+        band = GaussianScoreBand([(9.5, 10.5), 12.0], [1.0, 1.0])
+        text = band.worst_case_epsilon(
+            ScoreThresholdMechanism(10.5)
+        ).to_text()
+        assert "worst-case epsilon" in text
+        assert "acceptance probability intervals" in text
+
+
+class TestGrid:
+    def test_grid_size(self):
+        band = GaussianScoreBand([(9.0, 10.0), 12.0], [(1.0, 2.0), 1.0])
+        # Group 1: 2x2 parameter combos; group 2: 1x1 (degenerate linspace
+        # still yields resolution^2 duplicates) -> 4 * 4 = 16 members.
+        assert len(band.grid(resolution=2)) == 16
+
+    def test_resolution_validated(self):
+        band = GaussianScoreBand([10.0], [1.0])
+        with pytest.raises(ValidationError):
+            band.grid(resolution=0)

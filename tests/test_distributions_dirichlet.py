@@ -1,0 +1,99 @@
+"""Tests for repro.distributions.dirichlet."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.dirichlet import (
+    Dirichlet,
+    DirichletMultinomial,
+    GroupOutcomePosterior,
+)
+from repro.exceptions import ValidationError
+
+
+class TestDirichlet:
+    def test_mean(self):
+        assert Dirichlet([1.0, 3.0]).mean().tolist() == [0.25, 0.75]
+
+    def test_symmetric(self):
+        dirichlet = Dirichlet.symmetric(2.0, 4)
+        assert dirichlet.alpha.tolist() == [2.0] * 4
+
+    def test_samples_are_distributions(self):
+        samples = Dirichlet([1.0, 2.0, 3.0]).sample(100, seed=0)
+        assert samples.shape == (100, 3)
+        assert np.allclose(samples.sum(axis=1), 1.0)
+        assert (samples >= 0).all()
+
+    def test_sample_mean_matches(self):
+        dirichlet = Dirichlet([5.0, 15.0])
+        samples = dirichlet.sample(50_000, seed=1)
+        assert samples.mean(axis=0) == pytest.approx(
+            dirichlet.mean(), abs=0.005
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Dirichlet([1.0])  # too short
+        with pytest.raises(ValidationError):
+            Dirichlet([1.0, 0.0])  # non-positive
+        with pytest.raises(ValidationError):
+            Dirichlet.symmetric(-1.0, 3)
+
+
+class TestDirichletMultinomial:
+    def test_posterior_mean_is_equation_seven(self):
+        model = DirichletMultinomial([3.0, 1.0], prior_concentration=1.0)
+        assert model.posterior_mean().tolist() == [4.0 / 6.0, 2.0 / 6.0]
+
+    def test_posterior_alpha(self):
+        model = DirichletMultinomial([2.0, 5.0], prior_concentration=0.5)
+        assert model.posterior.alpha.tolist() == [2.5, 5.5]
+
+    def test_sampling(self):
+        samples = DirichletMultinomial([10.0, 10.0]).sample_probabilities(
+            20, seed=0
+        )
+        assert samples.shape == (20, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            DirichletMultinomial([-1.0, 1.0])
+        with pytest.raises(ValidationError):
+            DirichletMultinomial([1.0, 1.0], prior_concentration=0.0)
+
+
+class TestGroupOutcomePosterior:
+    def test_posterior_mean_matrix(self):
+        posterior = GroupOutcomePosterior(
+            np.array([[3.0, 1.0], [0.0, 0.0]]), prior_concentration=1.0
+        )
+        matrix = posterior.posterior_mean_matrix()
+        assert matrix[0].tolist() == [4.0 / 6.0, 2.0 / 6.0]
+        assert np.isnan(matrix[1]).all()
+
+    def test_observed_mask(self):
+        posterior = GroupOutcomePosterior(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        assert posterior.observed_mask().tolist() == [True, False]
+
+    def test_sample_matrix_shape(self):
+        posterior = GroupOutcomePosterior(np.array([[5.0, 5.0], [1.0, 9.0]]))
+        sample = posterior.sample_matrix(seed=0)
+        assert sample.shape == (2, 2)
+        assert np.allclose(sample.sum(axis=1), 1.0)
+
+    def test_sample_matrices(self):
+        posterior = GroupOutcomePosterior(np.array([[5.0, 5.0]]))
+        stack = posterior.sample_matrices(7, seed=0)
+        assert stack.shape == (7, 1, 2)
+
+    def test_empty_group_stays_nan_in_samples(self):
+        posterior = GroupOutcomePosterior(np.array([[5.0, 5.0], [0.0, 0.0]]))
+        sample = posterior.sample_matrix(seed=0)
+        assert np.isnan(sample[1]).all()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            GroupOutcomePosterior(np.array([1.0, 2.0]))  # not 2-D
+        with pytest.raises(ValidationError):
+            GroupOutcomePosterior(np.array([[1.0, -2.0]]))

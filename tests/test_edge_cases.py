@@ -1,0 +1,169 @@
+"""Edge cases and failure injection across the stack."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.empirical import dataset_edf
+from repro.core.epsilon import epsilon_from_probabilities
+from repro.core.subsets import subset_sweep
+from repro.exceptions import (
+    CsvParseError,
+    SchemaError,
+    ValidationError,
+)
+from repro.tabular.column import Column
+from repro.tabular.crosstab import ContingencyTable
+from repro.tabular.csv_io import read_csv_text
+from repro.tabular.table import Table
+
+
+class TestDegenerateTables:
+    def test_single_row_table(self):
+        table = Table(
+            [
+                Column.categorical("g", ["a"]),
+                Column.categorical("y", ["yes"], levels=["no", "yes"]),
+            ]
+        )
+        result = dataset_edf(table, protected="g", outcome="y")
+        assert result.epsilon == 0.0  # one group: vacuous
+
+    def test_single_level_factor(self):
+        table = Table.from_dict(
+            {"g": ["a", "a", "a"], "y": ["yes", "no", "yes"]}
+        )
+        result = dataset_edf(table, protected="g", outcome="y")
+        assert result.epsilon == 0.0
+
+    def test_single_outcome_level_rejected(self):
+        table = Table.from_dict({"g": ["a", "b"], "y": ["yes", "yes"]})
+        with pytest.raises(ValidationError):
+            dataset_edf(table, protected="g", outcome="y")
+
+    def test_all_groups_identical_rates(self):
+        table = Table.from_dict(
+            {
+                "g": ["a", "a", "b", "b"],
+                "y": ["yes", "no", "yes", "no"],
+            }
+        )
+        assert dataset_edf(table, protected="g", outcome="y").epsilon == 0.0
+
+    def test_extremely_unbalanced_groups(self):
+        rows = [("big", "yes")] * 10_000 + [("big", "no")] * 10_000
+        rows += [("tiny", "yes"), ("tiny", "no")]
+        table = Table.from_rows(["g", "y"], rows)
+        result = dataset_edf(table, protected="g", outcome="y")
+        assert result.epsilon == pytest.approx(0.0, abs=1e-12)
+
+
+class TestNumericalExtremes:
+    def test_tiny_probabilities(self):
+        probs = np.array([[1e-12, 1.0 - 1e-12], [0.5, 0.5]])
+        result = epsilon_from_probabilities(probs, validate=False)
+        assert result.epsilon == pytest.approx(math.log(0.5 / 1e-12))
+
+    def test_epsilon_of_near_identical_rows(self):
+        probs = np.array([[0.5, 0.5], [0.5 + 1e-15, 0.5 - 1e-15]])
+        result = epsilon_from_probabilities(probs, validate=False)
+        assert result.epsilon == pytest.approx(0.0, abs=1e-12)
+
+    def test_float_counts_supported(self):
+        contingency = ContingencyTable.from_group_counts(
+            {("a",): [0.5, 1.5], ("b",): [1.25, 0.75]},
+            factor_names=["g"],
+            outcome_name="y",
+            outcome_levels=["no", "yes"],
+        )
+        result = dataset_edf(contingency)
+        assert math.isfinite(result.epsilon)
+
+    def test_huge_counts_no_overflow(self):
+        contingency = ContingencyTable.from_group_counts(
+            {("a",): [1e15, 3e15], ("b",): [2e15, 2e15]},
+            factor_names=["g"],
+            outcome_name="y",
+            outcome_levels=["no", "yes"],
+        )
+        # The "no" side binds: log(0.5 / 0.25).
+        assert dataset_edf(contingency).epsilon == pytest.approx(math.log(2))
+
+
+class TestMalformedInput:
+    def test_csv_with_quoted_commas(self):
+        table = read_csv_text('name,value\n"Smith, Jane",3\n')
+        assert table.column("name").to_list() == ["Smith, Jane"]
+
+    def test_csv_duplicate_header(self):
+        with pytest.raises(SchemaError):
+            read_csv_text("a,a\n1,2\n")
+
+    def test_csv_numeric_column_with_one_bad_cell(self):
+        table = read_csv_text("x\n1\n2\noops\n")
+        # Falls back to categorical rather than corrupting data.
+        assert table.column("x").kind == "categorical"
+
+    def test_csv_entirely_blank(self):
+        with pytest.raises(CsvParseError):
+            read_csv_text("   \n \n")
+
+    def test_unknown_protected_column(self, hiring_table):
+        with pytest.raises(SchemaError):
+            dataset_edf(hiring_table, protected="ghost", outcome="hired")
+
+    def test_numeric_outcome_rejected(self, numeric_table):
+        with pytest.raises(SchemaError):
+            dataset_edf(numeric_table, protected="group", outcome="x")
+
+
+class TestSweepEdgeCases:
+    def test_single_attribute_sweep(self, hiring_table):
+        sweep = subset_sweep(hiring_table, protected=["gender"], outcome="hired")
+        assert list(sweep.results) == [("gender",)]
+        assert sweep.theorem_violations() == []
+
+    def test_sweep_with_infinite_full_epsilon(self):
+        table = Table.from_dict(
+            {
+                "g": ["a", "a", "b", "b"],
+                "h": ["x", "y", "x", "y"],
+                "y": ["yes", "no", "no", "no"],
+            }
+        )
+        sweep = subset_sweep(table, protected=["g", "h"], outcome="y")
+        assert math.isinf(sweep.full_epsilon)
+        assert sweep.theorem_violations() == []  # bound is infinite
+        assert sweep.monotonicity_violations() == []  # skipped when inf
+
+    def test_many_levels(self):
+        rng = np.random.default_rng(0)
+        n = 2000
+        table = Table.from_dict(
+            {
+                "g": [f"group_{i % 25}" for i in range(n)],
+                "y": rng.choice(["no", "yes"], size=n).tolist(),
+            }
+        )
+        result = dataset_edf(table, protected="g", outcome="y")
+        assert len(result.populated_groups()) == 25
+
+
+class TestColumnEdgeCases:
+    def test_level_with_special_characters(self):
+        column = Column.categorical("c", ["a,b", 'quo"te', ""])
+        assert set(column.unique()) == {"a,b", 'quo"te', ""}
+
+    def test_numeric_level_values(self):
+        column = Column.categorical("c", [1, 2, 1])
+        assert column.levels == (1, 2)
+
+    def test_mixed_type_levels(self):
+        column = Column.categorical("c", ["a", 1, "a"])
+        assert len(column.levels) == 2
+
+    def test_take_empty_selection(self, hiring_table):
+        empty = hiring_table.take(np.array([], dtype=np.int64))
+        assert empty.n_rows == 0
+        assert empty.column_names == hiring_table.column_names

@@ -1,0 +1,124 @@
+"""Fairness gerrymandering: differential fairness catches what marginal
+demographic parity misses.
+
+Dwork et al.'s "subset targeting" critique (Section 7.1 of the paper): a
+mechanism can satisfy demographic parity on each attribute *separately*
+while discriminating at their intersections. These tests construct such
+mechanisms and verify that the intersectional epsilon exposes them.
+"""
+
+import math
+
+import pytest
+
+from repro.core.empirical import dataset_edf
+from repro.core.subsets import subset_sweep
+from repro.data.generators import expand_cells_to_table
+from repro.metrics.demographic_parity import demographic_parity_difference
+
+
+def gerrymandered_table():
+    """Approval rates: 0.6/0.2 on one diagonal, 0.2/0.6 on the other.
+
+    Both marginal views see a uniform 0.4 approval rate; the intersections
+    differ by a factor of three.
+    """
+    cells = {
+        ("F", "X"): [40, 60],   # (denied, approved): rate 0.6
+        ("F", "Y"): [80, 20],   # rate 0.2
+        ("M", "X"): [80, 20],   # rate 0.2
+        ("M", "Y"): [40, 60],   # rate 0.6
+    }
+    return expand_cells_to_table(
+        cells,
+        attribute_names=["gender", "race"],
+        outcome_name="approved",
+        outcome_levels=["no", "yes"],
+    )
+
+
+class TestGerrymanderingDetection:
+    def test_marginal_views_see_perfect_parity(self):
+        table = gerrymandered_table()
+        sweep = subset_sweep(
+            table, protected=["gender", "race"], outcome="approved"
+        )
+        assert sweep.epsilon("gender") == pytest.approx(0.0, abs=1e-12)
+        assert sweep.epsilon("race") == pytest.approx(0.0, abs=1e-12)
+
+    def test_marginal_demographic_parity_is_satisfied(self):
+        table = gerrymandered_table()
+        approvals = table.column("approved").to_list()
+        for attribute in ("gender", "race"):
+            groups = table.column(attribute).to_list()
+            assert demographic_parity_difference(
+                approvals, groups, positive="yes"
+            ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_intersectional_epsilon_exposes_the_targeting(self):
+        table = gerrymandered_table()
+        result = dataset_edf(
+            table, protected=["gender", "race"], outcome="approved"
+        )
+        assert result.epsilon == pytest.approx(math.log(3))
+        assert result.witness.outcome == "yes"
+
+    def test_subset_theorem_still_holds(self):
+        """The 2x bound runs in the safe direction: zero marginal epsilon
+        implies nothing about the intersection, but a small intersectional
+        epsilon WOULD bound the marginals."""
+        table = gerrymandered_table()
+        sweep = subset_sweep(
+            table, protected=["gender", "race"], outcome="approved"
+        )
+        assert sweep.theorem_violations() == []
+        # The converse direction is exactly what gerrymandering exploits:
+        assert sweep.full_epsilon > 10 * max(
+            sweep.epsilon("gender"), sweep.epsilon("race")
+        )
+
+    def test_subgroup_fairness_also_catches_it(self):
+        """Kearns et al.'s metric over the intersections agrees."""
+        from repro.metrics.subgroup_fairness import (
+            statistical_parity_subgroup_fairness,
+        )
+
+        table = gerrymandered_table()
+        groups = list(
+            zip(table.column("gender").to_list(), table.column("race").to_list())
+        )
+        violations = statistical_parity_subgroup_fairness(
+            table.column("approved").to_list(), groups, positive="yes"
+        )
+        assert violations[0].violation == pytest.approx(0.25 * 0.2)
+
+    def test_three_way_gerrymander(self):
+        """Targeting hidden one level deeper: all two-way views clean."""
+        cells = {}
+        for gender in ("F", "M"):
+            for race in ("X", "Y"):
+                for nation in ("U", "V"):
+                    # XOR of the three attribute parities decides the rate.
+                    parity = (
+                        (gender == "M") ^ (race == "Y") ^ (nation == "V")
+                    )
+                    rate = 0.6 if parity else 0.2
+                    cells[(gender, race, nation)] = [
+                        int(100 * (1 - rate)),
+                        int(100 * rate),
+                    ]
+        table = expand_cells_to_table(
+            cells,
+            attribute_names=["gender", "race", "nation"],
+            outcome_name="approved",
+            outcome_levels=["no", "yes"],
+        )
+        sweep = subset_sweep(
+            table, protected=["gender", "race", "nation"], outcome="approved"
+        )
+        for subset in (
+            ("gender",), ("race",), ("nation",),
+            ("gender", "race"), ("gender", "nation"), ("race", "nation"),
+        ):
+            assert sweep.epsilon(subset) == pytest.approx(0.0, abs=1e-12), subset
+        assert sweep.full_epsilon == pytest.approx(math.log(3))

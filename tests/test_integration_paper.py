@@ -1,0 +1,125 @@
+"""Integration tests: every headline number of the paper in one place.
+
+Figure 2 and Table 1 are exact reproductions (closed form / fixed counts);
+Table 2 and the test-split epsilon come from the calibrated synthetic Adult
+data. The full Table 3 sweep lives in benchmarks/bench_table3.py (it trains
+eight classifiers); here a scaled-down version checks the pipeline wiring
+and the headline qualitative effect.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.audit.feature_study import FeatureSelectionStudy
+from repro.core.analytic import paper_worked_example
+from repro.core.empirical import dataset_edf
+from repro.core.estimators import DirichletEstimator
+from repro.core.interpretation import RANDOMIZED_RESPONSE_EPSILON
+from repro.core.subsets import subset_sweep
+from repro.data.kidney import PAPER_TABLE1_EPSILONS, admissions_contingency
+from repro.data.synthetic_adult import (
+    OUTCOME,
+    PAPER_TABLE2,
+    PROTECTED,
+    SyntheticAdult,
+)
+from repro.mechanisms.randomized_response import RandomizedResponse
+
+
+class TestFigure2:
+    def test_epsilon(self):
+        assert paper_worked_example().epsilon == pytest.approx(2.337, abs=5e-4)
+
+
+class TestTable1:
+    def test_all_reported_epsilons(self):
+        sweep = subset_sweep(admissions_contingency())
+        assert sweep.full_epsilon == pytest.approx(1.511, abs=5e-4)
+        assert sweep.epsilon("gender") == pytest.approx(0.2329, abs=5e-5)
+        assert sweep.epsilon("race") == pytest.approx(0.8667, abs=5e-5)
+        assert sweep.theorem_bound() == pytest.approx(3.022, abs=1e-3)
+        for subset, target in PAPER_TABLE1_EPSILONS.items():
+            assert sweep.epsilon(subset) == pytest.approx(target, abs=5e-4)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def train(self):
+        return SyntheticAdult(seed=0, features=False).train()
+
+    def test_every_row(self, train):
+        sweep = subset_sweep(train, protected=list(PROTECTED), outcome=OUTCOME)
+        for subset, target in PAPER_TABLE2.items():
+            assert sweep.epsilon(subset) == pytest.approx(target, abs=0.005)
+
+    def test_ordering_matches_paper(self, train):
+        """nationality < race < gender < (g,n) < (r,n) < (r,g) < all."""
+        sweep = subset_sweep(train, protected=list(PROTECTED), outcome=OUTCOME)
+        ordered = [subset for subset, _ in sweep.sorted_by_epsilon()]
+        assert ordered == [
+            ("nationality",),
+            ("race",),
+            ("gender",),
+            ("gender", "nationality"),
+            ("race", "nationality"),
+            ("gender", "race"),
+            ("gender", "race", "nationality"),
+        ]
+
+    def test_intersection_gap_observation(self, train):
+        """'The inequity at the intersection of race and gender is
+        substantially higher than that of either attribute alone.'"""
+        sweep = subset_sweep(train, protected=list(PROTECTED), outcome=OUTCOME)
+        assert sweep.epsilon(["race", "gender"]) > sweep.epsilon("race") + 0.5
+        assert sweep.epsilon(["race", "gender"]) > sweep.epsilon("gender") + 0.5
+
+
+class TestTestSplitEpsilon:
+    def test_smoothed_epsilon_2_06(self):
+        test = SyntheticAdult(seed=0, features=False).test()
+        result = dataset_edf(
+            test,
+            protected=list(PROTECTED),
+            outcome=OUTCOME,
+            estimator=DirichletEstimator(1.0),
+        )
+        assert result.epsilon == pytest.approx(2.06, abs=0.005)
+
+
+class TestSection33Calibration:
+    def test_randomized_response_ln3(self):
+        assert RandomizedResponse().epsilon() == pytest.approx(
+            RANDOMIZED_RESPONSE_EPSILON
+        )
+        assert RANDOMIZED_RESPONSE_EPSILON == pytest.approx(math.log(3))
+
+
+class TestTable3Pipeline:
+    """Scaled-down Table 3: subsampled training set, two configurations."""
+
+    @pytest.fixture(scope="class")
+    def study(self):
+        generator = SyntheticAdult(seed=0, features=True)
+        rng = np.random.default_rng(0)
+        train = generator.train()
+        subsample = train.take(
+            rng.choice(train.n_rows, size=6000, replace=False)
+        )
+        return FeatureSelectionStudy(
+            subsample, generator.test(), protected=PROTECTED, outcome=OUTCOME
+        )
+
+    def test_error_rate_in_band(self, study):
+        row = study.run_configuration(())
+        assert 10.0 < row.error_percent < 20.0
+
+    def test_race_feature_raises_epsilon(self, study):
+        """The paper's headline Table 3 finding."""
+        without = study.run_configuration(())
+        with_race = study.run_configuration(("race",))
+        assert with_race.epsilon > without.epsilon
+
+    def test_data_epsilon_is_paper_value(self, study):
+        assert study.data_epsilon() == pytest.approx(2.06, abs=0.005)

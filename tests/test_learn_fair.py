@@ -1,0 +1,155 @@
+"""Tests for the fairness extensions: DF-regularised logistic regression
+and the epsilon-clamping post-processor."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.epsilon import epsilon_from_probabilities
+from repro.exceptions import NotFittedError, ValidationError
+from repro.learn.fair_logistic import FairLogisticRegression, soft_edf_penalty
+from repro.learn.postprocess import GroupMixingPostprocessor
+
+
+def biased_dataset(rng, n=3000):
+    """Binary labels whose base rate depends on a protected group, with a
+    proxy feature correlated with the group."""
+    groups = np.where(rng.random(n) < 0.5, "g1", "g2")
+    base = np.where(groups == "g1", 0.55, 0.15)
+    y = (rng.random(n) < base).astype(int)
+    x1 = y * 1.4 + rng.normal(size=n)
+    x2 = (groups == "g1") * 0.8 + rng.normal(size=n)
+    X = np.column_stack([x1, x2])
+    return X, y, groups.tolist()
+
+
+def prediction_epsilon(model, X, groups):
+    predictions = model.predict(X)
+    rates = {}
+    for g in sorted(set(groups)):
+        mask = np.asarray([item == g for item in groups])
+        rates[g] = np.asarray(predictions[mask] == 1).mean()
+    matrix = np.array([[1 - r, r] for r in rates.values()])
+    return epsilon_from_probabilities(matrix, validate=False).epsilon
+
+
+class TestSoftEdfPenalty:
+    def test_zero_for_equal_rates(self):
+        assert soft_edf_penalty(np.array([0.3, 0.3, 0.3])) == 0.0
+
+    def test_positive_for_unequal(self):
+        assert soft_edf_penalty(np.array([0.2, 0.6])) > 0.0
+
+    def test_grows_with_gap(self):
+        small = soft_edf_penalty(np.array([0.3, 0.35]))
+        large = soft_edf_penalty(np.array([0.3, 0.6]))
+        assert large > small
+
+    def test_boundary_rejected(self):
+        with pytest.raises(ValidationError):
+            soft_edf_penalty(np.array([0.0, 0.5]))
+        with pytest.raises(ValidationError):
+            soft_edf_penalty(np.array([0.5]))
+
+
+class TestFairLogisticRegression:
+    def test_zero_weight_matches_plain_lr(self, rng):
+        from repro.learn.logistic_regression import LogisticRegression
+
+        X, y, groups = biased_dataset(rng, n=800)
+        plain = LogisticRegression(l2=1e-3).fit(X, y)
+        fair = FairLogisticRegression(fairness_weight=0.0, l2=1e-3).fit(
+            X, y, groups=groups
+        )
+        assert fair.coef_ == pytest.approx(plain.coef_, abs=1e-3)
+
+    def test_regularisation_reduces_epsilon(self, rng):
+        """The paper's future-work claim: the DF regulariser trades accuracy
+        for fairness."""
+        X, y, groups = biased_dataset(rng)
+        plain = FairLogisticRegression(fairness_weight=0.0, l2=1e-3).fit(
+            X, y, groups=groups
+        )
+        fair = FairLogisticRegression(fairness_weight=2.0, l2=1e-3).fit(
+            X, y, groups=groups
+        )
+        assert prediction_epsilon(fair, X, groups) < prediction_epsilon(
+            plain, X, groups
+        )
+        # Fairness costs some accuracy on this biased data.
+        assert fair.score(X, y) <= plain.score(X, y) + 1e-9
+
+    def test_group_rates_converge(self, rng):
+        X, y, groups = biased_dataset(rng)
+        fair = FairLogisticRegression(fairness_weight=10.0, l2=1e-3).fit(
+            X, y, groups=groups
+        )
+        rates = fair.group_rates(X, groups)
+        values = list(rates.values())
+        assert abs(math.log(values[0] / values[1])) < 0.3
+
+    def test_requires_groups(self, rng):
+        X, y, _ = biased_dataset(rng, n=100)
+        with pytest.raises(ValidationError):
+            FairLogisticRegression().fit(X, y)
+
+    def test_requires_two_groups(self, rng):
+        X, y, _ = biased_dataset(rng, n=100)
+        with pytest.raises(ValidationError):
+            FairLogisticRegression().fit(X, y, groups=["same"] * 100)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(NotFittedError):
+            FairLogisticRegression().predict(np.zeros((1, 2)))
+
+
+class TestGroupMixingPostprocessor:
+    @pytest.fixture
+    def fitted(self):
+        predictions = [1] * 80 + [0] * 20 + [1] * 20 + [0] * 80
+        groups = ["a"] * 100 + ["b"] * 100
+        return GroupMixingPostprocessor(positive=1).fit(predictions, groups)
+
+    def test_rates(self, fitted):
+        assert fitted.group_rates_.tolist() == [0.8, 0.2]
+        assert fitted.base_rate_ == 0.5
+
+    def test_epsilon_decreases_monotonically(self, fitted):
+        values = [fitted.epsilon_at(t) for t in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_solve_mixing_achieves_target(self, fitted):
+        target = 0.5
+        t = fitted.solve_mixing(target)
+        assert fitted.epsilon_at(t) <= target + 1e-6
+        # Minimality: slightly less mixing violates the target.
+        assert fitted.epsilon_at(max(t - 0.01, 0.0)) > target
+
+    def test_solve_mixing_zero_when_already_fair(self):
+        post = GroupMixingPostprocessor(positive=1).fit(
+            [1, 0] * 50, ["a", "a", "b", "b"] * 25
+        )
+        assert post.solve_mixing(1.0) == 0.0
+
+    def test_transform_rates(self, fitted, rng):
+        predictions = [1] * 800 + [0] * 200 + [1] * 200 + [0] * 800
+        groups = ["a"] * 1000 + ["b"] * 1000
+        mixed = fitted.transform(predictions, groups, t=0.5, seed=0)
+        rate_a = np.mean([p == 1 for p, g in zip(mixed, groups) if g == "a"])
+        expected = fitted.mixed_rates(0.5)[0]
+        assert rate_a == pytest.approx(expected, abs=0.05)
+
+    def test_transform_t_zero_is_identity(self, fitted):
+        predictions = [1, 0, 1]
+        mixed = fitted.transform(predictions, ["a", "b", "a"], t=0.0, seed=0)
+        assert mixed == predictions
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            GroupMixingPostprocessor().epsilon_at(0.5)
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ValidationError):
+            GroupMixingPostprocessor(positive=1).fit([1, 0], ["a", "a"])

@@ -1,0 +1,150 @@
+"""Tests for the per-group threshold post-processor."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.learn.group_thresholds import (
+    GroupThresholdPostprocessor,
+    _epsilon_of_rates,
+)
+
+
+def biased_scores(rng, n_per_group=500, gap=1.5):
+    """Two groups whose scores (and labels) have shifted distributions."""
+    scores, labels, groups = [], [], []
+    for group, shift, rate in (("a", gap, 0.5), ("b", 0.0, 0.2)):
+        y = rng.random(n_per_group) < rate
+        score = y * 1.8 + shift + rng.normal(0, 1.0, n_per_group)
+        scores.extend(score.tolist())
+        labels.extend(y.astype(int).tolist())
+        groups.extend([group] * n_per_group)
+    return np.asarray(scores), labels, groups
+
+
+class TestEpsilonOfRates:
+    def test_equal_rates(self):
+        assert _epsilon_of_rates(np.array([0.3, 0.3])) == 0.0
+
+    def test_ratio(self):
+        assert _epsilon_of_rates(np.array([0.2, 0.4])) == pytest.approx(
+            max(math.log(2), math.log(0.8 / 0.6))
+        )
+
+    def test_zero_rate_infinite(self):
+        assert _epsilon_of_rates(np.array([0.0, 0.4])) == math.inf
+
+    def test_certain_rate_infinite(self):
+        assert _epsilon_of_rates(np.array([1.0, 0.4])) == math.inf
+
+
+class TestSolve:
+    @pytest.fixture
+    def fitted(self, rng):
+        scores, labels, groups = biased_scores(rng)
+        post = GroupThresholdPostprocessor(positive=1).fit(
+            scores, labels, groups
+        )
+        return post, scores, labels, groups
+
+    def test_solution_meets_budget(self, fitted):
+        post, *_ = fitted
+        for budget in (1.0, 0.5, 0.1):
+            solution = post.solve(budget)
+            assert solution.epsilon <= budget + 1e-9
+
+    def test_accuracy_monotone_in_budget(self, fitted):
+        """Looser budgets can only help accuracy."""
+        post, *_ = fitted
+        accuracies = [post.solve(budget).accuracy for budget in (0.05, 0.5, 2.0)]
+        assert accuracies == sorted(accuracies)
+
+    def test_large_budget_recovers_per_group_optimum(self, fitted):
+        post, scores, labels, groups = fitted
+        unconstrained = post.solve(50.0)
+        tight = post.solve(0.1)
+        assert unconstrained.accuracy >= tight.accuracy
+
+    def test_apply_realises_solution_rates(self, fitted):
+        post, scores, labels, groups = fitted
+        solution = post.solve(0.3)
+        predictions = post.apply(scores, groups, solution)
+        for group in ("a", "b"):
+            mask = [g == group for g in groups]
+            rate = np.mean(
+                [p == 1 for p, m in zip(predictions, mask) if m]
+            )
+            assert rate == pytest.approx(solution.rates[group], abs=1e-9)
+
+    def test_thresholds_differ_across_groups(self, fitted):
+        """The whole point: groups get different cut-offs (contra the
+        equal-threshold prescription of threshold tests)."""
+        post, *_ = fitted
+        solution = post.solve(0.2)
+        thresholds = list(solution.thresholds.values())
+        assert thresholds[0] != thresholds[1]
+
+    def test_to_text(self, fitted):
+        post, *_ = fitted
+        text = post.solve(0.5).to_text()
+        assert "epsilon" in text
+        assert "threshold" in text
+
+
+class TestValidation:
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            GroupThresholdPostprocessor().solve(1.0)
+
+    def test_single_group_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            GroupThresholdPostprocessor(positive=1).fit(
+                np.array([1.0, 2.0]), [0, 1], ["a", "a"]
+            )
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ValidationError):
+            GroupThresholdPostprocessor().fit(np.array([]), [], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            GroupThresholdPostprocessor().fit(
+                np.array([1.0]), [0, 1], ["a", "b"]
+            )
+
+    def test_apply_unknown_group(self, rng):
+        scores, labels, groups = biased_scores(rng, n_per_group=50)
+        post = GroupThresholdPostprocessor(positive=1).fit(
+            scores, labels, groups
+        )
+        solution = post.solve(1.0)
+        with pytest.raises(ValidationError):
+            post.apply(np.array([0.5]), ["ghost"], solution)
+
+    def test_negative_budget_rejected(self, rng):
+        scores, labels, groups = biased_scores(rng, n_per_group=50)
+        post = GroupThresholdPostprocessor(positive=1).fit(
+            scores, labels, groups
+        )
+        with pytest.raises(ValidationError):
+            post.solve(-0.5)
+
+
+class TestDeterministicSmallCase:
+    def test_hand_checkable(self):
+        """Group a scores: positives high; group b: one positive low."""
+        scores = np.array([0.9, 0.8, 0.2, 0.1, 0.7, 0.3, 0.25, 0.15])
+        labels = [1, 1, 0, 0, 1, 0, 0, 0]
+        groups = ["a"] * 4 + ["b"] * 4
+        post = GroupThresholdPostprocessor(positive=1).fit(
+            scores, labels, groups
+        )
+        solution = post.solve(0.01)
+        # Both groups must have (nearly) equal rates on a 4-point grid:
+        rates = list(solution.rates.values())
+        assert rates[0] == rates[1]
+        # Perfect parity at rate 0.5 and 0.25 both exist; accuracy picks
+        # rate 0.5 for a (both positives) — b then accepts 2 (one FP).
+        assert solution.epsilon == 0.0

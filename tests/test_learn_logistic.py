@@ -1,0 +1,142 @@
+"""Tests for repro.learn.logistic_regression."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.learn.logistic_regression import (
+    LogisticRegression,
+    log_sigmoid,
+    sigmoid,
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == 0.5
+
+    def test_symmetry(self):
+        z = np.array([1.7])
+        assert sigmoid(z)[0] + sigmoid(-z)[0] == pytest.approx(1.0)
+
+    def test_extreme_values_stable(self):
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert values[0] == 0.0
+        assert values[1] == 1.0
+
+    def test_log_sigmoid_matches(self):
+        z = np.array([-3.0, 0.0, 3.0])
+        assert log_sigmoid(z) == pytest.approx(np.log(sigmoid(z)))
+
+    def test_log_sigmoid_no_overflow(self):
+        assert log_sigmoid(np.array([-1000.0]))[0] == pytest.approx(-1000.0)
+
+
+class TestFitting:
+    def test_separable_data_classified_perfectly(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = ["a", "a", "b", "b"]
+        model = LogisticRegression(l2=1e-6).fit(X, y)
+        assert model.predict(X).tolist() == y
+        assert model.score(X, y) == 1.0
+
+    def test_recovers_known_coefficients(self, rng):
+        """With abundant data the MLE approaches the true parameters."""
+        n = 40_000
+        X = rng.normal(size=(n, 2))
+        logits = 1.5 * X[:, 0] - 2.0 * X[:, 1] + 0.5
+        y = (rng.random(n) < sigmoid(logits)).astype(int)
+        model = LogisticRegression(l2=1e-8).fit(X, y)
+        assert model.coef_[0] == pytest.approx(1.5, abs=0.1)
+        assert model.coef_[1] == pytest.approx(-2.0, abs=0.1)
+        assert model.intercept_ == pytest.approx(0.5, abs=0.1)
+
+    def test_gradient_matches_numeric(self, rng):
+        """Analytic gradient agrees with finite differences."""
+        from scipy import optimize
+
+        X = rng.normal(size=(60, 3))
+        y = (rng.random(60) < 0.5).astype(int)
+        model = LogisticRegression(l2=0.1)
+        codes = y.astype(float)
+        design = np.column_stack([np.ones(60), X])
+
+        def objective(w):
+            z = design @ w
+            nll = -np.sum(codes * log_sigmoid(z) + (1 - codes) * log_sigmoid(-z))
+            mask = np.ones(4)
+            mask[0] = 0.0
+            return (nll + 0.05 * np.sum((w * mask) ** 2)) / 60
+
+        def gradient(w):
+            z = design @ w
+            mask = np.ones(4)
+            mask[0] = 0.0
+            return (design.T @ (sigmoid(z) - codes) + 0.1 * w * mask) / 60
+
+        w0 = rng.normal(size=4)
+        error = optimize.check_grad(objective, gradient, w0)
+        assert error < 1e-5
+
+    def test_l2_shrinks_coefficients(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] + rng.normal(size=200) > 0).astype(int)
+        loose = LogisticRegression(l2=1e-8).fit(X, y)
+        tight = LogisticRegression(l2=100.0).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_sample_weights(self):
+        X = np.array([[0.0], [1.0], [0.5]])
+        y = [0, 1, 1]
+        weights = np.array([1.0, 1.0, 0.0])
+        weighted = LogisticRegression(l2=1e-6).fit(X, y, sample_weight=weights)
+        unweighted_small = LogisticRegression(l2=1e-6).fit(X[:2], y[:2])
+        assert weighted.coef_[0] == pytest.approx(
+            unweighted_small.coef_[0], rel=0.05
+        )
+
+    def test_multiclass_rejected(self):
+        with pytest.raises(ValidationError, match="2 classes"):
+            LogisticRegression().fit(np.zeros((3, 1)), ["a", "b", "c"])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression().fit(np.zeros((3, 1)), [0, 1])
+
+    def test_nan_features_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression().fit(np.array([[np.nan], [1.0]]), [0, 1])
+
+
+class TestPrediction:
+    @pytest.fixture
+    def model(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        return LogisticRegression(l2=1e-6).fit(X, ["lo", "lo", "hi", "hi"])
+
+    def test_classes_sorted(self, model):
+        assert model.classes_ == ("hi", "lo")
+
+    def test_predict_proba_rows_sum(self, model):
+        probs = model.predict_proba(np.array([[1.5], [0.0]]))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_proba_column_alignment(self, model):
+        """Column 1 is the positive class = classes_[1] ('lo')."""
+        probs = model.predict_proba(np.array([[0.0]]))
+        assert probs[0, 1] > 0.5  # x=0 is 'lo'
+
+    def test_unfitted_prediction_rejected(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((1, 1)))
+
+    def test_feature_count_checked(self, model):
+        with pytest.raises(ValidationError):
+            model.predict(np.zeros((1, 5)))
+
+    def test_no_intercept_option(self):
+        X = np.array([[1.0], [-1.0], [2.0], [-2.0]])
+        y = [1, 0, 1, 0]
+        model = LogisticRegression(l2=1e-6, fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert model.predict(X).tolist() == [1, 0, 1, 0]

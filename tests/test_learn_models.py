@@ -1,0 +1,123 @@
+"""Tests for naive Bayes and the decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.learn.decision_tree import DecisionTreeClassifier
+from repro.learn.naive_bayes import CategoricalNB
+
+
+class TestCategoricalNB:
+    def test_exact_posterior_small_case(self):
+        """Hand-computed posterior for one feature, alpha = 1."""
+        X = np.array([[0], [0], [1], [1], [1]])
+        y = [0, 0, 0, 1, 1]
+        model = CategoricalNB(alpha=1.0).fit(X, y)
+        probs = model.predict_proba(np.array([[0]]))
+        # P(y=0) ∝ (3+1)/(5+2) * (2+1)/(3+2);  P(y=1) ∝ (2+1)/7 * (0+1)/(2+2)
+        p0 = (4 / 7) * (3 / 5)
+        p1 = (3 / 7) * (1 / 4)
+        assert probs[0, 0] == pytest.approx(p0 / (p0 + p1))
+
+    def test_predicts_majority_feature_association(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 10)
+        y = ["a", "a", "b", "b"] * 10
+        model = CategoricalNB().fit(X, y)
+        assert model.predict(np.array([[0, 0]]))[0] == "a"
+        assert model.predict(np.array([[1, 1]]))[0] == "b"
+
+    def test_unseen_code_uses_floor(self):
+        X = np.array([[0], [1]])
+        model = CategoricalNB().fit(X, [0, 1])
+        probs = model.predict_proba(np.array([[7]]))
+        assert np.isfinite(probs).all()
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_rows_sum_to_one(self, rng):
+        X = rng.integers(0, 4, size=(100, 3))
+        y = rng.integers(0, 2, size=100)
+        model = CategoricalNB().fit(X, y)
+        probs = model.predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValidationError):
+            CategoricalNB().fit(np.array([[0.5]]), [0])
+
+    def test_negative_code_rejected(self):
+        with pytest.raises(ValidationError):
+            CategoricalNB().fit(np.array([[-1]]), [0])
+
+    def test_feature_width_checked(self):
+        model = CategoricalNB().fit(np.array([[0, 1]]), [0])
+        with pytest.raises(ValidationError):
+            model.predict(np.array([[0]]))
+
+
+class TestDecisionTree:
+    def test_fits_xor_perfectly(self):
+        """A depth-2 tree represents XOR, which linear models cannot."""
+        X = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] * 5)
+        y = [0, 1, 1, 0] * 5
+        model = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert model.predict(X).tolist() == y
+
+    def test_max_depth_zero_is_majority_vote(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        model = DecisionTreeClassifier(max_depth=0).fit(X, [0, 1, 1])
+        assert model.predict(np.array([[0.0]]))[0] == 1
+        assert model.depth() == 0
+
+    def test_depth_respects_limit(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 0] > 0).astype(int)
+        model = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert model.depth() <= 3
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.normal(size=(50, 1))
+        y = (X[:, 0] > 0).astype(int)
+        model = DecisionTreeClassifier(min_samples_leaf=25).fit(X, y)
+        # Any split would leave a leaf below the minimum -> a stump or root.
+        assert model.depth() <= 1
+
+    def test_probabilities_are_leaf_fractions(self):
+        X = np.array([[0.0], [0.0], [0.0], [10.0]])
+        y = [0, 0, 1, 1]
+        model = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        probs = model.predict_proba(np.array([[0.0]]))
+        assert probs[0].tolist() == pytest.approx([2 / 3, 1 / 3])
+
+    def test_pure_node_stops_splitting(self):
+        X = np.array([[float(i)] for i in range(10)])
+        y = [1] * 10
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.depth() == 0
+
+    def test_constant_features_give_root_leaf(self):
+        X = np.zeros((10, 2))
+        y = [0, 1] * 5
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.depth() == 0
+
+    def test_generalisation_on_simple_boundary(self, rng):
+        X = rng.uniform(-1, 1, size=(500, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        model = DecisionTreeClassifier(max_depth=6, min_samples_leaf=5).fit(X, y)
+        X_test = rng.uniform(-1, 1, size=(500, 2))
+        y_test = (X_test[:, 0] + X_test[:, 1] > 0).astype(int)
+        assert model.score(X_test, y_test) > 0.85
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(max_depth=-1)
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_feature_count_checked(self):
+        model = DecisionTreeClassifier().fit(np.zeros((4, 2)), [0, 1, 0, 1])
+        with pytest.raises(ValidationError):
+            model.predict(np.zeros((1, 3)))

@@ -1,0 +1,219 @@
+"""Tests for repro.learn.preprocessing, metrics, and model_selection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.learn.metrics import (
+    accuracy,
+    confusion_matrix,
+    error_rate,
+    f1_score,
+    log_loss,
+    precision,
+    recall,
+)
+from repro.learn.model_selection import KFold, train_test_split
+from repro.learn.preprocessing import StandardScaler, TableVectorizer
+from repro.tabular.table import Table
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5.0, 3.0, size=(500, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert Z.mean(axis=0) == pytest.approx([0.0, 0.0], abs=1e-9)
+        assert Z.std(axis=0) == pytest.approx([1.0, 1.0], abs=1e-9)
+
+    def test_constant_column_not_scaled(self):
+        X = np.array([[1.0], [1.0], [1.0]])
+        Z = StandardScaler().fit_transform(X)
+        assert Z.tolist() == [[0.0], [0.0], [0.0]]
+
+    def test_transform_uses_training_statistics(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [2.0]]))
+        assert scaler.transform(np.array([[4.0]]))[0, 0] == pytest.approx(3.0)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((1, 1)))
+
+    def test_width_checked(self):
+        scaler = StandardScaler().fit(np.zeros((2, 2)))
+        with pytest.raises(ValidationError):
+            scaler.transform(np.zeros((2, 3)))
+
+
+class TestTableVectorizer:
+    @pytest.fixture
+    def table(self) -> Table:
+        return Table.from_dict(
+            {
+                "age": [20.0, 30.0, 40.0],
+                "city": ["x", "y", "x"],
+                "label": ["n", "p", "n"],
+            }
+        )
+
+    def test_auto_selection_excludes(self, table):
+        vectorizer = TableVectorizer(exclude=["label"])
+        X = vectorizer.fit_transform(table)
+        assert vectorizer.numeric_columns_ == ["age"]
+        assert vectorizer.categorical_columns_ == ["city"]
+        # age + one-hot city with first level dropped -> 2 features.
+        assert X.shape == (3, 2)
+
+    def test_feature_names(self, table):
+        vectorizer = TableVectorizer(exclude=["label"])
+        vectorizer.fit(table)
+        assert vectorizer.feature_names_ == ["age", "city=y"]
+
+    def test_drop_first_false(self, table):
+        vectorizer = TableVectorizer(exclude=["label"], drop_first=False)
+        X = vectorizer.fit_transform(table)
+        assert X.shape == (3, 3)
+
+    def test_one_hot_values(self, table):
+        vectorizer = TableVectorizer(
+            numeric=[], categorical=["city"], drop_first=False
+        )
+        X = vectorizer.fit_transform(table)
+        assert X.tolist() == [[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]]
+
+    def test_standardization_applied(self, table):
+        vectorizer = TableVectorizer(numeric=["age"], categorical=[])
+        X = vectorizer.fit_transform(table)
+        assert X[:, 0].mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_standardize(self, table):
+        vectorizer = TableVectorizer(
+            numeric=["age"], categorical=[], standardize=False
+        )
+        X = vectorizer.fit_transform(table)
+        assert X[:, 0].tolist() == [20.0, 30.0, 40.0]
+
+    def test_transform_new_table_with_subset_levels(self, table):
+        vectorizer = TableVectorizer(exclude=["label"]).fit(table)
+        new = Table.from_dict(
+            {"age": [50.0], "city": ["y"], "label": ["p"]}
+        )
+        X = vectorizer.transform(new)
+        assert X.shape == (1, 2)
+        assert X[0, 1] == 1.0  # city=y
+
+    def test_overlap_rejected(self, table):
+        with pytest.raises(ValidationError):
+            TableVectorizer(numeric=["age"], categorical=["age"]).fit(table)
+
+    def test_unfitted_rejected(self, table):
+        with pytest.raises(NotFittedError):
+            TableVectorizer().transform(table)
+
+    def test_no_features_rejected(self):
+        table = Table.from_dict({"label": ["a", "b"]})
+        with pytest.raises(ValidationError):
+            TableVectorizer(exclude=["label"]).fit_transform(table)
+
+
+class TestMetrics:
+    def test_accuracy_and_error(self):
+        assert accuracy(["a", "b"], ["a", "a"]) == 0.5
+        assert error_rate(["a", "b"], ["a", "a"]) == 0.5
+        assert error_rate(["a", "b"], ["a", "a"], percent=True) == 50.0
+
+    def test_confusion_matrix(self):
+        matrix, labels = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert labels == [0, 1]
+        assert matrix.tolist() == [[1, 1], [0, 2]]
+
+    def test_precision_recall_f1(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 1, 0, 1]
+        assert precision(y_true, y_pred, positive=1) == pytest.approx(2 / 3)
+        assert recall(y_true, y_pred, positive=1) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred, positive=1) == pytest.approx(2 / 3)
+
+    def test_degenerate_precision(self):
+        assert precision([0, 0], [0, 0], positive=1) == 0.0
+        assert recall([0, 0], [1, 1], positive=1) == 0.0
+        assert f1_score([0, 0], [0, 0], positive=1) == 0.0
+
+    def test_log_loss(self):
+        probs = np.array([[0.9, 0.1], [0.2, 0.8]])
+        value = log_loss(["a", "b"], probs, classes=["a", "b"])
+        assert value == pytest.approx(-(np.log(0.9) + np.log(0.8)) / 2)
+
+    def test_log_loss_clipping(self):
+        probs = np.array([[1.0, 0.0]])
+        assert np.isfinite(log_loss(["b"], probs, classes=["a", "b"]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            accuracy([1], [1, 2])
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        table = Table.from_dict({"x": list(range(100))}, categorical=["x"])
+        train, test = train_test_split(table, test_size=0.25, seed=0)
+        assert test.n_rows == 25
+        assert train.n_rows == 75
+
+    def test_partition(self):
+        table = Table.from_dict({"x": list(range(20))}, categorical=["x"])
+        train, test = train_test_split(table, test_size=0.3, seed=1)
+        combined = sorted(train.column("x").to_list() + test.column("x").to_list())
+        assert combined == list(range(20))
+
+    def test_deterministic(self):
+        table = Table.from_dict({"x": list(range(30))}, categorical=["x"])
+        first = train_test_split(table, seed=5)[1].column("x").to_list()
+        second = train_test_split(table, seed=5)[1].column("x").to_list()
+        assert first == second
+
+    def test_stratified_preserves_proportions(self):
+        table = Table.from_dict(
+            {"g": ["a"] * 80 + ["b"] * 20, "v": list(range(100))},
+        )
+        train, test = train_test_split(table, test_size=0.25, seed=0, stratify="g")
+        counts = test.value_counts("g")
+        assert counts[("a")] == 20
+        assert counts[("b")] == 5
+
+    def test_invalid_fraction(self):
+        table = Table.from_dict({"x": [1.0, 2.0]})
+        with pytest.raises(ValidationError):
+            train_test_split(table, test_size=1.0)
+
+
+class TestKFold:
+    def test_folds_partition_rows(self):
+        folds = list(KFold(n_splits=4, seed=0).split(20))
+        assert len(folds) == 4
+        all_test = sorted(
+            index for _, test in folds for index in test.tolist()
+        )
+        assert all_test == list(range(20))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(n_splits=3, seed=0).split(9):
+            assert set(train.tolist()).isdisjoint(test.tolist())
+
+    def test_too_few_rows(self):
+        with pytest.raises(ValidationError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_cross_validate(self, rng):
+        from repro.learn.logistic_regression import LogisticRegression
+
+        X = rng.normal(size=(100, 1))
+        y = (X[:, 0] > 0).astype(int)
+        scores = KFold(n_splits=5, seed=0).cross_validate(
+            lambda: LogisticRegression(), X, y
+        )
+        assert len(scores) == 5
+        assert min(scores) > 0.8
+
+    def test_min_splits(self):
+        with pytest.raises(ValidationError):
+            KFold(n_splits=1)

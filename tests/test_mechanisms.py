@@ -1,0 +1,225 @@
+"""Tests for repro.mechanisms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError, ValidationError
+from repro.learn.logistic_regression import LogisticRegression
+from repro.mechanisms.base import (
+    ConstantMechanism,
+    FunctionMechanism,
+    MixtureMechanism,
+)
+from repro.mechanisms.classifier import ClassifierMechanism
+from repro.mechanisms.empirical import EmpiricalDataMechanism
+from repro.mechanisms.randomized_response import RandomizedResponse
+from repro.mechanisms.threshold import ScoreThresholdMechanism
+
+
+class TestThresholdMechanism:
+    def test_decisions(self):
+        mechanism = ScoreThresholdMechanism(10.5)
+        decisions = mechanism.decide(np.array([10.4, 10.5, 11.0]))
+        assert decisions.tolist() == [0, 1, 1]
+
+    def test_outcome_probabilities_one_hot(self):
+        mechanism = ScoreThresholdMechanism(0.0)
+        probs = mechanism.outcome_probabilities(np.array([-1.0, 1.0]))
+        assert probs.tolist() == [[1.0, 0.0], [0.0, 1.0]]
+
+    def test_column_vector_accepted(self):
+        mechanism = ScoreThresholdMechanism(0.0)
+        assert mechanism.decide(np.array([[1.0], [-1.0]])).tolist() == [1, 0]
+
+    def test_matrix_rejected(self):
+        mechanism = ScoreThresholdMechanism(0.0)
+        with pytest.raises(ValidationError):
+            mechanism.decide(np.zeros((3, 2)))
+
+    def test_positive_outcome(self):
+        assert ScoreThresholdMechanism(0.0).positive_outcome == "yes"
+
+    def test_sample_outcomes_deterministic(self):
+        mechanism = ScoreThresholdMechanism(0.0)
+        outcomes = mechanism.sample_outcomes(np.array([1.0, -1.0]), seed=0)
+        assert outcomes.tolist() == ["yes", "no"]
+
+
+class TestRandomizedResponse:
+    def test_fair_coin_epsilon_is_ln3(self):
+        assert RandomizedResponse().epsilon() == pytest.approx(math.log(3))
+
+    def test_response_probabilities(self):
+        rr = RandomizedResponse()
+        assert rr.response_probabilities()[True] == pytest.approx(0.75)
+        assert rr.response_probabilities()[False] == pytest.approx(0.25)
+
+    def test_always_truthful_is_infinitely_revealing(self):
+        assert RandomizedResponse(truth_probability=1.0).epsilon() == math.inf
+
+    def test_never_truthful_is_perfectly_private(self):
+        assert RandomizedResponse(truth_probability=0.0).epsilon() == 0.0
+
+    def test_outcome_probabilities(self):
+        rr = RandomizedResponse()
+        probs = rr.outcome_probabilities(np.array([1, 0]))
+        assert probs[0].tolist() == [0.25, 0.75]
+        assert probs[1].tolist() == [0.75, 0.25]
+
+    def test_epsilon_monotone_in_truth_probability(self):
+        values = [RandomizedResponse(p).epsilon() for p in (0.1, 0.3, 0.5, 0.7)]
+        assert values == sorted(values)
+
+    def test_sampled_frequency(self):
+        rr = RandomizedResponse()
+        outcomes = rr.sample_outcomes(np.ones(20_000), seed=0)
+        assert (outcomes == "yes").mean() == pytest.approx(0.75, abs=0.01)
+
+
+class TestConstantMechanism:
+    def test_ignores_input(self):
+        mechanism = ConstantMechanism([0.4, 0.6], ["no", "yes"])
+        probs = mechanism.outcome_probabilities(np.zeros(3))
+        assert probs.shape == (3, 2)
+        assert probs[0].tolist() == [0.4, 0.6]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ConstantMechanism([0.4, 0.4], ["a", "b"])  # not a distribution
+        with pytest.raises(ValidationError):
+            ConstantMechanism([1.0], ["a"])  # fewer than two outcomes
+
+
+class TestFunctionMechanism:
+    def test_wraps_callable(self):
+        mechanism = FunctionMechanism(
+            lambda X: (np.asarray(X) > 0).astype(int), ["neg", "pos"]
+        )
+        assert mechanism.decide(np.array([-1.0, 2.0])).tolist() == [0, 1]
+
+    def test_outcome_index(self):
+        mechanism = FunctionMechanism(lambda X: np.zeros(len(X), dtype=int), ["a", "b"])
+        assert mechanism.outcome_index("b") == 1
+        with pytest.raises(ValidationError):
+            mechanism.outcome_index("zzz")
+
+    def test_out_of_range_decision_rejected(self):
+        mechanism = FunctionMechanism(
+            lambda X: np.full(len(X), 5), ["a", "b"]
+        )
+        with pytest.raises(ValidationError):
+            mechanism.outcome_probabilities(np.zeros(2))
+
+
+class TestMixtureMechanism:
+    def test_mixture_probabilities(self):
+        always_yes = ConstantMechanism([0.0, 1.0], ["no", "yes"])
+        always_no = ConstantMechanism([1.0, 0.0], ["no", "yes"])
+        mixture = MixtureMechanism([always_yes, always_no], [0.7, 0.3])
+        probs = mixture.outcome_probabilities(np.zeros(2))
+        assert probs[0].tolist() == pytest.approx([0.3, 0.7])
+
+    def test_mixing_shrinks_epsilon(self):
+        """Mixing any mechanism with a constant one reduces disparities."""
+        from repro.core.epsilon import epsilon_from_probabilities
+
+        threshold = ScoreThresholdMechanism(0.0)
+        constant = ConstantMechanism([0.5, 0.5], ("no", "yes"))
+        mixture = MixtureMechanism([threshold, constant], [0.5, 0.5])
+        X = np.array([-1.0, 1.0])
+        raw = epsilon_from_probabilities(
+            threshold.outcome_probabilities(X), validate=False
+        ).epsilon
+        mixed = epsilon_from_probabilities(
+            mixture.outcome_probabilities(X), validate=False
+        ).epsilon
+        assert mixed < raw
+
+    def test_validation(self):
+        constant = ConstantMechanism([0.5, 0.5], ["a", "b"])
+        with pytest.raises(ValidationError):
+            MixtureMechanism([constant], [0.5])  # weights not normalised
+        different = ConstantMechanism([0.5, 0.5], ["x", "y"])
+        with pytest.raises(ValidationError):
+            MixtureMechanism([constant, different], [0.5, 0.5])
+
+
+class TestClassifierMechanism:
+    @pytest.fixture
+    def fitted_model(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = ["lo", "lo", "hi", "hi"]
+        return LogisticRegression(l2=1e-6).fit(X, y)
+
+    def test_hard_predictions_one_hot(self, fitted_model):
+        mechanism = ClassifierMechanism(fitted_model)
+        probs = mechanism.outcome_probabilities(np.array([[0.0], [3.0]]))
+        assert probs.sum(axis=1).tolist() == [1.0, 1.0]
+        assert set(np.unique(probs)) <= {0.0, 1.0}
+
+    def test_soft_probabilities(self, fitted_model):
+        mechanism = ClassifierMechanism(fitted_model, hard=False)
+        probs = mechanism.outcome_probabilities(np.array([[1.5]]))
+        assert 0.0 < probs[0, 0] < 1.0
+
+    def test_classes_from_model(self, fitted_model):
+        mechanism = ClassifierMechanism(fitted_model)
+        assert mechanism.outcome_levels == ("hi", "lo")
+
+    def test_transform_applied(self, fitted_model):
+        mechanism = ClassifierMechanism(
+            fitted_model, transform=lambda X: np.asarray(X) / 10.0
+        )
+        probs = mechanism.outcome_probabilities(np.array([[30.0]]))
+        direct = ClassifierMechanism(fitted_model).outcome_probabilities(
+            np.array([[3.0]])
+        )
+        assert np.array_equal(probs, direct)
+
+    def test_missing_classes_rejected(self):
+        class Bare:
+            def predict(self, X):
+                return ["a"] * len(X)
+
+        with pytest.raises(ValidationError):
+            ClassifierMechanism(Bare())
+
+
+class TestEmpiricalDataMechanism:
+    def test_conditional_frequencies(self, hiring_table):
+        mechanism = EmpiricalDataMechanism(
+            hiring_table, ["gender", "race"], "hired"
+        )
+        assert mechanism.conditional(("A", "X")).tolist() == [0.25, 0.75]
+
+    def test_smoothing(self, hiring_table):
+        mechanism = EmpiricalDataMechanism(
+            hiring_table, ["gender", "race"], "hired", smoothing=1.0
+        )
+        # (1 + 1) / (4 + 2) and (3 + 1) / (4 + 2)
+        assert mechanism.conditional(("A", "X")).tolist() == pytest.approx(
+            [2.0 / 6.0, 4.0 / 6.0]
+        )
+
+    def test_outcome_probabilities_rows(self, hiring_table):
+        mechanism = EmpiricalDataMechanism(
+            hiring_table, ["gender", "race"], "hired"
+        )
+        probs = mechanism.outcome_probabilities(
+            np.array([["A", "X"], ["B", "Y"]], dtype=object)
+        )
+        assert probs.shape == (2, 2)
+
+    def test_unseen_cell_rejected(self, hiring_table):
+        mechanism = EmpiricalDataMechanism(hiring_table, ["gender"], "hired")
+        with pytest.raises(EstimationError):
+            mechanism.conditional(("Z",))
+
+    def test_key_width_checked(self, hiring_table):
+        mechanism = EmpiricalDataMechanism(
+            hiring_table, ["gender", "race"], "hired"
+        )
+        with pytest.raises(ValidationError):
+            mechanism.outcome_probabilities(np.array([["A"]], dtype=object))

@@ -1,0 +1,187 @@
+"""Tests for repro.metrics — the related-work fairness baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.calibration import groupwise_calibration
+from repro.metrics.demographic_parity import (
+    demographic_parity_difference,
+    demographic_parity_epsilon,
+    demographic_parity_ratio,
+    group_positive_rates,
+)
+from repro.metrics.equalized_odds import (
+    equal_opportunity_difference,
+    equalized_odds_difference,
+    group_conditional_rates,
+)
+from repro.metrics.subgroup_fairness import statistical_parity_subgroup_fairness
+
+
+class TestDemographicParity:
+    def test_group_rates(self):
+        rates = group_positive_rates(
+            [1, 1, 0, 0, 1, 0], ["a", "a", "a", "b", "b", "b"], positive=1
+        )
+        assert rates == {"a": pytest.approx(2 / 3), "b": pytest.approx(1 / 3)}
+
+    def test_difference(self):
+        value = demographic_parity_difference(
+            [1, 0, 1, 1], ["a", "a", "b", "b"], positive=1
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_ratio(self):
+        value = demographic_parity_ratio(
+            [1, 0, 1, 1], ["a", "a", "b", "b"], positive=1
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_ratio_all_zero(self):
+        assert demographic_parity_ratio([0, 0], ["a", "b"], positive=1) == 1.0
+
+    def test_epsilon_form_matches_log_ratio(self):
+        value = demographic_parity_epsilon(
+            [1, 0, 1, 1], ["a", "a", "b", "b"], positive=1
+        )
+        # rates 0.5 vs 1.0: positive side log 2; negative side 0.5/0 -> inf.
+        assert value == math.inf
+
+    def test_epsilon_finite_case(self):
+        value = demographic_parity_epsilon(
+            [1, 0, 0, 0, 1, 1, 1, 0], ["a"] * 4 + ["b"] * 4, positive=1
+        )
+        assert value == pytest.approx(math.log(3))
+
+    def test_perfect_parity(self):
+        assert (
+            demographic_parity_difference([1, 0, 1, 0], ["a", "a", "b", "b"], 1)
+            == 0.0
+        )
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ValidationError):
+            group_positive_rates([1, 0], ["a", "a"], positive=1)
+
+
+class TestEqualizedOdds:
+    def test_conditional_rates(self):
+        rates = group_conditional_rates(
+            y_true=[1, 1, 0, 0, 1, 0],
+            y_pred=[1, 0, 0, 1, 1, 0],
+            groups=["a", "a", "a", "b", "b", "b"],
+            positive=1,
+        )
+        assert rates["a"][1] == pytest.approx(0.5)  # TPR group a
+        assert rates["a"][0] == pytest.approx(0.0)  # FPR group a
+        assert rates["b"][1] == pytest.approx(1.0)
+        assert rates["b"][0] == pytest.approx(0.5)
+
+    def test_equalized_odds_difference(self):
+        value = equalized_odds_difference(
+            y_true=[1, 1, 0, 0, 1, 0],
+            y_pred=[1, 0, 0, 1, 1, 0],
+            groups=["a", "a", "a", "b", "b", "b"],
+            positive=1,
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_perfect_classifier_satisfies_equalized_odds(self):
+        y = [1, 0, 1, 0]
+        assert (
+            equalized_odds_difference(y, y, ["a", "a", "b", "b"], positive=1)
+            == 0.0
+        )
+
+    def test_equal_opportunity(self):
+        value = equal_opportunity_difference(
+            y_true=[1, 1, 1, 1],
+            y_pred=[1, 0, 1, 1],
+            groups=["a", "a", "b", "b"],
+            positive=1,
+            deserving=1,
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_equal_opportunity_needs_two_groups_with_label(self):
+        with pytest.raises(ValidationError):
+            equal_opportunity_difference(
+                [1, 0], [1, 0], ["a", "b"], positive=1, deserving=1
+            )
+
+
+class TestSubgroupFairness:
+    def test_violations_weighted_by_mass(self):
+        predictions = [1] * 9 + [0] * 1 + [0] * 90
+        groups = ["small"] * 10 + ["big"] * 90
+        violations = statistical_parity_subgroup_fairness(
+            predictions, groups, positive=1
+        )
+        by_name = {v.subgroup: v for v in violations}
+        # base rate 0.09; small: rate 0.9 gap 0.81 mass 0.1 -> 0.081
+        assert by_name["small"].violation == pytest.approx(0.081)
+        assert by_name["big"].violation == pytest.approx(0.9 * 0.09)
+        assert violations[0].subgroup == "small"  # sorted worst-first
+
+    def test_custom_membership_for_overlapping_subgroups(self):
+        predictions = [1, 0, 1, 0]
+        groups = [("F", "X"), ("F", "Y"), ("M", "X"), ("M", "Y")]
+        violations = statistical_parity_subgroup_fairness(
+            predictions,
+            groups,
+            positive=1,
+            subgroups=["F", "M"],
+            membership=lambda row, sub: row[0] == sub,
+        )
+        assert {v.subgroup for v in violations} == {"F", "M"}
+        for violation in violations:
+            assert violation.mass == 0.5
+
+    def test_absent_subgroup_skipped(self):
+        violations = statistical_parity_subgroup_fairness(
+            [1, 0], ["a", "a"], positive=1, subgroups=["a", "ghost"]
+        )
+        assert [v.subgroup for v in violations] == ["a"]
+
+
+class TestGroupwiseCalibration:
+    def test_perfectly_calibrated_scores(self, rng):
+        n = 4000
+        scores = rng.random(n)
+        y = (rng.random(n) < scores).astype(int)
+        groups = np.where(rng.random(n) < 0.5, "a", "b").tolist()
+        report = groupwise_calibration(scores, y, groups, positive=1, n_bins=5)
+        assert report.max_gap() < 0.08
+
+    def test_miscalibrated_group_detected(self, rng):
+        n = 2000
+        scores = np.full(n, 0.5)
+        groups = ["a"] * (n // 2) + ["b"] * (n // 2)
+        y = [1] * (n // 2) + [0] * (n // 2)  # group a always 1, b always 0
+        report = groupwise_calibration(scores, y, groups, positive=1)
+        assert report.max_gap() == pytest.approx(0.5)
+        assert report.worst_cell().count >= report.min_count
+
+    def test_small_cells_excluded_from_max(self):
+        scores = np.array([0.1, 0.9])
+        report = groupwise_calibration(
+            scores, [1, 0], ["a", "b"], positive=1, min_count=10
+        )
+        assert report.max_gap() == 0.0
+        assert report.worst_cell() is None
+        assert len(report.cells) == 2
+
+    def test_score_range_validated(self):
+        with pytest.raises(ValidationError):
+            groupwise_calibration(
+                np.array([1.5]), [1], ["a"], positive=1
+            )
+
+    def test_to_text(self, rng):
+        scores = rng.random(50)
+        y = (scores > 0.5).astype(int)
+        report = groupwise_calibration(scores, y, ["g"] * 50, positive=1)
+        assert "gap" in report.to_text()

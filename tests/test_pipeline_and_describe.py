@@ -1,0 +1,132 @@
+"""Tests for repro.learn.pipeline and repro.tabular.describe."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.learn.logistic_regression import LogisticRegression
+from repro.learn.pipeline import Pipeline
+from repro.learn.preprocessing import StandardScaler, TableVectorizer
+from repro.tabular.column import Column
+from repro.tabular.describe import describe_column, describe_table
+from repro.tabular.table import Table
+
+
+@pytest.fixture
+def labelled_table() -> Table:
+    rng = np.random.default_rng(0)
+    n = 400
+    score = rng.normal(size=n)
+    city = rng.choice(["x", "y"], size=n).tolist()
+    label = np.where(score + (np.asarray(city) == "y") * 0.5 > 0, "p", "n")
+    return Table.from_dict(
+        {"score": score.tolist(), "city": city, "label": label.tolist()}
+    )
+
+
+class TestPipeline:
+    def test_vectorizer_plus_lr(self, labelled_table):
+        pipeline = Pipeline(
+            [
+                ("features", TableVectorizer(exclude=["label"])),
+                ("model", LogisticRegression()),
+            ]
+        )
+        y = labelled_table.column("label").to_list()
+        pipeline.fit(labelled_table, y)
+        assert pipeline.score(labelled_table, y) > 0.8
+        probs = pipeline.predict_proba(labelled_table)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert pipeline.classes_ == ("n", "p")
+
+    def test_array_transform_chain(self, rng):
+        X = rng.normal(5.0, 2.0, size=(200, 2))
+        y = (X[:, 0] > 5.0).astype(int)
+        pipeline = Pipeline(
+            [("scale", StandardScaler()), ("model", LogisticRegression())]
+        )
+        pipeline.fit(X, y)
+        assert pipeline.score(X, y) > 0.9
+        # The transform is applied at prediction time too.
+        assert pipeline.transform(X).mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_fit_params_forwarded(self, labelled_table):
+        from repro.learn.fair_logistic import FairLogisticRegression
+
+        pipeline = Pipeline(
+            [
+                ("features", TableVectorizer(exclude=["label", "city"])),
+                ("model", FairLogisticRegression(fairness_weight=0.1)),
+            ]
+        )
+        y = labelled_table.column("label").to_list()
+        groups = labelled_table.column("city").to_list()
+        pipeline.fit(labelled_table, y, groups=groups)
+        assert pipeline.predict(labelled_table).shape == (400,)
+
+    def test_works_as_classifier_mechanism(self, labelled_table):
+        from repro.mechanisms.classifier import ClassifierMechanism
+
+        pipeline = Pipeline(
+            [
+                ("features", TableVectorizer(exclude=["label"])),
+                ("model", LogisticRegression()),
+            ]
+        )
+        y = labelled_table.column("label").to_list()
+        pipeline.fit(labelled_table, y)
+        mechanism = ClassifierMechanism(pipeline)
+        probs = mechanism.outcome_probabilities(labelled_table)
+        assert probs.shape == (400, 2)
+
+    def test_unfitted_rejected(self, labelled_table):
+        pipeline = Pipeline([("model", LogisticRegression())])
+        with pytest.raises(NotFittedError):
+            pipeline.predict(np.zeros((1, 1)))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Pipeline([])
+        with pytest.raises(ValidationError):
+            Pipeline([("a", LogisticRegression()), ("a", LogisticRegression())])
+        with pytest.raises(ValidationError, match="transform"):
+            Pipeline(
+                [("notransform", object()), ("model", LogisticRegression())]
+            )
+        with pytest.raises(ValidationError, match="classifier"):
+            Pipeline([("scale", StandardScaler())])
+
+    def test_named_steps(self):
+        model = LogisticRegression()
+        pipeline = Pipeline([("model", model)])
+        assert pipeline.named_steps["model"] is model
+
+
+class TestDescribe:
+    def test_numeric_summary(self):
+        column = Column.numeric("x", [1.0, 2.0, 3.0])
+        summary = describe_column(column)
+        assert summary.numeric_range == (1.0, 2.0, 3.0)
+        assert summary.level_counts is None
+
+    def test_categorical_summary_sorted_by_frequency(self):
+        column = Column.categorical("c", ["b", "a", "b", "b"])
+        summary = describe_column(column)
+        assert list(summary.level_counts) == ["b", "a"]
+        assert summary.level_counts["b"] == 3
+
+    def test_boolean_summary(self):
+        column = Column.boolean("flag", [True, False, True])
+        summary = describe_column(column)
+        assert summary.level_counts[True] == 2
+
+    def test_describe_table_renders(self, labelled_table):
+        text = describe_table(labelled_table)
+        assert "400 rows x 3 columns" in text
+        assert "score" in text
+        assert "categorical" in text
+
+    def test_empty_numeric(self):
+        column = Column.numeric("x", [])
+        summary = describe_column(column)
+        assert summary.count == 0

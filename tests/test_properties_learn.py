@@ -1,0 +1,167 @@
+"""Property-based tests for the learning stack and mechanism algebra."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.core.epsilon import epsilon_from_probabilities
+from repro.learn.logistic_regression import LogisticRegression, sigmoid
+from repro.learn.naive_bayes import CategoricalNB
+from repro.learn.postprocess import GroupMixingPostprocessor
+from repro.mechanisms.base import ConstantMechanism, MixtureMechanism
+
+
+def finite_matrices(rows=st.integers(10, 60), cols=st.integers(1, 4)):
+    return st.tuples(rows, cols).flatmap(
+        lambda shape: npst.arrays(
+            dtype=np.float64,
+            shape=shape,
+            elements=st.floats(-5.0, 5.0, allow_nan=False),
+        )
+    )
+
+
+class TestLogisticRegressionProperties:
+    @given(finite_matrices(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_probabilities_are_valid(self, X, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=X.shape[0])
+        if len(set(y.tolist())) < 2:
+            y[0] = 1 - y[0]
+        model = LogisticRegression(l2=1e-2, max_iter=50).fit(X, y)
+        probs = model.predict_proba(X)
+        assert np.all(probs >= 0) and np.all(probs <= 1)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    @given(st.floats(-30.0, 30.0))
+    @settings(max_examples=100, deadline=None)
+    def test_sigmoid_bounds_and_symmetry(self, z):
+        value = float(sigmoid(np.array([z]))[0])
+        mirrored = float(sigmoid(np.array([-z]))[0])
+        assert 0.0 <= value <= 1.0
+        assert value + mirrored == pytest.approx(1.0, abs=1e-12)
+
+    @given(finite_matrices(cols=st.integers(1, 3)), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_training_beats_or_ties_majority_class(self, X, seed):
+        rng = np.random.default_rng(seed)
+        y = (X[:, 0] + rng.normal(0, 0.5, X.shape[0]) > 0).astype(int)
+        if len(set(y.tolist())) < 2:
+            y[0] = 1 - y[0]
+        model = LogisticRegression(l2=1e-4, max_iter=100).fit(X, y)
+        majority = max(np.mean(y), 1 - np.mean(y))
+        assert model.score(X, y) >= majority - 0.15
+
+
+class TestNaiveBayesProperties:
+    @given(
+        st.integers(5, 40),
+        st.integers(1, 3),
+        st.integers(2, 4),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_probabilities_normalised(self, n, d, cardinality, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.integers(0, cardinality, size=(n, d))
+        y = rng.integers(0, 2, size=n)
+        model = CategoricalNB(alpha=1.0).fit(X, y)
+        probs = model.predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs > 0)
+
+
+class TestMixtureProperties:
+    @given(
+        npst.arrays(
+            dtype=np.float64, shape=(3, 2), elements=st.floats(0.05, 1.0)
+        ),
+        npst.arrays(
+            dtype=np.float64, shape=(3, 2), elements=st.floats(0.05, 1.0)
+        ),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mixture_epsilon_bounded_by_worst_component(self, a, b, weight):
+        """Mixing mechanisms cannot exceed the worst component's epsilon
+        (mediant inequality on each pairwise ratio)."""
+        probs_a = a / a.sum(axis=1, keepdims=True)
+        probs_b = b / b.sum(axis=1, keepdims=True)
+        mixed = weight * probs_a + (1.0 - weight) * probs_b
+        eps_a = epsilon_from_probabilities(probs_a, validate=False).epsilon
+        eps_b = epsilon_from_probabilities(probs_b, validate=False).epsilon
+        eps_mixed = epsilon_from_probabilities(mixed, validate=False).epsilon
+        assert eps_mixed <= max(eps_a, eps_b) + 1e-9
+
+    @given(st.floats(0.05, 0.95), st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_mixing_with_constant_shrinks_toward_zero(self, rate, weight):
+        base = ConstantMechanism([1 - rate, rate], ("no", "yes"))
+        other = ConstantMechanism([rate, 1 - rate], ("no", "yes"))
+        mixture = MixtureMechanism([other, base], [weight, 1 - weight])
+        X = np.zeros(1)
+        probs = np.vstack(
+            [
+                base.outcome_probabilities(X)[0],
+                mixture.outcome_probabilities(X)[0],
+            ]
+        )
+        eps = epsilon_from_probabilities(probs, validate=False).epsilon
+        pure = np.vstack(
+            [
+                base.outcome_probabilities(X)[0],
+                other.outcome_probabilities(X)[0],
+            ]
+        )
+        eps_pure = epsilon_from_probabilities(pure, validate=False).epsilon
+        assert eps <= eps_pure + 1e-9
+
+
+class TestPostprocessorProperties:
+    @given(
+        npst.arrays(
+            dtype=np.float64, shape=(4,), elements=st.floats(0.05, 0.95)
+        ),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_epsilon_monotone_in_mixing_weight(self, rates, seed):
+        rng = np.random.default_rng(seed)
+        predictions = []
+        groups = []
+        for index, rate in enumerate(rates):
+            n = 200
+            positives = int(round(n * rate))
+            predictions.extend([1] * positives + [0] * (n - positives))
+            groups.extend([f"g{index}"] * n)
+        post = GroupMixingPostprocessor(positive=1).fit(predictions, groups)
+        values = [post.epsilon_at(t) for t in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        for earlier, later in zip(values, values[1:]):
+            assert later <= earlier + 1e-9
+        assert values[-1] == pytest.approx(0.0, abs=1e-9)
+
+    @given(
+        npst.arrays(
+            dtype=np.float64, shape=(3,), elements=st.floats(0.1, 0.9)
+        ),
+        st.floats(0.01, 2.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_solve_mixing_is_minimal(self, rates, target):
+        predictions = []
+        groups = []
+        for index, rate in enumerate(rates):
+            n = 100
+            positives = int(round(n * rate))
+            predictions.extend([1] * positives + [0] * (n - positives))
+            groups.extend([f"g{index}"] * n)
+        post = GroupMixingPostprocessor(positive=1).fit(predictions, groups)
+        t = post.solve_mixing(target, tol=1e-7)
+        assert post.epsilon_at(t) <= target + 1e-6
+        if t > 1e-4:
+            assert post.epsilon_at(t - 1e-4) > target - 1e-6

@@ -1,0 +1,125 @@
+"""Property-based tests of the privacy and utility guarantees (Eqs 4-5)
+and of the tabular engine's algebraic laws."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.core.epsilon import epsilon_from_probabilities
+from repro.core.privacy import (
+    expected_group_utilities,
+    posterior_group_probabilities,
+    privacy_violations,
+)
+from repro.tabular.crosstab import crosstab
+from repro.tabular.table import Table
+
+
+def probability_matrices(n_groups=3, n_outcomes=2):
+    return npst.arrays(
+        dtype=np.float64,
+        shape=(n_groups, n_outcomes),
+        elements=st.floats(0.01, 1.0),
+    ).map(lambda raw: raw / raw.sum(axis=1, keepdims=True))
+
+
+def priors(n_groups=3):
+    return npst.arrays(
+        dtype=np.float64, shape=(n_groups,), elements=st.floats(0.05, 1.0)
+    ).map(lambda raw: raw / raw.sum())
+
+
+class TestPrivacyProperties:
+    @given(probability_matrices(), priors())
+    @settings(max_examples=200, deadline=None)
+    def test_equation_four_always_holds(self, probs, prior):
+        """Eq 4: posterior odds shift bounded by the measured epsilon, for
+        every prior, outcome, and group pair."""
+        result = epsilon_from_probabilities(probs, validate=False)
+        assert privacy_violations(result, prior, tolerance=1e-7) == []
+
+    @given(probability_matrices(), priors())
+    @settings(max_examples=200, deadline=None)
+    def test_posterior_columns_normalised(self, probs, prior):
+        posterior = posterior_group_probabilities(probs, prior)
+        sums = np.nansum(posterior, axis=0)
+        assert np.allclose(sums[~np.isnan(posterior).all(axis=0)], 1.0)
+
+    @given(
+        probability_matrices(n_groups=4, n_outcomes=3),
+        npst.arrays(
+            dtype=np.float64, shape=(3,), elements=st.floats(0.0, 10.0)
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_equation_five_utility_bound(self, probs, utilities):
+        """Eq 5: E[u|si] <= exp(eps) E[u|sj] for any non-negative utility."""
+        result = epsilon_from_probabilities(probs, validate=False)
+        expected = expected_group_utilities(probs, utilities)
+        bound = math.exp(result.epsilon)
+        for i in range(len(expected)):
+            for j in range(len(expected)):
+                if expected[j] > 0:
+                    assert expected[i] <= bound * expected[j] * (1 + 1e-9)
+
+
+def small_tables():
+    """Random small categorical tables for relational-law checks."""
+    return st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),
+            st.sampled_from(["x", "y"]),
+            st.sampled_from(["n", "p"]),
+        ),
+        min_size=2,
+        max_size=40,
+    ).map(lambda rows: Table.from_rows(["g", "h", "y"], rows))
+
+
+class TestTabularLaws:
+    @given(small_tables())
+    @settings(max_examples=150, deadline=None)
+    def test_crosstab_total_is_row_count(self, table):
+        contingency = crosstab(table, ["g", "h"], "y")
+        assert contingency.total() == table.n_rows
+
+    @given(small_tables())
+    @settings(max_examples=150, deadline=None)
+    def test_marginalisation_commutes_with_counting(self, table):
+        """crosstab(g) == marginalize(crosstab(g, h), [g])."""
+        direct = crosstab(table, ["g"], "y")
+        via_marginal = crosstab(table, ["g", "h"], "y").marginalize(["g"])
+        for label in direct.group_labels():
+            for outcome in direct.outcome_levels:
+                assert direct.cell(label, outcome) == via_marginal.cell(
+                    label, outcome
+                )
+
+    @given(small_tables(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_shuffle_preserves_counts(self, table, seed):
+        shuffled = table.shuffle(np.random.default_rng(seed))
+        assert shuffled.value_counts("y") == table.value_counts("y")
+        original = crosstab(table, ["g", "h"], "y")
+        after = crosstab(shuffled, ["g", "h"], "y")
+        assert np.array_equal(original.counts, after.counts)
+
+    @given(small_tables())
+    @settings(max_examples=100, deadline=None)
+    def test_filter_partition(self, table):
+        mask = table.column("g").equals_mask("a")
+        kept = table.filter(mask)
+        dropped = table.filter(~mask)
+        assert kept.n_rows + dropped.n_rows == table.n_rows
+
+    @given(small_tables())
+    @settings(max_examples=100, deadline=None)
+    def test_groupby_sizes_sum_to_rows(self, table):
+        from repro.tabular.groupby import group_by
+
+        sizes = group_by(table, ["g", "h"]).sizes()
+        assert sum(sizes.values()) == table.n_rows

@@ -1,0 +1,206 @@
+"""Property-based tests of the paper's theorems (hypothesis).
+
+These are the core correctness guarantees of the library:
+
+* Theorem 3.1/3.2 — epsilon of any attribute subset is at most twice the
+  intersectional epsilon, for arbitrary contingency tensors and arbitrary
+  finite-x mechanisms;
+* the sharper 1x mixture bound for empirical marginalisation (DESIGN.md);
+* basic invariances of the epsilon measurement itself.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.core.empirical import edf_from_contingency
+from repro.core.epsilon import epsilon_from_probabilities
+from repro.core.estimators import DirichletEstimator
+from repro.core.subsets import subset_sweep
+from repro.tabular.crosstab import ContingencyTable
+
+
+def contingency_tensors(max_levels=3, n_outcomes=2):
+    """Random (2..3)x(2..3)xoutcomes count tensors with integer counts."""
+    return st.tuples(
+        st.integers(2, max_levels), st.integers(2, max_levels)
+    ).flatmap(
+        lambda shape: npst.arrays(
+            dtype=np.int64,
+            shape=(shape[0], shape[1], n_outcomes),
+            elements=st.integers(0, 40),
+        )
+    )
+
+
+def tensor_to_contingency(counts: np.ndarray) -> ContingencyTable:
+    a_levels = [f"a{i}" for i in range(counts.shape[0])]
+    b_levels = [f"b{i}" for i in range(counts.shape[1])]
+    outcomes = [f"y{i}" for i in range(counts.shape[2])]
+    return ContingencyTable(
+        counts.astype(float), ["first", "second"], [a_levels, b_levels], "y", outcomes
+    )
+
+
+class TestSubsetTheorem:
+    @given(contingency_tensors())
+    @settings(max_examples=200, deadline=None)
+    def test_theorem_32_two_x_bound(self, counts):
+        """Every subset epsilon <= 2 * full epsilon (Theorem 3.2)."""
+        contingency = tensor_to_contingency(counts)
+        sweep = subset_sweep(contingency)
+        assert sweep.theorem_violations(tolerance=1e-9) == []
+
+    @given(contingency_tensors())
+    @settings(max_examples=200, deadline=None)
+    def test_sharper_mixture_bound_for_mle(self, counts):
+        """For the plug-in estimator the subset epsilon never exceeds the
+        full epsilon at all (convex-combination argument; see DESIGN.md)."""
+        contingency = tensor_to_contingency(counts)
+        sweep = subset_sweep(contingency)
+        assert sweep.monotonicity_violations(tolerance=1e-9) == []
+
+    def test_smoothing_can_break_the_subset_bound(self):
+        """A reproduction finding: Theorem 3.2 concerns the true outcome
+        probabilities; applying the Eq. 7 smoothing *independently at each
+        granularity* is not such a set of probabilities and can violate the
+        2x bound. Counterexample (found by hypothesis): every populated
+        cell has counts (1, 0), so the smoothed full-intersection epsilon
+        is exactly 0, but marginal groups aggregate different numbers of
+        cells and therefore get different smoothed estimates. Documented in
+        DESIGN.md / EXPERIMENTS.md.
+        """
+        counts = np.array(
+            [[[1, 0], [1, 0]], [[1, 0], [0, 0]]], dtype=float
+        )
+        contingency = tensor_to_contingency(counts.astype(np.int64))
+        sweep = subset_sweep(contingency, estimator=DirichletEstimator(1.0))
+        assert sweep.full_epsilon == pytest.approx(0.0)
+        assert sweep.epsilon("first") > 0.0  # log((1/3) / (1/4)) side
+        assert sweep.theorem_violations() != []
+
+    @given(contingency_tensors(), st.floats(0.1, 5.0))
+    @settings(max_examples=100, deadline=None)
+    def test_smoothed_subset_epsilon_has_its_own_guarantee(self, counts, alpha):
+        """What *does* hold under smoothing: each subset's smoothed epsilon
+        is a valid measurement of the smoothed model at that granularity,
+        bounded by the (finite) worst cell ratio; and smoothing never
+        produces the infinities the plug-in estimator can."""
+        contingency = tensor_to_contingency(counts)
+        sweep = subset_sweep(contingency, estimator=DirichletEstimator(alpha))
+        for result in sweep.results.values():
+            assert math.isfinite(result.epsilon)
+            assert result.epsilon >= 0.0
+
+    @given(
+        npst.arrays(
+            dtype=np.float64,
+            shape=(4, 3, 2),
+            elements=st.floats(0.01, 1.0),
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_theorem_31_for_exact_mechanisms(self, weights):
+        """Theorem 3.1 on mechanisms over a finite feature space.
+
+        weights[g, x, :] induces P(x | g) and a randomized mechanism
+        P(y | x); marginalising the group axis can at most double epsilon.
+        """
+        joint_gx = weights[:, :, 0]
+        joint_gx = joint_gx / joint_gx.sum()
+        outcome_given_x = weights[0, :, :]
+        outcome_given_x = outcome_given_x / outcome_given_x.sum(
+            axis=1, keepdims=True
+        )
+        # Exact P(y | g) = sum_x P(x | g) P(y | x).
+        p_x_given_g = joint_gx / joint_gx.sum(axis=1, keepdims=True)
+        p_y_given_g = p_x_given_g @ outcome_given_x
+        full = epsilon_from_probabilities(p_y_given_g, validate=False).epsilon
+
+        # Merge groups {0,1} and {2,3}: a coarser protected attribute.
+        merged_joint = np.stack(
+            [joint_gx[:2].sum(axis=0), joint_gx[2:].sum(axis=0)]
+        )
+        merged_conditional = merged_joint / merged_joint.sum(
+            axis=1, keepdims=True
+        )
+        merged_p = merged_conditional @ outcome_given_x
+        coarse = epsilon_from_probabilities(merged_p, validate=False).epsilon
+        if math.isfinite(full):
+            assert coarse <= 2 * full + 1e-9
+            assert coarse <= full + 1e-9  # sharper mixture bound
+
+
+class TestEpsilonInvariances:
+    @given(contingency_tensors())
+    @settings(max_examples=100, deadline=None)
+    def test_scale_invariance(self, counts):
+        """Epsilon depends only on rates: scaling all counts is a no-op."""
+        contingency = tensor_to_contingency(counts)
+        base = edf_from_contingency(contingency).epsilon
+        scaled = edf_from_contingency(contingency.scale(7.0)).epsilon
+        if math.isfinite(base):
+            assert scaled == pytest.approx(base)
+        else:
+            assert math.isinf(scaled)
+
+    @given(
+        npst.arrays(
+            dtype=np.float64, shape=(4, 3), elements=st.floats(0.01, 1.0)
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_group_permutation_invariance(self, raw):
+        probs = raw / raw.sum(axis=1, keepdims=True)
+        base = epsilon_from_probabilities(probs, validate=False).epsilon
+        permuted = epsilon_from_probabilities(
+            probs[::-1].copy(), validate=False
+        ).epsilon
+        assert permuted == pytest.approx(base)
+
+    @given(
+        npst.arrays(
+            dtype=np.float64, shape=(3, 3), elements=st.floats(0.01, 1.0)
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_outcome_permutation_invariance(self, raw):
+        probs = raw / raw.sum(axis=1, keepdims=True)
+        base = epsilon_from_probabilities(probs, validate=False).epsilon
+        shuffled = epsilon_from_probabilities(
+            probs[:, ::-1].copy(), validate=False
+        ).epsilon
+        assert shuffled == pytest.approx(base)
+
+    @given(
+        npst.arrays(
+            dtype=np.float64, shape=(3, 2), elements=st.floats(0.05, 1.0)
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_epsilon_zero_iff_identical_rows(self, raw):
+        probs = raw / raw.sum(axis=1, keepdims=True)
+        epsilon = epsilon_from_probabilities(probs, validate=False).epsilon
+        rows_identical = np.allclose(probs, probs[0], atol=1e-12)
+        if rows_identical:
+            assert epsilon == pytest.approx(0.0, abs=1e-9)
+        if epsilon == 0.0:
+            assert np.allclose(probs, probs[0])
+
+    @given(contingency_tensors(), st.floats(0.5, 50.0))
+    @settings(max_examples=100, deadline=None)
+    def test_smoothing_never_produces_infinite_epsilon(self, counts, alpha):
+        contingency = tensor_to_contingency(counts)
+        result = edf_from_contingency(contingency, DirichletEstimator(alpha))
+        assert math.isfinite(result.epsilon)
+
+    @given(contingency_tensors())
+    @settings(max_examples=80, deadline=None)
+    def test_huge_alpha_drives_epsilon_to_zero(self, counts):
+        contingency = tensor_to_contingency(counts)
+        result = edf_from_contingency(contingency, DirichletEstimator(1e12))
+        assert result.epsilon == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,170 @@
+"""Tests for repro.tabular.crosstab."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError, ValidationError
+from repro.tabular.crosstab import ContingencyTable, crosstab
+from repro.tabular.table import Table
+
+
+class TestFromTable:
+    def test_counts(self, hiring_table):
+        table = crosstab(hiring_table, ["gender", "race"], "hired")
+        assert table.counts.shape == (2, 2, 2)
+        assert table.cell(("A", "X"), "yes") == 3
+        assert table.cell(("A", "Y"), "no") == 3
+        assert table.total() == 16
+
+    def test_single_factor_string(self, hiring_table):
+        table = crosstab(hiring_table, "gender", "hired")
+        assert table.counts.shape == (2, 2)
+
+    def test_outcome_cannot_be_factor(self, hiring_table):
+        with pytest.raises(ValidationError):
+            crosstab(hiring_table, ["hired"], "hired")
+
+    def test_numeric_column_rejected(self, numeric_table):
+        with pytest.raises(SchemaError):
+            crosstab(numeric_table, ["group"], "x")
+
+    def test_group_labels_order(self, hiring_table):
+        table = crosstab(hiring_table, ["gender", "race"], "hired")
+        assert table.group_labels() == [
+            ("A", "X"),
+            ("A", "Y"),
+            ("B", "X"),
+            ("B", "Y"),
+        ]
+
+    def test_group_outcome_matrix_alignment(self, hiring_table):
+        table = crosstab(hiring_table, ["gender", "race"], "hired")
+        matrix, labels = table.group_outcome_matrix()
+        index = labels.index(("A", "X"))
+        yes_column = table.outcome_levels.index("yes")
+        assert matrix[index, yes_column] == 3
+
+    def test_group_sizes_and_outcome_totals(self, hiring_table):
+        table = crosstab(hiring_table, ["gender"], "hired")
+        assert table.group_sizes().tolist() == [8.0, 8.0]
+        assert table.outcome_totals().sum() == 16
+
+
+class TestFromGroupCounts:
+    def test_basic(self):
+        table = ContingencyTable.from_group_counts(
+            {("a",): [1, 2], ("b",): [3, 4]},
+            factor_names=["g"],
+            outcome_name="y",
+            outcome_levels=["no", "yes"],
+        )
+        assert table.cell(("b",), "yes") == 4
+
+    def test_missing_cells_zero_filled(self):
+        table = ContingencyTable.from_group_counts(
+            {("a", "x"): [1, 0], ("b", "y"): [0, 1]},
+            factor_names=["g", "h"],
+            outcome_name="y",
+            outcome_levels=["no", "yes"],
+        )
+        assert table.cell(("a", "y"), "yes") == 0
+
+    def test_key_arity_checked(self):
+        with pytest.raises(ValidationError):
+            ContingencyTable.from_group_counts(
+                {("a",): [1, 2]},
+                factor_names=["g", "h"],
+                outcome_name="y",
+                outcome_levels=["no", "yes"],
+            )
+
+    def test_outcome_count_length_checked(self):
+        with pytest.raises(ValidationError):
+            ContingencyTable.from_group_counts(
+                {("a",): [1]},
+                factor_names=["g"],
+                outcome_name="y",
+                outcome_levels=["no", "yes"],
+            )
+
+
+class TestValidation:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            ContingencyTable(
+                np.array([[-1.0, 1.0]]),
+                ["g"],
+                [["a"]],
+                "y",
+                ["no", "yes"],
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            ContingencyTable(
+                np.zeros((2, 2)), ["g"], [["a"]], "y", ["no", "yes"]
+            )
+
+    def test_duplicate_factor_names_rejected(self):
+        with pytest.raises(ValidationError):
+            ContingencyTable(
+                np.zeros((1, 1, 2)), ["g", "g"], [["a"], ["b"]], "y", ["n", "y2"]
+            )
+
+
+class TestMarginalize:
+    def test_sums_out_factors(self, hiring_table):
+        full = crosstab(hiring_table, ["gender", "race"], "hired")
+        marginal = full.marginalize(["gender"])
+        assert marginal.factor_names == ["gender"]
+        assert marginal.cell(("A",), "yes") == 4  # 3 + 1
+        assert marginal.total() == full.total()
+
+    def test_keeps_requested_order(self, hiring_table):
+        full = crosstab(hiring_table, ["gender", "race"], "hired")
+        swapped = full.marginalize(["race", "gender"])
+        assert swapped.factor_names == ["race", "gender"]
+        assert swapped.cell(("X", "A"), "yes") == full.cell(("A", "X"), "yes")
+
+    def test_identity(self, hiring_table):
+        full = crosstab(hiring_table, ["gender", "race"], "hired")
+        same = full.marginalize(["gender", "race"])
+        assert np.array_equal(same.counts, full.counts)
+
+    def test_unknown_factor_rejected(self, hiring_table):
+        full = crosstab(hiring_table, ["gender"], "hired")
+        with pytest.raises(SchemaError):
+            full.marginalize(["height"])
+
+    def test_empty_keep_rejected(self, hiring_table):
+        full = crosstab(hiring_table, ["gender"], "hired")
+        with pytest.raises(ValidationError):
+            full.marginalize([])
+
+    def test_duplicate_keep_rejected(self, hiring_table):
+        full = crosstab(hiring_table, ["gender", "race"], "hired")
+        with pytest.raises(ValidationError):
+            full.marginalize(["gender", "gender"])
+
+
+class TestMisc:
+    def test_scale(self, hiring_table):
+        table = crosstab(hiring_table, ["gender"], "hired")
+        doubled = table.scale(2.0)
+        assert doubled.total() == 32
+
+    def test_scale_rejects_nonpositive(self, hiring_table):
+        table = crosstab(hiring_table, ["gender"], "hired")
+        with pytest.raises(ValidationError):
+            table.scale(0.0)
+
+    def test_cell_unknown_level(self, hiring_table):
+        table = crosstab(hiring_table, ["gender"], "hired")
+        with pytest.raises(KeyError):
+            table.cell(("Q",), "yes")
+        with pytest.raises(KeyError):
+            table.cell(("A",), "maybe")
+
+    def test_to_text_contains_counts(self, hiring_table):
+        table = crosstab(hiring_table, ["gender"], "hired")
+        assert "gender" in table.to_text()

@@ -1,0 +1,103 @@
+"""Tests for repro.tabular.csv_io."""
+
+import pytest
+
+from repro.exceptions import CsvParseError, SchemaError
+from repro.tabular.csv_io import read_csv, read_csv_text, write_csv
+from repro.tabular.schema import Field, Schema
+from repro.tabular.table import Table
+
+
+class TestReadCsvText:
+    def test_header_and_inference(self):
+        table = read_csv_text("a,b\n1,x\n2,y\n")
+        assert table.column("a").kind == "numeric"
+        assert table.column("b").to_list() == ["x", "y"]
+
+    def test_whitespace_stripped(self):
+        table = read_csv_text("a, b\n 1 , x \n")
+        assert table.column_names == ["a", "b"]
+        assert table.column("b").to_list() == ["x"]
+
+    def test_no_header_with_names(self):
+        table = read_csv_text("1,x\n", header=False, column_names=["n", "c"])
+        assert table.column("n").values.tolist() == [1.0]
+
+    def test_no_header_without_names_rejected(self):
+        with pytest.raises(CsvParseError):
+            read_csv_text("1,2\n", header=False)
+
+    def test_schema_parsing(self):
+        schema = Schema(
+            [Field("n", "numeric"), Field("c", "categorical", levels=("x", "y"))]
+        )
+        table = read_csv_text("n,c\n3,y\n", schema=schema)
+        assert table.column("c").levels == ("x", "y")
+
+    def test_schema_violation(self):
+        schema = Schema([Field("n", "numeric")])
+        with pytest.raises(SchemaError):
+            read_csv_text("n\nabc\n", schema=schema)
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(CsvParseError, match="cells"):
+            read_csv_text("a,b\n1\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(CsvParseError):
+            read_csv_text("\n\n")
+
+    def test_header_only_rejected(self):
+        with pytest.raises(CsvParseError, match="no data rows"):
+            read_csv_text("a,b\n")
+
+    def test_comment_lines_skipped(self):
+        table = read_csv_text(
+            "|comment\na\n1\n", skip_comment_prefix="|"
+        )
+        assert table.column("a").values.tolist() == [1.0]
+
+    def test_missing_token_replacement(self):
+        table = read_csv_text(
+            "c\n?\nx\n", missing_token="?", missing_replacement="Unknown"
+        )
+        assert table.column("c").to_list() == ["Unknown", "x"]
+
+    def test_missing_token_kept_by_default(self):
+        table = read_csv_text("c\n?\nx\n")
+        assert "?" in table.column("c").to_list()
+
+    def test_blank_lines_ignored(self):
+        table = read_csv_text("a\n\n1\n\n2\n")
+        assert table.n_rows == 2
+
+
+class TestRoundtrip:
+    def test_write_then_read(self, tmp_path, numeric_table):
+        path = tmp_path / "data.csv"
+        write_csv(numeric_table, path)
+        back = read_csv(path)
+        assert back.to_dict() == numeric_table.to_dict()
+
+    def test_integral_floats_written_as_ints(self, tmp_path):
+        table = Table.from_dict({"x": [1.0, 2.5]})
+        path = tmp_path / "data.csv"
+        write_csv(table, path)
+        content = path.read_text()
+        assert "1\n" in content.replace("\r", "")
+        assert "2.5" in content
+
+    def test_adult_style_file(self, tmp_path):
+        path = tmp_path / "adult.data"
+        path.write_text(
+            "39, State-gov, 77516, Bachelors, 13, <=50K\n"
+            "50, ?, 83311, HS-grad, 9, >50K.\n"
+        )
+        table = read_csv(
+            path,
+            header=False,
+            column_names=["age", "workclass", "fnlwgt", "edu", "edu_num", "income"],
+        )
+        assert table.n_rows == 2
+        assert table.column("age").values.tolist() == [39.0, 50.0]
+        assert "?" in table.column("workclass").to_list()

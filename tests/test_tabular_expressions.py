@@ -1,0 +1,106 @@
+"""Tests for the query expression DSL."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.tabular.expressions import col, query
+from repro.tabular.table import Table
+
+
+@pytest.fixture
+def people() -> Table:
+    return Table.from_dict(
+        {
+            "age": [15.0, 25.0, 35.0, 70.0],
+            "race": ["X", "Y", "X", "Z"],
+            "employed": [False, True, True, False],
+        }
+    )
+
+
+class TestComparisons:
+    def test_equality_on_categorical(self, people):
+        result = people.query(col("race") == "X")
+        assert result.n_rows == 2
+
+    def test_inequality(self, people):
+        assert people.query(col("race") != "X").n_rows == 2
+
+    def test_numeric_ordering(self, people):
+        assert people.query(col("age") > 30).n_rows == 2
+        assert people.query(col("age") >= 35).n_rows == 2
+        assert people.query(col("age") < 20).n_rows == 1
+        assert people.query(col("age") <= 25).n_rows == 2
+
+    def test_boolean_equality(self, people):
+        assert people.query(col("employed") == True).n_rows == 2  # noqa: E712
+
+    def test_isin(self, people):
+        assert people.query(col("race").isin(["X", "Z"])).n_rows == 3
+
+    def test_isin_empty(self, people):
+        assert people.query(col("race").isin([])).n_rows == 0
+
+    def test_ordering_on_categorical_rejected(self, people):
+        with pytest.raises(SchemaError, match="categorical"):
+            people.query(col("race") > "X")
+
+    def test_unknown_column(self, people):
+        with pytest.raises(SchemaError):
+            people.query(col("height") == 1)
+
+
+class TestComposition:
+    def test_and(self, people):
+        result = people.query((col("age") > 20) & (col("race") == "X"))
+        assert result.n_rows == 1
+        assert result.row(0)["age"] == 35.0
+
+    def test_or(self, people):
+        result = people.query((col("age") < 20) | (col("age") > 60))
+        assert result.n_rows == 2
+
+    def test_not(self, people):
+        result = people.query(~(col("race") == "X"))
+        assert result.n_rows == 2
+
+    def test_nested(self, people):
+        expr = ((col("age") >= 18) & (col("employed") == True)) | (  # noqa: E712
+            col("race") == "Z"
+        )
+        assert people.query(expr).n_rows == 3
+
+    def test_demorgan(self, people):
+        left = people.query(~((col("race") == "X") | (col("age") > 30)))
+        right = people.query((col("race") != "X") & ~(col("age") > 30))
+        assert left.to_dict() == right.to_dict()
+
+    def test_combining_with_non_expression_rejected(self, people):
+        with pytest.raises(TypeError):
+            (col("age") > 20) & "not an expression"
+
+    def test_module_level_query(self, people):
+        assert query(people, col("race") == "X").n_rows == 2
+
+    def test_repr_roundtrip_readable(self):
+        expr = (col("age") > 20) & ~(col("race") == "X")
+        text = repr(expr)
+        assert "age" in text and "race" in text and "&" in text
+
+
+class TestAuditUseCase:
+    def test_slice_then_measure(self, people):
+        """The intended workflow: subset the data, then measure epsilon."""
+        from repro.core.empirical import dataset_edf
+
+        table = Table.from_dict(
+            {
+                "gender": ["F", "F", "M", "M", "F", "M"],
+                "age": [30.0, 40.0, 30.0, 40.0, 15.0, 15.0],
+                "outcome": ["yes", "no", "yes", "yes", "no", "yes"],
+            }
+        )
+        adults = table.query(col("age") >= 18)
+        assert adults.n_rows == 4
+        result = dataset_edf(adults, protected="gender", outcome="outcome")
+        assert result.epsilon > 0

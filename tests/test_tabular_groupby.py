@@ -1,0 +1,83 @@
+"""Tests for repro.tabular.groupby."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError, ValidationError
+from repro.tabular.groupby import group_by
+from repro.tabular.table import Table
+
+
+class TestGrouping:
+    def test_single_key_sizes(self, hiring_table):
+        grouped = group_by(hiring_table, "gender")
+        assert grouped.sizes() == {("A",): 8, ("B",): 8}
+
+    def test_multi_key_sizes(self, hiring_table):
+        grouped = group_by(hiring_table, ["gender", "race"])
+        assert grouped.sizes() == {
+            ("A", "X"): 4,
+            ("A", "Y"): 4,
+            ("B", "X"): 4,
+            ("B", "Y"): 4,
+        }
+
+    def test_group_subtable(self, hiring_table):
+        grouped = group_by(hiring_table, ["gender", "race"])
+        sub = grouped.group(("A", "X"))
+        assert sub.n_rows == 4
+        assert set(sub.column("hired").to_list()) == {"yes", "no"}
+
+    def test_indices_cover_table(self, hiring_table):
+        grouped = group_by(hiring_table, ["gender"])
+        all_indices = np.concatenate(
+            [grouped.indices(key) for key in grouped.group_keys()]
+        )
+        assert sorted(all_indices.tolist()) == list(range(16))
+
+    def test_unknown_group_raises(self, hiring_table):
+        grouped = group_by(hiring_table, "gender")
+        with pytest.raises(KeyError):
+            grouped.indices(("Z",))
+
+    def test_only_observed_groups_present(self):
+        table = Table.from_dict({"g": ["a", "a"], "v": [1.0, 2.0]})
+        grouped = group_by(table, "g")
+        assert grouped.group_keys() == [("a",)]
+
+    def test_numeric_key_rejected(self, numeric_table):
+        with pytest.raises(SchemaError, match="categorical"):
+            group_by(numeric_table, "x")
+
+    def test_empty_keys_rejected(self, hiring_table):
+        with pytest.raises(ValidationError):
+            group_by(hiring_table, [])
+
+    def test_iteration(self, hiring_table):
+        grouped = group_by(hiring_table, "gender")
+        seen = {key for key, _ in grouped}
+        assert seen == {("A",), ("B",)}
+        assert len(grouped) == 2
+
+
+class TestAggregation:
+    def test_mean(self, numeric_table):
+        grouped = group_by(numeric_table, "group")
+        assert grouped.mean("x") == {("a",): 1.5, ("b",): 4.0}
+
+    def test_mean_of_categorical_rejected(self, hiring_table):
+        grouped = group_by(hiring_table, "gender")
+        with pytest.raises(SchemaError):
+            grouped.mean("race")
+
+    def test_aggregate_custom(self, numeric_table):
+        grouped = group_by(numeric_table, "group")
+        assert grouped.aggregate("x", np.max) == {("a",): 2.0, ("b",): 5.0}
+
+    def test_rate_matches_definition(self, hiring_table):
+        """GroupBy.rate is exactly P_Data(y | s) of Definition 4.2."""
+        grouped = group_by(hiring_table, ["gender", "race"])
+        rates = grouped.rate("hired", "yes")
+        assert rates[("A", "X")] == pytest.approx(0.75)
+        assert rates[("A", "Y")] == pytest.approx(0.25)
+        assert rates[("B", "X")] == pytest.approx(0.5)

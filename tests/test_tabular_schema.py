@@ -1,0 +1,86 @@
+"""Tests for repro.tabular.schema."""
+
+import pytest
+
+from repro.exceptions import SchemaError, ValidationError
+from repro.tabular.schema import Field, Schema
+from repro.tabular.table import Table
+
+
+class TestField:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            Field("x", "floaty")
+
+    def test_levels_only_for_categorical(self):
+        with pytest.raises(ValidationError):
+            Field("x", "numeric", levels=("a",))
+
+    def test_build_numeric(self):
+        column = Field("x", "numeric").build_column(["1.5", "2"])
+        assert column.values.tolist() == [1.5, 2.0]
+
+    def test_build_numeric_bad_value(self):
+        with pytest.raises(SchemaError, match="non-numeric"):
+            Field("x", "numeric").build_column(["abc"])
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("true", True), ("1", True), ("no", False), ("F", False)],
+    )
+    def test_build_boolean(self, raw, expected):
+        column = Field("b", "boolean").build_column([raw])
+        assert column.values.tolist() == [expected]
+
+    def test_build_boolean_bad_value(self):
+        with pytest.raises(SchemaError):
+            Field("b", "boolean").build_column(["maybe"])
+
+    def test_build_categorical_with_levels(self):
+        field = Field("c", "categorical", levels=("lo", "hi"))
+        column = field.build_column(["hi", "lo"])
+        assert column.levels == ("lo", "hi")
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Field("a", "numeric"), Field("a", "numeric")])
+
+    def test_lookup(self):
+        schema = Schema([Field("a", "numeric"), Field("b", "categorical")])
+        assert schema.field("b").kind == "categorical"
+        assert "a" in schema
+        assert len(schema) == 2
+
+    def test_unknown_field(self):
+        schema = Schema([Field("a", "numeric")])
+        with pytest.raises(SchemaError):
+            schema.field("zzz")
+
+    def test_subset(self):
+        schema = Schema([Field("a", "numeric"), Field("b", "categorical")])
+        assert schema.subset(["b"]).names == ["b"]
+
+    def test_validate_table_accepts(self):
+        schema = Schema([Field("x", "numeric"), Field("c", "categorical")])
+        table = Table.from_dict({"x": [1.0], "c": ["a"]})
+        schema.validate_table(table)
+
+    def test_validate_table_name_mismatch(self):
+        schema = Schema([Field("x", "numeric")])
+        table = Table.from_dict({"y": [1.0]})
+        with pytest.raises(SchemaError, match="names"):
+            schema.validate_table(table)
+
+    def test_validate_table_kind_mismatch(self):
+        schema = Schema([Field("x", "categorical")])
+        table = Table.from_dict({"x": [1.0]})
+        with pytest.raises(SchemaError, match="kind"):
+            schema.validate_table(table)
+
+    def test_validate_table_level_mismatch(self):
+        schema = Schema([Field("c", "categorical", levels=("a", "b"))])
+        table = Table.from_dict({"c": ["a"]})
+        with pytest.raises(SchemaError, match="levels"):
+            schema.validate_table(table)

@@ -1,0 +1,191 @@
+"""Tests for repro.tabular.table."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError, ValidationError
+from repro.tabular.column import Column
+from repro.tabular.table import Table, concat_tables
+
+
+class TestConstruction:
+    def test_from_dict_infers_kinds(self, numeric_table):
+        assert numeric_table.column("x").kind == "numeric"
+        assert numeric_table.column("group").kind == "categorical"
+
+    def test_from_dict_forced_categorical(self):
+        table = Table.from_dict({"code": [1, 2, 1]}, categorical=["code"])
+        assert table.column("code").kind == "categorical"
+
+    def test_from_rows(self):
+        table = Table.from_rows(["a", "b"], [(1, "x"), (2, "y")])
+        assert table.n_rows == 2
+        assert table.column("b").to_list() == ["x", "y"]
+
+    def test_from_rows_ragged_rejected(self):
+        with pytest.raises(ValidationError):
+            Table.from_rows(["a", "b"], [(1,)])
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValidationError, match="unequal"):
+            Table([Column.numeric("a", [1.0]), Column.numeric("b", [1.0, 2.0])])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Table([Column.numeric("a", [1.0]), Column.numeric("a", [2.0])])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValidationError):
+            Table([])
+
+
+class TestAccess:
+    def test_column_lookup(self, numeric_table):
+        assert numeric_table["x"].name == "x"
+
+    def test_unknown_column(self, numeric_table):
+        with pytest.raises(SchemaError, match="no column"):
+            numeric_table.column("zzz")
+
+    def test_contains(self, numeric_table):
+        assert "x" in numeric_table
+        assert "zzz" not in numeric_table
+
+    def test_row(self, numeric_table):
+        assert numeric_table.row(0) == {"x": 1.0, "y": 2.0, "group": "a"}
+
+    def test_row_out_of_range(self, numeric_table):
+        with pytest.raises(IndexError):
+            numeric_table.row(99)
+
+    def test_iter_rows(self, numeric_table):
+        rows = list(numeric_table.iter_rows())
+        assert len(rows) == 5
+        assert rows[2]["group"] == "b"
+
+    def test_to_dict_roundtrip(self, numeric_table):
+        rebuilt = Table.from_dict(numeric_table.to_dict())
+        assert rebuilt.to_dict() == numeric_table.to_dict()
+
+
+class TestRelationalOps:
+    def test_select_order(self, numeric_table):
+        projected = numeric_table.select(["group", "x"])
+        assert projected.column_names == ["group", "x"]
+
+    def test_drop(self, numeric_table):
+        assert numeric_table.drop(["y"]).column_names == ["x", "group"]
+
+    def test_drop_unknown_rejected(self, numeric_table):
+        with pytest.raises(SchemaError):
+            numeric_table.drop(["nope"])
+
+    def test_drop_all_rejected(self, numeric_table):
+        with pytest.raises(ValidationError):
+            numeric_table.drop(["x", "y", "group"])
+
+    def test_filter_mask(self, numeric_table):
+        mask = numeric_table.column("x").values > 3
+        assert numeric_table.filter(mask).n_rows == 2
+
+    def test_filter_requires_bool(self, numeric_table):
+        with pytest.raises(ValidationError):
+            numeric_table.filter(np.array([1, 0, 1, 0, 1]))
+
+    def test_where(self, numeric_table):
+        assert numeric_table.where("group", "b").n_rows == 3
+
+    def test_where_in(self, numeric_table):
+        assert numeric_table.where_in("group", ["a", "b"]).n_rows == 5
+
+    def test_filter_rows_predicate(self, numeric_table):
+        filtered = numeric_table.filter_rows(lambda row: row["x"] > 4)
+        assert filtered.n_rows == 1
+
+    def test_take_preserves_order(self, numeric_table):
+        taken = numeric_table.take([4, 0])
+        assert taken.column("x").values.tolist() == [5.0, 1.0]
+
+    def test_take_out_of_range(self, numeric_table):
+        with pytest.raises(ValidationError):
+            numeric_table.take([99])
+
+    def test_head(self, numeric_table):
+        assert numeric_table.head(2).n_rows == 2
+        assert numeric_table.head(100).n_rows == 5
+
+    def test_with_column_adds(self, numeric_table):
+        extended = numeric_table.with_column(Column.numeric("z", [0.0] * 5))
+        assert "z" in extended
+        assert "z" not in numeric_table  # immutability
+
+    def test_with_column_replaces(self, numeric_table):
+        replaced = numeric_table.with_column(Column.numeric("x", [9.0] * 5))
+        assert replaced.column("x").values.tolist() == [9.0] * 5
+        assert replaced.column_names == numeric_table.column_names
+
+    def test_with_column_length_checked(self, numeric_table):
+        with pytest.raises(ValidationError):
+            numeric_table.with_column(Column.numeric("z", [1.0]))
+
+    def test_rename(self, numeric_table):
+        renamed = numeric_table.rename({"x": "x2"})
+        assert renamed.column_names == ["x2", "y", "group"]
+
+    def test_rename_unknown_rejected(self, numeric_table):
+        with pytest.raises(SchemaError):
+            numeric_table.rename({"nope": "x"})
+
+    def test_shuffle_is_permutation(self, numeric_table, rng):
+        shuffled = numeric_table.shuffle(rng)
+        assert sorted(shuffled.column("x").values) == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_split_at(self, numeric_table):
+        left, right = numeric_table.split_at(2)
+        assert left.n_rows == 2
+        assert right.n_rows == 3
+
+
+class TestSummaries:
+    def test_value_counts_categorical(self, numeric_table):
+        assert numeric_table.value_counts("group") == {"a": 2, "b": 3}
+
+    def test_value_counts_numeric(self):
+        table = Table.from_dict({"x": [1.0, 1.0, 2.0]})
+        assert table.value_counts("x") == {1.0: 2, 2.0: 1}
+
+    def test_value_counts_omits_absent_levels(self):
+        column = Column.categorical("c", ["a"], levels=["a", "b"])
+        assert Table([column]).value_counts("c") == {"a": 1}
+
+    def test_to_text_truncation(self, numeric_table):
+        text = numeric_table.to_text(max_rows=2)
+        assert "more rows" in text
+
+
+class TestConcat:
+    def test_stacks_rows(self, numeric_table):
+        combined = concat_tables([numeric_table, numeric_table])
+        assert combined.n_rows == 10
+
+    def test_unions_categorical_levels(self):
+        first = Table.from_dict({"c": ["a"]})
+        second = Table.from_dict({"c": ["b"]})
+        combined = concat_tables([first, second])
+        assert combined.column("c").to_list() == ["a", "b"]
+        assert set(combined.column("c").levels) == {"a", "b"}
+
+    def test_name_mismatch_rejected(self, numeric_table):
+        other = Table.from_dict({"different": [1.0]})
+        with pytest.raises(SchemaError):
+            concat_tables([numeric_table, other])
+
+    def test_kind_mismatch_rejected(self):
+        first = Table.from_dict({"c": ["a"]})
+        second = Table.from_dict({"c": [1.0]})
+        with pytest.raises(SchemaError, match="mixed kinds"):
+            concat_tables([first, second])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValidationError):
+            concat_tables([])

@@ -1,0 +1,57 @@
+"""Tests for repro.utils.formatting."""
+
+import math
+
+import pytest
+
+from repro.utils.formatting import format_float, render_markdown_table, render_table
+
+
+class TestFormatFloat:
+    def test_float_rounding(self):
+        assert format_float(1.23456, 3) == "1.235"
+
+    def test_int_passthrough(self):
+        assert format_float(7) == "7"
+
+    def test_string_passthrough(self):
+        assert format_float("abc") == "abc"
+
+    def test_nan_and_inf(self):
+        assert format_float(math.nan) == "nan"
+        assert format_float(math.inf) == "inf"
+        assert format_float(-math.inf) == "-inf"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"], [["a", 1.5], ["bb", 22.25]], digits=2)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert "22.25" in lines[2 + 1]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_body(self):
+        text = render_table(["a"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestRenderMarkdownTable:
+    def test_structure(self):
+        text = render_markdown_table(["a", "b"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_markdown_table(["a"], [[1, 2]])

@@ -1,0 +1,63 @@
+"""Tests for repro.utils.logmath."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.logmath import log_ratio, logsumexp, safe_log
+
+
+class TestSafeLog:
+    def test_scalar(self):
+        assert safe_log(math.e) == pytest.approx(1.0)
+
+    def test_zero_maps_to_neg_inf(self):
+        assert safe_log(0.0) == -math.inf
+
+    def test_array(self):
+        result = safe_log(np.array([1.0, 0.0]))
+        assert result[0] == 0.0
+        assert result[1] == -math.inf
+
+
+class TestLogRatio:
+    def test_basic(self):
+        assert log_ratio(2.0, 1.0) == pytest.approx(math.log(2))
+
+    def test_symmetry(self):
+        assert log_ratio(3.0, 7.0) == pytest.approx(-log_ratio(7.0, 3.0))
+
+    def test_zero_denominator_is_inf(self):
+        assert log_ratio(0.5, 0.0) == math.inf
+
+    def test_zero_numerator_is_neg_inf(self):
+        assert log_ratio(0.0, 0.5) == -math.inf
+
+    def test_zero_over_zero_is_nan(self):
+        assert math.isnan(log_ratio(0.0, 0.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            log_ratio(-1.0, 1.0)
+
+
+class TestLogSumExp:
+    def test_matches_naive(self):
+        values = np.array([-1.0, 0.0, 2.5])
+        assert logsumexp(values) == pytest.approx(np.log(np.exp(values).sum()))
+
+    def test_large_values_do_not_overflow(self):
+        values = np.array([1000.0, 1000.0])
+        assert logsumexp(values) == pytest.approx(1000.0 + math.log(2))
+
+    def test_all_neg_inf(self):
+        assert logsumexp(np.array([-math.inf, -math.inf])) == -math.inf
+
+    def test_axis(self):
+        values = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = logsumexp(values, axis=1)
+        assert result == pytest.approx([math.log(2), 1 + math.log(2)])
+
+    def test_empty(self):
+        assert logsumexp(np.array([])) == -math.inf

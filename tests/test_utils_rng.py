@@ -1,0 +1,47 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 3)) == 3
+
+    def test_streams_differ(self):
+        a, b = spawn_generators(0, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic(self):
+        first = [g.random(3) for g in spawn_generators(42, 2)]
+        second = [g.random(3) for g in spawn_generators(42, 2)]
+        for x, y in zip(first, second):
+            assert np.array_equal(x, y)
+
+    def test_tuple_seed(self):
+        first = spawn_generators((1, 2), 1)[0].random(4)
+        second = spawn_generators((1, 2), 1)[0].random(4)
+        assert np.array_equal(first, second)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []

@@ -1,0 +1,63 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import pytest
+
+from repro.utils.stats import normal_cdf, normal_pdf, normal_ppf, normal_tail
+
+
+class TestNormalCdf:
+    def test_median(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        # Phi(1.0) from standard tables.
+        assert normal_cdf(1.0) == pytest.approx(0.8413, abs=1e-4)
+
+    def test_location_scale(self):
+        assert normal_cdf(12.0, mean=10.0, std=2.0) == pytest.approx(
+            normal_cdf(1.0)
+        )
+
+    def test_rejects_nonpositive_std(self):
+        with pytest.raises(Exception):
+            normal_cdf(0.0, std=0.0)
+
+
+class TestNormalTail:
+    def test_complement(self):
+        assert normal_tail(0.7) == pytest.approx(1.0 - normal_cdf(0.7))
+
+    def test_paper_worked_example_values(self):
+        # Figure 2: P(x >= 10.5) for N(10, 1) and N(12, 1).
+        assert normal_tail(10.5, 10.0, 1.0) == pytest.approx(0.3085, abs=5e-5)
+        assert normal_tail(10.5, 12.0, 1.0) == pytest.approx(0.9332, abs=5e-5)
+
+
+class TestNormalPdf:
+    def test_peak(self):
+        assert normal_pdf(0.0) == pytest.approx(1.0 / math.sqrt(2 * math.pi))
+
+    def test_symmetry(self):
+        assert normal_pdf(1.3) == pytest.approx(normal_pdf(-1.3))
+
+    def test_scaling(self):
+        assert normal_pdf(0.0, std=2.0) == pytest.approx(normal_pdf(0.0) / 2.0)
+
+
+class TestNormalPpf:
+    def test_inverts_cdf(self):
+        for q in (0.01, 0.25, 0.5, 0.9, 0.999):
+            assert normal_cdf(normal_ppf(q)) == pytest.approx(q, abs=1e-10)
+
+    def test_extremes(self):
+        assert normal_ppf(0.0) == -math.inf
+        assert normal_ppf(1.0) == math.inf
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            normal_ppf(1.5)
+
+    def test_location_scale(self):
+        assert normal_ppf(0.5, mean=3.0, std=9.0) == pytest.approx(3.0)

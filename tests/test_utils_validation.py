@@ -1,0 +1,120 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_fraction,
+    check_in,
+    check_nonnegative,
+    check_positive,
+    check_probability_matrix,
+    check_same_length,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_on_false(self):
+        with pytest.raises(ValidationError, match="boom"):
+            require(False, "boom")
+
+
+class TestCheck1d:
+    def test_accepts_list(self):
+        result = check_1d([1, 2, 3], "values")
+        assert result.shape == (3,)
+        assert result.dtype == float
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValidationError, match="values"):
+            check_1d([[1, 2]], "values")
+
+
+class TestCheck2d:
+    def test_accepts_nested_list(self):
+        assert check_2d([[1, 2], [3, 4]], "m").shape == (2, 2)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            check_2d([1, 2], "m")
+
+
+class TestScalarChecks:
+    def test_positive_accepts(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0])
+    def test_positive_rejects(self, value):
+        with pytest.raises(ValidationError):
+            check_positive(value, "x")
+
+    def test_nonnegative_accepts_zero(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative(-0.1, "x")
+
+    def test_nonnegative_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative(float("nan"), "x")
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_fraction_inclusive(self, value):
+        assert check_fraction(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_fraction_rejects_outside(self, value):
+        with pytest.raises(ValidationError):
+            check_fraction(value, "p")
+
+    @pytest.mark.parametrize("value", [0.0, 1.0])
+    def test_fraction_exclusive_rejects_bounds(self, value):
+        with pytest.raises(ValidationError):
+            check_fraction(value, "p", inclusive=False)
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        assert check_in("a", {"a", "b"}, "letter") == "a"
+
+    def test_rejects_nonmember(self):
+        with pytest.raises(ValidationError, match="letter"):
+            check_in("c", {"a", "b"}, "letter")
+
+
+class TestCheckSameLength:
+    def test_accepts_equal(self):
+        check_same_length([1, 2], [3, 4], "x and y")
+
+    def test_rejects_unequal(self):
+        with pytest.raises(ValidationError, match="x and y"):
+            check_same_length([1], [2, 3], "x and y")
+
+
+class TestCheckProbabilityMatrix:
+    def test_accepts_valid_rows(self):
+        matrix = check_probability_matrix([[0.25, 0.75], [0.5, 0.5]], "p")
+        assert matrix.shape == (2, 2)
+
+    def test_accepts_nan_rows(self):
+        check_probability_matrix([[np.nan, np.nan], [0.4, 0.6]], "p")
+
+    def test_rejects_mixed_nan_rows(self):
+        with pytest.raises(ValidationError, match="mixes NaN"):
+            check_probability_matrix([[np.nan, 0.5]], "p")
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            check_probability_matrix([[0.2, 0.2]], "p")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="outside"):
+            check_probability_matrix([[-0.5, 1.5]], "p")
