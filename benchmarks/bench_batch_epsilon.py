@@ -1,0 +1,169 @@
+"""Perf bench: the batch epsilon kernel vs the historical per-draw loops.
+
+Compares the seed implementation of the Monte Carlo posterior-epsilon path
+(one ``rng.dirichlet`` call per group per draw, one
+``epsilon_from_probabilities`` call with a per-outcome Python loop per
+draw) against the fused pipeline (one ``standard_gamma`` call + one
+``epsilon_batch`` call) at three scales, and records a machine-readable
+speedup trajectory in ``BENCH_batch_epsilon.json`` at the repo root so
+future PRs can track the perf trend.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_batch_epsilon.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.bayesian import posterior_epsilon_samples
+from repro.distributions.dirichlet import GroupOutcomePosterior
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_batch_epsilon.json"
+
+# (n_draws, n_groups, n_outcomes); the middle scale is the acceptance
+# target: >= 20x on 1000 draws x 32 groups x 2 outcomes.
+SCALES = [
+    (200, 8, 2),
+    (1000, 32, 2),
+    (1000, 64, 4),
+]
+TARGET_SCALE = (1000, 32, 2)
+TARGET_SPEEDUP = 20.0
+
+_RESULTS: dict[tuple[int, int, int], dict] = {}
+
+
+def _random_counts(n_groups: int, n_outcomes: int) -> np.ndarray:
+    rng = np.random.default_rng(20260728)
+    return rng.integers(5, 200, size=(n_groups, n_outcomes)).astype(float)
+
+
+# ----------------------------------------------------------------------
+# The seed implementation, reproduced verbatim in spirit: Python loops per
+# draw, per group, and per outcome.
+# ----------------------------------------------------------------------
+def _looped_epsilon(matrix: np.ndarray) -> float:
+    populated = ~np.isnan(matrix).any(axis=1)
+    indices = np.flatnonzero(populated)
+    if indices.size < 2:
+        return 0.0
+    sub = matrix[indices]
+    best = 0.0
+    seen = False
+    for column in range(matrix.shape[1]):
+        values = sub[:, column]
+        if not (values > 0).any():
+            continue
+        p_high = float(values.max())
+        p_low = float(values.min())
+        eps = math.inf if p_low == 0.0 else math.log(p_high) - math.log(p_low)
+        if not seen or eps > best:
+            best = eps
+            seen = True
+    return best
+
+
+def _looped_sample_epsilons(
+    counts: np.ndarray, alpha: float, n_draws: int, seed: int
+) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    epsilons = np.empty(n_draws)
+    for draw in range(n_draws):
+        matrix = np.full(counts.shape, np.nan)
+        for group, row in enumerate(counts):
+            if row.sum() > 0:
+                matrix[group] = rng.dirichlet(row + alpha)
+        epsilons[draw] = _looped_epsilon(matrix)
+    return epsilons
+
+
+def _batched_sample_epsilons(
+    counts: np.ndarray, alpha: float, n_draws: int, seed: int
+) -> np.ndarray:
+    return posterior_epsilon_samples(
+        counts, alpha=alpha, n_samples=n_draws, seed=seed
+    )
+
+
+def _time(callable_, repeats: int = 3) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("n_draws,n_groups,n_outcomes", SCALES)
+def test_batched_beats_looped(benchmark, n_draws, n_groups, n_outcomes):
+    counts = _random_counts(n_groups, n_outcomes)
+
+    looped = _looped_sample_epsilons(counts, 1.0, n_draws, seed=1)
+    batched = _batched_sample_epsilons(counts, 1.0, n_draws, seed=1)
+    # Different bit-stream consumption, same posterior: distributions agree.
+    assert batched.shape == looped.shape
+    assert abs(batched.mean() - looped.mean()) < 5.0 * looped.std() / math.sqrt(
+        n_draws
+    ) + 1e-9
+
+    looped_seconds = _time(
+        lambda: _looped_sample_epsilons(counts, 1.0, n_draws, seed=1),
+        repeats=1 if n_draws * n_groups > 10_000 else 2,
+    )
+    benchmark(_batched_sample_epsilons, counts, 1.0, n_draws, 1)
+    batched_seconds = benchmark.stats.stats.min
+    speedup = looped_seconds / batched_seconds
+    benchmark.extra_info["looped_seconds"] = looped_seconds
+    benchmark.extra_info["speedup"] = speedup
+
+    _RESULTS[(n_draws, n_groups, n_outcomes)] = {
+        "n_draws": n_draws,
+        "n_groups": n_groups,
+        "n_outcomes": n_outcomes,
+        "looped_seconds": looped_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": speedup,
+    }
+
+    assert speedup > 1.0
+    if (n_draws, n_groups, n_outcomes) == TARGET_SCALE:
+        assert speedup >= TARGET_SPEEDUP, (
+            f"acceptance target missed: {speedup:.1f}x < {TARGET_SPEEDUP}x "
+            f"at {TARGET_SCALE}"
+        )
+
+
+def test_zz_write_speedup_record():
+    """Runs last (file order): persist the trajectory for future PRs."""
+    assert _RESULTS, "scale benchmarks did not run"
+    record = {
+        "benchmark": "bench_batch_epsilon",
+        "workload": "posterior_epsilon_samples: Dirichlet posterior draws "
+        "-> epsilon, looped (per draw/group/outcome) vs batched kernel",
+        "target": {
+            "scale": dict(
+                zip(("n_draws", "n_groups", "n_outcomes"), TARGET_SCALE)
+            ),
+            "min_speedup": TARGET_SPEEDUP,
+        },
+        "scales": [
+            _RESULTS[key] for key in sorted(_RESULTS)
+        ],
+    }
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    target = next(
+        entry
+        for entry in record["scales"]
+        if (entry["n_draws"], entry["n_groups"], entry["n_outcomes"])
+        == TARGET_SCALE
+    )
+    assert target["speedup"] >= TARGET_SPEEDUP

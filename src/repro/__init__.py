@@ -37,6 +37,7 @@ from repro.core import (
     Witness,
     bias_amplification,
     dataset_edf,
+    epsilon_batch,
     epsilon_from_probabilities,
     gaussian_threshold_epsilon,
     interpret_epsilon,
@@ -74,6 +75,7 @@ __all__ = [
     "bias_amplification",
     "crosstab",
     "dataset_edf",
+    "epsilon_batch",
     "epsilon_from_probabilities",
     "gaussian_threshold_epsilon",
     "group_by",

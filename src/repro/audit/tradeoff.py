@@ -13,13 +13,16 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import Any
 
-from repro.core.empirical import dataset_edf
+import numpy as np
+
+from repro.core.batch import epsilon_batch
 from repro.core.estimators import DirichletEstimator
 from repro.exceptions import ValidationError
 from repro.learn.fair_logistic import FairLogisticRegression
 from repro.learn.metrics import error_rate
 from repro.learn.preprocessing import TableVectorizer
 from repro.tabular.column import Column
+from repro.tabular.crosstab import ContingencyTable
 from repro.tabular.table import Table
 
 __all__ = ["TradeoffPoint", "TradeoffCurve", "fairness_weight_sweep"]
@@ -137,7 +140,14 @@ def fairness_weight_sweep(
             fairness_weight=weight, l2=l2, max_iter=max_iter
         )
 
-    points = []
+    # Train each setting, collect every setting's smoothed probability
+    # matrix, and measure all epsilons with one batch-kernel call: the
+    # swept matrices share the (groups x outcomes) shape by construction,
+    # and the group sizes come from the fixed test rows, so one mass
+    # vector preserves edf_from_contingency's zero-mass exclusion.
+    matrices = []
+    errors = []
+    group_sizes = None
     for weight in weights:
         model = model_factory(float(weight))
         model.fit(X_train, y_train, groups=groups_train)
@@ -147,17 +157,21 @@ def fairness_weight_sweep(
                 "__prediction__", list(predictions), levels=outcome_levels
             )
         )
-        epsilon = dataset_edf(
-            audit_table,
-            protected=protected,
-            outcome="__prediction__",
-            estimator=estimator,
-        ).epsilon
-        points.append(
-            TradeoffPoint(
-                parameter=float(weight),
-                epsilon=epsilon,
-                error_percent=error_rate(y_test, predictions, percent=True),
-            )
+        contingency = ContingencyTable.from_table(
+            audit_table, protected, "__prediction__"
         )
+        counts, _ = contingency.group_outcome_matrix()
+        if group_sizes is None:
+            group_sizes = contingency.group_sizes()
+        matrices.append(estimator.probabilities(counts))
+        errors.append(error_rate(y_test, predictions, percent=True))
+    epsilons = epsilon_batch(
+        np.stack(matrices), group_mass=group_sizes, validate=True
+    )
+    points = [
+        TradeoffPoint(
+            parameter=float(weight), epsilon=float(epsilon), error_percent=error
+        )
+        for weight, epsilon, error in zip(weights, epsilons, errors)
+    ]
     return TradeoffCurve(points=tuple(points), parameter_name="fairness weight λ")

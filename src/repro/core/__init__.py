@@ -21,6 +21,11 @@ from repro.core.analytic import (
     gaussian_threshold_epsilon,
     paper_worked_example,
 )
+from repro.core.batch import (
+    epsilon_batch,
+    per_outcome_epsilon_batch,
+    witness_batch,
+)
 from repro.core.bayesian import (
     PosteriorEpsilon,
     epsilon_over_sampled_theta,
@@ -85,6 +90,7 @@ __all__ = [
     "conditional_edf",
     "dataset_edf",
     "edf_from_contingency",
+    "epsilon_batch",
     "epsilon_from_probabilities",
     "epsilon_over_sampled_theta",
     "expected_group_utilities",
@@ -96,6 +102,7 @@ __all__ = [
     "model_based_edf",
     "pairwise_log_ratio_matrix",
     "paper_worked_example",
+    "per_outcome_epsilon_batch",
     "posterior_epsilon",
     "posterior_epsilon_samples",
     "posterior_group_probabilities",
@@ -106,4 +113,5 @@ __all__ = [
     "utility_disparity",
     "utility_disparity_bound",
     "utility_factor",
+    "witness_batch",
 ]

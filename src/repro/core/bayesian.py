@@ -12,6 +12,15 @@ Two summaries are provided:
   sampling uncertainty of a measured epsilon;
 * the *sup over a sampled Θ* (Definition 3.1 takes a maximum over Θ, so a
   set of posterior draws yields the max of their epsilons).
+
+Implementation note: the sampling path is fully batched — one fused
+``standard_gamma`` call draws every group's posterior for every sample
+(:meth:`GroupOutcomePosterior.sample_matrices`) and one
+:func:`repro.core.batch.epsilon_batch` call measures every draw, with no
+per-draw Python loop. Because the vectorised sampler consumes the bit
+stream differently from the historical per-group ``dirichlet`` loop,
+posterior draws for a fixed seed changed when this was introduced; the
+posterior itself (and any seed-free statistic) is unchanged.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.epsilon import epsilon_from_probabilities
+from repro.core.batch import epsilon_batch
 from repro.distributions.dirichlet import GroupOutcomePosterior
 from repro.exceptions import ValidationError
 from repro.tabular.crosstab import ContingencyTable
@@ -44,14 +53,8 @@ def _sample_epsilons(
     if n_samples < 1:
         raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
     posterior = GroupOutcomePosterior(counts, prior_concentration=alpha)
-    rng = as_generator(seed)
-    epsilons = np.empty(n_samples)
-    for index in range(n_samples):
-        matrix = posterior.sample_matrix(rng)
-        epsilons[index] = epsilon_from_probabilities(
-            matrix, estimator="posterior sample", validate=False
-        ).epsilon
-    return epsilons
+    stack = posterior.sample_matrices(n_samples, as_generator(seed))
+    return epsilon_batch(stack)
 
 
 def posterior_epsilon_samples(

@@ -9,7 +9,9 @@ tight fairness parameter is
 
 Everything else in :mod:`repro.core` reduces to producing such a matrix
 (empirically, analytically, by Monte Carlo, or from a posterior) and calling
-:func:`epsilon_from_probabilities`.
+:func:`epsilon_from_probabilities`. The inner computation delegates to the
+vectorised kernel in :mod:`repro.core.batch` with a single-draw stack, so
+the pointwise and batched paths are bitwise identical by construction.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.batch import witness_batch
 from repro.core.result import EpsilonResult, Witness
 from repro.exceptions import ValidationError
 from repro.utils.validation import check_2d
@@ -115,41 +118,24 @@ def epsilon_from_probabilities(
                     f"(row sums in [{sums.min():.6f}, {sums.max():.6f}])"
                 )
 
-    populated_indices = np.flatnonzero(populated)
-    per_outcome: dict[Any, float] = {}
     best_epsilon = 0.0
     best_witness: Witness | None = None
 
-    if populated_indices.size >= 2:
-        sub = matrix[populated_indices]
-        for column, outcome in enumerate(outcomes):
-            values = sub[:, column]
-            positive = values > 0
-            if not positive.any():
-                per_outcome[outcome] = math.nan  # outcome outside Range(M)
-                continue
-            high_local = int(np.argmax(values))
-            low_local = int(np.argmin(values))
-            p_high = float(values[high_local])
-            p_low = float(values[low_local])
-            if p_low == 0.0:
-                eps_y = math.inf
-            else:
-                eps_y = math.log(p_high) - math.log(p_low)
-            per_outcome[outcome] = eps_y
-            if best_witness is None or eps_y > best_epsilon:
-                best_epsilon = eps_y
-                best_witness = Witness(
-                    outcome=outcome,
-                    group_high=labels[populated_indices[high_local]],
-                    group_low=labels[populated_indices[low_local]],
-                    prob_high=p_high,
-                    prob_low=p_low,
-                )
-        if best_witness is None:
-            # Every outcome was outside Range(M) for the populated groups,
-            # which cannot happen for valid probability rows.
-            raise ValidationError("no outcome had positive probability")
+    if int(populated.sum()) >= 2:
+        witness = witness_batch(matrix[None, :, :], mass)
+        eps_row = witness["per_outcome"][0]
+        per_outcome = {
+            outcome: float(eps_row[column])
+            for column, outcome in enumerate(outcomes)
+        }
+        best_epsilon = float(witness["epsilon"][0])
+        best_witness = Witness(
+            outcome=outcomes[int(witness["outcome"][0])],
+            group_high=labels[int(witness["group_high"][0])],
+            group_low=labels[int(witness["group_low"][0])],
+            prob_high=float(witness["prob_high"][0]),
+            prob_low=float(witness["prob_low"][0]),
+        )
     else:
         per_outcome = {outcome: math.nan for outcome in outcomes}
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.batch import epsilon_batch
 from repro.core.epsilon import epsilon_from_probabilities
 from repro.core.result import EpsilonResult
 from repro.distributions.base import GroupDistribution, UncertaintySet
@@ -104,27 +105,39 @@ def mechanism_epsilon(
         theta = UncertaintySet.point(theta)
 
     rng = as_generator(seed)
-    worst: EpsilonResult | None = None
-    for distribution in theta:
-        matrix = group_outcome_probabilities(
+    members = list(theta)
+    matrices = [
+        group_outcome_probabilities(
             mechanism, distribution, n_samples=n_samples, seed=rng, exact=exact
         )
-        result = epsilon_from_probabilities(
-            matrix,
-            group_labels=distribution.group_labels(),
-            outcome_levels=mechanism.outcome_levels,
-            attribute_names=distribution.attribute_names,
-            group_mass=distribution.group_probabilities(),
-            estimator=(
-                "exact integration"
-                if exact or exact is None
-                and isinstance(
-                    distribution, (JointCategorical, EmpiricalGroupDistribution)
-                )
-                else f"Monte Carlo (n={n_samples})"
-            ),
-        )
-        if worst is None or result.epsilon > worst.epsilon:
-            worst = result
-    assert worst is not None  # UncertaintySet guarantees at least one θ
-    return worst
+        for distribution in members
+    ]
+    # Sampled-Θ sup: measure every θ's matrix through the batch kernel and
+    # build the full (labelled, witnessed) result only for the worst one.
+    # Validation stays on for all members so a malformed mechanism matrix
+    # raises even when it would lose the argmax. Members may disagree on
+    # the number of groups, so stack per shape.
+    epsilons = np.empty(len(members))
+    by_shape: dict[tuple[int, ...], list[int]] = {}
+    for index, matrix in enumerate(matrices):
+        by_shape.setdefault(matrix.shape, []).append(index)
+    for indices in by_shape.values():
+        stack = np.stack([matrices[index] for index in indices])
+        epsilons[indices] = epsilon_batch(stack, validate=True)
+    worst_index = int(np.argmax(epsilons))
+    distribution = members[worst_index]
+    return epsilon_from_probabilities(
+        matrices[worst_index],
+        group_labels=distribution.group_labels(),
+        outcome_levels=mechanism.outcome_levels,
+        attribute_names=distribution.attribute_names,
+        group_mass=distribution.group_probabilities(),
+        estimator=(
+            "exact integration"
+            if exact or exact is None
+            and isinstance(
+                distribution, (JointCategorical, EmpiricalGroupDistribution)
+            )
+            else f"Monte Carlo (n={n_samples})"
+        ),
+    )

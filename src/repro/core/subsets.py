@@ -64,9 +64,10 @@ class SubsetSweep:
         """The full :class:`EpsilonResult` for one subset."""
         if isinstance(subset, str):
             subset = (subset,)
-        key = tuple(name for name in self.attribute_names if name in set(subset))
+        wanted = set(subset)
+        key = tuple(name for name in self.attribute_names if name in wanted)
         if len(key) != len(tuple(subset)):
-            unknown = set(subset) - set(self.attribute_names)
+            unknown = wanted - set(self.attribute_names)
             raise ValidationError(
                 f"unknown attributes {sorted(unknown)}; have {self.attribute_names}"
             )

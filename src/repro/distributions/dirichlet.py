@@ -135,19 +135,28 @@ class GroupOutcomePosterior:
         Empty groups are NaN. Each call with a fresh seed yields one θ for
         the posterior-sample construction of Θ.
         """
-        rng = as_generator(seed)
-        sample = np.full(self.counts.shape, np.nan)
-        for index in range(self.n_groups):
-            row = self.counts[index]
-            if row.sum() <= 0:
-                continue
-            sample[index] = rng.dirichlet(row + self.prior_concentration)
-        return sample
+        return self.sample_matrices(1, seed)[0]
 
     def sample_matrices(self, n: int, seed=None) -> np.ndarray:
-        """``n`` posterior draws, shape (n, groups, outcomes)."""
+        """``n`` posterior draws, shape (n, groups, outcomes).
+
+        All groups and draws are sampled at once via gamma normalisation:
+        independent ``Gamma(counts + alpha, 1)`` variates row-normalised
+        are exactly ``Dirichlet(counts + alpha)``, so one
+        ``standard_gamma`` call replaces ``n * n_groups`` sequential
+        ``dirichlet`` calls. Note this consumes the generator's bit stream
+        differently from the historical per-group loop: draws for a given
+        seed changed (same posterior, different variates) when the sampler
+        was vectorised.
+        """
+        if n < 1:
+            raise ValidationError(f"n must be >= 1, got {n}")
         rng = as_generator(seed)
-        return np.stack([self.sample_matrix(rng) for _ in range(n)])
+        shape = self.counts + self.prior_concentration
+        draws = rng.standard_gamma(shape, size=(n, *self.counts.shape))
+        stack = draws / draws.sum(axis=2, keepdims=True)
+        stack[:, ~self.observed_mask(), :] = np.nan
+        return stack
 
     def __repr__(self) -> str:
         return (

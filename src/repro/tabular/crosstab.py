@@ -117,13 +117,17 @@ class ContingencyTable:
         """
         factor_names = list(factor_names)
         levels: list[list[Any]] = [[] for _ in factor_names]
+        # value -> position per axis, so index lookups are O(1) instead of
+        # repeated O(L) list scans.
+        level_codes: list[dict[Any, int]] = [{} for _ in factor_names]
         for key in counts_by_group:
             if len(key) != len(factor_names):
                 raise ValidationError(
                     f"group key {key!r} does not match factors {factor_names}"
                 )
             for axis, value in enumerate(key):
-                if value not in levels[axis]:
+                if value not in level_codes[axis]:
+                    level_codes[axis][value] = len(levels[axis])
                     levels[axis].append(value)
         shape = tuple(len(axis_levels) for axis_levels in levels) + (
             len(outcome_levels),
@@ -135,7 +139,9 @@ class ContingencyTable:
                     f"group {key!r} has {len(outcome_counts)} outcome counts, "
                     f"expected {len(outcome_levels)}"
                 )
-            index = tuple(levels[axis].index(value) for axis, value in enumerate(key))
+            index = tuple(
+                level_codes[axis][value] for axis, value in enumerate(key)
+            )
             counts[index] = np.asarray(outcome_counts, dtype=np.float64)
         return cls(counts, factor_names, levels, outcome_name, outcome_levels)
 
