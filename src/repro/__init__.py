@@ -33,6 +33,7 @@ from repro.core import (
     EpsilonResult,
     FairnessRegime,
     MLEEstimator,
+    PosteriorSubsetSweep,
     SubsetSweep,
     Witness,
     bias_amplification,
@@ -43,6 +44,7 @@ from repro.core import (
     interpret_epsilon,
     mechanism_epsilon,
     paper_worked_example,
+    posterior_subset_sweep,
     subset_sweep,
 )
 from repro.tabular import (
@@ -67,6 +69,7 @@ __all__ = [
     "FairnessRegime",
     "Field",
     "MLEEstimator",
+    "PosteriorSubsetSweep",
     "Schema",
     "SubsetSweep",
     "Table",
@@ -82,6 +85,7 @@ __all__ = [
     "interpret_epsilon",
     "mechanism_epsilon",
     "paper_worked_example",
+    "posterior_subset_sweep",
     "read_csv",
     "subset_sweep",
     "write_csv",

@@ -8,12 +8,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.amplification import BiasAmplification, bias_amplification
-from repro.core.bayesian import PosteriorEpsilon, posterior_epsilon
+from repro.core.bayesian import PosteriorEpsilon
 from repro.core.empirical import dataset_edf
 from repro.core.estimators import ProbabilityEstimator, as_estimator
 from repro.core.interpretation import Interpretation, interpret_epsilon
 from repro.core.result import EpsilonResult
 from repro.core.subsets import SubsetSweep, subset_sweep
+from repro.core.sweep import PosteriorSubsetSweep, posterior_subset_sweep
 from repro.exceptions import ValidationError
 from repro.learn.metrics import error_rate
 from repro.learn.preprocessing import TableVectorizer
@@ -28,11 +29,18 @@ __all__ = ["DatasetAudit", "ClassifierAudit", "FairnessAuditor"]
 
 @dataclass(frozen=True)
 class DatasetAudit:
-    """Differential fairness audit of a labelled dataset."""
+    """Differential fairness audit of a labelled dataset.
+
+    When the auditor was configured with ``posterior_samples > 0``,
+    ``posterior_sweep`` carries the posterior epsilon distribution of
+    *every* attribute subset (one shared-draw Monte Carlo pass) and
+    ``posterior`` is its full-intersection summary.
+    """
 
     sweep: SubsetSweep
     interpretation: Interpretation
     posterior: PosteriorEpsilon | None
+    posterior_sweep: PosteriorSubsetSweep | None = None
 
     @property
     def epsilon(self) -> float:
@@ -52,6 +60,8 @@ class DatasetAudit:
         )
         if self.posterior is not None:
             lines.append(self.posterior.to_text())
+        if self.posterior_sweep is not None:
+            lines.extend(["", self.posterior_sweep.to_text()])
         return "\n".join(lines)
 
 
@@ -118,28 +128,33 @@ class FairnessAuditor:
 
     # ------------------------------------------------------------------
     def audit_dataset(self, table: Table) -> DatasetAudit:
-        """Subset sweep + interpretation (+ posterior uncertainty)."""
-        sweep = subset_sweep(
-            table,
-            protected=list(self.protected),
-            outcome=self.outcome,
-            estimator=self._estimator,
+        """Subset sweep + interpretation (+ per-subset posterior uncertainty).
+
+        With ``posterior_samples > 0`` the audit runs one shared-draw
+        posterior sweep (:func:`repro.core.sweep.posterior_subset_sweep`),
+        so every subset in the report carries a credible interval; the
+        full-intersection summary is identical to the historical
+        :func:`repro.core.bayesian.posterior_epsilon` for the same seed.
+        """
+        contingency = ContingencyTable.from_table(
+            table, list(self.protected), self.outcome
         )
+        sweep = subset_sweep(contingency, estimator=self._estimator)
         posterior = None
+        posterior_sweep = None
         if self._posterior_samples > 0:
-            contingency = ContingencyTable.from_table(
-                table, list(self.protected), self.outcome
-            )
-            posterior = posterior_epsilon(
+            posterior_sweep = posterior_subset_sweep(
                 contingency,
                 alpha=getattr(self._estimator, "alpha", 1.0),
                 n_samples=self._posterior_samples,
                 seed=self._seed,
             )
+            posterior = posterior_sweep.full
         return DatasetAudit(
             sweep=sweep,
             interpretation=interpret_epsilon(sweep.full_epsilon),
             posterior=posterior,
+            posterior_sweep=posterior_sweep,
         )
 
     def audit_classifier(

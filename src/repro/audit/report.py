@@ -22,18 +22,26 @@ __all__ = ["render_dataset_report", "render_classifier_report", "markdown_report
 
 
 def _sweep_section(audit: DatasetAudit) -> list[str]:
+    headers = ["protected attributes", "epsilon", "Theorem 3.2 bound"]
+    ordered = audit.sweep.sorted_by_epsilon()
     rows = [
         [", ".join(subset), result.epsilon, 2.0 * audit.sweep.full_epsilon]
-        for subset, result in audit.sweep.sorted_by_epsilon()
+        for subset, result in ordered
     ]
+    posterior_sweep = audit.posterior_sweep
+    if posterior_sweep is not None:
+        headers += posterior_sweep.span_headers()
+        for row, (subset, _) in zip(rows, ordered):
+            row += posterior_sweep.span_row(subset)
     lines = ["## Differential fairness by attribute subset", ""]
-    lines.append(
-        render_markdown_table(
-            ["protected attributes", "epsilon", "Theorem 3.2 bound"],
-            rows,
-            digits=4,
+    lines.append(render_markdown_table(headers, rows, digits=4))
+    if posterior_sweep is not None:
+        lines.append("")
+        lines.append(
+            f"Posterior columns: Dirichlet-multinomial model with "
+            f"alpha={posterior_sweep.alpha:g}, {posterior_sweep.n_samples} "
+            "shared posterior draws marginalised to every subset."
         )
-    )
     lines.append("")
     return lines
 

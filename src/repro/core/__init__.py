@@ -24,6 +24,7 @@ from repro.core.analytic import (
 from repro.core.batch import (
     epsilon_batch,
     per_outcome_epsilon_batch,
+    stack_padded,
     witness_batch,
 )
 from repro.core.bayesian import (
@@ -31,6 +32,7 @@ from repro.core.bayesian import (
     epsilon_over_sampled_theta,
     posterior_epsilon,
     posterior_epsilon_samples,
+    summarize_epsilon_samples,
 )
 from repro.core.conditional import ConditionalEpsilon, conditional_edf
 from repro.core.empirical import dataset_edf, edf_from_contingency
@@ -67,6 +69,12 @@ from repro.core.subsets import (
     subset_sweep,
     theorem_subset_bound,
 )
+from repro.core.sweep import (
+    PosteriorSubsetSweep,
+    marginal_count_lattice,
+    posterior_subset_sweep,
+    sweep_results,
+)
 
 __all__ = [
     "BiasAmplification",
@@ -78,6 +86,7 @@ __all__ = [
     "Interpretation",
     "MLEEstimator",
     "PosteriorEpsilon",
+    "PosteriorSubsetSweep",
     "ProbabilityEstimator",
     "RANDOMIZED_RESPONSE_EPSILON",
     "SubsetSweep",
@@ -98,6 +107,7 @@ __all__ = [
     "group_design_matrix",
     "group_outcome_probabilities",
     "interpret_epsilon",
+    "marginal_count_lattice",
     "mechanism_epsilon",
     "model_based_edf",
     "pairwise_log_ratio_matrix",
@@ -107,8 +117,12 @@ __all__ = [
     "posterior_epsilon_samples",
     "posterior_group_probabilities",
     "posterior_odds_interval",
+    "posterior_subset_sweep",
     "privacy_violations",
+    "stack_padded",
     "subset_sweep",
+    "summarize_epsilon_samples",
+    "sweep_results",
     "theorem_subset_bound",
     "utility_disparity",
     "utility_disparity_bound",

@@ -43,8 +43,42 @@ from repro.exceptions import ValidationError
 __all__ = [
     "epsilon_batch",
     "per_outcome_epsilon_batch",
+    "stack_padded",
     "witness_batch",
 ]
+
+
+def stack_padded(blocks) -> np.ndarray:
+    """Stack arrays that differ only in their group axis, NaN-padding rows.
+
+    ``blocks`` is a sequence of arrays of a common rank >= 2 whose shapes
+    agree everywhere except the group axis (axis ``-2``); the result has one
+    extra leading axis indexing the blocks, with shorter blocks padded to
+    the widest group count. The padding rows are all-NaN, which every
+    kernel in this module treats as excluded groups, so a padded stack
+    evaluates exactly as each block would alone — this is how the subset
+    sweep engine measures every attribute subset in one kernel call.
+    """
+    blocks = [np.asarray(block, dtype=float) for block in blocks]
+    if not blocks:
+        raise ValidationError("at least one block is required")
+    ndim = blocks[0].ndim
+    if ndim < 2 or any(block.ndim != ndim for block in blocks):
+        raise ValidationError("blocks must share a common rank >= 2")
+    lead = blocks[0].shape[:-2]
+    n_outcomes = blocks[0].shape[-1]
+    if any(
+        block.shape[:-2] != lead or block.shape[-1] != n_outcomes
+        for block in blocks
+    ):
+        raise ValidationError("blocks may differ only in the group axis (-2)")
+    max_groups = max(block.shape[-2] for block in blocks)
+    stacked = np.full(
+        (len(blocks), *lead, max_groups, n_outcomes), np.nan, dtype=float
+    )
+    for index, block in enumerate(blocks):
+        stacked[index, ..., : block.shape[-2], :] = block
+    return stacked
 
 
 def _as_stack(stack: np.ndarray) -> np.ndarray:
@@ -158,7 +192,7 @@ def epsilon_batch(
 
 
 def witness_batch(
-    stack: np.ndarray, group_mass=None
+    stack: np.ndarray, group_mass=None, validate: bool = False
 ) -> dict[str, np.ndarray]:
     """Witness coordinates of every draw's epsilon, vectorised.
 
@@ -183,7 +217,7 @@ def witness_batch(
     probabilities: their epsilon is vacuously zero and has no witness.
     """
     stack = _as_stack(stack)
-    per_outcome, populated = per_outcome_epsilon_batch(stack, group_mass)
+    per_outcome, populated = per_outcome_epsilon_batch(stack, group_mass, validate)
     n_draws = stack.shape[0]
     constrained = populated.sum(axis=1) >= 2
     informative = ~np.isnan(per_outcome).all(axis=1)

@@ -41,6 +41,8 @@ __all__ = [
     "posterior_epsilon_samples",
     "posterior_epsilon",
     "epsilon_over_sampled_theta",
+    "summarize_epsilon_samples",
+    "summarize_epsilon_sample_rows",
 ]
 
 
@@ -108,6 +110,67 @@ class PosteriorEpsilon:
         )
 
 
+def summarize_epsilon_samples(
+    samples: np.ndarray,
+    alpha: float,
+    quantile_levels: Sequence[float] = (0.05, 0.5, 0.95),
+) -> PosteriorEpsilon:
+    """Summarise epsilon draws into a :class:`PosteriorEpsilon`.
+
+    Shared by :func:`posterior_epsilon` and the subset-sweep engine so
+    every posterior summary in the library reports the same statistics.
+    """
+    samples = np.asarray(samples, dtype=float)
+    quantiles = {
+        float(level): float(np.quantile(samples, level))
+        for level in quantile_levels
+    }
+    return PosteriorEpsilon(
+        mean=float(samples.mean()),
+        median=float(np.median(samples)),
+        quantiles=quantiles,
+        n_samples=int(samples.size),
+        alpha=float(alpha),
+    )
+
+
+def summarize_epsilon_sample_rows(
+    matrix: np.ndarray,
+    alpha: float,
+    quantile_levels: Sequence[float] = (0.05, 0.5, 0.95),
+) -> list[PosteriorEpsilon]:
+    """Row-wise :func:`summarize_epsilon_samples` in fused array passes.
+
+    ``matrix`` is ``(n_rows, n_samples)``; each row yields the same
+    summary as ``summarize_epsilon_samples(row, ...)`` would, but the
+    means, medians, and quantiles of every row are computed in one numpy
+    call each — the subset-sweep engine summarises all ``2^p - 1``
+    subsets this way.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    levels = [float(level) for level in quantile_levels]
+    quantiles = (
+        np.quantile(matrix, levels, axis=1)
+        if levels
+        else np.empty((0, matrix.shape[0]))
+    )
+    means = matrix.mean(axis=1)
+    medians = np.median(matrix, axis=1)
+    return [
+        PosteriorEpsilon(
+            mean=float(means[row]),
+            median=float(medians[row]),
+            quantiles={
+                level: float(quantiles[index, row])
+                for index, level in enumerate(levels)
+            },
+            n_samples=int(matrix.shape[1]),
+            alpha=float(alpha),
+        )
+        for row in range(matrix.shape[0])
+    ]
+
+
 def posterior_epsilon(
     data: ContingencyTable | np.ndarray,
     alpha: float = 1.0,
@@ -117,17 +180,7 @@ def posterior_epsilon(
 ) -> PosteriorEpsilon:
     """Posterior mean and credible quantiles of epsilon."""
     samples = posterior_epsilon_samples(data, alpha, n_samples, seed)
-    quantiles = {
-        float(level): float(np.quantile(samples, level))
-        for level in quantile_levels
-    }
-    return PosteriorEpsilon(
-        mean=float(samples.mean()),
-        median=float(np.median(samples)),
-        quantiles=quantiles,
-        n_samples=n_samples,
-        alpha=float(alpha),
-    )
+    return summarize_epsilon_samples(samples, alpha, quantile_levels)
 
 
 def epsilon_over_sampled_theta(

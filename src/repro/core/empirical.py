@@ -11,7 +11,11 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.core.epsilon import epsilon_from_probabilities
-from repro.core.estimators import ProbabilityEstimator, as_estimator
+from repro.core.estimators import (
+    ProbabilityEstimator,
+    as_estimator,
+    is_builtin_estimator,
+)
 from repro.core.result import EpsilonResult
 from repro.exceptions import ValidationError
 from repro.tabular.crosstab import ContingencyTable
@@ -35,6 +39,9 @@ def edf_from_contingency(
     estimator = as_estimator(estimator)
     counts, labels = contingency.group_outcome_matrix()
     probabilities = estimator.probabilities(counts)
+    # The built-in estimators emit probability rows by construction, so
+    # their outputs skip the kernel's row-validation pass; user-defined
+    # estimators keep it as a safety net.
     return epsilon_from_probabilities(
         probabilities,
         group_labels=labels,
@@ -42,6 +49,7 @@ def edf_from_contingency(
         attribute_names=tuple(contingency.factor_names),
         group_mass=contingency.group_sizes(),
         estimator=estimator.name,
+        validate=not is_builtin_estimator(estimator),
     )
 
 

@@ -15,7 +15,13 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 
-__all__ = ["ProbabilityEstimator", "MLEEstimator", "DirichletEstimator", "as_estimator"]
+__all__ = [
+    "ProbabilityEstimator",
+    "MLEEstimator",
+    "DirichletEstimator",
+    "as_estimator",
+    "is_builtin_estimator",
+]
 
 
 class ProbabilityEstimator(ABC):
@@ -82,6 +88,22 @@ class DirichletEstimator(ProbabilityEstimator):
 
     def __repr__(self) -> str:
         return f"DirichletEstimator(alpha={self.alpha:g})"
+
+
+def is_builtin_estimator(estimator: ProbabilityEstimator) -> bool:
+    """Whether the estimator is one of this module's own implementations.
+
+    The built-in estimators make two promises their callers exploit: they
+    emit valid probability rows by construction (so downstream row
+    validation can be skipped) and they are row-wise (each output row
+    depends only on its input row, so batched callers may concatenate
+    matrices into one call). The check is deliberately an exact ``type``
+    comparison, not ``isinstance``: a subclass may override
+    ``probabilities`` and silently break either promise, so subclasses —
+    like any user-defined estimator — keep the validation safety net and
+    get one estimator call per matrix.
+    """
+    return type(estimator) in (MLEEstimator, DirichletEstimator)
 
 
 def as_estimator(

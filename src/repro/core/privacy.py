@@ -87,35 +87,56 @@ def privacy_violations(
     For an epsilon computed tightly from the same probability matrix the
     list is empty — this function exists so tests (and sceptical users) can
     verify the guarantee mechanically.
+
+    The check is one broadcast per outcome: with ``l = log P(s|y) - log
+    P(s)``, the posterior-odds shift of a pair is ``shift[i, j] = l_i -
+    l_j``, and a single ``abs(shift) > bound`` mask finds every violation
+    (the historical triple loop over outcome and group pairs did the same
+    comparisons one at a time). Conventions preserved from that loop:
+    pairs where both posteriors are zero are skipped (their shift is the
+    NaN of ``-inf - -inf``), and comparisons against a zero ``P(s_j | y)``
+    are skipped. A zero ``P(s_i | y)`` against a positive ``P(s_j | y)``
+    shifts by ``-inf`` and is reported when the bound is finite (the loop
+    raised a ``math`` domain error on that case). The posterior is
+    computed over the *populated* groups with the prior renormalised to
+    them — the historical code fed NaN rows through Bayes' rule, which
+    blanked every posterior column and silently reported no violations
+    whenever an excluded group was present; the odds *shift* is invariant
+    to that renormalisation, so populated pairs get exactly the triples
+    the loop produced on fully-populated inputs.
     """
     prior = check_1d(prior, "prior")
-    posterior = posterior_group_probabilities(result.probabilities, prior)
-    populated = [
-        index
-        for index in range(len(result.group_labels))
-        if prior[index] > 0 and not np.isnan(result.probabilities[index]).any()
-    ]
+    if np.any(prior < 0) or not np.isclose(prior.sum(), 1.0, atol=1e-8):
+        raise ValidationError("prior must be a probability vector")
+    probabilities = np.asarray(result.probabilities)
+    if prior.shape[0] != probabilities.shape[0]:
+        raise ValidationError("prior must align with the result's groups")
+    populated = np.flatnonzero(
+        (prior > 0) & ~np.isnan(probabilities).any(axis=1)
+    )
     violations = []
     bound = result.epsilon + tolerance
-    for column, outcome in enumerate(result.outcome_levels):
-        if np.isnan(posterior[:, column]).all():
-            continue
-        for i in populated:
-            for j in populated:
-                if i == j:
-                    continue
-                prior_odds = prior[i] / prior[j]
-                post_i = posterior[i, column]
-                post_j = posterior[j, column]
-                if post_i == 0.0 and post_j == 0.0:
-                    continue
-                if post_j == 0.0 or prior_odds == 0.0:
-                    continue
-                shift = math.log(post_i / post_j) - math.log(prior_odds)
-                if abs(shift) > bound:
-                    violations.append(
-                        (outcome, result.group_labels[i], result.group_labels[j])
-                    )
+    if populated.size < 2:
+        return violations
+    posterior = posterior_group_probabilities(
+        probabilities[populated], prior[populated] / prior[populated].sum()
+    )
+    labels = result.group_labels
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_prior = np.log(prior[populated])
+        for column, outcome in enumerate(result.outcome_levels):
+            post = posterior[:, column]
+            if np.isnan(post).all():
+                continue
+            log_shift = np.log(post) - log_prior
+            shift = log_shift[:, None] - log_shift[None, :]
+            mask = np.abs(shift) > bound
+            mask &= post[None, :] > 0
+            np.fill_diagonal(mask, False)
+            violations.extend(
+                (outcome, labels[populated[i]], labels[populated[j]])
+                for i, j in np.argwhere(mask)
+            )
     return violations
 
 

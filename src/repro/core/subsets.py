@@ -19,10 +19,13 @@ import math
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.core.empirical import edf_from_contingency
 from repro.core.estimators import ProbabilityEstimator, as_estimator
 from repro.core.result import EpsilonResult
-from repro.exceptions import ValidationError
+from repro.core.sweep import (
+    as_sweep_contingency,
+    normalize_subset_key,
+    sweep_results,
+)
 from repro.tabular.crosstab import ContingencyTable
 from repro.tabular.table import Table
 
@@ -62,16 +65,7 @@ class SubsetSweep:
 
     def result(self, subset: Sequence[str] | str) -> EpsilonResult:
         """The full :class:`EpsilonResult` for one subset."""
-        if isinstance(subset, str):
-            subset = (subset,)
-        wanted = set(subset)
-        key = tuple(name for name in self.attribute_names if name in wanted)
-        if len(key) != len(tuple(subset)):
-            unknown = wanted - set(self.attribute_names)
-            raise ValidationError(
-                f"unknown attributes {sorted(unknown)}; have {self.attribute_names}"
-            )
-        return self.results[key]
+        return self.results[normalize_subset_key(subset, self.attribute_names)]
 
     @property
     def full_result(self) -> EpsilonResult:
@@ -141,27 +135,20 @@ def subset_sweep(
 ) -> SubsetSweep:
     """Measure epsilon-EDF for every non-empty subset of protected attributes.
 
-    The full intersectional contingency tensor is counted once; each subset's
-    counts are obtained by marginalising it, which makes the sweep cheap even
-    for large datasets (Table 2 of the paper is one call).
+    The full intersectional contingency tensor is counted once and handed to
+    the one-pass engine in :mod:`repro.core.sweep`: all marginal counts come
+    from a memoized lattice of axis-sums and every subset's epsilon is
+    measured by a single batched kernel call, which makes the sweep cheap
+    even for many attributes (Table 2 of the paper is one call). The
+    results are bit-identical to marginalising and calling
+    :func:`repro.core.empirical.edf_from_contingency` per subset for
+    integer-valued counts (non-integer counts agree to summation-order
+    rounding).
     """
     estimator_obj = as_estimator(estimator)
-    if isinstance(data, ContingencyTable):
-        if protected is not None or outcome is not None:
-            raise ValidationError(
-                "protected/outcome are implied by a ContingencyTable; omit them"
-            )
-        contingency = data
-    else:
-        if protected is None or outcome is None:
-            raise ValidationError("protected and outcome column names are required")
-        contingency = ContingencyTable.from_table(data, list(protected), outcome)
-
-    names = tuple(contingency.factor_names)
-    results: dict[tuple[str, ...], EpsilonResult] = {}
-    for subset in all_nonempty_subsets(names):
-        marginal = contingency.marginalize(list(subset))
-        results[subset] = edf_from_contingency(marginal, estimator_obj)
+    contingency = as_sweep_contingency(data, protected, outcome)
     return SubsetSweep(
-        attribute_names=names, results=results, estimator=estimator_obj.name
+        attribute_names=tuple(contingency.factor_names),
+        results=sweep_results(contingency, estimator_obj),
+        estimator=estimator_obj.name,
     )

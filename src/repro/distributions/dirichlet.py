@@ -137,23 +137,37 @@ class GroupOutcomePosterior:
         """
         return self.sample_matrices(1, seed)[0]
 
-    def sample_matrices(self, n: int, seed=None) -> np.ndarray:
-        """``n`` posterior draws, shape (n, groups, outcomes).
+    def sample_gammas(self, n: int, seed=None) -> np.ndarray:
+        """``n`` draws of the unnormalised posterior variates.
 
-        All groups and draws are sampled at once via gamma normalisation:
-        independent ``Gamma(counts + alpha, 1)`` variates row-normalised
-        are exactly ``Dirichlet(counts + alpha)``, so one
-        ``standard_gamma`` call replaces ``n * n_groups`` sequential
-        ``dirichlet`` calls. Note this consumes the generator's bit stream
-        differently from the historical per-group loop: draws for a given
-        seed changed (same posterior, different variates) when the sampler
-        was vectorised.
+        Returns independent ``Gamma(counts + alpha, 1)`` variates of shape
+        ``(n, groups, outcomes)``. Row-normalising them yields exact
+        ``Dirichlet(counts + alpha)`` posterior draws (what
+        :meth:`sample_matrices` does); keeping them unnormalised is useful
+        because gammas *aggregate*: the sum of these variates over any
+        block of cells is the gamma variate of the aggregated Dirichlet.
+        The subset-sweep engine exploits this to marginalise one shared
+        posterior draw to every protected-attribute subset exactly.
         """
         if n < 1:
             raise ValidationError(f"n must be >= 1, got {n}")
         rng = as_generator(seed)
         shape = self.counts + self.prior_concentration
-        draws = rng.standard_gamma(shape, size=(n, *self.counts.shape))
+        return rng.standard_gamma(shape, size=(n, *self.counts.shape))
+
+    def sample_matrices(self, n: int, seed=None) -> np.ndarray:
+        """``n`` posterior draws, shape (n, groups, outcomes).
+
+        All groups and draws are sampled at once via gamma normalisation
+        (:meth:`sample_gammas`): independent ``Gamma(counts + alpha, 1)``
+        variates row-normalised are exactly ``Dirichlet(counts + alpha)``,
+        so one ``standard_gamma`` call replaces ``n * n_groups`` sequential
+        ``dirichlet`` calls. Note this consumes the generator's bit stream
+        differently from the historical per-group loop: draws for a given
+        seed changed (same posterior, different variates) when the sampler
+        was vectorised.
+        """
+        draws = self.sample_gammas(n, seed)
         stack = draws / draws.sum(axis=2, keepdims=True)
         stack[:, ~self.observed_mask(), :] = np.nan
         return stack

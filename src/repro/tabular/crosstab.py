@@ -63,6 +63,18 @@ class ContingencyTable:
         self.factor_levels = [tuple(levels) for levels in factor_levels]
         self.outcome_name = outcome_name
         self.outcome_levels = tuple(outcome_levels)
+        # level -> axis position, built once so cell lookups are O(1)
+        # instead of O(L) list scans; setdefault keeps the first position
+        # for a duplicated level, matching list.index.
+        self._level_codes: list[dict[Any, int]] = []
+        for levels in self.factor_levels:
+            codes: dict[Any, int] = {}
+            for code, level in enumerate(levels):
+                codes.setdefault(level, code)
+            self._level_codes.append(codes)
+        self._outcome_codes: dict[Any, int] = {}
+        for code, level in enumerate(self.outcome_levels):
+            self._outcome_codes.setdefault(level, code)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -193,8 +205,8 @@ class ContingencyTable:
         index = []
         for axis, value in enumerate(group):
             try:
-                index.append(self.factor_levels[axis].index(value))
-            except ValueError:
+                index.append(self._level_codes[axis][value])
+            except KeyError:
                 raise KeyError(
                     f"{value!r} is not a level of factor "
                     f"{self.factor_names[axis]!r}"
@@ -203,8 +215,8 @@ class ContingencyTable:
 
     def _outcome_index(self, outcome: Any) -> int:
         try:
-            return self.outcome_levels.index(outcome)
-        except ValueError:
+            return self._outcome_codes[outcome]
+        except KeyError:
             raise KeyError(
                 f"{outcome!r} is not an outcome level of {self.outcome_name!r}"
             ) from None

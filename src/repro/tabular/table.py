@@ -64,9 +64,9 @@ class Table:
         rows = list(rows)
         if rows and any(len(row) != len(names) for row in rows):
             raise ValidationError("all rows must have one cell per column name")
-        data = {
-            name: [row[index] for row in rows] for index, name in enumerate(names)
-        }
+        # One zip transpose instead of a per-column pass over every row.
+        transposed = zip(*rows) if rows else ((),) * len(names)
+        data = {name: list(values) for name, values in zip(names, transposed)}
         return cls.from_dict(data)
 
     # ------------------------------------------------------------------
@@ -286,9 +286,11 @@ def concat_tables(tables: Sequence[Table]) -> Table:
         kind = kinds.pop()
         if kind == CATEGORICAL:
             union: list[Any] = []
+            seen: set[Any] = set()
             for part in parts:
                 for level in part.levels:
-                    if level not in union:
+                    if level not in seen:
+                        seen.add(level)
                         union.append(level)
             recoded = [part.with_levels(union) for part in parts]
             codes = np.concatenate([part.codes for part in recoded])

@@ -8,6 +8,14 @@ import pytest
 from repro.tabular.table import Table
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: fast performance-regression guards (small sizes, generous "
+        "thresholds) that fail on accidental de-vectorisation",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
