@@ -27,6 +27,7 @@ API lives in the subpackages:
 * :mod:`repro.audit` — high-level auditing pipelines (Tables 2 and 3)
 """
 
+from repro.audit.stream import StreamingAuditor
 from repro.core import (
     BiasAmplification,
     DirichletEstimator,
@@ -34,6 +35,7 @@ from repro.core import (
     FairnessRegime,
     MLEEstimator,
     PosteriorSubsetSweep,
+    StreamingContingency,
     SubsetSweep,
     Witness,
     bias_amplification,
@@ -71,6 +73,8 @@ __all__ = [
     "MLEEstimator",
     "PosteriorSubsetSweep",
     "Schema",
+    "StreamingAuditor",
+    "StreamingContingency",
     "SubsetSweep",
     "Table",
     "Witness",

@@ -3,12 +3,16 @@
 * :class:`FairnessAuditor` — one-call dataset and classifier audits
   combining the subset sweep, interpretation, posterior uncertainty, and
   the related-work baseline metrics;
+* :class:`StreamingAuditor` — the same dataset audit maintained
+  incrementally over a live stream, with sliding-window retraction and
+  O(touched cells) point-epsilon updates;
 * :class:`FeatureSelectionStudy` — the paper's Table 3 experiment: train a
   classifier with each subset of the sensitive attributes as features and
   measure epsilon, bias amplification, and error.
 """
 
 from repro.audit.auditor import ClassifierAudit, DatasetAudit, FairnessAuditor
+from repro.audit.stream import StreamingAuditor
 from repro.audit.feature_study import (
     FeatureSelectionStudy,
     FeatureStudyResult,
@@ -35,6 +39,7 @@ __all__ = [
     "FeatureSelectionStudy",
     "FeatureStudyResult",
     "FeatureStudyRow",
+    "StreamingAuditor",
     "markdown_report",
     "render_classifier_report",
     "render_dataset_report",

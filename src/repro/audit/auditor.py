@@ -139,6 +139,27 @@ class FairnessAuditor:
         contingency = ContingencyTable.from_table(
             table, list(self.protected), self.outcome
         )
+        return self.audit_contingency(contingency)
+
+    def audit_contingency(self, contingency: ContingencyTable) -> DatasetAudit:
+        """The dataset audit on pre-computed counts.
+
+        This is the path the streaming subsystem shares: a
+        :class:`repro.core.streaming.StreamingContingency` snapshot fed
+        here produces results bit-identical to :meth:`audit_dataset` on
+        the equivalent in-memory table, because both reduce to the same
+        count tensor.
+        """
+        if list(contingency.factor_names) != list(self.protected):
+            raise ValidationError(
+                f"contingency factors {contingency.factor_names} do not match "
+                f"the auditor's protected attributes {list(self.protected)}"
+            )
+        if contingency.outcome_name != self.outcome:
+            raise ValidationError(
+                f"contingency outcome {contingency.outcome_name!r} does not "
+                f"match the auditor's outcome {self.outcome!r}"
+            )
         sweep = subset_sweep(contingency, estimator=self._estimator)
         posterior = None
         posterior_sweep = None

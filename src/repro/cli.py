@@ -7,6 +7,12 @@ Commands
     plain-text or markdown report (the practitioner workflow of Section 1:
     "measuring and critiquing the fairness properties of real-world AI and
     ML systems").
+``audit-stream``
+    The same audit over a chunked stream of the file: rows are ingested
+    incrementally through :class:`repro.audit.stream.StreamingAuditor`
+    (optionally over a sliding window), a per-chunk epsilon trace is
+    printed, and the final report describes the last window — the
+    continuous-monitoring workflow, demonstrated on a file.
 ``worked-example``
     Print the paper's Figure 2 Gaussian-threshold example.
 ``simpsons``
@@ -59,6 +65,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit a markdown report instead of plain text",
     )
 
+    stream = commands.add_parser(
+        "audit-stream",
+        help="audit a labelled CSV file incrementally (chunked, windowed)",
+    )
+    stream.add_argument("csv_path", help="path to a CSV file with a header row")
+    stream.add_argument(
+        "--protected",
+        required=True,
+        help="comma-separated protected attribute columns",
+    )
+    stream.add_argument("--outcome", required=True, help="the outcome column")
+    stream.add_argument(
+        "--alpha",
+        type=float,
+        default=None,
+        help="Dirichlet smoothing concentration (Eq. 7); omit for Eq. 6",
+    )
+    stream.add_argument(
+        "--posterior-samples",
+        type=int,
+        default=0,
+        help="add a posterior credible summary of epsilon with N draws",
+    )
+    stream.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        help="sliding window size in rows (0 = cumulative, the default)",
+    )
+    stream.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=4096,
+        help="rows ingested per chunk (default 4096)",
+    )
+    stream.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a markdown report instead of plain text",
+    )
+
     commands.add_parser(
         "worked-example", help="print the paper's Figure 2 worked example"
     )
@@ -103,6 +150,64 @@ def _run_audit(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_audit_stream(args: argparse.Namespace, out) -> int:
+    from repro.audit.report import render_dataset_report
+    from repro.audit.stream import StreamingAuditor
+    from repro.tabular.csv_io import iter_csv_chunks
+
+    protected = [name.strip() for name in args.protected.split(",") if name.strip()]
+    if not protected:
+        print("error: --protected must name at least one column", file=sys.stderr)
+        return 2
+    if args.window < 0:
+        print("error: --window must be >= 0", file=sys.stderr)
+        return 2
+    auditor = StreamingAuditor(
+        protected=protected,
+        outcome=args.outcome,
+        estimator=args.alpha,
+        posterior_samples=args.posterior_samples,
+        window=args.window or None,
+    )
+    for index, chunk in enumerate(
+        iter_csv_chunks(
+            args.csv_path,
+            chunk_rows=args.chunk_rows,
+            columns=[*protected, args.outcome],
+        ),
+        start=1,
+    ):
+        epsilon = auditor.observe_table(chunk)
+        held = (
+            f"total {auditor.n_window_rows}"
+            if auditor.window is None
+            else f"window {auditor.n_window_rows}/{auditor.window}"
+        )
+        out.write(
+            f"chunk {index}: +{chunk.n_rows} rows ({held}) "
+            f"epsilon = {epsilon:.4f}\n"
+        )
+    out.write("\n")
+    audit = auditor.audit()
+    if args.markdown:
+        scope = (
+            "cumulative" if auditor.window is None
+            else f"last {auditor.window} rows"
+        )
+        out.write(
+            render_dataset_report(
+                audit,
+                title=f"Differential fairness report ({scope})",
+                dataset_name=args.csv_path,
+                n_rows=auditor.n_window_rows,
+            )
+        )
+    else:
+        out.write(audit.to_text())
+        out.write("\n")
+    return 0
+
+
 def _run_worked_example(out) -> int:
     from repro.core.analytic import paper_worked_example
 
@@ -134,6 +239,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     try:
         if args.command == "audit":
             return _run_audit(args, out)
+        if args.command == "audit-stream":
+            return _run_audit_stream(args, out)
         if args.command == "worked-example":
             return _run_worked_example(out)
         if args.command == "simpsons":

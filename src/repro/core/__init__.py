@@ -63,6 +63,7 @@ from repro.core.privacy import (
     utility_disparity_bound,
 )
 from repro.core.result import EpsilonResult, Witness
+from repro.core.streaming import StreamingContingency, canonical_level_order
 from repro.core.subsets import (
     SubsetSweep,
     all_nonempty_subsets,
@@ -89,6 +90,7 @@ __all__ = [
     "PosteriorSubsetSweep",
     "ProbabilityEstimator",
     "RANDOMIZED_RESPONSE_EPSILON",
+    "StreamingContingency",
     "SubsetSweep",
     "UtilityDisparity",
     "Witness",
@@ -96,6 +98,7 @@ __all__ = [
     "all_nonempty_subsets",
     "as_estimator",
     "bias_amplification",
+    "canonical_level_order",
     "conditional_edf",
     "dataset_edf",
     "edf_from_contingency",

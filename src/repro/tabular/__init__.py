@@ -10,7 +10,7 @@ dataframe library this project actually needs, implemented on NumPy.
 
 from repro.tabular.column import Column
 from repro.tabular.crosstab import ContingencyTable, crosstab
-from repro.tabular.csv_io import read_csv, write_csv
+from repro.tabular.csv_io import iter_csv_chunks, read_csv, write_csv
 from repro.tabular.describe import ColumnSummary, describe_column, describe_table
 from repro.tabular.expressions import ColumnRef, Expression, col
 from repro.tabular.groupby import GroupBy, group_by
@@ -33,6 +33,7 @@ __all__ = [
     "concat_tables",
     "crosstab",
     "group_by",
+    "iter_csv_chunks",
     "read_csv",
     "write_csv",
 ]

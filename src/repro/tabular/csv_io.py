@@ -19,7 +19,7 @@ from repro.tabular.column import CATEGORICAL, Column
 from repro.tabular.schema import Schema
 from repro.tabular.table import Table
 
-__all__ = ["read_csv", "write_csv", "read_csv_text"]
+__all__ = ["read_csv", "write_csv", "read_csv_text", "iter_csv_chunks"]
 
 
 def read_csv(
@@ -122,6 +122,126 @@ def read_csv_text(
         else:
             columns.append(_infer_column(name, raw_values))
     return Table(columns)
+
+
+def iter_csv_chunks(
+    path: str | Path,
+    chunk_rows: int = 4096,
+    *,
+    schema: Schema | None = None,
+    header: bool = True,
+    column_names: Sequence[str] | None = None,
+    delimiter: str = ",",
+    missing_token: str = "?",
+    missing_replacement: str | None = None,
+    skip_comment_prefix: str | None = None,
+    columns: Sequence[str] | None = None,
+):
+    """Stream a CSV file as a sequence of :class:`Table` chunks.
+
+    The file is read incrementally — at most ``chunk_rows`` data rows are
+    materialised at a time — which is what lets the streaming audit
+    subsystem (:class:`repro.audit.stream.StreamingAuditor`, the CLI's
+    ``audit-stream``) ingest files far larger than memory.
+
+    Columns covered by ``schema`` are parsed to their declared kinds;
+    all other columns come out *categorical* (dictionary-encoded
+    strings). Whole-file kind inference is deliberately not attempted:
+    a chunk cannot see the rest of the file, and per-chunk inference
+    could flip a column's kind between chunks. ``columns`` restricts
+    each chunk to the named columns (a projection pushdown — unneeded
+    cells are dropped during parsing).
+
+    Cell stripping and ``missing_token`` handling match
+    :func:`read_csv`. Raises :class:`CsvParseError` on ragged rows, on
+    unknown ``columns`` names, and — like :func:`read_csv` — when the
+    file contains no data rows (after the generator is exhausted).
+    """
+    if chunk_rows < 1:
+        raise CsvParseError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    with Path(path).open(encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        names: list[str] | None = None
+        if not header:
+            if column_names is not None:
+                names = list(column_names)
+            elif schema is not None:
+                names = schema.names
+            else:
+                raise CsvParseError(
+                    "header=False requires column_names or a schema to "
+                    "supply names"
+                )
+        selected: list[int] | None = None
+        buffer: list[list[str]] = []
+        line_number = 0
+        yielded = False
+        for raw_row in reader:
+            if not raw_row or all(not cell.strip() for cell in raw_row):
+                continue
+            first = raw_row[0].strip()
+            if skip_comment_prefix and first.startswith(skip_comment_prefix):
+                continue
+            row = [cell.strip() for cell in raw_row]
+            if names is None:
+                names = row
+                continue
+            if selected is None:
+                selected = _select_indices(names, columns)
+            line_number += 1
+            if len(row) != len(names):
+                raise CsvParseError(
+                    f"row {line_number} has {len(row)} cells, expected "
+                    f"{len(names)}"
+                )
+            # Projection pushdown: unselected cells are dropped here, so
+            # the buffer never holds more than chunk_rows x len(columns).
+            row = [row[index] for index in selected]
+            if missing_replacement is not None:
+                row = [
+                    missing_replacement if cell == missing_token else cell
+                    for cell in row
+                ]
+            buffer.append(row)
+            if len(buffer) == chunk_rows:
+                yield _chunk_table(names, selected, buffer, schema)
+                yielded = True
+                buffer = []
+        if buffer:
+            yield _chunk_table(names, selected, buffer, schema)
+            yielded = True
+        if not yielded:
+            raise CsvParseError("no data rows found")
+
+
+def _select_indices(
+    names: list[str], columns: Sequence[str] | None
+) -> list[int]:
+    if columns is None:
+        return list(range(len(names)))
+    positions = {name: index for index, name in enumerate(names)}
+    missing = [name for name in columns if name not in positions]
+    if missing:
+        raise CsvParseError(f"unknown columns {missing}; file has {names}")
+    return [positions[name] for name in columns]
+
+
+def _chunk_table(
+    names: list[str],
+    selected: list[int],
+    rows: list[list[str]],
+    schema: Schema | None,
+) -> Table:
+    """Build a chunk from already-projected rows (one cell per selection)."""
+    chunk_columns: list[Column] = []
+    for position, index in enumerate(selected):
+        name = names[index]
+        raw_values = [row[position] for row in rows]
+        if schema is not None and name in schema:
+            chunk_columns.append(schema.field(name).build_column(raw_values))
+        else:
+            chunk_columns.append(Column.categorical(name, raw_values))
+    return Table(chunk_columns)
 
 
 def _infer_column(name: str, raw_values: list[str]) -> Column:

@@ -1,18 +1,39 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Markers live in ``pytest.ini`` (repo root) so that ``--strict-markers``
+passes for every collection root, including ``benchmarks/``. Hypothesis
+settings profiles are registered here: ``dev`` (the default) keeps
+property tests fast locally, ``ci`` spends more examples; select with
+``HYPOTHESIS_PROFILE=ci`` (tests that pin their own ``@settings`` are
+unaffected).
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.tabular.table import Table
 
+try:  # property-test modules skip-collect without hypothesis; so do profiles
+    from hypothesis import settings
+except ImportError:  # pragma: no cover
+    pass
+else:
+    settings.register_profile("dev", max_examples=50, deadline=None)
+    settings.register_profile("ci", max_examples=200, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "perf: fast performance-regression guards (small sizes, generous "
-        "thresholds) that fail on accidental de-vectorisation",
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden CLI fixtures under tests/golden/ "
+        "instead of comparing against them",
     )
 
 

@@ -1,0 +1,215 @@
+"""Tests for repro.audit.stream (the sliding-window streaming auditor)."""
+
+import numpy as np
+import pytest
+
+from repro.audit.auditor import FairnessAuditor
+from repro.audit.stream import StreamingAuditor
+from repro.core.empirical import dataset_edf
+from repro.core.estimators import MLEEstimator
+from repro.exceptions import ValidationError
+from repro.tabular.table import Table
+
+NAMES = ["gender", "race", "hired"]
+
+
+def stream_rows(n=600, seed=7):
+    rng = np.random.default_rng(seed)
+    genders = ["F", "M"]
+    races = ["X", "Y", "Z"]
+    outcomes = ["no", "yes"]
+    return [
+        (
+            genders[rng.integers(2)],
+            races[rng.integers(3)],
+            outcomes[rng.integers(2)],
+        )
+        for _ in range(n)
+    ]
+
+
+def window_reference_epsilon(rows, estimator=None):
+    table = Table.from_rows(NAMES, rows)
+    return dataset_edf(
+        table, protected=["gender", "race"], outcome="hired", estimator=estimator
+    ).epsilon
+
+
+class TestWindowedEpsilon:
+    @pytest.mark.parametrize("estimator", [None, 1.0])
+    def test_matches_full_recompute_after_every_chunk(self, estimator):
+        rows = stream_rows()
+        auditor = StreamingAuditor(
+            ["gender", "race"], "hired", estimator=estimator, window=150
+        )
+        for start in range(0, len(rows), 47):
+            chunk = rows[start : start + 47]
+            epsilon = auditor.observe(chunk)
+            upto = min(start + 47, len(rows))
+            window = rows[max(0, upto - 150) : upto]
+            assert epsilon == window_reference_epsilon(window, estimator)
+        assert auditor.rows_seen == len(rows)
+        assert auditor.n_window_rows == 150
+
+    def test_cumulative_mode_never_evicts(self):
+        rows = stream_rows(200)
+        auditor = StreamingAuditor(["gender", "race"], "hired")
+        auditor.observe(rows)
+        assert auditor.window is None
+        assert auditor.n_window_rows == len(rows)
+        assert auditor.epsilon() == window_reference_epsilon(rows)
+
+    def test_empty_stream_has_zero_epsilon(self):
+        auditor = StreamingAuditor(["gender"], "hired", window=10)
+        assert auditor.epsilon() == 0.0
+        assert auditor.observe([]) == 0.0
+
+    def test_single_outcome_level_is_vacuous(self):
+        auditor = StreamingAuditor(["gender"], "hired")
+        assert auditor.observe([("A", "yes"), ("B", "yes")]) == 0.0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            StreamingAuditor(["gender"], "hired", window=0)
+
+
+class TestObserveTable:
+    def test_observe_table_matches_observe_rows(self, hiring_table):
+        rows = list(
+            zip(*(hiring_table.column(name).to_list() for name in NAMES))
+        )
+        by_rows = StreamingAuditor(["gender", "race"], "hired")
+        by_table = StreamingAuditor(["gender", "race"], "hired")
+        eps_rows = by_rows.observe(rows)
+        eps_table = by_table.observe_table(hiring_table)
+        assert eps_rows == eps_table
+        assert by_rows.n_window_rows == by_table.n_window_rows
+
+    def test_observe_table_windowed_evicts(self, hiring_table):
+        auditor = StreamingAuditor(["gender", "race"], "hired", window=10)
+        auditor.observe_table(hiring_table)
+        assert auditor.n_window_rows == 10
+        assert auditor.rows_seen == hiring_table.n_rows
+
+    def test_extra_columns_are_ignored(self, hiring_table):
+        extra = hiring_table.with_column(
+            hiring_table.column("gender").rename("shadow")
+        )
+        auditor = StreamingAuditor(["gender", "race"], "hired")
+        auditor.observe_table(extra)
+        assert auditor.n_window_rows == hiring_table.n_rows
+
+
+class TestFullAudit:
+    def test_audit_matches_fairness_auditor_bitwise(self, hiring_table):
+        rows = list(
+            zip(*(hiring_table.column(name).to_list() for name in NAMES))
+        )
+        streaming = StreamingAuditor(
+            ["gender", "race"], "hired", posterior_samples=25, seed=11
+        )
+        streaming.observe(rows)
+        reference = FairnessAuditor(
+            ["gender", "race"], "hired", posterior_samples=25, seed=11
+        ).audit_dataset(hiring_table)
+        audit = streaming.audit()
+        assert audit.sweep.full_epsilon == reference.sweep.full_epsilon
+        for subset, result in reference.sweep.results.items():
+            assert audit.sweep.results[subset].epsilon == result.epsilon
+        assert audit.posterior.mean == reference.posterior.mean
+        assert audit.posterior.quantiles == reference.posterior.quantiles
+        assert audit.to_text() == reference.to_text()
+
+    def test_repeated_audits_are_deterministic(self, hiring_table):
+        auditor = StreamingAuditor(
+            ["gender", "race"], "hired", posterior_samples=10, seed=2
+        )
+        auditor.observe_table(hiring_table)
+        assert auditor.audit().to_text() == auditor.audit().to_text()
+
+
+class TestIncrementalCacheCorrectness:
+    def test_dirty_rows_only_is_bitwise_exact(self):
+        """Interleaved updates/evictions across schema growth stay exact."""
+        rows = stream_rows(300, seed=12)
+        auditor = StreamingAuditor(["gender", "race"], "hired", window=80)
+        # Feed one row at a time so the dirty set is minimal every step.
+        for index, row in enumerate(rows):
+            epsilon = auditor.observe([row])
+            window = rows[max(0, index + 1 - 80) : index + 1]
+            if len({r[-1] for r in window}) < 2:
+                # One observed outcome level: vacuously fair mid-stream
+                # (the one-shot path cannot even express this window).
+                assert epsilon == 0.0
+            else:
+                assert epsilon == window_reference_epsilon(window)
+
+    def test_user_defined_estimator_falls_back_to_full_recompute(self):
+        class ShadowMLE(MLEEstimator):
+            """Same numbers, but no row-wise promise (subclass)."""
+
+        rows = stream_rows(120, seed=3)
+        auditor = StreamingAuditor(
+            ["gender", "race"], "hired", estimator=ShadowMLE(), window=50
+        )
+        for start in range(0, len(rows), 30):
+            chunk = rows[start : start + 30]
+            epsilon = auditor.observe(chunk)
+            upto = min(start + 30, len(rows))
+            window = rows[max(0, upto - 50) : upto]
+            assert epsilon == window_reference_epsilon(window)
+
+
+class TestCheckpointing:
+    def test_state_roundtrip_resumes_stream(self):
+        rows = stream_rows(200, seed=5)
+        auditor = StreamingAuditor(["gender", "race"], "hired", window=60)
+        auditor.observe(rows[:150])
+        state = auditor.state_dict()
+
+        resumed = StreamingAuditor(["gender", "race"], "hired", window=60)
+        resumed.restore(state)
+        assert resumed.epsilon() == auditor.epsilon()
+        assert resumed.observe(rows[150:]) == auditor.observe(rows[150:])
+        assert resumed.rows_seen == auditor.rows_seen
+
+    def test_window_mismatch_rejected(self):
+        auditor = StreamingAuditor(["gender"], "hired", window=5)
+        auditor.observe([("A", "yes"), ("B", "no")])
+        state = auditor.state_dict()
+        other = StreamingAuditor(["gender"], "hired", window=9)
+        with pytest.raises(ValidationError):
+            other.restore(state)
+
+
+class TestShardedPipeline:
+    def test_merge_then_audit_equals_single_stream(self):
+        rows = stream_rows(240, seed=9)
+        shards = [
+            StreamingAuditor(["gender", "race"], "hired") for _ in range(3)
+        ]
+        for index, row in enumerate(rows):
+            shards[index % 3].observe([row])
+        merged = shards[0].accumulator.merge(
+            shards[1].accumulator
+        ).merge(shards[2].accumulator)
+
+        single = StreamingAuditor(["gender", "race"], "hired")
+        single.observe(rows)
+        assert np.array_equal(
+            merged.snapshot().counts, single.accumulator.snapshot().counts
+        )
+        auditor = FairnessAuditor(["gender", "race"], "hired")
+        assert (
+            auditor.audit_contingency(merged.snapshot()).to_text()
+            == auditor.audit_dataset(Table.from_rows(NAMES, rows)).to_text()
+        )
+
+
+def test_audit_contingency_rejects_mismatched_factors(hiring_table):
+    from repro.tabular.crosstab import ContingencyTable
+
+    contingency = ContingencyTable.from_table(hiring_table, ["gender"], "hired")
+    auditor = FairnessAuditor(["gender", "race"], "hired")
+    with pytest.raises(ValidationError):
+        auditor.audit_contingency(contingency)

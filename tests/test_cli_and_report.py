@@ -94,6 +94,93 @@ class TestCliAudit:
         assert code == 2
 
 
+class TestCliAuditStream:
+    def test_stream_matches_one_shot_final_report(self, csv_file):
+        """Cumulative audit-stream ends on the same report as plain audit."""
+        _, one_shot = run_cli(
+            ["audit", csv_file, "--protected", "gender,race", "--outcome", "hired"]
+        )
+        code, streamed = run_cli(
+            [
+                "audit-stream", csv_file,
+                "--protected", "gender,race",
+                "--outcome", "hired",
+                "--chunk-rows", "5",
+            ]
+        )
+        assert code == 0
+        assert streamed.endswith(one_shot)
+        assert streamed.startswith("chunk 1:")
+
+    def test_windowed_trace(self, csv_file):
+        code, output = run_cli(
+            [
+                "audit-stream", csv_file,
+                "--protected", "gender",
+                "--outcome", "hired",
+                "--chunk-rows", "4",
+                "--window", "8",
+            ]
+        )
+        assert code == 0
+        assert "(window 8/8)" in output
+
+    def test_cumulative_trace_labels_total(self, csv_file):
+        code, output = run_cli(
+            [
+                "audit-stream", csv_file,
+                "--protected", "gender",
+                "--outcome", "hired",
+                "--chunk-rows", "7",
+            ]
+        )
+        assert code == 0
+        assert "(total 7)" in output
+        assert "(total 14)" in output
+
+    def test_markdown_report(self, csv_file):
+        code, output = run_cli(
+            [
+                "audit-stream", csv_file,
+                "--protected", "gender,race",
+                "--outcome", "hired",
+                "--window", "10",
+                "--markdown",
+            ]
+        )
+        assert code == 0
+        assert "# Differential fairness report (last 10 rows)" in output
+
+    def test_missing_file(self):
+        code, _ = run_cli(
+            ["audit-stream", "/nonexistent.csv", "--protected", "a", "--outcome", "b"]
+        )
+        assert code == 1
+
+    def test_unknown_column(self, csv_file):
+        code, _ = run_cli(
+            ["audit-stream", csv_file, "--protected", "ghost", "--outcome", "hired"]
+        )
+        assert code == 1
+
+    def test_empty_protected(self, csv_file):
+        code, _ = run_cli(
+            ["audit-stream", csv_file, "--protected", " , ", "--outcome", "hired"]
+        )
+        assert code == 2
+
+    def test_negative_window(self, csv_file):
+        code, _ = run_cli(
+            [
+                "audit-stream", csv_file,
+                "--protected", "gender",
+                "--outcome", "hired",
+                "--window", "-1",
+            ]
+        )
+        assert code == 2
+
+
 class TestCliExamples:
     def test_worked_example(self):
         code, output = run_cli(["worked-example"])

@@ -1,0 +1,103 @@
+"""Golden-file regression tests for the CLI report surfaces.
+
+Every byte the ``repro audit`` and ``repro audit-stream`` commands print
+for a fixed dataset is pinned against checked-in fixtures under
+``tests/golden/``. These catch *accidental* report drift — a formatting
+tweak, a reordered section, a changed default — which unit tests that
+assert on substrings cannot.
+
+Regenerating after an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_cli.py --update-golden
+
+then review the fixture diff like any other code change.
+
+The audited CSV is written from the ``hiring_table`` fixture (fixed
+counts, no randomness) and addressed by bare filename from inside the
+tmp directory, so no absolute path leaks into the pinned output. The
+pinned commands use only point estimators — posterior sections depend on
+the random bit stream, which numpy does not promise across versions, and
+are covered by the determinism sweep instead.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.tabular.csv_io import write_csv
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CASES = {
+    "audit_hiring.txt": [
+        "audit", "hiring.csv",
+        "--protected", "gender,race",
+        "--outcome", "hired",
+    ],
+    "audit_hiring_smoothed.txt": [
+        "audit", "hiring.csv",
+        "--protected", "gender,race",
+        "--outcome", "hired",
+        "--alpha", "1.0",
+    ],
+    "audit_hiring.md": [
+        "audit", "hiring.csv",
+        "--protected", "gender,race",
+        "--outcome", "hired",
+        "--markdown",
+    ],
+    "audit_stream_hiring.txt": [
+        "audit-stream", "hiring.csv",
+        "--protected", "gender,race",
+        "--outcome", "hired",
+        "--chunk-rows", "6",
+        "--window", "12",
+    ],
+    "audit_stream_hiring.md": [
+        "audit-stream", "hiring.csv",
+        "--protected", "gender,race",
+        "--outcome", "hired",
+        "--alpha", "1.0",
+        "--chunk-rows", "5",
+        "--markdown",
+    ],
+}
+
+
+@pytest.fixture
+def hiring_csv_cwd(tmp_path, hiring_table, monkeypatch):
+    """hiring.csv in a tmp cwd so the CLI sees a stable relative path."""
+    write_csv(hiring_table, tmp_path / "hiring.csv")
+    monkeypatch.chdir(tmp_path)
+
+
+@pytest.mark.parametrize("golden_name", sorted(CASES))
+def test_cli_output_matches_golden(golden_name, hiring_csv_cwd, request):
+    out = io.StringIO()
+    assert main(CASES[golden_name], out=out) == 0
+    output = out.getvalue()
+
+    golden_path = GOLDEN_DIR / golden_name
+    if request.config.getoption("--update-golden"):
+        golden_path.parent.mkdir(exist_ok=True)
+        golden_path.write_text(output, encoding="utf-8")
+        pytest.skip(f"regenerated {golden_path.name}")
+    assert golden_path.exists(), (
+        f"missing golden fixture {golden_path}; run pytest with "
+        "--update-golden to create it"
+    )
+    expected = golden_path.read_text(encoding="utf-8")
+    assert output == expected, (
+        f"CLI output drifted from {golden_path.name}; if the change is "
+        "intentional, regenerate with --update-golden and review the diff"
+    )
+
+
+def test_golden_fixtures_are_all_exercised():
+    """No stale fixture files: everything in tests/golden/ is pinned here."""
+    present = {path.name for path in GOLDEN_DIR.glob("*")}
+    assert present == set(CASES)

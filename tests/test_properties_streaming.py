@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) for the streaming audit subsystem.
+
+The algebraic contract of :class:`repro.core.streaming.StreamingContingency`
+is what makes sharded and windowed deployment sound:
+
+* ``merge`` is associative and commutative (any shard/reduce tree over a
+  partitioned stream yields the same counts);
+* ``update`` then ``retract`` of the same rows is an identity on the
+  counted content (sliding windows are exact, not approximate);
+* a shard-split + merge of any row set produces an accumulator whose
+  snapshot audit is **bit-identical** to
+  :meth:`FairnessAuditor.audit_dataset` on the concatenated table —
+  including the posterior sweep for a fixed seed.
+
+These are checked here on arbitrary row multisets, shard assignments,
+and arrival orders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.audit.auditor import FairnessAuditor
+from repro.core.streaming import StreamingContingency
+from repro.tabular.crosstab import ContingencyTable
+from repro.tabular.table import Table
+
+FACTOR_POOLS = [
+    ("a0", "a1", "a2"),
+    ("b0", "b1"),
+    ("c0", "c1", "c2"),
+]
+OUTCOME_POOL = ("no", "yes", "maybe")
+
+
+@st.composite
+def row_sets(draw, min_rows=0, max_rows=30):
+    """(factor names, rows) over small alphabets; 1-3 protected attributes."""
+    n_factors = draw(st.integers(1, 3))
+    names = [f"f{index}" for index in range(n_factors)]
+    cell = st.tuples(
+        *(st.sampled_from(FACTOR_POOLS[index]) for index in range(n_factors)),
+        st.sampled_from(OUTCOME_POOL),
+    )
+    rows = draw(st.lists(cell, min_size=min_rows, max_size=max_rows))
+    return names, rows
+
+
+def build(names, rows) -> StreamingContingency:
+    return StreamingContingency(names, "y").update(rows)
+
+
+def snapshot_key(accumulator: StreamingContingency):
+    """Canonical fingerprint: snapshot levels + count tensor bytes."""
+    snapshot = accumulator.snapshot()
+    return (
+        tuple(snapshot.factor_names),
+        tuple(map(tuple, snapshot.factor_levels)),
+        tuple(snapshot.outcome_levels),
+        snapshot.counts.tobytes(),
+    )
+
+
+def counted_content(accumulator: StreamingContingency):
+    """The multiset actually counted: nonzero cells only.
+
+    Retraction zeroes counts but keeps discovered levels, so identity is
+    stated on content, not on tensor shape.
+    """
+    snapshot = accumulator.snapshot()
+    if snapshot.counts.size == 0:  # nothing ever counted: no levels yet
+        return {}
+    matrix, labels = snapshot.group_outcome_matrix()
+    return {
+        (label, outcome): value
+        for label, row in zip(labels, matrix)
+        for outcome, value in zip(snapshot.outcome_levels, row)
+        if value
+    }
+
+
+class TestMergeAlgebra:
+    @given(row_sets(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutative(self, ab, data):
+        names, rows = ab
+        split = data.draw(st.integers(0, len(rows)))
+        a = build(names, rows[:split])
+        b = build(names, rows[split:])
+        assert snapshot_key(a.merge(b)) == snapshot_key(b.merge(a))
+
+    @given(row_sets(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associative(self, abc, data):
+        names, rows = abc
+        first = data.draw(st.integers(0, len(rows)))
+        second = data.draw(st.integers(first, len(rows)))
+        a = build(names, rows[:first])
+        b = build(names, rows[first:second])
+        c = build(names, rows[second:])
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert snapshot_key(left) == snapshot_key(right)
+        assert left.n_rows == right.n_rows == len(rows)
+
+    @given(row_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_merge_with_empty_is_identity(self, ab):
+        names, rows = ab
+        accumulator = build(names, rows)
+        empty = StreamingContingency(names, "y")
+        assert snapshot_key(accumulator.merge(empty)) == snapshot_key(accumulator)
+        assert snapshot_key(empty.merge(accumulator)) == snapshot_key(accumulator)
+
+
+class TestUpdateRetract:
+    @given(row_sets(), row_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_update_then_retract_is_identity(self, base_set, extra_set):
+        base_names, base_rows = base_set
+        extra_names, extra_rows = extra_set
+        assume(len(extra_names) == len(base_names))
+        accumulator = build(base_names, base_rows)
+        before_content = counted_content(accumulator)
+        before_rows = accumulator.n_rows
+        accumulator.update(extra_rows)
+        accumulator.retract(extra_rows)
+        assert counted_content(accumulator) == before_content
+        assert accumulator.n_rows == before_rows
+
+    @given(row_sets(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_retract_in_any_order(self, ab, data):
+        """Retracting a permutation of a sub-multiset equals never adding it."""
+        names, rows = ab
+        split = data.draw(st.integers(0, len(rows)))
+        removed = data.draw(st.permutations(rows[split:]))
+        accumulator = build(names, rows)
+        accumulator.retract(removed)
+        assert counted_content(accumulator) == counted_content(
+            build(names, rows[:split])
+        )
+
+
+class TestShardSplitAuditBitIdentity:
+    @given(row_sets(min_rows=2), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_sharded_merge_audit_matches_audit_dataset(self, ab, data):
+        names, rows = ab
+        assume(len({row[-1] for row in rows}) >= 2)
+        n_shards = data.draw(st.integers(1, 4))
+        assignment = data.draw(
+            st.lists(
+                st.integers(0, n_shards - 1),
+                min_size=len(rows),
+                max_size=len(rows),
+            )
+        )
+
+        shards = [StreamingContingency(names, "y") for _ in range(n_shards)]
+        for row, shard in zip(rows, assignment):
+            shards[shard].update([row])
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged = merged.merge(shard)
+
+        table = Table.from_rows([*names, "y"], rows)
+        auditor = FairnessAuditor(names, "y", posterior_samples=8, seed=3)
+        reference = auditor.audit_dataset(table)
+        streamed = auditor.audit_contingency(merged.snapshot())
+
+        # The count tensors agree bitwise, so every downstream statistic
+        # must too; both layers are asserted to localise failures.
+        table_contingency = ContingencyTable.from_table(table, names, "y")
+        snapshot = merged.snapshot()
+        assert snapshot.factor_levels == table_contingency.factor_levels
+        assert snapshot.outcome_levels == table_contingency.outcome_levels
+        assert np.array_equal(snapshot.counts, table_contingency.counts)
+
+        for subset, result in reference.sweep.results.items():
+            streamed_result = streamed.sweep.results[subset]
+            assert streamed_result.epsilon == result.epsilon
+            assert np.array_equal(
+                streamed_result.probabilities,
+                result.probabilities,
+                equal_nan=True,
+            )
+        assert streamed.interpretation == reference.interpretation
+        assert streamed.posterior.mean == reference.posterior.mean
+        assert streamed.posterior.quantiles == reference.posterior.quantiles
+        for subset, samples in reference.posterior_sweep.samples.items():
+            assert np.array_equal(
+                streamed.posterior_sweep.epsilon_samples(subset), samples
+            )

@@ -101,3 +101,81 @@ class TestRoundtrip:
         assert table.n_rows == 2
         assert table.column("age").values.tolist() == [39.0, 50.0]
         assert "?" in table.column("workclass").to_list()
+
+
+class TestIterCsvChunks:
+    @pytest.fixture
+    def csv_path(self, tmp_path):
+        path = tmp_path / "stream.csv"
+        lines = ["g,r,y"]
+        for index in range(25):
+            lines.append(f"g{index % 2},r{index % 3},y{index % 2}")
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_chunks_cover_all_rows_in_order(self, csv_path):
+        from repro.tabular.csv_io import iter_csv_chunks
+
+        chunks = list(iter_csv_chunks(csv_path, chunk_rows=10))
+        assert [chunk.n_rows for chunk in chunks] == [10, 10, 5]
+        streamed = [
+            row
+            for chunk in chunks
+            for row in zip(*(chunk.column(n).to_list() for n in ["g", "r", "y"]))
+        ]
+        table = read_csv(csv_path)
+        assert streamed == list(
+            zip(*(table.column(n).to_list() for n in ["g", "r", "y"]))
+        )
+
+    def test_columns_projection(self, csv_path):
+        from repro.tabular.csv_io import iter_csv_chunks
+
+        chunk = next(iter(iter_csv_chunks(csv_path, chunk_rows=5, columns=["y", "g"])))
+        assert chunk.column_names == ["y", "g"]
+
+    def test_unknown_column_rejected(self, csv_path):
+        from repro.tabular.csv_io import iter_csv_chunks
+
+        with pytest.raises(CsvParseError):
+            next(iter(iter_csv_chunks(csv_path, columns=["ghost"])))
+
+    def test_all_columns_categorical_without_schema(self, tmp_path):
+        from repro.tabular.csv_io import iter_csv_chunks
+
+        path = tmp_path / "mixed.csv"
+        path.write_text("age,label\n1,a\n2,b\n")
+        chunk = next(iter(iter_csv_chunks(path)))
+        assert chunk.column("age").kind == "categorical"
+
+    def test_schema_controls_kinds(self, tmp_path):
+        from repro.tabular.csv_io import iter_csv_chunks
+
+        path = tmp_path / "mixed.csv"
+        path.write_text("age,label\n1,a\n2,b\n")
+        schema = Schema([Field("age", "numeric")])
+        chunk = next(iter(iter_csv_chunks(path, schema=schema)))
+        assert chunk.column("age").kind == "numeric"
+        assert chunk.column("label").kind == "categorical"
+
+    def test_empty_file_raises_after_exhaustion(self, tmp_path):
+        from repro.tabular.csv_io import iter_csv_chunks
+
+        path = tmp_path / "empty.csv"
+        path.write_text("g,r,y\n")
+        with pytest.raises(CsvParseError):
+            list(iter_csv_chunks(path))
+
+    def test_ragged_row_rejected(self, tmp_path):
+        from repro.tabular.csv_io import iter_csv_chunks
+
+        path = tmp_path / "ragged.csv"
+        path.write_text("g,y\na,1\nb\n")
+        with pytest.raises(CsvParseError):
+            list(iter_csv_chunks(path))
+
+    def test_bad_chunk_rows_rejected(self, csv_path):
+        from repro.tabular.csv_io import iter_csv_chunks
+
+        with pytest.raises(CsvParseError):
+            list(iter_csv_chunks(csv_path, chunk_rows=0))
