@@ -1,0 +1,180 @@
+"""Perf bench: multi-process sharded ingest vs the serial pass.
+
+The execution engine's claim is twofold. *Correctness*: a
+:class:`repro.engine.backends.ProcessPoolBackend` ingest — byte-range
+shards of the CSV parsed by worker processes, tree-merged at the
+coordinator — is **bit-identical** to :class:`SerialBackend` (same
+count integers, same epsilon, same posterior summaries per seed); that
+part is asserted unconditionally, on every machine. *Throughput*: CSV
+parsing dominates ingestion and parallelises embarrassingly, so K
+workers on K free cores approach a K-fold speedup; the acceptance
+target is **>= 3x at 4 workers** on a >= 1M-row stream.
+
+The speedup is physical parallelism, so the perf guard only asserts the
+target when the hardware can express it (``os.cpu_count() >= 4``);
+below that the measured numbers are still recorded — honestly — in
+``BENCH_parallel.json`` along with the core count that produced them.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.audit.auditor import FairnessAuditor
+from repro.engine.backends import (
+    ContingencySpec,
+    CsvSource,
+    ProcessPoolBackend,
+    SerialBackend,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_parallel.json"
+
+N_ROWS = 1_000_000
+WORKER_COUNTS = [2, 4]
+TARGET_WORKERS = 4
+TARGET_SPEEDUP = 3.0
+
+PROTECTED = ("gender", "race", "nationality")
+OUTCOME = "income"
+LEVELS = {
+    "gender": ["Female", "Male"],
+    "race": ["White", "Black", "Asian-Pac-Islander", "Other"],
+    "nationality": ["United-States", "Other"],
+    "income": ["<=50K", ">50K"],
+}
+
+_RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module")
+def million_row_csv(tmp_path_factory):
+    """A >= 1M-row synthetic census-like stream written once per run."""
+    rng = np.random.default_rng(20260728)
+    cells = [
+        rng.integers(len(LEVELS[name]), size=N_ROWS) for name in PROTECTED
+    ]
+    base = 0.15 + 0.1 * cells[0] + 0.05 * cells[1]
+    outcome = (rng.random(N_ROWS) < np.clip(base, 0.02, 0.98)).astype(int)
+    columns = [
+        np.array(LEVELS[name], dtype=object)[codes]
+        for name, codes in zip(PROTECTED, cells)
+    ]
+    columns.append(np.array(LEVELS[OUTCOME], dtype=object)[outcome])
+    path = tmp_path_factory.mktemp("parallel") / "stream.csv"
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(",".join([*PROTECTED, OUTCOME]) + "\n")
+        handle.writelines(
+            ",".join(row) + "\n" for row in zip(*columns)
+        )
+    return path
+
+
+def _epsilon(accumulator) -> float:
+    auditor = FairnessAuditor(PROTECTED, OUTCOME)
+    return auditor.audit_contingency(accumulator.snapshot()).epsilon
+
+
+def _timed_build(backend, source, spec):
+    start = time.perf_counter()
+    accumulator = backend.build(source, spec)
+    return time.perf_counter() - start, accumulator
+
+
+@pytest.mark.perf
+def test_pool_ingest_is_bit_identical_and_timed(million_row_csv):
+    source = CsvSource(str(million_row_csv), columns=(*PROTECTED, OUTCOME))
+    spec = ContingencySpec(
+        PROTECTED,
+        OUTCOME,
+        tuple(tuple(LEVELS[name]) for name in PROTECTED),
+        tuple(LEVELS[OUTCOME]),
+    )
+    serial_seconds, serial = _timed_build(SerialBackend(), source, spec)
+    serial_epsilon = _epsilon(serial)
+    _RESULTS["serial"] = {
+        "workers": 1,
+        "seconds": serial_seconds,
+        "epsilon": serial_epsilon,
+        "rows": serial.n_rows,
+    }
+    assert serial.n_rows == N_ROWS
+
+    for workers in WORKER_COUNTS:
+        pool_seconds, pooled = _timed_build(
+            ProcessPoolBackend(workers), source, spec
+        )
+        # Correctness first, on every machine: identical integers in,
+        # identical epsilon out.
+        assert pooled.n_rows == serial.n_rows
+        assert np.array_equal(
+            pooled.snapshot().counts, serial.snapshot().counts
+        )
+        assert _epsilon(pooled) == serial_epsilon
+        _RESULTS[f"pool{workers}"] = {
+            "workers": workers,
+            "seconds": pool_seconds,
+            "epsilon": serial_epsilon,
+            "rows": pooled.n_rows,
+            "speedup_vs_serial": serial_seconds / pool_seconds,
+        }
+
+
+def test_pool_posterior_summaries_match_per_seed(million_row_csv):
+    """Posterior audit of the merged counts matches the serial one bitwise."""
+    source = CsvSource(
+        str(million_row_csv), columns=(*PROTECTED, OUTCOME), chunk_rows=65536
+    )
+    auditor = FairnessAuditor(PROTECTED, OUTCOME, posterior_samples=50, seed=9)
+    serial = auditor.audit_csv(source)
+    pooled = auditor.audit_csv(source, backend=ProcessPoolBackend(2))
+    assert pooled.posterior.mean == serial.posterior.mean
+    assert pooled.posterior.quantiles == serial.posterior.quantiles
+    assert pooled.to_text() == serial.to_text()
+
+
+@pytest.mark.perf
+def test_zz_speedup_guard_and_record(million_row_csv):
+    """Runs last (file order): persist the record, then enforce the target."""
+    assert "serial" in _RESULTS, "timed ingest did not run"
+    record = {
+        "benchmark": "bench_parallel",
+        "workload": "cumulative contingency ingest of a synthetic census "
+        "CSV stream: ProcessPoolBackend (byte-range shards parsed by "
+        "worker processes, StreamingContingency states tree-merged at the "
+        "coordinator) vs SerialBackend (one ordered chunk loop), "
+        "bit-identical epsilon asserted before timing",
+        "n_rows": N_ROWS,
+        "cpu_count": os.cpu_count(),
+        "target": {
+            "workers": TARGET_WORKERS,
+            "min_speedup": TARGET_SPEEDUP,
+            "note": "physical parallelism: asserted only when "
+            "cpu_count >= target workers",
+        },
+        "results": [_RESULTS[key] for key in sorted(_RESULTS)],
+    }
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    cores = os.cpu_count() or 1
+    if cores < TARGET_WORKERS:
+        pytest.skip(
+            f"speedup target needs >= {TARGET_WORKERS} cores, machine has "
+            f"{cores}; bit-identity was still asserted and the measured "
+            "timings were recorded"
+        )
+    speedup = _RESULTS[f"pool{TARGET_WORKERS}"]["speedup_vs_serial"]
+    assert speedup >= TARGET_SPEEDUP, (
+        f"acceptance target missed: {speedup:.2f}x < {TARGET_SPEEDUP}x at "
+        f"{TARGET_WORKERS} workers"
+    )

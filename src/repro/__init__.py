@@ -28,6 +28,14 @@ API lives in the subpackages:
 """
 
 from repro.audit.stream import StreamingAuditor
+from repro.engine import (
+    CsvSource,
+    ProcessPoolBackend,
+    SerialBackend,
+    load_contingency,
+    merge_checkpoint_files,
+    save_contingency,
+)
 from repro.core import (
     BiasAmplification,
     DirichletEstimator,
@@ -66,13 +74,16 @@ __all__ = [
     "BiasAmplification",
     "Column",
     "ContingencyTable",
+    "CsvSource",
     "DirichletEstimator",
     "EpsilonResult",
     "FairnessRegime",
     "Field",
     "MLEEstimator",
     "PosteriorSubsetSweep",
+    "ProcessPoolBackend",
     "Schema",
+    "SerialBackend",
     "StreamingAuditor",
     "StreamingContingency",
     "SubsetSweep",
@@ -87,10 +98,13 @@ __all__ = [
     "gaussian_threshold_epsilon",
     "group_by",
     "interpret_epsilon",
+    "load_contingency",
     "mechanism_epsilon",
+    "merge_checkpoint_files",
     "paper_worked_example",
     "posterior_subset_sweep",
     "read_csv",
+    "save_contingency",
     "subset_sweep",
     "write_csv",
 ]

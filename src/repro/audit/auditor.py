@@ -141,6 +141,28 @@ class FairnessAuditor:
         )
         return self.audit_contingency(contingency)
 
+    def audit_csv(self, source, *, backend=None) -> DatasetAudit:
+        """Audit a CSV file through an execution backend.
+
+        ``source`` is a path or a :class:`repro.engine.backends.CsvSource`;
+        ``backend`` is an :class:`repro.engine.backends.ExecutionBackend`
+        (default :class:`~repro.engine.backends.SerialBackend`). The
+        backend only *counts* — estimation and measurement stay here —
+        so a multi-process ingest is bit-identical to the serial one,
+        and both match :meth:`audit_dataset` on the file's rows.
+        """
+        from repro.engine.backends import ContingencySpec, CsvSource, SerialBackend
+
+        if not isinstance(source, CsvSource):
+            source = CsvSource(
+                str(source), columns=(*self.protected, self.outcome)
+            )
+        if backend is None:
+            backend = SerialBackend()
+        spec = ContingencySpec(self.protected, self.outcome)
+        accumulator = backend.build(source, spec)
+        return self.audit_contingency(accumulator.snapshot())
+
     def audit_contingency(self, contingency: ContingencyTable) -> DatasetAudit:
         """The dataset audit on pre-computed counts.
 

@@ -35,7 +35,8 @@ concatenated rows.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -48,10 +49,23 @@ from repro.core.estimators import (
     is_builtin_estimator,
 )
 from repro.core.streaming import StreamingContingency
-from repro.exceptions import ValidationError
+from repro.exceptions import CheckpointError, ValidationError
 from repro.tabular.table import Table
 
-__all__ = ["StreamingAuditor"]
+__all__ = ["ChunkProgress", "StreamingAuditor", "STATE_SCHEMA_VERSION"]
+
+# Version of the StreamingAuditor state_dict/restore contract. Bumped on
+# any change to the keys or their meaning; restore refuses other versions.
+STATE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ChunkProgress:
+    """Per-chunk ingestion progress reported by :meth:`StreamingAuditor.ingest`."""
+
+    index: int
+    n_rows: int
+    epsilon: float
 
 
 class StreamingAuditor:
@@ -96,6 +110,14 @@ class StreamingAuditor:
         )
         self._accumulator = StreamingContingency(
             protected, outcome, factor_levels, outcome_levels
+        )
+        self._factor_levels = (
+            None
+            if factor_levels is None
+            else tuple(tuple(levels) for levels in factor_levels)
+        )
+        self._outcome_levels = (
+            None if outcome_levels is None else tuple(outcome_levels)
         )
         self._window = None if window is None else int(window)
         self._rows: deque[tuple[Any, ...]] = deque()
@@ -232,11 +254,134 @@ class StreamingAuditor:
         return self._auditor.audit_contingency(self._accumulator.snapshot())
 
     # ------------------------------------------------------------------
+    # Backend-driven ingestion
+    # ------------------------------------------------------------------
+    def contingency_spec(self):
+        """The accumulator schema for execution backends (picklable)."""
+        from repro.engine.backends import ContingencySpec
+
+        return ContingencySpec(
+            tuple(self._auditor.protected),
+            self._auditor.outcome,
+            self._factor_levels,
+            self._outcome_levels,
+        )
+
+    def _absorb(self, counts: StreamingContingency) -> None:
+        """Fold a shard/chunk accumulator into the live counts (cumulative)."""
+        if self._window is None:
+            self._accumulator = self._accumulator.merge(counts)
+            self._rows_seen += counts.n_rows
+            self._probabilities = None
+            self._sizes = None
+            self._cache_version = -1
+            return
+        raise ValidationError(
+            "windowed auditors cannot absorb unordered counts; windows need "
+            "row order (use an ordered backend)"
+        )
+
+    def ingest(
+        self,
+        source,
+        *,
+        backend=None,
+        checkpoint_path=None,
+        resume: bool = False,
+        on_chunk: Callable[[ChunkProgress], None] | None = None,
+    ) -> float:
+        """Drive a whole CSV stream through an execution backend.
+
+        This is the ingestion loop that used to live in the CLI: the
+        auditor declares *what* to count (its :meth:`contingency_spec`)
+        and the backend decides *where* the counting runs. Chunk
+        boundaries are backend-invariant, so the ``on_chunk`` trace —
+        and the final report — are byte-identical across backends.
+
+        Parameters
+        ----------
+        source:
+            A :class:`repro.engine.backends.CsvSource`.
+        backend:
+            An :class:`repro.engine.backends.ExecutionBackend`;
+            defaults to ``SerialBackend()``. Windowed auditors require
+            an ordered backend (windows evict by row order).
+        checkpoint_path:
+            When given, a durable ``.rcpk`` auditor checkpoint is
+            written atomically after every chunk.
+        resume:
+            Restore ``checkpoint_path`` first and skip the rows it has
+            already ingested; requires an ordered backend and assumes
+            the same source is being replayed from its first row. An
+            already-finished stream is not an error — the restored
+            state simply reports its final epsilon again.
+        on_chunk:
+            Called with a :class:`ChunkProgress` after every chunk.
+
+        Returns the final epsilon of the stream.
+        """
+        from repro.engine.backends import SerialBackend
+        from repro.engine.checkpoint import load_auditor_state, save_auditor_state
+
+        if backend is None:
+            backend = SerialBackend()
+        chunks_done = 0
+        skip_rows = 0
+        if resume:
+            if checkpoint_path is None:
+                raise ValidationError("resume requires a checkpoint path")
+            if not backend.supports_ordered_rows:
+                raise ValidationError(
+                    f"resume requires an ordered backend, not {backend.name!r}"
+                )
+            state, progress = load_auditor_state(checkpoint_path)
+            self.restore(state)
+            chunks_done = int(progress.get("chunks_ingested", 0))
+            skip_rows = self._rows_seen
+        ordered = self._window is not None or backend.supports_ordered_rows
+        if ordered and not backend.supports_ordered_rows:
+            raise ValidationError(
+                f"the {backend.name!r} backend cannot ingest into a sliding "
+                "window; windows need row order (SerialBackend)"
+            )
+
+        def emit(n_rows: int, epsilon: float) -> None:
+            nonlocal chunks_done
+            chunks_done += 1
+            if checkpoint_path is not None:
+                save_auditor_state(
+                    checkpoint_path,
+                    self.state_dict(),
+                    progress={"chunks_ingested": chunks_done},
+                )
+            if on_chunk is not None:
+                on_chunk(ChunkProgress(chunks_done, n_rows, epsilon))
+
+        if ordered:
+            for table in backend.iter_chunk_tables(source, skip_rows=skip_rows):
+                emit(table.n_rows, self.observe_table(table))
+        else:
+            spec = self.contingency_spec()
+            for chunk in backend.iter_chunk_counts(source, spec):
+                self._absorb(chunk.counts)
+                emit(chunk.n_rows, self.epsilon())
+        return self.epsilon()
+
+    # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
     def state_dict(self) -> dict[str, Any]:
-        """Checkpoint of the accumulator plus the eviction queue."""
+        """Checkpoint of the accumulator plus the eviction queue.
+
+        Self-describing: carries the state-format version and the
+        auditor's configuration so :meth:`restore` can refuse a
+        checkpoint that belongs to a different audit instead of
+        silently corrupting counts.
+        """
         return {
+            "schema_version": STATE_SCHEMA_VERSION,
+            "protected": list(self._auditor.protected),
+            "outcome": self._auditor.outcome,
             "accumulator": self._accumulator.state_dict(),
             "window": self._window,
             "window_rows": list(self._rows),
@@ -244,13 +389,48 @@ class StreamingAuditor:
         }
 
     def restore(self, state: dict[str, Any]) -> "StreamingAuditor":
-        """Restore a :meth:`state_dict` checkpoint in place."""
+        """Restore a :meth:`state_dict` checkpoint in place.
+
+        Raises :class:`repro.exceptions.CheckpointError` when the
+        checkpoint's state-format version, protected/outcome names, or
+        window do not match this auditor's configuration — each of
+        which would otherwise scramble counts silently.
+        """
+        version = state.get("schema_version")
+        if version != STATE_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint state schema version {version!r} does not match "
+                f"this library's {STATE_SCHEMA_VERSION}"
+            )
+        protected = list(state.get("protected", []))
+        if protected != list(self._auditor.protected):
+            raise CheckpointError(
+                f"checkpoint protected attributes {protected} do not match "
+                f"the auditor's {list(self._auditor.protected)}"
+            )
+        if state.get("outcome") != self._auditor.outcome:
+            raise CheckpointError(
+                f"checkpoint outcome {state.get('outcome')!r} does not match "
+                f"the auditor's {self._auditor.outcome!r}"
+            )
         if state["window"] != self._window:
-            raise ValidationError(
+            raise CheckpointError(
                 f"checkpoint window {state['window']!r} does not match the "
                 f"auditor's window {self._window!r}"
             )
-        self._accumulator = StreamingContingency.from_state(state["accumulator"])
+        accumulator = StreamingContingency.from_state(state["accumulator"])
+        if accumulator.factor_names != list(self._auditor.protected):
+            raise CheckpointError(
+                f"checkpoint accumulator factors {accumulator.factor_names} "
+                f"do not match the auditor's {list(self._auditor.protected)}"
+            )
+        if accumulator.outcome_name != self._auditor.outcome:
+            raise CheckpointError(
+                f"checkpoint accumulator outcome "
+                f"{accumulator.outcome_name!r} does not match the auditor's "
+                f"{self._auditor.outcome!r}"
+            )
+        self._accumulator = accumulator
         self._rows = deque(tuple(row) for row in state["window_rows"])
         self._rows_seen = int(state["rows_seen"])
         self._probabilities = None

@@ -12,7 +12,15 @@ Commands
     incrementally through :class:`repro.audit.stream.StreamingAuditor`
     (optionally over a sliding window), a per-chunk epsilon trace is
     printed, and the final report describes the last window — the
-    continuous-monitoring workflow, demonstrated on a file.
+    continuous-monitoring workflow, demonstrated on a file. Execution
+    is pluggable: ``--workers N`` fans byte-range shards of the file
+    out to a process pool (bit-identical output), ``--checkpoint PATH``
+    writes a durable ``.rcpk`` checkpoint after every chunk, and
+    ``--resume`` continues a killed run from that checkpoint.
+``merge-checkpoints``
+    Audit the union of shard checkpoints produced on different
+    machines: counts merge exactly, so the report is bit-identical to
+    auditing all the shards' rows in one pass.
 ``worked-example``
     Print the paper's Figure 2 Gaussian-threshold example.
 ``simpsons``
@@ -29,11 +37,28 @@ from repro.exceptions import ReproError
 
 __all__ = ["main", "build_parser"]
 
+_TOPOLOGIES_EPILOG = """\
+Deployment topologies:
+  one process      audit-stream data.csv --protected a,b --outcome y
+                   (add --window W for a sliding window of the last W rows)
+  process pool     audit-stream data.csv ... --workers 4
+                   byte-range shards of the file are counted by worker
+                   processes and tree-merged; output is byte-identical
+                   to the serial run (cumulative audits only)
+  crash-resume     audit-stream data.csv ... --checkpoint audit.rcpk
+                   then, after a crash:  ... --checkpoint audit.rcpk --resume
+  many machines    run audit-stream per shard with --checkpoint, copy the
+                   .rcpk files anywhere, then:
+                   merge-checkpoints shard0.rcpk shard1.rcpk ...
+"""
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Differential fairness measurements (Foulds & Pan).",
+        epilog=_TOPOLOGIES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -105,6 +130,55 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a markdown report instead of plain text",
     )
+    stream.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sharded ingestion (1 = serial, the "
+        "default; >1 requires a cumulative audit, i.e. no --window)",
+    )
+    stream.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write a durable .rcpk checkpoint here after every chunk",
+    )
+    stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore --checkpoint and continue the stream from where "
+        "the checkpointed run stopped",
+    )
+
+    merge = commands.add_parser(
+        "merge-checkpoints",
+        help="audit the merged counts of shard .rcpk checkpoint files",
+    )
+    merge.add_argument(
+        "checkpoints",
+        nargs="+",
+        metavar="RCPK",
+        help="checkpoint files produced by audit-stream --checkpoint (or "
+        "repro.engine.checkpoint.save_contingency), possibly on "
+        "different machines",
+    )
+    merge.add_argument(
+        "--alpha",
+        type=float,
+        default=None,
+        help="Dirichlet smoothing concentration (Eq. 7); omit for Eq. 6",
+    )
+    merge.add_argument(
+        "--posterior-samples",
+        type=int,
+        default=0,
+        help="add a posterior credible summary of epsilon with N draws",
+    )
+    merge.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a markdown report instead of plain text",
+    )
 
     commands.add_parser(
         "worked-example", help="print the paper's Figure 2 worked example"
@@ -153,7 +227,7 @@ def _run_audit(args: argparse.Namespace, out) -> int:
 def _run_audit_stream(args: argparse.Namespace, out) -> int:
     from repro.audit.report import render_dataset_report
     from repro.audit.stream import StreamingAuditor
-    from repro.tabular.csv_io import iter_csv_chunks
+    from repro.engine.backends import CsvSource, ProcessPoolBackend, SerialBackend
 
     protected = [name.strip() for name in args.protected.split(",") if name.strip()]
     if not protected:
@@ -162,6 +236,26 @@ def _run_audit_stream(args: argparse.Namespace, out) -> int:
     if args.window < 0:
         print("error: --window must be >= 0", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers > 1 and args.window:
+        print(
+            "error: --workers requires a cumulative audit; a sliding "
+            "--window needs row order, which sharded ingestion does not "
+            "preserve",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and args.checkpoint is None:
+        print("error: --resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.resume and args.workers > 1:
+        print(
+            "error: --resume requires serial ingestion (--workers 1)",
+            file=sys.stderr,
+        )
+        return 2
     auditor = StreamingAuditor(
         protected=protected,
         outcome=args.outcome,
@@ -169,24 +263,35 @@ def _run_audit_stream(args: argparse.Namespace, out) -> int:
         posterior_samples=args.posterior_samples,
         window=args.window or None,
     )
-    for index, chunk in enumerate(
-        iter_csv_chunks(
-            args.csv_path,
-            chunk_rows=args.chunk_rows,
-            columns=[*protected, args.outcome],
-        ),
-        start=1,
-    ):
-        epsilon = auditor.observe_table(chunk)
+    source = CsvSource(
+        args.csv_path,
+        chunk_rows=args.chunk_rows,
+        columns=(*protected, args.outcome),
+    )
+    backend = (
+        SerialBackend()
+        if args.workers == 1
+        else ProcessPoolBackend(args.workers)
+    )
+
+    def trace(progress) -> None:
         held = (
             f"total {auditor.n_window_rows}"
             if auditor.window is None
             else f"window {auditor.n_window_rows}/{auditor.window}"
         )
         out.write(
-            f"chunk {index}: +{chunk.n_rows} rows ({held}) "
-            f"epsilon = {epsilon:.4f}\n"
+            f"chunk {progress.index}: +{progress.n_rows} rows ({held}) "
+            f"epsilon = {progress.epsilon:.4f}\n"
         )
+
+    auditor.ingest(
+        source,
+        backend=backend,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        on_chunk=trace,
+    )
     out.write("\n")
     audit = auditor.audit()
     if args.markdown:
@@ -203,6 +308,39 @@ def _run_audit_stream(args: argparse.Namespace, out) -> int:
             )
         )
     else:
+        out.write(audit.to_text())
+        out.write("\n")
+    return 0
+
+
+def _run_merge_checkpoints(args: argparse.Namespace, out) -> int:
+    from repro.audit.auditor import FairnessAuditor
+    from repro.audit.report import render_dataset_report
+    from repro.engine.checkpoint import merge_checkpoint_files
+
+    merged = merge_checkpoint_files(args.checkpoints)
+    auditor = FairnessAuditor(
+        protected=merged.factor_names,
+        outcome=merged.outcome_name,
+        estimator=args.alpha,
+        posterior_samples=args.posterior_samples,
+    )
+    audit = auditor.audit_contingency(merged.snapshot())
+    if args.markdown:
+        out.write(
+            render_dataset_report(
+                audit,
+                title="Differential fairness report (merged checkpoints)",
+                dataset_name=", ".join(args.checkpoints),
+                n_rows=merged.n_rows,
+            )
+        )
+    else:
+        out.write(
+            f"merged {len(args.checkpoints)} checkpoints: "
+            f"{merged.n_rows} rows, protected "
+            f"{', '.join(merged.factor_names)} x {merged.outcome_name}\n\n"
+        )
         out.write(audit.to_text())
         out.write("\n")
     return 0
@@ -241,6 +379,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _run_audit(args, out)
         if args.command == "audit-stream":
             return _run_audit_stream(args, out)
+        if args.command == "merge-checkpoints":
+            return _run_merge_checkpoints(args, out)
         if args.command == "worked-example":
             return _run_worked_example(out)
         if args.command == "simpsons":

@@ -1,0 +1,389 @@
+"""Pluggable execution backends for contingency ingestion.
+
+A fairness audit is a pure function of per-group outcome counts, and
+counts form a commutative monoid under
+:meth:`repro.core.streaming.StreamingContingency.merge` — so *where* the
+counting runs is a deployment choice, not an algorithmic one. This
+module makes that choice explicit: the same audit logic runs serially,
+across a process pool, or (via :mod:`repro.engine.checkpoint`) across
+machines, and every topology produces bit-identical results.
+
+:class:`ExecutionBackend`
+    The contract. Two operations cover every consumer:
+
+    * :meth:`~ExecutionBackend.build` — the whole file as one merged
+      accumulator (one-shot audits, benchmarks);
+    * :meth:`~ExecutionBackend.iter_chunk_counts` — ordered per-chunk
+      accumulators, for consumers that fold counts chunk by chunk and
+      report progress (the CLI's per-chunk epsilon trace).
+
+    Backends that can replay the stream *in row order* additionally
+    implement :meth:`~ExecutionBackend.iter_chunk_tables` and advertise
+    ``supports_ordered_rows`` — sliding windows and checkpoint resume
+    need row order, which an unordered fan-out cannot provide.
+
+:class:`SerialBackend`
+    One process, one pass, ordered. The only backend that supports
+    windows and resume.
+
+:class:`ProcessPoolBackend`
+    Fans byte-range spans of the CSV (planned by
+    :func:`repro.tabular.csv_io.plan_csv_shards` /
+    :func:`~repro.tabular.csv_io.plan_csv_chunks`) out to worker
+    processes. Each worker opens the file independently, parses its
+    spans, and returns ``StreamingContingency`` state; the coordinator
+    tree-merges. ``build`` uses pure byte splits (no scan);
+    ``iter_chunk_counts`` uses chunk-aligned spans so the chunk
+    boundaries — and therefore the per-chunk epsilon trace — are
+    byte-identical to :class:`SerialBackend`'s.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.streaming import StreamingContingency
+from repro.exceptions import CsvParseError, ValidationError
+from repro.tabular.csv_io import (
+    CsvPlan,
+    CsvSpan,
+    iter_csv_chunks,
+    iter_span_rows,
+    plan_csv_chunks,
+    plan_csv_shards,
+)
+from repro.tabular.schema import Schema
+from repro.tabular.table import Table
+
+__all__ = [
+    "ChunkCounts",
+    "ContingencySpec",
+    "CsvSource",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "tree_merge",
+]
+
+
+@dataclass(frozen=True)
+class CsvSource:
+    """A CSV file plus the parse options every backend must agree on.
+
+    Frozen and picklable: the same source object parameterises the
+    serial loop, pool workers, and checkpoint metadata.
+    """
+
+    path: str
+    chunk_rows: int = 4096
+    columns: tuple[str, ...] | None = None
+    schema: Schema | None = None
+    header: bool = True
+    column_names: tuple[str, ...] | None = None
+    delimiter: str = ","
+    missing_token: str = "?"
+    missing_replacement: str | None = None
+    skip_comment_prefix: str | None = None
+
+    def plan(self) -> CsvPlan:
+        """Resolve the header/projection once for this source."""
+        return CsvPlan.from_csv(
+            self.path,
+            schema=self.schema,
+            header=self.header,
+            column_names=self.column_names,
+            delimiter=self.delimiter,
+            missing_token=self.missing_token,
+            missing_replacement=self.missing_replacement,
+            skip_comment_prefix=self.skip_comment_prefix,
+            columns=self.columns,
+        )
+
+
+@dataclass(frozen=True)
+class ContingencySpec:
+    """The accumulator schema workers build against (picklable)."""
+
+    factor_names: tuple[str, ...]
+    outcome_name: str
+    factor_levels: tuple[tuple[Any, ...], ...] | None = None
+    outcome_levels: tuple[Any, ...] | None = None
+
+    def new_accumulator(self) -> StreamingContingency:
+        return StreamingContingency(
+            self.factor_names,
+            self.outcome_name,
+            self.factor_levels,
+            self.outcome_levels,
+        )
+
+
+@dataclass(frozen=True)
+class ChunkCounts:
+    """One ordered chunk's worth of counts (0-based ``index``)."""
+
+    index: int
+    n_rows: int
+    counts: StreamingContingency
+
+
+def tree_merge(
+    accumulators: Sequence[StreamingContingency],
+) -> StreamingContingency:
+    """Balanced pairwise merge, preserving order.
+
+    Order preservation keeps dynamic level discovery deterministic
+    (first-seen across the sequence), and the PR-3 merge algebra makes
+    the tree shape irrelevant to the result; the balanced shape just
+    keeps intermediate tensors small.
+    """
+    items = list(accumulators)
+    if not items:
+        raise ValidationError("tree_merge needs at least one accumulator")
+    while len(items) > 1:
+        merged = [
+            left.merge(right) for left, right in zip(items[::2], items[1::2])
+        ]
+        if len(items) % 2:
+            merged.append(items[-1])
+        items = merged
+    return items[0]
+
+
+@dataclass(frozen=True)
+class _SpanTask:
+    """One worker's assignment: parse these spans, return their states."""
+
+    path: str
+    plan: CsvPlan
+    spec: ContingencySpec
+    spans: tuple[CsvSpan, ...]
+    first_index: int
+    batch_rows: int = 4096
+
+
+def _count_spans(task: _SpanTask) -> list[tuple[int, int, dict]]:
+    """Worker entry point: (span index, n_rows, state_dict) per span.
+
+    Module-level so it pickles under every multiprocessing start
+    method. Rows are folded into the accumulator ``batch_rows`` at a
+    time, so a worker's memory stays bounded no matter how large its
+    byte range is. Workers never estimate probabilities — they only
+    count — so the coordinator's estimator choice cannot skew shard
+    results.
+    """
+    results: list[tuple[int, int, dict]] = []
+    for offset, span in enumerate(task.spans):
+        accumulator = task.spec.new_accumulator()
+        parsed = 0
+        buffer: list[list[str]] = []
+        for row in iter_span_rows(task.path, task.plan, span):
+            buffer.append(row)
+            if len(buffer) == task.batch_rows:
+                accumulator.update_table(task.plan.build_chunk(buffer))
+                parsed += len(buffer)
+                buffer = []
+        if buffer:
+            accumulator.update_table(task.plan.build_chunk(buffer))
+            parsed += len(buffer)
+        if span.n_rows is not None and parsed != span.n_rows:
+            raise CsvParseError(
+                f"span {task.first_index + offset} parsed {parsed} rows "
+                f"but the chunk planner counted {span.n_rows}; the file "
+                "mixes blank-cell lines (e.g. ',,') with data — ingest it "
+                "with the serial backend"
+            )
+        results.append(
+            (task.first_index + offset, parsed, accumulator.state_dict())
+        )
+    return results
+
+
+class ExecutionBackend:
+    """Where contingency counting runs; see the module docstring.
+
+    Subclasses must implement :meth:`build` and
+    :meth:`iter_chunk_counts`; ordered backends also override
+    :meth:`iter_chunk_tables` and set ``supports_ordered_rows``.
+    """
+
+    name: str = "backend"
+    supports_ordered_rows: bool = False
+
+    def build(
+        self, source: CsvSource, spec: ContingencySpec
+    ) -> StreamingContingency:
+        """Count the whole source into one merged accumulator."""
+        raise NotImplementedError
+
+    def iter_chunk_counts(
+        self, source: CsvSource, spec: ContingencySpec
+    ) -> Iterator[ChunkCounts]:
+        """Per-chunk accumulators, in chunk order.
+
+        Chunk boundaries are the same for every backend (groups of
+        ``source.chunk_rows`` data rows), so folding the results in
+        order reproduces the serial ingestion exactly.
+        """
+        raise NotImplementedError
+
+    def iter_chunk_tables(
+        self, source: CsvSource, *, skip_rows: int = 0
+    ) -> Iterator[Table]:
+        """Ordered row-level chunks; only ordered backends provide this."""
+        raise ValidationError(
+            f"the {self.name!r} backend cannot stream rows in order; "
+            "sliding windows and checkpoint resume need SerialBackend"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Single-process ordered ingestion (the default everywhere)."""
+
+    name = "serial"
+    supports_ordered_rows = True
+
+    def iter_chunk_tables(
+        self, source: CsvSource, *, skip_rows: int = 0
+    ) -> Iterator[Table]:
+        yield from iter_csv_chunks(
+            source.path,
+            source.chunk_rows,
+            schema=source.schema,
+            header=source.header,
+            column_names=source.column_names,
+            delimiter=source.delimiter,
+            missing_token=source.missing_token,
+            missing_replacement=source.missing_replacement,
+            skip_comment_prefix=source.skip_comment_prefix,
+            columns=source.columns,
+            skip_rows=skip_rows,
+        )
+
+    def build(
+        self, source: CsvSource, spec: ContingencySpec
+    ) -> StreamingContingency:
+        accumulator = spec.new_accumulator()
+        for table in self.iter_chunk_tables(source):
+            accumulator.update_table(table)
+        return accumulator
+
+    def iter_chunk_counts(
+        self, source: CsvSource, spec: ContingencySpec
+    ) -> Iterator[ChunkCounts]:
+        for index, table in enumerate(self.iter_chunk_tables(source)):
+            accumulator = spec.new_accumulator().update_table(table)
+            yield ChunkCounts(index, table.n_rows, accumulator)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Multi-process ingestion: shard the file, count, tree-merge.
+
+    ``workers`` processes each open the CSV independently (byte-range
+    seeks — no shared handle, no row shipping) and return compact
+    count-tensor states; only those states cross process boundaries.
+    Results are bit-identical to :class:`SerialBackend` because the
+    counts are the same integers and the merge algebra is exact.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, workers: int):
+        if int(workers) < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolBackend(workers={self.workers})"
+
+    def build(
+        self, source: CsvSource, spec: ContingencySpec
+    ) -> StreamingContingency:
+        plan = source.plan()
+        spans = plan_csv_shards(source.path, plan, self.workers)
+        tasks = [
+            _SpanTask(
+                source.path, plan, spec, (span,), index, source.chunk_rows
+            )
+            for index, span in enumerate(spans)
+        ]
+        states = [
+            state
+            for results in self._run(tasks)
+            for (_, n_rows, state) in results
+            if n_rows
+        ]
+        if not states:
+            raise CsvParseError("no data rows found")
+        return tree_merge(
+            [StreamingContingency.from_state(state) for state in states]
+        )
+
+    def iter_chunk_counts(
+        self, source: CsvSource, spec: ContingencySpec
+    ) -> Iterator[ChunkCounts]:
+        plan = source.plan()
+        spans = plan_csv_chunks(source.path, plan, source.chunk_rows)
+        if not spans:
+            raise CsvParseError("no data rows found")
+        tasks = self._shard_tasks(
+            source.path, plan, spec, spans, source.chunk_rows
+        )
+        for results in self._run(tasks):
+            for index, n_rows, state in results:
+                yield ChunkCounts(
+                    index, n_rows, StreamingContingency.from_state(state)
+                )
+
+    def _shard_tasks(
+        self,
+        path: str,
+        plan: CsvPlan,
+        spec: ContingencySpec,
+        spans: list[CsvSpan],
+        batch_rows: int,
+    ) -> list[_SpanTask]:
+        """Contiguous, byte-balanced groups of chunk spans, one per worker."""
+        total = sum(span.end - span.start for span in spans)
+        n_shards = min(self.workers, len(spans))
+        tasks: list[_SpanTask] = []
+        cursor = 0
+        consumed = 0
+        for shard in range(n_shards):
+            remaining_target = (total * (shard + 1)) // n_shards
+            group: list[CsvSpan] = []
+            first = cursor
+            while cursor < len(spans) and (
+                consumed < remaining_target or not group
+            ):
+                group.append(spans[cursor])
+                consumed += spans[cursor].end - spans[cursor].start
+                cursor += 1
+            if group:
+                tasks.append(
+                    _SpanTask(
+                        path, plan, spec, tuple(group), first, batch_rows
+                    )
+                )
+        # The last shard's target is the exact total, so the loop above
+        # always drains every span.
+        assert cursor == len(spans)
+        return tasks
+
+    def _run(self, tasks: list[_SpanTask]):
+        """Execute tasks on the pool, yielding results in task order."""
+        if not tasks:
+            return
+        if len(tasks) == 1 or self.workers == 1:
+            # Nothing to fan out: skip process start-up entirely.
+            for task in tasks:
+                yield _count_spans(task)
+            return
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(tasks))) as pool:
+            yield from pool.map(_count_spans, tasks)

@@ -24,6 +24,17 @@ class CsvParseError(ReproError):
     """A CSV file could not be parsed against the expected schema."""
 
 
+class CheckpointError(ValidationError):
+    """A durable checkpoint is corrupt, truncated, or does not match.
+
+    Raised when a ``.rcpk`` file fails magic/version/CRC validation, and
+    when restoring state whose schema (factor/outcome names, window,
+    format version) disagrees with the consumer's configuration. Derives
+    from :class:`ValidationError` so existing ``except ValidationError``
+    call sites keep catching restore failures.
+    """
+
+
 class EmptyGroupError(ReproError):
     """A fairness computation required a group that has no probability mass.
 

@@ -10,7 +10,15 @@ dataframe library this project actually needs, implemented on NumPy.
 
 from repro.tabular.column import Column
 from repro.tabular.crosstab import ContingencyTable, crosstab
-from repro.tabular.csv_io import iter_csv_chunks, read_csv, write_csv
+from repro.tabular.csv_io import (
+    CsvPlan,
+    CsvSpan,
+    iter_csv_chunks,
+    plan_csv_chunks,
+    plan_csv_shards,
+    read_csv,
+    write_csv,
+)
 from repro.tabular.describe import ColumnSummary, describe_column, describe_table
 from repro.tabular.expressions import ColumnRef, Expression, col
 from repro.tabular.groupby import GroupBy, group_by
@@ -22,6 +30,8 @@ __all__ = [
     "ColumnRef",
     "ColumnSummary",
     "ContingencyTable",
+    "CsvPlan",
+    "CsvSpan",
     "Expression",
     "describe_column",
     "describe_table",
@@ -34,6 +44,8 @@ __all__ = [
     "crosstab",
     "group_by",
     "iter_csv_chunks",
+    "plan_csv_chunks",
+    "plan_csv_shards",
     "read_csv",
     "write_csv",
 ]

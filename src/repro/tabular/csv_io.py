@@ -4,13 +4,26 @@ The reader understands the UCI Adult file conventions: comma separation
 with optional surrounding whitespace, ``?`` for missing values, trailing
 ``.`` on labels in the test split, and a possible junk first line
 (``|1x3 Cross validator``).
+
+Streaming and sharding
+----------------------
+:func:`iter_csv_chunks` streams a file in bounded-memory chunks; it is
+built on :class:`CsvPlan`, which resolves the header, the projection,
+and the byte offset where data begins *once* so that serial readers,
+resumed readers, and independent shard workers all parse identically.
+:func:`plan_csv_shards` (even byte-range splits) and
+:func:`plan_csv_chunks` (chunk-aligned splits from one cheap line scan)
+produce :class:`CsvSpan` byte ranges that workers can open, seek, and
+parse without any coordination — the substrate of
+:mod:`repro.engine.backends`.
 """
 
 from __future__ import annotations
 
 import csv
 import io
-from collections.abc import Sequence
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -19,7 +32,17 @@ from repro.tabular.column import CATEGORICAL, Column
 from repro.tabular.schema import Schema
 from repro.tabular.table import Table
 
-__all__ = ["read_csv", "write_csv", "read_csv_text", "iter_csv_chunks"]
+__all__ = [
+    "CsvPlan",
+    "CsvSpan",
+    "read_csv",
+    "write_csv",
+    "read_csv_text",
+    "iter_csv_chunks",
+    "iter_span_rows",
+    "plan_csv_chunks",
+    "plan_csv_shards",
+]
 
 
 def read_csv(
@@ -124,6 +147,172 @@ def read_csv_text(
     return Table(columns)
 
 
+@dataclass(frozen=True)
+class CsvPlan:
+    """Resolved header, projection, and parse options for one CSV file.
+
+    Built once (:meth:`from_csv`) and shared by every path that reads
+    the file — the serial chunk iterator, resumed readers, and shard
+    workers on other processes or machines — so all of them agree on
+    column names, the projection, duplicate-name rejection, and the
+    byte offset at which data begins. The plan is a plain picklable
+    dataclass: it travels to pool workers inside their task.
+    """
+
+    names: tuple[str, ...]
+    selected: tuple[int, ...]
+    data_offset: int
+    delimiter: str = ","
+    missing_token: str = "?"
+    missing_replacement: str | None = None
+    skip_comment_prefix: str | None = None
+    schema: Schema | None = None
+
+    @classmethod
+    def from_csv(
+        cls,
+        path: str | Path,
+        *,
+        schema: Schema | None = None,
+        header: bool = True,
+        column_names: Sequence[str] | None = None,
+        delimiter: str = ",",
+        missing_token: str = "?",
+        missing_replacement: str | None = None,
+        skip_comment_prefix: str | None = None,
+        columns: Sequence[str] | None = None,
+    ) -> "CsvPlan":
+        """Resolve the header and projection by reading the file prologue.
+
+        Only the leading blank/comment lines and (when ``header=True``)
+        the header line are read; ``data_offset`` is the byte offset of
+        the first data line, so any reader can ``seek`` straight to it.
+        Duplicate header names raise :class:`CsvParseError` here — at
+        plan time — rather than surfacing (or being silently masked by
+        the projection) on the first parsed chunk.
+        """
+        names: list[str] | None = None
+        if not header:
+            if column_names is not None:
+                names = list(column_names)
+            elif schema is not None:
+                names = schema.names
+            else:
+                raise CsvParseError(
+                    "header=False requires column_names or a schema to "
+                    "supply names"
+                )
+        with Path(path).open("rb") as handle:
+            offset = 0
+            while True:
+                line = handle.readline()
+                if not line:
+                    raise CsvParseError("no data rows found")
+                cells = next(
+                    csv.reader([line.decode("utf-8")], delimiter=delimiter),
+                    [],
+                )
+                if not cells or all(not cell.strip() for cell in cells):
+                    offset = handle.tell()
+                    continue
+                first = cells[0].strip()
+                if skip_comment_prefix and first.startswith(skip_comment_prefix):
+                    offset = handle.tell()
+                    continue
+                if names is None:  # this line is the header
+                    names = [cell.strip() for cell in cells]
+                    offset = handle.tell()
+                # else: this line is the first data row; offset already
+                # points at its start.
+                break
+        duplicates = sorted(
+            {name for name in names if names.count(name) > 1}
+        )
+        if duplicates:
+            raise CsvParseError(
+                f"duplicate column names {duplicates} in header {names}"
+            )
+        return cls(
+            names=tuple(names),
+            selected=tuple(_select_indices(list(names), columns)),
+            data_offset=offset,
+            delimiter=delimiter,
+            missing_token=missing_token,
+            missing_replacement=missing_replacement,
+            skip_comment_prefix=skip_comment_prefix,
+            schema=schema,
+        )
+
+    @property
+    def selected_names(self) -> tuple[str, ...]:
+        """Projected column names, in projection order."""
+        return tuple(self.names[index] for index in self.selected)
+
+    def iter_data_rows(
+        self,
+        reader: Iterable[list[str]],
+        *,
+        first_row_number: int = 1,
+    ) -> Iterator[list[str]]:
+        """Parse raw csv rows: skip blanks/comments, strip, validate
+        width, project, and apply missing-token replacement."""
+        width = len(self.names)
+        number = first_row_number - 1
+        for raw_row in reader:
+            if not raw_row or all(not cell.strip() for cell in raw_row):
+                continue
+            first = raw_row[0].strip()
+            if self.skip_comment_prefix and first.startswith(
+                self.skip_comment_prefix
+            ):
+                continue
+            row = [cell.strip() for cell in raw_row]
+            number += 1
+            if len(row) != width:
+                raise CsvParseError(
+                    f"row {number} has {len(row)} cells, expected {width}"
+                )
+            # Projection pushdown: unselected cells are dropped here, so
+            # buffers never hold more than chunk_rows x len(selected).
+            row = [row[index] for index in self.selected]
+            if self.missing_replacement is not None:
+                row = [
+                    self.missing_replacement
+                    if cell == self.missing_token
+                    else cell
+                    for cell in row
+                ]
+            yield row
+
+    def build_chunk(self, rows: Sequence[Sequence[str]]) -> Table:
+        """Build a chunk table from already-projected rows."""
+        chunk_columns: list[Column] = []
+        for position, index in enumerate(self.selected):
+            name = self.names[index]
+            raw_values = [row[position] for row in rows]
+            if self.schema is not None and name in self.schema:
+                chunk_columns.append(
+                    self.schema.field(name).build_column(raw_values)
+                )
+            else:
+                chunk_columns.append(Column.categorical(name, raw_values))
+        return Table(chunk_columns)
+
+
+@dataclass(frozen=True)
+class CsvSpan:
+    """A byte range of a CSV file's data region, aligned to line starts.
+
+    ``n_rows`` is the number of data lines the planner counted inside
+    the span (known for chunk-aligned spans from :func:`plan_csv_chunks`,
+    ``None`` for the pure byte splits of :func:`plan_csv_shards`).
+    """
+
+    start: int
+    end: int
+    n_rows: int | None = None
+
+
 def iter_csv_chunks(
     path: str | Path,
     chunk_rows: int = 4096,
@@ -136,6 +325,8 @@ def iter_csv_chunks(
     missing_replacement: str | None = None,
     skip_comment_prefix: str | None = None,
     columns: Sequence[str] | None = None,
+    plan: CsvPlan | None = None,
+    skip_rows: int = 0,
 ):
     """Stream a CSV file as a sequence of :class:`Table` chunks.
 
@@ -152,6 +343,13 @@ def iter_csv_chunks(
     each chunk to the named columns (a projection pushdown — unneeded
     cells are dropped during parsing).
 
+    Header and projection resolution happen once, in a :class:`CsvPlan`
+    (pass ``plan`` to reuse one that was already built — the remaining
+    keyword options are then ignored). ``skip_rows`` skips that many
+    already-ingested data rows before the first chunk, which is how
+    checkpoint resume re-enters a stream; with ``skip_rows > 0`` an
+    exhausted stream is *not* an error.
+
     Cell stripping and ``missing_token`` handling match
     :func:`read_csv`. Raises :class:`CsvParseError` on ragged rows, on
     unknown ``columns`` names, and — like :func:`read_csv` — when the
@@ -159,59 +357,166 @@ def iter_csv_chunks(
     """
     if chunk_rows < 1:
         raise CsvParseError(f"chunk_rows must be >= 1, got {chunk_rows}")
-    with Path(path).open(encoding="utf-8", newline="") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        names: list[str] | None = None
-        if not header:
-            if column_names is not None:
-                names = list(column_names)
-            elif schema is not None:
-                names = schema.names
-            else:
-                raise CsvParseError(
-                    "header=False requires column_names or a schema to "
-                    "supply names"
-                )
-        selected: list[int] | None = None
+    if skip_rows < 0:
+        raise CsvParseError(f"skip_rows must be >= 0, got {skip_rows}")
+    if plan is None:
+        plan = CsvPlan.from_csv(
+            path,
+            schema=schema,
+            header=header,
+            column_names=column_names,
+            delimiter=delimiter,
+            missing_token=missing_token,
+            missing_replacement=missing_replacement,
+            skip_comment_prefix=skip_comment_prefix,
+            columns=columns,
+        )
+    with Path(path).open("rb") as binary:
+        binary.seek(plan.data_offset)
+        handle = io.TextIOWrapper(binary, encoding="utf-8", newline="")
+        reader = csv.reader(handle, delimiter=plan.delimiter)
         buffer: list[list[str]] = []
-        line_number = 0
         yielded = False
-        for raw_row in reader:
-            if not raw_row or all(not cell.strip() for cell in raw_row):
-                continue
-            first = raw_row[0].strip()
-            if skip_comment_prefix and first.startswith(skip_comment_prefix):
-                continue
-            row = [cell.strip() for cell in raw_row]
-            if names is None:
-                names = row
-                continue
-            if selected is None:
-                selected = _select_indices(names, columns)
-            line_number += 1
-            if len(row) != len(names):
-                raise CsvParseError(
-                    f"row {line_number} has {len(row)} cells, expected "
-                    f"{len(names)}"
-                )
-            # Projection pushdown: unselected cells are dropped here, so
-            # the buffer never holds more than chunk_rows x len(columns).
-            row = [row[index] for index in selected]
-            if missing_replacement is not None:
-                row = [
-                    missing_replacement if cell == missing_token else cell
-                    for cell in row
-                ]
+        rows = plan.iter_data_rows(reader)
+        for _ in range(skip_rows):
+            if next(rows, None) is None:
+                break
+        for row in rows:
             buffer.append(row)
             if len(buffer) == chunk_rows:
-                yield _chunk_table(names, selected, buffer, schema)
+                yield plan.build_chunk(buffer)
                 yielded = True
                 buffer = []
         if buffer:
-            yield _chunk_table(names, selected, buffer, schema)
+            yield plan.build_chunk(buffer)
             yielded = True
-        if not yielded:
+        if not yielded and skip_rows == 0:
             raise CsvParseError("no data rows found")
+
+
+def _iter_span_lines(
+    path: str | Path, span: CsvSpan, block_bytes: int = 1 << 20
+) -> Iterator[str]:
+    """Decoded lines of a span, read in bounded blocks.
+
+    Splitting on ``\\n`` is byte-safe in UTF-8 (no multi-byte sequence
+    contains ``0x0A``), so blocks never cut a character in a way that
+    breaks per-line decoding.
+    """
+    with Path(path).open("rb") as handle:
+        handle.seek(span.start)
+        remaining = span.end - span.start
+        tail = b""
+        while remaining > 0:
+            block = handle.read(min(block_bytes, remaining))
+            if not block:
+                break
+            remaining -= len(block)
+            lines = (tail + block).split(b"\n")
+            tail = lines.pop()
+            for line in lines:
+                yield line.decode("utf-8") + "\n"
+        if tail:
+            yield tail.decode("utf-8")
+
+
+def iter_span_rows(
+    path: str | Path, plan: CsvPlan, span: CsvSpan
+) -> Iterator[list[str]]:
+    """Parse one :class:`CsvSpan` independently of every other span.
+
+    Opens the file, seeks to ``span.start``, and reads the span's bytes
+    in bounded blocks — no shared handle, no coordination, and never
+    more than a block (not the whole span) in memory — then parses them
+    under ``plan``. This is the worker-side read of the sharded
+    execution backends. Spans are line-aligned by construction, so the
+    format must not contain newlines inside quoted cells (true of every
+    dataset this library reads; documented on the planners).
+    """
+    reader = csv.reader(
+        _iter_span_lines(path, span), delimiter=plan.delimiter
+    )
+    yield from plan.iter_data_rows(reader)
+
+
+def plan_csv_shards(
+    path: str | Path, plan: CsvPlan, n_shards: int
+) -> list[CsvSpan]:
+    """Split the data region into ``<= n_shards`` even byte-range spans.
+
+    Cut points are placed at even byte fractions and advanced to the
+    next line start, so every span begins and ends on a line boundary
+    and the spans partition the data region exactly. No line is ever
+    read twice and no scan of the whole file is needed — planning costs
+    ``n_shards`` seeks. Workers parse their span with
+    :func:`iter_span_rows`, opening the file independently (the spans
+    can even be shipped to different machines alongside the plan).
+
+    Line alignment assumes cells contain no embedded newlines (the CSV
+    dialect this library reads and writes).
+    """
+    if n_shards < 1:
+        raise CsvParseError(f"n_shards must be >= 1, got {n_shards}")
+    size = Path(path).stat().st_size
+    start = plan.data_offset
+    if start >= size:
+        return []
+    boundaries = [start]
+    with Path(path).open("rb") as handle:
+        for index in range(1, n_shards):
+            cut = start + (size - start) * index // n_shards
+            handle.seek(cut)
+            handle.readline()  # finish the line the cut landed in
+            boundaries.append(min(handle.tell(), size))
+    boundaries.append(size)
+    return [
+        CsvSpan(span_start, span_end)
+        for span_start, span_end in zip(boundaries, boundaries[1:])
+        if span_end > span_start
+    ]
+
+
+def plan_csv_chunks(
+    path: str | Path, plan: CsvPlan, chunk_rows: int
+) -> list[CsvSpan]:
+    """Chunk-aligned spans: one span per ``chunk_rows`` data lines.
+
+    One cheap line scan (no csv parsing, no cell materialisation)
+    records the byte offset of every chunk boundary, so shard workers
+    can parse *the same chunks* the serial reader would produce — which
+    is what makes a multi-process ``audit-stream`` trace byte-identical
+    to the serial one. Each span carries its counted ``n_rows``;
+    consumers verify the parsed row count against it and fail loudly if
+    the cheap scan rule (skip empty/comment lines) ever disagrees with
+    the full parse rule (e.g. a line of empty cells like ``,,``).
+    """
+    if chunk_rows < 1:
+        raise CsvParseError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    prefix = (
+        plan.skip_comment_prefix.encode("utf-8")
+        if plan.skip_comment_prefix
+        else None
+    )
+    spans: list[CsvSpan] = []
+    with Path(path).open("rb") as handle:
+        handle.seek(plan.data_offset)
+        position = start = plan.data_offset
+        rows = 0
+        for line in handle:
+            position += len(line)
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if prefix and stripped.startswith(prefix):
+                continue
+            rows += 1
+            if rows == chunk_rows:
+                spans.append(CsvSpan(start, position, rows))
+                start = position
+                rows = 0
+        if rows:
+            spans.append(CsvSpan(start, position, rows))
+    return spans
 
 
 def _select_indices(
@@ -224,24 +529,6 @@ def _select_indices(
     if missing:
         raise CsvParseError(f"unknown columns {missing}; file has {names}")
     return [positions[name] for name in columns]
-
-
-def _chunk_table(
-    names: list[str],
-    selected: list[int],
-    rows: list[list[str]],
-    schema: Schema | None,
-) -> Table:
-    """Build a chunk from already-projected rows (one cell per selection)."""
-    chunk_columns: list[Column] = []
-    for position, index in enumerate(selected):
-        name = names[index]
-        raw_values = [row[position] for row in rows]
-        if schema is not None and name in schema:
-            chunk_columns.append(schema.field(name).build_column(raw_values))
-        else:
-            chunk_columns.append(Column.categorical(name, raw_values))
-    return Table(chunk_columns)
 
 
 def _infer_column(name: str, raw_values: list[str]) -> Column:

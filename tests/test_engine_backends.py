@@ -1,0 +1,354 @@
+"""Tests for repro.engine.backends and the csv_io shard planners.
+
+The execution layer's contract is *bit-identity*: counting is a
+commutative monoid, so serial, multi-process, and merged-shard ingests
+must produce the same integers, the same epsilons, and the same report
+bytes. Everything here asserts exact equality, never approximate.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.audit.auditor import FairnessAuditor
+from repro.audit.stream import ChunkProgress, StreamingAuditor
+from repro.cli import main
+from repro.engine.backends import (
+    ContingencySpec,
+    CsvSource,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    tree_merge,
+)
+from repro.exceptions import CsvParseError, ValidationError
+from repro.tabular.csv_io import (
+    CsvPlan,
+    iter_csv_chunks,
+    iter_span_rows,
+    plan_csv_chunks,
+    plan_csv_shards,
+)
+
+PROTECTED = ("gender", "race")
+OUTCOME = "hired"
+SPEC = ContingencySpec(PROTECTED, OUTCOME)
+
+
+def write_stream_csv(path, n_rows=997, seed=3, extra_column=True):
+    """A deterministic CSV with enough rows to span many chunks."""
+    rng = np.random.default_rng(seed)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            "gender,race,note,hired\n" if extra_column else "gender,race,hired\n"
+        )
+        for index in range(n_rows):
+            cells = [
+                f"g{rng.integers(2)}",
+                f"r{rng.integers(4)}",
+            ]
+            if extra_column:
+                cells.append(f"note{index}")
+            cells.append(f"y{rng.integers(2)}")
+            handle.write(",".join(cells) + "\n")
+    return path
+
+
+@pytest.fixture
+def stream_csv(tmp_path):
+    return write_stream_csv(tmp_path / "stream.csv")
+
+
+def source_for(path, chunk_rows=128):
+    return CsvSource(
+        str(path), chunk_rows=chunk_rows, columns=(*PROTECTED, OUTCOME)
+    )
+
+
+class TestCsvPlan:
+    def test_plan_resolves_header_and_projection_once(self, stream_csv):
+        plan = CsvPlan.from_csv(stream_csv, columns=[*PROTECTED, OUTCOME])
+        assert plan.names == ("gender", "race", "note", "hired")
+        assert plan.selected_names == ("gender", "race", "hired")
+        assert plan.data_offset == len("gender,race,note,hired\n")
+
+    def test_duplicate_column_names_rejected_at_plan_time(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text("a,b,a\n1,2,3\n")
+        with pytest.raises(CsvParseError, match="duplicate column names"):
+            CsvPlan.from_csv(path)
+
+    def test_unknown_projection_rejected(self, stream_csv):
+        with pytest.raises(CsvParseError, match="unknown columns"):
+            CsvPlan.from_csv(stream_csv, columns=["ghost"])
+
+    def test_plan_reuse_matches_fresh_iteration(self, stream_csv):
+        plan = CsvPlan.from_csv(stream_csv, columns=[*PROTECTED, OUTCOME])
+        fresh = [
+            chunk.to_dict()
+            for chunk in iter_csv_chunks(
+                stream_csv, 100, columns=[*PROTECTED, OUTCOME]
+            )
+        ]
+        reused = [
+            chunk.to_dict() for chunk in iter_csv_chunks(stream_csv, 100, plan=plan)
+        ]
+        assert fresh == reused
+
+    def test_skip_rows_resumes_mid_stream(self, stream_csv):
+        chunks = list(iter_csv_chunks(stream_csv, 100))
+        resumed = list(iter_csv_chunks(stream_csv, 100, skip_rows=300))
+        assert [c.to_dict() for c in resumed] == [
+            c.to_dict() for c in chunks[3:]
+        ]
+
+    def test_skip_past_the_end_is_not_an_error(self, stream_csv):
+        assert list(iter_csv_chunks(stream_csv, 100, skip_rows=10_000)) == []
+
+    def test_comment_and_blank_prologue_offsets(self, tmp_path):
+        path = tmp_path / "prologue.csv"
+        path.write_text("|junk line\n\ng,y\na,1\n")
+        plan = CsvPlan.from_csv(path, skip_comment_prefix="|")
+        chunks = list(iter_csv_chunks(path, 10, skip_comment_prefix="|"))
+        assert plan.names == ("g", "y")
+        assert chunks[0].n_rows == 1
+
+
+class TestSpanPlanners:
+    def test_shard_spans_partition_the_data_region(self, stream_csv):
+        plan = CsvPlan.from_csv(stream_csv)
+        size = stream_csv.stat().st_size
+        for n_shards in [1, 2, 3, 7, 16]:
+            spans = plan_csv_shards(stream_csv, plan, n_shards)
+            assert spans[0].start == plan.data_offset
+            assert spans[-1].end == size
+            for left, right in zip(spans, spans[1:]):
+                assert left.end == right.start
+            assert len(spans) <= n_shards
+
+    def test_shard_spans_cover_every_row_exactly_once(self, stream_csv):
+        plan = CsvPlan.from_csv(stream_csv, columns=[*PROTECTED, OUTCOME])
+        serial_rows = [
+            row
+            for chunk in iter_csv_chunks(
+                stream_csv, 200, columns=[*PROTECTED, OUTCOME]
+            )
+            for row in zip(
+                *(chunk.column(name).to_list() for name in plan.selected_names)
+            )
+        ]
+        sharded_rows = [
+            tuple(row)
+            for span in plan_csv_shards(stream_csv, plan, 5)
+            for row in iter_span_rows(stream_csv, plan, span)
+        ]
+        assert sharded_rows == serial_rows
+
+    def test_chunk_spans_match_serial_chunk_boundaries(self, stream_csv):
+        plan = CsvPlan.from_csv(stream_csv, columns=[*PROTECTED, OUTCOME])
+        spans = plan_csv_chunks(stream_csv, plan, 128)
+        serial_sizes = [
+            chunk.n_rows
+            for chunk in iter_csv_chunks(
+                stream_csv, 128, columns=[*PROTECTED, OUTCOME]
+            )
+        ]
+        assert [span.n_rows for span in spans] == serial_sizes
+        parsed_sizes = [
+            len(list(iter_span_rows(stream_csv, plan, span))) for span in spans
+        ]
+        assert parsed_sizes == serial_sizes
+
+    def test_more_shards_than_bytes_collapses(self, tmp_path):
+        path = tmp_path / "tiny.csv"
+        path.write_text("g,y\na,1\n")
+        plan = CsvPlan.from_csv(path)
+        spans = plan_csv_shards(path, plan, 64)
+        assert sum(len(list(iter_span_rows(path, plan, s))) for s in spans) == 1
+
+
+class TestTreeMerge:
+    def test_tree_merge_equals_linear_merge(self):
+        accumulators = []
+        for shard in range(5):
+            accumulator = SPEC.new_accumulator()
+            accumulator.update(
+                [(f"g{shard % 2}", f"r{shard}", f"y{row % 2}") for row in range(7)]
+            )
+            accumulators.append(accumulator)
+        linear = accumulators[0]
+        for other in accumulators[1:]:
+            linear = linear.merge(other)
+        tree = tree_merge(accumulators)
+        assert np.array_equal(tree.snapshot().counts, linear.snapshot().counts)
+        assert tree.n_rows == linear.n_rows
+
+    def test_tree_merge_rejects_empty_input(self):
+        with pytest.raises(ValidationError):
+            tree_merge([])
+
+
+class TestBackendBitIdentity:
+    def test_pool_build_matches_serial_build(self, stream_csv):
+        source = source_for(stream_csv)
+        serial = SerialBackend().build(source, SPEC)
+        for workers in [2, 3]:
+            pooled = ProcessPoolBackend(workers).build(source, SPEC)
+            assert pooled.n_rows == serial.n_rows
+            assert np.array_equal(
+                pooled.snapshot().counts, serial.snapshot().counts
+            )
+            assert (
+                pooled.snapshot().factor_levels
+                == serial.snapshot().factor_levels
+            )
+
+    @pytest.mark.parallel
+    def test_pool_chunk_counts_reproduce_serial_chunks(self, stream_csv):
+        source = source_for(stream_csv, chunk_rows=100)
+        serial = list(SerialBackend().iter_chunk_counts(source, SPEC))
+        pooled = list(ProcessPoolBackend(2).iter_chunk_counts(source, SPEC))
+        assert [c.index for c in pooled] == [c.index for c in serial]
+        assert [c.n_rows for c in pooled] == [c.n_rows for c in serial]
+        for mine, theirs in zip(pooled, serial):
+            assert np.array_equal(
+                mine.counts.snapshot().counts, theirs.counts.snapshot().counts
+            )
+
+    @pytest.mark.parallel
+    def test_audit_csv_identical_across_backends(self, stream_csv):
+        auditor = FairnessAuditor(PROTECTED, OUTCOME, posterior_samples=20, seed=7)
+        serial = auditor.audit_csv(source_for(stream_csv))
+        pooled = auditor.audit_csv(
+            source_for(stream_csv), backend=ProcessPoolBackend(2)
+        )
+        assert pooled.to_text() == serial.to_text()
+        assert pooled.posterior.mean == serial.posterior.mean
+
+    def test_worker_detects_scan_parse_disagreement(self, tmp_path):
+        # A line of empty cells is skipped by the parser but counted as
+        # data by the cheap chunk scanner: the worker must fail loudly
+        # rather than shift chunk boundaries silently.
+        path = tmp_path / "blanks.csv"
+        path.write_text("g,r,y\na,x,1\n,,\nb,z,0\n")
+        plan = CsvPlan.from_csv(path)
+        spans = plan_csv_chunks(path, plan, 2)
+        source = CsvSource(str(path), chunk_rows=2)
+        spec = ContingencySpec(("g", "r"), "y")
+        assert any(span.n_rows == 2 for span in spans)
+        with pytest.raises(CsvParseError, match="serial backend"):
+            list(ProcessPoolBackend(1).iter_chunk_counts(source, spec))
+
+
+class TestStreamingAuditorIngest:
+    def test_serial_ingest_matches_observe_table_loop(self, stream_csv):
+        source = source_for(stream_csv, chunk_rows=100)
+        by_ingest = StreamingAuditor(PROTECTED, OUTCOME)
+        trace: list[ChunkProgress] = []
+        final = by_ingest.ingest(source, on_chunk=trace.append)
+
+        by_loop = StreamingAuditor(PROTECTED, OUTCOME)
+        epsilons = [
+            by_loop.observe_table(chunk)
+            for chunk in iter_csv_chunks(
+                stream_csv, 100, columns=[*PROTECTED, OUTCOME]
+            )
+        ]
+        assert [entry.epsilon for entry in trace] == epsilons
+        assert [entry.index for entry in trace] == list(
+            range(1, len(epsilons) + 1)
+        )
+        assert final == epsilons[-1]
+        assert by_ingest.audit().to_text() == by_loop.audit().to_text()
+
+    @pytest.mark.parallel
+    def test_pool_ingest_trace_is_bit_identical(self, stream_csv):
+        source = source_for(stream_csv, chunk_rows=100)
+        serial_trace: list[ChunkProgress] = []
+        pooled_trace: list[ChunkProgress] = []
+        serial = StreamingAuditor(PROTECTED, OUTCOME)
+        pooled = StreamingAuditor(PROTECTED, OUTCOME)
+        serial.ingest(source, on_chunk=serial_trace.append)
+        pooled.ingest(
+            source, backend=ProcessPoolBackend(2), on_chunk=pooled_trace.append
+        )
+        assert pooled_trace == serial_trace
+        assert pooled.audit().to_text() == serial.audit().to_text()
+
+    def test_windowed_ingest_requires_ordered_backend(self, stream_csv):
+        auditor = StreamingAuditor(PROTECTED, OUTCOME, window=50)
+        with pytest.raises(ValidationError, match="row order"):
+            auditor.ingest(
+                source_for(stream_csv), backend=ProcessPoolBackend(2)
+            )
+
+    def test_windowed_serial_ingest_matches_manual_window(self, stream_csv):
+        source = source_for(stream_csv, chunk_rows=100)
+        auditor = StreamingAuditor(PROTECTED, OUTCOME, window=150)
+        final = auditor.ingest(source)
+        manual = StreamingAuditor(PROTECTED, OUTCOME, window=150)
+        for chunk in iter_csv_chunks(
+            stream_csv, 100, columns=[*PROTECTED, OUTCOME]
+        ):
+            manual_final = manual.observe_table(chunk)
+        assert final == manual_final
+
+    def test_absorb_rejected_for_windowed_auditors(self):
+        windowed = StreamingAuditor(PROTECTED, OUTCOME, window=10)
+        other = SPEC.new_accumulator().update([("g0", "r0", "y1")])
+        with pytest.raises(ValidationError):
+            windowed._absorb(other)
+
+
+class TestCliBackendMatrix:
+    @pytest.mark.parallel
+    def test_workers_flag_is_byte_identical(self, stream_csv, monkeypatch):
+        monkeypatch.chdir(stream_csv.parent)
+        args = [
+            "audit-stream", stream_csv.name,
+            "--protected", "gender,race",
+            "--outcome", "hired",
+            "--chunk-rows", "200",
+        ]
+        serial_out, pooled_out = io.StringIO(), io.StringIO()
+        assert main(args, out=serial_out) == 0
+        assert main([*args, "--workers", "2"], out=pooled_out) == 0
+        assert pooled_out.getvalue() == serial_out.getvalue()
+
+    def test_workers_with_window_rejected(self, stream_csv, capsys):
+        rc = main(
+            [
+                "audit-stream", str(stream_csv),
+                "--protected", "gender,race",
+                "--outcome", "hired",
+                "--window", "100",
+                "--workers", "2",
+            ],
+            out=io.StringIO(),
+        )
+        assert rc == 2
+        assert "cumulative" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, stream_csv, capsys):
+        rc = main(
+            [
+                "audit-stream", str(stream_csv),
+                "--protected", "gender,race",
+                "--outcome", "hired",
+                "--resume",
+            ],
+            out=io.StringIO(),
+        )
+        assert rc == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+
+def test_base_backend_refuses_ordered_iteration(tmp_path):
+    class Stub(ExecutionBackend):
+        name = "stub"
+
+    with pytest.raises(ValidationError, match="SerialBackend"):
+        next(Stub().iter_chunk_tables(CsvSource(str(tmp_path / "x.csv"))))

@@ -1,0 +1,337 @@
+"""Tests for repro.engine.checkpoint (the durable .rcpk format).
+
+Covers the format contract (round-trips, atomicity, corruption
+detection), the restore validation satellite (schema_version and
+factor/outcome name checks raise CheckpointError instead of corrupting
+counts), and the crash-resume acceptance criterion: a run killed
+mid-stream and resumed from its checkpoint produces the same final
+report as an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.audit.stream import STATE_SCHEMA_VERSION, StreamingAuditor
+from repro.cli import main
+from repro.engine.backends import ContingencySpec, CsvSource
+from repro.engine.checkpoint import (
+    CHECKPOINT_VERSION,
+    load_auditor_state,
+    load_checkpoint,
+    load_contingency,
+    merge_checkpoint_files,
+    save_auditor_state,
+    save_contingency,
+)
+from repro.exceptions import CheckpointError, SchemaError, ValidationError
+from tests.test_engine_backends import PROTECTED, OUTCOME, write_stream_csv
+
+SPEC = ContingencySpec(PROTECTED, OUTCOME)
+
+
+def small_accumulator(seed=0, n_rows=60):
+    rng = np.random.default_rng(seed)
+    accumulator = SPEC.new_accumulator()
+    accumulator.update(
+        [
+            (f"g{rng.integers(2)}", f"r{rng.integers(3)}", f"y{rng.integers(2)}")
+            for _ in range(n_rows)
+        ]
+    )
+    return accumulator
+
+
+class TestContingencyRoundtrip:
+    def test_roundtrip_is_exact(self, tmp_path):
+        accumulator = small_accumulator()
+        path = tmp_path / "shard.rcpk"
+        save_contingency(path, accumulator)
+        restored = load_contingency(path)
+        assert restored.n_rows == accumulator.n_rows
+        assert restored.factor_names == accumulator.factor_names
+        assert restored.factor_levels == accumulator.factor_levels
+        assert np.array_equal(
+            restored.snapshot().counts, accumulator.snapshot().counts
+        )
+
+    def test_no_temporary_file_left_behind(self, tmp_path):
+        path = tmp_path / "shard.rcpk"
+        save_contingency(path, small_accumulator())
+        assert [entry.name for entry in tmp_path.iterdir()] == ["shard.rcpk"]
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        path = tmp_path / "shard.rcpk"
+        save_contingency(path, small_accumulator(seed=1))
+        second = small_accumulator(seed=2)
+        save_contingency(path, second)
+        assert np.array_equal(
+            load_contingency(path).snapshot().counts, second.snapshot().counts
+        )
+
+    def test_pinned_axes_survive_the_roundtrip(self, tmp_path):
+        spec = ContingencySpec(
+            ("gender",), "hired", (("g0", "g1"),), ("no", "yes")
+        )
+        accumulator = spec.new_accumulator().update([("g1", "no")])
+        path = tmp_path / "pinned.rcpk"
+        save_contingency(path, accumulator)
+        restored = load_contingency(path)
+        with pytest.raises(ValidationError):
+            restored.update([("g2", "no")])  # axis is still pinned
+
+    def test_non_scalar_levels_rejected_at_save_time(self, tmp_path):
+        accumulator = SPEC.new_accumulator()
+        accumulator.update([(("tuple", "level"), "r0", "y0")])
+        with pytest.raises(CheckpointError, match="JSON scalar"):
+            save_contingency(tmp_path / "bad.rcpk", accumulator)
+
+
+class TestCorruptionDetection:
+    @pytest.fixture
+    def checkpoint(self, tmp_path):
+        path = tmp_path / "shard.rcpk"
+        save_contingency(path, small_accumulator())
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_checkpoint(tmp_path / "ghost.rcpk")
+
+    def test_truncation_everywhere(self, checkpoint):
+        blob = checkpoint.read_bytes()
+        for keep in [0, 10, 25, len(blob) // 2, len(blob) - 1]:
+            checkpoint.write_bytes(blob[:keep])
+            with pytest.raises(CheckpointError, match="truncated"):
+                load_checkpoint(checkpoint)
+
+    def test_foreign_file(self, checkpoint):
+        checkpoint.write_bytes(b"PK\x03\x04" + b"\x00" * 64)
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            load_checkpoint(checkpoint)
+
+    def test_future_version(self, checkpoint):
+        blob = bytearray(checkpoint.read_bytes())
+        blob[4:6] = (CHECKPOINT_VERSION + 1).to_bytes(2, "little")
+        checkpoint.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="newer"):
+            load_checkpoint(checkpoint)
+
+    def test_payload_bit_rot(self, checkpoint):
+        blob = bytearray(checkpoint.read_bytes())
+        blob[-1] ^= 0xFF
+        checkpoint.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="CRC"):
+            load_checkpoint(checkpoint)
+
+    def test_header_bit_rot(self, checkpoint):
+        blob = bytearray(checkpoint.read_bytes())
+        blob[30] ^= 0x01
+        checkpoint.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="CRC"):
+            load_checkpoint(checkpoint)
+
+    def test_wrong_kind_for_auditor_load(self, checkpoint):
+        with pytest.raises(CheckpointError, match="auditor"):
+            load_auditor_state(checkpoint)
+
+
+class TestRestoreValidation:
+    def test_schema_version_mismatch(self):
+        auditor = StreamingAuditor(PROTECTED, OUTCOME)
+        state = auditor.state_dict()
+        state["schema_version"] = STATE_SCHEMA_VERSION + 1
+        with pytest.raises(CheckpointError, match="schema version"):
+            StreamingAuditor(PROTECTED, OUTCOME).restore(state)
+
+    def test_legacy_state_without_version_rejected(self):
+        auditor = StreamingAuditor(PROTECTED, OUTCOME)
+        state = auditor.state_dict()
+        del state["schema_version"]
+        with pytest.raises(CheckpointError, match="schema version"):
+            StreamingAuditor(PROTECTED, OUTCOME).restore(state)
+
+    def test_mismatched_protected_names(self):
+        state = StreamingAuditor(PROTECTED, OUTCOME).state_dict()
+        other = StreamingAuditor(("gender", "age"), OUTCOME)
+        with pytest.raises(CheckpointError, match="protected"):
+            other.restore(state)
+
+    def test_mismatched_outcome_name(self):
+        state = StreamingAuditor(PROTECTED, OUTCOME).state_dict()
+        other = StreamingAuditor(PROTECTED, "income")
+        with pytest.raises(CheckpointError, match="outcome"):
+            other.restore(state)
+
+    def test_window_mismatch(self):
+        state = StreamingAuditor(PROTECTED, OUTCOME, window=5).state_dict()
+        other = StreamingAuditor(PROTECTED, OUTCOME, window=9)
+        with pytest.raises(CheckpointError, match="window"):
+            other.restore(state)
+
+    def test_checkpoint_error_is_catchable_as_validation_error(self):
+        state = StreamingAuditor(PROTECTED, OUTCOME, window=5).state_dict()
+        with pytest.raises(ValidationError):
+            StreamingAuditor(PROTECTED, OUTCOME, window=9).restore(state)
+
+
+class TestAuditorCheckpointFile:
+    def test_windowed_roundtrip_through_disk(self, tmp_path):
+        rows = [
+            (f"g{i % 2}", f"r{i % 3}", f"y{(i // 2) % 2}") for i in range(75)
+        ]
+        auditor = StreamingAuditor(PROTECTED, OUTCOME, window=40)
+        auditor.observe(rows)
+        path = tmp_path / "auditor.rcpk"
+        save_auditor_state(path, auditor.state_dict(), progress={"chunks_ingested": 3})
+        state, progress = load_auditor_state(path)
+        assert progress == {"chunks_ingested": 3}
+        restored = StreamingAuditor(PROTECTED, OUTCOME, window=40)
+        restored.restore(state)
+        assert restored.epsilon() == auditor.epsilon()
+        assert restored.rows_seen == auditor.rows_seen
+        more = [("g0", "r1", "y1")] * 10
+        assert restored.observe(more) == auditor.observe(more)
+
+
+class TestMergeCheckpoints:
+    def test_merge_files_equals_single_pass(self, tmp_path):
+        rows = [
+            (f"g{i % 2}", f"r{i % 4}", f"y{i % 2}") for i in range(240)
+        ]
+        paths = []
+        for shard in range(3):
+            accumulator = SPEC.new_accumulator().update(rows[shard::3])
+            path = tmp_path / f"shard{shard}.rcpk"
+            save_contingency(path, accumulator)
+            paths.append(path)
+        merged = merge_checkpoint_files(paths)
+        single = SPEC.new_accumulator().update(rows)
+        assert np.array_equal(
+            merged.snapshot().counts, single.snapshot().counts
+        )
+
+    def test_auditor_checkpoints_contribute_their_counts(self, tmp_path):
+        auditor = StreamingAuditor(PROTECTED, OUTCOME)
+        auditor.observe([("g0", "r0", "y1"), ("g1", "r1", "y0")])
+        path = tmp_path / "auditor.rcpk"
+        save_auditor_state(path, auditor.state_dict())
+        merged = merge_checkpoint_files([path])
+        assert merged.n_rows == 2
+
+    def test_windowed_auditor_checkpoints_refused(self, tmp_path):
+        # A windowed accumulator counts only the last W rows (the rest
+        # were retracted), so merging it would silently drop history.
+        auditor = StreamingAuditor(PROTECTED, OUTCOME, window=3)
+        auditor.observe([("g0", "r0", "y1")] * 10)
+        path = tmp_path / "windowed.rcpk"
+        save_auditor_state(path, auditor.state_dict())
+        with pytest.raises(CheckpointError, match="windowed"):
+            merge_checkpoint_files([path])
+
+    def test_mismatched_schemas_fail_loudly(self, tmp_path):
+        first = tmp_path / "a.rcpk"
+        second = tmp_path / "b.rcpk"
+        save_contingency(first, SPEC.new_accumulator().update([("g0", "r0", "y1")]))
+        other_spec = ContingencySpec(("gender", "age"), OUTCOME)
+        save_contingency(
+            second, other_spec.new_accumulator().update([("g0", "a1", "y1")])
+        )
+        with pytest.raises(SchemaError):
+            merge_checkpoint_files([first, second])
+
+    def test_empty_path_list_rejected(self):
+        with pytest.raises(CheckpointError):
+            merge_checkpoint_files([])
+
+
+class TestCrashResumeIntegration:
+    """Acceptance: kill mid-stream, resume, report matches uninterrupted."""
+
+    @pytest.fixture
+    def csv_cwd(self, tmp_path, monkeypatch):
+        write_stream_csv(tmp_path / "stream.csv", n_rows=730)
+        monkeypatch.chdir(tmp_path)
+
+    ARGS = [
+        "audit-stream", "stream.csv",
+        "--protected", "gender,race",
+        "--outcome", "hired",
+        "--chunk-rows", "100",
+    ]
+
+    @pytest.mark.parametrize("window_args", [[], ["--window", "250"]])
+    def test_killed_run_resumes_to_identical_report(
+        self, csv_cwd, monkeypatch, window_args
+    ):
+        uninterrupted = io.StringIO()
+        assert main([*self.ARGS, *window_args], out=uninterrupted) == 0
+        reference_report = uninterrupted.getvalue().split("\n\n", 1)[1]
+
+        # Kill the process after 4 chunks: the crash strikes *between*
+        # the checkpoint write and the next chunk, like a real SIGKILL.
+        observed = StreamingAuditor.observe_table
+        calls = {"n": 0}
+
+        def dying_observe(self, table):
+            if calls["n"] == 4:
+                raise KeyboardInterrupt("simulated kill -9")
+            calls["n"] += 1
+            return observed(self, table)
+
+        monkeypatch.setattr(StreamingAuditor, "observe_table", dying_observe)
+        with pytest.raises(KeyboardInterrupt):
+            main(
+                [*self.ARGS, *window_args, "--checkpoint", "run.rcpk"],
+                out=io.StringIO(),
+            )
+        monkeypatch.setattr(StreamingAuditor, "observe_table", observed)
+
+        state, progress = load_auditor_state("run.rcpk")
+        assert progress["chunks_ingested"] == 4
+
+        resumed = io.StringIO()
+        assert (
+            main(
+                [*self.ARGS, *window_args, "--checkpoint", "run.rcpk", "--resume"],
+                out=resumed,
+            )
+            == 0
+        )
+        resumed_text = resumed.getvalue()
+        # The resumed trace covers only the remaining chunks, numbered
+        # where the killed run stopped; the final report is identical.
+        assert resumed_text.startswith("chunk 5:")
+        assert resumed_text.split("\n\n", 1)[1] == reference_report
+
+    def test_resume_from_corrupted_checkpoint_fails_loudly(
+        self, csv_cwd, capsys
+    ):
+        assert main([*self.ARGS, "--checkpoint", "run.rcpk"], out=io.StringIO()) == 0
+        blob = open("run.rcpk", "rb").read()
+        open("run.rcpk", "wb").write(blob[: len(blob) // 3])
+        rc = main(
+            [*self.ARGS, "--checkpoint", "run.rcpk", "--resume"],
+            out=io.StringIO(),
+        )
+        assert rc == 1
+        assert "truncated" in capsys.readouterr().err
+
+    def test_resume_with_different_protected_fails_loudly(self, csv_cwd, capsys):
+        assert main([*self.ARGS, "--checkpoint", "run.rcpk"], out=io.StringIO()) == 0
+        rc = main(
+            [
+                "audit-stream", "stream.csv",
+                "--protected", "gender",
+                "--outcome", "hired",
+                "--chunk-rows", "100",
+                "--checkpoint", "run.rcpk",
+                "--resume",
+            ],
+            out=io.StringIO(),
+        )
+        assert rc == 1
+        assert "protected" in capsys.readouterr().err

@@ -28,6 +28,8 @@ from pathlib import Path
 import pytest
 
 from repro.cli import main
+from repro.core.streaming import StreamingContingency
+from repro.engine.checkpoint import save_contingency
 from repro.tabular.csv_io import write_csv
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -65,13 +67,42 @@ CASES = {
         "--chunk-rows", "5",
         "--markdown",
     ],
+    "audit_stream_hiring_cumulative.txt": [
+        "audit-stream", "hiring.csv",
+        "--protected", "gender,race",
+        "--outcome", "hired",
+        "--chunk-rows", "6",
+    ],
+    "merge_checkpoints_hiring.txt": [
+        "merge-checkpoints", "shard0.rcpk", "shard1.rcpk",
+    ],
+    "merge_checkpoints_hiring.md": [
+        "merge-checkpoints", "shard0.rcpk", "shard1.rcpk",
+        "--alpha", "1.0",
+        "--markdown",
+    ],
 }
+
+# Cumulative audit-stream cases must stay byte-identical when ingestion
+# fans out to a process pool; windowed cases are serial-only by design.
+PARALLEL_CASES = [
+    name
+    for name, args in CASES.items()
+    if args[0] == "audit-stream" and "--window" not in args
+]
 
 
 @pytest.fixture
 def hiring_csv_cwd(tmp_path, hiring_table, monkeypatch):
-    """hiring.csv in a tmp cwd so the CLI sees a stable relative path."""
+    """hiring.csv + shard checkpoints in a tmp cwd (stable relative paths)."""
     write_csv(hiring_table, tmp_path / "hiring.csv")
+    names = ["gender", "race", "hired"]
+    rows = list(zip(*(hiring_table.column(name).to_list() for name in names)))
+    half = len(rows) // 2
+    for index, shard_rows in enumerate([rows[:half], rows[half:]]):
+        accumulator = StreamingContingency(names[:2], names[2])
+        accumulator.update(shard_rows)
+        save_contingency(tmp_path / f"shard{index}.rcpk", accumulator)
     monkeypatch.chdir(tmp_path)
 
 
@@ -95,6 +126,26 @@ def test_cli_output_matches_golden(golden_name, hiring_csv_cwd, request):
         f"CLI output drifted from {golden_path.name}; if the change is "
         "intentional, regenerate with --update-golden and review the diff"
     )
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("golden_name", sorted(PARALLEL_CASES))
+def test_worker_pool_output_matches_golden(golden_name, hiring_csv_cwd):
+    """``--workers 2`` must reproduce the committed serial bytes exactly.
+
+    The pool backend parses chunk-aligned byte-range shards in worker
+    processes and tree-merges at the coordinator; the PR-3 merge algebra
+    makes the trace and report bit-identical to the serial run, so the
+    *same* golden file pins both execution paths.
+    """
+    out = io.StringIO()
+    assert main([*CASES[golden_name], "--workers", "2"], out=out) == 0
+    golden_path = GOLDEN_DIR / golden_name
+    assert golden_path.exists(), (
+        f"missing golden fixture {golden_path}; run pytest with "
+        "--update-golden to create it"
+    )
+    assert out.getvalue() == golden_path.read_text(encoding="utf-8")
 
 
 def test_golden_fixtures_are_all_exercised():

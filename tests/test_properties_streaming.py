@@ -24,6 +24,7 @@ from hypothesis import strategies as st
 
 from repro.audit.auditor import FairnessAuditor
 from repro.core.streaming import StreamingContingency
+from repro.engine.backends import tree_merge
 from repro.tabular.crosstab import ContingencyTable
 from repro.tabular.table import Table
 
@@ -194,3 +195,66 @@ class TestShardSplitAuditBitIdentity:
             assert np.array_equal(
                 streamed.posterior_sweep.epsilon_samples(subset), samples
             )
+
+
+class TestTreeMergeAtScale:
+    """Merge-at-scale: the execution engine's reduction is bit-exact.
+
+    K shards (K in 2..8) with an arbitrary row assignment — including
+    *empty* shards and shards whose rows introduce levels no other shard
+    has seen — are reduced by the engine's balanced
+    :func:`repro.engine.backends.tree_merge`. The result must be
+    bit-identical to one serial ingest of all rows: point epsilon for
+    every attribute subset *and* the posterior audit for a fixed seed.
+    """
+
+    @given(row_sets(min_rows=2, max_rows=40), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_tree_merge_of_k_shards_is_bit_identical(self, ab, data):
+        names, rows = ab
+        assume(len({row[-1] for row in rows}) >= 2)
+        n_shards = data.draw(st.integers(2, 8))
+        assignment = data.draw(
+            st.lists(
+                st.integers(0, n_shards - 1),
+                min_size=len(rows),
+                max_size=len(rows),
+            )
+        )
+
+        shards = [StreamingContingency(names, "y") for _ in range(n_shards)]
+        for row, shard in zip(rows, assignment):
+            shards[shard].update([row])
+        merged = tree_merge(shards)
+        assert merged.n_rows == len(rows)
+
+        serial = StreamingContingency(names, "y").update(rows)
+        assert snapshot_key(merged) == snapshot_key(serial)
+
+        auditor = FairnessAuditor(names, "y", posterior_samples=6, seed=11)
+        reference = auditor.audit_contingency(serial.snapshot())
+        sharded = auditor.audit_contingency(merged.snapshot())
+        for subset, result in reference.sweep.results.items():
+            assert sharded.sweep.results[subset].epsilon == result.epsilon
+        assert sharded.posterior.mean == reference.posterior.mean
+        assert sharded.posterior.quantiles == reference.posterior.quantiles
+        assert sharded.to_text() == reference.to_text()
+
+    def test_empty_and_unseen_level_shards_merge_exactly(self):
+        """The deterministic worst case: empties plus disjoint levels."""
+        names = ["f0"]
+        shards = [
+            StreamingContingency(names, "y"),  # never sees a row
+            StreamingContingency(names, "y").update(
+                [("a0", "no"), ("a0", "yes")]
+            ),
+            StreamingContingency(names, "y"),  # also empty
+            StreamingContingency(names, "y").update(
+                [("a2", "maybe"), ("a1", "no")]  # levels unseen elsewhere
+            ),
+        ]
+        merged = tree_merge(shards)
+        serial = StreamingContingency(names, "y").update(
+            [("a0", "no"), ("a0", "yes"), ("a2", "maybe"), ("a1", "no")]
+        )
+        assert snapshot_key(merged) == snapshot_key(serial)

@@ -185,7 +185,10 @@ class TestEpsilonInvariances:
     def test_epsilon_zero_iff_identical_rows(self, raw):
         probs = raw / raw.sum(axis=1, keepdims=True)
         epsilon = epsilon_from_probabilities(probs, validate=False).epsilon
-        rows_identical = np.allclose(probs, probs[0], atol=1e-12)
+        # rtol must be 0 here: the default 1e-5 calls rows "identical"
+        # whose probabilities differ by ~1e-6, where epsilon is genuinely
+        # ~1e-6 too and the 1e-9 bound below fails.
+        rows_identical = np.allclose(probs, probs[0], rtol=0.0, atol=1e-12)
         if rows_identical:
             assert epsilon == pytest.approx(0.0, abs=1e-9)
         if epsilon == 0.0:
