@@ -1,0 +1,230 @@
+"""Perf bench: monitoring-service ingest throughput, bit-identity first.
+
+The monitoring subsystem's claim is that serving-layer bookkeeping — the
+registry's per-monitor locking, the durable audit-history append, and
+rule evaluation — does not eat the streaming engine's budget. Two paths
+are measured over the same synthetic census-like stream:
+
+* ``registry`` — the in-process hot path a co-located producer uses:
+  :meth:`repro.monitor.registry.Monitor.observe` per batch, with the
+  durable (fsynced) history store attached and an alert rule armed.
+  The acceptance target is sustained ingest of >= 10k rows/sec,
+  recorded in ``BENCH_service.json`` and enforced by a
+  ``@pytest.mark.perf`` guard.
+* ``http`` — the full loopback round trip: JSON-encode each batch, POST
+  it to ``/monitors/{name}/observe`` on a live
+  :class:`~repro.monitor.service.MonitorService`, parse the response.
+  Recorded for the trajectory (no hard threshold: loopback latency is
+  hardware noise), together with the overhead ratio vs the registry
+  path.
+
+Bit-identity is asserted **unconditionally** on both paths before any
+timing: the epsilon reported after every batch — and the final
+``/report`` — equals :func:`repro.core.empirical.dataset_edf` on the
+concatenated rows.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.empirical import dataset_edf
+from repro.monitor.registry import MonitorRegistry
+from repro.monitor.rules import EpsilonThresholdRule
+from repro.monitor.service import MonitorService
+from repro.monitor.store import AuditHistoryStore
+from repro.tabular.table import Table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_service.json"
+
+PROTECTED = ["gender", "race", "nationality"]
+OUTCOME = "income"
+NAMES = [*PROTECTED, OUTCOME]
+LEVELS = {
+    "gender": ["Female", "Male"],
+    "race": ["White", "Black", "Asian-Pac-Islander", "Other"],
+    "nationality": ["United-States", "Other"],
+    "income": ["<=50K", ">50K"],
+}
+
+BATCH_ROWS = 1_000
+N_BATCHES = 60  # registry path: 60k rows timed
+HTTP_BATCHES = 15  # loopback path: enough to amortise connection setup
+TARGET_ROWS_PER_SEC = 10_000.0
+
+_RESULTS: dict[str, dict] = {}
+
+
+def _stream(n_rows: int, seed: int = 20260728):
+    rng = np.random.default_rng(seed)
+    cells = [rng.integers(len(LEVELS[name]), size=n_rows) for name in PROTECTED]
+    base = 0.2 + 0.1 * cells[0] + 0.04 * cells[1]
+    outcome = rng.random(n_rows) < np.clip(base, 0.02, 0.98)
+    return [
+        (
+            LEVELS["gender"][cells[0][row]],
+            LEVELS["race"][cells[1][row]],
+            LEVELS["nationality"][cells[2][row]],
+            LEVELS["income"][int(outcome[row])],
+        )
+        for row in range(n_rows)
+    ]
+
+
+def _offline_epsilon(rows) -> float:
+    return dataset_edf(
+        Table.from_rows(NAMES, rows),
+        protected=PROTECTED,
+        outcome=OUTCOME,
+        estimator=1.0,
+    ).epsilon
+
+
+def _make_monitor(tmp_path, name: str):
+    registry = MonitorRegistry(
+        AuditHistoryStore(tmp_path / f"history-{name}")
+    )
+    monitor = registry.create(
+        name,
+        PROTECTED,
+        OUTCOME,
+        alpha=1.0,
+        factor_levels=[LEVELS[column] for column in PROTECTED],
+        outcome_levels=LEVELS[OUTCOME],
+        rules=[EpsilonThresholdRule(10.0)],  # armed, rarely fires
+    )
+    return registry, monitor
+
+
+@pytest.mark.perf
+def test_registry_ingest_throughput(tmp_path):
+    rows = _stream(BATCH_ROWS * N_BATCHES)
+    batches = [
+        rows[start : start + BATCH_ROWS]
+        for start in range(0, len(rows), BATCH_ROWS)
+    ]
+
+    # Correctness first: every per-batch epsilon is bit-identical to the
+    # offline audit of the rows ingested so far.
+    _, checker = _make_monitor(tmp_path, "check")
+    for index, batch in enumerate(batches):
+        result = checker.observe(batch)
+        assert result.epsilon == _offline_epsilon(
+            rows[: (index + 1) * BATCH_ROWS]
+        )
+
+    _, monitor = _make_monitor(tmp_path, "timed")
+    start = time.perf_counter()
+    for batch in batches:
+        monitor.observe(batch)
+    elapsed = time.perf_counter() - start
+    assert monitor.report().epsilon == _offline_epsilon(rows)
+
+    rows_per_sec = len(rows) / elapsed
+    _RESULTS["registry"] = {
+        "path": "in-process registry (Monitor.observe, durable store, "
+        "threshold rule armed)",
+        "batch_rows": BATCH_ROWS,
+        "n_batches": N_BATCHES,
+        "rows": len(rows),
+        "seconds": elapsed,
+        "rows_per_sec": rows_per_sec,
+        "per_batch_ms": 1000.0 * elapsed / N_BATCHES,
+    }
+    assert rows_per_sec >= TARGET_ROWS_PER_SEC, (
+        f"acceptance target missed: {rows_per_sec:,.0f} rows/sec < "
+        f"{TARGET_ROWS_PER_SEC:,.0f} through the registry path"
+    )
+
+
+@pytest.mark.perf
+@pytest.mark.service
+def test_http_ingest_throughput(tmp_path):
+    rows = _stream(BATCH_ROWS * HTTP_BATCHES)
+    batches = [
+        [list(row) for row in rows[start : start + BATCH_ROWS]]
+        for start in range(0, len(rows), BATCH_ROWS)
+    ]
+    registry = MonitorRegistry.open(tmp_path / "data")
+    with MonitorService(registry) as service:
+        request = urllib.request.Request(
+            service.url + "/monitors",
+            data=json.dumps(
+                {
+                    "name": "timed",
+                    "protected": PROTECTED,
+                    "outcome": OUTCOME,
+                    "alpha": 1.0,
+                    "factor_levels": [
+                        LEVELS[column] for column in PROTECTED
+                    ],
+                    "outcome_levels": LEVELS[OUTCOME],
+                }
+            ).encode(),
+        )
+        assert urllib.request.urlopen(request).status == 201
+
+        start = time.perf_counter()
+        for batch in batches:
+            request = urllib.request.Request(
+                service.url + "/monitors/timed/observe",
+                data=json.dumps({"rows": batch}).encode(),
+            )
+            with urllib.request.urlopen(request) as response:
+                assert response.status == 200
+                json.loads(response.read())
+        elapsed = time.perf_counter() - start
+
+        with urllib.request.urlopen(
+            service.url + "/monitors/timed/report"
+        ) as response:
+            report = json.loads(response.read())
+    assert report["epsilon"] == _offline_epsilon(rows)
+
+    _RESULTS["http"] = {
+        "path": "end-to-end HTTP loopback (JSON encode + POST /observe + "
+        "response parse per batch)",
+        "batch_rows": BATCH_ROWS,
+        "n_batches": HTTP_BATCHES,
+        "rows": len(rows),
+        "seconds": elapsed,
+        "rows_per_sec": len(rows) / elapsed,
+        "per_batch_ms": 1000.0 * elapsed / HTTP_BATCHES,
+    }
+
+
+def test_zz_write_throughput_record():
+    """Runs last (file order): persist the trajectory for future PRs."""
+    assert "registry" in _RESULTS, "throughput benchmarks did not run"
+    registry = _RESULTS["registry"]
+    http = _RESULTS.get("http")
+    record = {
+        "benchmark": "bench_service",
+        "workload": "fairness monitoring service ingest: 4-attribute "
+        "synthetic census rows in 1k-row batches into one monitor "
+        "(cumulative, alpha=1.0, durable history store, alert rule "
+        "armed); bit-identity with dataset_edf asserted per batch "
+        "before timing",
+        "target": {
+            "path": "registry",
+            "min_rows_per_sec": TARGET_ROWS_PER_SEC,
+        },
+        "paths": [entry for entry in (registry, http) if entry is not None],
+    }
+    if http is not None:
+        record["http_overhead_ratio"] = (
+            registry["rows_per_sec"] / http["rows_per_sec"]
+        )
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    assert registry["rows_per_sec"] >= TARGET_ROWS_PER_SEC

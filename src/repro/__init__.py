@@ -25,6 +25,9 @@ API lives in the subpackages:
 * :mod:`repro.learn` — from-scratch ML, including DF-regularised training
 * :mod:`repro.data` — the paper's datasets (Table 1 data, synthetic Adult)
 * :mod:`repro.audit` — high-level auditing pipelines (Tables 2 and 3)
+* :mod:`repro.engine` — execution backends and durable checkpoints
+* :mod:`repro.monitor` — the long-running monitoring service: monitor
+  registry, audit-history store, alert rules, HTTP ingestion API
 """
 
 from repro.audit.stream import StreamingAuditor
@@ -57,6 +60,15 @@ from repro.core import (
     posterior_subset_sweep,
     subset_sweep,
 )
+from repro.monitor import (
+    AlertEvent,
+    AuditHistoryStore,
+    DivergenceRule,
+    EpsilonThresholdRule,
+    MonitorRegistry,
+    MonitorService,
+    PosteriorCredibleRule,
+)
 from repro.tabular import (
     Column,
     ContingencyTable,
@@ -71,15 +83,22 @@ from repro.tabular import (
 from repro.version import __version__
 
 __all__ = [
+    "AlertEvent",
+    "AuditHistoryStore",
     "BiasAmplification",
     "Column",
     "ContingencyTable",
     "CsvSource",
     "DirichletEstimator",
+    "DivergenceRule",
     "EpsilonResult",
+    "EpsilonThresholdRule",
     "FairnessRegime",
     "Field",
     "MLEEstimator",
+    "MonitorRegistry",
+    "MonitorService",
+    "PosteriorCredibleRule",
     "PosteriorSubsetSweep",
     "ProcessPoolBackend",
     "Schema",

@@ -287,6 +287,7 @@ class StreamingAuditor:
         *,
         backend=None,
         checkpoint_path=None,
+        checkpoint_keep: int = 0,
         resume: bool = False,
         on_chunk: Callable[[ChunkProgress], None] | None = None,
     ) -> float:
@@ -309,6 +310,15 @@ class StreamingAuditor:
         checkpoint_path:
             When given, a durable ``.rcpk`` auditor checkpoint is
             written atomically after every chunk.
+        checkpoint_keep:
+            Retained checkpoint generations (``0``, the default, keeps
+            only the newest file — the historical behaviour). With
+            ``keep=N`` every save first rotates ``path`` to ``path.1``
+            (... up to ``path.N``) via
+            :func:`repro.engine.checkpoint.rotate_checkpoint`, and
+            ``resume`` falls back to the newest *valid* generation, so
+            a torn or corrupted final write never strands a
+            long-running monitor.
         resume:
             Restore ``checkpoint_path`` first and skip the rows it has
             already ingested; requires an ordered backend and assumes
@@ -321,10 +331,20 @@ class StreamingAuditor:
         Returns the final epsilon of the stream.
         """
         from repro.engine.backends import SerialBackend
-        from repro.engine.checkpoint import load_auditor_state, save_auditor_state
+        from repro.engine.checkpoint import (
+            load_auditor_state,
+            load_latest_auditor_state,
+            rotate_checkpoint,
+            save_auditor_state,
+        )
 
         if backend is None:
             backend = SerialBackend()
+        if int(checkpoint_keep) < 0:
+            raise ValidationError(
+                f"checkpoint_keep must be >= 0 generations, got {checkpoint_keep}"
+            )
+        checkpoint_keep = int(checkpoint_keep)
         chunks_done = 0
         skip_rows = 0
         if resume:
@@ -334,7 +354,12 @@ class StreamingAuditor:
                 raise ValidationError(
                     f"resume requires an ordered backend, not {backend.name!r}"
                 )
-            state, progress = load_auditor_state(checkpoint_path)
+            if checkpoint_keep:
+                state, progress, _ = load_latest_auditor_state(
+                    checkpoint_path, keep=checkpoint_keep
+                )
+            else:
+                state, progress = load_auditor_state(checkpoint_path)
             self.restore(state)
             chunks_done = int(progress.get("chunks_ingested", 0))
             skip_rows = self._rows_seen
@@ -349,6 +374,8 @@ class StreamingAuditor:
             nonlocal chunks_done
             chunks_done += 1
             if checkpoint_path is not None:
+                if checkpoint_keep:
+                    rotate_checkpoint(checkpoint_path, keep=checkpoint_keep)
                 save_auditor_state(
                     checkpoint_path,
                     self.state_dict(),

@@ -21,6 +21,18 @@ Commands
     Audit the union of shard checkpoints produced on different
     machines: counts merge exactly, so the report is bit-identical to
     auditing all the shards' rows in one pass.
+``monitor-serve``
+    Run the long-running fairness monitoring service: a concurrent
+    HTTP JSON API (:mod:`repro.monitor.service`) where deployed
+    mechanisms create named monitors and POST decision rows as they
+    happen; every batch updates the monitor's epsilon, appends to the
+    durable audit-history store, and evaluates declarative alert
+    rules. Graceful shutdown checkpoints every monitor through
+    rotated ``.rcpk`` generations.
+``monitor-status``
+    Offline status report over a ``monitor-serve`` data directory:
+    per-monitor epsilon (resumed from the newest valid checkpoint
+    generation), ingestion counters, epsilon trend, and recent alerts.
 ``worked-example``
     Print the paper's Figure 2 Gaussian-threshold example.
 ``simpsons``
@@ -50,6 +62,21 @@ Deployment topologies:
   many machines    run audit-stream per shard with --checkpoint, copy the
                    .rcpk files anywhere, then:
                    merge-checkpoints shard0.rcpk shard1.rcpk ...
+
+Monitoring service:
+  serve            monitor-serve --data-dir ./monitoring
+                   then create monitors and stream rows over HTTP:
+                   POST /monitors            {"name": "hiring", "protected":
+                                              ["gender","race"], "outcome":
+                                              "hired", "window": 10000,
+                                              "rules": [{"type":
+                                              "epsilon_threshold",
+                                              "threshold": 0.22}]}
+                   POST /monitors/hiring/observe   {"rows": [[...], ...]}
+                   GET  /monitors/hiring/report|history|alerts, /healthz
+  inspect          monitor-status --data-dir ./monitoring [--markdown]
+                   (offline: resumes each monitor from its newest valid
+                   checkpoint generation and joins in the alert history)
 """
 
 
@@ -144,6 +171,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a durable .rcpk checkpoint here after every chunk",
     )
     stream.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=0,
+        metavar="N",
+        help="rotate N retained checkpoint generations (PATH.1..PATH.N); "
+        "--resume then falls back to the newest valid generation "
+        "(default 0 = single file, no rotation)",
+    )
+    stream.add_argument(
         "--resume",
         action="store_true",
         help="restore --checkpoint and continue the stream from where "
@@ -175,6 +211,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="add a posterior credible summary of epsilon with N draws",
     )
     merge.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a markdown report instead of plain text",
+    )
+
+    serve = commands.add_parser(
+        "monitor-serve",
+        help="run the fairness monitoring service (concurrent HTTP JSON API)",
+    )
+    serve.add_argument(
+        "--data-dir",
+        required=True,
+        help="directory for monitor configs, checkpoints, and history",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8316,
+        help="bind port (default 8316; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=2,
+        help="retained checkpoint generations per monitor (default 2)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="also checkpoint a monitor every N ingested batches "
+        "(default 0 = only on graceful shutdown)",
+    )
+    serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log every HTTP request to stderr",
+    )
+
+    status = commands.add_parser(
+        "monitor-status",
+        help="offline status report over a monitor-serve data directory",
+    )
+    status.add_argument(
+        "--data-dir",
+        required=True,
+        help="the monitoring service's data directory",
+    )
+    status.add_argument(
+        "--trend-window",
+        type=int,
+        default=None,
+        help="summarise the epsilon trend over only the last N batches",
+    )
+    status.add_argument(
         "--markdown",
         action="store_true",
         help="emit a markdown report instead of plain text",
@@ -239,11 +333,25 @@ def _run_audit_stream(args: argparse.Namespace, out) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    # Reject the workers/window combination up front, in either flag
+    # order: letting it through would only fail later, deep inside the
+    # engine, with an error about backend ordering contracts that does
+    # not name the flags the user typed.
     if args.workers > 1 and args.window:
         print(
-            "error: --workers requires a cumulative audit; a sliding "
-            "--window needs row order, which sharded ingestion does not "
-            "preserve",
+            "error: --workers cannot be combined with --window: a sliding "
+            "window needs row order, which sharded (multi-worker) ingestion "
+            "does not preserve; drop --window for a cumulative audit or "
+            "use --workers 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_keep < 0:
+        print("error: --checkpoint-keep must be >= 0", file=sys.stderr)
+        return 2
+    if args.checkpoint_keep and args.checkpoint is None:
+        print(
+            "error: --checkpoint-keep requires --checkpoint PATH",
             file=sys.stderr,
         )
         return 2
@@ -289,6 +397,7 @@ def _run_audit_stream(args: argparse.Namespace, out) -> int:
         source,
         backend=backend,
         checkpoint_path=args.checkpoint,
+        checkpoint_keep=args.checkpoint_keep,
         resume=args.resume,
         on_chunk=trace,
     )
@@ -346,6 +455,80 @@ def _run_merge_checkpoints(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_monitor_serve(args: argparse.Namespace, out) -> int:
+    import signal
+    import threading
+
+    from repro.monitor.registry import MonitorRegistry
+    from repro.monitor.service import MonitorService
+
+    if args.checkpoint_keep < 0:
+        print("error: --checkpoint-keep must be >= 0", file=sys.stderr)
+        return 2
+    if args.checkpoint_every < 0:
+        print("error: --checkpoint-every must be >= 0", file=sys.stderr)
+        return 2
+    registry = MonitorRegistry.open(
+        args.data_dir, checkpoint_keep=args.checkpoint_keep
+    )
+    service = MonitorService(
+        registry,
+        host=args.host,
+        port=args.port,
+        checkpoint_every=args.checkpoint_every,
+        verbose=args.verbose,
+    )
+    resumed = registry.names()
+    if resumed:
+        out.write(
+            f"monitor-serve: resumed {len(resumed)} monitor(s): "
+            f"{', '.join(resumed)}\n"
+        )
+    # The serve loop runs on a daemon thread; the main thread waits for a
+    # signal so SIGINT/SIGTERM handlers never deadlock against
+    # serve_forever (shutdown() must not be called from the serving
+    # thread itself).
+    stop = threading.Event()
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, lambda *_: stop.set())
+    try:
+        service.start()
+        out.write(
+            f"monitor-serve: listening on {service.url} "
+            f"(data dir {args.data_dir})\n"
+        )
+        if hasattr(out, "flush"):
+            out.flush()
+        stop.wait()
+        checkpointed = service.shutdown()
+        out.write(
+            f"monitor-serve: shut down cleanly; checkpointed "
+            f"{checkpointed} monitor(s)\n"
+        )
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0
+
+
+def _run_monitor_status(args: argparse.Namespace, out) -> int:
+    from repro.monitor.service import render_status
+
+    if args.trend_window is not None and args.trend_window < 1:
+        print("error: --trend-window must be >= 1", file=sys.stderr)
+        return 2
+    out.write(
+        render_status(
+            args.data_dir,
+            markdown=args.markdown,
+            trend_window=args.trend_window,
+        )
+    )
+    out.write("\n")
+    return 0
+
+
 def _run_worked_example(out) -> int:
     from repro.core.analytic import paper_worked_example
 
@@ -381,6 +564,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _run_audit_stream(args, out)
         if args.command == "merge-checkpoints":
             return _run_merge_checkpoints(args, out)
+        if args.command == "monitor-serve":
+            return _run_monitor_serve(args, out)
+        if args.command == "monitor-status":
+            return _run_monitor_status(args, out)
         if args.command == "worked-example":
             return _run_worked_example(out)
         if args.command == "simpsons":

@@ -29,10 +29,13 @@ from repro.engine.backends import (
 )
 from repro.engine.checkpoint import (
     CHECKPOINT_SUFFIX,
+    checkpoint_generations,
     load_auditor_state,
     load_checkpoint,
     load_contingency,
+    load_latest_auditor_state,
     merge_checkpoint_files,
+    rotate_checkpoint,
     save_auditor_state,
     save_contingency,
 )
@@ -45,10 +48,13 @@ __all__ = [
     "ExecutionBackend",
     "ProcessPoolBackend",
     "SerialBackend",
+    "checkpoint_generations",
     "load_auditor_state",
     "load_checkpoint",
     "load_contingency",
+    "load_latest_auditor_state",
     "merge_checkpoint_files",
+    "rotate_checkpoint",
     "save_auditor_state",
     "save_contingency",
     "tree_merge",

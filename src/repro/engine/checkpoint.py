@@ -28,6 +28,14 @@ Writes are atomic: the blob goes to a temporary file in the target
 directory, is fsynced, and is renamed over the destination — a reader
 (or a crash) never observes a half-written checkpoint.
 
+Long-running monitors additionally keep *generations*:
+:func:`rotate_checkpoint` shifts ``audit.rcpk`` to ``audit.rcpk.1``
+(... up to ``.N``) before each save, and
+:func:`load_latest_auditor_state` walks the generations newest-first,
+skipping any that fail validation — so even a corrupted newest file
+falls back to the previous complete checkpoint instead of losing the
+monitor's history.
+
 Levels and window-row values must be JSON scalars (``str``, ``int``,
 ``float``, ``bool``, ``None``); anything else raises
 :class:`CheckpointError` at save time. CSV-fed audits always satisfy
@@ -55,10 +63,13 @@ __all__ = [
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_SUFFIX",
     "CHECKPOINT_VERSION",
+    "checkpoint_generations",
     "load_auditor_state",
     "load_checkpoint",
     "load_contingency",
+    "load_latest_auditor_state",
     "merge_checkpoint_files",
+    "rotate_checkpoint",
     "save_auditor_state",
     "save_contingency",
 ]
@@ -303,6 +314,98 @@ def load_auditor_state(
             f"checkpoint {path} header is missing field {error.args[0]!r}"
         ) from None
     return state, dict(header.get("progress", {}))
+
+
+def _generation_path(path: Path, generation: int) -> Path:
+    """``audit.rcpk`` for generation 0, ``audit.rcpk.N`` for older ones."""
+    return path if generation == 0 else path.with_name(f"{path.name}.{generation}")
+
+
+def checkpoint_generations(path: str | Path, keep: int | None = None) -> list[Path]:
+    """Existing checkpoint generations, newest first.
+
+    Generation 0 is ``path`` itself; generation N is ``path.N``. Only
+    paths that exist are returned, so a caller can probe candidates in
+    recency order. ``keep`` bounds the probe (``None`` scans until the
+    first gap past the newest generation).
+    """
+    path = Path(path)
+    found: list[Path] = []
+    generation = 0
+    while keep is None or generation <= keep:
+        candidate = _generation_path(path, generation)
+        if candidate.exists():
+            found.append(candidate)
+        elif generation > 0:
+            # Generations are written contiguously; the first missing
+            # older slot ends the chain (gen 0 may be mid-rotation).
+            break
+        generation += 1
+    return found
+
+
+def rotate_checkpoint(path: str | Path, keep: int = 2) -> None:
+    """Shift checkpoint generations before writing a fresh ``path``.
+
+    ``path`` becomes ``path.1``, ``path.1`` becomes ``path.2``, and so
+    on up to ``path.keep``; anything older is dropped. Every shift is a
+    single atomic :func:`os.replace` within the directory, so a crash
+    mid-rotation never destroys data — at worst two adjacent slots
+    briefly hold the same generation, and readers that walk
+    :func:`checkpoint_generations` newest-first still find a valid file.
+
+    With ``keep=0`` this only unlinks older generations (no history is
+    retained) — the pre-rotation behaviour of a bare ``save``.
+    """
+    path = Path(path)
+    if keep < 0:
+        raise CheckpointError(f"keep must be >= 0 generations, got {keep}")
+    # Drop everything at or past the retention horizon (including
+    # stragglers from a run that used a larger ``keep``).
+    generation = max(keep, 1)
+    while True:
+        stale = _generation_path(path, generation)
+        if stale.exists():
+            stale.unlink()
+        elif generation > keep:
+            break
+        generation += 1
+    # Shift survivors oldest-first so each os.replace lands in a free slot.
+    for generation in range(keep - 1, -1, -1):
+        source = _generation_path(path, generation)
+        if source.exists():
+            os.replace(source, _generation_path(path, generation + 1))
+
+
+def load_latest_auditor_state(
+    path: str | Path, keep: int | None = None
+) -> tuple[dict[str, Any], dict[str, Any], Path]:
+    """Load the newest *valid* auditor checkpoint generation.
+
+    Walks ``path``, ``path.1``, ... newest-first and returns
+    ``(state, progress, source_path)`` from the first generation that
+    passes the full ``.rcpk`` validation — so a torn or bit-rotted
+    write of the newest generation falls back to the previous one
+    instead of aborting the resume. Raises :class:`CheckpointError`
+    (carrying every generation's failure) when no generation loads.
+    """
+    path = Path(path)
+    candidates = checkpoint_generations(path, keep)
+    if not candidates:
+        raise CheckpointError(
+            f"checkpoint {path} does not exist (no generations found)"
+        )
+    failures: list[str] = []
+    for candidate in candidates:
+        try:
+            state, progress = load_auditor_state(candidate)
+        except CheckpointError as error:
+            failures.append(f"{candidate.name}: {error}")
+            continue
+        return state, progress, candidate
+    raise CheckpointError(
+        f"no valid checkpoint generation of {path}: " + "; ".join(failures)
+    )
 
 
 def merge_checkpoint_files(

@@ -35,6 +35,21 @@ class CheckpointError(ValidationError):
     """
 
 
+class MonitorError(ReproError):
+    """A fairness-monitor operation failed (unknown monitor, bad config,
+    duplicate registration, or a request the monitor cannot serve)."""
+
+
+class StoreError(MonitorError):
+    """The audit-history store is corrupt or was used inconsistently.
+
+    Raised when a segment file fails its framing/CRC validation beyond
+    the recoverable torn-tail case, and when appends/queries violate the
+    store's contract. Derives from :class:`MonitorError` so service-level
+    handlers can treat monitoring-subsystem failures uniformly.
+    """
+
+
 class EmptyGroupError(ReproError):
     """A fairness computation required a group that has no probability mass.
 

@@ -1,0 +1,61 @@
+"""Long-running fairness monitoring: registry, history, rules, service.
+
+The paper frames differential fairness as a criterion to enforce on
+*deployed* mechanisms; this package is the deployment side of the
+reproduction. It layers on the streaming/engine stack (PRs 3-4):
+
+* :mod:`repro.monitor.registry` — named :class:`Monitor`\\ s, each a
+  locked :class:`repro.audit.stream.StreamingAuditor`, managed by a
+  thread-safe :class:`MonitorRegistry` with config persistence and
+  rotated checkpoint durability;
+* :mod:`repro.monitor.store` — the append-only
+  :class:`AuditHistoryStore` of per-batch epsilon records and alerts
+  (length-prefixed CRC-checked JSON segments, size-based rotation);
+* :mod:`repro.monitor.rules` — declarative alert rules: point
+  threshold, posterior credible threshold, window-vs-cumulative
+  divergence;
+* :mod:`repro.monitor.service` — the stdlib-only concurrent HTTP
+  ingestion API (``repro monitor-serve``) and the offline
+  ``repro monitor-status`` report.
+"""
+
+from repro.monitor.registry import (
+    BatchResult,
+    Monitor,
+    MonitorConfig,
+    MonitorRegistry,
+    MonitorReport,
+)
+from repro.monitor.rules import (
+    AlertEvent,
+    AlertRule,
+    DivergenceRule,
+    EpsilonThresholdRule,
+    PosteriorCredibleRule,
+    RuleContext,
+    rule_from_dict,
+    rules_from_dicts,
+)
+from repro.monitor.service import MonitorService, render_status, status_snapshot
+from repro.monitor.store import AuditHistoryStore, TrendSummary
+
+__all__ = [
+    "AlertEvent",
+    "AlertRule",
+    "AuditHistoryStore",
+    "BatchResult",
+    "DivergenceRule",
+    "EpsilonThresholdRule",
+    "Monitor",
+    "MonitorConfig",
+    "MonitorRegistry",
+    "MonitorReport",
+    "MonitorService",
+    "PosteriorCredibleRule",
+    "RuleContext",
+    "TrendSummary",
+    "render_status",
+    "rule_from_dict",
+    "rules_from_dicts",
+    "status_snapshot",
+]

@@ -1,0 +1,745 @@
+"""A thread-safe registry of named, long-running fairness monitors.
+
+This is the in-process heart of the monitoring service: each
+:class:`Monitor` wraps a :class:`repro.audit.stream.StreamingAuditor`
+(windowed or cumulative) behind its own re-entrant lock, so concurrent
+ingestion threads — the HTTP server spawns one per request — never
+interleave scatter-adds into the same count tensor, while *different*
+monitors ingest fully in parallel. Every batch appends an epsilon record
+to the :class:`repro.monitor.store.AuditHistoryStore`, evaluates the
+monitor's :mod:`alert rules <repro.monitor.rules>`, and appends any
+:class:`~repro.monitor.rules.AlertEvent` that fires — all inside the
+monitor's lock, so the store's history is a serialisation of the batches
+actually applied and no alert is ever lost or duplicated.
+
+Bit-identity contract
+---------------------
+A monitor's reported epsilon after batches ``B1..Bn`` equals
+:func:`repro.core.empirical.dataset_edf` on the concatenated rows, and
+its posterior summary equals
+:meth:`repro.audit.auditor.FairnessAuditor.audit_contingency`'s on the
+same counts — both inherited from :class:`StreamingAuditor` and asserted
+in the test suite and ``benchmarks/bench_service.py``.
+
+Durability
+----------
+A registry opened on a directory (:meth:`MonitorRegistry.open`) persists
+each monitor's configuration in ``monitors.json`` and writes rotated
+``.rcpk`` checkpoint generations under ``checkpoints/``
+(:func:`repro.engine.checkpoint.rotate_checkpoint`), so a restarted
+service resumes every monitor from its newest *valid* checkpoint — a
+torn final write falls back to the previous generation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.audit.auditor import DatasetAudit
+from repro.audit.stream import StreamingAuditor
+from repro.core.bayesian import PosteriorEpsilon
+from repro.engine.checkpoint import (
+    checkpoint_generations,
+    load_latest_auditor_state,
+    rotate_checkpoint,
+    save_auditor_state,
+)
+from repro.exceptions import CheckpointError, MonitorError, ValidationError
+from repro.monitor.rules import (
+    AlertEvent,
+    AlertRule,
+    RuleContext,
+    rules_from_dicts,
+)
+from repro.monitor.store import (
+    AuditHistoryStore,
+    TrendSummary,
+    summarize_epsilon_trend,
+)
+
+__all__ = [
+    "BatchResult",
+    "Monitor",
+    "MonitorConfig",
+    "MonitorRegistry",
+    "MonitorReport",
+]
+
+# Monitor names appear in URLs and filesystem paths; keep them boring.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+# Batch epsilons kept in memory per monitor for the hot /report trend
+# path (the durable store holds the full history; this bounds what a
+# report poll can summarise without touching disk).
+TREND_TAIL_BATCHES = 512
+
+CHECKPOINT_DIR = "checkpoints"
+HISTORY_DIR = "history"
+CONFIG_FILE = "monitors.json"
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """The declarative identity of a monitor (JSON-serialisable).
+
+    Everything needed to rebuild the monitor after a restart: the audit
+    schema, the estimator, the posterior budget, and the alert rules.
+    """
+
+    name: str
+    protected: tuple[str, ...]
+    outcome: str
+    window: int | None = None
+    alpha: float | None = None
+    posterior_samples: int = 0
+    seed: int = 0
+    factor_levels: tuple[tuple[Any, ...], ...] | None = None
+    outcome_levels: tuple[Any, ...] | None = None
+    rules: tuple[AlertRule, ...] = ()
+
+    def __post_init__(self):
+        if not _NAME_PATTERN.match(self.name):
+            raise MonitorError(
+                f"monitor name {self.name!r} must match "
+                f"{_NAME_PATTERN.pattern} (it is used in URLs and file names)"
+            )
+        if not self.protected:
+            raise MonitorError("protected must name at least one column")
+        if self.window is not None and int(self.window) < 1:
+            raise MonitorError(f"window must be >= 1 rows, got {self.window}")
+        if int(self.posterior_samples) < 0:
+            raise MonitorError(
+                f"posterior_samples must be >= 0, got {self.posterior_samples}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "protected": list(self.protected),
+            "outcome": self.outcome,
+            "window": self.window,
+            "alpha": self.alpha,
+            "posterior_samples": self.posterior_samples,
+            "seed": self.seed,
+            "factor_levels": (
+                None
+                if self.factor_levels is None
+                else [list(levels) for levels in self.factor_levels]
+            ),
+            "outcome_levels": (
+                None
+                if self.outcome_levels is None
+                else list(self.outcome_levels)
+            ),
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict[str, Any]) -> "MonitorConfig":
+        try:
+            return cls(
+                name=spec["name"],
+                protected=tuple(spec["protected"]),
+                outcome=spec["outcome"],
+                window=spec.get("window"),
+                alpha=spec.get("alpha"),
+                posterior_samples=int(spec.get("posterior_samples", 0)),
+                seed=int(spec.get("seed", 0)),
+                factor_levels=(
+                    None
+                    if spec.get("factor_levels") is None
+                    else tuple(
+                        tuple(levels) for levels in spec["factor_levels"]
+                    )
+                ),
+                outcome_levels=(
+                    None
+                    if spec.get("outcome_levels") is None
+                    else tuple(spec["outcome_levels"])
+                ),
+                rules=rules_from_dicts(spec.get("rules", [])),
+            )
+        except KeyError as error:
+            raise MonitorError(
+                f"monitor config is missing field {error.args[0]!r}"
+            ) from None
+        except (TypeError, ValidationError) as error:
+            raise MonitorError(f"bad monitor config: {error}") from None
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """What one ``observe`` call did: the new epsilon plus fired alerts."""
+
+    monitor: str
+    batch_index: int
+    n_rows: int
+    epsilon: float
+    cumulative_epsilon: float | None
+    alerts: tuple[AlertEvent, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "monitor": self.monitor,
+            "batch_index": self.batch_index,
+            "n_rows": self.n_rows,
+            "epsilon": self.epsilon,
+            "cumulative_epsilon": self.cumulative_epsilon,
+            "alerts": [alert.to_dict() for alert in self.alerts],
+        }
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """A light status snapshot (no subset sweep; see :meth:`Monitor.audit`)."""
+
+    monitor: str
+    epsilon: float
+    rows_seen: int
+    n_window_rows: int
+    window: int | None
+    batches: int
+    posterior: PosteriorEpsilon | None
+    trend: TrendSummary | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        posterior = None
+        if self.posterior is not None:
+            posterior = {
+                "mean": self.posterior.mean,
+                "median": self.posterior.median,
+                "quantiles": {
+                    str(level): value
+                    for level, value in sorted(self.posterior.quantiles.items())
+                },
+                "n_samples": self.posterior.n_samples,
+                "alpha": self.posterior.alpha,
+            }
+        return {
+            "monitor": self.monitor,
+            "epsilon": self.epsilon,
+            "rows_seen": self.rows_seen,
+            "n_window_rows": self.n_window_rows,
+            "window": self.window,
+            "batches": self.batches,
+            "posterior": posterior,
+            "trend": None if self.trend is None else self.trend.to_dict(),
+        }
+
+
+class Monitor:
+    """One named audit stream: a locked auditor plus rules and history.
+
+    Windowed monitors also maintain a cumulative *shadow* accumulator
+    over the same rows, so :class:`repro.monitor.rules.DivergenceRule`
+    can compare "recent traffic" against "the whole stream" — the
+    drift question a window alone cannot answer.
+    """
+
+    def __init__(
+        self,
+        config: MonitorConfig,
+        store: AuditHistoryStore | None = None,
+    ):
+        self.config = config
+        self._store = store
+        self._lock = threading.RLock()
+        self._batches = 0
+        self._epsilon_tail: deque[float] = deque(maxlen=TREND_TAIL_BATCHES)
+        self._auditor = self._build_auditor(windowed=True)
+        self._shadow = (
+            self._build_auditor(windowed=False)
+            if config.window is not None
+            else None
+        )
+
+    def _build_auditor(self, windowed: bool) -> StreamingAuditor:
+        config = self.config
+        return StreamingAuditor(
+            config.protected,
+            config.outcome,
+            estimator=config.alpha,
+            posterior_samples=config.posterior_samples,
+            seed=config.seed,
+            window=config.window if windowed else None,
+            factor_levels=config.factor_levels,
+            outcome_levels=config.outcome_levels,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def batches(self) -> int:
+        with self._lock:
+            return self._batches
+
+    @property
+    def rows_seen(self) -> int:
+        with self._lock:
+            return self._auditor.rows_seen
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def observe(self, rows: Iterable[Sequence[Any]]) -> BatchResult:
+        """Ingest one batch of ``(*protected values, outcome)`` rows.
+
+        Atomic with respect to other threads: the scatter-add, the rule
+        evaluation, and the store appends happen under the monitor's
+        lock, so the recorded history is exactly the sequence of batches
+        applied and every alert belongs to the batch that fired it.
+        """
+        rows = [tuple(row) for row in rows]
+        if not rows:
+            raise ValidationError("an ingestion batch must contain rows")
+        with self._lock:
+            epsilon = self._auditor.observe(rows)
+            cumulative = None
+            if self._shadow is not None:
+                cumulative = self._shadow.observe(rows)
+            self._batches += 1
+            self._epsilon_tail.append(epsilon)
+            context = RuleContext(
+                monitor=self.name,
+                batch_index=self._batches,
+                n_rows=len(rows),
+                rows_seen=self._auditor.rows_seen,
+                epsilon=epsilon,
+                cumulative_epsilon=cumulative,
+                alpha=(
+                    self.config.alpha if self.config.alpha is not None else 1.0
+                ),
+                counts=self._count_matrix,
+            )
+            alerts = tuple(
+                event
+                for rule in self.config.rules
+                if (event := rule.evaluate(context)) is not None
+            )
+            result = BatchResult(
+                monitor=self.name,
+                batch_index=self._batches,
+                n_rows=len(rows),
+                epsilon=epsilon,
+                cumulative_epsilon=cumulative,
+                alerts=alerts,
+            )
+            if self._store is not None:
+                self._store.append(
+                    {
+                        "monitor": self.name,
+                        "kind": "batch",
+                        "batch_index": result.batch_index,
+                        "n_rows": result.n_rows,
+                        "rows_seen": self._auditor.rows_seen,
+                        "epsilon": epsilon,
+                        "cumulative_epsilon": cumulative,
+                        "n_alerts": len(alerts),
+                    }
+                )
+                for alert in alerts:
+                    self._store.append(
+                        {
+                            "monitor": self.name,
+                            "kind": "alert",
+                            **alert.to_dict(),
+                        }
+                    )
+            return result
+
+    def _count_matrix(self):
+        """Live group x outcome counts for posterior rules (lock held)."""
+        accumulator = self._auditor.accumulator
+        n_outcomes = max(len(accumulator.outcome_levels), 1)
+        return accumulator.counts.reshape(-1, n_outcomes)
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def epsilon(self) -> float:
+        with self._lock:
+            return self._auditor.epsilon()
+
+    def trend(self, *, window: int | None = None) -> TrendSummary | None:
+        """Drift summary over the in-memory batch-epsilon tail.
+
+        The tail holds the last :data:`TREND_TAIL_BATCHES` epsilons, so
+        this never touches the on-disk history — it is the hot
+        ``/report`` path. ``None`` when no batch has been ingested by
+        *this process* (after a restart, the durable
+        :meth:`AuditHistoryStore.trend` covers the full history).
+        """
+        if window is not None and window < 1:
+            raise ValidationError(f"window must be >= 1 batches, got {window}")
+        with self._lock:
+            epsilons = list(self._epsilon_tail)
+        if window is not None:
+            epsilons = epsilons[-window:]
+        return summarize_epsilon_trend(self.name, epsilons)
+
+    def report(self, *, trend: TrendSummary | None = None) -> MonitorReport:
+        """Point epsilon, ingestion counters, and the posterior summary.
+
+        The posterior (when ``posterior_samples > 0``) comes from the
+        full audit of a canonical snapshot, so it is exactly what
+        :meth:`FairnessAuditor.audit_contingency` reports for the same
+        counts — the bit-identity surface of the HTTP ``/report``
+        endpoint. Only the snapshot is taken under the monitor's lock;
+        the (potentially expensive) posterior Monte Carlo runs outside
+        it, so report polling never stalls ingestion.
+        """
+        with self._lock:
+            epsilon = self._auditor.epsilon()
+            rows_seen = self._auditor.rows_seen
+            n_window_rows = self._auditor.n_window_rows
+            batches = self._batches
+            snapshot = (
+                self._auditor.accumulator.snapshot()
+                if self.config.posterior_samples > 0
+                else None
+            )
+        posterior = None
+        if snapshot is not None:
+            posterior = self._auditor._auditor.audit_contingency(
+                snapshot
+            ).posterior
+        return MonitorReport(
+            monitor=self.name,
+            epsilon=epsilon,
+            rows_seen=rows_seen,
+            n_window_rows=n_window_rows,
+            window=self.config.window,
+            batches=batches,
+            posterior=posterior,
+            trend=trend,
+        )
+
+    def audit(self) -> DatasetAudit:
+        """The full subset-sweep audit of the current window.
+
+        The canonical snapshot is taken under the lock; the (possibly
+        expensive) sweep and posterior run outside it, so a big audit
+        never stalls ingestion.
+        """
+        with self._lock:
+            snapshot = self._auditor.accumulator.snapshot()
+            auditor = self._auditor._auditor
+        return auditor.audit_contingency(snapshot)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def checkpoint_path(self, directory: str | Path) -> Path:
+        return Path(directory) / f"{self.name}.rcpk"
+
+    def checkpoint(self, directory: str | Path, *, keep: int = 2) -> Path:
+        """Write a rotated checkpoint generation under ``directory``."""
+        path = self.checkpoint_path(directory)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            state = self._auditor.state_dict()
+            shadow_state = (
+                None if self._shadow is None else self._shadow.state_dict()
+            )
+            progress: dict[str, Any] = {"batches": self._batches}
+            if shadow_state is not None:
+                # The shadow is cumulative over the same rows: its counts
+                # are what merge/divergence logic needs after a restart.
+                progress["shadow"] = _jsonable_state(shadow_state)
+            rotate_checkpoint(path, keep=keep)
+            save_auditor_state(path, state, progress=progress)
+        return path
+
+    def restore_from(self, directory: str | Path, *, keep: int = 2) -> bool:
+        """Resume from the newest valid checkpoint generation, if any.
+
+        Returns ``False`` when no generation exists (a fresh monitor).
+        Raises :class:`repro.exceptions.CheckpointError` when
+        generations exist but none is valid.
+        """
+        path = self.checkpoint_path(directory)
+        if not checkpoint_generations(path, keep):
+            return False
+        state, progress, _ = load_latest_auditor_state(path, keep=keep)
+        with self._lock:
+            self._auditor.restore(state)
+            self._batches = int(progress.get("batches", 0))
+            if self._shadow is not None:
+                shadow_state = progress.get("shadow")
+                if shadow_state is None:
+                    raise CheckpointError(
+                        f"checkpoint for windowed monitor {self.name!r} is "
+                        "missing its cumulative shadow state"
+                    )
+                self._shadow.restore(_state_from_jsonable(shadow_state))
+        return True
+
+    def __repr__(self) -> str:
+        return f"Monitor({self.name!r}, {self._auditor!r})"
+
+
+def _jsonable_state(state: dict[str, Any]) -> dict[str, Any]:
+    """A StreamingAuditor state dict with the count tensor JSON-encoded."""
+    accumulator = dict(state["accumulator"])
+    counts = accumulator["counts"]
+    accumulator["counts"] = counts.reshape(-1).tolist()
+    accumulator["counts_shape"] = list(counts.shape)
+    return {**state, "accumulator": accumulator}
+
+
+def _state_from_jsonable(state: dict[str, Any]) -> dict[str, Any]:
+    accumulator = dict(state["accumulator"])
+    shape = tuple(accumulator.pop("counts_shape"))
+    accumulator["counts"] = np.asarray(
+        accumulator["counts"], dtype=np.int64
+    ).reshape(shape)
+    restored = {**state, "accumulator": accumulator}
+    restored["window_rows"] = [tuple(row) for row in state["window_rows"]]
+    return restored
+
+
+class MonitorRegistry:
+    """Named monitors with lifecycle, shared history, and durability.
+
+    Thread safety is two-level: a registry lock guards the name table
+    (create/get/list/delete), and each monitor's own lock serialises its
+    ingestion — so ``observe`` calls on *different* monitors run truly
+    concurrently, while calls on the *same* monitor apply in some serial
+    order with their history records.
+    """
+
+    def __init__(
+        self,
+        store: AuditHistoryStore | None = None,
+        *,
+        directory: str | Path | None = None,
+        checkpoint_keep: int = 2,
+        clock: Callable[[], float] = time.time,
+    ):
+        self._lock = threading.Lock()
+        self._monitors: dict[str, Monitor] = {}
+        self._directory = None if directory is None else Path(directory)
+        self._checkpoint_keep = int(checkpoint_keep)
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            if store is None:
+                store = AuditHistoryStore(
+                    self._directory / HISTORY_DIR, clock=clock
+                )
+        self.store = store
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        *,
+        checkpoint_keep: int = 2,
+        clock: Callable[[], float] = time.time,
+    ) -> "MonitorRegistry":
+        """Open (or initialise) a durable registry directory.
+
+        Re-creates every monitor recorded in ``monitors.json`` and
+        resumes each from its newest valid checkpoint generation, so a
+        restarted service carries on where the previous process — even
+        one that died mid-checkpoint — left off.
+        """
+        registry = cls(
+            directory=directory, checkpoint_keep=checkpoint_keep, clock=clock
+        )
+        config_path = registry._config_path()
+        if config_path is not None and config_path.exists():
+            try:
+                specs = json.loads(config_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as error:
+                raise MonitorError(
+                    f"monitor config {config_path} could not be read: {error}"
+                ) from None
+            for spec in specs:
+                config = MonitorConfig.from_dict(spec)
+                monitor = Monitor(config, registry.store)
+                monitor.restore_from(
+                    registry._checkpoint_dir(), keep=checkpoint_keep
+                )
+                registry._monitors[config.name] = monitor
+        return registry
+
+    def _config_path(self) -> Path | None:
+        return None if self._directory is None else self._directory / CONFIG_FILE
+
+    def _checkpoint_dir(self) -> Path | None:
+        return (
+            None if self._directory is None else self._directory / CHECKPOINT_DIR
+        )
+
+    def _persist_configs_locked(self) -> None:
+        config_path = self._config_path()
+        if config_path is None:
+            return
+        payload = json.dumps(
+            [
+                monitor.config.to_dict()
+                for _, monitor in sorted(self._monitors.items())
+            ],
+            indent=2,
+            sort_keys=True,
+        )
+        temporary = config_path.parent / f"{config_path.name}.tmp.{os.getpid()}"
+        try:
+            temporary.write_text(payload, encoding="utf-8")
+            os.replace(temporary, config_path)
+        finally:
+            temporary.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        name: str,
+        protected: Sequence[str],
+        outcome: str,
+        *,
+        window: int | None = None,
+        alpha: float | None = None,
+        posterior_samples: int = 0,
+        seed: int = 0,
+        factor_levels: Sequence[Sequence[Any]] | None = None,
+        outcome_levels: Sequence[Any] | None = None,
+        rules: Sequence[AlertRule] = (),
+    ) -> Monitor:
+        """Register a new monitor; raises on a duplicate name."""
+        return self.create_from_config(
+            MonitorConfig(
+                name=name,
+                protected=tuple(protected),
+                outcome=outcome,
+                window=window,
+                alpha=alpha,
+                posterior_samples=posterior_samples,
+                seed=seed,
+                factor_levels=(
+                    None
+                    if factor_levels is None
+                    else tuple(tuple(levels) for levels in factor_levels)
+                ),
+                outcome_levels=(
+                    None if outcome_levels is None else tuple(outcome_levels)
+                ),
+                rules=tuple(rules),
+            )
+        )
+
+    def create_from_config(self, config: MonitorConfig) -> Monitor:
+        """Register a monitor from a pre-built config (the HTTP surface)."""
+        monitor = Monitor(config, self.store)
+        with self._lock:
+            if config.name in self._monitors:
+                raise MonitorError(f"monitor {config.name!r} already exists")
+            self._monitors[config.name] = monitor
+            self._persist_configs_locked()
+        return monitor
+
+    def get(self, name: str) -> Monitor:
+        with self._lock:
+            try:
+                return self._monitors[name]
+            except KeyError:
+                raise MonitorError(f"no monitor named {name!r}") from None
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._monitors)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._monitors)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._monitors
+
+    def delete(self, name: str) -> None:
+        """Unregister a monitor and drop its checkpoint generations.
+
+        History records stay: the store is append-only, and a deleted
+        monitor's trace is still auditable evidence.
+        """
+        with self._lock:
+            if name not in self._monitors:
+                raise MonitorError(f"no monitor named {name!r}")
+            monitor = self._monitors.pop(name)
+            self._persist_configs_locked()
+        checkpoint_dir = self._checkpoint_dir()
+        if checkpoint_dir is not None:
+            for generation in checkpoint_generations(
+                monitor.checkpoint_path(checkpoint_dir)
+            ):
+                generation.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Ingestion + durability
+    # ------------------------------------------------------------------
+    def observe(self, name: str, rows: Iterable[Sequence[Any]]) -> BatchResult:
+        """Ingest a batch into the named monitor (the hot service path)."""
+        return self.get(name).observe(rows)
+
+    def report(self, name: str) -> MonitorReport:
+        """Status report with a trend: the monitor's in-memory epsilon
+        tail when this process has ingested batches (no disk I/O on the
+        hot path), falling back to the durable store's full history
+        (e.g. right after a restart, before new batches arrive)."""
+        monitor = self.get(name)
+        trend = monitor.trend()
+        if trend is None and self.store is not None:
+            trend = self.store.trend(name)
+        return monitor.report(trend=trend)
+
+    @property
+    def is_durable(self) -> bool:
+        """Whether this registry persists configs and checkpoints."""
+        return self._directory is not None
+
+    def checkpoint_monitor(self, name: str) -> Path:
+        """Checkpoint one monitor through the registry's rotation policy."""
+        checkpoint_dir = self._checkpoint_dir()
+        if checkpoint_dir is None:
+            raise MonitorError(
+                "this registry has no directory; open it with "
+                "MonitorRegistry.open(directory) to enable checkpoints"
+            )
+        return self.get(name).checkpoint(
+            checkpoint_dir, keep=self._checkpoint_keep
+        )
+
+    def checkpoint_all(self) -> list[Path]:
+        """Checkpoint every monitor (graceful-shutdown path)."""
+        checkpoint_dir = self._checkpoint_dir()
+        if checkpoint_dir is None:
+            raise MonitorError(
+                "this registry has no directory; open it with "
+                "MonitorRegistry.open(directory) to enable checkpoints"
+            )
+        with self._lock:
+            monitors = list(self._monitors.values())
+        return [
+            monitor.checkpoint(checkpoint_dir, keep=self._checkpoint_keep)
+            for monitor in monitors
+        ]
+
+    def __repr__(self) -> str:
+        return f"MonitorRegistry({self.names()!r})"

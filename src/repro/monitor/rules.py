@@ -1,0 +1,327 @@
+"""Declarative alert rules evaluated after every ingestion batch.
+
+Definition 3.1 of the source paper is a *criterion* — "a mechanism is
+epsilon-differentially fair" — which deployed systems must keep
+satisfying as their input distribution drifts. A rule turns the
+criterion (and its Bayesian refinement from Foulds et al. 2018, where
+audits carry posterior uncertainty) into a machine-checkable trigger:
+
+:class:`EpsilonThresholdRule`
+    The point criterion itself: fire when the window's epsilon exceeds a
+    tolerance (e.g. ``log(1.25)`` for the 80%-rule analogue of
+    Section 5.2).
+:class:`PosteriorCredibleRule`
+    The Bayesian criterion: fire when a chosen posterior quantile of
+    epsilon exceeds the tolerance — "we are 95% sure the mechanism is
+    unfair", robust to small-sample noise that whipsaws the point
+    estimate. Draws run through the PR-2 batched posterior path (one
+    fused gamma sample + one :func:`repro.core.batch.epsilon_batch`
+    call), seeded deterministically per batch so a replayed stream
+    yields bit-identical alerts.
+:class:`DivergenceRule`
+    The drift detector: fire when the sliding window's epsilon diverges
+    from the cumulative stream's — exactly the regulator's question
+    ("did a recent change make this system unfair?") that neither
+    number answers alone.
+
+Rules are declarative data: each serialises with ``to_dict`` and is
+rebuilt by :func:`rule_from_dict`, so the HTTP API can accept rules as
+JSON and the registry can persist them across restarts. Firing produces
+:class:`AlertEvent` records that the registry appends to the
+audit-history store.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.bayesian import posterior_epsilon
+from repro.exceptions import MonitorError, ValidationError
+
+__all__ = [
+    "AlertEvent",
+    "AlertRule",
+    "DivergenceRule",
+    "EpsilonThresholdRule",
+    "PosteriorCredibleRule",
+    "RuleContext",
+    "rule_from_dict",
+    "rules_from_dicts",
+]
+
+_SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class RuleContext:
+    """Everything a rule may inspect about the batch it follows.
+
+    ``counts`` is a zero-argument callable returning the monitor's live
+    group x outcome count matrix, so rules that never look at counts
+    (the point rules) cost nothing. ``cumulative_epsilon`` is ``None``
+    for cumulative monitors, where window and stream coincide.
+    """
+
+    monitor: str
+    batch_index: int
+    n_rows: int
+    rows_seen: int
+    epsilon: float
+    cumulative_epsilon: float | None
+    alpha: float
+    counts: Callable[[], np.ndarray]
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One rule firing after one batch; stored durably and served via HTTP."""
+
+    monitor: str
+    rule: str
+    severity: str
+    batch_index: int
+    value: float
+    threshold: float
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "batch_index": self.batch_index,
+            "value": self.value,
+            "threshold": self.threshold,
+            "message": self.message,
+        }
+
+
+def _require_severity(severity: str) -> str:
+    if severity not in _SEVERITIES:
+        raise ValidationError(
+            f"severity must be one of {_SEVERITIES}, got {severity!r}"
+        )
+    return severity
+
+
+def _require_finite(value: float, what: str) -> float:
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValidationError(f"{what} must be finite, got {value!r}")
+    return value
+
+
+class AlertRule:
+    """Base class: a named predicate over a :class:`RuleContext`."""
+
+    kind: str = ""
+
+    def evaluate(self, context: RuleContext) -> AlertEvent | None:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{key}={value!r}"
+            for key, value in sorted(self.to_dict().items())
+            if key != "type"
+        )
+        return f"{type(self).__name__}({fields})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AlertRule) and self.to_dict() == other.to_dict()
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.to_dict().items())))
+
+
+class EpsilonThresholdRule(AlertRule):
+    """Fire when the point epsilon of the window exceeds ``threshold``."""
+
+    kind = "epsilon_threshold"
+
+    def __init__(self, threshold: float, severity: str = "warning"):
+        self.threshold = _require_finite(threshold, "threshold")
+        self.severity = _require_severity(severity)
+
+    def evaluate(self, context: RuleContext) -> AlertEvent | None:
+        if context.epsilon <= self.threshold:
+            return None
+        return AlertEvent(
+            monitor=context.monitor,
+            rule=self.kind,
+            severity=self.severity,
+            batch_index=context.batch_index,
+            value=context.epsilon,
+            threshold=self.threshold,
+            message=(
+                f"epsilon {context.epsilon:.4f} exceeds the fairness "
+                f"tolerance {self.threshold:.4f}"
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": self.kind,
+            "threshold": self.threshold,
+            "severity": self.severity,
+        }
+
+
+class PosteriorCredibleRule(AlertRule):
+    """Fire when a posterior quantile of epsilon exceeds ``threshold``.
+
+    The posterior is the Dirichlet-multinomial model of Section 4,
+    sampled through the batched PR-2 path on the monitor's *live*
+    counts. ``level`` is the credible quantile: ``level=0.05`` fires
+    only when even the optimistic 5th percentile of epsilon is above
+    the tolerance (high confidence of unfairness), ``level=0.95`` is
+    the conservative early-warning variant.
+
+    Each evaluation seeds its draws with ``(seed, batch_index)``, so
+    alerts are deterministic for a replayed stream yet independent
+    across batches.
+    """
+
+    kind = "posterior_credible"
+
+    def __init__(
+        self,
+        threshold: float,
+        level: float = 0.05,
+        n_samples: int = 500,
+        alpha: float | None = None,
+        seed: int = 0,
+        severity: str = "critical",
+    ):
+        self.threshold = _require_finite(threshold, "threshold")
+        if not 0.0 < level < 1.0:
+            raise ValidationError(
+                f"level must be strictly between 0 and 1, got {level}"
+            )
+        self.level = float(level)
+        if int(n_samples) < 1:
+            raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
+        self.n_samples = int(n_samples)
+        self.alpha = None if alpha is None else _require_finite(alpha, "alpha")
+        self.seed = int(seed)
+        self.severity = _require_severity(severity)
+
+    def evaluate(self, context: RuleContext) -> AlertEvent | None:
+        counts = context.counts()
+        if counts.size == 0 or counts.shape[-1] < 2 or counts.sum() == 0:
+            return None
+        alpha = self.alpha if self.alpha is not None else context.alpha
+        summary = posterior_epsilon(
+            counts,
+            alpha=alpha,
+            n_samples=self.n_samples,
+            quantile_levels=(self.level,),
+            seed=np.random.default_rng([self.seed, context.batch_index]),
+        )
+        quantile = summary.quantiles[self.level]
+        if quantile <= self.threshold:
+            return None
+        return AlertEvent(
+            monitor=context.monitor,
+            rule=self.kind,
+            severity=self.severity,
+            batch_index=context.batch_index,
+            value=quantile,
+            threshold=self.threshold,
+            message=(
+                f"posterior q{self.level * 100:g} of epsilon is "
+                f"{quantile:.4f} (mean {summary.mean:.4f}), above the "
+                f"fairness tolerance {self.threshold:.4f}"
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": self.kind,
+            "threshold": self.threshold,
+            "level": self.level,
+            "n_samples": self.n_samples,
+            "alpha": self.alpha,
+            "seed": self.seed,
+            "severity": self.severity,
+        }
+
+
+class DivergenceRule(AlertRule):
+    """Fire when |window epsilon - cumulative epsilon| exceeds ``threshold``.
+
+    Only meaningful for windowed monitors (cumulative monitors have
+    nothing to diverge from; the rule is silently inert there rather
+    than an error, so one rule set can serve a mixed fleet).
+    """
+
+    kind = "divergence"
+
+    def __init__(self, threshold: float, severity: str = "warning"):
+        self.threshold = _require_finite(threshold, "threshold")
+        self.severity = _require_severity(severity)
+
+    def evaluate(self, context: RuleContext) -> AlertEvent | None:
+        if context.cumulative_epsilon is None:
+            return None
+        gap = abs(context.epsilon - context.cumulative_epsilon)
+        if not np.isfinite(gap) or gap <= self.threshold:
+            return None
+        return AlertEvent(
+            monitor=context.monitor,
+            rule=self.kind,
+            severity=self.severity,
+            batch_index=context.batch_index,
+            value=gap,
+            threshold=self.threshold,
+            message=(
+                f"window epsilon {context.epsilon:.4f} diverges from the "
+                f"cumulative {context.cumulative_epsilon:.4f} by "
+                f"{gap:.4f} (> {self.threshold:.4f}): recent traffic is "
+                "drifting away from the stream's history"
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": self.kind,
+            "threshold": self.threshold,
+            "severity": self.severity,
+        }
+
+
+_RULE_TYPES: dict[str, type[AlertRule]] = {
+    rule.kind: rule
+    for rule in (EpsilonThresholdRule, PosteriorCredibleRule, DivergenceRule)
+}
+
+
+def rule_from_dict(spec: dict[str, Any]) -> AlertRule:
+    """Rebuild a rule from its ``to_dict`` form (or hand-written JSON)."""
+    if not isinstance(spec, dict):
+        raise MonitorError(f"a rule spec must be an object, got {spec!r}")
+    kind = spec.get("type")
+    rule_type = _RULE_TYPES.get(kind)
+    if rule_type is None:
+        raise MonitorError(
+            f"unknown rule type {kind!r}; known types are "
+            f"{sorted(_RULE_TYPES)}"
+        )
+    arguments = {key: value for key, value in spec.items() if key != "type"}
+    try:
+        return rule_type(**arguments)
+    except TypeError as error:
+        raise MonitorError(f"bad {kind!r} rule spec: {error}") from None
+
+
+def rules_from_dicts(specs: Sequence[dict[str, Any]]) -> tuple[AlertRule, ...]:
+    """Rebuild a rule list, preserving order (evaluation order is spec order)."""
+    return tuple(rule_from_dict(spec) for spec in specs)

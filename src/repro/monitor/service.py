@@ -1,0 +1,545 @@
+"""The fairness monitoring service: a stdlib-only concurrent HTTP API.
+
+This is the serving layer the ROADMAP's north star asks for: deployed
+mechanisms POST their decision rows as they happen, and the service
+keeps every monitor's differential fairness current, durable, and
+alert-guarded. It is deliberately stdlib-only
+(:class:`http.server.ThreadingHTTPServer` + ``json``) so the repo's
+no-new-dependencies constraint holds; the concurrency story lives in
+:class:`repro.monitor.registry.MonitorRegistry` (per-monitor locks), and
+the HTTP layer just maps requests onto it.
+
+API
+---
+================================  =======================================
+``GET  /healthz``                 liveness + monitor/row counters
+``GET  /monitors``                list monitor names
+``POST /monitors``                create a monitor (JSON config, incl.
+                                  declarative alert rules)
+``DELETE /monitors/{name}``       delete a monitor
+``POST /monitors/{name}/observe`` ingest ``{"rows": [[...], ...]}``;
+                                  returns the batch's epsilon + alerts
+``GET  /monitors/{name}/report``  epsilon, counters, posterior, trend
+``GET  /monitors/{name}/history`` batch records (``since``/``limit``)
+``GET  /monitors/{name}/alerts``  alert records (``since``/``limit``)
+================================  =======================================
+
+Errors come back as ``{"error": message}`` with conventional status
+codes (400 bad request, 404 unknown monitor, 409 duplicate, 413 too
+large). The report endpoint's epsilon is bit-identical to
+:func:`repro.core.empirical.dataset_edf` on the concatenated ingested
+rows — the registry's contract, asserted end-to-end in the tests and in
+``benchmarks/bench_service.py``.
+
+Graceful shutdown checkpoints every monitor through the rotated
+``.rcpk`` generations, so ``kill`` + restart resumes with at most the
+in-flight batch lost — and a torn final checkpoint write falls back to
+the previous generation.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from datetime import datetime, timezone
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.exceptions import MonitorError, ReproError, ValidationError
+from repro.monitor.registry import MonitorConfig, MonitorRegistry
+from repro.monitor.store import sanitize_floats
+
+__all__ = ["MonitorService", "render_status", "status_snapshot"]
+
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_MONITOR_ROUTE = re.compile(
+    r"^/monitors/(?P<name>[^/]+)(?:/(?P<action>report|history|alerts|observe))?$"
+)
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests onto the owning :class:`MonitorService`."""
+
+    server_version = "repro-monitor/1"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; the service
+    # decides whether that noise is wanted.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.service.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _drain_unread_body(self) -> None:
+        """Consume a request body the route never read.
+
+        This handler speaks keep-alive HTTP/1.1: if an error response is
+        sent while the body still sits in the socket (404 on a POST to a
+        bad path, 405, 413), the leftover bytes would be parsed as the
+        *next* request line, desynchronising the connection. Small
+        bodies are read and discarded; oversized ones are cheaper to
+        abandon by closing the connection after the response.
+        """
+        if getattr(self, "_body_consumed", False):
+            return
+        self._body_consumed = True
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            return
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        self.rfile.read(length)
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        self._drain_unread_body()
+        body = json.dumps(
+            sanitize_floats(payload), allow_nan=False
+        ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise _HttpError(400, "a JSON request body is required")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(
+                413, f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        self._body_consumed = True
+        try:
+            body = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HttpError(400, f"request body is not valid JSON: {error}")
+        if not isinstance(body, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        # One handler instance serves every request on a keep-alive
+        # connection; the consumed-body flag is per *request*.
+        self._body_consumed = False
+        service: MonitorService = self.server.service  # type: ignore[attr-defined]
+        url = urlparse(self.path)
+        try:
+            try:
+                status, payload = service.handle(
+                    method, url.path, parse_qs(url.query), self
+                )
+            except _HttpError:
+                raise
+            except MonitorError as error:
+                message = str(error)
+                if "no monitor named" in message:
+                    raise _HttpError(404, message) from None
+                if "already exists" in message:
+                    raise _HttpError(409, message) from None
+                raise _HttpError(400, message) from None
+            except ValidationError as error:
+                raise _HttpError(400, str(error)) from None
+            except ReproError as error:
+                raise _HttpError(500, str(error)) from None
+        except _HttpError as error:
+            self._send_json(error.status, {"error": error.message})
+            return
+        self._send_json(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class MonitorService:
+    """The HTTP facade over a :class:`MonitorRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        The monitor registry (durable when opened on a directory).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    checkpoint_every:
+        When positive and the registry is durable, every monitor also
+        checkpoints after each ``checkpoint_every``-th batch it ingests
+        (in addition to the graceful-shutdown checkpoint).
+    verbose:
+        Log each request to stderr (off by default: the access log is
+        noise in tests and CI).
+    """
+
+    def __init__(
+        self,
+        registry: MonitorRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        checkpoint_every: int = 0,
+        verbose: bool = False,
+    ):
+        if checkpoint_every < 0:
+            raise ValidationError(
+                f"checkpoint_every must be >= 0 batches, got {checkpoint_every}"
+            )
+        self.registry = registry
+        self.verbose = bool(verbose)
+        self._checkpoint_every = int(checkpoint_every)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._shutdown_lock = threading.Lock()
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MonitorService":
+        """Serve in a daemon thread; returns immediately."""
+        if self._thread is not None:
+            raise MonitorError("the service is already running")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-monitor-service",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> int:
+        """Stop serving and checkpoint every monitor; returns how many.
+
+        Safe to call more than once (signal handlers can race); only the
+        first call does the work.
+        """
+        with self._shutdown_lock:
+            if self._stopped:
+                return 0
+            self._stopped = True
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._httpd.server_close()
+        checkpointed = 0
+        if self.registry.is_durable:
+            checkpointed = len(self.registry.checkpoint_all())
+        return checkpointed
+
+    def __enter__(self) -> "MonitorService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, list[str]],
+        request: _Handler,
+    ) -> tuple[int, dict[str, Any]]:
+        if path == "/healthz" and method == "GET":
+            return 200, self._healthz()
+        if path == "/monitors":
+            if method == "GET":
+                return 200, {"monitors": self.registry.names()}
+            if method == "POST":
+                return 201, self._create(request._read_json_body())
+            raise _HttpError(405, f"{method} is not supported on {path}")
+        match = _MONITOR_ROUTE.match(path)
+        if match is None:
+            raise _HttpError(404, f"no route for {path}")
+        name, action = match.group("name"), match.group("action")
+        if action is None:
+            if method == "DELETE":
+                self.registry.delete(name)
+                return 200, {"deleted": name}
+            if method == "GET":
+                return 200, self.registry.report(name).to_dict()
+            raise _HttpError(405, f"{method} is not supported on {path}")
+        if action == "observe":
+            if method != "POST":
+                raise _HttpError(405, "observe requires POST")
+            return 200, self._observe(name, request._read_json_body())
+        if method != "GET":
+            raise _HttpError(405, f"{action} requires GET")
+        if action == "report":
+            return 200, self.registry.report(name).to_dict()
+        return 200, self._records(name, action, query)
+
+    def _healthz(self) -> dict[str, Any]:
+        names = self.registry.names()
+        rows = 0
+        batches = 0
+        for name in names:
+            try:
+                monitor = self.registry.get(name)
+            except MonitorError:  # deleted between list and get
+                continue
+            rows += monitor.rows_seen
+            batches += monitor.batches
+        return {
+            "status": "ok",
+            "monitors": len(names),
+            "rows_ingested": rows,
+            "batches_ingested": batches,
+        }
+
+    def _create(self, body: dict[str, Any]) -> dict[str, Any]:
+        config = MonitorConfig.from_dict(body)
+        self.registry.create_from_config(config)
+        return config.to_dict()
+
+    def _observe(self, name: str, body: dict[str, Any]) -> dict[str, Any]:
+        rows = body.get("rows")
+        if not isinstance(rows, list) or not rows:
+            raise _HttpError(400, 'the body must carry a non-empty "rows" list')
+        for row in rows:
+            if not isinstance(row, (list, tuple)):
+                raise _HttpError(
+                    400, "every row must be a list of cell values"
+                )
+        monitor = self.registry.get(name)
+        result = monitor.observe(rows)
+        if (
+            self._checkpoint_every
+            and self.registry.is_durable
+            and result.batch_index % self._checkpoint_every == 0
+        ):
+            self.registry.checkpoint_monitor(name)
+        return result.to_dict()
+
+    def _records(
+        self, name: str, action: str, query: dict[str, list[str]]
+    ) -> dict[str, Any]:
+        if self.registry.store is None:
+            raise _HttpError(400, "this registry has no history store")
+        self.registry.get(name)  # 404 for unknown monitors
+        try:
+            since = int(query.get("since", ["0"])[0])
+            limit_values = query.get("limit")
+            limit = None if limit_values is None else int(limit_values[0])
+        except ValueError as error:
+            raise _HttpError(400, f"bad query parameter: {error}") from None
+        kind = "batch" if action == "history" else "alert"
+        records = self.registry.store.query(
+            monitor=name, kind=kind, since=since, limit=limit
+        )
+        return {"monitor": name, "kind": kind, "records": records}
+
+
+# ----------------------------------------------------------------------
+# Offline status rendering (the ``monitor-status`` CLI)
+# ----------------------------------------------------------------------
+def _format_ts(ts: float) -> str:
+    return datetime.fromtimestamp(float(ts), timezone.utc).strftime(
+        "%Y-%m-%d %H:%M:%SZ"
+    )
+
+
+def status_snapshot(
+    directory: str | Path,
+    *,
+    trend_window: int | None = None,
+    recent_alerts: int = 5,
+) -> dict[str, Any]:
+    """Inspect a service data directory without the service running.
+
+    Re-creates each monitor from ``monitors.json``, resumes it from its
+    newest valid checkpoint generation (so the epsilon shown is exactly
+    what the service would report), and joins in the audit-history
+    store's trend and alert records.
+    """
+    directory = Path(directory)
+    if not directory.exists():
+        raise MonitorError(f"data directory {directory} does not exist")
+    registry = MonitorRegistry.open(directory)
+    monitors = []
+    for name in registry.names():
+        monitor = registry.get(name)
+        report = registry.report(name)
+        trend = (
+            registry.store.trend(name, window=trend_window)
+            if registry.store is not None
+            else None
+        )
+        alerts = (
+            registry.store.query(monitor=name, kind="alert")
+            if registry.store is not None
+            else []
+        )
+        severities: dict[str, int] = {}
+        for alert in alerts:
+            severity = alert.get("severity", "warning")
+            severities[severity] = severities.get(severity, 0) + 1
+        monitors.append(
+            {
+                "name": name,
+                "config": monitor.config.to_dict(),
+                "report": report.to_dict(),
+                "trend": None if trend is None else trend.to_dict(),
+                "alerts_total": len(alerts),
+                "alerts_by_severity": dict(sorted(severities.items())),
+                "recent_alerts": alerts[-recent_alerts:],
+            }
+        )
+    return {
+        "directory": str(directory),
+        "monitors": monitors,
+        "history_records": (
+            registry.store.last_seq() if registry.store is not None else 0
+        ),
+    }
+
+
+def _monitor_lines(entry: dict[str, Any]) -> list[str]:
+    report = entry["report"]
+    config = entry["config"]
+    window = (
+        "cumulative"
+        if config["window"] is None
+        else f"last {config['window']} rows"
+    )
+    lines = [
+        f"monitor {entry['name']} ({', '.join(config['protected'])} x "
+        f"{config['outcome']}, {window})",
+        f"  epsilon = {report['epsilon']:.4f}   rows seen = "
+        f"{report['rows_seen']}   batches = {report['batches']}",
+    ]
+    posterior = report.get("posterior")
+    if posterior is not None:
+        quantiles = ", ".join(
+            f"q{float(level) * 100:g}={value:.4f}"
+            for level, value in posterior["quantiles"].items()
+        )
+        lines.append(
+            f"  posterior: mean={posterior['mean']:.4f}, {quantiles} "
+            f"({posterior['n_samples']} draws, alpha={posterior['alpha']:g})"
+        )
+    trend = entry["trend"]
+    if trend is not None:
+        lines.append(
+            f"  trend over {trend['n_batches']} batches: "
+            f"{trend['first']:.4f} -> {trend['last']:.4f} "
+            f"(drift {trend['drift']:+.4f}, slope {trend['slope']:+.5f}/batch)"
+        )
+    severities = entry["alerts_by_severity"]
+    if entry["alerts_total"]:
+        breakdown = ", ".join(
+            f"{count} {severity}" for severity, count in severities.items()
+        )
+        lines.append(f"  alerts: {entry['alerts_total']} ({breakdown})")
+        for alert in entry["recent_alerts"]:
+            lines.append(
+                f"    [{_format_ts(alert['ts'])}] {alert['severity']} "
+                f"{alert['rule']} (batch {alert['batch_index']}): "
+                f"{alert['message']}"
+            )
+    else:
+        lines.append("  alerts: none")
+    return lines
+
+
+def _render_text(snapshot: dict[str, Any]) -> str:
+    lines = [
+        f"monitoring data dir: {snapshot['directory']}",
+        f"monitors: {len(snapshot['monitors'])}   history records: "
+        f"{snapshot['history_records']}",
+    ]
+    for entry in snapshot["monitors"]:
+        lines.append("")
+        lines.extend(_monitor_lines(entry))
+    return "\n".join(lines)
+
+
+def _render_markdown(snapshot: dict[str, Any]) -> str:
+    lines = [
+        "# Fairness monitoring status",
+        "",
+        f"- data dir: `{snapshot['directory']}`",
+        f"- monitors: {len(snapshot['monitors'])}",
+        f"- history records: {snapshot['history_records']}",
+    ]
+    if snapshot["monitors"]:
+        lines += [
+            "",
+            "| monitor | scope | epsilon | rows | batches | alerts | drift |",
+            "| --- | --- | ---: | ---: | ---: | ---: | ---: |",
+        ]
+        for entry in snapshot["monitors"]:
+            report = entry["report"]
+            config = entry["config"]
+            scope = (
+                "cumulative"
+                if config["window"] is None
+                else f"window {config['window']}"
+            )
+            trend = entry["trend"]
+            drift = "—" if trend is None else f"{trend['drift']:+.4f}"
+            lines.append(
+                f"| {entry['name']} | {scope} | {report['epsilon']:.4f} "
+                f"| {report['rows_seen']} | {report['batches']} "
+                f"| {entry['alerts_total']} | {drift} |"
+            )
+    for entry in snapshot["monitors"]:
+        if not entry["recent_alerts"]:
+            continue
+        lines += ["", f"## Recent alerts: {entry['name']}", ""]
+        for alert in entry["recent_alerts"]:
+            lines.append(
+                f"- `{_format_ts(alert['ts'])}` **{alert['severity']}** "
+                f"{alert['rule']} (batch {alert['batch_index']}): "
+                f"{alert['message']}"
+            )
+    return "\n".join(lines)
+
+
+def render_status(
+    directory: str | Path,
+    *,
+    markdown: bool = False,
+    trend_window: int | None = None,
+) -> str:
+    """The ``monitor-status`` report for a service data directory."""
+    snapshot = status_snapshot(directory, trend_window=trend_window)
+    return (
+        _render_markdown(snapshot) if markdown else _render_text(snapshot)
+    )

@@ -181,6 +181,69 @@ class TestCliAuditStream:
         assert code == 2
 
 
+class TestStreamFlagValidation:
+    """--workers/--window (and checkpoint flag) combinations are rejected
+    up front with a message naming the flags, not by a deep engine error."""
+
+    BASE = ["--protected", "gender", "--outcome", "hired"]
+
+    @pytest.mark.parametrize(
+        "ordering",
+        [
+            ["--workers", "2", "--window", "8"],
+            ["--window", "8", "--workers", "2"],
+        ],
+        ids=["workers-first", "window-first"],
+    )
+    def test_workers_with_window_rejected_in_both_orders(
+        self, csv_file, ordering, capsys
+    ):
+        code, output = run_cli(["audit-stream", csv_file, *self.BASE, *ordering])
+        assert code == 2  # usage error, not the engine's exit code 1
+        assert output == ""  # nothing ran: rejected before ingestion
+        error = capsys.readouterr().err
+        assert "--workers" in error and "--window" in error
+        assert "row order" in error
+
+    def test_workers_alone_and_window_alone_still_work(self, csv_file):
+        for flags in (["--workers", "1", "--window", "8"], ["--workers", "1"]):
+            code, _ = run_cli(["audit-stream", csv_file, *self.BASE, *flags])
+            assert code == 0
+
+    def test_checkpoint_keep_requires_checkpoint(self, csv_file, capsys):
+        code, _ = run_cli(
+            ["audit-stream", csv_file, *self.BASE, "--checkpoint-keep", "2"]
+        )
+        assert code == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_negative_checkpoint_keep_rejected(self, csv_file, tmp_path, capsys):
+        code, _ = run_cli(
+            [
+                "audit-stream", csv_file, *self.BASE,
+                "--checkpoint", str(tmp_path / "a.rcpk"),
+                "--checkpoint-keep", "-1",
+            ]
+        )
+        assert code == 2
+        assert "--checkpoint-keep" in capsys.readouterr().err
+
+    def test_checkpoint_keep_writes_generations(self, csv_file, tmp_path):
+        path = tmp_path / "a.rcpk"
+        code, _ = run_cli(
+            [
+                "audit-stream", csv_file, *self.BASE,
+                "--chunk-rows", "4",
+                "--checkpoint", str(path),
+                "--checkpoint-keep", "2",
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+        assert path.with_name("a.rcpk.1").exists()
+        assert path.with_name("a.rcpk.2").exists()
+
+
 class TestCliExamples:
     def test_worked_example(self):
         code, output = run_cli(["worked-example"])

@@ -20,10 +20,13 @@ from repro.cli import main
 from repro.engine.backends import ContingencySpec, CsvSource
 from repro.engine.checkpoint import (
     CHECKPOINT_VERSION,
+    checkpoint_generations,
     load_auditor_state,
     load_checkpoint,
     load_contingency,
+    load_latest_auditor_state,
     merge_checkpoint_files,
+    rotate_checkpoint,
     save_auditor_state,
     save_contingency,
 )
@@ -335,3 +338,142 @@ class TestCrashResumeIntegration:
         )
         assert rc == 1
         assert "protected" in capsys.readouterr().err
+
+
+class TestCheckpointRotation:
+    """Generations: rotate_checkpoint + newest-valid fallback loading."""
+
+    def _save_marked(self, path, seed):
+        save_contingency(path, small_accumulator(seed=seed))
+
+    def test_rotate_shifts_generations_newest_first(self, tmp_path):
+        path = tmp_path / "audit.rcpk"
+        for seed in (1, 2, 3):
+            rotate_checkpoint(path, keep=2)
+            self._save_marked(path, seed)
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == [
+            "audit.rcpk", "audit.rcpk.1", "audit.rcpk.2",
+        ]
+        # Newest generation holds the latest save, .1 the one before, ...
+        for generation, seed in [(path, 3), (tmp_path / "audit.rcpk.1", 2),
+                                 (tmp_path / "audit.rcpk.2", 1)]:
+            expected = small_accumulator(seed=seed).snapshot().counts
+            assert np.array_equal(
+                load_contingency(generation).snapshot().counts, expected
+            )
+
+    def test_rotation_drops_generations_past_the_horizon(self, tmp_path):
+        path = tmp_path / "audit.rcpk"
+        for seed in range(6):
+            rotate_checkpoint(path, keep=2)
+            self._save_marked(path, seed)
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == [
+            "audit.rcpk", "audit.rcpk.1", "audit.rcpk.2",
+        ]
+
+    def test_shrinking_keep_cleans_stragglers(self, tmp_path):
+        path = tmp_path / "audit.rcpk"
+        for seed in range(5):
+            rotate_checkpoint(path, keep=4)
+            self._save_marked(path, seed)
+        rotate_checkpoint(path, keep=1)
+        self._save_marked(path, 9)
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == [
+            "audit.rcpk", "audit.rcpk.1",
+        ]
+
+    def test_keep_zero_retains_no_history(self, tmp_path):
+        path = tmp_path / "audit.rcpk"
+        for seed in (1, 2):
+            rotate_checkpoint(path, keep=2)
+            self._save_marked(path, seed)
+        rotate_checkpoint(path, keep=0)
+        self._save_marked(path, 3)
+        assert [entry.name for entry in tmp_path.iterdir()] == ["audit.rcpk"]
+
+    def test_negative_keep_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match=">= 0"):
+            rotate_checkpoint(tmp_path / "audit.rcpk", keep=-1)
+
+    def test_generations_listed_newest_first(self, tmp_path):
+        path = tmp_path / "audit.rcpk"
+        for seed in (1, 2, 3):
+            rotate_checkpoint(path, keep=3)
+            self._save_marked(path, seed)
+        assert checkpoint_generations(path) == [
+            path, tmp_path / "audit.rcpk.1", tmp_path / "audit.rcpk.2",
+        ]
+        # A missing generation 0 (crash between rotate and save) still
+        # exposes the older generations.
+        path.unlink()
+        assert checkpoint_generations(path) == [
+            tmp_path / "audit.rcpk.1", tmp_path / "audit.rcpk.2",
+        ]
+
+
+class TestRotationFallbackResume:
+    """Satellite acceptance: corrupt the newest generation, resume from
+    the prior one, and the finished stream matches an uninterrupted run."""
+
+    @pytest.fixture
+    def stream_path(self, tmp_path):
+        return write_stream_csv(tmp_path / "stream.csv", n_rows=530)
+
+    def _auditor(self):
+        return StreamingAuditor(PROTECTED, OUTCOME)
+
+    def test_corrupt_newest_generation_falls_back(self, tmp_path, stream_path):
+        source = CsvSource(
+            str(stream_path), chunk_rows=100, columns=(*PROTECTED, OUTCOME)
+        )
+        reference = self._auditor()
+        expected = reference.ingest(source)
+
+        path = tmp_path / "audit.rcpk"
+        killed = self._auditor()
+        progress = []
+        with pytest.raises(KeyboardInterrupt):
+            killed.ingest(
+                source,
+                checkpoint_path=path,
+                checkpoint_keep=2,
+                on_chunk=lambda chunk: (
+                    progress.append(chunk),
+                    (_ for _ in ()).throw(KeyboardInterrupt())
+                    if chunk.index == 4
+                    else None,
+                ),
+            )
+        assert (tmp_path / "audit.rcpk.1").exists()
+
+        # Torn write: the newest generation is half a file.
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+
+        state, _, used = load_latest_auditor_state(path, keep=2)
+        assert used == tmp_path / "audit.rcpk.1"
+        assert state["rows_seen"] == 300  # one chunk behind the torn gen 0
+
+        resumed = self._auditor()
+        final = resumed.ingest(
+            source, checkpoint_path=path, checkpoint_keep=2, resume=True
+        )
+        assert final == expected
+        assert resumed.rows_seen == 530
+
+    def test_all_generations_corrupt_fails_loudly(self, tmp_path, stream_path):
+        source = CsvSource(
+            str(stream_path), chunk_rows=100, columns=(*PROTECTED, OUTCOME)
+        )
+        path = tmp_path / "audit.rcpk"
+        self._auditor().ingest(source, checkpoint_path=path, checkpoint_keep=1)
+        for generation in (path, tmp_path / "audit.rcpk.1"):
+            generation.write_bytes(b"garbage")
+        with pytest.raises(CheckpointError, match="no valid checkpoint"):
+            self._auditor().ingest(
+                source, checkpoint_path=path, checkpoint_keep=1, resume=True
+            )
+
+    def test_missing_generations_fail_loudly(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no generations"):
+            load_latest_auditor_state(tmp_path / "none.rcpk", keep=2)

@@ -23,6 +23,7 @@ are covered by the determinism sweep instead.
 from __future__ import annotations
 
 import io
+import itertools
 from pathlib import Path
 
 import pytest
@@ -30,6 +31,8 @@ import pytest
 from repro.cli import main
 from repro.core.streaming import StreamingContingency
 from repro.engine.checkpoint import save_contingency
+from repro.monitor.registry import MonitorRegistry
+from repro.monitor.rules import DivergenceRule, EpsilonThresholdRule
 from repro.tabular.csv_io import write_csv
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -81,6 +84,13 @@ CASES = {
         "--alpha", "1.0",
         "--markdown",
     ],
+    "monitor_status.txt": [
+        "monitor-status", "--data-dir", "mon",
+    ],
+    "monitor_status.md": [
+        "monitor-status", "--data-dir", "mon",
+        "--markdown",
+    ],
 }
 
 # Cumulative audit-stream cases must stay byte-identical when ingestion
@@ -94,7 +104,10 @@ PARALLEL_CASES = [
 
 @pytest.fixture
 def hiring_csv_cwd(tmp_path, hiring_table, monkeypatch):
-    """hiring.csv + shard checkpoints in a tmp cwd (stable relative paths)."""
+    """hiring.csv + shard checkpoints + a monitoring data dir in a tmp
+    cwd (stable relative paths; every input is deterministic — the
+    store's clock is a fixed counter, and the pinned monitors use only
+    point estimators, so the status bytes never drift)."""
     write_csv(hiring_table, tmp_path / "hiring.csv")
     names = ["gender", "race", "hired"]
     rows = list(zip(*(hiring_table.column(name).to_list() for name in names)))
@@ -103,6 +116,27 @@ def hiring_csv_cwd(tmp_path, hiring_table, monkeypatch):
         accumulator = StreamingContingency(names[:2], names[2])
         accumulator.update(shard_rows)
         save_contingency(tmp_path / f"shard{index}.rcpk", accumulator)
+
+    counter = itertools.count()
+    registry = MonitorRegistry.open(
+        tmp_path / "mon", clock=lambda: 1_700_000_000.0 + float(next(counter))
+    )
+    registry.create(
+        "hiring-window",
+        names[:2],
+        names[2],
+        window=half,
+        alpha=1.0,
+        rules=[
+            EpsilonThresholdRule(0.1, severity="info"),
+            DivergenceRule(0.5),
+        ],
+    )
+    registry.create("hiring-cume", names[:2], names[2], alpha=1.0)
+    for batch in (rows[:half], rows[half:]):
+        registry.observe("hiring-window", batch)
+        registry.observe("hiring-cume", batch)
+    registry.checkpoint_all()
     monkeypatch.chdir(tmp_path)
 
 

@@ -1,0 +1,188 @@
+"""Tests for repro.monitor.rules: thresholds, posterior credibility,
+window-vs-cumulative divergence, and the declarative (de)serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bayesian import posterior_epsilon
+from repro.exceptions import MonitorError, ValidationError
+from repro.monitor.rules import (
+    DivergenceRule,
+    EpsilonThresholdRule,
+    PosteriorCredibleRule,
+    RuleContext,
+    rule_from_dict,
+    rules_from_dicts,
+)
+
+
+def context(
+    epsilon=0.3,
+    cumulative=None,
+    counts=None,
+    batch_index=1,
+    alpha=1.0,
+):
+    matrix = (
+        np.array([[30, 10], [10, 30]], dtype=float)
+        if counts is None
+        else np.asarray(counts, dtype=float)
+    )
+    return RuleContext(
+        monitor="m",
+        batch_index=batch_index,
+        n_rows=40,
+        rows_seen=40,
+        epsilon=epsilon,
+        cumulative_epsilon=cumulative,
+        alpha=alpha,
+        counts=lambda: matrix,
+    )
+
+
+class TestEpsilonThresholdRule:
+    def test_fires_above_threshold_with_details(self):
+        event = EpsilonThresholdRule(0.25).evaluate(context(epsilon=0.3))
+        assert event is not None
+        assert event.rule == "epsilon_threshold"
+        assert event.value == 0.3
+        assert event.threshold == 0.25
+        assert event.batch_index == 1
+        assert "0.3000" in event.message
+
+    def test_silent_at_or_below_threshold(self):
+        rule = EpsilonThresholdRule(0.3)
+        assert rule.evaluate(context(epsilon=0.3)) is None
+        assert rule.evaluate(context(epsilon=0.1)) is None
+
+    def test_infinite_epsilon_fires(self):
+        event = EpsilonThresholdRule(1.0).evaluate(
+            context(epsilon=float("inf"))
+        )
+        assert event is not None
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            EpsilonThresholdRule(float("nan"))
+        with pytest.raises(ValidationError):
+            EpsilonThresholdRule(0.1, severity="apocalyptic")
+
+
+class TestPosteriorCredibleRule:
+    COUNTS = np.array([[90, 10], [10, 90]], dtype=float)
+
+    def test_quantile_matches_the_batched_posterior_path(self):
+        rule = PosteriorCredibleRule(
+            0.01, level=0.05, n_samples=300, alpha=1.0, seed=3
+        )
+        event = rule.evaluate(context(counts=self.COUNTS, batch_index=7))
+        expected = posterior_epsilon(
+            self.COUNTS,
+            alpha=1.0,
+            n_samples=300,
+            quantile_levels=(0.05,),
+            seed=np.random.default_rng([3, 7]),
+        ).quantiles[0.05]
+        assert event is not None
+        assert event.value == expected
+
+    def test_deterministic_per_batch_and_varies_across_batches(self):
+        rule = PosteriorCredibleRule(0.0, level=0.5, n_samples=100, alpha=1.0)
+        same_batch = [
+            rule.evaluate(context(counts=self.COUNTS, batch_index=4)).value
+            for _ in range(2)
+        ]
+        assert same_batch[0] == same_batch[1]
+        other_batch = rule.evaluate(
+            context(counts=self.COUNTS, batch_index=5)
+        ).value
+        assert other_batch != same_batch[0]
+
+    def test_silent_when_credible_bound_is_below_threshold(self):
+        balanced = np.array([[50, 50], [50, 50]], dtype=float)
+        rule = PosteriorCredibleRule(5.0, level=0.05, n_samples=100)
+        assert rule.evaluate(context(counts=balanced)) is None
+
+    def test_silent_on_degenerate_counts(self):
+        rule = PosteriorCredibleRule(0.0, n_samples=50)
+        assert rule.evaluate(context(counts=np.zeros((2, 2)))) is None
+        assert rule.evaluate(context(counts=np.empty((0, 2)))) is None
+        assert (
+            rule.evaluate(context(counts=np.array([[5.0], [3.0]]))) is None
+        )
+
+    def test_falls_back_to_the_monitor_alpha(self):
+        rule = PosteriorCredibleRule(0.0, level=0.5, n_samples=100, seed=1)
+        event = rule.evaluate(
+            context(counts=self.COUNTS, alpha=2.5, batch_index=2)
+        )
+        expected = posterior_epsilon(
+            self.COUNTS,
+            alpha=2.5,
+            n_samples=100,
+            quantile_levels=(0.5,),
+            seed=np.random.default_rng([1, 2]),
+        ).quantiles[0.5]
+        assert event.value == expected
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            PosteriorCredibleRule(0.1, level=0.0)
+        with pytest.raises(ValidationError):
+            PosteriorCredibleRule(0.1, level=1.0)
+        with pytest.raises(ValidationError):
+            PosteriorCredibleRule(0.1, n_samples=0)
+
+
+class TestDivergenceRule:
+    def test_fires_on_window_vs_cumulative_gap(self):
+        event = DivergenceRule(0.1).evaluate(
+            context(epsilon=0.5, cumulative=0.2)
+        )
+        assert event is not None
+        assert event.value == pytest.approx(0.3)
+        assert "diverges" in event.message
+
+    def test_silent_for_small_gap_or_cumulative_monitors(self):
+        rule = DivergenceRule(0.1)
+        assert rule.evaluate(context(epsilon=0.25, cumulative=0.2)) is None
+        assert rule.evaluate(context(epsilon=9.0, cumulative=None)) is None
+
+    def test_silent_when_gap_is_not_finite(self):
+        rule = DivergenceRule(0.1)
+        assert (
+            rule.evaluate(context(epsilon=float("inf"), cumulative=0.2))
+            is None
+        )
+
+
+class TestDeclarativeRoundtrip:
+    RULES = [
+        EpsilonThresholdRule(0.25, severity="info"),
+        PosteriorCredibleRule(
+            0.2, level=0.1, n_samples=64, alpha=0.5, seed=9, severity="critical"
+        ),
+        DivergenceRule(0.15),
+    ]
+
+    @pytest.mark.parametrize("rule", RULES, ids=lambda rule: rule.kind)
+    def test_to_dict_from_dict_round_trip(self, rule):
+        rebuilt = rule_from_dict(rule.to_dict())
+        assert rebuilt == rule
+        assert rebuilt.to_dict() == rule.to_dict()
+
+    def test_rules_from_dicts_preserves_order(self):
+        rebuilt = rules_from_dicts([rule.to_dict() for rule in self.RULES])
+        assert list(rebuilt) == self.RULES
+
+    def test_unknown_type_is_a_monitor_error(self):
+        with pytest.raises(MonitorError, match="unknown rule type"):
+            rule_from_dict({"type": "sentiment"})
+
+    def test_bad_arguments_are_a_monitor_error(self):
+        with pytest.raises(MonitorError, match="epsilon_threshold"):
+            rule_from_dict({"type": "epsilon_threshold", "bogus": 1})
+        with pytest.raises(MonitorError, match="object"):
+            rule_from_dict(["not", "a", "dict"])

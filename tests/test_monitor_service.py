@@ -1,0 +1,406 @@
+"""End-to-end tests for the monitoring service HTTP API and its CLI.
+
+The acceptance criterion lives here: for any monitor,
+``GET /monitors/{name}/report`` epsilon after ingesting batches B1..Bn
+over HTTP equals :func:`repro.core.empirical.dataset_edf` on the
+concatenated rows — for windowed and cumulative monitors, and after a
+kill + checkpoint-rotation resume — and the posterior summary equals
+:meth:`FairnessAuditor.audit_contingency`'s.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.audit.auditor import FairnessAuditor
+from repro.cli import main
+from repro.core.empirical import dataset_edf
+from repro.monitor.registry import MonitorRegistry
+from repro.monitor.service import MonitorService
+from repro.tabular.table import Table
+
+NAMES = ["gender", "race", "hired"]
+
+
+def fake_clock(start: float = 1_700_000_000.0):
+    counter = itertools.count()
+    return lambda: start + float(next(counter))
+
+
+def synthetic_rows(n_rows: int, seed: int = 5) -> list[list[str]]:
+    rng = np.random.default_rng(seed)
+    return [
+        [f"g{rng.integers(2)}", f"r{rng.integers(3)}", f"y{rng.integers(2)}"]
+        for _ in range(n_rows)
+    ]
+
+
+def offline_epsilon(rows, window=None, alpha=1.0):
+    scope = rows if window is None else rows[-window:]
+    return dataset_edf(
+        Table.from_rows(NAMES, [tuple(row) for row in scope]),
+        protected=NAMES[:2],
+        outcome=NAMES[2],
+        estimator=alpha,
+    ).epsilon
+
+
+class Client:
+    """A minimal JSON client over urllib (no new dependencies)."""
+
+    def __init__(self, url: str):
+        self.url = url
+
+    def request(self, method: str, path: str, payload=None):
+        data = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.url + path, data=data, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def get(self, path):
+        return self.request("GET", path)
+
+    def post(self, path, payload):
+        return self.request("POST", path, payload)
+
+
+@pytest.fixture
+def service(tmp_path):
+    registry = MonitorRegistry.open(tmp_path / "data", clock=fake_clock())
+    service = MonitorService(registry).start()
+    yield service
+    service.shutdown()
+
+
+@pytest.fixture
+def client(service):
+    return Client(service.url)
+
+
+BASE_CONFIG = {
+    "name": "hiring",
+    "protected": NAMES[:2],
+    "outcome": NAMES[2],
+    "alpha": 1.0,
+}
+
+
+@pytest.mark.service
+class TestHttpApi:
+    def test_healthz_counts_monitors_and_rows(self, client):
+        status, body = client.get("/healthz")
+        assert (status, body["status"]) == (200, "ok")
+        assert body["monitors"] == 0
+        client.post("/monitors", BASE_CONFIG)
+        client.post(
+            "/monitors/hiring/observe", {"rows": synthetic_rows(30)}
+        )
+        _, body = client.get("/healthz")
+        assert body["monitors"] == 1
+        assert body["rows_ingested"] == 30
+        assert body["batches_ingested"] == 1
+
+    def test_create_list_delete(self, client):
+        status, body = client.post("/monitors", BASE_CONFIG)
+        assert status == 201
+        assert body["name"] == "hiring"
+        assert client.get("/monitors")[1] == {"monitors": ["hiring"]}
+        status, body = client.request("DELETE", "/monitors/hiring")
+        assert (status, body) == (200, {"deleted": "hiring"})
+        assert client.get("/monitors")[1] == {"monitors": []}
+
+    def test_error_codes(self, client):
+        assert client.get("/nope")[0] == 404
+        assert client.get("/monitors/ghost/report")[0] == 404
+        assert client.post("/monitors/ghost/observe", {"rows": [["a"]]})[0] == 404
+        client.post("/monitors", BASE_CONFIG)
+        assert client.post("/monitors", BASE_CONFIG)[0] == 409
+        assert client.post("/monitors", {"name": "x"})[0] == 400
+        assert client.post("/monitors/hiring/observe", {})[0] == 400
+        assert client.post("/monitors/hiring/observe", {"rows": []})[0] == 400
+        assert (
+            client.post("/monitors/hiring/observe", {"rows": ["scalar"]})[0]
+            == 400
+        )
+        # wrong row width is a 400, not a 500
+        assert (
+            client.post("/monitors/hiring/observe", {"rows": [["only-one"]]})[0]
+            == 400
+        )
+        assert client.request("DELETE", "/healthz")[0] == 404
+        assert client.request("DELETE", "/monitors")[0] == 405
+        assert client.get("/monitors/hiring/observe")[0] == 405
+
+    def test_keepalive_connection_survives_error_responses(self, service):
+        # One persistent HTTP/1.1 connection: a POST whose body the
+        # error path never reads (404/405) must not leave bytes in the
+        # socket to be parsed as the next request line.
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            service.host, service.port, timeout=10
+        )
+        try:
+            payload = json.dumps({"rows": [["g0", "r0", "y1"]] * 50})
+            for path, expected in [
+                ("/monitors/ghost/observe", 404),  # unknown monitor
+                ("/monitors/ghost", 405),  # POST on a GET/DELETE route
+            ]:
+                connection.request("POST", path, body=payload)
+                response = connection.getresponse()
+                assert response.status == expected
+                response.read()
+                # The very next request on the SAME connection parses.
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_declarative_rules_fire_over_http(self, client):
+        config = {
+            **BASE_CONFIG,
+            "rules": [
+                {"type": "epsilon_threshold", "threshold": -1.0,
+                 "severity": "info"},
+            ],
+        }
+        client.post("/monitors", config)
+        status, body = client.post(
+            "/monitors/hiring/observe", {"rows": synthetic_rows(40)}
+        )
+        assert status == 200
+        (alert,) = body["alerts"]
+        assert alert["rule"] == "epsilon_threshold"
+        _, alerts = client.get("/monitors/hiring/alerts")
+        assert len(alerts["records"]) == 1
+        _, history = client.get("/monitors/hiring/history")
+        assert [r["batch_index"] for r in history["records"]] == [1]
+        _, limited = client.get("/monitors/hiring/history?since=0&limit=0")
+        assert limited["records"] == []
+
+    @pytest.mark.parametrize(
+        "window", [None, 200], ids=["cumulative", "windowed"]
+    )
+    def test_report_epsilon_is_bit_identical_to_offline(self, client, window):
+        config = dict(BASE_CONFIG)
+        if window is not None:
+            config["window"] = window
+        client.post("/monitors", config)
+        rows = synthetic_rows(600)
+        for start in range(0, 600, 120):
+            status, body = client.post(
+                "/monitors/hiring/observe",
+                {"rows": rows[start : start + 120]},
+            )
+            assert status == 200
+            assert body["epsilon"] == offline_epsilon(
+                rows[: start + 120], window=window
+            )
+        status, report = client.get("/monitors/hiring/report")
+        assert status == 200
+        assert report["epsilon"] == offline_epsilon(rows, window=window)
+        assert report["rows_seen"] == 600
+
+    def test_report_posterior_matches_audit_contingency(self, client):
+        client.post(
+            "/monitors",
+            {**BASE_CONFIG, "posterior_samples": 120, "seed": 13},
+        )
+        rows = synthetic_rows(300)
+        client.post("/monitors/hiring/observe", {"rows": rows})
+        _, report = client.get("/monitors/hiring/report")
+        offline = FairnessAuditor(
+            NAMES[:2], NAMES[2], estimator=1.0,
+            posterior_samples=120, seed=13,
+        ).audit_dataset(Table.from_rows(NAMES, [tuple(r) for r in rows]))
+        posterior = report["posterior"]
+        assert posterior["mean"] == offline.posterior.mean
+        assert posterior["median"] == offline.posterior.median
+        assert posterior["quantiles"] == {
+            str(level): value
+            for level, value in offline.posterior.quantiles.items()
+        }
+
+    def test_concurrent_http_ingestion_is_lossless(self, client, service):
+        import threading
+
+        client.post("/monitors", BASE_CONFIG)
+        rows_by_thread = {
+            which: synthetic_rows(60, seed=which) for which in range(6)
+        }
+        failures = []
+
+        def poster(which):
+            try:
+                local = Client(service.url)
+                for start in (0, 20, 40):
+                    status, _ = local.post(
+                        "/monitors/hiring/observe",
+                        {"rows": rows_by_thread[which][start : start + 20]},
+                    )
+                    assert status == 200
+            except BaseException as error:  # noqa: BLE001
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=poster, args=(which,))
+            for which in rows_by_thread
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        all_rows = [
+            row for rows in rows_by_thread.values() for row in rows
+        ]
+        _, report = client.get("/monitors/hiring/report")
+        assert report["rows_seen"] == len(all_rows)
+        assert report["epsilon"] == offline_epsilon(all_rows)
+
+
+@pytest.mark.service
+class TestKillAndResume:
+    """Bit-identity holds across kill + checkpoint-rotation resume."""
+
+    @pytest.mark.parametrize(
+        "window", [None, 150], ids=["cumulative", "windowed"]
+    )
+    def test_service_restart_after_torn_checkpoint(self, tmp_path, window):
+        data_dir = tmp_path / "data"
+        rows = synthetic_rows(500)
+        batches = [rows[start : start + 100] for start in range(0, 500, 100)]
+
+        registry = MonitorRegistry.open(data_dir, clock=fake_clock())
+        service = MonitorService(registry, checkpoint_every=1).start()
+        client = Client(service.url)
+        config = dict(BASE_CONFIG)
+        if window is not None:
+            config["window"] = window
+        client.post("/monitors", config)
+        for batch in batches[:3]:
+            client.post("/monitors/hiring/observe", {"rows": batch})
+        # Simulate the kill: stop serving *without* the graceful-shutdown
+        # checkpoint (only the per-batch ones exist), then tear the
+        # newest generation as a crash mid-write would.
+        newest = data_dir / "checkpoints" / "hiring.rcpk"
+        service._stopped = True  # a real kill never runs shutdown()
+        service._httpd.shutdown()
+        service._httpd.server_close()
+        blob = newest.read_bytes()
+        newest.write_bytes(blob[: len(blob) // 2])
+
+        restarted = MonitorRegistry.open(data_dir, clock=fake_clock())
+        with MonitorService(restarted) as service:
+            client = Client(service.url)
+            _, report = client.get("/monitors/hiring/report")
+            # The torn generation (batch 3) fell back to batch 2's.
+            assert report["rows_seen"] == 200
+            for batch in batches[2:]:  # client replays from the cursor
+                client.post("/monitors/hiring/observe", {"rows": batch})
+            _, report = client.get("/monitors/hiring/report")
+            assert report["epsilon"] == offline_epsilon(rows, window=window)
+            assert report["rows_seen"] == 500
+
+
+@pytest.mark.service
+class TestServeCli:
+    """The ``monitor-serve`` subprocess: banner, API, clean SIGTERM exit."""
+
+    def spawn(self, tmp_path, *extra):
+        env = dict(os.environ)
+        repo_src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONUNBUFFERED"] = "1"
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "monitor-serve",
+                "--data-dir", str(tmp_path / "data"),
+                "--port", "0",
+                *extra,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+
+    def test_serve_create_observe_sigterm(self, tmp_path):
+        proc = self.spawn(tmp_path)
+        try:
+            banner = proc.stdout.readline()
+            assert banner.startswith("monitor-serve: listening on http://")
+            url = banner.split("listening on ")[1].split()[0]
+            client = Client(url)
+            assert client.get("/healthz")[0] == 200
+            assert client.post("/monitors", BASE_CONFIG)[0] == 201
+            rows = synthetic_rows(50)
+            for batch in (rows[:25], rows[25:]):
+                status, _ = client.post(
+                    "/monitors/hiring/observe", {"rows": batch}
+                )
+                assert status == 200
+            status, report = client.get("/monitors/hiring/report")
+            assert status == 200
+            assert report["epsilon"] == offline_epsilon(rows)
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=15)
+        assert proc.returncode == 0
+        assert "shut down cleanly; checkpointed 1 monitor(s)" in out
+        assert err == ""
+        assert (tmp_path / "data" / "checkpoints" / "hiring.rcpk").exists()
+
+        # And monitor-status reads the directory the service left behind.
+        out_io = io.StringIO()
+        assert (
+            main(
+                ["monitor-status", "--data-dir", str(tmp_path / "data")],
+                out=out_io,
+            )
+            == 0
+        )
+        text = out_io.getvalue()
+        assert "monitor hiring" in text
+        assert "rows seen = 50" in text
+
+
+class TestStatusCli:
+    def test_missing_directory_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["monitor-status", "--data-dir", str(tmp_path / "ghost")],
+            out=io.StringIO(),
+        )
+        assert code == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_bad_trend_window_rejected(self, tmp_path, capsys):
+        code = main(
+            [
+                "monitor-status",
+                "--data-dir", str(tmp_path),
+                "--trend-window", "0",
+            ],
+            out=io.StringIO(),
+        )
+        assert code == 2
+        assert "--trend-window" in capsys.readouterr().err

@@ -1,0 +1,260 @@
+"""Tests for repro.monitor.store: the append-only audit-history log.
+
+Covers the framing contract (length-prefix + CRC, segment preamble),
+crash behaviour (torn tails are truncated, prefix corruption is loud),
+rotation/compaction, the query cursor, and the trend summary.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+import threading
+
+import pytest
+
+from repro.exceptions import StoreError, ValidationError
+from repro.monitor.store import (
+    AuditHistoryStore,
+    SEGMENT_MAGIC,
+    sanitize_floats,
+)
+
+
+def fake_clock(start: float = 1_700_000_000.0, step: float = 1.0):
+    counter = itertools.count()
+    return lambda: start + step * next(counter)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return AuditHistoryStore(tmp_path / "history", clock=fake_clock())
+
+
+def batch_record(monitor="m", epsilon=0.1, **extra):
+    return {"monitor": monitor, "kind": "batch", "epsilon": epsilon, **extra}
+
+
+class TestAppendAndQuery:
+    def test_records_get_monotonic_seq_and_clock_ts(self, store):
+        first = store.append(batch_record(epsilon=0.1))
+        second = store.append(batch_record(epsilon=0.2))
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert second["ts"] == first["ts"] + 1.0
+        assert store.last_seq() == 2
+
+    def test_query_round_trips_payload(self, store):
+        store.append(batch_record(epsilon=0.25, n_rows=40))
+        (record,) = store.query()
+        assert record["epsilon"] == 0.25
+        assert record["n_rows"] == 40
+        assert record["kind"] == "batch"
+
+    def test_since_is_an_exclusive_cursor(self, store):
+        for epsilon in (0.1, 0.2, 0.3):
+            store.append(batch_record(epsilon=epsilon))
+        newer = store.query(since=1)
+        assert [record["seq"] for record in newer] == [2, 3]
+        assert store.query(since=3) == []
+
+    def test_monitor_and_kind_filters(self, store):
+        store.append(batch_record(monitor="a"))
+        store.append({"monitor": "a", "kind": "alert", "rule": "r"})
+        store.append(batch_record(monitor="b"))
+        assert len(store.query(monitor="a")) == 2
+        assert len(store.query(monitor="a", kind="alert")) == 1
+        assert len(store.query(kind="batch")) == 2
+
+    def test_limit_bounds_after_filtering(self, store):
+        for index in range(5):
+            store.append(batch_record(epsilon=index / 10))
+        limited = store.query(limit=2)
+        assert [record["seq"] for record in limited] == [1, 2]
+        with pytest.raises(ValidationError):
+            store.query(limit=-1)
+
+    def test_missing_required_fields_rejected(self, store):
+        with pytest.raises(ValidationError, match="monitor"):
+            store.append({"kind": "batch"})
+        with pytest.raises(ValidationError, match="kind"):
+            store.append({"monitor": "m"})
+
+    def test_store_assigned_fields_cannot_be_smuggled(self, store):
+        with pytest.raises(ValidationError, match="seq"):
+            store.append({**batch_record(), "seq": 99})
+        with pytest.raises(ValidationError, match="ts"):
+            store.append({**batch_record(), "ts": 0.0})
+
+    def test_non_finite_floats_become_parseable_strings(self, store):
+        store.append(batch_record(epsilon=float("inf")))
+        (record,) = store.query()
+        assert record["epsilon"] == "inf"
+        assert float(record["epsilon"]) == float("inf")
+
+    def test_sanitize_floats_recurses(self):
+        nested = sanitize_floats(
+            {"a": [float("nan"), 1.5], "b": {"c": float("-inf")}}
+        )
+        assert nested == {"a": ["nan", 1.5], "b": {"c": "-inf"}}
+
+
+class TestDurability:
+    def test_reopen_resumes_the_sequence(self, tmp_path):
+        directory = tmp_path / "history"
+        store = AuditHistoryStore(directory, clock=fake_clock())
+        store.append(batch_record(epsilon=0.1))
+        store.append(batch_record(epsilon=0.2))
+        reopened = AuditHistoryStore(directory, clock=fake_clock())
+        assert reopened.last_seq() == 2
+        third = reopened.append(batch_record(epsilon=0.3))
+        assert third["seq"] == 3
+        assert [record["seq"] for record in reopened.query()] == [1, 2, 3]
+
+    def test_reopen_with_empty_active_segment_keeps_the_sequence(
+        self, tmp_path
+    ):
+        # Rotation creates the next segment eagerly, so a restart can
+        # find the newest segment empty; the sequence must resume after
+        # the last record in the *older* segments, not reset to 1.
+        directory = tmp_path / "history"
+        store = AuditHistoryStore(
+            directory, segment_bytes=64, clock=fake_clock()
+        )
+        store.append(batch_record(epsilon=0.1))  # rotates: segment 2 empty
+        assert len(list(directory.glob("*.seg"))) == 2
+        reopened = AuditHistoryStore(directory, clock=fake_clock())
+        assert reopened.last_seq() == 1
+        second = reopened.append(batch_record(epsilon=0.2))
+        assert second["seq"] == 2
+        assert [r["seq"] for r in reopened.query(since=1)] == [2]
+
+    def test_torn_tail_is_truncated_on_reopen(self, tmp_path):
+        directory = tmp_path / "history"
+        store = AuditHistoryStore(directory, clock=fake_clock())
+        store.append(batch_record(epsilon=0.1))
+        store.append(batch_record(epsilon=0.2))
+        (segment,) = list(directory.glob("*.seg"))
+        blob = segment.read_bytes()
+        segment.write_bytes(blob[:-7])  # crash mid-append: half a record
+
+        reopened = AuditHistoryStore(directory, clock=fake_clock())
+        assert [record["seq"] for record in reopened.query()] == [1]
+        # The torn bytes are gone: the next append extends a clean prefix.
+        replacement = reopened.append(batch_record(epsilon=0.9))
+        assert replacement["seq"] == 2
+        assert [r["epsilon"] for r in reopened.query()] == [0.1, 0.9]
+
+    def test_prefix_corruption_is_loud(self, tmp_path):
+        directory = tmp_path / "history"
+        store = AuditHistoryStore(directory, clock=fake_clock())
+        store.append(batch_record(epsilon=0.1))
+        store.append(batch_record(epsilon=0.2))
+        (segment,) = list(directory.glob("*.seg"))
+        blob = bytearray(segment.read_bytes())
+        blob[14] ^= 0xFF  # flip a bit inside the first record
+        segment.write_bytes(bytes(blob))
+        with pytest.raises(StoreError, match="CRC"):
+            list(store.query())
+
+    def test_foreign_file_is_loud(self, tmp_path):
+        directory = tmp_path / "history"
+        store = AuditHistoryStore(directory, clock=fake_clock())
+        store.append(batch_record())
+        (segment,) = list(directory.glob("*.seg"))
+        segment.write_bytes(b"NOPE" + segment.read_bytes()[4:])
+        with pytest.raises(StoreError, match="magic"):
+            store.query()
+
+    def test_segment_preamble_is_magic_versioned(self, tmp_path):
+        store = AuditHistoryStore(tmp_path / "history", clock=fake_clock())
+        store.append(batch_record())
+        (segment,) = list((tmp_path / "history").glob("*.seg"))
+        magic, version, _ = struct.unpack_from("<4sHH", segment.read_bytes())
+        assert magic == SEGMENT_MAGIC
+        assert version == 1
+
+
+class TestRotationAndCompaction:
+    def small_store(self, tmp_path):
+        # ~90 bytes per record: a tiny threshold forces rotation fast.
+        return AuditHistoryStore(
+            tmp_path / "history", segment_bytes=256, clock=fake_clock()
+        )
+
+    def test_appends_rotate_segments_by_size(self, tmp_path):
+        store = self.small_store(tmp_path)
+        for index in range(12):
+            store.append(batch_record(epsilon=index / 10))
+        segments = sorted((tmp_path / "history").glob("*.seg"))
+        assert len(segments) > 2
+        # Every record is still readable across the segment boundaries.
+        assert [record["seq"] for record in store.query()] == list(range(1, 13))
+
+    def test_compact_drops_oldest_whole_segments(self, tmp_path):
+        store = self.small_store(tmp_path)
+        for index in range(12):
+            store.append(batch_record(epsilon=index / 10))
+        before = len(list((tmp_path / "history").glob("*.seg")))
+        removed = store.compact(keep_segments=2)
+        assert len(removed) == before - 2
+        survivors = store.query()
+        # A contiguous *suffix* of the history survives.
+        seqs = [record["seq"] for record in survivors]
+        assert seqs == list(range(seqs[0], 13))
+        with pytest.raises(ValidationError):
+            store.compact(keep_segments=0)
+
+    def test_concurrent_appends_never_lose_or_duplicate_seq(self, tmp_path):
+        store = AuditHistoryStore(tmp_path / "history", clock=fake_clock())
+        n_threads, per_thread = 8, 25
+        barrier = threading.Barrier(n_threads)
+
+        def writer(which: int):
+            barrier.wait()
+            for index in range(per_thread):
+                store.append(batch_record(monitor=f"m{which}", epsilon=0.1))
+
+        threads = [
+            threading.Thread(target=writer, args=(which,))
+            for which in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = store.query()
+        assert len(records) == n_threads * per_thread
+        seqs = [record["seq"] for record in records]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestTrend:
+    def test_trend_summarises_epsilon_drift(self, store):
+        for epsilon in (0.1, 0.2, 0.3, 0.4):
+            store.append(batch_record(epsilon=epsilon))
+        store.append({"monitor": "m", "kind": "alert", "rule": "r"})
+        trend = store.trend("m")
+        assert trend.n_batches == 4
+        assert trend.first == 0.1
+        assert trend.last == 0.4
+        assert trend.drift == pytest.approx(0.3)
+        assert trend.slope == pytest.approx(0.1)
+        assert trend.mean == pytest.approx(0.25)
+
+    def test_trend_window_limits_the_span(self, store):
+        for epsilon in (0.5, 0.1, 0.2):
+            store.append(batch_record(epsilon=epsilon))
+        trend = store.trend("m", window=2)
+        assert trend.n_batches == 2
+        assert trend.first == 0.1
+        assert trend.drift == pytest.approx(0.1)
+
+    def test_trend_of_unknown_monitor_is_none(self, store):
+        assert store.trend("ghost") is None
+
+    def test_single_record_trend_has_zero_slope(self, store):
+        store.append(batch_record(epsilon=0.2))
+        trend = store.trend("m")
+        assert trend.slope == 0.0
+        assert trend.drift == 0.0
