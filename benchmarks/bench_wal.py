@@ -1,0 +1,271 @@
+"""Perf bench: WAL-on vs WAL-off ingest, acked throughput + ack latency.
+
+PR 6's durability contract says every acknowledged observe was fsync'd
+to the write-ahead log *before* it touched the auditor, so a restart
+replays it rather than losing it. The question this bench answers is
+what that guarantee costs on the hot path. Three paths over the same
+synthetic census-like stream:
+
+* ``wal_off`` — the registry ingest path with the WAL disabled
+  (``wal_enabled=False``): the pre-PR-6 baseline.
+* ``wal_on`` — the full durable path: WAL append + fsync before apply
+  before ack, one monitor, sequential batches. Every batch's ack
+  latency is sampled; the record keeps the p50/p99 and the acked
+  throughput. The acceptance target is >= 50k acked rows/sec,
+  enforced by a ``@pytest.mark.perf`` guard.
+* ``wal_on_concurrent`` — four monitors ingesting in parallel threads,
+  each on its own WAL: the fleet-shaped load where fsyncs from
+  different shards overlap. Recorded for the trajectory (aggregate
+  acked rows/sec), no hard threshold.
+
+Bit-identity is asserted **unconditionally** before any timing: the
+epsilon reported with the WAL on equals the WAL-off epsilon equals
+:func:`repro.core.empirical.dataset_edf` on the concatenated rows —
+durability must not perturb the statistics.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_wal.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.empirical import dataset_edf
+from repro.monitor.registry import MonitorRegistry
+from repro.tabular.table import Table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_wal.json"
+
+PROTECTED = ["gender", "race", "nationality"]
+OUTCOME = "income"
+NAMES = [*PROTECTED, OUTCOME]
+LEVELS = {
+    "gender": ["Female", "Male"],
+    "race": ["White", "Black", "Asian-Pac-Islander", "Other"],
+    "nationality": ["United-States", "Other"],
+    "income": ["<=50K", ">50K"],
+}
+
+BATCH_ROWS = 1_000
+N_BATCHES = 60  # sequential paths: 60k rows timed
+N_SHARDS = 4
+SHARD_BATCHES = 15  # concurrent path: 4 x 15k rows
+TARGET_ROWS_PER_SEC = 50_000.0
+
+_RESULTS: dict[str, dict] = {}
+
+
+def _stream(n_rows: int, seed: int = 20260808):
+    rng = np.random.default_rng(seed)
+    cells = [rng.integers(len(LEVELS[name]), size=n_rows) for name in PROTECTED]
+    base = 0.2 + 0.1 * cells[0] + 0.04 * cells[1]
+    outcome = rng.random(n_rows) < np.clip(base, 0.02, 0.98)
+    return [
+        (
+            LEVELS["gender"][cells[0][row]],
+            LEVELS["race"][cells[1][row]],
+            LEVELS["nationality"][cells[2][row]],
+            LEVELS["income"][int(outcome[row])],
+        )
+        for row in range(n_rows)
+    ]
+
+
+def _batches(rows):
+    return [
+        rows[start : start + BATCH_ROWS]
+        for start in range(0, len(rows), BATCH_ROWS)
+    ]
+
+
+def _offline_epsilon(rows) -> float:
+    return dataset_edf(
+        Table.from_rows(NAMES, rows),
+        protected=PROTECTED,
+        outcome=OUTCOME,
+        estimator=1.0,
+    ).epsilon
+
+
+def _open_registry(directory, *, wal: bool) -> MonitorRegistry:
+    return MonitorRegistry.open(directory, wal_enabled=wal)
+
+
+def _create(registry: MonitorRegistry, name: str):
+    return registry.create(
+        name,
+        PROTECTED,
+        OUTCOME,
+        alpha=1.0,
+        factor_levels=[LEVELS[column] for column in PROTECTED],
+        outcome_levels=LEVELS[OUTCOME],
+    )
+
+
+@pytest.mark.perf
+def test_wal_ingest_throughput_and_ack_latency(tmp_path):
+    rows = _stream(BATCH_ROWS * N_BATCHES)
+    batches = _batches(rows)
+    offline = _offline_epsilon(rows)
+
+    # Correctness first: the WAL must not perturb the statistics, and a
+    # cold reopen must land on the same state it acknowledged.
+    check = _open_registry(tmp_path / "check", wal=True)
+    _create(check, "m")
+    for batch in batches:
+        check.observe("m", batch)
+    assert check.get("m").epsilon() == offline
+    check.close()
+    reopened = _open_registry(tmp_path / "check", wal=True)
+    assert reopened.get("m").epsilon() == offline
+    assert reopened.get("m").batches == N_BATCHES
+    reopened.close()
+
+    off = _open_registry(tmp_path / "off", wal=False)
+    _create(off, "m")
+    start = time.perf_counter()
+    for batch in batches:
+        off.observe("m", batch)
+    off_elapsed = time.perf_counter() - start
+    assert off.get("m").epsilon() == offline
+    off.close()
+
+    on = _open_registry(tmp_path / "on", wal=True)
+    _create(on, "m")
+    ack_latencies = []
+    start = time.perf_counter()
+    for batch in batches:
+        before = time.perf_counter()
+        on.observe("m", batch)
+        ack_latencies.append(time.perf_counter() - before)
+    on_elapsed = time.perf_counter() - start
+    assert on.get("m").epsilon() == offline
+    on.close()
+
+    latencies_ms = 1000.0 * np.asarray(ack_latencies)
+    on_rows_per_sec = len(rows) / on_elapsed
+    _RESULTS["wal_off"] = {
+        "path": "registry ingest, WAL disabled (pre-durability baseline)",
+        "batch_rows": BATCH_ROWS,
+        "n_batches": N_BATCHES,
+        "rows": len(rows),
+        "seconds": off_elapsed,
+        "rows_per_sec": len(rows) / off_elapsed,
+    }
+    _RESULTS["wal_on"] = {
+        "path": "registry ingest, WAL append + fsync before apply "
+        "before ack",
+        "batch_rows": BATCH_ROWS,
+        "n_batches": N_BATCHES,
+        "rows": len(rows),
+        "seconds": on_elapsed,
+        "rows_per_sec": on_rows_per_sec,
+        "ack_latency_ms": {
+            "p50": float(np.percentile(latencies_ms, 50)),
+            "p99": float(np.percentile(latencies_ms, 99)),
+            "max": float(latencies_ms.max()),
+        },
+    }
+    assert on_rows_per_sec >= TARGET_ROWS_PER_SEC, (
+        f"acceptance target missed: {on_rows_per_sec:,.0f} acked rows/sec "
+        f"< {TARGET_ROWS_PER_SEC:,.0f} with the WAL on"
+    )
+
+
+@pytest.mark.perf
+def test_wal_concurrent_shard_ingest(tmp_path):
+    rows = _stream(BATCH_ROWS * SHARD_BATCHES * N_SHARDS, seed=20260809)
+    per_shard = [
+        _batches(
+            rows[
+                shard * BATCH_ROWS * SHARD_BATCHES : (shard + 1)
+                * BATCH_ROWS
+                * SHARD_BATCHES
+            ]
+        )
+        for shard in range(N_SHARDS)
+    ]
+    registry = _open_registry(tmp_path / "fleet", wal=True)
+    for shard in range(N_SHARDS):
+        _create(registry, f"shard{shard}")
+    barrier = threading.Barrier(N_SHARDS)
+    errors: list[BaseException] = []
+
+    def ingest(shard: int):
+        try:
+            barrier.wait()
+            for batch in per_shard[shard]:
+                registry.observe(f"shard{shard}", batch)
+        except BaseException as error:  # noqa: BLE001 - reraised below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=ingest, args=(shard,))
+        for shard in range(N_SHARDS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    for shard in range(N_SHARDS):
+        monitor = registry.get(f"shard{shard}")
+        assert monitor.batches == SHARD_BATCHES
+        assert monitor.epsilon() == _offline_epsilon(
+            rows[
+                shard * BATCH_ROWS * SHARD_BATCHES : (shard + 1)
+                * BATCH_ROWS
+                * SHARD_BATCHES
+            ]
+        )
+    registry.close()
+
+    _RESULTS["wal_on_concurrent"] = {
+        "path": f"{N_SHARDS} monitors ingesting in parallel threads, "
+        "one WAL per shard (overlapping fsyncs)",
+        "batch_rows": BATCH_ROWS,
+        "n_batches": SHARD_BATCHES * N_SHARDS,
+        "rows": len(rows),
+        "seconds": elapsed,
+        "rows_per_sec": len(rows) / elapsed,
+    }
+
+
+def test_zz_write_throughput_record():
+    """Runs last (file order): persist the trajectory for future PRs."""
+    assert "wal_on" in _RESULTS, "WAL benchmarks did not run"
+    on = _RESULTS["wal_on"]
+    off = _RESULTS.get("wal_off")
+    concurrent = _RESULTS.get("wal_on_concurrent")
+    record = {
+        "benchmark": "bench_wal",
+        "workload": "durable monitor ingest: 4-attribute synthetic census "
+        "rows in 1k-row batches; WAL append + fsync before apply before "
+        "ack vs the WAL-off baseline; bit-identity with dataset_edf and "
+        "a cold-reopen replay asserted before timing",
+        "target": {
+            "path": "wal_on",
+            "min_rows_per_sec": TARGET_ROWS_PER_SEC,
+        },
+        "paths": [
+            entry for entry in (off, on, concurrent) if entry is not None
+        ],
+    }
+    if off is not None:
+        record["wal_overhead_ratio"] = (
+            off["rows_per_sec"] / on["rows_per_sec"]
+        )
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    assert on["rows_per_sec"] >= TARGET_ROWS_PER_SEC

@@ -7,33 +7,27 @@ CLI starts), a producer creates a windowed monitor with declarative
 alert rules, and then replays the synthetic Adult census stream with a
 mid-stream drift injected — after row 16,000, Black women stop
 receiving the favourable outcome, as after a discriminatory upstream
-policy change. Batches are POSTed as JSON; the loop stops the moment
-the service reports an alert, then prints the monitor's report,
-epsilon trend, and alert history straight from the API.
+policy change. Batches flow through :class:`MonitorClient` — the same
+retrying client a production producer would use, which transparently
+backs off on queue-full (429) and WAL-degraded (503) rejections; the
+loop stops the moment the service reports an alert, then prints the
+monitor's report, epsilon trend, and alert history straight from the
+API.
 
 Run:  PYTHONPATH=src python examples/monitor_service.py
 """
 
-import json
 import tempfile
-import urllib.request
 from pathlib import Path
 
 from repro.data.synthetic_adult import OUTCOME, PROTECTED, SyntheticAdult
+from repro.monitor.client import MonitorClient
 from repro.monitor.registry import MonitorRegistry
 from repro.monitor.service import MonitorService
 
 WINDOW = 5_000
 BATCH = 1_000
 DRIFT_AT = 16_000  # row index where the policy change lands
-
-
-def call(url, payload=None):
-    request = urllib.request.Request(
-        url, data=None if payload is None else json.dumps(payload).encode()
-    )
-    with urllib.request.urlopen(request) as response:
-        return json.loads(response.read())
 
 
 # The drifting stream (same construction as examples/streaming_audit.py).
@@ -51,14 +45,14 @@ for index, (gender, race, nationality, income) in enumerate(rows):
 # service resumes from the shutdown checkpoints.
 data_dir = Path(tempfile.mkdtemp(prefix="repro-monitor-")) / "data"
 service = MonitorService(MonitorRegistry.open(data_dir)).start()
+client = MonitorClient(service.url)
 print(f"monitoring service listening on {service.url} (data dir {data_dir})\n")
 
 # One windowed monitor; the rules are plain JSON, exactly what a
 # deployment config or a curl call would carry. The divergence rule is
 # the drift detector: it compares the sliding window against the whole
 # stream's history.
-call(
-    service.url + "/monitors",
+client.create(
     {
         "name": "adult-income",
         "protected": list(PROTECTED),
@@ -82,10 +76,7 @@ call(
 print(f"{'rows':>8}  {'window eps':>10}  {'cumulative':>10}  alerts")
 fired = None
 for start in range(0, len(drifted), BATCH):
-    result = call(
-        service.url + "/monitors/adult-income/observe",
-        {"rows": drifted[start : start + BATCH]},
-    )
+    result = client.observe("adult-income", drifted[start : start + BATCH])
     tags = ", ".join(
         f"{alert['severity']}:{alert['rule']}" for alert in result["alerts"]
     )
@@ -100,7 +91,7 @@ for start in range(0, len(drifted), BATCH):
 assert fired is not None, "the injected drift must trigger an alert"
 print(f"\nalert fired: {fired[0]['message']}\n")
 
-report = call(service.url + "/monitors/adult-income/report")
+report = client.report("adult-income")
 trend = report["trend"]
 print(
     f"report: epsilon={report['epsilon']:.4f} over the last "
@@ -111,8 +102,8 @@ print(
     f"{trend['n_batches']} batches (drift {trend['drift']:+.4f})"
 )
 
-alerts = call(service.url + "/monitors/adult-income/alerts")
-print(f"alert records in the durable history: {len(alerts['records'])}")
+alerts = client.alerts("adult-income")
+print(f"alert records in the durable history: {len(alerts)}")
 
 checkpointed = service.shutdown()
 print(f"\ngraceful shutdown checkpointed {checkpointed} monitor(s).")

@@ -122,6 +122,7 @@ class StreamingAuditor:
         self._window = None if window is None else int(window)
         self._rows: deque[tuple[Any, ...]] = deque()
         self._rows_seen = 0
+        self._applied_seq = 0
         # Incremental epsilon state: probabilities/sizes aligned with the
         # accumulator's internal group order, valid for _cache_version.
         self._probabilities: np.ndarray | None = None
@@ -148,17 +149,45 @@ class StreamingAuditor:
         """Total rows ever observed, including evicted ones."""
         return self._rows_seen
 
+    @property
+    def applied_seq(self) -> int:
+        """Apply-sequence number of the newest batch folded into the counts.
+
+        The idempotence cursor for write-ahead-log replay: a checkpoint
+        persists this number, and on restart only WAL records with a
+        higher sequence are re-applied — so a batch that made it into
+        the checkpoint is never double-counted, and one that did not is
+        never skipped.
+        """
+        return self._applied_seq
+
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def observe(self, rows: Iterable[Sequence[Any]]) -> float:
+    def observe(
+        self, rows: Iterable[Sequence[Any]], *, seq: int | None = None
+    ) -> float:
         """Ingest rows ``(*protected values, outcome value)``; return the
-        point epsilon of the updated window."""
+        point epsilon of the updated window.
+
+        ``seq`` is the batch's apply-sequence number for idempotent
+        replay: a batch at or below :attr:`applied_seq` has already been
+        folded into the counts (it is inside the restored checkpoint)
+        and is skipped. Without ``seq`` the cursor simply advances by
+        one per non-empty batch.
+        """
+        if seq is not None and int(seq) <= self._applied_seq:
+            return self.epsilon()
         rows = [tuple(row) for row in rows]
         if rows:
             self._accumulator.update(rows)
             self._rows_seen += len(rows)
             self._evict(rows)
+            self._applied_seq = (
+                self._applied_seq + 1 if seq is None else int(seq)
+            )
+        elif seq is not None:
+            self._applied_seq = int(seq)
         return self.epsilon()
 
     def observe_table(self, table: Table) -> float:
@@ -172,7 +201,9 @@ class StreamingAuditor:
             self._accumulator.update_table(
                 table.select([*self._auditor.protected, self._auditor.outcome])
             )
-            self._rows_seen += table.n_rows
+            if table.n_rows:
+                self._rows_seen += table.n_rows
+                self._applied_seq += 1
             return self.epsilon()
         names = [*self._auditor.protected, self._auditor.outcome]
         rows = list(zip(*(table.column(name).to_list() for name in names)))
@@ -271,7 +302,9 @@ class StreamingAuditor:
         """Fold a shard/chunk accumulator into the live counts (cumulative)."""
         if self._window is None:
             self._accumulator = self._accumulator.merge(counts)
-            self._rows_seen += counts.n_rows
+            if counts.n_rows:
+                self._rows_seen += counts.n_rows
+                self._applied_seq += 1
             self._probabilities = None
             self._sizes = None
             self._cache_version = -1
@@ -413,6 +446,7 @@ class StreamingAuditor:
             "window": self._window,
             "window_rows": list(self._rows),
             "rows_seen": self._rows_seen,
+            "applied_seq": self._applied_seq,
         }
 
     def restore(self, state: dict[str, Any]) -> "StreamingAuditor":
@@ -460,6 +494,11 @@ class StreamingAuditor:
         self._accumulator = accumulator
         self._rows = deque(tuple(row) for row in state["window_rows"])
         self._rows_seen = int(state["rows_seen"])
+        # applied_seq joined the state format without a schema-version
+        # bump: checkpoints written before it default to 0. Those
+        # checkpoints predate the write-ahead log, so there is no WAL
+        # suffix for the cursor to gate.
+        self._applied_seq = int(state.get("applied_seq", 0))
         self._probabilities = None
         self._sizes = None
         self._cache_version = -1

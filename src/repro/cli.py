@@ -44,6 +44,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.exceptions import ReproError
 
@@ -77,6 +78,29 @@ Monitoring service:
   inspect          monitor-status --data-dir ./monitoring [--markdown]
                    (offline: resumes each monitor from its newest valid
                    checkpoint generation and joins in the alert history)
+  wal              wal-inspect --data-dir ./monitoring [--json]
+                   (read-only: per-monitor write-ahead-log segments,
+                   sequence numbers, and torn-tail bytes)
+
+Durability contract (the WAL ack rule):
+  Every observe batch is fsynced to the monitor's write-ahead log under
+  wal/<name>/ BEFORE it is applied; a 200 response means the batch is on
+  disk and will survive any crash. 429 (queue full) and 503 (WAL
+  degraded) mean the batch was NOT accepted and is safe to retry; both
+  carry Retry-After. On restart the service replays exactly the WAL
+  suffix past each monitor's newest valid checkpoint, so no
+  acknowledged batch is lost and none is double-counted.
+
+Crash-recovery runbook:
+  1. repro wal-inspect --data-dir DIR       # what would be replayed?
+     (torn_bytes > 0 on the newest segment is normal after a kill; it
+     is the unacknowledged tail and is truncated on the next open)
+  2. repro monitor-serve --data-dir DIR     # replays the WAL, serves
+  3. GET /healthz                           # wal_replay_lag == 0 and
+     last_checkpoint_age small => durably caught up
+  A monitor whose shutdown checkpoint failed is logged to stderr and
+  the process exits nonzero; its WAL still holds every acked batch, so
+  the next start recovers it by replay.
 """
 
 
@@ -248,9 +272,44 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0 = only on graceful shutdown)",
     )
     serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=0,
+        help="max in-flight observe requests per monitor before the "
+        "service answers 429 + Retry-After (default 0 = unbounded)",
+    )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        help="write-ahead-log directory (default <data-dir>/wal); every "
+        "observe batch is fsynced here before it is applied",
+    )
+    serve.add_argument(
+        "--no-wal",
+        action="store_true",
+        help="disable the write-ahead log (acked batches newer than the "
+        "last checkpoint are lost on a crash)",
+    )
+    serve.add_argument(
         "--verbose",
         action="store_true",
         help="log every HTTP request to stderr",
+    )
+
+    wal = commands.add_parser(
+        "wal-inspect",
+        help="read-only report over a service's write-ahead logs",
+    )
+    wal.add_argument(
+        "--data-dir",
+        required=True,
+        help="the monitoring service's data directory (or a WAL "
+        "directory holding wal-NNNNNNNN.seg segments directly)",
+    )
+    wal.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable summary instead of plain text",
     )
 
     status = commands.add_parser(
@@ -468,14 +527,21 @@ def _run_monitor_serve(args: argparse.Namespace, out) -> int:
     if args.checkpoint_every < 0:
         print("error: --checkpoint-every must be >= 0", file=sys.stderr)
         return 2
+    if args.queue_depth < 0:
+        print("error: --queue-depth must be >= 0", file=sys.stderr)
+        return 2
     registry = MonitorRegistry.open(
-        args.data_dir, checkpoint_keep=args.checkpoint_keep
+        args.data_dir,
+        checkpoint_keep=args.checkpoint_keep,
+        wal_enabled=not args.no_wal,
+        wal_dir=args.wal_dir,
     )
     service = MonitorService(
         registry,
         host=args.host,
         port=args.port,
         checkpoint_every=args.checkpoint_every,
+        queue_depth=args.queue_depth,
         verbose=args.verbose,
     )
     resumed = registry.names()
@@ -509,6 +575,73 @@ def _run_monitor_serve(args: argparse.Namespace, out) -> int:
     finally:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
+    if service.checkpoint_failures:
+        # The failed monitors were logged to stderr by shutdown(); their
+        # state is still recoverable from the WAL on the next start, but
+        # the exit code must reflect that the final checkpoint was not
+        # clean.
+        print(
+            "error: shutdown checkpoint failed for "
+            f"{len(service.checkpoint_failures)} monitor(s): "
+            f"{', '.join(sorted(service.checkpoint_failures))}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_wal_inspect(args: argparse.Namespace, out) -> int:
+    import json as _json
+
+    from repro.exceptions import StoreError
+    from repro.monitor.registry import WAL_DIR
+    from repro.monitor.wal import inspect_wal
+
+    data_dir = Path(args.data_dir)
+    if not data_dir.is_dir():
+        print(f"error: no such directory: {data_dir}", file=sys.stderr)
+        return 2
+    # Accept either a service data dir (WAL dirs live under wal/<name>),
+    # a wal/ parent, or a single monitor's WAL dir given directly.
+    if list(data_dir.glob("wal-*.seg")):
+        wal_dirs = {data_dir.name: data_dir}
+    else:
+        wal_root = data_dir / WAL_DIR if (data_dir / WAL_DIR).is_dir() else data_dir
+        wal_dirs = {
+            child.name: child
+            for child in sorted(wal_root.iterdir())
+            if child.is_dir() and list(child.glob("wal-*.seg"))
+        }
+    reports = {}
+    for name, wal_dir in sorted(wal_dirs.items()):
+        try:
+            reports[name] = inspect_wal(wal_dir)
+        except StoreError as error:
+            print(f"error: {name}: {error}", file=sys.stderr)
+            return 1
+    if args.json:
+        out.write(_json.dumps(reports, indent=2, sort_keys=True))
+        out.write("\n")
+        return 0
+    if not reports:
+        out.write(f"wal-inspect: no WAL segments under {data_dir}\n")
+        return 0
+    for name, report in reports.items():
+        out.write(
+            f"{name}: {report['records']} record(s), {report['rows']} row(s), "
+            f"seq {report['first_seq']}..{report['last_seq']}\n"
+        )
+        for segment in report["segments"]:
+            torn = (
+                f", torn tail {segment['torn_bytes']} byte(s)"
+                if segment["torn_bytes"]
+                else ""
+            )
+            out.write(
+                f"  {segment['segment']}: {segment['records']} record(s), "
+                f"{segment['bytes']} byte(s), seq "
+                f"{segment['first_seq']}..{segment['last_seq']}{torn}\n"
+            )
     return 0
 
 
@@ -568,6 +701,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _run_monitor_serve(args, out)
         if args.command == "monitor-status":
             return _run_monitor_status(args, out)
+        if args.command == "wal-inspect":
+            return _run_wal_inspect(args, out)
         if args.command == "worked-example":
             return _run_worked_example(out)
         if args.command == "simpsons":

@@ -270,7 +270,10 @@ def save_auditor_state(
 
     ``progress`` carries ingestion bookkeeping (chunks ingested, source
     columns) that belongs to the *stream* rather than the auditor; it
-    round-trips through :func:`load_auditor_state` untouched.
+    round-trips through :func:`load_auditor_state` untouched. The
+    header also persists ``applied_seq`` — the auditor's write-ahead-log
+    apply cursor — so a restart replays exactly the WAL suffix past this
+    checkpoint (files from before the cursor existed load as 0).
     """
     accumulator = state["accumulator"]
     for row in state["window_rows"]:
@@ -281,6 +284,7 @@ def save_auditor_state(
         "window": state["window"],
         "window_rows": [list(row) for row in state["window_rows"]],
         "rows_seen": int(state["rows_seen"]),
+        "applied_seq": int(state.get("applied_seq", 0)),
         "protected": list(state["protected"]),
         "outcome": state["outcome"],
         "progress": dict(progress or {}),
@@ -306,6 +310,7 @@ def load_auditor_state(
             "window": header["window"],
             "window_rows": [tuple(row) for row in header["window_rows"]],
             "rows_seen": header["rows_seen"],
+            "applied_seq": int(header.get("applied_seq", 0)),
             "protected": list(header["protected"]),
             "outcome": header["outcome"],
         }

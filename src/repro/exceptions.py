@@ -50,6 +50,35 @@ class StoreError(MonitorError):
     """
 
 
+class WalError(MonitorError):
+    """The write-ahead ingestion log cannot accept an append durably.
+
+    Raised when a WAL append or fsync fails (disk error, simulated
+    fault) or when the log is degraded and admission control rejects the
+    batch. The batch was **not** acknowledged: callers may retry safely
+    once the disk recovers. Carries ``retry_after`` (seconds) as a
+    client backoff hint.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class MonitorClientError(MonitorError):
+    """An HTTP call through :class:`repro.monitor.client.MonitorClient`
+    failed (non-2xx response, or retries were exhausted).
+
+    Carries the HTTP ``status`` (0 for transport-level failures) and the
+    decoded error ``body`` when one was returned.
+    """
+
+    def __init__(self, message: str, *, status: int = 0, body=None):
+        super().__init__(message)
+        self.status = int(status)
+        self.body = body
+
+
 class EmptyGroupError(ReproError):
     """A fairness computation required a group that has no probability mass.
 

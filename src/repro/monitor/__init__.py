@@ -16,9 +16,17 @@ reproduction. It layers on the streaming/engine stack (PRs 3-4):
   divergence;
 * :mod:`repro.monitor.service` — the stdlib-only concurrent HTTP
   ingestion API (``repro monitor-serve``) and the offline
-  ``repro monitor-status`` report.
+  ``repro monitor-status`` report;
+* :mod:`repro.monitor.wal` — the per-monitor write-ahead log that
+  makes every acked ``observe`` batch crash-durable (fsync-before-ack,
+  group commit, replay-on-restart past the newest checkpoint);
+* :mod:`repro.monitor.client` / :mod:`repro.monitor.backoff` — the
+  retrying HTTP client and the decorrelated-jitter backoff policy it
+  uses to honour 429/503 backpressure.
 """
 
+from repro.monitor.backoff import decorrelated_jitter, retry_call
+from repro.monitor.client import RETRYABLE_STATUSES, MonitorClient
 from repro.monitor.registry import (
     BatchResult,
     Monitor,
@@ -38,6 +46,7 @@ from repro.monitor.rules import (
 )
 from repro.monitor.service import MonitorService, render_status, status_snapshot
 from repro.monitor.store import AuditHistoryStore, TrendSummary
+from repro.monitor.wal import FileSystem, WriteAheadLog, inspect_wal
 
 __all__ = [
     "AlertEvent",
@@ -46,15 +55,22 @@ __all__ = [
     "BatchResult",
     "DivergenceRule",
     "EpsilonThresholdRule",
+    "FileSystem",
     "Monitor",
+    "MonitorClient",
     "MonitorConfig",
     "MonitorRegistry",
     "MonitorReport",
     "MonitorService",
     "PosteriorCredibleRule",
+    "RETRYABLE_STATUSES",
     "RuleContext",
     "TrendSummary",
+    "WriteAheadLog",
+    "decorrelated_jitter",
+    "inspect_wal",
     "render_status",
+    "retry_call",
     "rule_from_dict",
     "rules_from_dicts",
     "status_snapshot",

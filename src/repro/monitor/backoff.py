@@ -1,0 +1,88 @@
+"""Retry with decorrelated-jitter backoff for monitor clients.
+
+When the monitoring service sheds load (``429`` queue-full, ``503``
+WAL-degraded), every client retrying on a fixed schedule re-arrives in
+lockstep and re-saturates the queue — the thundering herd. The
+decorrelated-jitter scheme avoids that: each delay is drawn uniformly
+from ``[base, previous * 3]`` and capped, so retries spread out and the
+*expected* delay still grows geometrically under sustained rejection.
+
+Both the delay generator and :func:`retry_call` take injectable ``rng``
+and ``sleep`` hooks so tests are deterministic and never actually wait.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable, Iterator
+from typing import Any, TypeVar
+
+from repro.exceptions import ValidationError
+
+__all__ = ["decorrelated_jitter", "retry_call"]
+
+_T = TypeVar("_T")
+
+
+def decorrelated_jitter(
+    *,
+    base: float = 0.05,
+    cap: float = 5.0,
+    rng: random.Random | None = None,
+) -> Iterator[float]:
+    """Infinite stream of backoff delays, decorrelated-jitter style.
+
+    Each delay is ``min(cap, uniform(base, previous * 3))`` with the
+    first draw's "previous" equal to ``base`` — the scheme from the AWS
+    architecture blog, which outperforms plain exponential backoff under
+    contention because successive clients' delays are uncorrelated.
+    """
+    if base <= 0:
+        raise ValidationError(f"base delay must be > 0, got {base}")
+    if cap < base:
+        raise ValidationError(f"cap ({cap}) must be >= base ({base})")
+    draw = (rng if rng is not None else random).uniform
+    delay = float(base)
+    while True:
+        delay = min(float(cap), draw(base, delay * 3.0))
+        yield delay
+
+
+def retry_call(
+    call: Callable[[], _T],
+    *,
+    retries: int = 4,
+    should_retry: Callable[[BaseException], float | bool | None],
+    base: float = 0.05,
+    cap: float = 5.0,
+    rng: random.Random | None = None,
+    sleep: Callable[[float], Any] = time.sleep,
+) -> _T:
+    """Call ``call``, retrying failures ``should_retry`` approves.
+
+    ``should_retry`` inspects the raised exception and returns a truthy
+    value to retry or a falsy one to re-raise immediately. Returning a
+    positive float overrides the jittered delay for that attempt — how
+    the HTTP client honours a server-provided ``Retry-After``. After
+    ``retries`` retries (so ``retries + 1`` attempts) the final
+    exception propagates unchanged.
+    """
+    if retries < 0:
+        raise ValidationError(f"retries must be >= 0, got {retries}")
+    delays = decorrelated_jitter(base=base, cap=cap, rng=rng)
+    for attempt in range(retries + 1):
+        try:
+            return call()
+        except Exception as error:
+            verdict = should_retry(error)
+            if not verdict or attempt == retries:
+                raise
+            jittered = next(delays)
+            if isinstance(verdict, (int, float)) and not isinstance(
+                verdict, bool
+            ):
+                sleep(max(float(verdict), 0.0))
+            else:
+                sleep(jittered)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,231 @@
+"""A retrying HTTP client for the monitoring service.
+
+The CLI, examples, and tests all used to hand-roll ``urllib`` calls
+against the service; none of them handled the backpressure statuses the
+service now emits (``429`` queue-full, ``503`` WAL-degraded), so a
+loaded fleet turned into client-side stack traces. :class:`MonitorClient`
+centralises that: stdlib-only ``urllib`` transport, JSON in/out, and
+automatic retries on exactly the statuses that *mean* retry — honouring
+the server's ``Retry-After`` when it sends one, decorrelated-jitter
+backoff (:mod:`repro.monitor.backoff`) when it does not.
+
+Anything else non-2xx raises :class:`repro.exceptions.MonitorClientError`
+carrying the HTTP status and the decoded ``{"error": ...}`` body, so
+callers branch on ``error.status`` instead of parsing messages.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Callable
+from typing import Any
+from urllib.parse import urlencode
+
+from repro.exceptions import MonitorClientError, ValidationError
+from repro.monitor.backoff import retry_call
+
+__all__ = ["MonitorClient", "RETRYABLE_STATUSES"]
+
+# Statuses that mean "the service is shedding load; the request was NOT
+# applied" — safe to retry verbatim.
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+class MonitorClient:
+    """Talk to a running :class:`repro.monitor.service.MonitorService`.
+
+    Parameters
+    ----------
+    base_url:
+        The service root, e.g. ``http://127.0.0.1:8321``.
+    timeout:
+        Per-request socket timeout in seconds.
+    retries:
+        How many times a ``429``/``503`` is retried before the final
+        :class:`~repro.exceptions.MonitorClientError` propagates. ``0``
+        disables retrying.
+    backoff_base / backoff_cap:
+        Decorrelated-jitter delay bounds used when the server did not
+        provide a ``Retry-After`` hint.
+    rng / sleep / opener:
+        Injection points for tests: the jitter source, the delay
+        function, and the transport (a ``urllib.request.urlopen``
+        substitute).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 10.0,
+        retries: int = 4,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], Any] = time.sleep,
+        opener: Callable[..., Any] = urllib.request.urlopen,
+    ):
+        if timeout <= 0:
+            raise ValidationError(f"timeout must be > 0 seconds, got {timeout}")
+        if retries < 0:
+            raise ValidationError(f"retries must be >= 0, got {retries}")
+        self.base_url = base_url.rstrip("/")
+        self._timeout = float(timeout)
+        self._retries = int(retries)
+        self._backoff_base = float(backoff_base)
+        self._backoff_cap = float(backoff_cap)
+        self._rng = rng
+        self._sleep = sleep
+        self._opener = opener
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: dict[str, Any] | None = None,
+        query: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """One JSON round trip with retry-on-backpressure semantics."""
+        url = f"{self.base_url}{path}"
+        if query:
+            url += "?" + urlencode(
+                {key: value for key, value in query.items() if value is not None}
+            )
+        payload = (
+            None if body is None else json.dumps(body).encode("utf-8")
+        )
+        return retry_call(
+            lambda: self._once(method, url, payload),
+            retries=self._retries,
+            should_retry=self._should_retry,
+            base=self._backoff_base,
+            cap=self._backoff_cap,
+            rng=self._rng,
+            sleep=self._sleep,
+        )
+
+    def _once(self, method: str, url: str, payload: bytes | None):
+        request = urllib.request.Request(
+            url,
+            data=payload,
+            method=method,
+            headers=(
+                {"Content-Type": "application/json"} if payload else {}
+            ),
+        )
+        try:
+            with self._opener(request, timeout=self._timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            message = (
+                decoded.get("error", error.reason)
+                if isinstance(decoded, dict)
+                else error.reason
+            )
+            client_error = MonitorClientError(
+                f"{method} {url} failed with HTTP {error.code}: {message}",
+                status=error.code,
+                body=decoded,
+            )
+            retry_after = error.headers.get("Retry-After")
+            if retry_after is not None:
+                try:
+                    client_error.retry_after = float(retry_after)
+                except ValueError:
+                    pass
+            raise client_error from None
+        except urllib.error.URLError as error:
+            raise MonitorClientError(
+                f"{method} {url} failed: {error.reason}", status=0
+            ) from None
+
+    @staticmethod
+    def _should_retry(error: BaseException) -> float | bool:
+        if (
+            not isinstance(error, MonitorClientError)
+            or error.status not in RETRYABLE_STATUSES
+        ):
+            return False
+        # Prefer the server's hint: the Retry-After header, else the
+        # machine-readable retry_after field in the degraded body.
+        hint = getattr(error, "retry_after", None)
+        if hint is None and isinstance(error.body, dict):
+            hint = error.body.get("retry_after")
+        try:
+            return float(hint) if hint is not None else True
+        except (TypeError, ValueError):
+            return True
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def monitors(self) -> list[str]:
+        return self.request("GET", "/monitors")["monitors"]
+
+    def create(self, config: dict[str, Any]) -> dict[str, Any]:
+        """Create a monitor from a config dict (see ``MonitorConfig``)."""
+        return self.request("POST", "/monitors", body=config)
+
+    def delete(self, name: str) -> dict[str, Any]:
+        return self.request("DELETE", f"/monitors/{name}")
+
+    def observe(
+        self, name: str, rows: list[list[Any]]
+    ) -> dict[str, Any]:
+        """Ingest one batch; retries queue-full/degraded rejections.
+
+        Retrying is safe by the service's durability contract: a 429 or
+        503 means the batch was *not* written to the WAL and *not*
+        applied, so re-sending cannot double-count.
+        """
+        return self.request(
+            "POST", f"/monitors/{name}/observe", body={"rows": rows}
+        )
+
+    def report(self, name: str) -> dict[str, Any]:
+        return self.request("GET", f"/monitors/{name}/report")
+
+    def history(
+        self,
+        name: str,
+        *,
+        since: int = 0,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        return self.request(
+            "GET",
+            f"/monitors/{name}/history",
+            query={"since": since, "limit": limit},
+        )["records"]
+
+    def alerts(
+        self,
+        name: str,
+        *,
+        since: int = 0,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        return self.request(
+            "GET",
+            f"/monitors/{name}/alerts",
+            query={"since": since, "limit": limit},
+        )["records"]
+
+    def __repr__(self) -> str:
+        return f"MonitorClient({self.base_url!r})"

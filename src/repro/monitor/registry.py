@@ -29,6 +29,16 @@ each monitor's configuration in ``monitors.json`` and writes rotated
 (:func:`repro.engine.checkpoint.rotate_checkpoint`), so a restarted
 service resumes every monitor from its newest *valid* checkpoint — a
 torn final write falls back to the previous generation.
+
+Each durable monitor additionally owns a per-monitor
+:class:`repro.monitor.wal.WriteAheadLog` under ``wal/<name>/``: every
+batch is fsynced to the WAL *before* it is applied, and the checkpoint
+header records the auditor's apply-sequence cursor, so
+:meth:`MonitorRegistry.open` replays exactly the WAL suffix past the
+newest valid checkpoint. The contract this buys: **an acknowledged
+observe is never lost, and no batch is ever double-counted**, no matter
+where between WAL append, apply, history append, and checkpoint the
+process is killed.
 """
 
 from __future__ import annotations
@@ -55,7 +65,13 @@ from repro.engine.checkpoint import (
     rotate_checkpoint,
     save_auditor_state,
 )
-from repro.exceptions import CheckpointError, MonitorError, ValidationError
+from repro.exceptions import (
+    CheckpointError,
+    MonitorError,
+    ReproError,
+    ValidationError,
+    WalError,
+)
 from repro.monitor.rules import (
     AlertEvent,
     AlertRule,
@@ -67,6 +83,7 @@ from repro.monitor.store import (
     TrendSummary,
     summarize_epsilon_trend,
 )
+from repro.monitor.wal import FileSystem, WriteAheadLog
 
 __all__ = [
     "BatchResult",
@@ -86,6 +103,7 @@ TREND_TAIL_BATCHES = 512
 
 CHECKPOINT_DIR = "checkpoints"
 HISTORY_DIR = "history"
+WAL_DIR = "wal"
 CONFIG_FILE = "monitors.json"
 
 
@@ -251,11 +269,18 @@ class Monitor:
         self,
         config: MonitorConfig,
         store: AuditHistoryStore | None = None,
+        *,
+        wal: WriteAheadLog | None = None,
+        clock: Callable[[], float] = time.time,
     ):
         self.config = config
         self._store = store
+        self._wal = wal
+        self._clock = clock
         self._lock = threading.RLock()
         self._batches = 0
+        self._last_checkpoint_ts: float | None = None
+        self._checkpointed_seq = 0
         self._epsilon_tail: deque[float] = deque(maxlen=TREND_TAIL_BATCHES)
         self._auditor = self._build_auditor(windowed=True)
         self._shadow = (
@@ -292,22 +317,83 @@ class Monitor:
         with self._lock:
             return self._auditor.rows_seen
 
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The monitor's write-ahead log (``None`` when not durable)."""
+        return self._wal
+
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
     def observe(self, rows: Iterable[Sequence[Any]]) -> BatchResult:
         """Ingest one batch of ``(*protected values, outcome)`` rows.
 
-        Atomic with respect to other threads: the scatter-add, the rule
-        evaluation, and the store appends happen under the monitor's
-        lock, so the recorded history is exactly the sequence of batches
-        applied and every alert belongs to the batch that fired it.
+        Atomic with respect to other threads: the WAL append, the
+        scatter-add, the rule evaluation, and the store appends happen
+        under the monitor's lock, so the recorded history is exactly the
+        sequence of batches applied and every alert belongs to the batch
+        that fired it.
+
+        When the monitor has a write-ahead log, the batch is fsynced to
+        it *before* it is applied — the durability half of the ack
+        contract: a batch this method returns for is recoverable, and a
+        batch it raises :class:`repro.exceptions.WalError` for was never
+        applied and is safe to retry.
         """
         rows = [tuple(row) for row in rows]
         if not rows:
             raise ValidationError("an ingestion batch must contain rows")
+        # Validate the batch shape *before* the WAL append, so a
+        # malformed batch is rejected without ever reaching the durable
+        # log (it would be replayed as a no-op, but why store it).
+        width = len(self.config.protected) + 1
+        for row in rows:
+            if len(row) != width:
+                raise ValidationError(
+                    f"monitor {self.name!r} rows carry "
+                    f"{len(self.config.protected)} protected values plus the "
+                    f"outcome ({width} cells); got a row with {len(row)}"
+                )
         with self._lock:
-            epsilon = self._auditor.observe(rows)
+            seq = None
+            if self._wal is not None:
+                if not self._wal.admit():
+                    raise WalError(
+                        f"monitor {self.name!r} ingestion is degraded "
+                        f"({self._wal.degraded_reason}); retry later"
+                    )
+                seq = self._wal.append(
+                    {"rows": [list(row) for row in rows]}
+                )
+            return self._apply(rows, seq=seq)
+
+    def _apply(
+        self,
+        rows: list[tuple[Any, ...]],
+        *,
+        seq: int | None = None,
+        store_cutoff: int = 0,
+    ) -> BatchResult:
+        """Fold one (already durable) batch into the live state.
+
+        Shared by the hot path and WAL replay. ``store_cutoff`` is the
+        highest ``batch_index`` already present in the history store:
+        replayed batches at or below it skip their store appends, so a
+        crash between apply and history append cannot duplicate records.
+        A batch the auditor rejects (e.g. an unknown pinned level) still
+        advances the apply cursor — the same batch fails identically on
+        replay, so live and replayed state stay bit-identical.
+        """
+        with self._lock:
+            try:
+                epsilon = self._auditor.observe(rows, seq=seq)
+            except ReproError:
+                if seq is not None:
+                    # The batch is durably logged but unappliable; move
+                    # the cursor past it so replay skips it the same way
+                    # (the client got an error, not an ack).
+                    self._auditor.observe([], seq=seq)
+                raise
             cumulative = None
             if self._shadow is not None:
                 cumulative = self._shadow.observe(rows)
@@ -338,7 +424,7 @@ class Monitor:
                 cumulative_epsilon=cumulative,
                 alerts=alerts,
             )
-            if self._store is not None:
+            if self._store is not None and result.batch_index > store_cutoff:
                 self._store.append(
                     {
                         "monitor": self.name,
@@ -360,6 +446,80 @@ class Monitor:
                         }
                     )
             return result
+
+    def replay_wal(self) -> int:
+        """Re-apply the WAL suffix past the restored checkpoint cursor.
+
+        Called by :meth:`MonitorRegistry.open` after :meth:`restore_from`.
+        Idempotence comes from two cursors: the auditor's persisted
+        ``applied_seq`` gates which WAL records are re-applied at all,
+        and the history store's highest recorded ``batch_index`` gates
+        which replayed batches re-append history — so a crash anywhere
+        between WAL append and checkpoint neither loses an acknowledged
+        batch nor double-counts one. Records the auditor rejected live
+        (they were never acknowledged) fail identically here and are
+        skipped. Returns how many batches were re-applied.
+        """
+        if self._wal is None:
+            return 0
+        with self._lock:
+            since = self._auditor.applied_seq
+            store_cutoff = 0
+            if self._store is not None:
+                batch_records = self._store.query(
+                    monitor=self.name, kind="batch"
+                )
+                if batch_records:
+                    store_cutoff = int(batch_records[-1]["batch_index"])
+            replayed = 0
+            for record in self._wal.records(since=since):
+                rows = [tuple(row) for row in record.get("rows", ())]
+                try:
+                    self._apply(
+                        rows,
+                        seq=int(record["seq"]),
+                        store_cutoff=store_cutoff,
+                    )
+                except ReproError:
+                    continue
+                replayed += 1
+            return replayed
+
+    def durability_status(self, *, now: float | None = None) -> dict[str, Any]:
+        """Machine-readable durability health for ``/healthz``.
+
+        ``last_checkpoint_age`` distinguishes "alive" from "durably
+        caught up"; ``wal_replay_lag`` is how many applied batches a
+        restart would have to replay from the WAL (0 means the newest
+        checkpoint covers everything applied).
+        """
+        if now is None:
+            now = float(self._clock())
+        with self._lock:
+            applied_seq = self._auditor.applied_seq
+            status: dict[str, Any] = {
+                "batches": self._batches,
+                "applied_seq": applied_seq,
+                "last_checkpoint_ts": self._last_checkpoint_ts,
+                "last_checkpoint_age": (
+                    None
+                    if self._last_checkpoint_ts is None
+                    else max(float(now) - self._last_checkpoint_ts, 0.0)
+                ),
+            }
+            if self._wal is not None:
+                wal_status = self._wal.status()
+                status.update(
+                    {
+                        "wal_last_seq": wal_status["last_seq"],
+                        "wal_replay_lag": max(
+                            applied_seq - self._checkpointed_seq, 0
+                        ),
+                        "wal_degraded": wal_status["degraded"],
+                        "wal_degraded_reason": wal_status["degraded_reason"],
+                    }
+                )
+            return status
 
     def _count_matrix(self):
         """Live group x outcome counts for posterior rules (lock held)."""
@@ -447,7 +607,12 @@ class Monitor:
         return Path(directory) / f"{self.name}.rcpk"
 
     def checkpoint(self, directory: str | Path, *, keep: int = 2) -> Path:
-        """Write a rotated checkpoint generation under ``directory``."""
+        """Write a rotated checkpoint generation under ``directory``.
+
+        The checkpoint persists the auditor's apply cursor, so once it
+        is durable the WAL prefix it covers is dead weight —
+        :meth:`WriteAheadLog.trim` reclaims those sealed segments here.
+        """
         path = self.checkpoint_path(directory)
         path.parent.mkdir(parents=True, exist_ok=True)
         with self._lock:
@@ -455,13 +620,20 @@ class Monitor:
             shadow_state = (
                 None if self._shadow is None else self._shadow.state_dict()
             )
-            progress: dict[str, Any] = {"batches": self._batches}
+            progress: dict[str, Any] = {
+                "batches": self._batches,
+                "checkpoint_ts": float(self._clock()),
+            }
             if shadow_state is not None:
                 # The shadow is cumulative over the same rows: its counts
                 # are what merge/divergence logic needs after a restart.
                 progress["shadow"] = _jsonable_state(shadow_state)
             rotate_checkpoint(path, keep=keep)
             save_auditor_state(path, state, progress=progress)
+            self._last_checkpoint_ts = progress["checkpoint_ts"]
+            self._checkpointed_seq = int(state["applied_seq"])
+            if self._wal is not None:
+                self._wal.trim(self._checkpointed_seq)
         return path
 
     def restore_from(self, directory: str | Path, *, keep: int = 2) -> bool:
@@ -478,6 +650,11 @@ class Monitor:
         with self._lock:
             self._auditor.restore(state)
             self._batches = int(progress.get("batches", 0))
+            self._checkpointed_seq = self._auditor.applied_seq
+            checkpoint_ts = progress.get("checkpoint_ts")
+            self._last_checkpoint_ts = (
+                None if checkpoint_ts is None else float(checkpoint_ts)
+            )
             if self._shadow is not None:
                 shadow_state = progress.get("shadow")
                 if shadow_state is None:
@@ -529,11 +706,24 @@ class MonitorRegistry:
         directory: str | Path | None = None,
         checkpoint_keep: int = 2,
         clock: Callable[[], float] = time.time,
+        wal_enabled: bool = True,
+        wal_dir: str | Path | None = None,
+        wal_fsync: bool = True,
+        wal_segment_bytes: int = 16 * 1024 * 1024,
+        wal_filesystem: FileSystem | None = None,
     ):
         self._lock = threading.Lock()
         self._monitors: dict[str, Monitor] = {}
         self._directory = None if directory is None else Path(directory)
         self._checkpoint_keep = int(checkpoint_keep)
+        self._clock = clock
+        # The WAL only exists for durable registries: without a
+        # directory there is nothing to replay into after a restart.
+        self._wal_enabled = bool(wal_enabled) and self._directory is not None
+        self._wal_dir_override = None if wal_dir is None else Path(wal_dir)
+        self._wal_fsync = bool(wal_fsync)
+        self._wal_segment_bytes = int(wal_segment_bytes)
+        self._wal_filesystem = wal_filesystem
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
             if store is None:
@@ -550,16 +740,30 @@ class MonitorRegistry:
         *,
         checkpoint_keep: int = 2,
         clock: Callable[[], float] = time.time,
+        wal_enabled: bool = True,
+        wal_dir: str | Path | None = None,
+        wal_fsync: bool = True,
+        wal_segment_bytes: int = 16 * 1024 * 1024,
+        wal_filesystem: FileSystem | None = None,
     ) -> "MonitorRegistry":
         """Open (or initialise) a durable registry directory.
 
-        Re-creates every monitor recorded in ``monitors.json`` and
-        resumes each from its newest valid checkpoint generation, so a
-        restarted service carries on where the previous process — even
-        one that died mid-checkpoint — left off.
+        Re-creates every monitor recorded in ``monitors.json``, resumes
+        each from its newest valid checkpoint generation, and replays
+        each monitor's WAL suffix past the checkpoint's apply cursor —
+        so a restarted service carries on where the previous process
+        left off with every acknowledged batch intact, even when that
+        process died between WAL append, apply, and checkpoint.
         """
         registry = cls(
-            directory=directory, checkpoint_keep=checkpoint_keep, clock=clock
+            directory=directory,
+            checkpoint_keep=checkpoint_keep,
+            clock=clock,
+            wal_enabled=wal_enabled,
+            wal_dir=wal_dir,
+            wal_fsync=wal_fsync,
+            wal_segment_bytes=wal_segment_bytes,
+            wal_filesystem=wal_filesystem,
         )
         config_path = registry._config_path()
         if config_path is not None and config_path.exists():
@@ -571,10 +775,16 @@ class MonitorRegistry:
                 ) from None
             for spec in specs:
                 config = MonitorConfig.from_dict(spec)
-                monitor = Monitor(config, registry.store)
+                monitor = Monitor(
+                    config,
+                    registry.store,
+                    wal=registry._make_wal(config.name),
+                    clock=clock,
+                )
                 monitor.restore_from(
                     registry._checkpoint_dir(), keep=checkpoint_keep
                 )
+                monitor.replay_wal()
                 registry._monitors[config.name] = monitor
         return registry
 
@@ -584,6 +794,22 @@ class MonitorRegistry:
     def _checkpoint_dir(self) -> Path | None:
         return (
             None if self._directory is None else self._directory / CHECKPOINT_DIR
+        )
+
+    def _wal_dir(self) -> Path | None:
+        if self._wal_dir_override is not None:
+            return self._wal_dir_override
+        return None if self._directory is None else self._directory / WAL_DIR
+
+    def _make_wal(self, name: str) -> WriteAheadLog | None:
+        if not self._wal_enabled:
+            return None
+        return WriteAheadLog(
+            self._wal_dir() / name,
+            segment_bytes=self._wal_segment_bytes,
+            fsync=self._wal_fsync,
+            clock=self._clock,
+            filesystem=self._wal_filesystem,
         )
 
     def _persist_configs_locked(self) -> None:
@@ -646,10 +872,15 @@ class MonitorRegistry:
 
     def create_from_config(self, config: MonitorConfig) -> Monitor:
         """Register a monitor from a pre-built config (the HTTP surface)."""
-        monitor = Monitor(config, self.store)
         with self._lock:
             if config.name in self._monitors:
                 raise MonitorError(f"monitor {config.name!r} already exists")
+            monitor = Monitor(
+                config,
+                self.store,
+                wal=self._make_wal(config.name),
+                clock=self._clock,
+            )
             self._monitors[config.name] = monitor
             self._persist_configs_locked()
         return monitor
@@ -674,7 +905,7 @@ class MonitorRegistry:
             return name in self._monitors
 
     def delete(self, name: str) -> None:
-        """Unregister a monitor and drop its checkpoint generations.
+        """Unregister a monitor; drop its checkpoints and its WAL.
 
         History records stay: the store is append-only, and a deleted
         monitor's trace is still auditable evidence.
@@ -690,6 +921,15 @@ class MonitorRegistry:
                 monitor.checkpoint_path(checkpoint_dir)
             ):
                 generation.unlink(missing_ok=True)
+        if monitor.wal is not None:
+            monitor.wal.close()
+            wal_directory = monitor.wal.directory
+            for segment in wal_directory.glob("wal-*.seg"):
+                segment.unlink(missing_ok=True)
+            try:
+                wal_directory.rmdir()
+            except OSError:
+                pass  # foreign files; leave the directory for inspection
 
     # ------------------------------------------------------------------
     # Ingestion + durability
@@ -726,8 +966,18 @@ class MonitorRegistry:
             checkpoint_dir, keep=self._checkpoint_keep
         )
 
-    def checkpoint_all(self) -> list[Path]:
-        """Checkpoint every monitor (graceful-shutdown path)."""
+    def checkpoint_all(
+        self,
+        on_error: Callable[[str, Exception], None] | None = None,
+    ) -> list[Path]:
+        """Checkpoint every monitor (graceful-shutdown path).
+
+        With ``on_error`` set, a monitor whose checkpoint fails is
+        reported through the callback and the remaining monitors still
+        checkpoint — one broken monitor must not cost the others their
+        durability. Without it the first failure propagates (the strict
+        historical behaviour).
+        """
         checkpoint_dir = self._checkpoint_dir()
         if checkpoint_dir is None:
             raise MonitorError(
@@ -736,10 +986,37 @@ class MonitorRegistry:
             )
         with self._lock:
             monitors = list(self._monitors.values())
-        return [
-            monitor.checkpoint(checkpoint_dir, keep=self._checkpoint_keep)
+        written: list[Path] = []
+        for monitor in monitors:
+            try:
+                written.append(
+                    monitor.checkpoint(
+                        checkpoint_dir, keep=self._checkpoint_keep
+                    )
+                )
+            except Exception as error:
+                if on_error is None:
+                    raise
+                on_error(monitor.name, error)
+        return written
+
+    def durability_status(self) -> dict[str, dict[str, Any]]:
+        """Per-monitor durability health, keyed by name (``/healthz``)."""
+        with self._lock:
+            monitors = list(self._monitors.values())
+        now = float(self._clock())
+        return {
+            monitor.name: monitor.durability_status(now=now)
             for monitor in monitors
-        ]
+        }
+
+    def close(self) -> None:
+        """Release per-monitor WAL file handles (tests and restarts)."""
+        with self._lock:
+            monitors = list(self._monitors.values())
+        for monitor in monitors:
+            if monitor.wal is not None:
+                monitor.wal.close()
 
     def __repr__(self) -> str:
         return f"MonitorRegistry({self.names()!r})"

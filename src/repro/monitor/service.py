@@ -41,14 +41,21 @@ from __future__ import annotations
 
 import json
 import re
+import sys
 import threading
+import traceback
 from datetime import datetime, timezone
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
-from repro.exceptions import MonitorError, ReproError, ValidationError
+from repro.exceptions import (
+    MonitorError,
+    ReproError,
+    ValidationError,
+    WalError,
+)
 from repro.monitor.registry import MonitorConfig, MonitorRegistry
 from repro.monitor.store import sanitize_floats
 
@@ -56,16 +63,32 @@ __all__ = ["MonitorService", "render_status", "status_snapshot"]
 
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
+# The Retry-After hint sent with queue-full (429) rejections. Clients
+# using MonitorClient jitter around it, so rejected callers do not
+# re-arrive in lockstep.
+QUEUE_RETRY_AFTER = 0.5
+
 _MONITOR_ROUTE = re.compile(
     r"^/monitors/(?P<name>[^/]+)(?:/(?P<action>report|history|alerts|observe))?$"
 )
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        headers: dict[str, str] | None = None,
+        extra: dict[str, Any] | None = None,
+    ):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = dict(headers or {})
+        # Extra machine-readable fields merged into the error body
+        # (e.g. degraded/retry_after on a 503).
+        self.extra = dict(extra or {})
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -102,7 +125,12 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self.rfile.read(length)
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self._drain_unread_body()
         body = json.dumps(
             sanitize_floats(payload), allow_nan=False
@@ -110,6 +138,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -143,6 +173,18 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             except _HttpError:
                 raise
+            except WalError as error:
+                # The durable log cannot take appends: shed load with a
+                # machine-readable degraded marker so clients back off.
+                raise _HttpError(
+                    503,
+                    str(error),
+                    headers={"Retry-After": f"{error.retry_after:g}"},
+                    extra={
+                        "degraded": True,
+                        "retry_after": error.retry_after,
+                    },
+                ) from None
             except MonitorError as error:
                 message = str(error)
                 if "no monitor named" in message:
@@ -154,8 +196,20 @@ class _Handler(BaseHTTPRequestHandler):
                 raise _HttpError(400, str(error)) from None
             except ReproError as error:
                 raise _HttpError(500, str(error)) from None
+            except Exception:
+                # A bug, not a modelled failure: the client gets the
+                # uniform JSON error shape (never a raw traceback); the
+                # traceback goes to the server log where it belongs.
+                traceback.print_exc(file=sys.stderr)
+                raise _HttpError(
+                    500, "unexpected server error; see the service log"
+                ) from None
         except _HttpError as error:
-            self._send_json(error.status, {"error": error.message})
+            self._send_json(
+                error.status,
+                {"error": error.message, **error.extra},
+                headers=error.headers,
+            )
             return
         self._send_json(status, payload)
 
@@ -183,6 +237,12 @@ class MonitorService:
         When positive and the registry is durable, every monitor also
         checkpoints after each ``checkpoint_every``-th batch it ingests
         (in addition to the graceful-shutdown checkpoint).
+    queue_depth:
+        Bounded admission per monitor: at most this many ``observe``
+        requests may be in flight (applying or waiting on the monitor's
+        lock) at once; excess requests are rejected immediately with
+        ``429`` + ``Retry-After`` instead of queueing without bound.
+        ``0`` (the default) disables the bound.
     verbose:
         Log each request to stderr (off by default: the access log is
         noise in tests and CI).
@@ -195,15 +255,26 @@ class MonitorService:
         host: str = "127.0.0.1",
         port: int = 0,
         checkpoint_every: int = 0,
+        queue_depth: int = 0,
         verbose: bool = False,
     ):
         if checkpoint_every < 0:
             raise ValidationError(
                 f"checkpoint_every must be >= 0 batches, got {checkpoint_every}"
             )
+        if queue_depth < 0:
+            raise ValidationError(
+                f"queue_depth must be >= 0 requests, got {queue_depth}"
+            )
         self.registry = registry
         self.verbose = bool(verbose)
         self._checkpoint_every = int(checkpoint_every)
+        self._queue_depth = int(queue_depth)
+        self._inflight: dict[str, int] = {}
+        self._inflight_lock = threading.Lock()
+        # Populated by shutdown(): monitors whose final checkpoint
+        # failed (name -> message). The CLI exits nonzero when nonempty.
+        self.checkpoint_failures: dict[str, str] = {}
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = self  # type: ignore[attr-defined]
@@ -244,7 +315,10 @@ class MonitorService:
         """Stop serving and checkpoint every monitor; returns how many.
 
         Safe to call more than once (signal handlers can race); only the
-        first call does the work.
+        first call does the work. Checkpoint failures are isolated per
+        monitor — one broken monitor does not cost the others their
+        final checkpoint — and recorded in :attr:`checkpoint_failures`
+        so the CLI can exit nonzero.
         """
         with self._shutdown_lock:
             if self._stopped:
@@ -257,7 +331,17 @@ class MonitorService:
         self._httpd.server_close()
         checkpointed = 0
         if self.registry.is_durable:
-            checkpointed = len(self.registry.checkpoint_all())
+
+            def on_error(name: str, error: Exception) -> None:
+                self.checkpoint_failures[name] = str(error)
+                print(
+                    f"shutdown checkpoint failed for monitor {name!r}: "
+                    f"{error}",
+                    file=sys.stderr,
+                )
+
+            checkpointed = len(self.registry.checkpoint_all(on_error=on_error))
+        self.registry.close()
         return checkpointed
 
     def __enter__(self) -> "MonitorService":
@@ -316,11 +400,24 @@ class MonitorService:
                 continue
             rows += monitor.rows_seen
             batches += monitor.batches
+        # Per-monitor durability detail: orchestrators need to tell
+        # "alive" apart from "durably caught up" (checkpoint age) and
+        # from "silently shedding load" (WAL degraded).
+        durability = self.registry.durability_status()
+        with self._inflight_lock:
+            inflight = dict(self._inflight)
+        for name, status in durability.items():
+            status["inflight"] = inflight.get(name, 0)
+        degraded = any(
+            status.get("wal_degraded") for status in durability.values()
+        )
         return {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
             "monitors": len(names),
             "rows_ingested": rows,
             "batches_ingested": batches,
+            "queue_depth": self._queue_depth or None,
+            "durability": durability,
         }
 
     def _create(self, body: dict[str, Any]) -> dict[str, Any]:
@@ -338,14 +435,50 @@ class MonitorService:
                     400, "every row must be a list of cell values"
                 )
         monitor = self.registry.get(name)
-        result = monitor.observe(rows)
-        if (
-            self._checkpoint_every
-            and self.registry.is_durable
-            and result.batch_index % self._checkpoint_every == 0
-        ):
-            self.registry.checkpoint_monitor(name)
+        self._admit(name)
+        try:
+            result = monitor.observe(rows)
+            if (
+                self._checkpoint_every
+                and self.registry.is_durable
+                and result.batch_index % self._checkpoint_every == 0
+            ):
+                self.registry.checkpoint_monitor(name)
+        finally:
+            self._release(name)
         return result.to_dict()
+
+    def _admit(self, name: str) -> None:
+        """Claim an ingestion slot for ``name`` or reject with 429.
+
+        The bound covers the whole observe lifetime — waiting on the
+        monitor's lock included — so a slow monitor surfaces as fast,
+        explicit 429s instead of an unbounded pile of blocked threads.
+        """
+        if not self._queue_depth:
+            return
+        with self._inflight_lock:
+            inflight = self._inflight.get(name, 0)
+            if inflight >= self._queue_depth:
+                raise _HttpError(
+                    429,
+                    f"monitor {name!r} ingestion queue is full "
+                    f"({inflight} requests in flight, depth "
+                    f"{self._queue_depth}); retry later",
+                    headers={"Retry-After": f"{QUEUE_RETRY_AFTER:g}"},
+                    extra={"retry_after": QUEUE_RETRY_AFTER},
+                )
+            self._inflight[name] = inflight + 1
+
+    def _release(self, name: str) -> None:
+        if not self._queue_depth:
+            return
+        with self._inflight_lock:
+            remaining = self._inflight.get(name, 0) - 1
+            if remaining > 0:
+                self._inflight[name] = remaining
+            else:
+                self._inflight.pop(name, None)
 
     def _records(
         self, name: str, action: str, query: dict[str, list[str]]

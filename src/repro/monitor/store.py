@@ -57,7 +57,11 @@ __all__ = [
     "SEGMENT_MAGIC",
     "SEGMENT_VERSION",
     "TrendSummary",
+    "create_segment",
+    "encode_record",
+    "iter_segment_records",
     "sanitize_floats",
+    "scan_segment",
     "summarize_epsilon_trend",
 ]
 
@@ -95,19 +99,136 @@ _SEGMENT_PREFIX = "events-"
 _SEGMENT_SUFFIX = ".seg"
 
 
-def _segment_name(index: int) -> str:
-    return f"{_SEGMENT_PREFIX}{index:08d}{_SEGMENT_SUFFIX}"
+def _segment_name(index: int, prefix: str = _SEGMENT_PREFIX) -> str:
+    return f"{prefix}{index:08d}{_SEGMENT_SUFFIX}"
 
 
-def _segment_index(path: Path) -> int:
-    stem = path.name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+def _segment_index(path: Path, prefix: str = _SEGMENT_PREFIX) -> int:
+    stem = path.name[len(prefix) : -len(_SEGMENT_SUFFIX)]
     try:
         return int(stem)
     except ValueError:
         raise StoreError(
             f"{path.name} is not a store segment (expected "
-            f"{_SEGMENT_PREFIX}NNNNNNNN{_SEGMENT_SUFFIX})"
+            f"{prefix}NNNNNNNN{_SEGMENT_SUFFIX})"
         ) from None
+
+
+# ----------------------------------------------------------------------
+# Shared segment-format plumbing
+# ----------------------------------------------------------------------
+# The write-ahead ingestion log (:mod:`repro.monitor.wal`) reuses this
+# exact on-disk format — preamble, length-prefixed CRC32 records,
+# torn-tail semantics — so the helpers live at module level rather than
+# inside :class:`AuditHistoryStore`.
+
+
+def create_segment(path: str | Path, *, filesystem=None) -> Path:
+    """Atomically create an empty segment (preamble only) at ``path``.
+
+    Born via tmp + fsync + rename, so a crash never leaves a
+    half-written preamble. ``filesystem`` is the fault-injection seam
+    used by the WAL's tests; ``None`` uses the real ``os`` calls.
+    """
+    path = Path(path)
+    preamble = _SEGMENT_PREAMBLE.pack(SEGMENT_MAGIC, SEGMENT_VERSION, 0)
+    temporary = path.parent / f"{path.name}.tmp.{os.getpid()}"
+    opener = open if filesystem is None else filesystem.open
+    try:
+        with opener(temporary, "wb") as handle:
+            handle.write(preamble)
+            handle.flush()
+            if filesystem is None:
+                os.fsync(handle.fileno())
+            else:
+                filesystem.fsync(handle)
+        if filesystem is None:
+            os.replace(temporary, path)
+        else:
+            filesystem.replace(temporary, path)
+    finally:
+        temporary.unlink(missing_ok=True)
+    return path
+
+
+def encode_record(payload: bytes) -> bytes:
+    """Frame one payload as a length-prefixed CRC32-checked record."""
+    return _RECORD_FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def iter_segment_records(
+    path: str | Path,
+    *,
+    include_offsets: bool = False,
+    missing_ok: bool = False,
+) -> Iterator[Any]:
+    """Yield the decoded JSON records of one segment file, prefix-safe.
+
+    A torn tail (the only damage a crash mid-append can cause) ends the
+    iteration silently; anything else — bit rot inside the prefix, a
+    foreign file, a truncated preamble — raises
+    :class:`repro.exceptions.StoreError`. With ``missing_ok`` a segment
+    that vanished between listing and reading (compaction racing a
+    query) yields nothing instead of raising.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        if missing_ok:
+            return
+        raise StoreError(f"segment {path} does not exist") from None
+    except OSError as error:
+        raise StoreError(f"segment {path} could not be read: {error}") from None
+    if len(blob) < _SEGMENT_PREAMBLE.size:
+        raise StoreError(
+            f"segment {path} is truncated ({len(blob)} bytes; the "
+            f"preamble alone is {_SEGMENT_PREAMBLE.size})"
+        )
+    magic, version, _ = _SEGMENT_PREAMBLE.unpack_from(blob)
+    if magic != SEGMENT_MAGIC:
+        raise StoreError(f"{path} is not a store segment (magic {magic!r})")
+    if version > SEGMENT_VERSION:
+        raise StoreError(
+            f"segment {path} has format version {version}, newer than "
+            f"this library's {SEGMENT_VERSION}; upgrade to read it"
+        )
+    offset = _SEGMENT_PREAMBLE.size
+    while offset < len(blob):
+        if offset + _RECORD_FRAME.size > len(blob):
+            break  # torn tail: a frame header was mid-write
+        length, crc = _RECORD_FRAME.unpack_from(blob, offset)
+        start = offset + _RECORD_FRAME.size
+        end = start + length
+        if end > len(blob):
+            break  # torn tail: the payload was mid-write
+        payload = blob[start:end]
+        if zlib.crc32(payload) != crc:
+            if end == len(blob):
+                break  # torn tail: final payload incomplete on crash
+            raise StoreError(
+                f"segment {path} record at byte {offset} failed its CRC "
+                "check (corruption inside the log prefix)"
+            )
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise StoreError(
+                f"segment {path} record at byte {offset} is not valid "
+                f"JSON: {error}"
+            ) from None
+        yield (record, end) if include_offsets else record
+        offset = end
+
+
+def scan_segment(path: str | Path) -> tuple[int, int]:
+    """(bytes of intact prefix, sequence number after the last record)."""
+    next_seq = 1
+    offset = _SEGMENT_PREAMBLE.size
+    for record, end in iter_segment_records(path, include_offsets=True):
+        next_seq = int(record["seq"]) + 1
+        offset = end
+    return offset, next_seq
 
 
 @dataclass(frozen=True)
@@ -228,7 +349,7 @@ class AuditHistoryStore:
             # newest — segment; truncate it away so the next append
             # extends a clean prefix.
             last = segments[-1]
-            intact, _ = self._scan_segment(last)
+            intact, _ = scan_segment(last)
             self._active = last
             self._truncate_to(last, intact)
             # Resume the sequence after the last record anywhere in the
@@ -237,7 +358,7 @@ class AuditHistoryStore:
             # record then lives in an older one.
             self._next_seq = 1
             for segment in reversed(segments):
-                _, next_seq = self._scan_segment(segment)
+                _, next_seq = scan_segment(segment)
                 if next_seq > 1:
                     self._next_seq = next_seq
                     break
@@ -269,79 +390,12 @@ class AuditHistoryStore:
         index = (
             _segment_index(self._active) + 1 if self._active is not None else 1
         )
-        path = self._directory / _segment_name(index)
-        preamble = _SEGMENT_PREAMBLE.pack(SEGMENT_MAGIC, SEGMENT_VERSION, 0)
-        temporary = path.parent / f"{path.name}.tmp.{os.getpid()}"
-        try:
-            with temporary.open("wb") as handle:
-                handle.write(preamble)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(temporary, path)
-        finally:
-            temporary.unlink(missing_ok=True)
-        return path
+        return create_segment(self._directory / _segment_name(index))
 
     def _truncate_to(self, path: Path, size: int) -> None:
         if path.stat().st_size > size:
             with path.open("rb+") as handle:
                 handle.truncate(size)
-
-    def _scan_segment(self, path: Path) -> tuple[int, int]:
-        """(bytes of intact prefix, sequence number after the last record)."""
-        next_seq = 1
-        offset = _SEGMENT_PREAMBLE.size
-        for record, end in self._iter_segment(path, include_offsets=True):
-            next_seq = int(record["seq"]) + 1
-            offset = end
-        return offset, next_seq
-
-    def _iter_segment(
-        self, path: Path, include_offsets: bool = False
-    ) -> Iterator[Any]:
-        try:
-            blob = path.read_bytes()
-        except OSError as error:
-            raise StoreError(f"segment {path} could not be read: {error}") from None
-        if len(blob) < _SEGMENT_PREAMBLE.size:
-            raise StoreError(
-                f"segment {path} is truncated ({len(blob)} bytes; the "
-                f"preamble alone is {_SEGMENT_PREAMBLE.size})"
-            )
-        magic, version, _ = _SEGMENT_PREAMBLE.unpack_from(blob)
-        if magic != SEGMENT_MAGIC:
-            raise StoreError(f"{path} is not a store segment (magic {magic!r})")
-        if version > SEGMENT_VERSION:
-            raise StoreError(
-                f"segment {path} has format version {version}, newer than "
-                f"this library's {SEGMENT_VERSION}; upgrade to read it"
-            )
-        offset = _SEGMENT_PREAMBLE.size
-        while offset < len(blob):
-            if offset + _RECORD_FRAME.size > len(blob):
-                break  # torn tail: a frame header was mid-write
-            length, crc = _RECORD_FRAME.unpack_from(blob, offset)
-            start = offset + _RECORD_FRAME.size
-            end = start + length
-            if end > len(blob):
-                break  # torn tail: the payload was mid-write
-            payload = blob[start:end]
-            if zlib.crc32(payload) != crc:
-                if end == len(blob):
-                    break  # torn tail: final payload incomplete on crash
-                raise StoreError(
-                    f"segment {path} record at byte {offset} failed its CRC "
-                    "check (corruption inside the log prefix)"
-                )
-            try:
-                record = json.loads(payload.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as error:
-                raise StoreError(
-                    f"segment {path} record at byte {offset} is not valid "
-                    f"JSON: {error}"
-                ) from None
-            yield (record, end) if include_offsets else record
-            offset = end
 
     # ------------------------------------------------------------------
     # Appends
@@ -377,9 +431,8 @@ class AuditHistoryStore:
                 ) from None
             if self._active is None:
                 self._active = self._new_segment()
-            frame = _RECORD_FRAME.pack(len(payload), zlib.crc32(payload))
             with self._active.open("ab") as handle:
-                handle.write(frame + payload)
+                handle.write(encode_record(payload))
                 handle.flush()
                 if self._fsync:
                     os.fsync(handle.fileno())
@@ -413,8 +466,12 @@ class AuditHistoryStore:
         results: list[dict[str, Any]] = []
         with self._lock:
             segments = self._segments()
+        # missing_ok: compact() may unlink a segment between the listing
+        # above (taken under the lock) and this unlocked read — records
+        # the retention policy dropped simply stop appearing, rather
+        # than the read racing into a StoreError.
         for segment in segments:
-            for record in self._iter_segment(segment):
+            for record in iter_segment_records(segment, missing_ok=True):
                 if record["seq"] <= since:
                     continue
                 if monitor is not None and record.get("monitor") != monitor:

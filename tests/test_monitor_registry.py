@@ -258,16 +258,21 @@ class TestDurability:
         registry.create("m", NAMES[:2], NAMES[2], window=250, alpha=1.0)
         registry.observe("m", rows[:300])
         registry.checkpoint_all()
-        registry.observe("m", rows[300:450])  # lost: after the checkpoint
+        # After the checkpoint — but acknowledged, so the WAL has it and
+        # reopen replays it without any client-side resend.
+        registry.observe("m", rows[300:450])
 
         reopened = self.make_registry(tmp_path)
         monitor = reopened.get("m")
-        assert monitor.rows_seen == 300
-        monitor.observe(rows[300:450])  # the client replays
+        assert monitor.rows_seen == 450
+        assert monitor.batches == 2
         monitor.observe(rows[450:])
         assert monitor.report().epsilon == offline_epsilon(rows, window=250)
         # The cumulative shadow resumed too: divergence stays meaningful.
         assert monitor._shadow.rows_seen == 600
+        # Replay did not duplicate the batch's history record.
+        batch_records = reopened.store.query(monitor="m", kind="batch")
+        assert [record["batch_index"] for record in batch_records] == [1, 2, 3]
 
     def test_corrupt_newest_generation_falls_back(self, tmp_path):
         rows = synthetic_rows(400)
@@ -283,8 +288,11 @@ class TestDurability:
 
         reopened = self.make_registry(tmp_path)
         monitor = reopened.get("m")
-        assert monitor.rows_seen == 200  # the prior generation
-        monitor.observe(rows[200:])
+        # The prior generation carries rows[:200]; the WAL suffix past
+        # its apply cursor replays the second batch the torn newest
+        # generation would have covered.
+        assert monitor.rows_seen == 300
+        monitor.observe(rows[300:])
         assert monitor.report().epsilon == offline_epsilon(rows)
 
     def test_delete_drops_checkpoint_generations(self, tmp_path):

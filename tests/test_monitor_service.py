@@ -313,13 +313,21 @@ class TestKillAndResume:
         with MonitorService(restarted) as service:
             client = Client(service.url)
             _, report = client.get("/monitors/hiring/report")
-            # The torn generation (batch 3) fell back to batch 2's.
-            assert report["rows_seen"] == 200
-            for batch in batches[2:]:  # client replays from the cursor
+            # The torn generation (batch 3) fell back to batch 2's, and
+            # the WAL replayed batch 3 on top — every acknowledged batch
+            # survives without any client-side resend.
+            assert report["rows_seen"] == 300
+            for batch in batches[3:]:
                 client.post("/monitors/hiring/observe", {"rows": batch})
             _, report = client.get("/monitors/hiring/report")
             assert report["epsilon"] == offline_epsilon(rows, window=window)
             assert report["rows_seen"] == 500
+            # Replay never duplicated a history record.
+            _, history = client.get("/monitors/hiring/history")
+            indices = [
+                record["batch_index"] for record in history["records"]
+            ]
+            assert indices == [1, 2, 3, 4, 5]
 
 
 @pytest.mark.service
@@ -404,3 +412,263 @@ class TestStatusCli:
         )
         assert code == 2
         assert "--trend-window" in capsys.readouterr().err
+
+
+@pytest.mark.service
+class TestBackpressure:
+    """Bounded admission: a flooded monitor answers fast with 200 or 429
+    — never a hang, a 500, or a silently dropped batch — and every
+    acknowledged row is in the final count exactly once."""
+
+    def test_saturated_queue_rejects_cleanly_and_loses_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        import threading
+
+        registry = MonitorRegistry.open(tmp_path / "data", clock=fake_clock())
+        service = MonitorService(registry, queue_depth=2).start()
+        try:
+            client = Client(service.url)
+            assert client.post("/monitors", BASE_CONFIG)[0] == 201
+            monitor = registry.get("hiring")
+            original = monitor.observe
+
+            def slow_observe(rows):
+                time.sleep(0.05)
+                return original(rows)
+
+            monkeypatch.setattr(monitor, "observe", slow_observe)
+            batches = [synthetic_rows(10, seed=100 + i) for i in range(16)]
+            outcomes: list[tuple[int, int]] = []
+            outcomes_lock = threading.Lock()
+
+            def flood(index: int) -> None:
+                status, _ = Client(service.url).post(
+                    "/monitors/hiring/observe", {"rows": batches[index]}
+                )
+                with outcomes_lock:
+                    outcomes.append((index, status))
+
+            threads = [
+                threading.Thread(target=flood, args=(i,))
+                for i in range(len(batches))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not any(thread.is_alive() for thread in threads)
+            statuses = {status for _, status in outcomes}
+            assert statuses <= {200, 429}, statuses
+            assert 429 in statuses, "the flood never saturated the queue"
+            acked = [i for i, status in outcomes if status == 200]
+            assert monitor.rows_seen == 10 * len(acked)
+            # Rejected callers retry once the flood has drained: nothing
+            # is lost, nothing is double-counted.
+            for index, status in outcomes:
+                if status == 429:
+                    retry, _ = client.post(
+                        "/monitors/hiring/observe", {"rows": batches[index]}
+                    )
+                    assert retry == 200
+            assert monitor.rows_seen == 10 * len(batches)
+            history = registry.store.query(monitor="hiring", kind="batch")
+            assert [r["batch_index"] for r in history] == list(
+                range(1, len(batches) + 1)
+            )
+        finally:
+            service.shutdown()
+
+    def test_429_carries_retry_after(self, tmp_path):
+        from repro.monitor.service import QUEUE_RETRY_AFTER
+
+        registry = MonitorRegistry.open(tmp_path / "data", clock=fake_clock())
+        service = MonitorService(registry, queue_depth=1).start()
+        try:
+            client = Client(service.url)
+            client.post("/monitors", BASE_CONFIG)
+            # Pin the lone slot so the next request is rejected.
+            with service._inflight_lock:
+                service._inflight["hiring"] = 1
+            request = urllib.request.Request(
+                service.url + "/monitors/hiring/observe",
+                data=json.dumps({"rows": synthetic_rows(5)}).encode(),
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            error = excinfo.value
+            assert error.code == 429
+            assert float(error.headers["Retry-After"]) == QUEUE_RETRY_AFTER
+            body = json.loads(error.read())
+            assert body["retry_after"] == QUEUE_RETRY_AFTER
+            assert "queue is full" in body["error"]
+            with service._inflight_lock:
+                service._inflight.pop("hiring", None)
+            assert (
+                client.post(
+                    "/monitors/hiring/observe", {"rows": synthetic_rows(5)}
+                )[0]
+                == 200
+            )
+        finally:
+            service.shutdown()
+
+
+@pytest.mark.service
+class TestDegradedWal:
+    def test_wal_failure_returns_503_then_heals(self, tmp_path):
+        from faults import FaultyFileSystem
+
+        filesystem = FaultyFileSystem()
+        registry = MonitorRegistry.open(
+            tmp_path / "data",
+            clock=fake_clock(),
+            wal_filesystem=filesystem,
+        )
+        service = MonitorService(registry).start()
+        try:
+            client = Client(service.url)
+            client.post("/monitors", BASE_CONFIG)
+            rows = synthetic_rows(10)
+            assert client.post("/monitors/hiring/observe", {"rows": rows})[0] == 200
+            # The next WAL fsync dies: the observe must be rejected with
+            # a machine-readable 503, not acknowledged or half-applied.
+            filesystem.fail_fsync_at.add(filesystem.fsync_calls + 1)
+            request = urllib.request.Request(
+                service.url + "/monitors/hiring/observe",
+                data=json.dumps({"rows": rows}).encode(),
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            error = excinfo.value
+            assert error.code == 503
+            assert float(error.headers["Retry-After"]) > 0
+            body = json.loads(error.read())
+            assert body["degraded"] is True
+            assert body["retry_after"] > 0
+            assert registry.get("hiring").rows_seen == 10  # not applied
+            _, health = client.get("/healthz")
+            assert health["status"] == "degraded"
+            assert health["durability"]["hiring"]["wal_degraded"] is True
+            # The fault was one-shot: the probe append heals the log.
+            status, _ = client.post(
+                "/monitors/hiring/observe", {"rows": rows}
+            )
+            assert status == 200
+            assert registry.get("hiring").rows_seen == 20
+            _, health = client.get("/healthz")
+            assert health["status"] == "ok"
+            assert health["durability"]["hiring"]["wal_degraded"] is False
+        finally:
+            service.shutdown()
+
+    def test_healthz_reports_checkpoint_age_and_replay_lag(self, tmp_path):
+        registry = MonitorRegistry.open(tmp_path / "data", clock=fake_clock())
+        service = MonitorService(registry, checkpoint_every=2).start()
+        try:
+            client = Client(service.url)
+            client.post("/monitors", BASE_CONFIG)
+            _, health = client.get("/healthz")
+            durability = health["durability"]["hiring"]
+            assert durability["applied_seq"] == 0
+            assert durability["last_checkpoint_ts"] is None
+            assert durability["wal_replay_lag"] == 0
+            client.post("/monitors/hiring/observe", {"rows": synthetic_rows(5)})
+            _, health = client.get("/healthz")
+            durability = health["durability"]["hiring"]
+            # One applied batch, none checkpointed: a restart replays 1.
+            assert durability["applied_seq"] == 1
+            assert durability["wal_last_seq"] == 1
+            assert durability["wal_replay_lag"] == 1
+            client.post("/monitors/hiring/observe", {"rows": synthetic_rows(5)})
+            _, health = client.get("/healthz")
+            durability = health["durability"]["hiring"]
+            # checkpoint_every=2 checkpointed at batch 2: caught up.
+            assert durability["applied_seq"] == 2
+            assert durability["wal_replay_lag"] == 0
+            assert durability["last_checkpoint_ts"] is not None
+            assert durability["last_checkpoint_age"] >= 0
+            assert durability["inflight"] == 0
+        finally:
+            service.shutdown()
+
+
+@pytest.mark.service
+class TestUniformErrorBodies:
+    """Every error path answers the same machine-readable JSON shape:
+    an ``"error"`` string (plus optional typed extras), never HTML and
+    never a traceback."""
+
+    @pytest.fixture
+    def strict_service(self, tmp_path):
+        registry = MonitorRegistry.open(tmp_path / "data", clock=fake_clock())
+        service = MonitorService(registry, queue_depth=1).start()
+        client = Client(service.url)
+        assert client.post("/monitors", BASE_CONFIG)[0] == 201
+        yield service
+        service.shutdown()
+
+    @pytest.mark.parametrize(
+        "scenario,expected",
+        [
+            ("bad_config", 400),
+            ("unknown_monitor", 404),
+            ("bad_method", 405),
+            ("duplicate_monitor", 409),
+            ("oversized_body", 413),
+            ("queue_full", 429),
+            ("handler_bug", 500),
+        ],
+    )
+    def test_error_body_shape(self, strict_service, scenario, expected, monkeypatch):
+        import http.client
+
+        service = strict_service
+        client = Client(service.url)
+        if scenario == "bad_config":
+            status, body = client.post("/monitors", {"name": "broken"})
+        elif scenario == "unknown_monitor":
+            status, body = client.get("/monitors/ghost/report")
+        elif scenario == "bad_method":
+            status, body = client.request("DELETE", "/monitors")
+        elif scenario == "duplicate_monitor":
+            status, body = client.post("/monitors", BASE_CONFIG)
+        elif scenario == "oversized_body":
+            from repro.monitor.service import MAX_BODY_BYTES
+
+            connection = http.client.HTTPConnection(
+                service.host, service.port, timeout=10
+            )
+            try:
+                connection.putrequest("POST", "/monitors/hiring/observe")
+                connection.putheader(
+                    "Content-Length", str(MAX_BODY_BYTES + 1)
+                )
+                connection.endheaders()
+                response = connection.getresponse()
+                status, body = response.status, json.loads(response.read())
+            finally:
+                connection.close()
+        elif scenario == "queue_full":
+            with service._inflight_lock:
+                service._inflight["hiring"] = 1
+            status, body = client.post(
+                "/monitors/hiring/observe", {"rows": synthetic_rows(5)}
+            )
+            with service._inflight_lock:
+                service._inflight.pop("hiring", None)
+        elif scenario == "handler_bug":
+            def explode(name):
+                raise RuntimeError("sensitive internal detail")
+
+            monkeypatch.setattr(service.registry, "report", explode)
+            status, body = client.get("/monitors/hiring/report")
+        assert status == expected
+        assert isinstance(body["error"], str) and body["error"]
+        assert "Traceback" not in body["error"]
+        # Internals never leak through the catch-all 500.
+        assert "sensitive internal detail" not in body["error"]
+        for value in body.values():
+            assert isinstance(value, (str, int, float, bool))
