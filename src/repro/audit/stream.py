@@ -165,19 +165,39 @@ class StreamingAuditor:
     # Ingestion
     # ------------------------------------------------------------------
     def observe(
-        self, rows: Iterable[Sequence[Any]], *, seq: int | None = None
+        self,
+        rows: Iterable[Sequence[Any]],
+        *,
+        seq: int | None = None,
+        replay: bool = False,
     ) -> float:
         """Ingest rows ``(*protected values, outcome value)``; return the
         point epsilon of the updated window.
 
         ``seq`` is the batch's apply-sequence number for idempotent
-        replay: a batch at or below :attr:`applied_seq` has already been
-        folded into the counts (it is inside the restored checkpoint)
-        and is skipped. Without ``seq`` the cursor simply advances by
-        one per non-empty batch.
+        WAL replay. With ``replay=True`` a batch at or below
+        :attr:`applied_seq` has already been folded into the counts (it
+        is inside the restored checkpoint) and is skipped — the replay
+        half of the never-double-counted contract. On a *live* ingest
+        (``replay=False``) a stale sequence is never silently skipped:
+        it means the WAL's counter fell behind the checkpointed cursor
+        (a fresh or repointed log) and every skipped batch would be an
+        acknowledged-then-lost one, so it raises
+        :class:`repro.exceptions.CheckpointError` loudly instead.
+        Without ``seq`` the cursor simply advances by one per non-empty
+        batch.
         """
         if seq is not None and int(seq) <= self._applied_seq:
-            return self.epsilon()
+            if replay:
+                return self.epsilon()
+            raise CheckpointError(
+                f"live batch sequence {int(seq)} is at or below the "
+                f"applied cursor {self._applied_seq}: the write-ahead "
+                "log's counter is behind the checkpoint (fresh, trimmed, "
+                "or repointed WAL directory) and applying would silently "
+                "drop the batch; align the WAL sequence "
+                "(WriteAheadLog.align_seq) before ingesting"
+            )
         rows = [tuple(row) for row in rows]
         if rows:
             self._accumulator.update(rows)

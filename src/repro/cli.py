@@ -87,7 +87,10 @@ Durability contract (the WAL ack rule):
   wal/<name>/ BEFORE it is applied; a 200 response means the batch is on
   disk and will survive any crash. 429 (queue full) and 503 (WAL
   degraded) mean the batch was NOT accepted and is safe to retry; both
-  carry Retry-After. On restart the service replays exactly the WAL
+  carry Retry-After. A 500 with "indeterminate": true means a failed
+  fsync could not be rolled back: the batch MAY still be durable and
+  replayed after a crash, so do not retry it blindly (MonitorClient
+  never does). On restart the service replays exactly the WAL
   suffix past each monitor's newest valid checkpoint, so no
   acknowledged batch is lost and none is double-counted.
 

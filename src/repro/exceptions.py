@@ -55,14 +55,27 @@ class WalError(MonitorError):
 
     Raised when a WAL append or fsync fails (disk error, simulated
     fault) or when the log is degraded and admission control rejects the
-    batch. The batch was **not** acknowledged: callers may retry safely
-    once the disk recovers. Carries ``retry_after`` (seconds) as a
-    client backoff hint.
+    batch. The batch was **not** acknowledged. Carries ``retry_after``
+    (seconds) as a client backoff hint.
+
+    ``indeterminate`` distinguishes the two failure classes: ``False``
+    (the default) means the batch is provably *not* in the log and a
+    client may retry verbatim; ``True`` means a failed fsync could not
+    be rolled back, so the record may still be durable and would be
+    replayed after a crash — a retry could double-count the batch, and
+    the service must not advertise the failure as retryable.
     """
 
-    def __init__(self, message: str, *, retry_after: float = 1.0):
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float = 1.0,
+        indeterminate: bool = False,
+    ):
         super().__init__(message)
         self.retry_after = float(retry_after)
+        self.indeterminate = bool(indeterminate)
 
 
 class MonitorClientError(MonitorError):

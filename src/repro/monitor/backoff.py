@@ -61,12 +61,13 @@ def retry_call(
 ) -> _T:
     """Call ``call``, retrying failures ``should_retry`` approves.
 
-    ``should_retry`` inspects the raised exception and returns a truthy
-    value to retry or a falsy one to re-raise immediately. Returning a
-    positive float overrides the jittered delay for that attempt — how
-    the HTTP client honours a server-provided ``Retry-After``. After
-    ``retries`` retries (so ``retries + 1`` attempts) the final
-    exception propagates unchanged.
+    ``should_retry`` inspects the raised exception: ``False`` or
+    ``None`` re-raises immediately; ``True`` retries after a jittered
+    delay; a number overrides the jittered delay for that attempt — how
+    the HTTP client honours a server-provided ``Retry-After``, including
+    the legal ``Retry-After: 0`` meaning "retry now" (zero is a delay,
+    not a refusal). After ``retries`` retries (so ``retries + 1``
+    attempts) the final exception propagates unchanged.
     """
     if retries < 0:
         raise ValidationError(f"retries must be >= 0, got {retries}")
@@ -76,7 +77,7 @@ def retry_call(
             return call()
         except Exception as error:
             verdict = should_retry(error)
-            if not verdict or attempt == retries:
+            if verdict is None or verdict is False or attempt == retries:
                 raise
             jittered = next(delays)
             if isinstance(verdict, (int, float)) and not isinstance(

@@ -192,7 +192,10 @@ class MonitorClient:
 
         Retrying is safe by the service's durability contract: a 429 or
         503 means the batch was *not* written to the WAL and *not*
-        applied, so re-sending cannot double-count.
+        applied, so re-sending cannot double-count. A WAL failure whose
+        durability is indeterminate (the record may survive a crash and
+        be replayed) comes back as a 500 instead, which this client
+        deliberately does not retry — re-sending could double-count.
         """
         return self.request(
             "POST", f"/monitors/{name}/observe", body={"rows": rows}

@@ -372,27 +372,32 @@ class Monitor:
         rows: list[tuple[Any, ...]],
         *,
         seq: int | None = None,
+        replay: bool = False,
         store_cutoff: int = 0,
+        alert_cutoff: tuple[int, int] = (0, 0),
     ) -> BatchResult:
         """Fold one (already durable) batch into the live state.
 
-        Shared by the hot path and WAL replay. ``store_cutoff`` is the
-        highest ``batch_index`` already present in the history store:
-        replayed batches at or below it skip their store appends, so a
-        crash between apply and history append cannot duplicate records.
-        A batch the auditor rejects (e.g. an unknown pinned level) still
-        advances the apply cursor — the same batch fails identically on
-        replay, so live and replayed state stay bit-identical.
+        Shared by the hot path and WAL replay (``replay=True`` — only
+        replay may treat a stale sequence as already-applied; a live
+        batch with a stale sequence raises loudly instead of being
+        silently dropped). ``store_cutoff`` is the highest
+        ``batch_index`` among the store's *batch* records and
+        ``alert_cutoff`` is ``(batch_index, n_alerts)`` of its newest
+        *alert* records: the two kinds are appended separately, so a
+        crash can land between them, and each kind is gated by its own
+        high-water mark — replay re-appends exactly the records the
+        crash cut off and never duplicates one.
         """
         with self._lock:
             try:
-                epsilon = self._auditor.observe(rows, seq=seq)
+                epsilon = self._auditor.observe(rows, seq=seq, replay=replay)
             except ReproError:
                 if seq is not None:
                     # The batch is durably logged but unappliable; move
                     # the cursor past it so replay skips it the same way
                     # (the client got an error, not an ack).
-                    self._auditor.observe([], seq=seq)
+                    self._auditor.observe([], seq=seq, replay=replay)
                 raise
             cumulative = None
             if self._shadow is not None:
@@ -424,20 +429,32 @@ class Monitor:
                 cumulative_epsilon=cumulative,
                 alerts=alerts,
             )
-            if self._store is not None and result.batch_index > store_cutoff:
-                self._store.append(
-                    {
-                        "monitor": self.name,
-                        "kind": "batch",
-                        "batch_index": result.batch_index,
-                        "n_rows": result.n_rows,
-                        "rows_seen": self._auditor.rows_seen,
-                        "epsilon": epsilon,
-                        "cumulative_epsilon": cumulative,
-                        "n_alerts": len(alerts),
-                    }
-                )
-                for alert in alerts:
+            if self._store is not None:
+                if result.batch_index > store_cutoff:
+                    self._store.append(
+                        {
+                            "monitor": self.name,
+                            "kind": "batch",
+                            "batch_index": result.batch_index,
+                            "n_rows": result.n_rows,
+                            "rows_seen": self._auditor.rows_seen,
+                            "epsilon": epsilon,
+                            "cumulative_epsilon": cumulative,
+                            "n_alerts": len(alerts),
+                        }
+                    )
+                # Alerts are gated by their own high-water mark: a crash
+                # between the batch append and its alert appends (or
+                # between two alerts of one batch) must be healed by
+                # re-appending exactly the missing suffix.
+                cutoff_batch, cutoff_alerts = alert_cutoff
+                if result.batch_index > cutoff_batch:
+                    skip = 0
+                elif result.batch_index == cutoff_batch:
+                    skip = cutoff_alerts
+                else:
+                    skip = len(alerts)
+                for alert in alerts[skip:]:
                     self._store.append(
                         {
                             "monitor": self.name,
@@ -451,26 +468,42 @@ class Monitor:
         """Re-apply the WAL suffix past the restored checkpoint cursor.
 
         Called by :meth:`MonitorRegistry.open` after :meth:`restore_from`.
-        Idempotence comes from two cursors: the auditor's persisted
+        Idempotence comes from per-kind cursors: the auditor's persisted
         ``applied_seq`` gates which WAL records are re-applied at all,
-        and the history store's highest recorded ``batch_index`` gates
-        which replayed batches re-append history — so a crash anywhere
-        between WAL append and checkpoint neither loses an acknowledged
-        batch nor double-counts one. Records the auditor rejected live
-        (they were never acknowledged) fail identically here and are
-        skipped. Returns how many batches were re-applied.
+        the history store's highest *batch* ``batch_index`` gates which
+        replayed batches re-append their batch record, and its newest
+        *alert* ``(batch_index, count)`` gates alert re-appends — so a
+        crash anywhere between WAL append, apply, batch append, and the
+        individual alert appends neither loses an acknowledged batch
+        (or its alerts) nor duplicates a record. Records the auditor
+        rejected live (they were never acknowledged) fail identically
+        here and are skipped. Returns how many batches were re-applied.
         """
         if self._wal is None:
             return 0
         with self._lock:
             since = self._auditor.applied_seq
             store_cutoff = 0
+            alert_cutoff = (0, 0)
             if self._store is not None:
                 batch_records = self._store.query(
                     monitor=self.name, kind="batch"
                 )
                 if batch_records:
                     store_cutoff = int(batch_records[-1]["batch_index"])
+                alert_records = self._store.query(
+                    monitor=self.name, kind="alert"
+                )
+                if alert_records:
+                    newest_batch = int(alert_records[-1]["batch_index"])
+                    alert_cutoff = (
+                        newest_batch,
+                        sum(
+                            1
+                            for record in alert_records
+                            if int(record["batch_index"]) == newest_batch
+                        ),
+                    )
             replayed = 0
             for record in self._wal.records(since=since):
                 rows = [tuple(row) for row in record.get("rows", ())]
@@ -478,7 +511,9 @@ class Monitor:
                     self._apply(
                         rows,
                         seq=int(record["seq"]),
+                        replay=True,
                         store_cutoff=store_cutoff,
+                        alert_cutoff=alert_cutoff,
                     )
                 except ReproError:
                     continue
@@ -651,6 +686,15 @@ class Monitor:
             self._auditor.restore(state)
             self._batches = int(progress.get("batches", 0))
             self._checkpointed_seq = self._auditor.applied_seq
+            if self._wal is not None:
+                # Reconcile the two counters: a WAL whose sequence fell
+                # behind the checkpointed apply cursor (the previous run
+                # had the WAL disabled, the directory was repointed or
+                # emptied, or checkpoint+trim left only an empty active
+                # segment) would assign fresh appends stale sequences —
+                # which the auditor must never silently skip. Pin
+                # next_seq past the cursor before any new append.
+                self._wal.align_seq(self._auditor.applied_seq)
             checkpoint_ts = progress.get("checkpoint_ts")
             self._last_checkpoint_ts = (
                 None if checkpoint_ts is None else float(checkpoint_ts)

@@ -174,8 +174,20 @@ class _Handler(BaseHTTPRequestHandler):
             except _HttpError:
                 raise
             except WalError as error:
-                # The durable log cannot take appends: shed load with a
-                # machine-readable degraded marker so clients back off.
+                if error.indeterminate:
+                    # A failed fsync that could not be rolled back: the
+                    # record may still be durable and replayed after a
+                    # crash, so a client retry could double-count the
+                    # batch. 500 (which MonitorClient never retries),
+                    # not the retryable 503 — and no Retry-After bait.
+                    raise _HttpError(
+                        500,
+                        str(error),
+                        extra={"degraded": True, "indeterminate": True},
+                    ) from None
+                # The durable log cannot take appends and the batch is
+                # provably not logged: shed load with a machine-readable
+                # degraded marker so clients back off and retry.
                 raise _HttpError(
                     503,
                     str(error),

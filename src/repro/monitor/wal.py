@@ -234,6 +234,27 @@ class WriteAheadLog:
         with self._write_lock:
             return self._next_seq - 1
 
+    def align_seq(self, applied_seq: int) -> int:
+        """Fast-forward the sequence counter past an external apply cursor.
+
+        The auditor's ``applied_seq`` lives in the ``.rcpk`` checkpoint,
+        this log's counter in its newest on-disk record — and the two
+        can legitimately disagree *downward*: a registry run with the
+        WAL disabled still advances (and checkpoints) the apply cursor,
+        a repointed or deleted ``--wal-dir`` starts an empty log, and a
+        checkpoint-then-trim cycle can leave the active segment empty so
+        a reopen recovers ``next_seq == 1``. In every such case a fresh
+        append would be assigned a sequence at or below the cursor and
+        the auditor would silently skip it as "already replayed" —
+        losing acknowledged batches. Called on restore, this pins the
+        invariant instead: the next append's sequence is always
+        ``> applied_seq``. Returns the aligned next sequence number.
+        """
+        with self._write_lock:
+            if self._next_seq <= int(applied_seq):
+                self._next_seq = int(applied_seq) + 1
+            return self._next_seq
+
     @property
     def degraded(self) -> bool:
         return self._degraded_reason is not None
@@ -353,10 +374,14 @@ class WriteAheadLog:
             detail = (
                 "the batch was rolled back and is safe to retry"
                 if rolled_back
-                else "durability of the batch is indeterminate"
+                else (
+                    "durability of the batch is indeterminate; a crash "
+                    "may replay it, so do not retry"
+                )
             )
             raise WalError(
-                f"write-ahead log fsync failed: {error}; {detail}"
+                f"write-ahead log fsync failed: {error}; {detail}",
+                indeterminate=not rolled_back,
             ) from error
         if rotate:
             try:

@@ -7,7 +7,7 @@ from repro.audit.auditor import FairnessAuditor
 from repro.audit.stream import StreamingAuditor
 from repro.core.empirical import dataset_edf
 from repro.core.estimators import MLEEstimator
-from repro.exceptions import ValidationError
+from repro.exceptions import CheckpointError, ValidationError
 from repro.tabular.table import Table
 
 NAMES = ["gender", "race", "hired"]
@@ -180,6 +180,21 @@ class TestCheckpointing:
         other = StreamingAuditor(["gender"], "hired", window=9)
         with pytest.raises(ValidationError):
             other.restore(state)
+
+    def test_live_stale_seq_is_loud_and_replay_skips(self):
+        auditor = StreamingAuditor(["gender"], "hired")
+        auditor.observe([("g0", "y1"), ("g1", "y0")], seq=1)
+        assert auditor.applied_seq == 1
+        before = auditor.epsilon()
+        # Replay of an already-applied sequence is an idempotent no-op.
+        assert auditor.observe([("g0", "y1")], seq=1, replay=True) == before
+        assert auditor.rows_seen == 2
+        # A *live* batch with a stale sequence means the WAL counter fell
+        # behind the checkpoint cursor; silently skipping would drop an
+        # acknowledged batch.
+        with pytest.raises(CheckpointError, match="applied cursor"):
+            auditor.observe([("g0", "y1")], seq=1)
+        assert auditor.rows_seen == 2
 
 
 class TestShardedPipeline:

@@ -159,6 +159,43 @@ class TestRetryCall:
         assert len(slept) == 1
         assert 0.01 <= slept[0] <= 0.05
 
+    def test_zero_verdict_retries_immediately(self):
+        # Retry-After: 0 is a legal "retry now" — numeric zero must not
+        # be conflated with False (refuse to retry).
+        slept = []
+        attempts = []
+
+        def twice():
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise RuntimeError("wait")
+            return "ok"
+
+        result = retry_call(
+            twice,
+            should_retry=lambda error: 0.0,
+            rng=random.Random(1),
+            sleep=slept.append,
+        )
+        assert result == "ok"
+        assert slept == [0.0]
+
+    def test_none_verdict_reraises_immediately(self):
+        calls = []
+
+        def once():
+            calls.append(1)
+            raise ValueError("fatal")
+
+        with pytest.raises(ValueError, match="fatal"):
+            retry_call(
+                once,
+                retries=5,
+                should_retry=lambda error: None,
+                sleep=lambda delay: pytest.fail("must not sleep"),
+            )
+        assert len(calls) == 1
+
     def test_negative_retries_rejected(self):
         with pytest.raises(ValidationError, match="retries"):
             retry_call(lambda: 1, retries=-1, should_retry=lambda e: True)
@@ -261,6 +298,48 @@ class TestMonitorClient:
         result = _client(transport, slept=slept).observe("m", [["a", "y"]])
         assert result["batch_index"] == 2
         assert slept == [1.0]
+
+    def test_retry_after_zero_retries_with_no_delay(self):
+        url = "http://service.test/monitors/m/observe"
+        slept = []
+        transport = _FakeTransport(
+            [
+                _http_error(
+                    url,
+                    429,
+                    {"error": "queue is full"},
+                    headers={"Retry-After": "0"},
+                ),
+                {"epsilon": 0.3, "batch_index": 3},
+            ]
+        )
+        result = _client(transport, slept=slept).observe("m", [["a", "y"]])
+        assert result["batch_index"] == 3
+        assert slept == [0.0]
+        assert len(transport.requests) == 2
+
+    def test_indeterminate_500_is_never_retried(self):
+        # fsync failed AND rollback failed: the batch may be durable and
+        # replayed after a crash, so re-sending could double-count.
+        url = "http://service.test/monitors/m/observe"
+        transport = _FakeTransport(
+            [
+                _http_error(
+                    url,
+                    500,
+                    {
+                        "error": "write-ahead log fsync failed",
+                        "degraded": True,
+                        "indeterminate": True,
+                    },
+                )
+            ]
+        )
+        with pytest.raises(MonitorClientError) as excinfo:
+            _client(transport).observe("m", [["a", "y"]])
+        assert excinfo.value.status == 500
+        assert excinfo.value.body["indeterminate"] is True
+        assert len(transport.requests) == 1
 
     def test_gives_up_after_the_retry_budget(self):
         url = "http://service.test/monitors/m/observe"

@@ -274,6 +274,63 @@ class TestDurability:
         batch_records = reopened.store.query(monitor="m", kind="batch")
         assert [record["batch_index"] for record in batch_records] == [1, 2, 3]
 
+    def test_wal_enabled_after_no_wal_run_counts_every_batch(self, tmp_path):
+        # A durable registry run with the WAL disabled still advances
+        # (and checkpoints) the apply cursor. Re-enabling the WAL starts
+        # a log whose sequence counter is behind that cursor; without
+        # reconciliation every new batch would be acked, recorded, and
+        # yet silently skipped by the windowed auditor.
+        rows = synthetic_rows(300)
+        registry = MonitorRegistry.open(
+            tmp_path / "data", clock=fake_clock(), wal_enabled=False
+        )
+        registry.create("m", NAMES[:2], NAMES[2], window=250, alpha=1.0)
+        registry.observe("m", rows[:100])
+        registry.observe("m", rows[100:200])
+        registry.checkpoint_all()
+        registry.close()
+
+        reopened = self.make_registry(tmp_path)
+        result = reopened.observe("m", rows[200:])
+        assert result.batch_index == 3
+        monitor = reopened.get("m")
+        assert monitor.rows_seen == 300
+        assert monitor.report().epsilon == offline_epsilon(rows, window=250)
+        batch_records = reopened.store.query(monitor="m", kind="batch")
+        assert [r["rows_seen"] for r in batch_records] == [100, 200, 300]
+        reopened.close()
+        # The WAL-era batch survives a further (uncheckpointed) restart:
+        # it replays from the log instead of colliding with the cursor.
+        survivor = self.make_registry(tmp_path)
+        assert survivor.get("m").rows_seen == 300
+        assert (
+            survivor.report("m").epsilon == offline_epsilon(rows, window=250)
+        )
+        survivor.close()
+
+    def test_repointed_wal_directory_counts_every_batch(self, tmp_path):
+        # Deleting (or repointing) the WAL directory between runs leaves
+        # a fresh log whose sequences restart at 1 while the checkpoint
+        # cursor is ahead — the same silent-skip trap as a --no-wal run.
+        import shutil
+
+        rows = synthetic_rows(300)
+        registry = self.make_registry(tmp_path)
+        registry.create("m", NAMES[:2], NAMES[2], window=250, alpha=1.0)
+        registry.observe("m", rows[:100])
+        registry.observe("m", rows[100:200])
+        registry.checkpoint_all()
+        registry.close()
+        shutil.rmtree(tmp_path / "data" / "wal")
+
+        reopened = self.make_registry(tmp_path)
+        result = reopened.observe("m", rows[200:])
+        assert result.batch_index == 3
+        monitor = reopened.get("m")
+        assert monitor.rows_seen == 300
+        assert monitor.report().epsilon == offline_epsilon(rows, window=250)
+        reopened.close()
+
     def test_corrupt_newest_generation_falls_back(self, tmp_path):
         rows = synthetic_rows(400)
         registry = self.make_registry(tmp_path)

@@ -564,6 +564,45 @@ class TestDegradedWal:
         finally:
             service.shutdown()
 
+    def test_indeterminate_wal_failure_maps_to_non_retryable_500(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.exceptions import WalError
+        from repro.monitor.registry import Monitor
+
+        registry = MonitorRegistry.open(tmp_path / "data", clock=fake_clock())
+        service = MonitorService(registry).start()
+        try:
+            client = Client(service.url)
+            client.post("/monitors", BASE_CONFIG)
+
+            def broken_observe(self, rows):
+                raise WalError(
+                    "write-ahead log fsync failed; durability of the "
+                    "batch is indeterminate",
+                    indeterminate=True,
+                )
+
+            monkeypatch.setattr(Monitor, "observe", broken_observe)
+            request = urllib.request.Request(
+                service.url + "/monitors/hiring/observe",
+                data=json.dumps({"rows": synthetic_rows(5)}).encode(),
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            error = excinfo.value
+            # 500, not 503: the batch may be durable and replayed after a
+            # crash, so the client must not be invited to retry it.
+            assert error.code == 500
+            assert error.headers.get("Retry-After") is None
+            body = json.loads(error.read())
+            assert body["degraded"] is True
+            assert body["indeterminate"] is True
+            assert "indeterminate" in body["error"]
+        finally:
+            service.shutdown()
+
     def test_healthz_reports_checkpoint_age_and_replay_lag(self, tmp_path):
         registry = MonitorRegistry.open(tmp_path / "data", clock=fake_clock())
         service = MonitorService(registry, checkpoint_every=2).start()

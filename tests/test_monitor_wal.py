@@ -97,6 +97,20 @@ class TestWriteAheadLog:
         assert list(wal.records(since=6)) == []
         wal.close()
 
+    def test_align_seq_fast_forwards_past_external_cursor(self, tmp_path):
+        # The checkpointed apply cursor can legitimately be ahead of a
+        # fresh or trimmed-empty log (a --no-wal run, a repointed
+        # --wal-dir); appends after alignment must always outrun it.
+        wal = WriteAheadLog(tmp_path)
+        assert wal.align_seq(7) == 8
+        assert wal.last_seq == 7  # counter pinned, no record written
+        assert wal.append({"rows": [[1]]}) == 8
+        # Never moves backwards: an up-to-date log is left alone.
+        assert wal.align_seq(3) == 9
+        assert wal.append({"rows": [[2]]}) == 9
+        assert [r["seq"] for r in wal.records()] == [8, 9]
+        wal.close()
+
     def test_reopen_continues_sequence(self, tmp_path):
         wal = WriteAheadLog(tmp_path)
         for index in range(4):
@@ -177,8 +191,9 @@ class TestWriteAheadLog:
         )
         first = wal.append({"rows": [[1]]})
         filesystem.fail_fsync_at.add(filesystem.fsync_calls + 1)
-        with pytest.raises(WalError, match="safe to retry"):
+        with pytest.raises(WalError, match="safe to retry") as excinfo:
             wal.append({"rows": [[2]]})
+        assert excinfo.value.indeterminate is False  # clean rollback
         assert wal.degraded
         assert "fsync failed" in wal.degraded_reason
         # The failed append is fully rolled back: no record, no seq.
@@ -192,6 +207,36 @@ class TestWriteAheadLog:
         assert retried == first + 1
         assert not wal.degraded
         assert [r["rows"] for r in wal.records()] == [[[1]], [[2]]]
+        wal.close()
+
+    def test_unrollbackable_fsync_failure_is_indeterminate(self, tmp_path):
+        # When the fsync fails AND the rollback's truncate fails, the
+        # record may still be durable (a crash would replay it), so the
+        # error must advertise itself as not-safe-to-retry — the service
+        # maps this to a non-retryable 500, never a Retry-After 503.
+        filesystem = FaultyFileSystem()
+        wal = WriteAheadLog(
+            tmp_path, filesystem=filesystem, probe_interval=0.0
+        )
+        wal.append({"rows": [[1]]})
+        filesystem.fail_fsync_at.add(filesystem.fsync_calls + 1)
+        handle = wal._handle
+
+        def broken_truncate(*args):
+            raise OSError(5, "injected truncate failure")
+
+        handle.truncate = broken_truncate
+        with pytest.raises(WalError, match="indeterminate") as excinfo:
+            wal.append({"rows": [[2]]})
+        assert excinfo.value.indeterminate is True
+        assert wal.degraded
+        # Once the disk heals, the pending truncate removes the
+        # maybe-durable bytes before the next record, so the log's
+        # in-process policy (the batch was never acked) wins.
+        del handle.truncate
+        retried = wal.append({"rows": [[2]]})
+        assert retried == 2
+        assert [r["seq"] for r in wal.records()] == [1, 2]
         wal.close()
 
     def test_partial_write_truncated_then_clean_retry(self, tmp_path):
@@ -404,6 +449,69 @@ class TestFaultMatrix:
         self._assert_identical(
             self._snapshot(registry), control, crashes=crashes
         )
+        registry.close()
+
+    # With an always-firing rule each batch makes two history appends
+    # (its batch record, then its alert); crashing on the Nth append
+    # lands between them — the boundary where the alert used to be
+    # permanently lost because replay gated both kinds on the batch
+    # cutoff. Ordinal 2k is batch k's alert append.
+    @pytest.mark.parametrize("append_ordinal", [2, 4, 6])
+    def test_crash_between_batch_and_alert_appends(
+        self, tmp_path, append_ordinal, monkeypatch
+    ):
+        from repro.monitor.rules import EpsilonThresholdRule
+        from repro.monitor.store import AuditHistoryStore
+
+        config = MonitorConfig(
+            name="faulty",
+            protected=("gender", "race"),
+            outcome=NAMES[2],
+            alpha=1.0,
+            rules=(EpsilonThresholdRule(-1.0, severity="info"),),
+        )
+        batches = synthetic_batches(self.N_BATCHES)
+        every_batch = list(range(1, self.N_BATCHES + 1))
+        control, crashes = feed_with_recovery(
+            tmp_path / "control",
+            config,
+            batches,
+            checkpoint_every=self.CHECKPOINT_EVERY,
+        )
+        assert crashes == 0
+        control_epsilon = control.get("faulty").epsilon()
+        assert [
+            int(r["batch_index"])
+            for r in control.store.query(monitor="faulty", kind="alert")
+        ] == every_batch
+        control.close()
+
+        monkeypatch.setattr(
+            AuditHistoryStore,
+            "append",
+            CrashingCall(
+                AuditHistoryStore.append, at=append_ordinal, before=True
+            ),
+        )
+        registry, crashes = feed_with_recovery(
+            tmp_path / "crashy",
+            config,
+            batches,
+            checkpoint_every=self.CHECKPOINT_EVERY,
+        )
+        assert crashes == 1
+        store = registry.store
+        assert [
+            int(r["batch_index"])
+            for r in store.query(monitor="faulty", kind="batch")
+        ] == every_batch
+        # The crash cut off exactly one alert append; replay re-appends
+        # it — every batch's alert present exactly once, in order.
+        assert [
+            int(r["batch_index"])
+            for r in store.query(monitor="faulty", kind="alert")
+        ] == every_batch
+        assert registry.get("faulty").epsilon() == control_epsilon
         registry.close()
 
     def test_repeated_crashes_converge(self, tmp_path):
