@@ -33,6 +33,20 @@ Commands
     Offline status report over a ``monitor-serve`` data directory:
     per-monitor epsilon (resumed from the newest valid checkpoint
     generation), ingestion counters, epsilon trend, and recent alerts.
+    A fleet data directory (``fleet.json`` + ``shard-NN/`` subdirs)
+    gets the per-shard + merged fleet report automatically.
+``fleet-serve``
+    Run the self-healing process-per-shard monitoring fleet: N
+    ``monitor-serve`` worker processes (each over its own data
+    subdirectory), a front router that hash-assigns monitors to shards
+    (:mod:`repro.monitor.routing`), and a supervisor that probes
+    ``/healthz``, detects crash/hang/stall, and restarts dead shards
+    through WAL replay behind a per-shard circuit breaker
+    (:mod:`repro.monitor.fleet`).
+``fleet-status``
+    Offline per-shard + merged status report over a fleet data
+    directory; the merged view combines cumulative monitors' newest
+    valid checkpoints across shards via ``merge_checkpoint_files``.
 ``worked-example``
     Print the paper's Figure 2 Gaussian-threshold example.
 ``simpsons``
@@ -82,6 +96,15 @@ Monitoring service:
                    (read-only: per-monitor write-ahead-log segments,
                    sequence numbers, and torn-tail bytes)
 
+Sharded fleet (process-per-shard):
+  serve            fleet-serve --data-dir ./fleet --shards 4
+                   one router process + 4 supervised monitor-serve
+                   workers; monitors are hash-assigned to shards by
+                   name, and the same HTTP API is served on the router
+  inspect          fleet-status --data-dir ./fleet [--markdown]
+                   wal-inspect / monitor-status also accept the fleet
+                   layout and report per-shard + merged views
+
 Durability contract (the WAL ack rule):
   Every observe batch is fsynced to the monitor's write-ahead log under
   wal/<name>/ BEFORE it is applied; a 200 response means the batch is on
@@ -104,6 +127,50 @@ Crash-recovery runbook:
   A monitor whose shutdown checkpoint failed is logged to stderr and
   the process exits nonzero; its WAL still holds every acked batch, so
   the next start recovers it by replay.
+
+Fleet crash semantics (see also: fleet-serve --help):
+  A shard crash degrades only that shard's monitors: the router answers
+  503 + Retry-After for them while every other shard keeps serving.
+  The supervisor restarts the dead shard (WAL replay restores every
+  acked batch) behind a per-shard circuit breaker: open (down, backoff
+  doubling per consecutive failure), half-open (restarted, earning
+  trust probe by probe), closed (healthy). Clients that retry 503s —
+  MonitorClient does, with decorrelated jitter — converge with zero
+  acked-batch loss; send a batch_id with each observe to make retries
+  that cross a crash exactly-once.
+"""
+
+_FLEET_EPILOG = """\
+How the fleet heals:
+  crash     the supervisor sees the worker exit, opens the shard's
+            breaker, and restarts it after an exponential backoff
+            (--restart-backoff, doubling per consecutive failure up to
+            --restart-backoff-cap). The new worker replays its WAL, so
+            every acknowledged batch survives.
+  hang      --failure-threshold consecutive /healthz probe failures
+            (timeout --probe-timeout) SIGKILL the wedged worker and
+            restart it the same way.
+  stall     with --max-replay-lag N armed, a shard whose WAL replay lag
+            sits at or above N batches without shrinking for
+            --stall-probes consecutive probes is judged wedged and
+            restarted.
+  traffic   while a shard is down, the router fast-fails ONLY that
+            shard's monitors with 503 + Retry-After (the breaker's
+            next-restart estimate); other shards are untouched.
+            MonitorClient retries 503 and refused/reset connections
+            with decorrelated jitter, so callers converge unchanged.
+  trust     a restarted shard is half-open until --recovery-probes
+            consecutive healthy probes, then closed (backoff resets).
+
+Status:
+  GET /healthz on the router reports per-shard pid, generation,
+  breaker state, applied_seq, and WAL replay lag; fleet-status renders
+  the offline per-shard + merged view from the shard data dirs.
+
+Exactly-once ingestion under retries:
+  include a client-unique "batch_id" in each observe body. A crash can
+  lose the ack of a batch that was already durably applied; the retry
+  is then answered with duplicate: true instead of double-counting.
 """
 
 
@@ -297,6 +364,139 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="log every HTTP request to stderr",
+    )
+    serve.add_argument(
+        "--label",
+        default=None,
+        help="operator-facing service label surfaced in /healthz "
+        "(the fleet supervisor labels workers shard-NN)",
+    )
+
+    fleet = commands.add_parser(
+        "fleet-serve",
+        help="run a self-healing process-per-shard monitoring fleet "
+        "(router + supervised monitor-serve workers)",
+        epilog=_FLEET_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    fleet.add_argument(
+        "--data-dir",
+        required=True,
+        help="fleet directory; each shard keeps its registry, WAL, and "
+        "history under shard-NN/ inside it",
+    )
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="number of shard worker processes (required on first use; "
+        "recorded in fleet.json and enforced afterwards, because the "
+        "monitor-name hash routing depends on it)",
+    )
+    fleet.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="router bind address (default 127.0.0.1; shard workers "
+        "always bind loopback)",
+    )
+    fleet.add_argument(
+        "--port",
+        type=int,
+        default=8317,
+        help="router bind port (default 8317; 0 picks an ephemeral port)",
+    )
+    fleet.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        help="each shard checkpoints a monitor every N ingested batches "
+        "(default 64; 0 = only on graceful shutdown)",
+    )
+    fleet.add_argument(
+        "--queue-depth",
+        type=int,
+        default=0,
+        help="per-monitor in-flight observe bound on each shard "
+        "(default 0 = unbounded)",
+    )
+    fleet.add_argument(
+        "--probe-interval",
+        type=float,
+        default=1.0,
+        help="seconds between /healthz probes per shard (default 1)",
+    )
+    fleet.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=5.0,
+        help="per-probe timeout in seconds (default 5)",
+    )
+    fleet.add_argument(
+        "--failure-threshold",
+        type=int,
+        default=3,
+        help="consecutive probe failures before a shard is SIGKILLed "
+        "and restarted (default 3)",
+    )
+    fleet.add_argument(
+        "--recovery-probes",
+        type=int,
+        default=2,
+        help="consecutive healthy probes before a restarted shard's "
+        "breaker closes (default 2)",
+    )
+    fleet.add_argument(
+        "--restart-backoff",
+        type=float,
+        default=0.5,
+        help="base restart delay in seconds, doubled per consecutive "
+        "failure (default 0.5)",
+    )
+    fleet.add_argument(
+        "--restart-backoff-cap",
+        type=float,
+        default=30.0,
+        help="maximum restart delay in seconds (default 30)",
+    )
+    fleet.add_argument(
+        "--max-replay-lag",
+        type=int,
+        default=None,
+        help="restart a shard whose WAL replay lag sits at or above N "
+        "batches without shrinking (default: disabled)",
+    )
+    fleet.add_argument(
+        "--stall-probes",
+        type=int,
+        default=5,
+        help="consecutive stalled probes before a --max-replay-lag "
+        "restart (default 5)",
+    )
+    fleet.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log every routed HTTP request to stderr",
+    )
+
+    fleet_status = commands.add_parser(
+        "fleet-status",
+        help="offline per-shard + merged status over a fleet data dir",
+    )
+    fleet_status.add_argument(
+        "--data-dir",
+        required=True,
+        help="the fleet data directory (fleet.json + shard-NN/ subdirs)",
+    )
+    fleet_status.add_argument(
+        "--trend-window",
+        type=int,
+        default=None,
+        help="summarise each epsilon trend over only the last N batches",
+    )
+    fleet_status.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a markdown report instead of plain text",
     )
 
     wal = commands.add_parser(
@@ -533,26 +733,22 @@ def _run_monitor_serve(args: argparse.Namespace, out) -> int:
     if args.queue_depth < 0:
         print("error: --queue-depth must be >= 0", file=sys.stderr)
         return 2
-    registry = MonitorRegistry.open(
-        args.data_dir,
-        checkpoint_keep=args.checkpoint_keep,
-        wal_enabled=not args.no_wal,
-        wal_dir=args.wal_dir,
-    )
+    # Bind the socket and print the banner BEFORE opening the registry:
+    # MonitorRegistry.open replays each monitor's WAL, which can take a
+    # long time after a crash, and a supervisor needs the bound port
+    # (parsed from the first stdout line) to probe the worker while it
+    # replays. Until the registry attaches, the service answers
+    # /healthz with status "starting" and everything else with a
+    # retryable 503.
     service = MonitorService(
-        registry,
+        None,
         host=args.host,
         port=args.port,
         checkpoint_every=args.checkpoint_every,
         queue_depth=args.queue_depth,
         verbose=args.verbose,
+        label=args.label,
     )
-    resumed = registry.names()
-    if resumed:
-        out.write(
-            f"monitor-serve: resumed {len(resumed)} monitor(s): "
-            f"{', '.join(resumed)}\n"
-        )
     # The serve loop runs on a daemon thread; the main thread waits for a
     # signal so SIGINT/SIGTERM handlers never deadlock against
     # serve_forever (shutdown() must not be called from the serving
@@ -569,6 +765,25 @@ def _run_monitor_serve(args: argparse.Namespace, out) -> int:
         )
         if hasattr(out, "flush"):
             out.flush()
+        try:
+            registry = MonitorRegistry.open(
+                args.data_dir,
+                checkpoint_keep=args.checkpoint_keep,
+                wal_enabled=not args.no_wal,
+                wal_dir=args.wal_dir,
+            )
+        except BaseException:
+            service.shutdown()
+            raise
+        service.attach_registry(registry)
+        resumed = registry.names()
+        if resumed:
+            out.write(
+                f"monitor-serve: resumed {len(resumed)} monitor(s): "
+                f"{', '.join(resumed)}\n"
+            )
+            if hasattr(out, "flush"):
+                out.flush()
         stop.wait()
         checkpointed = service.shutdown()
         out.write(
@@ -593,10 +808,107 @@ def _run_monitor_serve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_fleet_serve(args: argparse.Namespace, out) -> int:
+    import signal
+    import threading
+
+    from repro.monitor.fleet import FleetSupervisor, SupervisorPolicy
+    from repro.monitor.routing import FleetRouter
+
+    if args.checkpoint_every < 0:
+        print("error: --checkpoint-every must be >= 0", file=sys.stderr)
+        return 2
+    if args.queue_depth < 0:
+        print("error: --queue-depth must be >= 0", file=sys.stderr)
+        return 2
+    if args.shards is not None and args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    policy = SupervisorPolicy(
+        probe_interval=args.probe_interval,
+        probe_timeout=args.probe_timeout,
+        failure_threshold=args.failure_threshold,
+        recovery_probes=args.recovery_probes,
+        backoff_base=args.restart_backoff,
+        backoff_cap=args.restart_backoff_cap,
+        max_replay_lag=args.max_replay_lag,
+        stall_probes=args.stall_probes,
+    )
+    serve_args: list[str] = []
+    if args.checkpoint_every:
+        serve_args += ["--checkpoint-every", str(args.checkpoint_every)]
+    if args.queue_depth:
+        serve_args += ["--queue-depth", str(args.queue_depth)]
+
+    def on_event(shard: int, message: str) -> None:
+        print(f"fleet-serve: shard-{shard:02d} {message}", file=sys.stderr)
+
+    supervisor = FleetSupervisor(
+        args.data_dir,
+        args.shards,
+        serve_args=tuple(serve_args),
+        policy=policy,
+        on_event=on_event,
+    )
+    stop = threading.Event()
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, lambda *_: stop.set())
+    router = None
+    try:
+        supervisor.start()
+        router = FleetRouter(
+            supervisor,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+        )
+        router.start()
+        out.write(
+            f"fleet-serve: router listening on {router.url} "
+            f"({supervisor.n_shards} shard(s), data dir {args.data_dir})\n"
+        )
+        for status in supervisor.fleet_health()["shards"]:
+            out.write(
+                f"fleet-serve: shard-{status['shard']:02d} pid "
+                f"{status['pid']} at {status['url']} "
+                f"(generation {status['generation']})\n"
+            )
+        if hasattr(out, "flush"):
+            out.flush()
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        if router is not None:
+            router.shutdown()
+        supervisor.stop()
+    out.write("fleet-serve: shut down cleanly\n")
+    return 0
+
+
+def _run_fleet_status(args: argparse.Namespace, out) -> int:
+    from repro.monitor.fleet import render_fleet_status
+
+    if args.trend_window is not None and args.trend_window < 1:
+        print("error: --trend-window must be >= 1", file=sys.stderr)
+        return 2
+    out.write(
+        render_fleet_status(
+            args.data_dir,
+            markdown=args.markdown,
+            trend_window=args.trend_window,
+        )
+    )
+    out.write("\n")
+    return 0
+
+
 def _run_wal_inspect(args: argparse.Namespace, out) -> int:
     import json as _json
 
     from repro.exceptions import StoreError
+    from repro.monitor.fleet import fleet_shard_count, shard_dir
     from repro.monitor.registry import WAL_DIR
     from repro.monitor.wal import inspect_wal
 
@@ -604,9 +916,24 @@ def _run_wal_inspect(args: argparse.Namespace, out) -> int:
     if not data_dir.is_dir():
         print(f"error: no such directory: {data_dir}", file=sys.stderr)
         return 2
-    # Accept either a service data dir (WAL dirs live under wal/<name>),
-    # a wal/ parent, or a single monitor's WAL dir given directly.
-    if list(data_dir.glob("wal-*.seg")):
+    # Accept a fleet data dir (shard-NN/wal/<name>), a service data dir
+    # (WAL dirs live under wal/<name>), a wal/ parent, or a single
+    # monitor's WAL dir given directly.
+    fleet_shards = (
+        None
+        if list(data_dir.glob("wal-*.seg"))
+        else fleet_shard_count(data_dir)
+    )
+    if fleet_shards is not None:
+        wal_dirs = {}
+        for index in range(fleet_shards):
+            wal_root = shard_dir(data_dir, index) / WAL_DIR
+            if not wal_root.is_dir():
+                continue
+            for child in sorted(wal_root.iterdir()):
+                if child.is_dir() and list(child.glob("wal-*.seg")):
+                    wal_dirs[f"shard-{index:02d}/{child.name}"] = child
+    elif list(data_dir.glob("wal-*.seg")):
         wal_dirs = {data_dir.name: data_dir}
     else:
         wal_root = data_dir / WAL_DIR if (data_dir / WAL_DIR).is_dir() else data_dir
@@ -645,15 +972,33 @@ def _run_wal_inspect(args: argparse.Namespace, out) -> int:
                 f"{segment['bytes']} byte(s), seq "
                 f"{segment['first_seq']}..{segment['last_seq']}{torn}\n"
             )
+    if fleet_shards is not None:
+        total_records = sum(report["records"] for report in reports.values())
+        total_rows = sum(report["rows"] for report in reports.values())
+        out.write(
+            f"fleet totals: {fleet_shards} shard(s), {len(reports)} WAL(s), "
+            f"{total_records} record(s), {total_rows} row(s)\n"
+        )
     return 0
 
 
 def _run_monitor_status(args: argparse.Namespace, out) -> int:
+    from repro.monitor.fleet import fleet_shard_count, render_fleet_status
     from repro.monitor.service import render_status
 
     if args.trend_window is not None and args.trend_window < 1:
         print("error: --trend-window must be >= 1", file=sys.stderr)
         return 2
+    if Path(args.data_dir).is_dir() and fleet_shard_count(args.data_dir) is not None:
+        out.write(
+            render_fleet_status(
+                args.data_dir,
+                markdown=args.markdown,
+                trend_window=args.trend_window,
+            )
+        )
+        out.write("\n")
+        return 0
     out.write(
         render_status(
             args.data_dir,
@@ -704,6 +1049,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _run_monitor_serve(args, out)
         if args.command == "monitor-status":
             return _run_monitor_status(args, out)
+        if args.command == "fleet-serve":
+            return _run_fleet_serve(args, out)
+        if args.command == "fleet-status":
+            return _run_fleet_status(args, out)
         if args.command == "wal-inspect":
             return _run_wal_inspect(args, out)
         if args.command == "worked-example":

@@ -83,13 +83,45 @@ class MonitorClientError(MonitorError):
     failed (non-2xx response, or retries were exhausted).
 
     Carries the HTTP ``status`` (0 for transport-level failures) and the
-    decoded error ``body`` when one was returned.
+    decoded error ``body`` when one was returned. ``transient`` marks
+    transport failures that mean "nothing is listening right now" — a
+    connection refused or reset by a shard mid-restart — which the
+    client retries with the same backoff as 429/503 backpressure.
     """
 
-    def __init__(self, message: str, *, status: int = 0, body=None):
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 0,
+        body=None,
+        transient: bool = False,
+    ):
         super().__init__(message)
         self.status = int(status)
         self.body = body
+        self.transient = bool(transient)
+
+
+class FleetError(MonitorError):
+    """A process-per-shard fleet operation failed (bad shard count, a
+    shard worker that never became ready, or a fleet directory whose
+    recorded layout disagrees with the requested one — restarting with
+    a different shard count would silently route monitors to the wrong
+    shard's data)."""
+
+
+class ShardUnavailable(FleetError):
+    """The shard that owns a monitor is down (crashed, restarting, or
+    circuit-broken). The router maps this to ``503`` + ``Retry-After``
+    for that shard's monitors only — shard-level degradation is never
+    fleet-wide. Carries the ``shard`` index and a ``retry_after`` hint
+    (seconds until the supervisor expects the shard back)."""
+
+    def __init__(self, message: str, *, shard: int, retry_after: float = 1.0):
+        super().__init__(message)
+        self.shard = int(shard)
+        self.retry_after = float(retry_after)
 
 
 class EmptyGroupError(ReproError):

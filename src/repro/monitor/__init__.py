@@ -22,11 +22,32 @@ reproduction. It layers on the streaming/engine stack (PRs 3-4):
   group commit, replay-on-restart past the newest checkpoint);
 * :mod:`repro.monitor.client` / :mod:`repro.monitor.backoff` — the
   retrying HTTP client and the decorrelated-jitter backoff policy it
-  uses to honour 429/503 backpressure.
+  uses to honour 429/503 backpressure;
+* :mod:`repro.monitor.routing` / :mod:`repro.monitor.fleet` — the
+  sharded fleet (``repro fleet-serve``): a front router that
+  hash-assigns monitors to shard worker processes, and a supervisor
+  that health-probes shards, detects crash/hang/replay-stall, and
+  restarts them behind a per-shard circuit breaker while the router
+  fast-fails only that shard's monitors with ``503 + Retry-After``.
 """
 
 from repro.monitor.backoff import decorrelated_jitter, retry_call
-from repro.monitor.client import RETRYABLE_STATUSES, MonitorClient
+from repro.monitor.client import (
+    RETRYABLE_STATUSES,
+    TRANSIENT_ERRORS,
+    MonitorClient,
+)
+from repro.monitor.fleet import (
+    FleetSupervisor,
+    ShardProcess,
+    ShardSupervisor,
+    SupervisorPolicy,
+    fleet_shard_count,
+    fleet_status_snapshot,
+    init_fleet_dir,
+    probe_healthz,
+    render_fleet_status,
+)
 from repro.monitor.registry import (
     BatchResult,
     Monitor,
@@ -44,6 +65,7 @@ from repro.monitor.rules import (
     rule_from_dict,
     rules_from_dicts,
 )
+from repro.monitor.routing import FleetRouter, shard_for
 from repro.monitor.service import MonitorService, render_status, status_snapshot
 from repro.monitor.store import AuditHistoryStore, TrendSummary
 from repro.monitor.wal import FileSystem, WriteAheadLog, inspect_wal
@@ -56,6 +78,8 @@ __all__ = [
     "DivergenceRule",
     "EpsilonThresholdRule",
     "FileSystem",
+    "FleetRouter",
+    "FleetSupervisor",
     "Monitor",
     "MonitorClient",
     "MonitorConfig",
@@ -65,13 +89,23 @@ __all__ = [
     "PosteriorCredibleRule",
     "RETRYABLE_STATUSES",
     "RuleContext",
+    "ShardProcess",
+    "ShardSupervisor",
+    "SupervisorPolicy",
+    "TRANSIENT_ERRORS",
     "TrendSummary",
     "WriteAheadLog",
     "decorrelated_jitter",
+    "fleet_shard_count",
+    "fleet_status_snapshot",
+    "init_fleet_dir",
     "inspect_wal",
+    "probe_healthz",
+    "render_fleet_status",
     "render_status",
     "retry_call",
     "rule_from_dict",
     "rules_from_dicts",
+    "shard_for",
     "status_snapshot",
 ]

@@ -28,11 +28,20 @@ from urllib.parse import urlencode
 from repro.exceptions import MonitorClientError, ValidationError
 from repro.monitor.backoff import retry_call
 
-__all__ = ["MonitorClient", "RETRYABLE_STATUSES"]
+__all__ = ["MonitorClient", "RETRYABLE_STATUSES", "TRANSIENT_ERRORS"]
 
 # Statuses that mean "the service is shedding load; the request was NOT
 # applied" — safe to retry verbatim.
 RETRYABLE_STATUSES = frozenset({429, 503})
+
+# Transport-level failures that mean "nothing answered at all" — the
+# socket was refused (shard process down, mid-restart) or reset under
+# us (shard SIGKILLed with the connection open). Retried with the same
+# decorrelated-jitter backoff as 429/503: by the time the backoff
+# elapses, the supervisor has typically restarted the shard and WAL
+# replay has restored every acked batch. A reset *can* race an ack, so
+# exactly-once across resets needs an idempotency ``batch_id``.
+TRANSIENT_ERRORS = (ConnectionRefusedError, ConnectionResetError)
 
 
 class MonitorClient:
@@ -148,16 +157,25 @@ class MonitorClient:
                     pass
             raise client_error from None
         except urllib.error.URLError as error:
+            reason = error.reason
             raise MonitorClientError(
-                f"{method} {url} failed: {error.reason}", status=0
+                f"{method} {url} failed: {reason}",
+                status=0,
+                transient=isinstance(reason, TRANSIENT_ERRORS),
+            ) from None
+        except TRANSIENT_ERRORS as error:
+            # http.client can surface a reset/refused socket directly
+            # (e.g. the peer died while we were reading the response)
+            # without urllib wrapping it in URLError.
+            raise MonitorClientError(
+                f"{method} {url} failed: {error}", status=0, transient=True
             ) from None
 
     @staticmethod
     def _should_retry(error: BaseException) -> float | bool:
-        if (
-            not isinstance(error, MonitorClientError)
-            or error.status not in RETRYABLE_STATUSES
-        ):
+        if not isinstance(error, MonitorClientError):
+            return False
+        if error.status not in RETRYABLE_STATUSES and not error.transient:
             return False
         # Prefer the server's hint: the Retry-After header, else the
         # machine-readable retry_after field in the degraded body.
@@ -186,7 +204,11 @@ class MonitorClient:
         return self.request("DELETE", f"/monitors/{name}")
 
     def observe(
-        self, name: str, rows: list[list[Any]]
+        self,
+        name: str,
+        rows: list[list[Any]],
+        *,
+        batch_id: str | None = None,
     ) -> dict[str, Any]:
         """Ingest one batch; retries queue-full/degraded rejections.
 
@@ -196,9 +218,19 @@ class MonitorClient:
         durability is indeterminate (the record may survive a crash and
         be replayed) comes back as a 500 instead, which this client
         deliberately does not retry — re-sending could double-count.
+
+        ``batch_id`` makes the batch idempotent server-side: if a
+        connection reset (shard killed mid-request) loses the ack of a
+        batch that *was* durably applied, the retried send is answered
+        with ``duplicate: true`` instead of being counted twice. Any
+        client-unique string works; use one whenever retries can cross
+        a process crash (i.e. always, in a supervised fleet).
         """
+        body: dict[str, Any] = {"rows": rows}
+        if batch_id is not None:
+            body["batch_id"] = batch_id
         return self.request(
-            "POST", f"/monitors/{name}/observe", body={"rows": rows}
+            "POST", f"/monitors/{name}/observe", body=body
         )
 
     def report(self, name: str) -> dict[str, Any]:

@@ -48,7 +48,7 @@ import os
 import re
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -100,6 +100,16 @@ _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
 # path (the durable store holds the full history; this bounds what a
 # report poll can summarise without touching disk).
 TREND_TAIL_BATCHES = 512
+
+# How many applied batch_id idempotency keys each monitor remembers
+# (newest-wins). A retried batch is only deduplicated while its key is
+# within this horizon — sized so that a client retrying within any
+# sane backoff window is covered, while memory stays bounded.
+RECENT_BATCH_IDS = 4096
+
+# batch_id keys travel in JSON bodies, WAL records, and checkpoint
+# headers; bound their size so a hostile key cannot bloat all three.
+MAX_BATCH_ID_CHARS = 128
 
 CHECKPOINT_DIR = "checkpoints"
 HISTORY_DIR = "history"
@@ -198,7 +208,13 @@ class MonitorConfig:
 
 @dataclass(frozen=True)
 class BatchResult:
-    """What one ``observe`` call did: the new epsilon plus fired alerts."""
+    """What one ``observe`` call did: the new epsilon plus fired alerts.
+
+    ``duplicate`` means the batch's ``batch_id`` had already been
+    applied, so nothing was ingested and the result reports the
+    monitor's current state — the ack a retrying client should have
+    received the first time.
+    """
 
     monitor: str
     batch_index: int
@@ -206,6 +222,7 @@ class BatchResult:
     epsilon: float
     cumulative_epsilon: float | None
     alerts: tuple[AlertEvent, ...]
+    duplicate: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -215,6 +232,7 @@ class BatchResult:
             "epsilon": self.epsilon,
             "cumulative_epsilon": self.cumulative_epsilon,
             "alerts": [alert.to_dict() for alert in self.alerts],
+            "duplicate": self.duplicate,
         }
 
 
@@ -282,6 +300,12 @@ class Monitor:
         self._last_checkpoint_ts: float | None = None
         self._checkpointed_seq = 0
         self._epsilon_tail: deque[float] = deque(maxlen=TREND_TAIL_BATCHES)
+        # Applied batch_id -> batch_index, newest last, bounded by
+        # RECENT_BATCH_IDS. Persisted in checkpoint headers and carried
+        # in WAL records, so deduplication survives crash + replay:
+        # a client retry of a batch whose ack was lost to a crash is
+        # answered, not double-counted.
+        self._applied_batch_ids: OrderedDict[str, int] = OrderedDict()
         self._auditor = self._build_auditor(windowed=True)
         self._shadow = (
             self._build_auditor(windowed=False)
@@ -325,7 +349,12 @@ class Monitor:
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def observe(self, rows: Iterable[Sequence[Any]]) -> BatchResult:
+    def observe(
+        self,
+        rows: Iterable[Sequence[Any]],
+        *,
+        batch_id: str | None = None,
+    ) -> BatchResult:
         """Ingest one batch of ``(*protected values, outcome)`` rows.
 
         Atomic with respect to other threads: the WAL append, the
@@ -339,10 +368,29 @@ class Monitor:
         contract: a batch this method returns for is recoverable, and a
         batch it raises :class:`repro.exceptions.WalError` for was never
         applied and is safe to retry.
+
+        ``batch_id`` makes the call idempotent: a batch whose id was
+        already applied is acknowledged again (``duplicate=True``)
+        without being re-counted. This closes the one retry hole a WAL
+        alone cannot: a crash *after* the WAL fsync but *before* the
+        ack reaches the client leaves the batch durable — replay
+        restores it — so a client retry without an id would
+        double-count it. Ids ride inside the WAL record and the
+        checkpoint header, so deduplication itself survives crashes.
         """
         rows = [tuple(row) for row in rows]
         if not rows:
             raise ValidationError("an ingestion batch must contain rows")
+        if batch_id is not None:
+            if not isinstance(batch_id, str) or not batch_id:
+                raise ValidationError(
+                    f"batch_id must be a non-empty string, got {batch_id!r}"
+                )
+            if len(batch_id) > MAX_BATCH_ID_CHARS:
+                raise ValidationError(
+                    f"batch_id must be <= {MAX_BATCH_ID_CHARS} characters, "
+                    f"got {len(batch_id)}"
+                )
         # Validate the batch shape *before* the WAL append, so a
         # malformed batch is rejected without ever reaching the durable
         # log (it would be replayed as a no-op, but why store it).
@@ -355,6 +403,14 @@ class Monitor:
                     f"outcome ({width} cells); got a row with {len(row)}"
                 )
         with self._lock:
+            # Deduplicate before WAL admission: the original batch is
+            # already durable, so its retry must succeed even while the
+            # WAL is degraded and refusing fresh appends.
+            if (
+                batch_id is not None
+                and batch_id in self._applied_batch_ids
+            ):
+                return self._duplicate_result(batch_id, len(rows))
             seq = None
             if self._wal is not None:
                 if not self._wal.admit():
@@ -362,10 +418,34 @@ class Monitor:
                         f"monitor {self.name!r} ingestion is degraded "
                         f"({self._wal.degraded_reason}); retry later"
                     )
-                seq = self._wal.append(
-                    {"rows": [list(row) for row in rows]}
-                )
-            return self._apply(rows, seq=seq)
+                record: dict[str, Any] = {
+                    "rows": [list(row) for row in rows]
+                }
+                if batch_id is not None:
+                    record["batch_id"] = batch_id
+                seq = self._wal.append(record)
+            return self._apply(rows, seq=seq, batch_id=batch_id)
+
+    def _duplicate_result(self, batch_id: str, n_rows: int) -> BatchResult:
+        """The repeat ack for an already-applied ``batch_id`` (lock held)."""
+        cumulative = (
+            None if self._shadow is None else self._shadow.epsilon()
+        )
+        return BatchResult(
+            monitor=self.name,
+            batch_index=self._applied_batch_ids[batch_id],
+            n_rows=n_rows,
+            epsilon=self._auditor.epsilon(),
+            cumulative_epsilon=cumulative,
+            alerts=(),
+            duplicate=True,
+        )
+
+    def _remember_batch_id(self, batch_id: str, batch_index: int) -> None:
+        self._applied_batch_ids[batch_id] = int(batch_index)
+        self._applied_batch_ids.move_to_end(batch_id)
+        while len(self._applied_batch_ids) > RECENT_BATCH_IDS:
+            self._applied_batch_ids.popitem(last=False)
 
     def _apply(
         self,
@@ -375,6 +455,7 @@ class Monitor:
         replay: bool = False,
         store_cutoff: int = 0,
         alert_cutoff: tuple[int, int] = (0, 0),
+        batch_id: str | None = None,
     ) -> BatchResult:
         """Fold one (already durable) batch into the live state.
 
@@ -462,6 +543,12 @@ class Monitor:
                             **alert.to_dict(),
                         }
                     )
+            if batch_id is not None:
+                # Only successful applies are remembered: a batch the
+                # auditor rejected was never acknowledged, so its retry
+                # must fail identically rather than be swallowed as a
+                # duplicate.
+                self._remember_batch_id(batch_id, result.batch_index)
             return result
 
     def replay_wal(self) -> int:
@@ -507,6 +594,7 @@ class Monitor:
             replayed = 0
             for record in self._wal.records(since=since):
                 rows = [tuple(row) for row in record.get("rows", ())]
+                record_batch_id = record.get("batch_id")
                 try:
                     self._apply(
                         rows,
@@ -514,6 +602,11 @@ class Monitor:
                         replay=True,
                         store_cutoff=store_cutoff,
                         alert_cutoff=alert_cutoff,
+                        batch_id=(
+                            record_batch_id
+                            if isinstance(record_batch_id, str)
+                            else None
+                        ),
                     )
                 except ReproError:
                     continue
@@ -658,6 +751,13 @@ class Monitor:
             progress: dict[str, Any] = {
                 "batches": self._batches,
                 "checkpoint_ts": float(self._clock()),
+                # Idempotency keys applied so far (insertion-ordered):
+                # restoring them means a client retry that straddles a
+                # checkpoint + crash still deduplicates.
+                "batch_ids": [
+                    [key, index]
+                    for key, index in self._applied_batch_ids.items()
+                ],
             }
             if shadow_state is not None:
                 # The shadow is cumulative over the same rows: its counts
@@ -685,6 +785,10 @@ class Monitor:
         with self._lock:
             self._auditor.restore(state)
             self._batches = int(progress.get("batches", 0))
+            self._applied_batch_ids = OrderedDict(
+                (str(key), int(index))
+                for key, index in progress.get("batch_ids", [])
+            )
             self._checkpointed_seq = self._auditor.applied_seq
             if self._wal is not None:
                 # Reconcile the two counters: a WAL whose sequence fell
@@ -978,9 +1082,15 @@ class MonitorRegistry:
     # ------------------------------------------------------------------
     # Ingestion + durability
     # ------------------------------------------------------------------
-    def observe(self, name: str, rows: Iterable[Sequence[Any]]) -> BatchResult:
+    def observe(
+        self,
+        name: str,
+        rows: Iterable[Sequence[Any]],
+        *,
+        batch_id: str | None = None,
+    ) -> BatchResult:
         """Ingest a batch into the named monitor (the hot service path)."""
-        return self.get(name).observe(rows)
+        return self.get(name).observe(rows, batch_id=batch_id)
 
     def report(self, name: str) -> MonitorReport:
         """Status report with a trend: the monitor's in-memory epsilon

@@ -1,0 +1,475 @@
+"""Monitor-name routing for the process-per-shard monitoring fleet.
+
+The fleet splits a :class:`repro.monitor.registry.MonitorRegistry`
+deployment across N worker processes ("shards"), each running the full
+PR-6 stack — registry + WAL + history store — over its own data
+subdirectory. Two pieces live here:
+
+* :func:`shard_for` — the stable hash that assigns a monitor name to a
+  shard. It is the *routing contract*: the same name must map to the
+  same shard in the router, in ``fleet-status``, and across process
+  restarts, so it is built on SHA-256 rather than Python's per-process
+  salted ``hash()``.
+* :class:`FleetRouter` — the stdlib-only HTTP front process. It speaks
+  the exact :class:`repro.monitor.service.MonitorService` API, forwards
+  each monitor-scoped request to the owning shard verbatim, and
+  fast-fails requests for a down shard with ``503 + Retry-After`` so a
+  crash degrades *that shard's monitors only*, never the fleet.
+
+The router is deliberately dumb: it holds no monitor state, parses
+request bodies only as far as routing requires (the monitor ``name``),
+and relays shard responses byte-for-byte. All supervision intelligence
+(probes, circuit breakers, restarts) lives in
+:mod:`repro.monitor.fleet`; the router only asks its shard table for a
+URL or an unavailability hint.
+
+Shard-table protocol
+--------------------
+Any object with these members can back a router (the fleet supervisor
+implements them; tests use fakes):
+
+``n_shards``
+    Number of shards (int, >= 1).
+``shard_url(shard)``
+    Base URL (``http://host:port``) of a live shard, or raise
+    :class:`repro.exceptions.ShardUnavailable` with a ``retry_after``
+    hint when the shard is down or circuit-broken.
+``fleet_health()``
+    The dict served on the router's ``/healthz``.
+``shard_retry_after(shard)``
+    Backoff hint (seconds) for a shard that just failed mid-request
+    (optional; the router falls back to 1 second).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import socket
+import sys
+import threading
+import traceback
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.exceptions import (
+    MonitorError,
+    ShardUnavailable,
+    ValidationError,
+)
+from repro.monitor.service import MAX_BODY_BYTES
+from repro.monitor.store import sanitize_floats
+
+__all__ = ["FleetRouter", "shard_for"]
+
+_NAME_ROUTE = re.compile(r"^/monitors/(?P<name>[^/]+)")
+
+
+def shard_for(name: str, n_shards: int) -> int:
+    """The shard index that owns monitor ``name``.
+
+    Stable across processes, platforms, and Python versions: derived
+    from the first 8 bytes of SHA-256 over the UTF-8 name. Changing
+    this function (or ``n_shards``) reshuffles monitors across shard
+    data directories, which is why the fleet records its shard count in
+    ``fleet.json`` and refuses to reopen with a different one.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValidationError(
+            f"monitor name must be a non-empty string, got {name!r}"
+        )
+    if not isinstance(n_shards, int) or isinstance(n_shards, bool):
+        raise ValidationError(f"n_shards must be an int, got {n_shards!r}")
+    if n_shards < 1:
+        raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
+
+
+class _RouteError(Exception):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        headers: dict[str, str] | None = None,
+        extra: dict[str, Any] | None = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+        self.extra = dict(extra or {})
+
+
+def _unavailable(error: ShardUnavailable) -> _RouteError:
+    return _RouteError(
+        503,
+        str(error),
+        headers={"Retry-After": f"{error.retry_after:g}"},
+        extra={
+            "shard": error.shard,
+            "retry_after": error.retry_after,
+            "degraded": True,
+        },
+    )
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the owning :class:`FleetRouter`."""
+
+    server_version = "repro-fleet-router/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.router.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _drain_unread_body(self) -> None:
+        # Same keep-alive discipline as the shard service: leftover body
+        # bytes would be parsed as the next request line.
+        if getattr(self, "_body_consumed", False):
+            return
+        self._body_consumed = True
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            return
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        self.rfile.read(length)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(
+            sanitize_floats(payload), allow_nan=False
+        ).encode("utf-8")
+        self._send_raw(status, body, headers)
+
+    def _send_raw(
+        self,
+        status: int,
+        body: bytes,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self._drain_unread_body()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise _RouteError(400, "a JSON request body is required")
+        if length > MAX_BODY_BYTES:
+            raise _RouteError(
+                413, f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        self._body_consumed = True
+        return self.rfile.read(length)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str) -> None:
+        self._body_consumed = False
+        router: FleetRouter = self.server.router  # type: ignore[attr-defined]
+        try:
+            try:
+                handled = router.route(method, self.path, self)
+            except _RouteError:
+                raise
+            except ShardUnavailable as error:
+                raise _unavailable(error) from None
+            except MonitorError as error:
+                raise _RouteError(400, str(error)) from None
+            except Exception:
+                traceback.print_exc(file=sys.stderr)
+                raise _RouteError(
+                    500, "unexpected router error; see the router log"
+                ) from None
+        except _RouteError as error:
+            self._send_json(
+                error.status,
+                {"error": error.message, **error.extra},
+                headers=error.headers,
+            )
+            return
+        status, body, headers = handled
+        self._send_raw(status, body, headers)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class FleetRouter:
+    """The HTTP front process for a sharded monitoring fleet.
+
+    Parameters
+    ----------
+    table:
+        The shard table (see the module docstring for the protocol);
+        normally a :class:`repro.monitor.fleet.FleetSupervisor`.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port.
+    timeout:
+        Per-request forwarding timeout (seconds) to a shard. A shard
+        that accepts the connection but never answers within this
+        window surfaces as a ``503`` with ``outcome_unknown`` (the
+        request may or may not have been applied; idempotent retries
+        via ``batch_id`` make re-sending safe).
+    verbose:
+        Log each request to stderr.
+    """
+
+    def __init__(
+        self,
+        table,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 30.0,
+        verbose: bool = False,
+    ):
+        for member in ("n_shards", "shard_url", "fleet_health"):
+            if not hasattr(table, member):
+                raise ValidationError(
+                    f"shard table must provide {member!r}; "
+                    f"got {type(table).__name__}"
+                )
+        if timeout <= 0:
+            raise ValidationError(
+                f"timeout must be > 0 seconds, got {timeout}"
+            )
+        self._table = table
+        self.timeout = float(timeout)
+        self.verbose = bool(verbose)
+        self._httpd = ThreadingHTTPServer((host, port), _RouterHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.router = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._shutdown_lock = threading.Lock()
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "FleetRouter":
+        """Serve in a daemon thread; returns immediately."""
+        if self._thread is not None:
+            raise MonitorError("the router is already running")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-fleet-router",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving. Safe to call more than once."""
+        with self._shutdown_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "FleetRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(
+        self, method: str, path_qs: str, request: _RouterHandler
+    ) -> tuple[int, bytes, dict[str, str]]:
+        path = path_qs.split("?", 1)[0]
+        if path == "/healthz" and method == "GET":
+            return self._json(200, self._table.fleet_health())
+        if path == "/monitors":
+            if method == "GET":
+                return self._json(200, self._list_monitors())
+            if method == "POST":
+                body = request._read_body()
+                return self._forward_named(
+                    method, path_qs, self._name_from_config(body), body
+                )
+            raise _RouteError(405, f"{method} is not supported on {path}")
+        match = _NAME_ROUTE.match(path)
+        if match is None:
+            raise _RouteError(404, f"no route for {path}")
+        body = None
+        if method == "POST":
+            body = request._read_body()
+        return self._forward_named(method, path_qs, match.group("name"), body)
+
+    @staticmethod
+    def _json(
+        status: int, payload: dict[str, Any]
+    ) -> tuple[int, bytes, dict[str, str]]:
+        body = json.dumps(
+            sanitize_floats(payload), allow_nan=False
+        ).encode("utf-8")
+        return status, body, {}
+
+    @staticmethod
+    def _name_from_config(body: bytes) -> str:
+        try:
+            config = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _RouteError(
+                400, f"request body is not valid JSON: {error}"
+            ) from None
+        name = config.get("name") if isinstance(config, dict) else None
+        if not isinstance(name, str) or not name:
+            raise _RouteError(
+                400, 'the monitor config must carry a string "name"'
+            )
+        return name
+
+    def _list_monitors(self) -> dict[str, Any]:
+        """Fan ``GET /monitors`` out to every shard and merge.
+
+        Down shards are reported in ``unavailable_shards`` rather than
+        failing the listing — unless *every* shard is down, which is a
+        fleet-wide outage and surfaces as the 503 it is.
+        """
+        names: list[str] = []
+        unavailable: list[int] = []
+        for shard in range(self._table.n_shards):
+            try:
+                url = self._table.shard_url(shard)
+                with urllib.request.urlopen(
+                    f"{url}/monitors", timeout=self.timeout
+                ) as response:
+                    payload = json.loads(response.read().decode("utf-8"))
+                names.extend(payload.get("monitors", []))
+            except (
+                ShardUnavailable,
+                urllib.error.URLError,
+                ConnectionError,
+                TimeoutError,
+                socket.timeout,
+                json.JSONDecodeError,
+            ):
+                unavailable.append(shard)
+        if unavailable and len(unavailable) == self._table.n_shards:
+            raise _RouteError(
+                503,
+                "every shard is unavailable",
+                headers={"Retry-After": "1"},
+                extra={"retry_after": 1.0, "degraded": True},
+            )
+        return {"monitors": sorted(names), "unavailable_shards": unavailable}
+
+    def _forward_named(
+        self,
+        method: str,
+        path_qs: str,
+        name: str,
+        body: bytes | None,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        shard = shard_for(name, self._table.n_shards)
+        url = self._table.shard_url(shard)  # raises ShardUnavailable
+        return self._forward(method, shard, url, path_qs, body)
+
+    def _forward(
+        self,
+        method: str,
+        shard: int,
+        url: str,
+        path_qs: str,
+        body: bytes | None,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """Relay a request to a shard and its response back, verbatim.
+
+        Shard-level HTTP errors (404, 409, 429, 503...) pass through
+        untouched, ``Retry-After`` included, so a client cannot tell a
+        fleet from a single service. Transport failures become a
+        ``503`` scoped to this shard; ``outcome_unknown`` is set unless
+        the connection was refused outright (refused means the request
+        provably never reached the shard's WAL).
+        """
+        forwarded = urllib.request.Request(url + path_qs, method=method)
+        if body is not None:
+            forwarded.add_header("Content-Type", "application/json")
+            forwarded.data = body
+        try:
+            with urllib.request.urlopen(
+                forwarded, timeout=self.timeout
+            ) as response:
+                return response.status, response.read(), {}
+        except urllib.error.HTTPError as error:
+            payload = error.read()
+            headers = {}
+            retry_after = error.headers.get("Retry-After")
+            if retry_after is not None:
+                headers["Retry-After"] = retry_after
+            return error.code, payload, headers
+        except (
+            urllib.error.URLError,
+            ConnectionError,
+            TimeoutError,
+            socket.timeout,
+        ) as error:
+            reason = getattr(error, "reason", error)
+            retry_after = self._retry_after(shard)
+            extra: dict[str, Any] = {
+                "shard": shard,
+                "retry_after": retry_after,
+                "degraded": True,
+            }
+            if not isinstance(reason, ConnectionRefusedError):
+                extra["outcome_unknown"] = True
+            raise _RouteError(
+                503,
+                f"shard {shard} is unavailable: {reason}",
+                headers={"Retry-After": f"{retry_after:g}"},
+                extra=extra,
+            ) from None
+
+    def _retry_after(self, shard: int) -> float:
+        hint = getattr(self._table, "shard_retry_after", None)
+        if hint is None:
+            return 1.0
+        try:
+            return max(float(hint(shard)), 0.1)
+        except Exception:
+            return 1.0

@@ -68,6 +68,10 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 # re-arrive in lockstep.
 QUEUE_RETRY_AFTER = 0.5
 
+# The Retry-After hint while the service is bound but its registry is
+# not yet attached (WAL replay in progress).
+STARTING_RETRY_AFTER = 1.0
+
 _MONITOR_ROUTE = re.compile(
     r"^/monitors/(?P<name>[^/]+)(?:/(?P<action>report|history|alerts|observe))?$"
 )
@@ -242,6 +246,13 @@ class MonitorService:
     ----------
     registry:
         The monitor registry (durable when opened on a directory).
+        ``None`` defers attachment: the socket binds and the service
+        can start serving immediately, answering ``/healthz`` with
+        ``status: "starting"`` and everything else with a retryable
+        ``503`` until :meth:`attach_registry` is called. This is how a
+        supervised shard stays probe-able while a large WAL replays —
+        the readiness banner (and the supervisor's probe target) no
+        longer wait behind replay.
     host / port:
         Bind address; ``port=0`` picks an ephemeral port (read it back
         from :attr:`port` after :meth:`start`).
@@ -258,17 +269,21 @@ class MonitorService:
     verbose:
         Log each request to stderr (off by default: the access log is
         noise in tests and CI).
+    label:
+        An operator-facing name surfaced in ``/healthz`` (the fleet
+        supervisor labels each worker ``shard-NN``).
     """
 
     def __init__(
         self,
-        registry: MonitorRegistry,
+        registry: MonitorRegistry | None,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
         checkpoint_every: int = 0,
         queue_depth: int = 0,
         verbose: bool = False,
+        label: str | None = None,
     ):
         if checkpoint_every < 0:
             raise ValidationError(
@@ -280,6 +295,7 @@ class MonitorService:
             )
         self.registry = registry
         self.verbose = bool(verbose)
+        self.label = label
         self._checkpoint_every = int(checkpoint_every)
         self._queue_depth = int(queue_depth)
         self._inflight: dict[str, int] = {}
@@ -306,6 +322,18 @@ class MonitorService:
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
+
+    def attach_registry(self, registry: MonitorRegistry) -> None:
+        """Wire in the registry of a service constructed with ``None``.
+
+        Until this is called the service answers ``/healthz`` with
+        ``status: "starting"`` and rejects every other route with a
+        retryable ``503`` — clients back off and converge once the
+        registry (and its WAL replay) is ready.
+        """
+        if self.registry is not None:
+            raise MonitorError("the service already has a registry")
+        self.registry = registry
 
     def start(self) -> "MonitorService":
         """Serve in a daemon thread; returns immediately."""
@@ -342,6 +370,8 @@ class MonitorService:
             self._thread = None
         self._httpd.server_close()
         checkpointed = 0
+        if self.registry is None:
+            return 0
         if self.registry.is_durable:
 
             def on_error(name: str, error: Exception) -> None:
@@ -374,6 +404,20 @@ class MonitorService:
     ) -> tuple[int, dict[str, Any]]:
         if path == "/healthz" and method == "GET":
             return 200, self._healthz()
+        if self.registry is None:
+            # Bound but not yet attached (WAL replay in progress): shed
+            # everything but healthz with a retryable 503 so clients
+            # back off and converge once replay finishes.
+            raise _HttpError(
+                503,
+                "the service is starting (registry not yet attached); "
+                "retry later",
+                headers={"Retry-After": f"{STARTING_RETRY_AFTER:g}"},
+                extra={
+                    "starting": True,
+                    "retry_after": STARTING_RETRY_AFTER,
+                },
+            )
         if path == "/monitors":
             if method == "GET":
                 return 200, {"monitors": self.registry.names()}
@@ -402,6 +446,19 @@ class MonitorService:
         return 200, self._records(name, action, query)
 
     def _healthz(self) -> dict[str, Any]:
+        if self.registry is None:
+            # Alive and probe-able, but the registry is still opening
+            # (WAL replay). Supervisors treat "starting" as neither a
+            # failure nor a recovery signal.
+            return {
+                "status": "starting",
+                "label": self.label,
+                "monitors": 0,
+                "rows_ingested": 0,
+                "batches_ingested": 0,
+                "queue_depth": self._queue_depth or None,
+                "durability": {},
+            }
         names = self.registry.names()
         rows = 0
         batches = 0
@@ -425,6 +482,7 @@ class MonitorService:
         )
         return {
             "status": "degraded" if degraded else "ok",
+            "label": self.label,
             "monitors": len(names),
             "rows_ingested": rows,
             "batches_ingested": batches,
@@ -446,13 +504,20 @@ class MonitorService:
                 raise _HttpError(
                     400, "every row must be a list of cell values"
                 )
+        batch_id = body.get("batch_id")
+        if batch_id is not None and not isinstance(batch_id, str):
+            raise _HttpError(400, '"batch_id" must be a string when given')
         monitor = self.registry.get(name)
         self._admit(name)
         try:
-            result = monitor.observe(rows)
+            if batch_id is None:
+                result = monitor.observe(rows)
+            else:
+                result = monitor.observe(rows, batch_id=batch_id)
             if (
                 self._checkpoint_every
                 and self.registry.is_durable
+                and not result.duplicate
                 and result.batch_index % self._checkpoint_every == 0
             ):
                 self.registry.checkpoint_monitor(name)

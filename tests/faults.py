@@ -19,15 +19,26 @@ Three layers, used by ``tests/test_monitor_wal.py``'s fault matrix:
 :class:`SimulatedCrash` derives from ``BaseException`` on purpose: no
 ``except Exception`` recovery path in the code under test may swallow
 it, so it truthfully models a process death at that instruction.
+
+PR 7 adds the *process-level* layer for the sharded fleet, used by
+``tests/test_monitor_fleet.py``: :func:`send_until_acked` (outlast a
+restarting shard's breaker backoff with an idempotent retry loop) and
+:func:`feed_fleet_with_kills` (real ``SIGKILL`` against a supervised
+shard worker at every ingest boundary — before the send, racing the
+send from another thread, and after the ack). No simulation there: the
+kernel delivers the signal, the supervisor restarts the shard, WAL
+replay restores acked batches, and ``batch_id`` dedup absorbs the
+retries whose ack the kill ate.
 """
 
 from __future__ import annotations
 
 import functools
 import os
+import threading
 import time
 
-from repro.exceptions import WalError
+from repro.exceptions import MonitorClientError, WalError
 from repro.monitor.registry import MonitorConfig, MonitorRegistry
 from repro.monitor.wal import FileSystem
 
@@ -35,7 +46,9 @@ __all__ = [
     "CrashingCall",
     "FaultyFileSystem",
     "SimulatedCrash",
+    "feed_fleet_with_kills",
     "feed_with_recovery",
+    "send_until_acked",
 ]
 
 
@@ -218,3 +231,98 @@ def feed_with_recovery(
             )
             index = registry.get(config.name).batches
     return registry, crashes
+
+
+# ----------------------------------------------------------------------
+# Process-level fault injection for the sharded fleet (PR 7)
+# ----------------------------------------------------------------------
+def send_until_acked(client, name, rows, *, batch_id, deadline=90.0):
+    """Retry one observe through ``client`` until the fleet acks it.
+
+    The client already retries transient transport errors and 429/503
+    internally, but a shard restart's breaker backoff can outlast the
+    client's own retry budget; this outer loop keeps going until the
+    shard is back. It is safe only because ``batch_id`` makes the send
+    idempotent — a retry whose predecessor *was* durably applied is
+    answered ``duplicate: true`` instead of being counted twice.
+    """
+    deadline_at = time.monotonic() + deadline
+    last: BaseException | None = None
+    while time.monotonic() < deadline_at:
+        try:
+            return client.observe(name, rows, batch_id=batch_id)
+        except MonitorClientError as error:
+            if not (error.transient or error.status in (429, 503)):
+                raise
+            last = error
+            time.sleep(0.05)
+    raise AssertionError(
+        f"batch {batch_id!r} not acked within {deadline}s; last error: {last}"
+    )
+
+
+def feed_fleet_with_kills(
+    client,
+    name,
+    batches,
+    *,
+    kill,
+    boundaries=("before", "mid", "after"),
+    batch_id_prefix="fault",
+    deadline_per_batch=90.0,
+):
+    """Feed every batch through a supervised fleet, SIGKILLing at each
+    ingest boundary in round-robin.
+
+    ``kill`` is a zero-argument callable that SIGKILLs the shard under
+    test (e.g. ``lambda: supervisor.kill_shard(shard)``); it must be
+    idempotent when the worker is already down, which
+    ``FleetSupervisor.kill_shard`` is. For batch ``i`` the boundary
+    ``boundaries[i % len(boundaries)]`` fires:
+
+    * ``"before"`` — kill before the send: the request meets a dead or
+      mid-restart shard and must converge purely through retries;
+    * ``"mid"`` — kill from a second thread racing the send: depending
+      on scheduling it lands before the WAL write (batch lost → retry
+      applies it), between fsync and ack (ack lost → the retry must be
+      deduplicated, not double-counted), or after the ack;
+    * ``"after"`` — kill after the ack: the batch is durable-but-hot
+      and WAL replay must restore it exactly once.
+
+    Returns ``(results, kills)`` — the per-batch ack payloads (in
+    order) and how many kills were delivered.
+    """
+    if not boundaries:
+        raise ValueError("boundaries must name at least one kill site")
+    results = []
+    kills = 0
+    for index, rows in enumerate(batches):
+        boundary = boundaries[index % len(boundaries)]
+        batch_id = f"{batch_id_prefix}-{index:04d}"
+        killer = None
+        if boundary == "before":
+            kill()
+            kills += 1
+        elif boundary == "mid":
+            killer = threading.Thread(target=kill)
+            killer.start()
+            kills += 1
+        elif boundary != "after":
+            raise ValueError(f"unknown kill boundary {boundary!r}")
+        try:
+            results.append(
+                send_until_acked(
+                    client,
+                    name,
+                    rows,
+                    batch_id=batch_id,
+                    deadline=deadline_per_batch,
+                )
+            )
+        finally:
+            if killer is not None:
+                killer.join()
+        if boundary == "after":
+            kill()
+            kills += 1
+    return results, kills

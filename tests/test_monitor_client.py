@@ -374,6 +374,83 @@ class TestMonitorClient:
             _client(transport).healthz()
         assert excinfo.value.status == 0
 
+    def test_connection_refused_is_retried(self):
+        # A supervised shard restarting under the fleet: the connection
+        # is refused until the new process binds. Retrying converges.
+        transport = _FakeTransport(
+            [
+                urllib.error.URLError(
+                    ConnectionRefusedError(111, "Connection refused")
+                ),
+                urllib.error.URLError(
+                    ConnectionRefusedError(111, "Connection refused")
+                ),
+                {"monitor": "m", "n_rows": 5},
+            ]
+        )
+        slept = []
+        result = _client(transport, slept=slept).observe("m", [["a"]] * 5)
+        assert result["n_rows"] == 5
+        assert len(transport.requests) == 3
+        assert len(slept) == 2  # decorrelated jitter, no server hint
+
+    def test_connection_reset_is_retried(self):
+        # The shard was SIGKILLed with our connection open.
+        transport = _FakeTransport(
+            [
+                urllib.error.URLError(
+                    ConnectionResetError(104, "Connection reset by peer")
+                ),
+                {"status": "ok"},
+            ]
+        )
+        assert _client(transport).healthz() == {"status": "ok"}
+        assert len(transport.requests) == 2
+
+    def test_raw_connection_reset_is_retried(self):
+        # http.client can surface the reset directly (peer died while
+        # we were reading the response) without URLError wrapping —
+        # RemoteDisconnected subclasses ConnectionResetError.
+        import http.client
+
+        transport = _FakeTransport(
+            [
+                http.client.RemoteDisconnected(
+                    "Remote end closed connection without response"
+                ),
+                {"status": "ok"},
+            ]
+        )
+        assert _client(transport).healthz() == {"status": "ok"}
+        assert len(transport.requests) == 2
+
+    def test_other_transport_failures_are_not_retried(self):
+        # DNS failure, TLS error, bad URL... retrying cannot help and
+        # the request may have non-idempotent effects server-side.
+        transport = _FakeTransport(
+            [
+                urllib.error.URLError(OSError("no route to host")),
+                {"status": "ok"},
+            ]
+        )
+        with pytest.raises(MonitorClientError) as excinfo:
+            _client(transport).healthz()
+        assert excinfo.value.status == 0
+        assert excinfo.value.transient is False
+        assert len(transport.requests) == 1
+
+    def test_observe_sends_batch_id_only_when_given(self):
+        transport = _FakeTransport(
+            [{"monitor": "m", "n_rows": 1}, {"monitor": "m", "n_rows": 1}]
+        )
+        client = _client(transport)
+        client.observe("m", [["a"]])
+        client.observe("m", [["a"]], batch_id="b-1")
+        plain = json.loads(transport.requests[0].data.decode("utf-8"))
+        tagged = json.loads(transport.requests[1].data.decode("utf-8"))
+        assert "batch_id" not in plain
+        assert tagged["batch_id"] == "b-1"
+
     def test_query_parameters_skip_none(self):
         transport = _FakeTransport(
             [{"monitor": "m", "kind": "batch", "records": []}]
