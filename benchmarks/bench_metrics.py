@@ -1,0 +1,235 @@
+"""Perf bench: the stacked multi-metric sweep vs row-level metric loops.
+
+Section 7 of the paper compares differential fairness against the
+related-work definitions; PR 8 routes all of them through one count-based
+engine. This bench times producing **every registered fairness metric for
+every non-empty attribute subset** (Table-2 coverage x metric plurality)
+two ways at p = 4..6 binary attributes:
+
+* ``row_loop`` — the historical ``repro.metrics`` style: per subset, per
+  metric, project the raw rows, build one boolean mask per group with a
+  Python list comprehension, and take ``flags[mask].mean()`` — the
+  O(n * G) per-row path the metric modules used before the count-kernel
+  port;
+* ``engine`` — :func:`repro.core.sweep.metric_subset_sweep`: marginalise
+  the count lattice once, NaN-pad the subsets into one ``(S, G, O)``
+  stack, and run each registered kernel once over the whole stack. No
+  row is ever touched.
+
+The engine's values are asserted **bit-identical** to the row loop for
+every (subset, metric) cell first; speedups land in
+``BENCH_metrics.json`` at the repo root. The acceptance target is >= 10x
+at p = 6 against the row loop.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_metrics.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import DEFAULT_LEVELING_ALPHA, registered_metrics
+from repro.core.subsets import all_nonempty_subsets
+from repro.core.sweep import metric_subset_sweep
+from repro.tabular.crosstab import ContingencyTable
+from repro.tabular.table import Table
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_metrics.json"
+
+# (n_attributes, n_rows); binary attributes, two outcomes. The target is
+# the acceptance criterion: >= 10x at p = 6 against the row-level loop.
+SCALES = [(4, 1200), (5, 1200), (6, 1500)]
+TARGET_SCALE = (6, 1500)
+TARGET_SPEEDUP = 10.0
+
+_RESULTS: dict[tuple[int, int], dict] = {}
+
+
+def _dataset(n_attributes: int, n_rows: int) -> tuple[list[tuple], Table]:
+    rng = np.random.default_rng(20260808)
+    names = [f"a{index}" for index in range(n_attributes)]
+    rows = [
+        tuple(str(rng.integers(2)) for _ in names)
+        + ("pos" if rng.random() < 0.25 + 0.5 * rng.random() else "neg",)
+        for _ in range(n_rows)
+    ]
+    return rows, Table.from_rows([*names, "y"], rows)
+
+
+# ----------------------------------------------------------------------
+# The historical row-level path: one mask per group per metric.
+# ----------------------------------------------------------------------
+def _mask_rates(outcomes, groups, positive):
+    flags = np.asarray(
+        [1.0 if value == positive else 0.0 for value in outcomes]
+    )
+    levels = sorted(set(groups), key=str)
+    return [
+        float(flags[np.asarray([g == level for g in groups])].mean())
+        for level in levels
+    ]
+
+
+def _row_loop_metrics(outcomes, groups, outcome_levels):
+    """All seven registered metrics, each re-masking the rows."""
+    positive = outcome_levels[-1]
+    values = {}
+
+    rates = _mask_rates(outcomes, groups, positive)
+    values["demographic_parity_difference"] = max(rates) - min(rates)
+
+    rates = _mask_rates(outcomes, groups, positive)
+    high = max(rates)
+    values["demographic_parity_ratio"] = (
+        1.0 if high == 0.0 else min(rates) / high
+    )
+
+    rates = _mask_rates(outcomes, groups, positive)
+    sides = []
+    for side_high, side_low in (
+        (max(rates), min(rates)),
+        (1.0 - min(rates), 1.0 - max(rates)),
+    ):
+        if side_high == 0.0:
+            continue
+        sides.append(
+            math.inf
+            if side_low == 0.0
+            else float(np.log(np.float64(side_high) / np.float64(side_low)))
+        )
+    values["demographic_parity_epsilon"] = max(sides) if sides else 0.0
+
+    flags = np.asarray(
+        [1.0 if value == positive else 0.0 for value in outcomes]
+    )
+    base = float(flags.mean())
+    worst = -math.inf
+    for level in sorted(set(groups), key=str):
+        mask = np.asarray([g == level for g in groups])
+        weight = float(mask.sum() / len(groups))
+        worst = max(worst, weight * abs(float(flags[mask].mean()) - base))
+    values["subgroup_fairness"] = worst
+
+    per_outcome_rates = [
+        _mask_rates(outcomes, groups, level) for level in outcome_levels
+    ]
+    values["worst_case_gap"] = max(
+        max(rates) - min(rates) for rates in per_outcome_rates
+    )
+    values["worst_case_ratio"] = min(
+        1.0 if max(rates) == 0.0 else min(rates) / max(rates)
+        for rates in per_outcome_rates
+    )
+
+    rates = _mask_rates(outcomes, groups, positive)
+    alpha = DEFAULT_LEVELING_ALPHA
+    values["alpha_intersectional"] = alpha * (max(rates) - min(rates)) + (
+        1.0 - alpha
+    ) * (1.0 - min(rates))
+    return values
+
+
+def _row_loop_sweep(rows, names, outcome_levels):
+    outcomes = [row[-1] for row in rows]
+    results = {}
+    for subset in all_nonempty_subsets(names):
+        indices = [names.index(name) for name in subset]
+        groups = [tuple(row[i] for i in indices) for row in rows]
+        results[subset] = _row_loop_metrics(outcomes, groups, outcome_levels)
+    return results
+
+
+def _time(callable_, repeats: int = 3) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("n_attributes,n_rows", SCALES)
+def test_engine_beats_the_row_loop(n_attributes, n_rows):
+    rows, table = _dataset(n_attributes, n_rows)
+    names = [f"a{index}" for index in range(n_attributes)]
+    contingency = ContingencyTable.from_table(table, names, "y")
+
+    # Correctness first: every (subset, metric) cell bit-identical.
+    sweep = metric_subset_sweep(contingency)
+    reference = _row_loop_sweep(rows, names, contingency.outcome_levels)
+    assert set(sweep.table) == set(reference)
+    for subset, expected in reference.items():
+        for metric in registered_metrics():
+            engine_value = sweep.value(subset, metric)
+            assert engine_value == expected[metric], (subset, metric)
+
+    row_loop_seconds = _time(
+        lambda: _row_loop_sweep(rows, names, contingency.outcome_levels),
+        repeats=1,
+    )
+    engine_seconds = _time(lambda: metric_subset_sweep(contingency))
+
+    entry = {
+        "n_attributes": n_attributes,
+        "n_subsets": 2**n_attributes - 1,
+        "n_rows": n_rows,
+        "n_metrics": len(registered_metrics()),
+        "row_loop_seconds": row_loop_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": row_loop_seconds / engine_seconds,
+    }
+    _RESULTS[(n_attributes, n_rows)] = entry
+
+    assert entry["speedup"] > 1.0
+    if (n_attributes, n_rows) == TARGET_SCALE:
+        assert entry["speedup"] >= TARGET_SPEEDUP, (
+            f"acceptance target missed: {entry['speedup']:.1f}x < "
+            f"{TARGET_SPEEDUP}x at {TARGET_SCALE}"
+        )
+
+
+def test_zy_record_metric_table(record_table):
+    """Render the target-scale multi-metric sweep table into results/."""
+    _, table = _dataset(*TARGET_SCALE)
+    names = [f"a{index}" for index in range(TARGET_SCALE[0])]
+    sweep = metric_subset_sweep(table, names, "y")
+    record_table("metric_subset_sweep", sweep.to_text())
+
+
+def test_zz_write_speedup_record():
+    """Runs last (file order): persist the trajectory for future PRs."""
+    assert _RESULTS, "scale benchmarks did not run"
+    record = {
+        "benchmark": "bench_metrics",
+        "workload": "every registered fairness metric for every non-empty "
+        "attribute subset: per-subset per-metric row-level mask loops vs "
+        "one stacked count-kernel pass over the marginal lattice "
+        "(metric_subset_sweep)",
+        "target": {
+            "scale": dict(zip(("n_attributes", "n_rows"), TARGET_SCALE)),
+            "min_speedup": TARGET_SPEEDUP,
+            "baseline": "row_loop (per subset, per metric: one boolean "
+            "mask per group via Python list comprehension, "
+            "flags[mask].mean() per rate — the pre-port repro.metrics "
+            "style)",
+        },
+        "scales": [_RESULTS[key] for key in sorted(_RESULTS)],
+    }
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    target = next(
+        entry
+        for entry in record["scales"]
+        if (entry["n_attributes"], entry["n_rows"]) == TARGET_SCALE
+    )
+    assert target["speedup"] >= TARGET_SPEEDUP

@@ -14,7 +14,12 @@ from repro.core.estimators import ProbabilityEstimator, as_estimator
 from repro.core.interpretation import Interpretation, interpret_epsilon
 from repro.core.result import EpsilonResult
 from repro.core.subsets import SubsetSweep, subset_sweep
-from repro.core.sweep import PosteriorSubsetSweep, posterior_subset_sweep
+from repro.core.sweep import (
+    MetricSubsetSweep,
+    PosteriorSubsetSweep,
+    metric_subset_sweep,
+    posterior_subset_sweep,
+)
 from repro.exceptions import ValidationError
 from repro.learn.metrics import error_rate
 from repro.learn.preprocessing import TableVectorizer
@@ -35,12 +40,20 @@ class DatasetAudit:
     ``posterior_sweep`` carries the posterior epsilon distribution of
     *every* attribute subset (one shared-draw Monte Carlo pass) and
     ``posterior`` is its full-intersection summary.
+
+    ``metric_sweep`` carries every registered
+    :class:`repro.core.metrics.FairnessMetric` (demographic parity,
+    subgroup fairness, the Ghosh et al. worst-case comparisons, ...)
+    for every attribute subset — computed from the same count lattice
+    as the epsilon sweep, bit-identical to the standalone
+    :mod:`repro.metrics` functions on the audited rows.
     """
 
     sweep: SubsetSweep
     interpretation: Interpretation
     posterior: PosteriorEpsilon | None
     posterior_sweep: PosteriorSubsetSweep | None = None
+    metric_sweep: MetricSubsetSweep | None = None
 
     @property
     def epsilon(self) -> float:
@@ -62,6 +75,8 @@ class DatasetAudit:
             lines.append(self.posterior.to_text())
         if self.posterior_sweep is not None:
             lines.extend(["", self.posterior_sweep.to_text()])
+        if self.metric_sweep is not None:
+            lines.extend(["", self.metric_sweep.to_text()])
         return "\n".join(lines)
 
 
@@ -198,6 +213,7 @@ class FairnessAuditor:
             interpretation=interpret_epsilon(sweep.full_epsilon),
             posterior=posterior,
             posterior_sweep=posterior_sweep,
+            metric_sweep=metric_subset_sweep(contingency),
         )
 
     def audit_classifier(

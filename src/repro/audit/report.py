@@ -46,6 +46,31 @@ def _sweep_section(audit: DatasetAudit) -> list[str]:
     return lines
 
 
+def _metric_section(audit: DatasetAudit) -> list[str]:
+    metric_sweep = audit.metric_sweep
+    if metric_sweep is None:
+        return []
+    lines = ["## Related-work metrics by attribute subset", ""]
+    lines.append(
+        render_markdown_table(
+            ["protected attributes", *metric_sweep.metric_names],
+            metric_sweep.to_rows(),
+            digits=4,
+        )
+    )
+    lines.append("")
+    lines.append(
+        f"Positive outcome: **{metric_sweep.positive_outcome}** (the last "
+        "outcome level). Every value is computed from the same count "
+        "lattice as the epsilon sweep and is bit-identical to the "
+        "standalone `repro.metrics` function on the audited rows; `nan` "
+        "marks a subset where a metric is undefined (fewer than two "
+        "populated groups)."
+    )
+    lines.append("")
+    return lines
+
+
 def _interpretation_section(audit: DatasetAudit) -> list[str]:
     interp = audit.interpretation
     lines = ["## Interpretation", ""]
@@ -92,6 +117,7 @@ def render_dataset_report(
     )
     lines.extend([detail, ""])
     lines.extend(_sweep_section(audit))
+    lines.extend(_metric_section(audit))
     lines.extend(_interpretation_section(audit))
     violations = audit.sweep.theorem_violations()
     lines.append("## Guarantees")

@@ -292,6 +292,42 @@ class StreamingAuditor:
             )[0]
         )
 
+    def metric_values(
+        self, metrics: Sequence[str] | None = None
+    ) -> dict[str, float]:
+        """Every registered fairness metric (or the named ones) on the
+        current window's counts.
+
+        Metrics are pure functions of the count matrix, so maintaining
+        them over the stream costs O(cells) per call — the canonical
+        snapshot permutation plus one kernel pass each; no row is ever
+        re-scanned, and retraction needs no extra bookkeeping. The
+        snapshot's canonical level order makes the positive outcome
+        (the last outcome level) and every value bit-identical to the
+        standalone :mod:`repro.metrics` function — and to
+        :func:`repro.core.sweep.metric_subset_sweep` — on the window's
+        rows. Before any data arrives every metric is NaN (undefined).
+        """
+        from repro.core.metrics import (
+            get_metric,
+            metric_values,
+            registered_metrics,
+        )
+
+        names = registered_metrics() if metrics is None else tuple(metrics)
+        if (
+            len(self._accumulator.outcome_levels) < 2
+            or self._accumulator.n_rows == 0
+        ):
+            for name in names:
+                get_metric(name)  # unknown names still fail loudly
+            return {name: float("nan") for name in names}
+        matrix = self._accumulator.snapshot().group_outcome_matrix()[0]
+        return {
+            name: float(value)
+            for name, value in metric_values(matrix, names).items()
+        }
+
     def audit(self) -> DatasetAudit:
         """Full audit of the current window: subset sweep, interpretation,
         and (when configured) the shared-draw posterior sweep.

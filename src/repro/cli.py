@@ -128,6 +128,27 @@ Crash-recovery runbook:
   the process exits nonzero; its WAL still holds every acked batch, so
   the next start recovers it by replay.
 
+Metric registry:
+  Every audit and audit-stream report carries a per-subset table of all
+  registered fairness metrics, computed from the same count lattice as
+  the epsilon sweep. Built-ins:
+    demographic_parity_difference   max pairwise gap in P(pos | group)
+    demographic_parity_ratio        min/max rate ratio (EEOC 80% rule)
+    demographic_parity_epsilon      max |log ratio|, both outcomes
+    subgroup_fairness               Kearns et al. worst mass-weighted
+                                    parity violation
+    worst_case_gap / worst_case_ratio
+                                    Ghosh et al. 2021 worst-case
+                                    comparisons over every outcome
+    alpha_intersectional            Maheshwari et al. 2023
+                                    leveling-down-resistant measure
+  Register your own (it appears in every sweep, stream, and rule):
+    from repro.core import FairnessMetric, register_metric
+    register_metric(FairnessMetric(name=..., kernel=..., description=...))
+  Alert on any of them via a metric_threshold rule, e.g.
+    {"type": "metric_threshold", "metric": "demographic_parity_ratio",
+     "threshold": 0.8, "direction": "below"}
+
 Fleet crash semantics (see also: fleet-serve --help):
   A shard crash degrades only that shard's monitors: the router answers
   503 + Retry-After for them while every other shard keeps serving.

@@ -52,6 +52,14 @@ from repro.core.interpretation import (
     utility_factor,
 )
 from repro.core.mechanism import group_outcome_probabilities, mechanism_epsilon
+from repro.core.metrics import (
+    FairnessMetric,
+    get_metric,
+    metric_values,
+    register_metric,
+    registered_metrics,
+    unregister_metric,
+)
 from repro.core.model_based import group_design_matrix, model_based_edf
 from repro.core.privacy import (
     UtilityDisparity,
@@ -71,8 +79,11 @@ from repro.core.subsets import (
     theorem_subset_bound,
 )
 from repro.core.sweep import (
+    MetricSubsetSweep,
     PosteriorSubsetSweep,
     marginal_count_lattice,
+    metric_subset_sweep,
+    metric_sweep_results,
     posterior_subset_sweep,
     sweep_results,
 )
@@ -82,10 +93,12 @@ __all__ = [
     "ConditionalEpsilon",
     "DirichletEstimator",
     "EpsilonResult",
+    "FairnessMetric",
     "FairnessRegime",
     "HIGH_FAIRNESS_THRESHOLD",
     "Interpretation",
     "MLEEstimator",
+    "MetricSubsetSweep",
     "PosteriorEpsilon",
     "PosteriorSubsetSweep",
     "ProbabilityEstimator",
@@ -107,11 +120,15 @@ __all__ = [
     "epsilon_over_sampled_theta",
     "expected_group_utilities",
     "gaussian_threshold_epsilon",
+    "get_metric",
     "group_design_matrix",
     "group_outcome_probabilities",
     "interpret_epsilon",
     "marginal_count_lattice",
     "mechanism_epsilon",
+    "metric_subset_sweep",
+    "metric_sweep_results",
+    "metric_values",
     "model_based_edf",
     "pairwise_log_ratio_matrix",
     "paper_worked_example",
@@ -122,11 +139,14 @@ __all__ = [
     "posterior_odds_interval",
     "posterior_subset_sweep",
     "privacy_violations",
+    "register_metric",
+    "registered_metrics",
     "stack_padded",
     "subset_sweep",
     "summarize_epsilon_samples",
     "sweep_results",
     "theorem_subset_bound",
+    "unregister_metric",
     "utility_disparity",
     "utility_disparity_bound",
     "utility_factor",

@@ -58,6 +58,9 @@ from repro.utils.rng import as_generator
 __all__ = [
     "marginal_count_lattice",
     "sweep_results",
+    "MetricSubsetSweep",
+    "metric_sweep_results",
+    "metric_subset_sweep",
     "PosteriorSubsetSweep",
     "posterior_subset_sweep",
 ]
@@ -246,6 +249,129 @@ def sweep_results(
             estimator=estimator_obj.name,
         )
     return results
+
+
+def metric_sweep_results(
+    contingency: ContingencyTable,
+    metrics: Sequence[str] | None = None,
+) -> dict[tuple[str, ...], dict[str, float]]:
+    """Every registered fairness metric for every subset, one pass each.
+
+    The marginal counts come from the same memoized lattice as
+    :func:`sweep_results`; the per-subset matrices are NaN-padded into
+    one ``(n_subsets, max_groups, n_outcomes)`` count stack (padding
+    rows are excluded groups under the metric kernels' conventions,
+    exactly as under :func:`repro.core.batch.witness_batch`), and each
+    metric is one stacked kernel call over all ``2^p - 1`` subsets.
+    Values are bit-identical to evaluating the metric on each subset's
+    own marginal matrix — and, through the row-level adapters in
+    :mod:`repro.metrics`, to the legacy per-row functions on the
+    underlying rows (integer counts marginalise exactly).
+
+    ``metrics`` selects registered metric names; the default is every
+    registered metric. Returns ``{subset: {metric: value}}`` with
+    subsets keyed by attribute-name tuples, smallest subsets first
+    (Table 2 order).
+    """
+    from repro.core.metrics import metric_values
+
+    names = tuple(contingency.factor_names)
+    n_outcomes = contingency.n_outcomes
+    lattice = marginal_count_lattice(contingency.counts, len(names))
+    subsets = _axis_subsets(len(names))
+    stack = stack_padded(
+        [lattice[axes].reshape(-1, n_outcomes) for axes in subsets]
+    )
+    values = metric_values(stack, metrics)
+    return {
+        tuple(names[axis] for axis in axes): {
+            metric: float(column[row]) for metric, column in values.items()
+        }
+        for row, axes in enumerate(subsets)
+    }
+
+
+@dataclass(frozen=True)
+class MetricSubsetSweep:
+    """Every registered fairness metric for every non-empty subset.
+
+    ``table`` maps each subset (attribute-name tuple in declaration
+    order) to ``{metric name: value}``; ``positive_outcome`` is the
+    outcome level the positive-rate metrics condition on (the last
+    outcome level, the repo-wide convention). NaN marks a subset where a
+    metric is undefined (fewer than two populated groups).
+    """
+
+    attribute_names: tuple[str, ...]
+    metric_names: tuple[str, ...]
+    table: dict[tuple[str, ...], dict[str, float]]
+    positive_outcome: object
+
+    def value(self, subset: Sequence[str] | str, metric: str) -> float:
+        """One (subset, metric) cell; subsets resolve order-insensitively."""
+        key = normalize_subset_key(subset, self.attribute_names)
+        row = self.table[key]
+        try:
+            return row[metric]
+        except KeyError:
+            raise ValidationError(
+                f"metric {metric!r} was not swept; have "
+                f"{sorted(self.metric_names)}"
+            ) from None
+
+    def values(self, subset: Sequence[str] | str) -> dict[str, float]:
+        """All metric values of one subset (order-insensitive)."""
+        return dict(
+            self.table[normalize_subset_key(subset, self.attribute_names)]
+        )
+
+    @property
+    def full(self) -> dict[str, float]:
+        """The metric values over the complete intersection A."""
+        return dict(self.table[self.attribute_names])
+
+    def to_rows(self) -> list[tuple]:
+        """(attributes, *metric values) rows, smallest subsets first."""
+        return [
+            (", ".join(subset), *(row[name] for name in self.metric_names))
+            for subset, row in self.table.items()
+        ]
+
+    def to_text(self, digits: int = 4) -> str:
+        from repro.utils.formatting import render_table
+
+        return render_table(
+            ["Protected attributes", *self.metric_names],
+            self.to_rows(),
+            digits=digits,
+            title=(
+                f"Fairness metrics by attribute subset "
+                f"(positive outcome = {self.positive_outcome})"
+            ),
+        )
+
+
+def metric_subset_sweep(
+    data: Table | ContingencyTable,
+    protected: Sequence[str] | None = None,
+    outcome: str | None = None,
+    metrics: Sequence[str] | None = None,
+) -> MetricSubsetSweep:
+    """The multi-metric companion of :func:`repro.core.subsets.subset_sweep`:
+    one :class:`MetricSubsetSweep` covering every registered metric (or
+    the named subset of them) for every non-empty attribute subset."""
+    from repro.core.metrics import registered_metrics
+
+    contingency = as_sweep_contingency(data, protected, outcome)
+    names = (
+        registered_metrics() if metrics is None else tuple(metrics)
+    )
+    return MetricSubsetSweep(
+        attribute_names=tuple(contingency.factor_names),
+        metric_names=names,
+        table=metric_sweep_results(contingency, names),
+        positive_outcome=contingency.outcome_levels[-1],
+    )
 
 
 def _posterior_sweep_epsilons(

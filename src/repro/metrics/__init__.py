@@ -2,7 +2,8 @@
 
 Implemented for comparison with differential fairness (Section 7):
 
-* demographic parity (Dwork et al.) — in difference and ratio forms;
+* demographic parity (Dwork et al.) — in difference, ratio, and
+  log-ratio (epsilon) forms;
 * equalized odds / equality of opportunity (Hardt et al.);
 * statistical-parity subgroup fairness (Kearns et al.'s response to
   "fairness gerrymandering");
@@ -10,12 +11,21 @@ Implemented for comparison with differential fairness (Section 7):
   Hébert-Johnson et al.).
 
 All functions take plain label/group sequences so they can audit any
-classifier, including the mechanisms in :mod:`repro.mechanisms`.
+classifier, including the mechanisms in :mod:`repro.mechanisms`. Each is
+a thin, bit-identical adapter over the count-based kernels of
+:mod:`repro.core.metrics`, where the same definitions are registered as
+:class:`~repro.core.metrics.FairnessMetric` objects and served per
+attribute subset, per streaming window, and as alert conditions.
 """
 
-from repro.metrics.calibration import CalibrationReport, groupwise_calibration
+from repro.metrics.calibration import (
+    CalibrationCell,
+    CalibrationReport,
+    groupwise_calibration,
+)
 from repro.metrics.demographic_parity import (
     demographic_parity_difference,
+    demographic_parity_epsilon,
     demographic_parity_ratio,
     group_positive_rates,
 )
@@ -30,9 +40,11 @@ from repro.metrics.subgroup_fairness import (
 )
 
 __all__ = [
+    "CalibrationCell",
     "CalibrationReport",
     "SubgroupViolation",
     "demographic_parity_difference",
+    "demographic_parity_epsilon",
     "demographic_parity_ratio",
     "equal_opportunity_difference",
     "equalized_odds_difference",

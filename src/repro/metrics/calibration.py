@@ -4,6 +4,14 @@ Hébert-Johnson et al.'s multicalibration asks a score to be calibrated
 simultaneously on every subgroup of a rich collection. This module measures
 the binned calibration error per group: within each score bin and group,
 the gap between the mean predicted score and the empirical positive rate.
+
+Cells are built in one vectorized pass: groups are factorized once
+(O(n) + a stable argsort of the (group, bin) cell codes, replacing the
+historical per-group row scans), per-cell sums run over contiguous
+slices — so they are bit-identical to ``scores[mask].mean()`` on the
+legacy masks — and the per-cell statistics come from
+:func:`repro.core.metrics.calibration_cell_stats`, the count-based
+kernel shared with the rest of the metric engine.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.metrics import calibration_cell_stats, factorize_labels
 from repro.exceptions import ValidationError
 from repro.utils.validation import check_same_length
 
@@ -32,7 +41,7 @@ class CalibrationCell:
 
     @property
     def gap(self) -> float:
-        """``|E[y | bin, group] - E[score | bin, group]``|."""
+        """``|E[y | bin, group] - E[score | bin, group]|``."""
         return abs(self.positive_rate - self.mean_score)
 
 
@@ -109,22 +118,41 @@ def groupwise_calibration(
     flags = np.asarray([label == positive for label in true], dtype=float)
     edges = np.linspace(0.0, 1.0, n_bins + 1)
     bin_index = np.clip(np.digitize(scores, edges[1:-1]), 0, n_bins - 1)
+    levels, group_codes = factorize_labels(group_ids)
+
+    # One stable sort groups the rows by (group, bin) cell while keeping
+    # them in original row order within each cell, so every per-cell
+    # slice is exactly the legacy boolean-mask extraction — its pairwise
+    # sums (and hence the means below) are bitwise unchanged.
+    cell_codes = group_codes * n_bins + bin_index
+    order = np.argsort(cell_codes, kind="stable")
+    sorted_codes = cell_codes[order]
+    starts = np.flatnonzero(np.r_[True, np.diff(sorted_codes) > 0])
+    stops = np.r_[starts[1:], sorted_codes.size]
+
+    occupied = sorted_codes[starts]
+    counts = stops - starts
+    positive_counts = np.empty(starts.size)
+    score_sums = np.empty(starts.size)
+    for index, (start, stop) in enumerate(zip(starts, stops)):
+        rows = order[start:stop]
+        positive_counts[index] = flags[rows].sum()
+        score_sums[index] = scores[rows].sum()
+    mean_scores, positive_rates, _ = calibration_cell_stats(
+        counts, positive_counts, score_sums
+    )
+
     cells = []
-    for target in sorted(set(group_ids), key=str):
-        group_mask = np.asarray([g == target for g in group_ids], dtype=bool)
-        for b in range(n_bins):
-            mask = group_mask & (bin_index == b)
-            count = int(mask.sum())
-            if count == 0:
-                continue
-            cells.append(
-                CalibrationCell(
-                    group=target,
-                    bin_low=float(edges[b]),
-                    bin_high=float(edges[b + 1]),
-                    count=count,
-                    mean_score=float(scores[mask].mean()),
-                    positive_rate=float(flags[mask].mean()),
-                )
+    for index, code in enumerate(occupied):
+        group_code, b = divmod(int(code), n_bins)
+        cells.append(
+            CalibrationCell(
+                group=levels[group_code],
+                bin_low=float(edges[b]),
+                bin_high=float(edges[b + 1]),
+                count=int(counts[index]),
+                mean_score=float(mean_scores[index]),
+                positive_rate=float(positive_rates[index]),
             )
+        )
     return CalibrationReport(cells=tuple(cells), min_count=min_count)

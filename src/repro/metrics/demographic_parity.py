@@ -4,15 +4,27 @@ Dwork et al.'s definition requires P(ŷ = y | s_i) = P(ŷ = y | s_j) for all
 groups. The relaxed measurements here are the standard difference and ratio
 forms; differential fairness's epsilon is the log of the worst-case ratio
 over *both* outcomes, so these metrics are strictly coarser summaries.
+
+All three measures are thin adapters over the count-based kernels in
+:mod:`repro.core.metrics` (one factorization pass + ``np.bincount``
+instead of a per-group row scan) and are bit-identical to evaluating
+those kernels on the rows' group x outcome count matrix — which is how
+the subset sweep and the streaming auditor compute the same numbers.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Any
 
 import numpy as np
 
+from repro.core.metrics import (
+    demographic_parity_difference_counts,
+    demographic_parity_epsilon_counts,
+    demographic_parity_ratio_counts,
+    factorize_labels,
+    group_outcome_counts,
+)
 from repro.exceptions import ValidationError
 from repro.utils.validation import check_same_length
 
@@ -20,34 +32,47 @@ __all__ = [
     "group_positive_rates",
     "demographic_parity_difference",
     "demographic_parity_ratio",
+    "demographic_parity_epsilon",
 ]
 
 
-def group_positive_rates(
+def _group_counts(
     predictions: Any, groups: Any, positive: Any
-) -> dict[Any, float]:
-    """P(ŷ = positive | group) for every group present."""
+) -> tuple[list[Any], np.ndarray]:
+    """Distinct group levels (sorted by ``str``) and their ``(G, 2)``
+    ``[negative, positive]`` count matrix, in one vectorized pass."""
     labels = list(predictions)
     group_ids = list(groups)
     check_same_length(labels, group_ids, "predictions and groups")
     if not labels:
         raise ValidationError("predictions must not be empty")
     flags = np.asarray([label == positive for label in labels], dtype=float)
-    rates: dict[Any, float] = {}
-    for target in sorted(set(group_ids), key=str):
-        mask = np.asarray([g == target for g in group_ids], dtype=bool)
-        rates[target] = float(flags[mask].mean())
-    if len(rates) < 2:
+    levels, codes = factorize_labels(group_ids)
+    return levels, group_outcome_counts(codes, flags, len(levels))
+
+
+def _require_two_groups(levels: list[Any]) -> None:
+    if len(levels) < 2:
         raise ValidationError("need at least two groups")
-    return rates
+
+
+def group_positive_rates(
+    predictions: Any, groups: Any, positive: Any
+) -> dict[Any, float]:
+    """P(ŷ = positive | group) for every group present."""
+    levels, counts = _group_counts(predictions, groups, positive)
+    _require_two_groups(levels)
+    rates = counts[:, -1] / counts.sum(axis=1)
+    return {level: float(rate) for level, rate in zip(levels, rates)}
 
 
 def demographic_parity_difference(
     predictions: Any, groups: Any, positive: Any
 ) -> float:
     """Max absolute gap in positive rates across group pairs (0 = parity)."""
-    rates = list(group_positive_rates(predictions, groups, positive).values())
-    return float(max(rates) - min(rates))
+    levels, counts = _group_counts(predictions, groups, positive)
+    _require_two_groups(levels)
+    return float(demographic_parity_difference_counts(counts))
 
 
 def demographic_parity_ratio(
@@ -56,12 +81,9 @@ def demographic_parity_ratio(
     """Min-over-max positive-rate ratio (1 = parity; the EEOC "80% rule"
     flags values below 0.8). Zero positive rate in any group gives 0; all
     groups at zero gives 1 by convention (perfectly equal)."""
-    rates = list(group_positive_rates(predictions, groups, positive).values())
-    high = max(rates)
-    low = min(rates)
-    if high == 0.0:
-        return 1.0
-    return float(low / high)
+    levels, counts = _group_counts(predictions, groups, positive)
+    _require_two_groups(levels)
+    return float(demographic_parity_ratio_counts(counts))
 
 
 def demographic_parity_epsilon(
@@ -70,14 +92,6 @@ def demographic_parity_epsilon(
     """The differential-fairness view of the same rates: max |log ratio|
     over both outcomes. Infinite when one group never (or always) receives
     the positive outcome while another sometimes does (or does not)."""
-    rates = np.asarray(
-        list(group_positive_rates(predictions, groups, positive).values())
-    )
-    epsilons = []
-    for values in (rates, 1.0 - rates):
-        high = values.max()
-        low = values.min()
-        if high == 0.0:
-            continue
-        epsilons.append(math.inf if low == 0.0 else math.log(high / low))
-    return max(epsilons) if epsilons else 0.0
+    levels, counts = _group_counts(predictions, groups, positive)
+    _require_two_groups(levels)
+    return float(demographic_parity_epsilon_counts(counts))

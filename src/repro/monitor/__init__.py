@@ -13,7 +13,8 @@ reproduction. It layers on the streaming/engine stack (PRs 3-4):
   (length-prefixed CRC-checked JSON segments, size-based rotation);
 * :mod:`repro.monitor.rules` — declarative alert rules: point
   threshold, posterior credible threshold, window-vs-cumulative
-  divergence;
+  divergence, and registered-metric thresholds (demographic-parity
+  ratio, worst-case gap, ...);
 * :mod:`repro.monitor.service` — the stdlib-only concurrent HTTP
   ingestion API (``repro monitor-serve``) and the offline
   ``repro monitor-status`` report;
@@ -60,6 +61,7 @@ from repro.monitor.rules import (
     AlertRule,
     DivergenceRule,
     EpsilonThresholdRule,
+    MetricThresholdRule,
     PosteriorCredibleRule,
     RuleContext,
     rule_from_dict,
@@ -80,6 +82,7 @@ __all__ = [
     "FileSystem",
     "FleetRouter",
     "FleetSupervisor",
+    "MetricThresholdRule",
     "Monitor",
     "MonitorClient",
     "MonitorConfig",

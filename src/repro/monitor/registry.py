@@ -496,6 +496,7 @@ class Monitor:
                     self.config.alpha if self.config.alpha is not None else 1.0
                 ),
                 counts=self._count_matrix,
+                metric=self._metric_value,
             )
             alerts = tuple(
                 event
@@ -654,6 +655,17 @@ class Monitor:
         accumulator = self._auditor.accumulator
         n_outcomes = max(len(accumulator.outcome_levels), 1)
         return accumulator.counts.reshape(-1, n_outcomes)
+
+    def _metric_value(self, name: str) -> float:
+        """One registered fairness metric on the live window (lock held).
+
+        Delegates to :meth:`StreamingAuditor.metric_values`, which
+        computes from the *canonical* snapshot order — the positive
+        outcome is the canonical last level, so values match the
+        standalone :mod:`repro.metrics` functions bit-for-bit and are
+        deterministic under WAL replay.
+        """
+        return self._auditor.metric_values((name,))[name]
 
     # ------------------------------------------------------------------
     # Measurement

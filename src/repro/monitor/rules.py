@@ -23,6 +23,14 @@ audits carry posterior uncertainty) into a machine-checkable trigger:
     from the cumulative stream's — exactly the regulator's question
     ("did a recent change make this system unfair?") that neither
     number answers alone.
+:class:`MetricThresholdRule`
+    The related-work criteria: fire when any registered
+    :class:`repro.core.metrics.FairnessMetric` — demographic-parity
+    ratio (the 80% rule), Ghosh et al.'s worst-case gap, Maheshwari et
+    al.'s alpha-intersectional measure, or a user-registered metric —
+    crosses a tolerance in its unfair direction. Values are computed
+    from the monitor's live window counts, so they are deterministic
+    under WAL replay like every other rule.
 
 Rules are declarative data: each serialises with ``to_dict`` and is
 rebuilt by :func:`rule_from_dict`, so the HTTP API can accept rules as
@@ -47,6 +55,7 @@ __all__ = [
     "AlertRule",
     "DivergenceRule",
     "EpsilonThresholdRule",
+    "MetricThresholdRule",
     "PosteriorCredibleRule",
     "RuleContext",
     "rule_from_dict",
@@ -64,6 +73,12 @@ class RuleContext:
     group x outcome count matrix, so rules that never look at counts
     (the point rules) cost nothing. ``cumulative_epsilon`` is ``None``
     for cumulative monitors, where window and stream coincide.
+
+    ``metric`` maps a registered fairness-metric name to its value on
+    the live window (canonical level order, so values match the
+    standalone :mod:`repro.metrics` functions bit-for-bit); also lazy,
+    and ``None`` in contexts that cannot serve metrics — where
+    :class:`MetricThresholdRule` is silently inert.
     """
 
     monitor: str
@@ -74,6 +89,7 @@ class RuleContext:
     cumulative_epsilon: float | None
     alpha: float
     counts: Callable[[], np.ndarray]
+    metric: Callable[[str], float] | None = None
 
 
 @dataclass(frozen=True)
@@ -298,9 +314,90 @@ class DivergenceRule(AlertRule):
         }
 
 
+class MetricThresholdRule(AlertRule):
+    """Fire when a registered fairness metric crosses ``threshold``.
+
+    ``metric`` names any :class:`repro.core.metrics.FairnessMetric` in
+    the registry (``demographic_parity_ratio``, ``worst_case_gap``,
+    ``alpha_intersectional``, ...); unknown names are rejected at
+    construction so a bad rule spec fails when it is *installed*, not
+    on its first batch. ``direction`` picks the unfair side:
+    ``"above"`` fires when the value exceeds the threshold (gap-style
+    metrics), ``"below"`` when it falls under it (ratio-style metrics —
+    e.g. the EEOC 80% rule is ``metric="demographic_parity_ratio",
+    threshold=0.8, direction="below"``). The default direction follows
+    the metric's declared polarity. NaN values (metric undefined, e.g.
+    fewer than two populated groups) never fire.
+    """
+
+    kind = "metric_threshold"
+
+    def __init__(
+        self,
+        metric: str,
+        threshold: float,
+        direction: str | None = None,
+        severity: str = "warning",
+    ):
+        from repro.core.metrics import get_metric
+
+        registered = get_metric(metric)
+        self.metric = str(metric)
+        self.threshold = _require_finite(threshold, "threshold")
+        if direction is None:
+            direction = "above" if registered.higher_is_unfair else "below"
+        if direction not in ("above", "below"):
+            raise ValidationError(
+                f"direction must be 'above' or 'below', got {direction!r}"
+            )
+        self.direction = direction
+        self.severity = _require_severity(severity)
+
+    def evaluate(self, context: RuleContext) -> AlertEvent | None:
+        if context.metric is None:
+            return None
+        value = float(context.metric(self.metric))
+        if np.isnan(value):
+            return None
+        if self.direction == "above":
+            breached = value > self.threshold
+            side = "exceeds"
+        else:
+            breached = value < self.threshold
+            side = "falls below"
+        if not breached:
+            return None
+        return AlertEvent(
+            monitor=context.monitor,
+            rule=self.kind,
+            severity=self.severity,
+            batch_index=context.batch_index,
+            value=value,
+            threshold=self.threshold,
+            message=(
+                f"{self.metric} = {value:.4f} {side} the tolerance "
+                f"{self.threshold:.4f}"
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": self.kind,
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "direction": self.direction,
+            "severity": self.severity,
+        }
+
+
 _RULE_TYPES: dict[str, type[AlertRule]] = {
     rule.kind: rule
-    for rule in (EpsilonThresholdRule, PosteriorCredibleRule, DivergenceRule)
+    for rule in (
+        EpsilonThresholdRule,
+        PosteriorCredibleRule,
+        DivergenceRule,
+        MetricThresholdRule,
+    )
 }
 
 

@@ -128,6 +128,77 @@ class TestFullAudit:
         assert auditor.audit().to_text() == auditor.audit().to_text()
 
 
+class TestStreamingMetricValues:
+    def test_all_nan_before_any_data(self):
+        from repro.core.metrics import registered_metrics
+
+        auditor = StreamingAuditor(["gender"], "hired", window=10)
+        values = auditor.metric_values()
+        assert tuple(values) == registered_metrics()
+        assert all(np.isnan(value) for value in values.values())
+
+    def test_single_outcome_level_is_undefined_not_wrong(self):
+        auditor = StreamingAuditor(["gender"], "hired")
+        auditor.observe([("A", "yes"), ("B", "yes")])
+        values = auditor.metric_values(["demographic_parity_ratio"])
+        assert np.isnan(values["demographic_parity_ratio"])
+
+    def test_unknown_names_fail_loudly_even_when_empty(self):
+        auditor = StreamingAuditor(["gender"], "hired")
+        with pytest.raises(ValidationError, match="unknown metric"):
+            auditor.metric_values(["sentiment"])
+        auditor.observe([("A", "yes"), ("B", "no")])
+        with pytest.raises(ValidationError, match="unknown metric"):
+            auditor.metric_values(["sentiment"])
+
+    def test_windowed_values_match_the_standalone_metrics(self):
+        """Sliding-window metric_values == repro.metrics on the window's
+        rows, bitwise, through updates *and* retractions."""
+        from repro.metrics import (
+            demographic_parity_difference,
+            demographic_parity_epsilon,
+            demographic_parity_ratio,
+            statistical_parity_subgroup_fairness,
+        )
+
+        rows = stream_rows(470)
+        auditor = StreamingAuditor(["gender", "race"], "hired", window=150)
+        for start in range(0, len(rows), 80):
+            auditor.observe(rows[start : start + 80])
+            upto = min(start + 80, len(rows))
+            window = rows[max(0, upto - 150) : upto]
+            groups = [(gender, race) for gender, race, _ in window]
+            outcomes = [outcome for *_, outcome in window]
+            values = auditor.metric_values()
+            # The canonical snapshot puts "yes" last: the positive level.
+            assert values["demographic_parity_difference"] == (
+                demographic_parity_difference(outcomes, groups, "yes")
+            )
+            assert values["demographic_parity_ratio"] == (
+                demographic_parity_ratio(outcomes, groups, "yes")
+            )
+            assert values["demographic_parity_epsilon"] == (
+                demographic_parity_epsilon(outcomes, groups, "yes")
+            )
+            assert values["subgroup_fairness"] == max(
+                v.violation
+                for v in statistical_parity_subgroup_fairness(
+                    outcomes, groups, "yes"
+                )
+            )
+
+    def test_matches_the_full_subset_sweep_engine(self):
+        from repro.core.sweep import metric_subset_sweep
+
+        rows = stream_rows(300, seed=21)
+        auditor = StreamingAuditor(["gender", "race"], "hired")
+        auditor.observe(rows)
+        sweep = metric_subset_sweep(
+            Table.from_rows(NAMES, rows), ["gender", "race"], "hired"
+        )
+        assert auditor.metric_values() == sweep.full
+
+
 class TestIncrementalCacheCorrectness:
     def test_dirty_rows_only_is_bitwise_exact(self):
         """Interleaved updates/evictions across schema growth stay exact."""

@@ -112,6 +112,31 @@ class TestEqualizedOdds:
                 [1, 0], [1, 0], ["a", "b"], positive=1, deserving=1
             )
 
+    def test_disjoint_label_supports_raise_instead_of_zero(self):
+        # Group a only ever has true label 1, group b only 0: no label is
+        # observed in two groups, so no equalized-odds comparison exists.
+        # This used to return a silent (and wrong) 0.0.
+        with pytest.raises(
+            ValidationError, match="fewer than two groups"
+        ):
+            equalized_odds_difference(
+                y_true=[1, 1, 0, 0],
+                y_pred=[1, 0, 0, 1],
+                groups=["a", "a", "b", "b"],
+                positive=1,
+            )
+
+    def test_one_common_label_is_enough(self):
+        # Label 1 appears in both groups; label 0 only in group b and is
+        # rightly ignored rather than poisoning the comparison.
+        value = equalized_odds_difference(
+            y_true=[1, 1, 1, 1, 0],
+            y_pred=[1, 0, 1, 1, 0],
+            groups=["a", "a", "b", "b", "b"],
+            positive=1,
+        )
+        assert value == pytest.approx(0.5)
+
 
 class TestSubgroupFairness:
     def test_violations_weighted_by_mass(self):
@@ -185,3 +210,46 @@ class TestGroupwiseCalibration:
         y = (scores > 0.5).astype(int)
         report = groupwise_calibration(scores, y, ["g"] * 50, positive=1)
         assert "gap" in report.to_text()
+
+
+class TestMixedTypeGroupLabels:
+    """The vectorised grouping must keep the old per-row ``==`` semantics
+    on heterogeneous label columns (where np.unique would raise)."""
+
+    PREDICTIONS = [1, 0, 1, 1, 0, 1, 0, 0]
+    GROUPS = [1, "1", 1, None, None, 2.5, "1", 2.5]
+
+    def test_rates_keyed_by_the_original_objects(self):
+        rates = group_positive_rates(self.PREDICTIONS, self.GROUPS, positive=1)
+        assert rates == {
+            1: pytest.approx(1.0),
+            "1": pytest.approx(0.0),
+            None: pytest.approx(0.5),
+            2.5: pytest.approx(0.5),
+        }
+
+    def test_difference_matches_per_row_masks(self):
+        flags = np.asarray(
+            [1.0 if p == 1 else 0.0 for p in self.PREDICTIONS]
+        )
+        per_level = [
+            flags[np.asarray([g == level for g in self.GROUPS])].mean()
+            for level in set(self.GROUPS)
+        ]
+        assert demographic_parity_difference(
+            self.PREDICTIONS, self.GROUPS, positive=1
+        ) == max(per_level) - min(per_level)
+
+    def test_bool_int_collapse(self):
+        # 1 == True: one group, exactly as set()/dict grouping collapses.
+        with pytest.raises(ValidationError, match="two groups"):
+            group_positive_rates([1, 0], [True, 1], positive=1)
+
+    def test_subgroup_violations_on_mixed_labels(self):
+        violations = statistical_parity_subgroup_fairness(
+            self.PREDICTIONS, self.GROUPS, positive=1
+        )
+        assert {v.subgroup for v in violations} == {1, "1", None, 2.5}
+        base = sum(1 for p in self.PREDICTIONS if p == 1) / 8
+        by_name = {v.subgroup: v for v in violations}
+        assert by_name[1].violation == pytest.approx((2 / 8) * (1.0 - base))

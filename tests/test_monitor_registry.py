@@ -21,9 +21,11 @@ from repro.audit.auditor import FairnessAuditor
 from repro.core.empirical import dataset_edf
 from repro.exceptions import CheckpointError, MonitorError, ValidationError
 from repro.monitor.registry import MonitorConfig, MonitorRegistry
+from repro.metrics import demographic_parity_ratio
 from repro.monitor.rules import (
     DivergenceRule,
     EpsilonThresholdRule,
+    MetricThresholdRule,
     rule_from_dict,
 )
 from repro.monitor.store import AuditHistoryStore
@@ -203,6 +205,54 @@ class TestObserveAndAlerts:
             abs(result.epsilon - result.cumulative_epsilon)
         )
 
+    def test_metric_threshold_rule_fires_with_the_window_value(self, registry):
+        # The EEOC 80% rule as a declarative spec, end to end: the alert
+        # value must be bit-identical to the standalone repro.metrics
+        # function on the monitored rows.
+        monitor = registry.create(
+            "m",
+            NAMES[:2],
+            NAMES[2],
+            alpha=1.0,
+            window=240,
+            rules=[
+                rule_from_dict(
+                    {
+                        "type": "metric_threshold",
+                        "metric": "demographic_parity_ratio",
+                        "threshold": 0.8,
+                        "direction": "below",
+                    }
+                )
+            ],
+        )
+        skewed = (
+            [("g0", "r0", "y1")] * 30
+            + [("g0", "r0", "y0")] * 10
+            + [("g1", "r0", "y1")] * 10
+            + [("g1", "r0", "y0")] * 30
+        )
+        result = monitor.observe(skewed)
+        [alert] = result.alerts
+        assert alert.rule == "metric_threshold"
+        assert alert.value == demographic_parity_ratio(
+            [y for *_, y in skewed],
+            [(g, r) for g, r, _ in skewed],
+            positive="y1",
+        )
+        assert alert.value == pytest.approx(1 / 3)
+        assert "falls below" in alert.message
+        stored = registry.store.query(monitor="m", kind="alert")
+        assert [record["rule"] for record in stored] == ["metric_threshold"]
+        # A balanced follow-up batch lifts the window ratio: no new alert.
+        balanced = [
+            ("g0", "r0", "y1"),
+            ("g0", "r0", "y0"),
+            ("g1", "r0", "y1"),
+            ("g1", "r0", "y0"),
+        ] * 60
+        assert monitor.observe(balanced).alerts == ()
+
     def test_registry_without_store_still_observes(self):
         registry = MonitorRegistry()
         monitor = registry.create("m", ["gender"], "hired", alpha=1.0)
@@ -273,6 +323,56 @@ class TestDurability:
         # Replay did not duplicate the batch's history record.
         batch_records = reopened.store.query(monitor="m", kind="batch")
         assert [record["batch_index"] for record in batch_records] == [1, 2, 3]
+
+    def test_metric_rule_survives_wal_replay(self, tmp_path):
+        # An acked batch that fired a metric_threshold alert is replayed
+        # from the WAL after an uncheckpointed restart: the rule config
+        # persists, the replayed evaluation is bit-identical (metrics are
+        # pure functions of the replayed counts), and the store keeps
+        # exactly one alert record — nothing lost, nothing duplicated.
+        registry = self.make_registry(tmp_path)
+        registry.create(
+            "m",
+            NAMES[:2],
+            NAMES[2],
+            window=100,
+            alpha=1.0,
+            rules=[
+                MetricThresholdRule(
+                    "demographic_parity_difference", 0.4, severity="critical"
+                )
+            ],
+        )
+        skewed = (
+            [("g0", "r0", "y1")] * 18
+            + [("g0", "r0", "y0")] * 2
+            + [("g1", "r0", "y1")] * 2
+            + [("g1", "r0", "y0")] * 18
+        )
+        result = registry.observe("m", skewed)
+        [alert] = result.alerts
+        assert alert.value == pytest.approx(0.8)
+
+        # No checkpoint: reopening must replay the batch from the WAL.
+        reopened = self.make_registry(tmp_path)
+        monitor = reopened.get("m")
+        assert monitor.config.rules == (
+            MetricThresholdRule(
+                "demographic_parity_difference", 0.4, severity="critical"
+            ),
+        )
+        assert monitor.rows_seen == len(skewed)
+        assert monitor._auditor.metric_values(
+            ("demographic_parity_difference",)
+        ) == {"demographic_parity_difference": alert.value}
+        stored = reopened.store.query(monitor="m", kind="alert")
+        assert [record["value"] for record in stored] == [alert.value]
+        assert stored[0]["severity"] == "critical"
+        # The replayed window state keeps alerting on fresh skewed data.
+        follow_up = reopened.observe("m", skewed)
+        assert [event.rule for event in follow_up.alerts] == [
+            "metric_threshold"
+        ]
 
     def test_wal_enabled_after_no_wal_run_counts_every_batch(self, tmp_path):
         # A durable registry run with the WAL disabled still advances

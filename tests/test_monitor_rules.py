@@ -11,6 +11,7 @@ from repro.exceptions import MonitorError, ValidationError
 from repro.monitor.rules import (
     DivergenceRule,
     EpsilonThresholdRule,
+    MetricThresholdRule,
     PosteriorCredibleRule,
     RuleContext,
     rule_from_dict,
@@ -24,6 +25,7 @@ def context(
     counts=None,
     batch_index=1,
     alpha=1.0,
+    metric=None,
 ):
     matrix = (
         np.array([[30, 10], [10, 30]], dtype=float)
@@ -39,7 +41,13 @@ def context(
         cumulative_epsilon=cumulative,
         alpha=alpha,
         counts=lambda: matrix,
+        metric=metric,
     )
+
+
+def metric_context(values, **kwargs):
+    """A context whose ``metric`` callable serves a fixed value table."""
+    return context(metric=lambda name: values[name], **kwargs)
 
 
 class TestEpsilonThresholdRule:
@@ -158,6 +166,70 @@ class TestDivergenceRule:
         )
 
 
+class TestMetricThresholdRule:
+    def test_fires_above_for_gap_style_metrics(self):
+        rule = MetricThresholdRule("worst_case_gap", 0.25)
+        assert rule.direction == "above"  # higher_is_unfair default
+        event = rule.evaluate(
+            metric_context({"worst_case_gap": 0.4}, batch_index=3)
+        )
+        assert event is not None
+        assert event.rule == "metric_threshold"
+        assert event.value == 0.4
+        assert event.threshold == 0.25
+        assert event.batch_index == 3
+        assert "worst_case_gap = 0.4000 exceeds" in event.message
+        assert (
+            rule.evaluate(metric_context({"worst_case_gap": 0.25})) is None
+        )
+
+    def test_fires_below_for_ratio_style_metrics(self):
+        # The EEOC 80% rule: low ratios are the unfair side.
+        rule = MetricThresholdRule("demographic_parity_ratio", 0.8)
+        assert rule.direction == "below"
+        event = rule.evaluate(
+            metric_context({"demographic_parity_ratio": 0.6})
+        )
+        assert event is not None
+        assert "falls below" in event.message
+        assert (
+            rule.evaluate(metric_context({"demographic_parity_ratio": 0.9}))
+            is None
+        )
+
+    def test_explicit_direction_overrides_the_polarity(self):
+        rule = MetricThresholdRule(
+            "demographic_parity_ratio", 0.99, direction="above"
+        )
+        event = rule.evaluate(
+            metric_context({"demographic_parity_ratio": 1.0})
+        )
+        assert event is not None and "exceeds" in event.message
+
+    def test_nan_metric_never_fires(self):
+        rule = MetricThresholdRule("worst_case_gap", 0.1)
+        values = {"worst_case_gap": float("nan")}
+        assert rule.evaluate(metric_context(values)) is None
+
+    def test_inert_without_a_metric_source(self):
+        # RuleContext.metric defaults to None (e.g. a bare context built
+        # by older call sites); the rule must not crash or fire.
+        rule = MetricThresholdRule("worst_case_gap", 0.1)
+        assert rule.evaluate(context()) is None
+
+    def test_unknown_metric_rejected_at_construction(self):
+        with pytest.raises(ValidationError, match="unknown metric"):
+            MetricThresholdRule("sentiment", 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="direction"):
+            MetricThresholdRule("worst_case_gap", 0.5, direction="sideways")
+        with pytest.raises(ValidationError):
+            MetricThresholdRule("worst_case_gap", float("nan"))
+        with pytest.raises(ValidationError):
+            MetricThresholdRule("worst_case_gap", 0.5, severity="shrug")
+
+
 class TestDeclarativeRoundtrip:
     RULES = [
         EpsilonThresholdRule(0.25, severity="info"),
@@ -165,6 +237,10 @@ class TestDeclarativeRoundtrip:
             0.2, level=0.1, n_samples=64, alpha=0.5, seed=9, severity="critical"
         ),
         DivergenceRule(0.15),
+        MetricThresholdRule(
+            "demographic_parity_ratio", 0.8, severity="critical"
+        ),
+        MetricThresholdRule("alpha_intersectional", 0.6, direction="above"),
     ]
 
     @pytest.mark.parametrize("rule", RULES, ids=lambda rule: rule.kind)
