@@ -156,7 +156,7 @@ class FairnessAuditor:
         )
         return self.audit_contingency(contingency)
 
-    def audit_csv(self, source, *, backend=None) -> DatasetAudit:
+    def audit_csv(self, source, *, backend=None, column_cache=None) -> DatasetAudit:
         """Audit a CSV file through an execution backend.
 
         ``source`` is a path or a :class:`repro.engine.backends.CsvSource`;
@@ -165,12 +165,27 @@ class FairnessAuditor:
         backend only *counts* — estimation and measurement stay here —
         so a multi-process ingest is bit-identical to the serial one,
         and both match :meth:`audit_dataset` on the file's rows.
+
+        ``column_cache`` names a ``.rccol`` columnar cache for the file
+        (built on first use, validated and reused after — see
+        :mod:`repro.tabular.colcache`), so repeated audits of the same
+        file skip CSV parsing. Only valid when ``source`` is a path;
+        a :class:`CsvSource` carries its own ``column_cache``.
         """
         from repro.engine.backends import ContingencySpec, CsvSource, SerialBackend
 
         if not isinstance(source, CsvSource):
             source = CsvSource(
-                str(source), columns=(*self.protected, self.outcome)
+                str(source),
+                columns=(*self.protected, self.outcome),
+                column_cache=(
+                    None if column_cache is None else str(column_cache)
+                ),
+            )
+        elif column_cache is not None:
+            raise ValidationError(
+                "column_cache is only valid with a path source; set "
+                "CsvSource.column_cache instead"
             )
         if backend is None:
             backend = SerialBackend()

@@ -391,7 +391,11 @@ class StreamingAuditor:
         Parameters
         ----------
         source:
-            A :class:`repro.engine.backends.CsvSource`.
+            A :class:`repro.engine.backends.CsvSource`. When its
+            ``column_cache`` names a ``.rccol`` file, every backend
+            reads (and on first use builds) the columnar cache instead
+            of re-parsing CSV text — chunk boundaries and traces stay
+            byte-identical to the parsed stream.
         backend:
             An :class:`repro.engine.backends.ExecutionBackend`;
             defaults to ``SerialBackend()``. Windowed auditors require

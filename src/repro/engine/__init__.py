@@ -8,9 +8,14 @@ topologies:
 
 * :mod:`repro.engine.backends` — the :class:`ExecutionBackend` contract
   plus :class:`SerialBackend` (one process, ordered chunks, windows and
-  resume) and :class:`ProcessPoolBackend` (byte-range CSV shards fanned
-  out to worker processes, tree-merged at the coordinator —
-  bit-identical to the serial pass);
+  resume) and :class:`ProcessPoolBackend` (byte-range CSV shards or
+  column-cache row ranges fanned out to a persistent worker pool,
+  merged by a pipelined coordinator — bit-identical to the serial
+  pass);
+* :mod:`repro.engine.ipc` — the shared-memory ring buffer that carries
+  per-chunk count tensors from workers to the coordinator without
+  pickling (seq-stamped, CRC-validated slots; descriptor-only result
+  queue);
 * :mod:`repro.engine.checkpoint` — the versioned ``.rcpk`` on-disk
   checkpoint format (atomic write-rename, CRC corruption detection)
   for :class:`StreamingContingency` and
@@ -26,6 +31,13 @@ from repro.engine.backends import (
     ProcessPoolBackend,
     SerialBackend,
     tree_merge,
+)
+from repro.engine.ipc import (
+    SharedCountRing,
+    SlotDescriptor,
+    decode_counts_state,
+    encode_counts_state,
+    ring_slot_size,
 )
 from repro.engine.checkpoint import (
     CHECKPOINT_SUFFIX,
@@ -48,12 +60,17 @@ __all__ = [
     "ExecutionBackend",
     "ProcessPoolBackend",
     "SerialBackend",
+    "SharedCountRing",
+    "SlotDescriptor",
     "checkpoint_generations",
+    "decode_counts_state",
+    "encode_counts_state",
     "load_auditor_state",
     "load_checkpoint",
     "load_contingency",
     "load_latest_auditor_state",
     "merge_checkpoint_files",
+    "ring_slot_size",
     "rotate_checkpoint",
     "save_auditor_state",
     "save_contingency",

@@ -27,26 +27,56 @@ machines, and every topology produces bit-identical results.
     windows and resume.
 
 :class:`ProcessPoolBackend`
-    Fans byte-range spans of the CSV (planned by
-    :func:`repro.tabular.csv_io.plan_csv_shards` /
-    :func:`~repro.tabular.csv_io.plan_csv_chunks`) out to worker
-    processes. Each worker opens the file independently, parses its
-    spans, and returns ``StreamingContingency`` state; the coordinator
-    tree-merges. ``build`` uses pure byte splits (no scan);
-    ``iter_chunk_counts`` uses chunk-aligned spans so the chunk
-    boundaries — and therefore the per-chunk epsilon trace — are
-    byte-identical to :class:`SerialBackend`'s.
+    Fans spans of the source out to a persistent pool of worker
+    processes and merges their counts. Three engine properties make it
+    fast rather than merely parallel:
+
+    * **Pipelined coordinator** — task submission runs a bounded
+      in-flight window ahead of consumption, so the coordinator merges
+      chunk *i* while workers parse chunks *i+1 … i+W*; the old
+      parse↔merge barrier is gone. Results still arrive in chunk order,
+      preserving the chunk-aligned epsilon-trace contract.
+    * **Shared-memory transport** (:mod:`repro.engine.ipc`) — workers
+      write each chunk's count tensor into a slot of a shared-memory
+      ring (seq-stamped, CRC-checked) and send only a small descriptor
+      through the result queue; the coordinator decodes the tensor in
+      place and recycles the slot. No per-chunk pickling of counts.
+    * **Columnar cache awareness** — when the :class:`CsvSource` names
+      a ``.rccol`` column cache (:mod:`repro.tabular.colcache`), workers
+      read their row ranges as mmap slices of pre-factorised int32
+      codes instead of re-parsing CSV text.
+
+    Correctness never leans on any of it: every transport validates
+    (CRC + sequence stamps), every fallback (oversized state → result
+    queue) is exact, and chunk boundaries are byte-identical to
+    :class:`SerialBackend`'s.
+
+The pool is constructed lazily and **reused across calls** on the same
+backend instance; call :meth:`ProcessPoolBackend.close` (or use the
+backend as a context manager) to release the worker processes.
 """
 
 from __future__ import annotations
 
+import os
+from collections import deque
 from collections.abc import Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.streaming import StreamingContingency
+from repro.engine.ipc import (
+    SharedCountRing,
+    SlotDescriptor,
+    attach_ring,
+    decode_counts_state,
+    encode_counts_state,
+    ring_slot_size,
+)
 from repro.exceptions import CsvParseError, ValidationError
+from repro.tabular.colcache import ColumnCache, ensure_column_cache
 from repro.tabular.csv_io import (
     CsvPlan,
     CsvSpan,
@@ -75,6 +105,13 @@ class CsvSource:
 
     Frozen and picklable: the same source object parameterises the
     serial loop, pool workers, and checkpoint metadata.
+
+    ``column_cache`` names an optional ``.rccol`` columnar binary cache
+    (:mod:`repro.tabular.colcache`). When set, backends read the file's
+    pre-factorised columns by mmap slice — skipping CSV parsing
+    entirely on a warm cache — and (re)build the cache from the CSV
+    when it is missing or stale. Results are bit-identical to parsing;
+    a *corrupt* cache file fails loudly instead of being regenerated.
     """
 
     path: str
@@ -87,6 +124,7 @@ class CsvSource:
     missing_token: str = "?"
     missing_replacement: str | None = None
     skip_comment_prefix: str | None = None
+    column_cache: str | None = None
 
     def plan(self) -> CsvPlan:
         """Resolve the header/projection once for this source."""
@@ -101,6 +139,17 @@ class CsvSource:
             skip_comment_prefix=self.skip_comment_prefix,
             columns=self.columns,
         )
+
+    def open_cache(self, plan: CsvPlan | None = None) -> ColumnCache | None:
+        """Open (building or refreshing as needed) the column cache.
+
+        Returns ``None`` when the source has no cache configured.
+        """
+        if self.column_cache is None:
+            return None
+        if plan is None:
+            plan = self.plan()
+        return ensure_column_cache(self.path, plan, self.column_cache)
 
 
 @dataclass(frozen=True)
@@ -153,51 +202,119 @@ def tree_merge(
     return items[0]
 
 
+# ----------------------------------------------------------------------
+# Worker-side task protocol
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class _SpanTask:
-    """One worker's assignment: parse these spans, return their states."""
+    """One worker assignment: parse/count these spans, ship their states.
+
+    Exactly one of two read modes is active: CSV mode (``spans`` byte
+    ranges parsed under ``plan``) or cache mode (``row_ranges`` sliced
+    from the mmap'd column cache at ``cache_path``). When ``ring`` is
+    set, each span's encoded count state goes into its preassigned
+    ``(slot, seq)`` of the shared-memory ring and only a descriptor
+    returns through the queue; otherwise the raw state dict does.
+    """
 
     path: str
-    plan: CsvPlan
+    plan: CsvPlan | None
     spec: ContingencySpec
-    spans: tuple[CsvSpan, ...]
     first_index: int
     batch_rows: int = 4096
+    spans: tuple[CsvSpan, ...] = ()
+    cache_path: str | None = None
+    cache_token: tuple[int, int] | None = None
+    row_ranges: tuple[tuple[int, int], ...] = ()
+    schema: Schema | None = None
+    ring: tuple[str, int, int] | None = None
+    slots: tuple[tuple[int, int], ...] = ()
 
 
-def _count_spans(task: _SpanTask) -> list[tuple[int, int, dict]]:
-    """Worker entry point: (span index, n_rows, state_dict) per span.
+# One validated cache mapping per worker process, keyed by (path, token)
+# so a rebuilt cache file (new size/mtime) is reopened, never read stale.
+_WORKER_CACHES: dict[tuple[str, tuple[int, int]], ColumnCache] = {}
 
-    Module-level so it pickles under every multiprocessing start
-    method. Rows are folded into the accumulator ``batch_rows`` at a
-    time, so a worker's memory stays bounded no matter how large its
-    byte range is. Workers never estimate probabilities — they only
-    count — so the coordinator's estimator choice cannot skew shard
-    results.
-    """
-    results: list[tuple[int, int, dict]] = []
-    for offset, span in enumerate(task.spans):
-        accumulator = task.spec.new_accumulator()
-        parsed = 0
-        buffer: list[list[str]] = []
-        for row in iter_span_rows(task.path, task.plan, span):
-            buffer.append(row)
-            if len(buffer) == task.batch_rows:
-                accumulator.update_table(task.plan.build_chunk(buffer))
-                parsed += len(buffer)
-                buffer = []
-        if buffer:
+
+def _worker_cache(path: str, token: tuple[int, int]) -> ColumnCache:
+    key = (path, tuple(token))
+    cache = _WORKER_CACHES.get(key)
+    if cache is None:
+        for stale in list(_WORKER_CACHES):
+            if stale[0] == path:
+                _WORKER_CACHES.pop(stale).close()
+        cache = ColumnCache.open(path)
+        _WORKER_CACHES[key] = cache
+    return cache
+
+
+def _count_csv_span(task: _SpanTask, span: CsvSpan) -> StreamingContingency:
+    accumulator = task.spec.new_accumulator()
+    parsed = 0
+    buffer: list[list[str]] = []
+    for row in iter_span_rows(task.path, task.plan, span):
+        buffer.append(row)
+        if len(buffer) == task.batch_rows:
             accumulator.update_table(task.plan.build_chunk(buffer))
             parsed += len(buffer)
-        if span.n_rows is not None and parsed != span.n_rows:
-            raise CsvParseError(
-                f"span {task.first_index + offset} parsed {parsed} rows "
-                f"but the chunk planner counted {span.n_rows}; the file "
-                "mixes blank-cell lines (e.g. ',,') with data — ingest it "
-                "with the serial backend"
+            buffer = []
+    if buffer:
+        accumulator.update_table(task.plan.build_chunk(buffer))
+        parsed += len(buffer)
+    if span.n_rows is not None and parsed != span.n_rows:
+        raise CsvParseError(
+            f"span parsed {parsed} rows but the chunk planner counted "
+            f"{span.n_rows}; the file mixes blank-cell lines (e.g. ',,') "
+            "with data — ingest it with the serial backend"
+        )
+    return accumulator
+
+
+def _count_cache_range(
+    task: _SpanTask, start: int, stop: int
+) -> StreamingContingency:
+    cache = _worker_cache(task.cache_path, task.cache_token)
+    accumulator = task.spec.new_accumulator()
+    for batch_start in range(start, stop, task.batch_rows):
+        accumulator.update_table(
+            cache.table_slice(
+                batch_start,
+                min(batch_start + task.batch_rows, stop),
+                schema=task.schema,
             )
+        )
+    return accumulator
+
+
+def _count_task(task: _SpanTask) -> list[tuple[int, int, Any]]:
+    """Worker entry point: ``(span index, n_rows, transport)`` per span.
+
+    Module-level so it pickles under every multiprocessing start
+    method. ``transport`` is a :class:`SlotDescriptor` when the state
+    went through the shared-memory ring, or the raw state dict when no
+    ring is attached / the state outgrew its slot. Workers never
+    estimate probabilities — they only count — so the coordinator's
+    estimator choice cannot skew shard results.
+    """
+    units: Sequence[Any] = (
+        task.row_ranges if task.cache_path is not None else task.spans
+    )
+    ring = attach_ring(*task.ring) if task.ring is not None else None
+    results: list[tuple[int, int, Any]] = []
+    for offset, unit in enumerate(units):
+        if task.cache_path is not None:
+            accumulator = _count_cache_range(task, unit[0], unit[1])
+        else:
+            accumulator = _count_csv_span(task, unit)
+        state = accumulator.state_dict()
+        transport: Any = state
+        if ring is not None:
+            payload = encode_counts_state(state)
+            if len(payload) <= ring.payload_capacity:
+                slot, seq = task.slots[offset]
+                transport = ring.write_slot(slot, seq, payload)
         results.append(
-            (task.first_index + offset, parsed, accumulator.state_dict())
+            (task.first_index + offset, accumulator.n_rows, transport)
         )
     return results
 
@@ -239,6 +356,15 @@ class ExecutionBackend:
             "sliding windows and checkpoint resume need SerialBackend"
         )
 
+    def close(self) -> None:
+        """Release any resources held across calls (pools, mappings)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -252,6 +378,17 @@ class SerialBackend(ExecutionBackend):
     def iter_chunk_tables(
         self, source: CsvSource, *, skip_rows: int = 0
     ) -> Iterator[Table]:
+        if source.column_cache is not None:
+            cache = source.open_cache()
+            try:
+                yield from cache.chunk_tables(
+                    source.chunk_rows,
+                    schema=source.schema,
+                    skip_rows=skip_rows,
+                )
+            finally:
+                cache.close()
+            return
         yield from iter_csv_chunks(
             source.path,
             source.chunk_rows,
@@ -269,6 +406,20 @@ class SerialBackend(ExecutionBackend):
     def build(
         self, source: CsvSource, spec: ContingencySpec
     ) -> StreamingContingency:
+        if source.column_cache is not None:
+            # Warm-cache fast path: one global-level table, one gather,
+            # one scatter-add — no per-chunk level narrowing. Integer
+            # counts are identical to the chunked path; the canonical
+            # snapshot erases the only difference (internal level order).
+            cache = source.open_cache()
+            try:
+                if cache.n_rows == 0:
+                    raise CsvParseError("no data rows found")
+                return spec.new_accumulator().update_table(
+                    cache.full_table(schema=source.schema)
+                )
+            finally:
+                cache.close()
         accumulator = spec.new_accumulator()
         for table in self.iter_chunk_tables(source):
             accumulator.update_table(table)
@@ -283,63 +434,371 @@ class SerialBackend(ExecutionBackend):
 
 
 class ProcessPoolBackend(ExecutionBackend):
-    """Multi-process ingestion: shard the file, count, tree-merge.
+    """Multi-process ingestion: shard the source, count, merge.
 
-    ``workers`` processes each open the CSV independently (byte-range
-    seeks — no shared handle, no row shipping) and return compact
-    count-tensor states; only those states cross process boundaries.
-    Results are bit-identical to :class:`SerialBackend` because the
-    counts are the same integers and the merge algebra is exact.
+    ``workers`` processes each read their assignment independently —
+    byte-range CSV seeks, or mmap slices of the column cache — and ship
+    compact count-tensor states back over the shared-memory ring (or
+    the result queue as fallback). Results are bit-identical to
+    :class:`SerialBackend` because the counts are the same integers and
+    the merge algebra is exact.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.
+    pipelined:
+        Overlap worker parsing with coordinator merging through a
+        bounded in-flight window (default). ``False`` restores the
+        PR-4 blocking coordinator — kept for benchmarking the overlap,
+        not for production use.
+    use_shared_memory:
+        Transport count tensors through a :class:`SharedCountRing`
+        (default). ``False`` ships states through the result queue
+        (pickled) — again, the benchmark baseline.
+    inflight_per_worker:
+        In-flight window (and ring capacity) as a multiple of
+        ``workers``; memory stays fixed at
+        ``workers * inflight_per_worker`` encoded states regardless of
+        stream length.
+
+    The worker pool is created lazily on first use and **reused across
+    calls**; :meth:`close` (or the context-manager exit) shuts it down.
+    A pool broken by a killed worker is discarded and lazily replaced
+    on the next call.
     """
 
     name = "process-pool"
 
-    def __init__(self, workers: int):
+    def __init__(
+        self,
+        workers: int,
+        *,
+        pipelined: bool = True,
+        use_shared_memory: bool = True,
+        inflight_per_worker: int = 2,
+    ):
         if int(workers) < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
+        if int(inflight_per_worker) < 1:
+            raise ValidationError(
+                f"inflight_per_worker must be >= 1, got {inflight_per_worker}"
+            )
         self.workers = int(workers)
+        self.pipelined = bool(pipelined)
+        self.use_shared_memory = bool(use_shared_memory)
+        self.inflight_per_worker = int(inflight_per_worker)
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
 
     def __repr__(self) -> str:
-        return f"ProcessPoolBackend(workers={self.workers})"
+        return (
+            f"ProcessPoolBackend(workers={self.workers}, "
+            f"pipelined={self.pipelined}, "
+            f"use_shared_memory={self.use_shared_memory})"
+        )
 
+    # ------------------------------------------------------------------
+    # Pool lifecycle (reused across build/iter_chunk_counts calls)
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise ValidationError(
+                "this ProcessPoolBackend has been closed; construct a new "
+                "one to ingest again"
+            )
+        pool = self._pool
+        if pool is not None and getattr(pool, "_broken", False):
+            self._discard_pool()
+            pool = None
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool = pool
+        return pool
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the worker pool down; the backend cannot be used after."""
+        self._discard_pool()
+        self._closed = True
+
+    def __del__(self):  # pragma: no cover - GC timing
+        try:
+            self._discard_pool()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Coordinator internals
+    # ------------------------------------------------------------------
+    @property
+    def _window(self) -> int:
+        return max(2, self.workers * self.inflight_per_worker)
+
+    def _new_ring(self, spec: ContingencySpec) -> SharedCountRing | None:
+        if not self.use_shared_memory:
+            return None
+        return SharedCountRing(self._window, ring_slot_size(spec))
+
+    @staticmethod
+    def _ring_fields(
+        ring: SharedCountRing | None, seq: int
+    ) -> tuple[tuple[str, int, int] | None, tuple[tuple[int, int], ...]]:
+        if ring is None:
+            return None, ()
+        return (
+            (ring.name, ring.n_slots, ring.slot_size),
+            ((seq % ring.n_slots, seq),),
+        )
+
+    def _materialise(
+        self, ring: SharedCountRing | None, transport: Any
+    ) -> StreamingContingency:
+        """Decode a worker's transport into an accumulator (one copy)."""
+        if isinstance(transport, SlotDescriptor):
+            if ring is None:
+                raise ValidationError(
+                    "received a shared-memory descriptor without a ring"
+                )
+            view = ring.read_slot(transport)
+            accumulator = StreamingContingency.from_state(
+                decode_counts_state(view)
+            )
+            view.release()
+            return accumulator
+        return StreamingContingency.from_state(transport)
+
+    def _drive(self, tasks) -> Iterator[list[tuple[int, int, Any]]]:
+        """Run single-span tasks with a bounded in-flight window.
+
+        Results come back in task (= chunk) order; up to ``_window``
+        tasks are submitted ahead of consumption, so workers parse
+        ahead while the coordinator merges — and because a task's ring
+        slot is ``seq % n_slots``, the window bound *is* the slot
+        recycling rule: seq ``s`` reuses the slot of seq ``s - W``,
+        which was consumed before ``s`` could be submitted.
+        """
+        if self.workers == 1:
+            for task in tasks:
+                yield _count_task(task)
+            return
+        pool = self._ensure_pool()
+        pending: deque = deque()
+        task_iter = iter(tasks)
+        try:
+            while True:
+                while len(pending) < self._window:
+                    task = next(task_iter, None)
+                    if task is None:
+                        break
+                    pending.append(pool.submit(_count_task, task))
+                if not pending:
+                    break
+                yield pending.popleft().result()
+        except BrokenProcessPool:
+            # A worker died mid-chunk (OOM-kill, segfault, SIGKILL).
+            # The pool is unusable: discard it so the next call starts
+            # a fresh one, and let the caller's finally unlink the ring.
+            self._discard_pool()
+            raise
+        finally:
+            for future in pending:
+                future.cancel()
+
+    def _blocking_results(self, tasks: list[_SpanTask]):
+        """The PR-4 coordinator: grouped tasks, full barrier per batch."""
+        if not tasks:
+            return
+        if len(tasks) == 1 or self.workers == 1:
+            for task in tasks:
+                yield _count_task(task)
+            return
+        pool = self._ensure_pool()
+        try:
+            yield from pool.map(_count_task, tasks)
+        except BrokenProcessPool:
+            self._discard_pool()
+            raise
+
+    # ------------------------------------------------------------------
+    # Task planning
+    # ------------------------------------------------------------------
+    def _csv_chunk_tasks(
+        self,
+        source: CsvSource,
+        plan: CsvPlan,
+        spec: ContingencySpec,
+        spans: list[CsvSpan],
+        ring: SharedCountRing | None,
+    ) -> Iterator[_SpanTask]:
+        for seq, span in enumerate(spans):
+            ring_fields, slots = self._ring_fields(ring, seq)
+            yield _SpanTask(
+                source.path,
+                plan,
+                spec,
+                seq,
+                source.chunk_rows,
+                spans=(span,),
+                ring=ring_fields,
+                slots=slots,
+            )
+
+    def _cache_tasks(
+        self,
+        source: CsvSource,
+        spec: ContingencySpec,
+        cache_path: str,
+        cache_token: tuple[int, int],
+        ranges: list[tuple[int, int]],
+        ring: SharedCountRing | None,
+    ) -> Iterator[_SpanTask]:
+        for seq, row_range in enumerate(ranges):
+            ring_fields, slots = self._ring_fields(ring, seq)
+            yield _SpanTask(
+                source.path,
+                None,
+                spec,
+                seq,
+                source.chunk_rows,
+                cache_path=cache_path,
+                cache_token=cache_token,
+                row_ranges=(row_range,),
+                schema=source.schema,
+                ring=ring_fields,
+                slots=slots,
+            )
+
+    def _prepare_cache(
+        self, source: CsvSource, plan: CsvPlan
+    ) -> tuple[str, tuple[int, int], int] | None:
+        """Ensure the cache is fresh; return (path, file token, n_rows)."""
+        if source.column_cache is None:
+            return None
+        cache = source.open_cache(plan)
+        try:
+            n_rows = cache.n_rows
+        finally:
+            cache.close()
+        stat = os.stat(source.column_cache)
+        return source.column_cache, (stat.st_size, stat.st_mtime_ns), n_rows
+
+    @staticmethod
+    def _even_ranges(n_rows: int, n_parts: int) -> list[tuple[int, int]]:
+        bounds = [n_rows * part // n_parts for part in range(n_parts + 1)]
+        return [
+            (start, stop)
+            for start, stop in zip(bounds, bounds[1:])
+            if stop > start
+        ]
+
+    @staticmethod
+    def _chunk_ranges(n_rows: int, chunk_rows: int) -> list[tuple[int, int]]:
+        return [
+            (start, min(start + chunk_rows, n_rows))
+            for start in range(0, n_rows, chunk_rows)
+        ]
+
+    # ------------------------------------------------------------------
+    # The backend contract
+    # ------------------------------------------------------------------
     def build(
         self, source: CsvSource, spec: ContingencySpec
     ) -> StreamingContingency:
         plan = source.plan()
-        spans = plan_csv_shards(source.path, plan, self.workers)
-        tasks = [
-            _SpanTask(
-                source.path, plan, spec, (span,), index, source.chunk_rows
+        cached = self._prepare_cache(source, plan)
+        ring = self._new_ring(spec) if self.pipelined else None
+        try:
+            if cached is not None:
+                cache_path, cache_token, n_rows = cached
+                if n_rows == 0:
+                    raise CsvParseError("no data rows found")
+                # More parts than workers so merging overlaps parsing.
+                ranges = self._even_ranges(n_rows, self._window * 2)
+                tasks = self._cache_tasks(
+                    source, spec, cache_path, cache_token, ranges, ring
+                )
+            elif self.pipelined:
+                spans = plan_csv_shards(
+                    source.path, plan, self._window * 2
+                )
+                tasks = self._csv_chunk_tasks(source, plan, spec, spans, ring)
+            else:
+                spans = plan_csv_shards(source.path, plan, self.workers)
+                tasks = [
+                    _SpanTask(
+                        source.path,
+                        plan,
+                        spec,
+                        index,
+                        source.chunk_rows,
+                        spans=(span,),
+                    )
+                    for index, span in enumerate(spans)
+                ]
+            merged: StreamingContingency | None = None
+            results = (
+                self._drive(tasks)
+                if self.pipelined
+                else self._blocking_results(list(tasks))
             )
-            for index, span in enumerate(spans)
-        ]
-        states = [
-            state
-            for results in self._run(tasks)
-            for (_, n_rows, state) in results
-            if n_rows
-        ]
-        if not states:
-            raise CsvParseError("no data rows found")
-        return tree_merge(
-            [StreamingContingency.from_state(state) for state in states]
-        )
+            for batch in results:
+                for _index, n_rows, transport in batch:
+                    if not n_rows:
+                        continue
+                    counts = self._materialise(ring, transport)
+                    merged = counts if merged is None else merged.merge(counts)
+            if merged is None:
+                raise CsvParseError("no data rows found")
+            return merged
+        finally:
+            if ring is not None:
+                ring.destroy()
 
     def iter_chunk_counts(
         self, source: CsvSource, spec: ContingencySpec
     ) -> Iterator[ChunkCounts]:
         plan = source.plan()
-        spans = plan_csv_chunks(source.path, plan, source.chunk_rows)
-        if not spans:
-            raise CsvParseError("no data rows found")
-        tasks = self._shard_tasks(
-            source.path, plan, spec, spans, source.chunk_rows
-        )
-        for results in self._run(tasks):
-            for index, n_rows, state in results:
-                yield ChunkCounts(
-                    index, n_rows, StreamingContingency.from_state(state)
+        cached = self._prepare_cache(source, plan)
+        ring = self._new_ring(spec) if self.pipelined else None
+        try:
+            if cached is not None:
+                cache_path, cache_token, n_rows = cached
+                ranges = self._chunk_ranges(n_rows, source.chunk_rows)
+                if not ranges:
+                    raise CsvParseError("no data rows found")
+                tasks = self._cache_tasks(
+                    source, spec, cache_path, cache_token, ranges, ring
                 )
+            else:
+                spans = plan_csv_chunks(source.path, plan, source.chunk_rows)
+                if not spans:
+                    raise CsvParseError("no data rows found")
+                if self.pipelined:
+                    tasks = self._csv_chunk_tasks(
+                        source, plan, spec, spans, ring
+                    )
+                else:
+                    tasks = self._shard_tasks(
+                        source.path, plan, spec, spans, source.chunk_rows
+                    )
+            results = (
+                self._drive(tasks)
+                if self.pipelined
+                else self._blocking_results(list(tasks))
+            )
+            for batch in results:
+                for index, n_rows, transport in batch:
+                    yield ChunkCounts(
+                        index, n_rows, self._materialise(ring, transport)
+                    )
+        finally:
+            if ring is not None:
+                ring.destroy()
 
     def _shard_tasks(
         self,
@@ -368,22 +827,15 @@ class ProcessPoolBackend(ExecutionBackend):
             if group:
                 tasks.append(
                     _SpanTask(
-                        path, plan, spec, tuple(group), first, batch_rows
+                        path,
+                        plan,
+                        spec,
+                        first,
+                        batch_rows,
+                        spans=tuple(group),
                     )
                 )
         # The last shard's target is the exact total, so the loop above
         # always drains every span.
         assert cursor == len(spans)
         return tasks
-
-    def _run(self, tasks: list[_SpanTask]):
-        """Execute tasks on the pool, yielding results in task order."""
-        if not tasks:
-            return
-        if len(tasks) == 1 or self.workers == 1:
-            # Nothing to fan out: skip process start-up entirely.
-            for task in tasks:
-                yield _count_spans(task)
-            return
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(tasks))) as pool:
-            yield from pool.map(_count_spans, tasks)

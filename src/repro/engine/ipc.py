@@ -1,0 +1,361 @@
+"""Zero-copy worker→coordinator count transport over shared memory.
+
+The multi-process backends of :mod:`repro.engine.backends` move one
+thing between processes: per-chunk :class:`StreamingContingency` count
+tensors. Shipping them through the pool's result queue pickles every
+tensor twice (worker-side dump, coordinator-side load) and funnels all
+of it through one pipe — measurable overhead that grows with the number
+of chunks, and the reason the PR-4 engine lost to the serial pass on
+small machines. This module replaces that transport with a
+``multiprocessing.shared_memory`` **ring buffer**:
+
+* the coordinator creates a segment of ``n_slots`` fixed-size slots
+  (slot size negotiated from the :class:`ContingencySpec` — exact when
+  every axis is pinned, a generous default otherwise);
+* each in-flight chunk is assigned a free slot *at submission time*, so
+  workers never contend for slots and no cross-process allocator is
+  needed — the bounded in-flight window of the pipelined coordinator is
+  exactly the ring capacity;
+* a worker encodes the chunk's counts into its slot (JSON schema header
+  + raw little-endian int64 tensor) and stamps the slot with the
+  chunk's sequence number and a CRC32 of the payload; only a tiny
+  :class:`SlotDescriptor` crosses the result queue;
+* the coordinator attaches once, validates the stamp (a torn slot — a
+  worker killed mid-write — or a stale one fails loudly with
+  :class:`repro.exceptions.IpcError`), decodes the tensor **in place**
+  with :func:`numpy.frombuffer`, merges, and recycles the slot.
+
+A state too large for its slot (a dynamic axis that discovered far more
+levels than estimated) falls back to the plain result-queue path for
+that chunk — correctness never depends on the estimate.
+
+Lifecycle: the creating side must call :meth:`SharedCountRing.destroy`
+(close + unlink) when ingestion ends, *including on error* — the
+backends do this in ``try/finally`` so a crashed worker can never leak
+``/dev/shm`` segments. Workers attach by name and keep at most one
+mapping alive per process (:func:`attach_ring` caches the current ring
+and closes the previous one).
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+import struct
+import zlib
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import IpcError, ValidationError
+
+__all__ = [
+    "RING_SLOT_HEADER",
+    "SharedCountRing",
+    "SlotDescriptor",
+    "attach_ring",
+    "decode_counts_state",
+    "encode_counts_state",
+    "ring_slot_size",
+]
+
+# Per-slot header: sequence stamp, payload length, payload CRC32.
+RING_SLOT_HEADER = struct.Struct("<QII")
+
+# Encoded-state preamble: JSON schema-header length.
+_STATE_HEADER = struct.Struct("<I")
+
+# Fallback slot payload budget when the spec has dynamic axes (unknown
+# tensor size). Generous for audit-sized contingencies; an overflow
+# falls back to queue transport rather than failing.
+DEFAULT_SLOT_PAYLOAD = 256 * 1024
+
+
+def encode_counts_state(state: dict[str, Any]) -> bytes:
+    """Serialise a ``StreamingContingency.state_dict()`` without pickle.
+
+    Layout: ``<I`` JSON-header length, the UTF-8 JSON header (names,
+    levels, pinned flags, shape, row count), then the count tensor as
+    raw little-endian int64 bytes in C order. The encoding is
+    self-describing and pointer-free, so it can live in shared memory
+    and be decoded by any process that can see the bytes.
+    """
+    counts = np.ascontiguousarray(state["counts"], dtype="<i8")
+    header = json.dumps(
+        {
+            "factor_names": list(state["factor_names"]),
+            "factor_levels": [
+                list(levels) for levels in state["factor_levels"]
+            ],
+            "factor_pinned": [bool(flag) for flag in state["factor_pinned"]],
+            "outcome_name": state["outcome_name"],
+            "outcome_levels": list(state["outcome_levels"]),
+            "outcome_pinned": bool(state["outcome_pinned"]),
+            "shape": list(counts.shape),
+            "n_rows": int(state["n_rows"]),
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return _STATE_HEADER.pack(len(header)) + header + counts.tobytes()
+
+
+def decode_counts_state(buffer) -> dict[str, Any]:
+    """Decode :func:`encode_counts_state` bytes back into a state dict.
+
+    ``buffer`` may be any buffer-protocol object — in the ring path it
+    is a slice of the shared-memory mapping, so the count tensor is
+    materialised by :func:`numpy.frombuffer` *directly from shared
+    memory*; no intermediate copy, no pickle.
+    """
+    view = memoryview(buffer)
+    if len(view) < _STATE_HEADER.size:
+        raise IpcError("encoded counts state is truncated (no header)")
+    (header_len,) = _STATE_HEADER.unpack_from(view, 0)
+    body_start = _STATE_HEADER.size + header_len
+    if len(view) < body_start:
+        raise IpcError("encoded counts state is truncated (partial header)")
+    try:
+        header = json.loads(bytes(view[_STATE_HEADER.size : body_start]))
+    except ValueError as error:
+        raise IpcError(f"encoded counts header is not JSON: {error}") from None
+    shape = tuple(int(side) for side in header["shape"])
+    n_cells = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    expected = body_start + 8 * n_cells
+    if len(view) < expected:
+        raise IpcError(
+            f"encoded counts state is truncated: tensor needs "
+            f"{8 * n_cells} bytes, slot holds {len(view) - body_start}"
+        )
+    counts = np.frombuffer(
+        view, dtype="<i8", count=n_cells, offset=body_start
+    ).reshape(shape)
+    return {
+        "factor_names": list(header["factor_names"]),
+        "factor_levels": [list(levels) for levels in header["factor_levels"]],
+        "factor_pinned": [bool(flag) for flag in header["factor_pinned"]],
+        "outcome_name": header["outcome_name"],
+        "outcome_levels": list(header["outcome_levels"]),
+        "outcome_pinned": bool(header["outcome_pinned"]),
+        "counts": counts,
+        "n_rows": int(header["n_rows"]),
+    }
+
+
+def ring_slot_size(spec, *, default_payload: int = DEFAULT_SLOT_PAYLOAD) -> int:
+    """Negotiate a slot size from a :class:`ContingencySpec`.
+
+    With every axis pinned the tensor shape is known up front, so the
+    slot is sized to the *exact* encoded state (measured on an empty
+    accumulator, whose zero tensor already has the final shape) plus a
+    small slack for the row-count digits. Dynamic axes make the tensor
+    size data-dependent; the slot gets ``default_payload`` bytes and
+    oversized states fall back to queue transport.
+    """
+    empty = spec.new_accumulator()
+    measured = len(encode_counts_state(empty.state_dict()))
+    pinned = spec.factor_levels is not None and spec.outcome_levels is not None
+    payload = measured + 64 if pinned else max(default_payload, measured + 64)
+    return RING_SLOT_HEADER.size + payload
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker bookkeeping.
+
+    On Python < 3.13 *attaching* registers the segment with the shared
+    resource tracker just like creating it does, so every worker attach
+    would add a phantom cleanup entry: the creator already owns unlink,
+    and attach-side unregister messages race between workers (the
+    tracker's per-name set drops to zero after the first one). Masking
+    ``register`` for the duration of the attach keeps the tracker's
+    view exactly right: one registration, by the creator.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class SlotDescriptor:
+    """What a worker sends instead of a pickled count tensor."""
+
+    ring: str
+    slot: int
+    seq: int
+    length: int
+    crc: int
+
+
+class SharedCountRing:
+    """A fixed-slot shared-memory ring for encoded count states.
+
+    The ring itself is deliberately dumb: slot assignment, recycling,
+    and the bounded in-flight window all live in the coordinator (which
+    already serialises them), so the shared segment needs no locks and
+    no cross-process free list. Sequence stamps + CRCs make every read
+    self-validating instead.
+    """
+
+    def __init__(self, n_slots: int, slot_size: int, *, name: str | None = None):
+        if int(n_slots) < 1:
+            raise ValidationError(f"n_slots must be >= 1, got {n_slots}")
+        if int(slot_size) <= RING_SLOT_HEADER.size:
+            raise ValidationError(
+                f"slot_size must exceed the {RING_SLOT_HEADER.size}-byte "
+                f"slot header, got {slot_size}"
+            )
+        self.n_slots = int(n_slots)
+        self.slot_size = int(slot_size)
+        if name is None:
+            # Our own prefix + randomness: recognisable in /dev/shm scans
+            # (the leak tests grep for it) and collision-free across
+            # concurrent ingests.
+            name = f"repro_ring_{secrets.token_hex(8)}"
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=self.n_slots * self.slot_size
+            )
+            self._owner = True
+        else:
+            self._shm = _attach_untracked(name)
+            self._owner = False
+        self.name = self._shm.name
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, name: str, n_slots: int, slot_size: int) -> "SharedCountRing":
+        return cls(n_slots, slot_size, name=name)
+
+    @property
+    def payload_capacity(self) -> int:
+        """Usable payload bytes per slot."""
+        return self.slot_size - RING_SLOT_HEADER.size
+
+    def _slot_range(self, slot: int) -> tuple[int, int]:
+        if not 0 <= int(slot) < self.n_slots:
+            raise IpcError(
+                f"slot {slot} out of range for a {self.n_slots}-slot ring"
+            )
+        start = int(slot) * self.slot_size
+        return start, start + self.slot_size
+
+    # ------------------------------------------------------------------
+    def write_slot(self, slot: int, seq: int, payload: bytes) -> SlotDescriptor:
+        """Worker side: stamp ``payload`` into ``slot`` under ``seq``.
+
+        The payload is written before the header, so a reader that
+        validates the stamp can never accept a half-written payload
+        whose CRC happens to match a previous occupant: the CRC in the
+        header always describes the payload written *with* it.
+        """
+        if len(payload) > self.payload_capacity:
+            raise IpcError(
+                f"payload of {len(payload)} bytes exceeds the slot "
+                f"capacity of {self.payload_capacity}"
+            )
+        start, _ = self._slot_range(slot)
+        crc = zlib.crc32(payload)
+        body = start + RING_SLOT_HEADER.size
+        self._shm.buf[body : body + len(payload)] = payload
+        RING_SLOT_HEADER.pack_into(
+            self._shm.buf, start, int(seq), len(payload), crc
+        )
+        return SlotDescriptor(self.name, int(slot), int(seq), len(payload), crc)
+
+    def read_slot(self, descriptor: SlotDescriptor) -> memoryview:
+        """Coordinator side: validated view of a descriptor's payload.
+
+        Checks the ring name, the sequence stamp, and the CRC — both the
+        stamp written in the slot and the descriptor's copy must agree,
+        so a torn write (worker died mid-chunk), a stale slot (never
+        overwritten), or a recycled slot (overwritten by a later chunk)
+        all raise :class:`IpcError` instead of merging garbage counts.
+        """
+        if descriptor.ring != self.name:
+            raise IpcError(
+                f"descriptor names ring {descriptor.ring!r}, attached to "
+                f"{self.name!r}"
+            )
+        start, _ = self._slot_range(descriptor.slot)
+        seq, length, crc = RING_SLOT_HEADER.unpack_from(self._shm.buf, start)
+        if seq != descriptor.seq:
+            raise IpcError(
+                f"slot {descriptor.slot} is stamped seq {seq}, expected "
+                f"{descriptor.seq}: the slot was recycled or never written "
+                "(torn ingest)"
+            )
+        if length != descriptor.length or length > self.payload_capacity:
+            raise IpcError(
+                f"slot {descriptor.slot} length {length} does not match "
+                f"descriptor length {descriptor.length}"
+            )
+        body = start + RING_SLOT_HEADER.size
+        view = self._shm.buf[body : body + length]
+        actual = zlib.crc32(view)
+        if actual != crc or crc != descriptor.crc:
+            raise IpcError(
+                f"slot {descriptor.slot} failed its CRC check "
+                f"(stamped {crc:#010x}, descriptor {descriptor.crc:#010x}, "
+                f"payload {actual:#010x}): torn write"
+            )
+        return view
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - exported views still alive
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (creator side)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def destroy(self) -> None:
+        """Close and (when owner) unlink; idempotent, safe in ``finally``."""
+        self.close()
+        if self._owner:
+            self.unlink()
+
+    def __enter__(self) -> "SharedCountRing":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.destroy()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedCountRing({self.name!r}, n_slots={self.n_slots}, "
+            f"slot_size={self.slot_size})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-side attachment cache: one live ring mapping per process.
+# ----------------------------------------------------------------------
+_ATTACHED: dict[str, SharedCountRing] = {}
+
+
+def attach_ring(name: str, n_slots: int, slot_size: int) -> SharedCountRing:
+    """Attach to a coordinator's ring, caching one mapping per process.
+
+    Pool workers are long-lived (the backend reuses its executor across
+    calls) while rings are per-ingest; caching by name makes the attach
+    cost once-per-ring-per-worker, and attaching a *new* ring closes the
+    previous mapping so worker processes never accumulate dead mappings.
+    """
+    ring = _ATTACHED.get(name)
+    if ring is not None:
+        return ring
+    for stale in list(_ATTACHED):
+        _ATTACHED.pop(stale).close()
+    ring = SharedCountRing.attach(name, n_slots, slot_size)
+    _ATTACHED[name] = ring
+    return ring

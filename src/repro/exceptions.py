@@ -24,6 +24,39 @@ class CsvParseError(ReproError):
     """A CSV file could not be parsed against the expected schema."""
 
 
+class CacheError(ReproError):
+    """A columnar binary cache (``.rccol``) cannot be used.
+
+    Raised when a cache file fails magic/version/CRC validation
+    (truncation, bit rot, a foreign file) or when its recorded source
+    fingerprint — size, mtime, prologue bytes, parse options — no
+    longer matches the CSV it claims to cache. A stale cache is *never*
+    read silently: auditing yesterday's rows while claiming to audit
+    today's file would be a correctness bug, not a performance one.
+
+    ``reason`` classifies the failure: ``"stale"`` means the cache is
+    internally intact but the source moved on (safe to rebuild);
+    anything else (``"magic"``, ``"version"``, ``"crc"``,
+    ``"truncated"``, ``"plan"``) means the file itself is unusable.
+    """
+
+    def __init__(self, message: str, *, reason: str = "corrupt"):
+        super().__init__(message)
+        self.reason = str(reason)
+
+
+class IpcError(ReproError):
+    """Shared-memory transport between audit processes failed.
+
+    Raised when a ring-buffer slot fails its CRC or sequence-stamp
+    validation (a torn write from a worker that died mid-chunk, or a
+    stale slot that was never overwritten) and when a descriptor does
+    not match the ring it claims to describe. The coordinator treats
+    every ``IpcError`` as fatal for the in-flight ingest: counts from a
+    questionable slot must never be merged.
+    """
+
+
 class CheckpointError(ValidationError):
     """A durable checkpoint is corrupt, truncated, or does not match.
 

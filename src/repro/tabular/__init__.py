@@ -8,6 +8,12 @@ N-dimensional contingency tables, and a CSV codec — the subset of a
 dataframe library this project actually needs, implemented on NumPy.
 """
 
+from repro.tabular.colcache import (
+    COLCACHE_SUFFIX,
+    ColumnCache,
+    build_column_cache,
+    ensure_column_cache,
+)
 from repro.tabular.column import Column
 from repro.tabular.crosstab import ContingencyTable, crosstab
 from repro.tabular.csv_io import (
@@ -26,14 +32,18 @@ from repro.tabular.schema import Field, Schema
 from repro.tabular.table import Table, concat_tables
 
 __all__ = [
+    "COLCACHE_SUFFIX",
     "Column",
+    "ColumnCache",
     "ColumnRef",
     "ColumnSummary",
     "ContingencyTable",
     "CsvPlan",
     "CsvSpan",
     "Expression",
+    "build_column_cache",
     "describe_column",
+    "ensure_column_cache",
     "describe_table",
     "Field",
     "GroupBy",

@@ -284,6 +284,40 @@ class CsvPlan:
                 ]
             yield row
 
+    def to_column_cache(
+        self, source_path: str | Path, cache_path: str | Path
+    ) -> Path:
+        """Parse ``source_path`` once and write a ``.rccol`` column cache.
+
+        The cache packs every selected column as a factorised level
+        table plus an int32 code array (see
+        :mod:`repro.tabular.colcache`); re-audits of the same source
+        then skip CSV parsing entirely via :meth:`from_column_cache`.
+        """
+        from repro.tabular.colcache import build_column_cache
+
+        return build_column_cache(source_path, self, cache_path)
+
+    def from_column_cache(
+        self,
+        cache_path: str | Path,
+        *,
+        source_path: str | Path | None = None,
+    ):
+        """Open a ``.rccol`` cache built for this plan's parse options.
+
+        Validates the cache's magic/version/CRCs and its recorded parse
+        options against this plan; with ``source_path`` the source
+        fingerprint (size, mtime, prologue bytes) is re-verified too.
+        Any mismatch raises :class:`repro.exceptions.CacheError` — a
+        stale cache is never read silently.
+        """
+        from repro.tabular.colcache import ColumnCache
+
+        return ColumnCache.open(
+            cache_path, source_path=source_path, plan=self
+        )
+
     def build_chunk(self, rows: Sequence[Sequence[str]]) -> Table:
         """Build a chunk table from already-projected rows."""
         chunk_columns: list[Column] = []

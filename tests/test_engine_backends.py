@@ -346,6 +346,85 @@ class TestCliBackendMatrix:
         assert "--checkpoint" in capsys.readouterr().err
 
 
+class TestCliColumnCache:
+    def args_for(self, stream_csv, *extra):
+        return [
+            "audit-stream", str(stream_csv),
+            "--protected", "gender,race",
+            "--outcome", "hired",
+            "--chunk-rows", "200",
+            *extra,
+        ]
+
+    def test_cold_and_warm_runs_are_byte_identical(self, stream_csv, tmp_path):
+        cache = tmp_path / "stream.rccol"
+        plain, cold, warm = io.StringIO(), io.StringIO(), io.StringIO()
+        assert main(self.args_for(stream_csv), out=plain) == 0
+        assert not cache.exists()
+        flags = self.args_for(stream_csv, "--column-cache", str(cache))
+        assert main(flags, out=cold) == 0
+        assert cache.exists()
+        assert main(flags, out=warm) == 0
+        assert cold.getvalue() == plain.getvalue()
+        assert warm.getvalue() == plain.getvalue()
+
+    @pytest.mark.parallel
+    def test_cache_and_workers_compose(self, stream_csv, tmp_path):
+        cache = tmp_path / "stream.rccol"
+        plain, pooled = io.StringIO(), io.StringIO()
+        assert main(self.args_for(stream_csv), out=plain) == 0
+        assert (
+            main(
+                self.args_for(
+                    stream_csv,
+                    "--column-cache", str(cache),
+                    "--workers", "2",
+                ),
+                out=pooled,
+            )
+            == 0
+        )
+        assert pooled.getvalue() == plain.getvalue()
+
+    def test_cache_and_window_compose(self, stream_csv, tmp_path):
+        cache = tmp_path / "stream.rccol"
+        plain, cached = io.StringIO(), io.StringIO()
+        assert main(self.args_for(stream_csv, "--window", "300"), out=plain) == 0
+        assert (
+            main(
+                self.args_for(
+                    stream_csv,
+                    "--window", "300",
+                    "--column-cache", str(cache),
+                ),
+                out=cached,
+            )
+            == 0
+        )
+        assert cached.getvalue() == plain.getvalue()
+
+    def test_corrupt_cache_fails_loudly(self, stream_csv, tmp_path, capsys):
+        cache = tmp_path / "stream.rccol"
+        flags = self.args_for(stream_csv, "--column-cache", str(cache))
+        assert main(flags, out=io.StringIO()) == 0
+        blob = bytearray(cache.read_bytes())
+        blob[-2] ^= 0x04
+        cache.write_bytes(bytes(blob))
+        assert main(flags, out=io.StringIO()) == 1
+        assert "CRC" in capsys.readouterr().err
+
+    def test_stale_cache_is_rebuilt_with_fresh_rows(self, stream_csv, tmp_path):
+        cache = tmp_path / "stream.rccol"
+        flags = self.args_for(stream_csv, "--column-cache", str(cache))
+        assert main(flags, out=io.StringIO()) == 0
+        with open(stream_csv, "a", encoding="utf-8") as handle:
+            handle.write("g0,r0,extra,y1\n")
+        plain, refreshed = io.StringIO(), io.StringIO()
+        assert main(self.args_for(stream_csv), out=plain) == 0
+        assert main(flags, out=refreshed) == 0
+        assert refreshed.getvalue() == plain.getvalue()
+
+
 def test_base_backend_refuses_ordered_iteration(tmp_path):
     class Stub(ExecutionBackend):
         name = "stub"
