@@ -379,6 +379,7 @@ class StreamingAuditor:
         checkpoint_keep: int = 0,
         resume: bool = False,
         on_chunk: Callable[[ChunkProgress], None] | None = None,
+        tracer=None,
     ) -> float:
         """Drive a whole CSV stream through an execution backend.
 
@@ -420,6 +421,11 @@ class StreamingAuditor:
             state simply reports its final epsilon again.
         on_chunk:
             Called with a :class:`ChunkProgress` after every chunk.
+        tracer:
+            Optional :class:`repro.obs.trace.Tracer`. When given it is
+            also installed on the backend, so one trace file captures
+            the backend's parse/decode stages *and* this loop's
+            merge/checkpoint work as nested spans.
 
         Returns the final epsilon of the stream.
         """
@@ -433,6 +439,10 @@ class StreamingAuditor:
 
         if backend is None:
             backend = SerialBackend()
+        if tracer is None:
+            from repro.obs.trace import NULL_TRACER as tracer
+        else:
+            backend.tracer = tracer
         if int(checkpoint_keep) < 0:
             raise ValidationError(
                 f"checkpoint_keep must be >= 0 generations, got {checkpoint_keep}"
@@ -478,12 +488,32 @@ class StreamingAuditor:
                 on_chunk(ChunkProgress(chunks_done, n_rows, epsilon))
 
         if ordered:
-            for table in backend.iter_chunk_tables(source, skip_rows=skip_rows):
-                emit(table.n_rows, self.observe_table(table))
+            # The ordered path consumes tables straight from the backend
+            # (no counts stage), so the parse spans that the unordered
+            # backends emit themselves are emitted here instead.
+            tables = backend.iter_chunk_tables(source, skip_rows=skip_rows)
+            index = 0
+            with tracer.span(
+                "ingest", backend=backend.name, path=source.path
+            ):
+                while True:
+                    with tracer.span("parse", chunk=index):
+                        table = next(tables, None)
+                    if table is None:
+                        break
+                    with tracer.span(
+                        "merge", chunk=index, rows=table.n_rows
+                    ):
+                        epsilon = self.observe_table(table)
+                    emit(table.n_rows, epsilon)
+                    index += 1
         else:
             spec = self.contingency_spec()
             for chunk in backend.iter_chunk_counts(source, spec):
-                self._absorb(chunk.counts)
+                with tracer.span(
+                    "merge", chunk=chunk.index, rows=chunk.n_rows
+                ):
+                    self._absorb(chunk.counts)
                 emit(chunk.n_rows, self.epsilon())
         return self.epsilon()
 

@@ -164,6 +164,28 @@ Metric registry:
     {"type": "metric_threshold", "metric": "demographic_parity_ratio",
      "threshold": 0.8, "direction": "below"}
 
+Observability:
+  metrics     GET /metrics on monitor-serve and on the fleet router
+              serves the Prometheus text exposition format (and
+              /metrics.json the mergeable registry state). The router
+              fans out to every shard registry and tree-merges them:
+              fleet counters are bit-exact sums of the shard counters,
+              and repro_fleet_shard_up{shard="NN"} marks shards whose
+              metrics are missing from the totals (also annotated as
+              comment lines).
+  offline     metrics-snapshot DATA_DIR scans a service or fleet data
+              directory without a running server and prints the same
+              Prometheus text: WAL segment/record/torn-byte gauges,
+              history-store totals, and scan timings.
+  latency     GET /healthz carries latency-band summaries (p50/p95/p99
+              bucket upper bounds) for observe, WAL append, and fsync.
+  tracing     audit-stream ... --trace-out trace.json records nested
+              ingest spans (parse/decode/merge per chunk) and writes a
+              Chrome trace-event JSON file on success; open it in
+              chrome://tracing or https://ui.perfetto.dev
+  catalogue   the "Observability & runbook" section of ROADMAP.md lists
+              every metric name and the trace-file format.
+
 Fleet crash semantics (see also: fleet-serve --help):
   A shard crash degrades only that shard's monitors: the router answers
   503 + Retry-After for them while every other shard keeps serving.
@@ -324,6 +346,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="restore --checkpoint and continue the stream from where "
         "the checkpointed run stopped",
+    )
+    stream.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="record ingest trace spans and write PATH as a Chrome "
+        "trace-event JSON file on success (open in chrome://tracing or "
+        "Perfetto); while the run is live the spans stream to "
+        "PATH.jsonl, one JSON event per line",
     )
 
     merge = commands.add_parser(
@@ -561,6 +592,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable summary instead of plain text",
     )
 
+    metrics_cmd = commands.add_parser(
+        "metrics-snapshot",
+        help="offline Prometheus metrics page scanned from a data "
+        "directory (no running server needed)",
+    )
+    metrics_cmd.add_argument(
+        "data_dir",
+        help="a monitor-serve data directory or a fleet directory "
+        "(per-shard scan registries are tree-merged)",
+    )
+
     status = commands.add_parser(
         "monitor-status",
         help="offline status report over a monitor-serve data directory",
@@ -702,14 +744,38 @@ def _run_audit_stream(args: argparse.Namespace, out) -> int:
             f"epsilon = {progress.epsilon:.4f}\n"
         )
 
-    with backend:
-        auditor.ingest(
-            source,
-            backend=backend,
-            checkpoint_path=args.checkpoint,
-            checkpoint_keep=args.checkpoint_keep,
-            resume=args.resume,
-            on_chunk=trace,
+    tracer = None
+    trace_sink = None
+    if args.trace_out is not None:
+        from repro.obs.trace import TraceSink, Tracer
+
+        trace_sink = TraceSink(f"{args.trace_out}.jsonl")
+        tracer = Tracer(trace_sink)
+    try:
+        with backend:
+            auditor.ingest(
+                source,
+                backend=backend,
+                checkpoint_path=args.checkpoint,
+                checkpoint_keep=args.checkpoint_keep,
+                resume=args.resume,
+                on_chunk=trace,
+                tracer=tracer,
+            )
+    finally:
+        # A crashed run leaves the JSON-lines prefix behind for
+        # post-mortem reading; only a completed run is converted.
+        if trace_sink is not None:
+            trace_sink.close()
+    if args.trace_out is not None:
+        from repro.obs.trace import write_chrome_trace
+
+        events_path = Path(f"{args.trace_out}.jsonl")
+        write_chrome_trace(events_path, args.trace_out)
+        events_path.unlink()
+        out.write(
+            f"trace: wrote {trace_sink.written} span(s) to "
+            f"{args.trace_out}\n"
         )
     out.write("\n")
     audit = auditor.audit()
@@ -1007,7 +1073,9 @@ def _run_wal_inspect(args: argparse.Namespace, out) -> int:
     for name, report in reports.items():
         out.write(
             f"{name}: {report['records']} record(s), {report['rows']} row(s), "
-            f"seq {report['first_seq']}..{report['last_seq']}\n"
+            f"seq {report['first_seq']}..{report['last_seq']} "
+            f"({report['n_segments']} segment(s), scanned in "
+            f"{report['scan_seconds']:.3f}s)\n"
         )
         for segment in report["segments"]:
             torn = (
@@ -1023,10 +1091,59 @@ def _run_wal_inspect(args: argparse.Namespace, out) -> int:
     if fleet_shards is not None:
         total_records = sum(report["records"] for report in reports.values())
         total_rows = sum(report["rows"] for report in reports.values())
+        total_segments = sum(
+            report["n_segments"] for report in reports.values()
+        )
+        total_scan = sum(
+            report["scan_seconds"] for report in reports.values()
+        )
         out.write(
             f"fleet totals: {fleet_shards} shard(s), {len(reports)} WAL(s), "
-            f"{total_records} record(s), {total_rows} row(s)\n"
+            f"{total_records} record(s), {total_rows} row(s), "
+            f"{total_segments} segment(s), scanned in {total_scan:.3f}s\n"
         )
+    return 0
+
+
+def _run_metrics_snapshot(args: argparse.Namespace, out) -> int:
+    from repro.monitor.fleet import fleet_shard_count, shard_dir
+    from repro.monitor.registry import WAL_DIR
+    from repro.monitor.service import status_snapshot
+    from repro.monitor.wal import inspect_wal
+    from repro.obs.metrics import MetricsRegistry
+
+    data_dir = Path(args.data_dir)
+    if not data_dir.is_dir():
+        print(f"error: no such directory: {data_dir}", file=sys.stderr)
+        return 2
+    shards = fleet_shard_count(data_dir)
+    directories = (
+        [data_dir]
+        if shards is None
+        else [shard_dir(data_dir, index) for index in range(shards)]
+    )
+    # One scan registry per directory, tree-merged at the end — the
+    # same merge algebra the fleet router uses for live /metrics.
+    registries = []
+    for directory in directories:
+        if not directory.is_dir():
+            continue
+        registry = MetricsRegistry()
+        status_snapshot(directory, metrics=registry)
+        wal_root = directory / WAL_DIR
+        if wal_root.is_dir():
+            for child in sorted(wal_root.iterdir()):
+                if child.is_dir() and list(child.glob("wal-*.seg")):
+                    inspect_wal(
+                        child,
+                        metrics=registry,
+                        metric_labels={"monitor": child.name},
+                    )
+        registries.append(registry)
+    merged = MetricsRegistry()
+    for registry in registries:
+        merged.merge(registry)
+    out.write(merged.render_prometheus())
     return 0
 
 
@@ -1103,6 +1220,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _run_fleet_status(args, out)
         if args.command == "wal-inspect":
             return _run_wal_inspect(args, out)
+        if args.command == "metrics-snapshot":
+            return _run_metrics_snapshot(args, out)
         if args.command == "worked-example":
             return _run_worked_example(out)
         if args.command == "simpsons":

@@ -58,6 +58,7 @@ backend as a context manager) to release the worker processes.
 
 from __future__ import annotations
 
+import logging
 import os
 from collections import deque
 from collections.abc import Iterator, Sequence
@@ -76,6 +77,8 @@ from repro.engine.ipc import (
     ring_slot_size,
 )
 from repro.exceptions import CsvParseError, ValidationError
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.tabular.colcache import ColumnCache, ensure_column_cache
 from repro.tabular.csv_io import (
     CsvPlan,
@@ -329,6 +332,10 @@ class ExecutionBackend:
 
     name: str = "backend"
     supports_ordered_rows: bool = False
+    #: Trace-span emitter; NULL_TRACER keeps every span site a no-op.
+    #: Assign a live :class:`repro.obs.trace.Tracer` (the CLI's
+    #: ``audit-stream --trace-out`` does) to record ingest stages.
+    tracer: Tracer = NULL_TRACER
 
     def build(
         self, source: CsvSource, spec: ContingencySpec
@@ -428,9 +435,18 @@ class SerialBackend(ExecutionBackend):
     def iter_chunk_counts(
         self, source: CsvSource, spec: ContingencySpec
     ) -> Iterator[ChunkCounts]:
-        for index, table in enumerate(self.iter_chunk_tables(source)):
-            accumulator = spec.new_accumulator().update_table(table)
-            yield ChunkCounts(index, table.n_rows, accumulator)
+        tables = self.iter_chunk_tables(source)
+        with self.tracer.span("ingest", backend=self.name, path=source.path):
+            index = 0
+            while True:
+                with self.tracer.span("parse", chunk=index):
+                    table = next(tables, None)
+                if table is None:
+                    return
+                with self.tracer.span("count", chunk=index, rows=table.n_rows):
+                    accumulator = spec.new_accumulator().update_table(table)
+                yield ChunkCounts(index, table.n_rows, accumulator)
+                index += 1
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -477,6 +493,8 @@ class ProcessPoolBackend(ExecutionBackend):
         pipelined: bool = True,
         use_shared_memory: bool = True,
         inflight_per_worker: int = 2,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         if int(workers) < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
@@ -490,6 +508,45 @@ class ProcessPoolBackend(ExecutionBackend):
         self.inflight_per_worker = int(inflight_per_worker)
         self._pool: ProcessPoolExecutor | None = None
         self._closed = False
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Instrument handles resolve once here; the coordinator loop
+        # pays an attribute access + lock per update (see repro.obs).
+        registry = metrics if metrics is not None else default_registry()
+        self._metric_clock = registry.clock
+        self._metric_stage_seconds = {
+            stage: registry.histogram(
+                "repro_engine_stage_seconds",
+                "Coordinator time per pipeline stage: submit (task "
+                "fan-out), parse (wait for the next worker result), "
+                "decode (materialise counts from the transport), merge "
+                "(fold into the running total).",
+                labels={"stage": stage},
+            )
+            for stage in ("submit", "parse", "decode", "merge")
+        }
+        self._metric_inflight = registry.gauge(
+            "repro_engine_inflight_window",
+            "Tasks currently in flight in the pipelined coordinator "
+            "window (0 when idle).",
+        )
+        self._metric_ring_fallback = registry.counter(
+            "repro_engine_ring_fallback_total",
+            "Chunk states too large for a shared-memory ring slot, "
+            "shipped through the pickled result queue instead.",
+        )
+        self._metric_chunks = registry.counter(
+            "repro_engine_chunks_total",
+            "Chunks materialised by the coordinator.",
+        )
+        self._metric_rows = registry.counter(
+            "repro_engine_rows_total",
+            "Rows counted across all materialised chunks.",
+        )
+        self._metric_pool_leaked = registry.counter(
+            "repro_pool_leaked_total",
+            "ProcessPoolBackend instances reclaimed by the garbage "
+            "collector with a live worker pool and no close() call.",
+        )
 
     def __repr__(self) -> str:
         return (
@@ -526,10 +583,22 @@ class ProcessPoolBackend(ExecutionBackend):
         self._discard_pool()
         self._closed = True
 
-    def __del__(self):  # pragma: no cover - GC timing
+    def __del__(self):
+        # Reclaiming a backend with a live pool works — the destructor
+        # shuts the workers down — but it means a close() was skipped
+        # somewhere, the same lifecycle bug ResourceWarning exists for.
+        # Count it and say so instead of cleaning up silently.
         try:
+            if self._pool is not None and not self._closed:
+                self._metric_pool_leaked.inc()
+                logging.getLogger(__name__).warning(
+                    "ProcessPoolBackend(workers=%d) was garbage-collected "
+                    "with a live worker pool; call close() or use the "
+                    "backend as a context manager",
+                    self.workers,
+                )
             self._discard_pool()
-        except Exception:
+        except Exception:  # pragma: no cover - interpreter shutdown
             pass
 
     # ------------------------------------------------------------------
@@ -559,6 +628,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self, ring: SharedCountRing | None, transport: Any
     ) -> StreamingContingency:
         """Decode a worker's transport into an accumulator (one copy)."""
+        started = self._metric_clock()
         if isinstance(transport, SlotDescriptor):
             if ring is None:
                 raise ValidationError(
@@ -569,8 +639,17 @@ class ProcessPoolBackend(ExecutionBackend):
                 decode_counts_state(view)
             )
             view.release()
-            return accumulator
-        return StreamingContingency.from_state(transport)
+        else:
+            if ring is not None:
+                # The state outgrew its ring slot and came back pickled.
+                self._metric_ring_fallback.inc()
+            accumulator = StreamingContingency.from_state(transport)
+        self._metric_stage_seconds["decode"].observe(
+            self._metric_clock() - started
+        )
+        self._metric_chunks.inc()
+        self._metric_rows.inc(accumulator.n_rows)
+        return accumulator
 
     def _drive(self, tasks) -> Iterator[list[tuple[int, int, Any]]]:
         """Run single-span tasks with a bounded in-flight window.
@@ -582,23 +661,37 @@ class ProcessPoolBackend(ExecutionBackend):
         recycling rule: seq ``s`` reuses the slot of seq ``s - W``,
         which was consumed before ``s`` could be submitted.
         """
+        clock = self._metric_clock
         if self.workers == 1:
             for task in tasks:
-                yield _count_task(task)
+                started = clock()
+                result = _count_task(task)
+                self._metric_stage_seconds["parse"].observe(clock() - started)
+                yield result
             return
         pool = self._ensure_pool()
         pending: deque = deque()
         task_iter = iter(tasks)
         try:
             while True:
+                submit_started = clock()
                 while len(pending) < self._window:
                     task = next(task_iter, None)
                     if task is None:
                         break
                     pending.append(pool.submit(_count_task, task))
+                self._metric_stage_seconds["submit"].observe(
+                    clock() - submit_started
+                )
+                self._metric_inflight.set(len(pending))
                 if not pending:
                     break
-                yield pending.popleft().result()
+                wait_started = clock()
+                result = pending.popleft().result()
+                self._metric_stage_seconds["parse"].observe(
+                    clock() - wait_started
+                )
+                yield result
         except BrokenProcessPool:
             # A worker died mid-chunk (OOM-kill, segfault, SIGKILL).
             # The pool is unusable: discard it so the next call starts
@@ -606,6 +699,7 @@ class ProcessPoolBackend(ExecutionBackend):
             self._discard_pool()
             raise
         finally:
+            self._metric_inflight.set(0)
             for future in pending:
                 future.cancel()
 
@@ -741,17 +835,37 @@ class ProcessPoolBackend(ExecutionBackend):
                     for index, span in enumerate(spans)
                 ]
             merged: StreamingContingency | None = None
-            results = (
+            results = iter(
                 self._drive(tasks)
                 if self.pipelined
                 else self._blocking_results(list(tasks))
             )
-            for batch in results:
-                for _index, n_rows, transport in batch:
-                    if not n_rows:
-                        continue
-                    counts = self._materialise(ring, transport)
-                    merged = counts if merged is None else merged.merge(counts)
+            clock = self._metric_clock
+            with self.tracer.span(
+                "ingest", backend=self.name, path=source.path
+            ):
+                while True:
+                    with self.tracer.span("parse"):
+                        batch = next(results, None)
+                    if batch is None:
+                        break
+                    for _index, n_rows, transport in batch:
+                        if not n_rows:
+                            continue
+                        with self.tracer.span(
+                            "decode", chunk=_index, rows=n_rows
+                        ):
+                            counts = self._materialise(ring, transport)
+                        merge_started = clock()
+                        with self.tracer.span("merge", chunk=_index):
+                            merged = (
+                                counts
+                                if merged is None
+                                else merged.merge(counts)
+                            )
+                        self._metric_stage_seconds["merge"].observe(
+                            clock() - merge_started
+                        )
             if merged is None:
                 raise CsvParseError("no data rows found")
             return merged
@@ -786,16 +900,29 @@ class ProcessPoolBackend(ExecutionBackend):
                     tasks = self._shard_tasks(
                         source.path, plan, spec, spans, source.chunk_rows
                     )
-            results = (
+            results = iter(
                 self._drive(tasks)
                 if self.pipelined
                 else self._blocking_results(list(tasks))
             )
-            for batch in results:
-                for index, n_rows, transport in batch:
-                    yield ChunkCounts(
-                        index, n_rows, self._materialise(ring, transport)
-                    )
+            # The "ingest" span stays on this thread's span stack while
+            # the generator is suspended, so a consumer folding chunks
+            # between yields (the streaming auditor's "merge" spans)
+            # nests under it in the trace.
+            with self.tracer.span(
+                "ingest", backend=self.name, path=source.path
+            ):
+                while True:
+                    with self.tracer.span("parse"):
+                        batch = next(results, None)
+                    if batch is None:
+                        break
+                    for index, n_rows, transport in batch:
+                        with self.tracer.span(
+                            "decode", chunk=index, rows=n_rows
+                        ):
+                            counts = self._materialise(ring, transport)
+                        yield ChunkCounts(index, n_rows, counts)
         finally:
             if ring is not None:
                 ring.destroy()

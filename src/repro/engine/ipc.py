@@ -50,6 +50,7 @@ from typing import Any
 import numpy as np
 
 from repro.exceptions import IpcError, ValidationError
+from repro.obs.metrics import default_registry
 
 __all__ = [
     "RING_SLOT_HEADER",
@@ -223,6 +224,20 @@ class SharedCountRing:
             self._shm = _attach_untracked(name)
             self._owner = False
         self.name = self._shm.name
+        self._destroyed = False
+        if self._owner:
+            # Lifecycle telemetry (creator side only): a nonzero active
+            # gauge after ingestion means a leaked /dev/shm segment.
+            registry = default_registry()
+            registry.counter(
+                "repro_ring_segments_created_total",
+                "Shared-memory count rings created by this process.",
+            ).inc()
+            registry.gauge(
+                "repro_ring_segments_active",
+                "Shared-memory count rings currently live (created and "
+                "not yet destroyed) in this process.",
+            ).inc()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -323,6 +338,13 @@ class SharedCountRing:
         self.close()
         if self._owner:
             self.unlink()
+            if not self._destroyed:
+                self._destroyed = True
+                default_registry().gauge(
+                    "repro_ring_segments_active",
+                    "Shared-memory count rings currently live (created "
+                    "and not yet destroyed) in this process.",
+                ).dec()
 
     def __enter__(self) -> "SharedCountRing":
         return self

@@ -951,11 +951,25 @@ def fleet_status_snapshot(
             path, trend_window=trend_window, recent_alerts=recent_alerts
         )
         shards.append({"shard": index, **snapshot})
+    # Fleet-wide scan stats: the sum of every shard's offline scan (see
+    # status_snapshot's "scan" block) — the fleet-status cost surface.
+    scan = {"seconds": 0.0, "history_segments": 0, "history_records": 0,
+            "monitors": 0, "shards_scanned": 0}
+    for shard in shards:
+        shard_scan = shard.get("scan")
+        if shard_scan is None:
+            continue
+        scan["seconds"] += float(shard_scan.get("seconds", 0.0))
+        scan["history_segments"] += int(shard_scan.get("history_segments", 0))
+        scan["history_records"] += int(shard_scan.get("history_records", 0))
+        scan["monitors"] += int(shard_scan.get("monitors", 0))
+        scan["shards_scanned"] += 1
     return {
         "directory": str(directory),
         "n_shards": len(shards),
         "shards": shards,
         "merged": _merged_groups(shards),
+        "scan": scan,
     }
 
 
@@ -1048,6 +1062,14 @@ def _render_fleet_text(snapshot: dict[str, Any]) -> str:
         f"fleet data dir: {snapshot['directory']}",
         f"shards: {snapshot['n_shards']}",
     ]
+    scan = snapshot.get("scan")
+    if scan is not None:
+        lines.append(
+            f"scan: {scan['shards_scanned']} shard(s), "
+            f"{scan['monitors']} monitor(s), "
+            f"{scan['history_segments']} history segment(s), "
+            f"{scan['history_records']} record(s) in {scan['seconds']:.3f}s"
+        )
     for shard in snapshot["shards"]:
         lines.append("")
         if shard.get("missing"):
@@ -1097,6 +1119,14 @@ def _render_fleet_markdown(snapshot: dict[str, Any]) -> str:
         f"- fleet data dir: `{snapshot['directory']}`",
         f"- shards: {snapshot['n_shards']}",
     ]
+    scan = snapshot.get("scan")
+    if scan is not None:
+        lines.append(
+            f"- scan: {scan['shards_scanned']} shard(s), "
+            f"{scan['monitors']} monitor(s), "
+            f"{scan['history_segments']} history segment(s), "
+            f"{scan['history_records']} record(s) in {scan['seconds']:.3f}s"
+        )
     rows = []
     for shard in snapshot["shards"]:
         for entry in shard.get("monitors", []):

@@ -84,6 +84,7 @@ from repro.monitor.store import (
     summarize_epsilon_trend,
 )
 from repro.monitor.wal import FileSystem, WriteAheadLog
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "BatchResult",
@@ -290,12 +291,63 @@ class Monitor:
         *,
         wal: WriteAheadLog | None = None,
         clock: Callable[[], float] = time.time,
+        metrics: MetricsRegistry | None = None,
     ):
         self.config = config
         self._store = store
         self._wal = wal
         self._clock = clock
         self._lock = threading.RLock()
+        # Telemetry handles are bound once per monitor (label
+        # {"monitor": name}); observe() pays attribute access + a lock
+        # per update, which the bench_obs perf guard keeps within 10%
+        # of an uninstrumented baseline.
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._metric_clock = self._metrics.clock
+        labels = {"monitor": config.name}
+        self._metric_observe_seconds = self._metrics.histogram(
+            "repro_observe_seconds",
+            "End-to-end Monitor.observe latency (admit+wal+apply+alerts).",
+            labels=labels,
+        )
+        self._metric_stage_seconds = {
+            stage: self._metrics.histogram(
+                "repro_observe_stage_seconds",
+                "Per-stage breakdown of Monitor.observe.",
+                labels={**labels, "stage": stage},
+            )
+            for stage in ("admit", "wal_append", "apply", "alerts")
+        }
+        self._metric_rows_total = self._metrics.counter(
+            "repro_observe_rows_total",
+            "Rows applied by Monitor.observe (replay included).",
+            labels=labels,
+        )
+        self._metric_batches_total = self._metrics.counter(
+            "repro_observe_batches_total",
+            "Batches applied by Monitor.observe (replay included).",
+            labels=labels,
+        )
+        self._metric_duplicates_total = self._metrics.counter(
+            "repro_observe_duplicates_total",
+            "Batches acknowledged as batch_id duplicates without applying.",
+            labels=labels,
+        )
+        self._rule_instruments = tuple(
+            (
+                self._metrics.histogram(
+                    "repro_alert_rule_seconds",
+                    "Evaluation latency of each alert rule.",
+                    labels={**labels, "rule": type(rule).__name__},
+                ),
+                self._metrics.counter(
+                    "repro_alerts_fired_total",
+                    "Alert events fired, by rule.",
+                    labels={**labels, "rule": type(rule).__name__},
+                ),
+            )
+            for rule in config.rules
+        )
         self._batches = 0
         self._last_checkpoint_ts: float | None = None
         self._checkpointed_seq = 0
@@ -402,6 +454,7 @@ class Monitor:
                     f"{len(self.config.protected)} protected values plus the "
                     f"outcome ({width} cells); got a row with {len(row)}"
                 )
+        observe_started = self._metric_clock()
         with self._lock:
             # Deduplicate before WAL admission: the original batch is
             # already durable, so its retry must succeed even while the
@@ -410,10 +463,16 @@ class Monitor:
                 batch_id is not None
                 and batch_id in self._applied_batch_ids
             ):
+                self._metric_duplicates_total.inc()
                 return self._duplicate_result(batch_id, len(rows))
             seq = None
             if self._wal is not None:
-                if not self._wal.admit():
+                stage_started = self._metric_clock()
+                admitted = self._wal.admit()
+                self._metric_stage_seconds["admit"].observe(
+                    self._metric_clock() - stage_started
+                )
+                if not admitted:
                     raise WalError(
                         f"monitor {self.name!r} ingestion is degraded "
                         f"({self._wal.degraded_reason}); retry later"
@@ -423,8 +482,16 @@ class Monitor:
                 }
                 if batch_id is not None:
                     record["batch_id"] = batch_id
+                stage_started = self._metric_clock()
                 seq = self._wal.append(record)
-            return self._apply(rows, seq=seq, batch_id=batch_id)
+                self._metric_stage_seconds["wal_append"].observe(
+                    self._metric_clock() - stage_started
+                )
+            result = self._apply(rows, seq=seq, batch_id=batch_id)
+            self._metric_observe_seconds.observe(
+                self._metric_clock() - observe_started
+            )
+            return result
 
     def _duplicate_result(self, batch_id: str, n_rows: int) -> BatchResult:
         """The repeat ack for an already-applied ``batch_id`` (lock held)."""
@@ -470,6 +537,7 @@ class Monitor:
         high-water mark — replay re-appends exactly the records the
         crash cut off and never duplicates one.
         """
+        apply_started = self._metric_clock()
         with self._lock:
             try:
                 epsilon = self._auditor.observe(rows, seq=seq, replay=replay)
@@ -498,10 +566,20 @@ class Monitor:
                 counts=self._count_matrix,
                 metric=self._metric_value,
             )
-            alerts = tuple(
-                event
-                for rule in self.config.rules
-                if (event := rule.evaluate(context)) is not None
+            alerts_started = self._metric_clock()
+            events = []
+            for rule, (rule_seconds, rule_fired) in zip(
+                self.config.rules, self._rule_instruments
+            ):
+                rule_started = self._metric_clock()
+                event = rule.evaluate(context)
+                rule_seconds.observe(self._metric_clock() - rule_started)
+                if event is not None:
+                    rule_fired.inc()
+                    events.append(event)
+            alerts = tuple(events)
+            self._metric_stage_seconds["alerts"].observe(
+                self._metric_clock() - alerts_started
             )
             result = BatchResult(
                 monitor=self.name,
@@ -550,6 +628,11 @@ class Monitor:
                 # must fail identically rather than be swallowed as a
                 # duplicate.
                 self._remember_batch_id(batch_id, result.batch_index)
+            self._metric_stage_seconds["apply"].observe(
+                self._metric_clock() - apply_started
+            )
+            self._metric_rows_total.inc(len(rows))
+            self._metric_batches_total.inc()
             return result
 
     def replay_wal(self) -> int:
@@ -871,12 +954,17 @@ class MonitorRegistry:
         wal_fsync: bool = True,
         wal_segment_bytes: int = 16 * 1024 * 1024,
         wal_filesystem: FileSystem | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self._lock = threading.Lock()
         self._monitors: dict[str, Monitor] = {}
         self._directory = None if directory is None else Path(directory)
         self._checkpoint_keep = int(checkpoint_keep)
         self._clock = clock
+        # One metrics registry per MonitorRegistry: the unit the service
+        # exposes at GET /metrics and the unit shard snapshots merge
+        # from. Injectable so tests can pin the duration clock.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         # The WAL only exists for durable registries: without a
         # directory there is nothing to replay into after a restart.
         self._wal_enabled = bool(wal_enabled) and self._directory is not None
@@ -905,6 +993,7 @@ class MonitorRegistry:
         wal_fsync: bool = True,
         wal_segment_bytes: int = 16 * 1024 * 1024,
         wal_filesystem: FileSystem | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> "MonitorRegistry":
         """Open (or initialise) a durable registry directory.
 
@@ -924,6 +1013,7 @@ class MonitorRegistry:
             wal_fsync=wal_fsync,
             wal_segment_bytes=wal_segment_bytes,
             wal_filesystem=wal_filesystem,
+            metrics=metrics,
         )
         config_path = registry._config_path()
         if config_path is not None and config_path.exists():
@@ -940,6 +1030,7 @@ class MonitorRegistry:
                     registry.store,
                     wal=registry._make_wal(config.name),
                     clock=clock,
+                    metrics=registry.metrics,
                 )
                 monitor.restore_from(
                     registry._checkpoint_dir(), keep=checkpoint_keep
@@ -970,6 +1061,8 @@ class MonitorRegistry:
             fsync=self._wal_fsync,
             clock=self._clock,
             filesystem=self._wal_filesystem,
+            metrics=self.metrics,
+            metric_labels={"monitor": name},
         )
 
     def _persist_configs_locked(self) -> None:
@@ -1040,6 +1133,7 @@ class MonitorRegistry:
                 self.store,
                 wal=self._make_wal(config.name),
                 clock=self._clock,
+                metrics=self.metrics,
             )
             self._monitors[config.name] = monitor
             self._persist_configs_locked()

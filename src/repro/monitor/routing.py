@@ -62,6 +62,7 @@ from repro.exceptions import (
 )
 from repro.monitor.service import MAX_BODY_BYTES
 from repro.monitor.store import sanitize_floats
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 
 __all__ = ["FleetRouter", "shard_for"]
 
@@ -162,9 +163,13 @@ class _RouterHandler(BaseHTTPRequestHandler):
     ) -> None:
         self._drain_unread_body()
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        # A route may override the default JSON content type (the
+        # Prometheus text surface on /metrics does).
+        extra = dict(headers or {})
+        content_type = extra.pop("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
+        for name, value in extra.items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
@@ -323,6 +328,24 @@ class FleetRouter:
         path = path_qs.split("?", 1)[0]
         if path == "/healthz" and method == "GET":
             return self._json(200, self._table.fleet_health())
+        if path == "/metrics":
+            if method != "GET":
+                raise _RouteError(405, f"{method} is not supported on {path}")
+            merged, unavailable = self._fleet_metrics()
+            lines = []
+            for shard in unavailable:
+                lines.append(
+                    f"# shard {shard:02d} unavailable; its metrics are "
+                    "omitted from the totals below"
+                )
+            lines.append(merged.render_prometheus())
+            body = "\n".join(lines).encode("utf-8")
+            return 200, body, {"Content-Type": PROMETHEUS_CONTENT_TYPE}
+        if path == "/metrics.json":
+            if method != "GET":
+                raise _RouteError(405, f"{method} is not supported on {path}")
+            merged, _unavailable = self._fleet_metrics()
+            return self._json(200, merged.state_dict())
         if path == "/monitors":
             if method == "GET":
                 return self._json(200, self._list_monitors())
@@ -398,6 +421,73 @@ class FleetRouter:
                 extra={"retry_after": 1.0, "degraded": True},
             )
         return {"monitors": sorted(names), "unavailable_shards": unavailable}
+
+    def _fleet_metrics(self) -> tuple[MetricsRegistry, list[int]]:
+        """Fan ``GET /metrics.json`` out to every shard and tree-merge.
+
+        Each shard serves its registry's ``state_dict()``; the router
+        rehydrates them with :meth:`MetricsRegistry.from_state` and
+        folds them pairwise. Counters and histogram bucket counts are
+        integer sums, so the fleet page is *bit-exact* with respect to
+        the shard pages. Availability rides along in the result itself:
+        ``repro_fleet_shard_up{shard="NN"}`` is 1 for every shard that
+        answered and 0 for every shard whose metrics are missing from
+        the totals. All shards down is a fleet-wide outage → 503.
+        """
+        registries: list[MetricsRegistry] = []
+        unavailable: list[int] = []
+        up: dict[int, bool] = {}
+        for shard in range(self._table.n_shards):
+            try:
+                url = self._table.shard_url(shard)
+                with urllib.request.urlopen(
+                    f"{url}/metrics.json", timeout=self.timeout
+                ) as response:
+                    payload = json.loads(response.read().decode("utf-8"))
+                registries.append(MetricsRegistry.from_state(payload))
+                up[shard] = True
+            except (
+                ShardUnavailable,
+                urllib.error.URLError,
+                ConnectionError,
+                TimeoutError,
+                socket.timeout,
+                json.JSONDecodeError,
+                ValidationError,
+            ):
+                unavailable.append(shard)
+                up[shard] = False
+        if unavailable and len(unavailable) == self._table.n_shards:
+            raise _RouteError(
+                503,
+                "every shard is unavailable",
+                headers={"Retry-After": "1"},
+                extra={"retry_after": 1.0, "degraded": True},
+            )
+        # Tree-merge: fold pairs per round instead of a left fold. Same
+        # result (merge is associative + commutative); shape mirrors the
+        # checkpoint merge used across the engine.
+        while len(registries) > 1:
+            merged_round = []
+            for index in range(0, len(registries) - 1, 2):
+                merged_round.append(
+                    registries[index].merge(registries[index + 1])
+                )
+            if len(registries) % 2:
+                merged_round.append(registries[-1])
+            registries = merged_round
+        merged = registries[0] if registries else MetricsRegistry()
+        shard_up = {
+            shard: merged.gauge(
+                "repro_fleet_shard_up",
+                "1 when the shard answered the metrics fan-out, else 0.",
+                labels={"shard": f"{shard:02d}"},
+            )
+            for shard in up
+        }
+        for shard, alive in up.items():
+            shard_up[shard].set(1 if alive else 0)
+        return merged, unavailable
 
     def _forward_named(
         self,

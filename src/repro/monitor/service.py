@@ -12,7 +12,13 @@ the HTTP layer just maps requests onto it.
 API
 ---
 ================================  =======================================
-``GET  /healthz``                 liveness + monitor/row counters
+``GET  /healthz``                 liveness + monitor/row counters +
+                                  latency-band summaries
+``GET  /metrics``                 Prometheus text exposition of the
+                                  registry's telemetry
+``GET  /metrics.json``            the same telemetry as a mergeable
+                                  ``MetricsRegistry.state_dict()`` (the
+                                  fleet router's merge feed)
 ``GET  /monitors``                list monitor names
 ``POST /monitors``                create a monitor (JSON config, incl.
                                   declarative alert rules)
@@ -43,6 +49,7 @@ import json
 import re
 import sys
 import threading
+import time
 import traceback
 from datetime import datetime, timezone
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -58,6 +65,7 @@ from repro.exceptions import (
 )
 from repro.monitor.registry import MonitorConfig, MonitorRegistry
 from repro.monitor.store import sanitize_floats
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 
 __all__ = ["MonitorService", "render_status", "status_snapshot"]
 
@@ -147,6 +155,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str) -> None:
+        """Plain-text response (the Prometheus exposition format)."""
+        self._drain_unread_body()
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_json_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length", 0) or 0)
         if length <= 0:
@@ -170,6 +188,19 @@ class _Handler(BaseHTTPRequestHandler):
         self._body_consumed = False
         service: MonitorService = self.server.service  # type: ignore[attr-defined]
         url = urlparse(self.path)
+        if url.path == "/metrics" and method == "GET":
+            # The one non-JSON route: Prometheus text exposition.
+            try:
+                text = service.metrics_text()
+            except _HttpError as error:
+                self._send_json(
+                    error.status,
+                    {"error": error.message, **error.extra},
+                    headers=error.headers,
+                )
+                return
+            self._send_text(200, text)
+            return
         try:
             try:
                 status, payload = service.handle(
@@ -335,6 +366,21 @@ class MonitorService:
             raise MonitorError("the service already has a registry")
         self.registry = registry
 
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` page (Prometheus text exposition)."""
+        if self.registry is None:
+            raise _HttpError(
+                503,
+                "the service is starting (registry not yet attached); "
+                "retry later",
+                headers={"Retry-After": f"{STARTING_RETRY_AFTER:g}"},
+                extra={
+                    "starting": True,
+                    "retry_after": STARTING_RETRY_AFTER,
+                },
+            )
+        return self.registry.metrics.render_prometheus()
+
     def start(self) -> "MonitorService":
         """Serve in a daemon thread; returns immediately."""
         if self._thread is not None:
@@ -418,6 +464,14 @@ class MonitorService:
                     "retry_after": STARTING_RETRY_AFTER,
                 },
             )
+        if path == "/metrics.json":
+            if method != "GET":
+                raise _HttpError(405, f"{method} is not supported on {path}")
+            # The mergeable snapshot feed: the fleet router fetches this
+            # from every shard, rehydrates with MetricsRegistry.from_state,
+            # and tree-merges into the fleet /metrics page (bit-exact
+            # for counters).
+            return 200, self.registry.metrics.state_dict()
         if path == "/monitors":
             if method == "GET":
                 return 200, {"monitors": self.registry.names()}
@@ -458,6 +512,7 @@ class MonitorService:
                 "batches_ingested": 0,
                 "queue_depth": self._queue_depth or None,
                 "durability": {},
+                "latency": {},
             }
         names = self.registry.names()
         rows = 0
@@ -480,6 +535,28 @@ class MonitorService:
         degraded = any(
             status.get("wal_degraded") for status in durability.values()
         )
+        # Latency-band summaries off the metrics registry: bucketed
+        # percentile *bands* (the histogram boundary the quantile fell
+        # under), not averages — the per-component banding the paper's
+        # continuous-monitoring framing asks for. Bands can be +Inf
+        # (overflow bucket); _send_json's sanitize_floats keeps the
+        # payload strict-JSON-safe.
+        metrics = self.registry.metrics
+        latency = {
+            name: summary
+            for name, summary in (
+                ("observe_seconds", metrics.histogram_summary(
+                    "repro_observe_seconds"
+                )),
+                ("wal_append_seconds", metrics.histogram_summary(
+                    "repro_wal_append_seconds"
+                )),
+                ("wal_fsync_seconds", metrics.histogram_summary(
+                    "repro_wal_fsync_seconds"
+                )),
+            )
+            if summary is not None
+        }
         return {
             "status": "degraded" if degraded else "ok",
             "label": self.label,
@@ -488,6 +565,7 @@ class MonitorService:
             "batches_ingested": batches,
             "queue_depth": self._queue_depth or None,
             "durability": durability,
+            "latency": latency,
         }
 
     def _create(self, body: dict[str, Any]) -> dict[str, Any]:
@@ -590,6 +668,7 @@ def status_snapshot(
     *,
     trend_window: int | None = None,
     recent_alerts: int = 5,
+    metrics: MetricsRegistry | None = None,
 ) -> dict[str, Any]:
     """Inspect a service data directory without the service running.
 
@@ -597,10 +676,19 @@ def status_snapshot(
     newest valid checkpoint generation (so the epsilon shown is exactly
     what the service would report), and joins in the audit-history
     store's trend and alert records.
+
+    The whole snapshot re-scans checkpoints, WAL suffixes, and history
+    segments per call, so the report carries its own cost — a ``scan``
+    block with the duration and the segment/record counts touched. With
+    ``metrics`` given, the scan is also recorded there
+    (``repro_scan_seconds{scope="status"}``), which is how
+    ``repro metrics-snapshot`` builds its page.
     """
     directory = Path(directory)
     if not directory.exists():
         raise MonitorError(f"data directory {directory} does not exist")
+    clock = metrics.clock if metrics is not None else time.perf_counter
+    scan_started = clock()
     registry = MonitorRegistry.open(directory)
     monitors = []
     for name in registry.names():
@@ -631,12 +719,39 @@ def status_snapshot(
                 "recent_alerts": alerts[-recent_alerts:],
             }
         )
+    history_records = (
+        registry.store.last_seq() if registry.store is not None else 0
+    )
+    history_segments = (
+        len(list(registry.store.directory.glob("events-*.seg")))
+        if registry.store is not None
+        else 0
+    )
+    scan_seconds = clock() - scan_started
+    if metrics is not None:
+        metrics.histogram(
+            "repro_scan_seconds",
+            "Duration of offline segment scans (wal-inspect, status).",
+            labels={"scope": "status"},
+        ).observe(scan_seconds)
+        metrics.gauge(
+            "repro_status_history_segments",
+            "History segments found by the last status scan.",
+        ).set(history_segments)
+        metrics.gauge(
+            "repro_status_history_records",
+            "History records found by the last status scan.",
+        ).set(history_records)
     return {
         "directory": str(directory),
         "monitors": monitors,
-        "history_records": (
-            registry.store.last_seq() if registry.store is not None else 0
-        ),
+        "history_records": history_records,
+        "scan": {
+            "seconds": scan_seconds,
+            "history_segments": history_segments,
+            "history_records": history_records,
+            "monitors": len(monitors),
+        },
     }
 
 

@@ -65,6 +65,11 @@ from repro.monitor.store import (
     sanitize_floats,
     scan_segment,
 )
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BOUNDARIES,
+    MetricsRegistry,
+    default_registry,
+)
 
 __all__ = [
     "FileSystem",
@@ -153,6 +158,14 @@ class WriteAheadLog:
     filesystem:
         The :class:`FileSystem` seam (fault injection); defaults to the
         real one.
+    metrics:
+        The :class:`repro.obs.metrics.MetricsRegistry` that receives
+        append/fsync latency histograms, group-commit batch sizes, and
+        degraded transitions; the process-global default when omitted.
+    metric_labels:
+        Label set stamped on every instrument this log records (the
+        registry passes ``{"monitor": name}`` so one ``/metrics`` page
+        separates per-monitor logs).
     """
 
     def __init__(
@@ -165,6 +178,8 @@ class WriteAheadLog:
         probe_interval: float = 1.0,
         stall_threshold: float = 5.0,
         filesystem: FileSystem | None = None,
+        metrics: MetricsRegistry | None = None,
+        metric_labels: dict[str, str] | None = None,
     ):
         if segment_bytes < 64:
             raise ValidationError(
@@ -198,6 +213,53 @@ class WriteAheadLog:
         self._pending_truncate: int | None = None
         # Sealed segments' last sequence numbers, for trim().
         self._sealed_last_seq: dict[Path, int] = {}
+
+        # Instrument handles are bound once here; the hot path pays one
+        # attribute access + a lock per update.
+        registry = metrics if metrics is not None else default_registry()
+        labels = dict(metric_labels) if metric_labels else None
+        self._metric_clock = registry.clock
+        self._metric_append_seconds = registry.histogram(
+            "repro_wal_append_seconds",
+            "Durable append latency (write + group-committed fsync wait).",
+            labels=labels,
+        )
+        self._metric_fsync_seconds = registry.histogram(
+            "repro_wal_fsync_seconds",
+            "Latency of each actual fsync call on the active segment.",
+            labels=labels,
+        )
+        self._metric_group_commit = registry.histogram(
+            "repro_wal_group_commit_records",
+            "Buffered appends covered by each fsync (group-commit size).",
+            boundaries=DEFAULT_SIZE_BOUNDARIES,
+            labels=labels,
+        )
+        self._metric_appends_total = registry.counter(
+            "repro_wal_appends_total",
+            "Records durably appended to the write-ahead log.",
+            labels=labels,
+        )
+        self._metric_fsyncs_total = registry.counter(
+            "repro_wal_fsyncs_total",
+            "Fsync calls issued by the group-commit path.",
+            labels=labels,
+        )
+        self._metric_degraded = registry.gauge(
+            "repro_wal_degraded",
+            "1 while the log is degraded (failed/stalled disk), else 0.",
+            labels=labels,
+        )
+        self._metric_degraded_enter = registry.counter(
+            "repro_wal_degraded_transitions_total",
+            "Degraded-state transitions of the write-ahead log.",
+            labels={**(labels or {}), "direction": "enter"},
+        )
+        self._metric_degraded_clear = registry.counter(
+            "repro_wal_degraded_transitions_total",
+            "Degraded-state transitions of the write-ahead log.",
+            labels={**(labels or {}), "direction": "clear"},
+        )
 
         segments = _list_segments(self._directory)
         self._next_seq = 1
@@ -310,6 +372,7 @@ class WriteAheadLog:
                 raise ValidationError(
                     f"record field {reserved!r} is assigned by the WAL"
                 )
+        append_started = self._metric_clock()
         with self._write_lock:
             seq = self._next_seq
             stamped = {
@@ -354,6 +417,7 @@ class WriteAheadLog:
                 ) from error
             self._next_seq += 1
             self._appends += 1
+            self._metric_appends_total.inc()
             self._write_token += 1
             token = self._write_token
             handle = self._handle
@@ -390,9 +454,15 @@ class WriteAheadLog:
                 # The record is already durable (the ack contract is
                 # met); rotation retries naturally on the next append
                 # while admit() sheds load for the degraded disk.
+                self._metric_append_seconds.observe(
+                    self._metric_clock() - append_started
+                )
                 return seq
         if healthy:
             self._clear_degraded()
+        self._metric_append_seconds.observe(
+            self._metric_clock() - append_started
+        )
         return seq
 
     def _commit(self, token: int, handle) -> bool:
@@ -415,11 +485,15 @@ class WriteAheadLog:
             if self._synced_token >= token:
                 return False
             covered = self._write_token
+            batched = covered - self._synced_token
             started = time.monotonic()
             self._fs.fsync(handle)
             elapsed = time.monotonic() - started
             self._fsyncs += 1
             self._synced_token = covered
+            self._metric_fsyncs_total.inc()
+            self._metric_fsync_seconds.observe(elapsed)
+            self._metric_group_commit.observe(batched)
             if elapsed > self._stall_threshold:
                 self._mark_degraded(
                     f"WAL fsync stalled: {elapsed:.2f}s > "
@@ -503,12 +577,17 @@ class WriteAheadLog:
             self._active = successor
 
     def _mark_degraded(self, reason: str) -> None:
+        if self._degraded_reason is None:
+            self._metric_degraded_enter.inc()
+            self._metric_degraded.set(1)
         self._degraded_reason = reason
         self._last_probe = float(self._clock())
 
     def _clear_degraded(self) -> None:
         if self._degraded_reason is not None:
             self._degraded_reason = None
+            self._metric_degraded_clear.inc()
+            self._metric_degraded.set(0)
 
     # ------------------------------------------------------------------
     # Replay + retention
@@ -561,7 +640,12 @@ class WriteAheadLog:
 # ----------------------------------------------------------------------
 # Offline inspection (the ``wal-inspect`` CLI)
 # ----------------------------------------------------------------------
-def inspect_wal(directory: str | Path) -> dict[str, Any]:
+def inspect_wal(
+    directory: str | Path,
+    *,
+    metrics: MetricsRegistry | None = None,
+    metric_labels: dict[str, str] | None = None,
+) -> dict[str, Any]:
     """Read-only summary of one monitor's WAL directory.
 
     Unlike opening a :class:`WriteAheadLog`, this never truncates the
@@ -569,10 +653,19 @@ def inspect_wal(directory: str | Path) -> dict[str, Any]:
     service's disk state before deciding to restart. Raises
     :class:`repro.exceptions.StoreError` for prefix corruption, like
     the recovery scan would.
+
+    The report includes the scan cost itself (``scan_seconds``,
+    ``n_segments``) — segment scans are recomputed per call, and an
+    operator watching a large WAL should see what each ``wal-inspect``
+    costs. When ``metrics`` is given, the scan is also recorded there
+    (``repro_scan_seconds{scope="wal"}`` plus segment/record/row/torn
+    gauges), which is how ``repro metrics-snapshot`` builds its page.
     """
     directory = Path(directory)
     if not directory.is_dir():
         raise StoreError(f"WAL directory {directory} does not exist")
+    clock = metrics.clock if metrics is not None else time.perf_counter
+    scan_started = clock()
     segments = []
     first_seq = None
     last_seq = 0
@@ -606,11 +699,41 @@ def inspect_wal(directory: str | Path) -> dict[str, Any]:
             first_seq = seg_first
         if seg_last is not None:
             last_seq = seg_last
+    scan_seconds = clock() - scan_started
+    if metrics is not None:
+        labels = dict(metric_labels) if metric_labels else {}
+        metrics.histogram(
+            "repro_scan_seconds",
+            "Duration of offline segment scans (wal-inspect, status).",
+            labels={**labels, "scope": "wal"},
+        ).observe(scan_seconds)
+        metrics.gauge(
+            "repro_wal_segments",
+            "Segments found by the last WAL scan.",
+            labels=labels or None,
+        ).set(len(segments))
+        metrics.gauge(
+            "repro_wal_records",
+            "Records found by the last WAL scan.",
+            labels=labels or None,
+        ).set(total_records)
+        metrics.gauge(
+            "repro_wal_rows",
+            "Batch rows found by the last WAL scan.",
+            labels=labels or None,
+        ).set(total_rows)
+        metrics.gauge(
+            "repro_wal_torn_bytes",
+            "Torn tail bytes found by the last WAL scan.",
+            labels=labels or None,
+        ).set(sum(entry["torn_bytes"] for entry in segments))
     return {
         "directory": str(directory),
         "segments": segments,
+        "n_segments": len(segments),
         "records": total_records,
         "rows": total_rows,
         "first_seq": first_seq,
         "last_seq": last_seq,
+        "scan_seconds": scan_seconds,
     }

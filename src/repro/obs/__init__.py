@@ -1,0 +1,51 @@
+"""Operational telemetry: mergeable metrics and trace spans.
+
+The monitoring system is a sharded, crash-safe, continuously-serving
+fleet; this package makes it observable at runtime without a debugger:
+
+* :mod:`repro.obs.metrics` — a process-local registry of named
+  ``Counter``/``Gauge``/``Histogram`` instruments whose snapshots carry
+  the same associative ``merge``/``state_dict`` algebra as
+  :class:`repro.core.streaming.StreamingContingency`, so per-shard
+  registries tree-merge into fleet totals (bit-exact for counters) and
+  render to Prometheus text exposition format.
+* :mod:`repro.obs.trace` — nestable ``span()`` context managers that
+  emit JSON-lines events to a bounded sink and convert to the Chrome
+  trace-event format for ``chrome://tracing`` / Perfetto.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDARIES,
+    PROMETHEUS_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    TraceSink,
+    Tracer,
+    read_trace_events,
+    to_chrome_trace,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDARIES",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_TRACER",
+    "TraceSink",
+    "Tracer",
+    "default_registry",
+    "read_trace_events",
+    "reset_default_registry",
+    "to_chrome_trace",
+]

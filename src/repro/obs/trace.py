@@ -1,0 +1,301 @@
+"""Nestable trace spans with a JSON-lines sink and Chrome-trace export.
+
+A :class:`Tracer` hands out ``span(name, **attrs)`` context managers.
+Spans nest per thread (a thread-local stack supplies the parent id), and
+each completed span emits one JSON-lines event to the tracer's
+:class:`TraceSink`::
+
+    {"name": "decode", "id": 7, "parent": 3, "ts": 0.1234,
+     "dur": 0.0021, "pid": 1234, "tid": 5678, "attrs": {"seq": 12}}
+
+``ts`` is the span's start on the tracer's monotonic clock (seconds),
+``dur`` its duration. The sink is *bounded*: after ``max_events`` the
+sink stops writing and counts drops instead — a long ingest cannot fill
+the disk with telemetry. One line per event means a crashed run leaves a
+readable prefix (the torn last line is skipped by
+:func:`read_trace_events`).
+
+:func:`to_chrome_trace` converts events into the Chrome trace-event JSON
+object format (``{"traceEvents": [...]}``, complete ``"ph": "X"``
+events, microsecond timestamps) understood by ``chrome://tracing`` and
+Perfetto; the CLI's ``audit-stream --trace-out PATH`` writes this
+converted form on successful completion so the file can be dropped
+straight into a trace viewer.
+
+A disabled tracer (``Tracer(None)`` — the module-level ``NULL_TRACER``)
+keeps every ``with tracer.span(...)`` site valid at near-zero cost, so
+hot paths are instrumented unconditionally.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Iterable
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "NULL_TRACER",
+    "TraceSink",
+    "Tracer",
+    "read_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+DEFAULT_MAX_EVENTS = 200_000
+
+
+class TraceSink:
+    """A bounded JSON-lines event sink.
+
+    Accepts a path (opened for writing) or any text file object. Events
+    past ``max_events`` are dropped and counted in :attr:`dropped`;
+    :meth:`close` appends a final ``trace_truncated`` marker event when
+    anything was dropped, so a viewer shows the truncation instead of a
+    silently short trace.
+    """
+
+    def __init__(
+        self,
+        target,
+        *,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        if int(max_events) < 1:
+            raise ValidationError(f"max_events must be >= 1, got {max_events}")
+        if isinstance(target, (str, os.PathLike)):
+            self._file: io.TextIOBase = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self.max_events = int(max_events)
+        self.written = 0
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def emit(self, event: dict[str, Any]) -> bool:
+        """Write one event line; returns ``False`` when dropped."""
+        line = json.dumps(event, separators=(",", ":"), allow_nan=False)
+        with self._lock:
+            if self._closed or self.written >= self.max_events:
+                self.dropped += 1
+                return False
+            self._file.write(line + "\n")
+            self.written += 1
+            return True
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self.dropped:
+                marker = {
+                    "name": "trace_truncated",
+                    "id": 0,
+                    "parent": None,
+                    "ts": None,
+                    "dur": 0.0,
+                    "pid": os.getpid(),
+                    "tid": 0,
+                    "attrs": {"dropped_events": self.dropped},
+                }
+                self._file.write(
+                    json.dumps(marker, separators=(",", ":")) + "\n"
+                )
+            self._file.flush()
+            if self._owns_file:
+                self._file.close()
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class Span:
+    """Handle yielded inside ``with tracer.span(...)``; attrs may be
+    added while the span is open via :meth:`set`."""
+
+    __slots__ = ("name", "id", "parent", "attrs")
+
+    def __init__(self, name, span_id, parent, attrs) -> None:
+        self.name = name
+        self.id = span_id
+        self.parent = parent
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *_exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class _SpanContext:
+    """One live span: pushes itself on the thread-local stack on enter,
+    emits its event on exit (including when the body raised — the
+    exception type is recorded in the attrs so a trace shows *where* an
+    ingest died)."""
+
+    __slots__ = ("_tracer", "_span", "_started")
+
+    def __init__(self, tracer, span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._started = 0.0
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        stack = tracer._stack()
+        stack.append(self._span.id)
+        self._started = tracer.clock()
+        return self._span
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        tracer = self._tracer
+        ended = tracer.clock()
+        stack = tracer._stack()
+        if stack and stack[-1] == self._span.id:
+            stack.pop()
+        elif self._span.id in stack:  # pragma: no cover - unbalanced exits
+            stack.remove(self._span.id)
+        if exc_type is not None:
+            self._span.attrs["error"] = exc_type.__name__
+        tracer._emit(self._span, self._started, ended - self._started)
+
+
+class Tracer:
+    """Emits nested spans to a sink; ``Tracer(None)`` is a no-op."""
+
+    def __init__(
+        self,
+        sink: TraceSink | None = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._sink = sink
+        self.clock = clock
+        self._next_id = 1
+        self._id_lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def enabled(self) -> bool:
+        return self._sink is not None
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs):
+        """A context manager timing its body as a span named ``name``."""
+        if self._sink is None:
+            return _NULL_SPAN
+        with self._id_lock:
+            span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        return _SpanContext(self, Span(name, span_id, parent, dict(attrs)))
+
+    def _emit(self, span: Span, started: float, duration: float) -> None:
+        self._sink.emit(
+            {
+                "name": span.name,
+                "id": span.id,
+                "parent": span.parent,
+                "ts": started,
+                "dur": duration,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "attrs": span.attrs,
+            }
+        )
+
+
+NULL_TRACER = Tracer(None)
+
+
+def read_trace_events(path) -> list[dict[str, Any]]:
+    """Read a JSON-lines trace file, skipping a torn trailing line."""
+    events: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except ValueError:
+            if index == len(lines) - 1:
+                break  # torn tail from a crashed run: readable prefix wins
+            raise ValidationError(
+                f"{path}: line {index + 1} is not valid JSON"
+            ) from None
+    return events
+
+
+def to_chrome_trace(events_or_path) -> dict[str, Any]:
+    """Convert span events to the Chrome trace-event JSON object format.
+
+    Accepts a list of event dicts or a path to a JSON-lines trace file.
+    Each span becomes a complete event (``"ph": "X"``) with microsecond
+    ``ts``/``dur``; span/parent ids ride along in ``args`` so the
+    hierarchy survives even though Chrome nests by time overlap.
+    """
+    if isinstance(events_or_path, (str, os.PathLike)):
+        events: Iterable[dict[str, Any]] = read_trace_events(events_or_path)
+    else:
+        events = events_or_path
+    trace_events = []
+    for event in events:
+        ts = event.get("ts")
+        args = dict(event.get("attrs", {}))
+        args["span_id"] = event.get("id")
+        if event.get("parent") is not None:
+            args["parent_span_id"] = event["parent"]
+        trace_events.append(
+            {
+                "name": event.get("name", "span"),
+                "ph": "X",
+                "ts": 0.0 if ts is None else float(ts) * 1e6,
+                "dur": float(event.get("dur", 0.0)) * 1e6,
+                "pid": event.get("pid", 0),
+                "tid": event.get("tid", 0),
+                "cat": "repro",
+                "args": args,
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events_or_path, out_path) -> None:
+    """Write :func:`to_chrome_trace` output as pretty-printed JSON."""
+    payload = to_chrome_trace(events_or_path)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")

@@ -770,6 +770,101 @@ class TestFleetRouter:
             FleetRouter(object())
 
 
+def _get_raw(url: str):
+    """GET returning (status, text, headers) without JSON parsing."""
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read().decode(), dict(
+                response.headers
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode(), dict(error.headers)
+
+
+@pytest.mark.service
+@pytest.mark.obs
+class TestRouterMetrics:
+    """The router's /metrics page is the tree-merge of shard registries."""
+
+    def _ingest(self, router, batches=3, rows_per_batch=20):
+        probe = HttpProbe(router.url)
+        names = names_for_shards(2)
+        for name in names:
+            probe.request("POST", "/monitors", monitor_config(name))
+            for index in range(batches):
+                status, _, _ = probe.request(
+                    "POST",
+                    f"/monitors/{name}/observe",
+                    {"rows": synthetic_rows(rows_per_batch, seed=index)},
+                )
+                assert status == 200
+        return names
+
+    def test_metrics_are_bit_exact_tree_merge(
+        self, router, shard_services
+    ):
+        from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
+
+        names = self._ingest(router)
+        # Client-side ground truth: fetch each shard's registry state
+        # and fold it with the same merge algebra the router uses.
+        expected = MetricsRegistry()
+        for service in shard_services:
+            status, body, _ = _get_raw(service.url + "/metrics.json")
+            assert status == 200
+            expected.merge(MetricsRegistry.from_state(json.loads(body)))
+        for shard in range(2):
+            expected.gauge(
+                "repro_fleet_shard_up",
+                "1 when the shard answered the metrics fan-out, else 0.",
+                labels={"shard": f"{shard:02d}"},
+            ).set(1)
+
+        status, text, headers = _get_raw(router.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        assert text == expected.render_prometheus()
+        for shard, name in enumerate(names):
+            assert (
+                f'repro_observe_rows_total{{monitor="{name}"}} 60' in text
+            )
+        assert 'repro_fleet_shard_up{shard="00"} 1' in text
+        assert 'repro_fleet_shard_up{shard="01"} 1' in text
+
+        status, body, _ = _get_raw(router.url + "/metrics.json")
+        assert status == 200
+        merged = MetricsRegistry.from_state(json.loads(body))
+        assert merged.state_dict() == expected.state_dict()
+
+    def test_down_shard_is_annotated_and_omitted(self, router, fake_table):
+        names = self._ingest(router)
+        fake_table.down[0] = 2.5
+        status, text, _ = _get_raw(router.url + "/metrics")
+        assert status == 200
+        assert text.startswith(
+            "# shard 00 unavailable; its metrics are omitted"
+        )
+        assert 'repro_fleet_shard_up{shard="00"} 0' in text
+        assert 'repro_fleet_shard_up{shard="01"} 1' in text
+        # shard 0's monitor disappears from the totals; shard 1 remains
+        down_name, up_name = names
+        assert f'monitor="{down_name}"' not in text
+        assert f'repro_observe_rows_total{{monitor="{up_name}"}} 60' in text
+
+    def test_all_shards_down_is_503(self, router, fake_table):
+        fake_table.down[0] = 1.5
+        fake_table.down[1] = 1.5
+        status, body, headers = _get_raw(router.url + "/metrics")
+        assert status == 503
+        assert "every shard is unavailable" in body
+        assert headers.get("Retry-After") is not None
+
+    def test_metrics_rejects_non_get(self, router):
+        probe = HttpProbe(router.url)
+        assert probe.request("POST", "/metrics", {})[0] == 405
+        assert probe.request("POST", "/metrics.json", {})[0] == 405
+
+
 # ----------------------------------------------------------------------
 # Idempotent ingestion: batch_id dedup in the registry
 # ----------------------------------------------------------------------
@@ -991,6 +1086,82 @@ class TestFleetLive:
         assert main(["wal-inspect", "--data-dir", str(fleet_dir)]) == 0
         wal_text = capsys.readouterr().out
         assert "fleet totals: 2 shard(s)" in wal_text
+
+    def test_router_metrics_equal_tree_merged_shard_registries(
+        self, tmp_path
+    ):
+        """PR-10 acceptance: live fleet /metrics is the bit-exact
+        tree-merge of the per-shard registries, and its ingestion
+        counters match the client-side ground truth."""
+        from repro.obs.metrics import MetricsRegistry
+
+        fleet_dir = tmp_path / "fleet"
+        names = names_for_shards(2, prefix="obs")
+        batches = [synthetic_rows(25, seed=seed) for seed in range(4)]
+        with FleetSupervisor(fleet_dir, 2, policy=FAST_POLICY) as fleet:
+            with FleetRouter(fleet) as router:
+                client = MonitorClient(router.url, retries=8)
+                for name in names:
+                    client.create(monitor_config(name))
+                    for index, rows in enumerate(batches):
+                        client.observe(
+                            name, rows, batch_id=f"obs-{name}-{index}"
+                        )
+
+                # Ground truth: fetch each live shard's registry state
+                # and fold it with the same merge the router performs.
+                expected = MetricsRegistry()
+                for shard in range(fleet.n_shards):
+                    status, body, _ = _get_raw(
+                        fleet.shard_url(shard) + "/metrics.json"
+                    )
+                    assert status == 200
+                    expected.merge(
+                        MetricsRegistry.from_state(json.loads(body))
+                    )
+
+                status, body, _ = _get_raw(router.url + "/metrics.json")
+                assert status == 200
+                merged = MetricsRegistry.from_state(json.loads(body))
+                merged_families = merged.state_dict()["families"]
+                expected_families = expected.state_dict()["families"]
+                # Counters must agree bit-exactly with the client-side
+                # tree-merge (the fleet saw no traffic in between).
+                for family, payload in expected_families.items():
+                    if payload["type"] != "counter":
+                        continue
+                    assert merged_families[family] == payload, family
+                # ... and with what the client actually ingested.
+                rows_by_monitor = {
+                    series["labels"]["monitor"]: series["value"]
+                    for series in merged_families[
+                        "repro_observe_rows_total"
+                    ]["series"]
+                }
+                assert rows_by_monitor == {name: 100 for name in names}
+                batches_by_monitor = {
+                    series["labels"]["monitor"]: series["value"]
+                    for series in merged_families[
+                        "repro_observe_batches_total"
+                    ]["series"]
+                }
+                assert batches_by_monitor == {name: 4 for name in names}
+
+                # The text page renders the same registry, with every
+                # shard marked up.
+                status, text, _ = _get_raw(router.url + "/metrics")
+                assert status == 200
+                for shard in range(fleet.n_shards):
+                    assert (
+                        f'repro_fleet_shard_up{{shard="{shard:02d}"}} 1'
+                        in text
+                    )
+                for name in names:
+                    assert (
+                        f'repro_observe_rows_total{{monitor="{name}"}} 100'
+                        in text
+                    )
+            fleet.stop()
 
     def test_kill_a_shard_at_every_ingest_boundary(self, tmp_path):
         # The acceptance criterion: SIGKILL the owning shard before,

@@ -1,0 +1,289 @@
+"""Unit tests for the mergeable metrics registry (repro.obs.metrics).
+
+The registry is the observability counterpart of PR-3's
+``StreamingContingency``: the same associative/commutative merge and
+``state_dict``/``from_state`` round-trip contract, checked here over the
+three instrument kinds, plus the Prometheus text rendering pinned by a
+golden file (fixed clock, sorted label order).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDARIES,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "obs"
+
+pytestmark = pytest.mark.obs
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_things_total", "things")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValidationError):
+            counter.inc(-1)
+
+    def test_counter_handles_are_stable(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_x_total", labels={"shard": "00"})
+        second = registry.counter("repro_x_total", labels={"shard": "00"})
+        assert first is second
+        other = registry.counter("repro_x_total", labels={"shard": "01"})
+        assert other is not first
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_inflight")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 2
+
+    def test_histogram_buckets_le_is_inclusive(self):
+        histogram = Histogram((1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 5.0):
+            histogram.observe(value)
+        # le semantics: 1.0 falls in the first bucket, 5.0 overflows.
+        assert histogram.bucket_counts == (2, 1, 1)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(8.0)
+
+    def test_histogram_boundary_validation(self):
+        with pytest.raises(ValidationError):
+            Histogram(())
+        with pytest.raises(ValidationError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValidationError):
+            Histogram((1.0, math.inf))
+
+    def test_quantile_bands(self):
+        histogram = Histogram((0.01, 0.1, 1.0))
+        assert histogram.quantile_band(0.5) is None  # empty
+        for _ in range(98):
+            histogram.observe(0.005)
+        histogram.observe(0.05)
+        histogram.observe(50.0)
+        assert histogram.quantile_band(0.5) == 0.01
+        assert histogram.quantile_band(0.99) == 0.1
+        assert histogram.quantile_band(1.0) == math.inf
+        with pytest.raises(ValidationError):
+            histogram.quantile_band(1.5)
+
+    def test_timed_uses_registry_clock(self):
+        ticks = iter([10.0, 10.25])
+        registry = MetricsRegistry(clock=lambda: next(ticks))
+        histogram = registry.histogram("repro_t_seconds")
+        with registry.timed(histogram):
+            pass
+        assert histogram.sum == pytest.approx(0.25)
+        assert histogram.count == 1
+
+
+class TestRegistryContracts:
+    def test_type_conflicts_fail_loudly(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total")
+        with pytest.raises(ValidationError):
+            registry.gauge("repro_a_total")
+        registry.histogram("repro_b_seconds", boundaries=(1.0,))
+        with pytest.raises(ValidationError):
+            registry.histogram("repro_b_seconds", boundaries=(2.0,))
+
+    def test_invalid_names_and_reserved_label(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            registry.counter("0bad")
+        with pytest.raises(ValidationError):
+            registry.counter("repro_ok_total", labels={"le": "x"})
+        with pytest.raises(ValidationError):
+            registry.counter("repro_ok_total", labels={"bad-name": "x"})
+
+    def test_histogram_summary_merges_all_series(self):
+        registry = MetricsRegistry()
+        for monitor in ("a", "b"):
+            histogram = registry.histogram(
+                "repro_lat_seconds",
+                boundaries=(0.01, 0.1),
+                labels={"monitor": monitor},
+            )
+            histogram.observe(0.005)
+        summary = registry.histogram_summary("repro_lat_seconds")
+        assert summary["count"] == 2
+        assert summary["bands"]["p50"] == 0.01
+        assert registry.histogram_summary("repro_missing") is None
+
+    def test_default_registry_reset(self):
+        reset_default_registry()
+        default_registry().counter("repro_d_total").inc()
+        fresh = reset_default_registry()
+        assert fresh is default_registry()
+        assert "repro_d_total" not in fresh.state_dict()["families"]
+
+    def test_null_registry_discards_everything(self):
+        registry = NullMetricsRegistry()
+        registry.counter("repro_n_total").inc(100)
+        registry.histogram("repro_n_seconds").observe(1.0)
+        registry.gauge("repro_n").set(5)
+        assert registry.render_prometheus() == ""
+        assert registry.state_dict()["families"] == {}
+
+
+def _populated(shift: int = 0) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_rows_total", "rows").inc(10 + shift)
+    registry.gauge("repro_inflight", "window").set(2 + shift)
+    histogram = registry.histogram(
+        "repro_lat_seconds", "latency", boundaries=(0.5, 1.0)
+    )
+    # exact binary floats so the merged sum is order-independent and the
+    # full state_dict compares equal across merge orders
+    for value in (0.25, 0.5 + shift, 4.0):
+        histogram.observe(value)
+    registry.counter(
+        "repro_rows_total", "rows", labels={"shard": "01"}
+    ).inc(3)
+    return registry
+
+
+class TestMergeAlgebra:
+    def test_merge_sums_counters_buckets_and_gauges(self):
+        merged = _populated(0).merge(_populated(1))
+        state = merged.state_dict()
+        rows = state["families"]["repro_rows_total"]["series"]
+        assert [series["value"] for series in rows] == [21, 6]
+        lat = state["families"]["repro_lat_seconds"]["series"][0]
+        assert sum(lat["bucket_counts"]) == 6
+        inflight = state["families"]["repro_inflight"]["series"][0]
+        assert inflight["value"] == 5
+
+    def test_merge_is_associative_and_commutative(self):
+        parts = [_populated(shift) for shift in range(3)]
+
+        def folded(order):
+            total = MetricsRegistry()
+            for index in order:
+                total.merge(_populated(index))
+            return total.state_dict()
+
+        left = folded([0, 1, 2])
+        right = folded([2, 0, 1])
+        assert left == right
+        tree = MetricsRegistry()
+        tree.merge(parts[0].merge(parts[1])).merge(parts[2])
+        assert tree.state_dict() == left
+
+    def test_merge_boundary_mismatch_raises(self):
+        left = MetricsRegistry()
+        left.histogram("repro_h_seconds", boundaries=(1.0,))
+        right = MetricsRegistry()
+        right.histogram("repro_h_seconds", boundaries=(2.0,))
+        with pytest.raises(ValidationError):
+            left.merge(right)
+
+    def test_state_round_trips_through_json_bit_exact(self):
+        registry = _populated(0)
+        state = json.loads(json.dumps(registry.state_dict()))
+        restored = MetricsRegistry.from_state(state)
+        assert restored.state_dict() == registry.state_dict()
+        assert restored.render_prometheus() == registry.render_prometheus()
+
+    def test_from_state_rejects_bad_versions_and_shapes(self):
+        with pytest.raises(ValidationError):
+            MetricsRegistry.from_state({"schema_version": 999, "families": {}})
+        with pytest.raises(ValidationError):
+            MetricsRegistry.from_state({"schema_version": 1})
+        bad = MetricsRegistry().state_dict()
+        bad["families"]["x"] = {"type": "sparkline", "series": []}
+        with pytest.raises(ValidationError):
+            MetricsRegistry.from_state(bad)
+
+    def test_concurrent_updates_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_c_total")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestPrometheusRendering:
+    def test_inf_and_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_g", labels={"path": 'a"b\\c'}).set(math.inf)
+        page = registry.render_prometheus()
+        assert 'path="a\\"b\\\\c"' in page
+        assert "} +Inf" in page
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_h_seconds", boundaries=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            histogram.observe(value)
+        lines = registry.render_prometheus().splitlines()
+        assert 'repro_h_seconds_bucket{le="1.0"} 1' in lines
+        assert 'repro_h_seconds_bucket{le="2.0"} 2' in lines
+        assert 'repro_h_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_h_seconds_count 3" in lines
+
+    def test_rendering_matches_golden(self, request):
+        """Pin the full page bytes: family order, label sort, le last.
+
+        The registry clock is fixed, every value is deterministic, and
+        label insertion order is deliberately scrambled — the renderer
+        must sort it all into the same bytes every time.
+        """
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        registry.counter(
+            "repro_rows_total", "Rows ingested.", labels={"shard": "01"}
+        ).inc(7)
+        registry.counter(
+            "repro_rows_total", "Rows ingested.", labels={"shard": "00"}
+        ).inc(35)
+        registry.gauge("repro_up", "Serving state.").set(1)
+        histogram = registry.histogram(
+            "repro_observe_seconds",
+            "Observe latency.",
+            boundaries=(0.001, 0.01, 0.1),
+            labels={"monitor": "hiring", "stage": "apply"},
+        )
+        for value in (0.0005, 0.0005, 0.05, 2.0):
+            histogram.observe(value)
+        output = registry.render_prometheus()
+
+        golden_path = GOLDEN_DIR / "metrics_page.txt"
+        if request.config.getoption("--update-golden"):
+            golden_path.parent.mkdir(parents=True, exist_ok=True)
+            golden_path.write_text(output, encoding="utf-8")
+            pytest.skip(f"regenerated {golden_path.name}")
+        assert golden_path.exists(), (
+            f"missing golden fixture {golden_path}; run pytest with "
+            "--update-golden to create it"
+        )
+        assert output == golden_path.read_text(encoding="utf-8"), (
+            "Prometheus rendering drifted from the pinned page; if "
+            "intentional, regenerate with --update-golden"
+        )

@@ -1,0 +1,198 @@
+"""Unit tests for trace spans and the Chrome-trace export (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.trace import (
+    NULL_TRACER,
+    TraceSink,
+    Tracer,
+    read_trace_events,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _tracer_over(buffer: io.StringIO, **kwargs) -> tuple[Tracer, TraceSink]:
+    sink = TraceSink(buffer, **kwargs)
+    return Tracer(sink), sink
+
+
+def _events(buffer: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+class TestSpans:
+    def test_nesting_assigns_parent_ids(self):
+        buffer = io.StringIO()
+        tracer, _ = _tracer_over(buffer)
+        with tracer.span("ingest", path="a.csv"):
+            with tracer.span("parse", chunk=0):
+                pass
+            with tracer.span("decode", chunk=0):
+                pass
+        by_name = {event["name"]: event for event in _events(buffer)}
+        ingest = by_name["ingest"]
+        assert ingest["parent"] is None
+        assert by_name["parse"]["parent"] == ingest["id"]
+        assert by_name["decode"]["parent"] == ingest["id"]
+        assert ingest["attrs"] == {"path": "a.csv"}
+        # children close before the parent, so they are emitted first
+        assert [event["name"] for event in _events(buffer)] == [
+            "parse",
+            "decode",
+            "ingest",
+        ]
+
+    def test_span_set_adds_attrs_and_durations_use_clock(self):
+        ticks = iter([1.0, 3.5])
+        buffer = io.StringIO()
+        sink = TraceSink(buffer)
+        tracer = Tracer(sink, clock=lambda: next(ticks))
+        with tracer.span("work") as span:
+            span.set(rows=42)
+        (event,) = _events(buffer)
+        assert event["attrs"] == {"rows": 42}
+        assert event["ts"] == 1.0
+        assert event["dur"] == 2.5
+
+    def test_exception_is_recorded_and_span_still_emitted(self):
+        buffer = io.StringIO()
+        tracer, _ = _tracer_over(buffer)
+        with pytest.raises(RuntimeError):
+            with tracer.span("ingest"):
+                raise RuntimeError("boom")
+        (event,) = _events(buffer)
+        assert event["attrs"]["error"] == "RuntimeError"
+
+    def test_threads_get_independent_stacks(self):
+        buffer = io.StringIO()
+        tracer, _ = _tracer_over(buffer)
+        barrier = threading.Barrier(2)
+
+        def work(label: str) -> None:
+            with tracer.span("outer", who=label):
+                barrier.wait(timeout=5)
+                with tracer.span("inner", who=label):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(label,)) for label in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = _events(buffer)
+        outers = {
+            event["attrs"]["who"]: event
+            for event in events
+            if event["name"] == "outer"
+        }
+        for event in events:
+            if event["name"] == "inner":
+                # each inner nests under its own thread's outer span
+                assert event["parent"] == outers[event["attrs"]["who"]]["id"]
+
+    def test_null_tracer_is_disabled_and_free(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("anything", x=1) as span:
+            assert span is None
+
+
+class TestSink:
+    def test_bounded_sink_drops_and_marks_truncation(self):
+        buffer = io.StringIO()
+        tracer, sink = _tracer_over(buffer, max_events=2)
+        for index in range(5):
+            with tracer.span("s", i=index):
+                pass
+        assert sink.written == 2
+        assert sink.dropped == 3
+        sink.close()
+        events = _events(buffer)
+        assert len(events) == 3
+        assert events[-1]["name"] == "trace_truncated"
+        assert events[-1]["attrs"]["dropped_events"] == 3
+
+    def test_sink_rejects_nonpositive_cap(self):
+        with pytest.raises(ValidationError):
+            TraceSink(io.StringIO(), max_events=0)
+
+    def test_close_is_idempotent_and_emit_after_close_drops(self):
+        buffer = io.StringIO()
+        sink = TraceSink(buffer)
+        sink.close()
+        sink.close()
+        assert not sink.emit({"name": "late"})
+        assert sink.dropped == 1
+
+    def test_path_target_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceSink(path) as sink:
+            tracer = Tracer(sink)
+            with tracer.span("root"):
+                pass
+        events = read_trace_events(path)
+        assert [event["name"] for event in events] == ["root"]
+
+
+class TestTraceFiles:
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = json.dumps({"name": "ok", "id": 1, "parent": None, "ts": 0.0})
+        path.write_text(good + "\n" + '{"name": "torn', encoding="utf-8")
+        events = read_trace_events(path)
+        assert [event["name"] for event in events] == ["ok"]
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = json.dumps({"name": "ok", "id": 1, "parent": None, "ts": 0.0})
+        path.write_text("not json\n" + good + "\n", encoding="utf-8")
+        with pytest.raises(ValidationError):
+            read_trace_events(path)
+
+    def test_chrome_trace_conversion(self, tmp_path):
+        events = [
+            {
+                "name": "ingest",
+                "id": 1,
+                "parent": None,
+                "ts": 0.001,
+                "dur": 0.5,
+                "pid": 7,
+                "tid": 9,
+                "attrs": {"path": "a.csv"},
+            },
+            {
+                "name": "parse",
+                "id": 2,
+                "parent": 1,
+                "ts": 0.002,
+                "dur": 0.1,
+                "pid": 7,
+                "tid": 9,
+                "attrs": {},
+            },
+        ]
+        payload = to_chrome_trace(events)
+        assert payload["displayTimeUnit"] == "ms"
+        ingest, parse = payload["traceEvents"]
+        assert ingest["ph"] == "X"
+        assert ingest["ts"] == pytest.approx(1000.0)  # seconds -> µs
+        assert ingest["dur"] == pytest.approx(500_000.0)
+        assert ingest["args"]["span_id"] == 1
+        assert "parent_span_id" not in ingest["args"]
+        assert parse["args"]["parent_span_id"] == 1
+
+        out = tmp_path / "trace.json"
+        write_chrome_trace(events, out)
+        assert json.loads(out.read_text(encoding="utf-8")) == payload
